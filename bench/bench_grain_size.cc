@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The grain-size studies of Sections 3.3-7.3: for every application, the
+ * 1 GB problem evaluated at three machine granularities — 64 processors
+ * x 16 MB, 1024 x 1 MB (prototypical), 16K x 64 KB — reporting
+ * computation-to-communication ratios, sustainability bands and
+ * load-balance work units; plus the Section 2.3 machine calibration.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "model/grain.hh"
+#include "model/machine_model.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+using namespace wsg::model;
+
+namespace
+{
+
+void
+printAssessment(stats::Table &tab, const GrainAssessment &a)
+{
+    tab.addRow({a.app, stats::formatBytes(a.grainBytes),
+                stats::formatRate(a.commToCompRatio),
+                sustainabilityName(a.sustainability),
+                stats::formatCount(a.workUnitsPerProc) + " " +
+                    a.workUnitName,
+                a.loadBalanceOk ? "ok" : "at risk"});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sections 3.3-7.3",
+                  "Grain-size analysis: 1 GB problems at 16 MB / 1 MB / "
+                  "64 KB per processor");
+    bench::ScopeTimer timer("grain");
+
+    // Machine calibration (Section 2.3).
+    stats::Table mach("Sustainable comp/comm ratios (Section 2.3)");
+    mach.header({"machine", "nearest-neighbor", "general"});
+    for (const MachineModel &m :
+         {MachineModel::paragon(), MachineModel::cm5()}) {
+        mach.addRow(
+            {m.name,
+             stats::formatRate(
+                 m.sustainableRatio(CommPattern::NearestNeighbor)) +
+                 " FLOPs/word",
+             stats::formatRate(m.sustainableRatio(CommPattern::General)) +
+                 " FLOPs/word"});
+    }
+    std::cout << mach.render() << "\n";
+    std::cout << "Bands: < 15 extremely difficult, 15-75 sustainable, "
+                 "> 75 easy (FLOPs per double word)\n\n";
+
+    stats::Table tab("Grain assessments (1 GB problem)");
+    tab.header({"app", "grain", "comp/comm", "band", "work units/proc",
+                "load balance"});
+
+    for (std::uint64_t P : {64ull, 1024ull, 16384ull}) {
+        tab.addRow({"-- P = " + std::to_string(P), "", "", "", "", ""});
+        auto lu = core::presets::paperLu(16);
+        lu.P = P;
+        printAssessment(tab, assessLu(lu));
+        auto cg2 = core::presets::paperCg2d();
+        cg2.P = P;
+        printAssessment(tab, assessCg(cg2));
+        auto cg3 = core::presets::paperCg3d();
+        cg3.P = P;
+        printAssessment(tab, assessCg(cg3));
+        auto fft = core::presets::paperFft(8);
+        fft.P = P;
+        printAssessment(tab, assessFft(fft));
+        auto bh = core::presets::paperBarnesPrototype();
+        bh.P = static_cast<double>(P);
+        printAssessment(tab, assessBarnes(bh));
+        auto vr = core::presets::paperVolrendPrototype();
+        vr.P = static_cast<double>(P);
+        printAssessment(tab, assessVolrend(vr));
+    }
+    std::cout << tab.render() << "\n";
+
+    std::cout << "Paper vs this reproduction (headline ratios):\n";
+    bench::compare("LU, 1 MB grain", "~200 FLOPs/word",
+                   stats::formatRate(
+                       assessLu(core::presets::paperLu(16))
+                           .commToCompRatio));
+    {
+        auto lu = core::presets::paperLu(16);
+        lu.P = 16384;
+        bench::compare("LU, 64 KB grain", "~50 FLOPs/word",
+                       stats::formatRate(assessLu(lu).commToCompRatio));
+    }
+    bench::compare("CG 2-D, 1 MB grain", "~300 FLOPs/word",
+                   stats::formatRate(
+                       assessCg(core::presets::paperCg2d())
+                           .commToCompRatio));
+    bench::compare("CG 3-D, 1 MB grain", "~50 FLOPs/word",
+                   stats::formatRate(
+                       assessCg(core::presets::paperCg3d())
+                           .commToCompRatio));
+    bench::compare("FFT, any reasonable grain", "33 FLOPs/word",
+                   stats::formatRate(
+                       assessFft(core::presets::paperFft(8))
+                           .commToCompRatio));
+    bench::compare(
+        "Barnes-Hut, 1 MB grain", "1 word / ~10,000 instructions",
+        "1 word / " +
+            stats::formatCount(
+                assessBarnes(core::presets::paperBarnesPrototype())
+                    .commToCompRatio) +
+            " instructions");
+    bench::compare("Volrend", "~600 instructions/word",
+                   stats::formatRate(
+                       assessVolrend(core::presets::paperVolrendPrototype())
+                           .commToCompRatio) +
+                       " instructions/word");
+    return 0;
+}

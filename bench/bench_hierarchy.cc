@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Extension bench — mapping the working-set hierarchy onto a two-level
+ * cache hierarchy.
+ *
+ * The paper's opening question is "how large different levels of a
+ * multiprocessor's cache hierarchy should be"; its answer is the
+ * per-level working sets. This bench closes the loop: give each
+ * processor an L1 sized for lev1WS and an L2 sized for lev2WS and show
+ * where references are serviced — most hits in the tiny L1, the rest
+ * caught by L2, with only communication going to memory.
+ */
+
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "apps/barnes/barnes_hut.hh"
+#include "apps/lu/blocked_lu.hh"
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "memsys/fully_assoc_lru.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/set_assoc.hh"
+#include "sim/multiprocessor.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+struct HierResult
+{
+    double l1Rate;
+    double l2Rate;
+    double memRate;
+};
+
+/** Run @p run_app against per-PE two-level caches; report rates. */
+HierResult
+measure(std::uint32_t procs, std::uint32_t line_bytes,
+        std::uint64_t l1_bytes, std::uint64_t l2_bytes,
+        const std::function<void(sim::Multiprocessor &,
+                                 trace::SharedAddressSpace &)> &run_app)
+{
+    trace::SharedAddressSpace space;
+    sim::Multiprocessor mp({procs, line_bytes});
+    std::vector<memsys::TwoLevelCache *> raw;
+    mp.attachCaches([&]() {
+        auto h = std::make_unique<memsys::TwoLevelCache>(
+            std::make_unique<memsys::SetAssocCache>(
+                std::max<std::uint64_t>(1,
+                                        l1_bytes / line_bytes / 2),
+                2),
+            std::make_unique<memsys::SetAssocCache>(
+                std::max<std::uint64_t>(1,
+                                        l2_bytes / line_bytes / 4),
+                4));
+        raw.push_back(h.get());
+        return h;
+    });
+    run_app(mp, space);
+
+    memsys::HierarchyStats agg;
+    for (auto *h : raw) {
+        agg.accesses += h->stats().accesses;
+        agg.l1Misses += h->stats().l1Misses;
+        agg.l2Misses += h->stats().l2Misses;
+    }
+    return {1.0 - agg.l1MissRate(),
+            agg.l1MissRate() - agg.memoryMissRate(),
+            agg.memoryMissRate()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Hierarchy extension",
+                  "Working sets mapped onto L1/L2 cache levels "
+                  "(2-way L1, 4-way L2)");
+    bench::ScopeTimer timer("hierarchy");
+
+    stats::Table tab("where references are serviced");
+    tab.header({"app", "L1", "L2", "serviced in L1", "serviced in L2",
+                "to memory"});
+
+    auto runLu = [](sim::Multiprocessor &mp,
+                    trace::SharedAddressSpace &space) {
+        apps::lu::BlockedLu lu(core::presets::simLu(16), space, &mp);
+        lu.randomize(1);
+        lu.factor();
+    };
+    auto runBarnes = [](sim::Multiprocessor &mp,
+                        trace::SharedAddressSpace &space) {
+        apps::barnes::BarnesHut app(core::presets::simBarnesFig6(),
+                                    space, &mp);
+        app.initPlummer();
+        mp.setMeasuring(false);
+        app.step();
+        mp.setMeasuring(true);
+        app.step();
+    };
+
+    struct Config
+    {
+        const char *app;
+        std::uint32_t procs;
+        std::uint64_t l1, l2;
+        std::uint32_t line;
+        std::function<void(sim::Multiprocessor &,
+                           trace::SharedAddressSpace &)> run;
+    };
+    std::vector<Config> configs = {
+        // LU: L1 sized for lev1WS (two block columns), L2 for lev2WS+.
+        {"LU (L1 ~ lev1WS, L2 ~ lev2WS)", 16, 512, 8192, 8, runLu},
+        {"LU (both levels tiny)", 16, 128, 512, 8, runLu},
+        // Barnes-Hut: L2 sized for the ~20-30 KB lev2WS.
+        {"Barnes-Hut (L2 ~ lev2WS)", 4, 2048, 64 * 1024, 32, runBarnes},
+        {"Barnes-Hut (L2 half of lev2WS)", 4, 2048, 16 * 1024, 32,
+         runBarnes},
+    };
+
+    for (auto &c : configs) {
+        HierResult r = measure(c.procs, c.line, c.l1, c.l2, c.run);
+        tab.addRow({c.app,
+                    stats::formatBytes(static_cast<double>(c.l1)),
+                    stats::formatBytes(static_cast<double>(c.l2)),
+                    stats::formatRate(r.l1Rate),
+                    stats::formatRate(r.l2Rate),
+                    stats::formatRate(r.memRate)});
+    }
+    std::cout << tab.render() << "\n";
+
+    std::cout << "Reading: sizing L1 at lev1WS captures the bulk of "
+                 "references; an L2 at lev2WS\nabsorbs nearly all the "
+                 "rest, leaving only (near-)communication misses for "
+                 "memory —\nthe quantitative version of the paper's "
+                 "cache-hierarchy sizing guidance.\n";
+    return 0;
+}

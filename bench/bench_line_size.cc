@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extension bench — cache-line-size ablation.
+ *
+ * The paper measures double-word misses (8-byte granularity). Real
+ * caches use longer lines: spatial locality converts several unit-line
+ * misses into one longer-line miss, but every miss moves more bytes, so
+ * the *bandwidth* demand — the quantity the grain-size analysis weighs
+ * against machine rates — can grow even as the miss count falls. This
+ * bench sweeps the line size for a regular stencil code (strong spatial
+ * locality) and the Barnes-Hut tree code (pointer-chasing locality) and
+ * reports both miss rate and traffic at a fixed cache size.
+ */
+
+#include <iostream>
+
+#include "apps/barnes/barnes_hut.hh"
+#include "apps/cg/grid_cg.hh"
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "sim/multiprocessor.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+struct LineResult
+{
+    double readMissRate;
+    double trafficPerFlop;
+};
+
+LineResult
+runCg(std::uint32_t line_bytes, std::uint64_t cache_bytes)
+{
+    trace::SharedAddressSpace space;
+    sim::Multiprocessor mp({16, line_bytes});
+    apps::cg::GridCg cg(core::presets::simCg2d(), space, &mp);
+    cg.buildSystem();
+    mp.setMeasuring(false);
+    cg.run(1, 0.0);
+    std::uint64_t f0 = cg.flops().totalFlops();
+    mp.setMeasuring(true);
+    cg.run(2, 0.0);
+
+    sim::CurveSpec spec;
+    spec.cacheSizesBytes = {cache_bytes};
+    LineResult r;
+    r.readMissRate = mp.readMissRateCurve(spec, "r")[0].y;
+    r.trafficPerFlop = mp.trafficPerFlopCurve(
+        spec, cg.flops().totalFlops() - f0, "t")[0].y;
+    return r;
+}
+
+LineResult
+runBarnes(std::uint32_t line_bytes, std::uint64_t cache_bytes)
+{
+    trace::SharedAddressSpace space;
+    sim::Multiprocessor mp({4, line_bytes});
+    apps::barnes::BarnesHut app(core::presets::simBarnesFig6(), space,
+                                &mp);
+    app.initPlummer();
+    mp.setMeasuring(false);
+    app.step();
+    std::uint64_t f0 = app.flops().totalFlops();
+    mp.setMeasuring(true);
+    app.step();
+
+    sim::CurveSpec spec;
+    spec.cacheSizesBytes = {cache_bytes};
+    LineResult r;
+    r.readMissRate = mp.readMissRateCurve(spec, "r")[0].y;
+    r.trafficPerFlop = mp.trafficPerFlopCurve(
+        spec, app.flops().totalFlops() - f0, "t")[0].y;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Line-size ablation",
+                  "Miss rate vs bandwidth demand across cache line "
+                  "sizes (fixed 16 KB cache)");
+    bench::ScopeTimer timer("linesize");
+
+    stats::Table tab("line-size sweep at a 16 KB fully associative "
+                     "cache");
+    tab.header({"line", "CG read miss rate", "CG traffic/FLOP",
+                "Barnes miss rate", "Barnes traffic/FLOP"});
+    constexpr std::uint64_t kCache = 16 * 1024;
+
+    double cg_first_rate = 0.0, cg_last_rate = 0.0;
+    double cg_first_traffic = 0.0, cg_last_traffic = 0.0;
+    for (std::uint32_t line : {8u, 16u, 32u, 64u, 128u}) {
+        LineResult cg = runCg(line, kCache);
+        LineResult bh = runBarnes(line, kCache);
+        if (line == 8) {
+            cg_first_rate = cg.readMissRate;
+            cg_first_traffic = cg.trafficPerFlop;
+        }
+        cg_last_rate = cg.readMissRate;
+        cg_last_traffic = cg.trafficPerFlop;
+        tab.addRow({stats::formatBytes(line),
+                    stats::formatRate(cg.readMissRate),
+                    stats::formatRate(cg.trafficPerFlop) + " B",
+                    stats::formatRate(bh.readMissRate),
+                    stats::formatRate(bh.trafficPerFlop) + " B"});
+    }
+    std::cout << tab.render() << "\n";
+
+    std::cout << "Observations:\n";
+    bench::compare("stencil spatial locality",
+                   "longer lines cut miss counts",
+                   "CG miss rate " + stats::formatRate(cg_first_rate) +
+                       " -> " + stats::formatRate(cg_last_rate) +
+                       " from 8 B to 128 B lines");
+    bench::compare("bandwidth demand",
+                   "grows once lines overshoot the reuse granularity",
+                   "CG traffic/FLOP " +
+                       stats::formatRate(cg_first_traffic) + " -> " +
+                       stats::formatRate(cg_last_traffic) + " bytes");
+    std::cout << "\nThe paper's 8-byte (double-word) accounting is the "
+                 "conservative end of this\ntrade-off; its working-set "
+                 "sizes are line-size-independent because the knees\n"
+                 "come from data volumes, not line counts.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension bench — translating miss-rate curves and grain ratios into
+ * performance, with ca.-1993 latency parameters.
+ *
+ * Two views: (a) achieved fraction of peak versus cache size for the
+ * analytic LU/CG/FFT curves (the knees become performance plateaus —
+ * "dramatic performance benefits" as the paper puts it), and (b) node
+ * utilization versus grain size per application, which quantifies the
+ * paper's sustainability bands and fine-grain verdicts.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/grain.hh"
+#include "model/lu_model.hh"
+#include "model/perf_model.hh"
+#include "sim/multiprocessor.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+using namespace wsg::model;
+
+int
+main()
+{
+    bench::banner("Performance-model extension",
+                  "Miss-rate knees -> performance plateaus; grain "
+                  "ratios -> node utilization (ca.-1993 latencies)");
+    bench::ScopeTimer timer("perf");
+
+    LatencyModel lat = LatencyModel::ca1993();
+    auto sizes = sim::sweepSizes(64, stats::kMiB, 1);
+
+    // (a) Fraction of peak vs cache size.
+    LuModel lu(core::presets::paperLu(16));
+    CgModel cg(core::presets::paperCg2d());
+    FftModel fft(core::presets::paperFft(8));
+    std::vector<stats::Curve> perf;
+    perf.push_back(performanceCurve(lu.missCurve(sizes),
+                                    lu.commMissRate(), lat,
+                                    "LU B=16"));
+    perf.push_back(performanceCurve(cg.missCurve(sizes),
+                                    cg.commMissRate(), lat, "CG 2-D"));
+    perf.push_back(performanceCurve(fft.missCurve(sizes),
+                                    fft.commMissRate(), lat,
+                                    "FFT r=8"));
+    std::cout << stats::renderSeries(
+        "achieved fraction of peak vs cache size (analytical curves)",
+        "cache", perf);
+
+    std::cout << "\nKnee-to-plateau translation (LU, B = 16):\n";
+    bench::compare("tiny cache", "memory-bound",
+                   stats::formatRate(perf[0].points().front().y) +
+                       " of peak");
+    bench::compare("lev2WS (2 KB) fits", "\"dramatic benefit\"",
+                   stats::formatRate(perf[0].valueAtOrBelow(4096)) +
+                       " of peak");
+    bench::compare("everything local", "communication-limited",
+                   stats::formatRate(perf[0].points().back().y) +
+                       " of peak");
+
+    // (b) Utilization vs grain size.
+    stats::Table tab("node utilization vs processors (1 GB problem, "
+                     "unhidden remote misses)");
+    tab.header({"app", "P = 64", "P = 1024", "P = 16384"});
+    auto row = [&](const std::string &name, auto ratio_fn) {
+        std::vector<std::string> cells{name};
+        for (std::uint64_t P : {64ull, 1024ull, 16384ull})
+            cells.push_back(stats::formatRate(
+                utilization(ratio_fn(P), lat)));
+        tab.addRow(cells);
+    };
+    row("LU", [](std::uint64_t P) {
+        return LuModel({10000, P, 16}).commToCompRatio();
+    });
+    row("CG 2-D", [](std::uint64_t P) {
+        return CgModel({4000, P, 2}).commToCompRatio();
+    });
+    row("CG 3-D", [](std::uint64_t P) {
+        return CgModel({225, P, 3}).commToCompRatio();
+    });
+    row("FFT", [](std::uint64_t P) {
+        return FftModel({std::uint64_t{1} << 26, P, 8})
+            .exactCommToCompRatio();
+    });
+    std::cout << "\n" << tab.render() << "\n";
+
+    std::cout
+        << "Reading: LU and 2-D CG stay efficient down to very fine "
+           "grains; the FFT is\ncommunication-limited at every grain — "
+           "the performance-model restatement of the\npaper's Table 2 "
+           "verdicts. (With prefetching, hidingFactor raises all "
+           "entries\nuniformly; the ordering is unchanged.)\n";
+    return 0;
+}

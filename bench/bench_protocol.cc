@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Extension bench — coherence-protocol ablation: write-invalidate
+ * (the paper's implicit model) versus write-update, per application.
+ *
+ * The paper's communication analysis counts inherent data movement;
+ * which protocol realizes that movement more cheaply depends on the
+ * sharing pattern. Producer-consumer boundary exchange (CG) maps well
+ * onto update; migratory or single-consumer data (LU panels, Barnes-Hut
+ * bodies) makes update traffic wasteful. This bench measures both costs
+ * for each application.
+ */
+
+#include <functional>
+#include <iostream>
+
+#include "apps/barnes/barnes_hut.hh"
+#include "apps/cg/grid_cg.hh"
+#include "apps/lu/blocked_lu.hh"
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "sim/multiprocessor.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+struct ProtoResult
+{
+    /** Coherence (invalidation + cold-communication) read misses. */
+    double cohMisses = 0.0;
+    /** Update messages (write-update only). */
+    double updates = 0.0;
+    std::uint64_t flops = 0;
+};
+
+ProtoResult
+run(sim::CoherenceProtocol proto, const std::string &app)
+{
+    ProtoResult r;
+    if (app == "lu") {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({16, 8, proto});
+        apps::lu::BlockedLu lu(core::presets::simLu(16), space, &mp);
+        lu.randomize(1);
+        lu.factor();
+        auto agg = mp.aggregateStats();
+        r = {static_cast<double>(agg.readCoherence),
+             static_cast<double>(agg.updatesSent),
+             lu.flops().totalFlops()};
+    } else if (app == "cg") {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({16, 8, proto});
+        apps::cg::GridCg cg(core::presets::simCg2d(), space, &mp);
+        cg.buildSystem();
+        mp.setMeasuring(false);
+        cg.run(1, 0.0);
+        std::uint64_t f0 = cg.flops().totalFlops();
+        mp.setMeasuring(true);
+        cg.run(3, 0.0);
+        auto agg = mp.aggregateStats();
+        r = {static_cast<double>(agg.readCoherence),
+             static_cast<double>(agg.updatesSent),
+             cg.flops().totalFlops() - f0};
+    } else {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({4, 32, proto});
+        apps::barnes::BarnesHut bh(core::presets::simBarnesFig6(),
+                                   space, &mp);
+        bh.initPlummer();
+        mp.setMeasuring(false);
+        bh.step();
+        std::uint64_t f0 = bh.flops().totalFlops();
+        mp.setMeasuring(true);
+        bh.step();
+        auto agg = mp.aggregateStats();
+        r = {static_cast<double>(agg.readCoherence),
+             static_cast<double>(agg.updatesSent),
+             bh.flops().totalFlops() - f0};
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Coherence-protocol ablation",
+                  "Write-invalidate vs write-update coherence traffic "
+                  "per application");
+    bench::ScopeTimer timer("protocol");
+
+    stats::Table tab("coherence events per 1000 FLOPs");
+    tab.header({"app", "WI: coherence misses", "WU: coherence misses",
+                "WU: update messages"});
+
+    for (const char *app : {"lu", "cg", "barnes"}) {
+        ProtoResult wi = run(sim::CoherenceProtocol::WriteInvalidate,
+                             app);
+        ProtoResult wu = run(sim::CoherenceProtocol::WriteUpdate, app);
+        auto per_kflop = [](double x, std::uint64_t flops) {
+            return stats::formatRate(1000.0 * x /
+                                     static_cast<double>(flops));
+        };
+        tab.addRow({app, per_kflop(wi.cohMisses, wi.flops),
+                    per_kflop(wu.cohMisses, wu.flops),
+                    per_kflop(wu.updates, wu.flops)});
+    }
+    std::cout << tab.render() << "\n";
+
+    std::cout
+        << "Reading:\n"
+           "- CG: update eliminates every invalidation miss at a "
+           "comparable message count —\n  boundary values are produced "
+           "once and consumed once (update's best case).\n"
+           "- LU: unchanged either way. Panel blocks are written "
+           "*before* anyone shares them,\n  so all communication is "
+           "first-read (cold-start) fetches no protocol avoids;\n  "
+           "update messages are zero because writes never hit shared "
+           "lines.\n"
+           "- Barnes-Hut: update removes ~3/4 of the misses but sends "
+           "more messages than it\n  saves — body state is migratory, "
+           "the classic argument for invalidation.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 2 — "Summary of important application parameters": per
+ * application, the cache size needed for the prototypical 1 GB problem
+ * on 1024 processors, its growth rate, and the desirable grain size.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/grain.hh"
+#include "model/lu_model.hh"
+#include "model/volrend_model.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+using wsg::stats::formatBytes;
+
+int
+main()
+{
+    bench::banner("Table 2",
+                  "Summary of important application parameters "
+                  "(1 GB problem on 1K processors)");
+    bench::ScopeTimer timer("table2");
+
+    stats::Table tab("Table 2: cache size for the prototypical problem, "
+                     "growth rates, desirable grain");
+    tab.header({"Application", "Cache growth", "Cache (1G, 1K P)",
+                "paper", "Mem growth", "Desirable grain"});
+
+    {
+        // Paper quotes 8K — the lev2WS of its largest practical block
+        // size (B = 32: 32*32*8 = 8 KB).
+        model::LuModel m(core::presets::paperLu(32));
+        tab.addRow({"LU", "const",
+                    formatBytes(m.workingSets()[1].sizeBytes), "8K",
+                    "const", "< 1M"});
+    }
+    {
+        model::CgModel m(core::presets::paperCg2d());
+        tab.addRow({"CG", "const",
+                    formatBytes(m.workingSets()[0].sizeBytes), "5K",
+                    "const", "1M"});
+    }
+    {
+        // Paper quotes 4K: a high internal radix (r = 64) lev1WS.
+        model::FftModel m(core::presets::paperFft(64));
+        tab.addRow({"FFT", "const",
+                    formatBytes(m.workingSets()[0].sizeBytes * 2.0),
+                    "4K", "const", "1M"});
+    }
+    {
+        model::BarnesModel m(core::presets::paperBarnesPrototype());
+        tab.addRow({"Barnes-Hut", "log DS",
+                    formatBytes(m.lev2Bytes()), "45K", "const", "< 1M"});
+    }
+    {
+        model::VolrendModel m(core::presets::paperVolrendPrototype());
+        tab.addRow({"Volume Rendering", "DS^(1/3)",
+                    formatBytes(m.lev2Bytes()), "70K", "DS^(1/3)",
+                    "< 1M"});
+    }
+    std::cout << tab.render() << "\n";
+
+    // Where does each "desirable grain" verdict come from? Print the
+    // grain assessments that justify the last column.
+    std::cout
+        << "Grain-size assessments behind the last column (1 GB on "
+           "1024 processors):\n\n";
+    for (const auto &a :
+         {model::assessLu(core::presets::paperLu(16)),
+          model::assessCg(core::presets::paperCg2d()),
+          model::assessFft(core::presets::paperFft(8)),
+          model::assessBarnes(core::presets::paperBarnesPrototype()),
+          model::assessVolrend(core::presets::paperVolrendPrototype())}) {
+        std::cout << "  " << a.app << ": " << a.verdict << "\n";
+    }
+
+    std::cout << "\nPaper vs this reproduction (cache column):\n";
+    bench::compare("LU", "8K",
+                   formatBytes(model::LuModel(core::presets::paperLu(32))
+                                   .workingSets()[1]
+                                   .sizeBytes) +
+                       " (lev2WS, B = 32)");
+    bench::compare(
+        "CG", "5K",
+        formatBytes(model::CgModel(core::presets::paperCg2d())
+                        .workingSets()[0]
+                        .sizeBytes));
+    bench::compare(
+        "Barnes-Hut", "45K",
+        formatBytes(model::BarnesModel(
+                        core::presets::paperBarnesPrototype())
+                        .lev2Bytes()));
+    bench::compare(
+        "Volume Rendering", "70K",
+        formatBytes(model::VolrendModel(
+                        core::presets::paperVolrendPrototype())
+                        .lev2Bytes()));
+    return 0;
+}

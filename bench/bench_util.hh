@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table reproduction binaries.
+ *
+ * Every bench prints: a banner naming the paper artifact it regenerates,
+ * the series/rows in the same units the paper uses, and a paper-vs-
+ * measured comparison block that EXPERIMENTS.md quotes.
+ */
+
+#ifndef WSG_BENCH_BENCH_UTIL_HH
+#define WSG_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+namespace wsg::bench
+{
+
+/** Print the standard banner for a reproduction binary. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::cout << std::string(72, '=') << "\n"
+              << "Reproducing " << artifact << " of Rothberg, Singh & "
+              << "Gupta, ISCA 1993\n"
+              << caption << "\n"
+              << std::string(72, '=') << "\n\n";
+}
+
+/** Print one paper-vs-measured comparison line. */
+inline void
+compare(const std::string &what, const std::string &paper,
+        const std::string &measured)
+{
+    std::cout << "  " << what << ": paper " << paper << " | this repro "
+              << measured << "\n";
+}
+
+/** Wall-clock scope timer printed at destruction. */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(std::string label)
+        : label_(std::move(label)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopeTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        double ms = std::chrono::duration<double, std::milli>(
+                        end - start_).count();
+        std::cout << "\n[" << label_ << " completed in " << ms / 1000.0
+                  << " s]\n\n";
+    }
+
+  private:
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace wsg::bench
+
+#endif // WSG_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Volume-rendering scenario (paper Section 7): render a rotating
+ * sequence of frames of the synthetic head phantom — the paper's
+ * real-time-visualization use case — writing PGM images to disk, and
+ * report ray statistics, load balance (ray stealing) and the working
+ * sets that successive-ray coherence produces.
+ *
+ * Usage: headscan_viewer [voxels_per_side] [frames] [out_prefix]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/volrend/renderer.hh"
+#include "apps/volrend/volume.hh"
+#include "core/working_set_study.hh"
+#include "model/volrend_model.hh"
+#include "sim/multiprocessor.hh"
+#include "stats/summary.hh"
+#include "stats/units.hh"
+#include "trace/address_space.hh"
+
+using namespace wsg;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(
+        std::atoi(argv[1])) : 96;
+    std::uint32_t frames = argc > 2 ? static_cast<std::uint32_t>(
+        std::atoi(argv[2])) : 4;
+    std::string prefix = argc > 3 ? argv[3] : "/tmp/headscan";
+
+    std::cout << "Head-scan viewer: " << n << "^3 phantom, " << frames
+              << " frames at 5 degrees/frame, 4 processors\n\n";
+
+    sim::Multiprocessor machine({4, 16});
+    trace::SharedAddressSpace space;
+    apps::volrend::VolumeDims dims{n, n, n};
+    apps::volrend::Volume volume(dims, space, &machine);
+    volume.buildHeadPhantom();
+    volume.buildOctree();
+
+    apps::volrend::RenderConfig rc;
+    rc.imageWidth = n;
+    rc.imageHeight = n;
+    rc.numProcs = 4;
+    rc.degreesPerFrame = 5.0;
+    apps::volrend::Renderer renderer(rc, volume, space, &machine);
+
+    machine.setMeasuring(false); // frame 0 warms the caches
+    renderer.renderFrame();
+    machine.setMeasuring(true);
+
+    for (std::uint32_t f = 0; f < frames; ++f) {
+        apps::volrend::FrameStats st = renderer.renderFrame();
+        stats::Summary balance;
+        for (auto r : st.raysPerProc)
+            balance.addSample(static_cast<double>(r));
+        std::string path = prefix + "_" + std::to_string(f) + ".pgm";
+        renderer.writePgm(path);
+        std::cout << "frame " << f << " (angle "
+                  << renderer.viewAngleDeg() - rc.degreesPerFrame
+                  << " deg): " << st.raysCast << " rays, "
+                  << stats::formatCount(static_cast<double>(
+                         st.samplesTaken))
+                  << " samples, " << st.skips << " octree skips, "
+                  << st.earlyTerminations << " early exits, "
+                  << st.raysStolen << " rays stolen, imbalance "
+                  << stats::formatRate(balance.imbalance()) << " -> "
+                  << path << "\n";
+    }
+
+    core::StudyConfig study;
+    core::StudyResult result = core::analyzeWorkingSets(
+        machine, study, core::Metric::ReadMissRate, 0, "headscan");
+    std::cout << "\nmeasured working sets (read miss rate):\n"
+              << stats::describeWorkingSets(result.workingSets);
+
+    model::VolrendModel m({static_cast<double>(n), 4.0});
+    std::cout << "\nanalytical lev2WS (4000 + 110 n): "
+              << stats::formatBytes(m.lev2Bytes())
+              << "; grows only as the cube root of the data set.\n"
+              << "Voxel data is read-only: " << result.aggregate.readCoherence
+              << " coherence misses across "
+              << result.aggregate.reads << " reads.\n";
+    return 0;
+}

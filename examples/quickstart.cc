@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: measure the working-set hierarchy of a small parallel
+ * application in ~30 lines of library use.
+ *
+ * Pipeline: build a traced application -> feed its references to the
+ * Multiprocessor (one stack-distance profiler per simulated processor)
+ * -> extract the miss-rate-versus-cache-size curve -> find the knees.
+ *
+ * Usage: quickstart [matrix_n] [block_B]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/lu/blocked_lu.hh"
+#include "core/working_set_study.hh"
+#include "sim/multiprocessor.hh"
+#include "trace/address_space.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wsg;
+
+    std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(
+        std::atoi(argv[1])) : 128;
+    std::uint32_t B = argc > 2 ? static_cast<std::uint32_t>(
+        std::atoi(argv[2])) : 16;
+
+    // 1. A 2x2-processor machine with 8-byte (double-word) lines.
+    sim::Multiprocessor machine({4, 8});
+
+    // 2. A blocked LU factorization instrumented to send every shared
+    //    memory reference to the machine.
+    trace::SharedAddressSpace space;
+    apps::lu::LuConfig config;
+    config.n = n;
+    config.blockSize = B;
+    config.procRows = 2;
+    config.procCols = 2;
+    apps::lu::BlockedLu lu(config, space, &machine);
+    lu.randomize(/*seed=*/42);
+
+    // 3. Run the real computation (it actually factors the matrix).
+    auto original = lu.denseCopy();
+    lu.factor();
+    std::cout << "factorization residual: " << lu.residual(original)
+              << "\n\n";
+
+    // 4. One run gave us the exact fully-associative-LRU miss rate at
+    //    EVERY cache size. Analyze it.
+    core::StudyConfig study;
+    study.minCacheBytes = 32;
+    core::StudyResult result = core::analyzeWorkingSets(
+        machine, study, core::Metric::MissesPerFlop,
+        lu.flops().totalFlops(), "LU n=" + std::to_string(n));
+
+    std::cout << core::describeStudy(result);
+    std::cout << "\nInterpretation: a cache of ~" << 2 * B * 8
+              << " B (two block columns) halves the miss rate; ~"
+              << B * B * 8
+              << " B (one block) cuts it to ~1/B. That is the paper's "
+                 "point:\ntrivially small caches capture the working "
+                 "set, at any problem size.\n";
+    return 0;
+}

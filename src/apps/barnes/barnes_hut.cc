@@ -1,0 +1,408 @@
+#include "apps/barnes/barnes_hut.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace wsg::apps::barnes
+{
+
+namespace
+{
+
+/** Gravitational constant (model units). */
+constexpr double kG = 1.0;
+
+/** Interleave the low 21 bits of x, y, z into a Morton key. */
+std::uint64_t
+mortonKey(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+{
+    auto spread = [](std::uint64_t v) {
+        v &= 0x1fffff;
+        v = (v | (v << 32)) & 0x1f00000000ffffULL;
+        v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+        v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+        v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+        v = (v | (v << 2)) & 0x1249249249249249ULL;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+/** FLOP charges per interaction type. */
+constexpr std::uint64_t kFlopsBody = 20;
+constexpr std::uint64_t kFlopsCellMono = 20;
+constexpr std::uint64_t kFlopsCellQuad = 60;
+
+} // namespace
+
+BarnesHut::BarnesHut(const BarnesConfig &config,
+                     trace::SharedAddressSpace &space,
+                     trace::MemorySink *sink)
+    : cfg_(config),
+      pos_(space, "barnes.pos", 3 * config.numBodies, sink),
+      vel_(space, "barnes.vel", 3 * config.numBodies, sink),
+      acc_(space, "barnes.acc", 3 * config.numBodies, sink),
+      mass_(space, "barnes.mass", config.numBodies, sink),
+      cellHeap_(space, "barnes.cells",
+                (std::uint64_t{4} * config.numBodies + 64) *
+                    CellLayout::kTotalBytes,
+                sink),
+      tree_(cellHeap_),
+      flops_(config.numProcs),
+      owner_(config.numBodies, 0),
+      cost_(config.numBodies, 1)
+{}
+
+void
+BarnesHut::initPlummer()
+{
+    std::mt19937_64 rng(cfg_.seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    auto randUnit = [&](Vec3 &v) {
+        // Marsaglia method for a uniform direction.
+        double a, b, s;
+        do {
+            a = 2.0 * uni(rng) - 1.0;
+            b = 2.0 * uni(rng) - 1.0;
+            s = a * a + b * b;
+        } while (s >= 1.0);
+        double t = 2.0 * std::sqrt(1.0 - s);
+        v = {a * t, b * t, 1.0 - 2.0 * s};
+    };
+
+    double m = 1.0 / cfg_.numBodies;
+    for (std::uint32_t i = 0; i < cfg_.numBodies; ++i) {
+        // Plummer radius with a cutoff at r = 10 scale lengths.
+        double r;
+        do {
+            double u = uni(rng);
+            r = 1.0 / std::sqrt(std::pow(std::max(u, 1e-10), -2.0 / 3.0) -
+                                1.0);
+        } while (r > 10.0);
+        Vec3 dir;
+        randUnit(dir);
+        // Velocity from the Plummer distribution (von Neumann rejection).
+        double q, g;
+        do {
+            q = uni(rng);
+            g = uni(rng) * 0.1;
+        } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+        double vesc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+        double v = q * vesc;
+        Vec3 vdir;
+        randUnit(vdir);
+        setBody(i, {r * dir[0], r * dir[1], r * dir[2]},
+                {v * vdir[0], v * vdir[1], v * vdir[2]}, m);
+    }
+}
+
+void
+BarnesHut::setBody(std::uint32_t i, const Vec3 &pos, const Vec3 &vel,
+                   double mass)
+{
+    for (int a = 0; a < 3; ++a) {
+        pos_.raw(3 * i + a) = pos[a];
+        vel_.raw(3 * i + a) = vel[a];
+        acc_.raw(3 * i + a) = 0.0;
+    }
+    mass_.raw(i) = mass;
+}
+
+Vec3
+BarnesHut::bodyPosition(std::uint32_t i) const
+{
+    return {pos_.raw(3 * i), pos_.raw(3 * i + 1), pos_.raw(3 * i + 2)};
+}
+
+Vec3
+BarnesHut::bodyVelocity(std::uint32_t i) const
+{
+    return {vel_.raw(3 * i), vel_.raw(3 * i + 1), vel_.raw(3 * i + 2)};
+}
+
+double
+BarnesHut::bodyMass(std::uint32_t i) const
+{
+    return mass_.raw(i);
+}
+
+void
+BarnesHut::partition()
+{
+    std::uint32_t n = cfg_.numBodies;
+
+    // Normalize positions into Morton space.
+    Vec3 lo = bodyPosition(0), hi = lo;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (int a = 0; a < 3; ++a) {
+            lo[a] = std::min(lo[a], pos_.raw(3 * i + a));
+            hi[a] = std::max(hi[a], pos_.raw(3 * i + a));
+        }
+    }
+    double span = 1e-12;
+    for (int a = 0; a < 3; ++a)
+        span = std::max(span, hi[a] - lo[a]);
+
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t q[3];
+        for (int a = 0; a < 3; ++a) {
+            double t = (pos_.raw(3 * i + a) - lo[a]) / span;
+            q[a] = static_cast<std::uint32_t>(
+                std::min(t, 1.0) * ((1u << 21) - 1));
+        }
+        keyed[i] = {mortonKey(q[0], q[1], q[2]), i};
+    }
+    std::sort(keyed.begin(), keyed.end());
+
+    // Costzones-style split: contiguous Morton runs of ~equal cost.
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        total += cost_[i];
+    std::uint64_t per = std::max<std::uint64_t>(1, total / cfg_.numProcs);
+
+    order_.resize(n);
+    std::uint64_t acc = 0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t i = keyed[k].second;
+        order_[k] = i;
+        ProcId p = static_cast<ProcId>(
+            std::min<std::uint64_t>(acc / per, cfg_.numProcs - 1));
+        owner_[i] = p;
+        acc += cost_[i];
+    }
+}
+
+void
+BarnesHut::buildTree()
+{
+    tree_.build(pos_.rawData(), owner_);
+    tree_.computeMoments(pos_.rawData(), mass_.rawData(), pos_, mass_);
+}
+
+void
+BarnesHut::buildOnly()
+{
+    partition();
+    buildTree();
+}
+
+StepStats
+BarnesHut::walkBody(std::uint32_t i, Vec3 &acc, ProcId p,
+                    bool traced) const
+{
+    StepStats st;
+    acc = {0, 0, 0};
+    const auto &cells = tree_.cells();
+    if (cells.empty())
+        return st;
+
+    double xi = pos_.rawData()[3 * i];
+    double yi = pos_.rawData()[3 * i + 1];
+    double zi = pos_.rawData()[3 * i + 2];
+    if (traced && pos_.sink())
+        pos_.sink()->read(p, pos_.addrOf(3 * i), 24);
+
+    double eps2 = cfg_.softening * cfg_.softening;
+    double theta2 = cfg_.theta * cfg_.theta;
+
+    std::vector<std::int32_t> stack{tree_.root()};
+    while (!stack.empty()) {
+        const Cell &cell = cells[static_cast<std::size_t>(stack.back())];
+        stack.pop_back();
+        if (cell.mass <= 0.0 && !cell.isLeaf())
+            continue;
+
+        double dx = xi - cell.com[0];
+        double dy = yi - cell.com[1];
+        double dz = zi - cell.com[2];
+        double r2 = dx * dx + dy * dy + dz * dz;
+        if (traced)
+            cellHeap().read(p, cell.addr + CellLayout::comOffset(),
+                            CellLayout::kComBytes);
+
+        if (cell.isLeaf()) {
+            if (cell.body == static_cast<std::int32_t>(i))
+                continue;
+            double r2s = r2 + eps2;
+            double inv = 1.0 / (r2s * std::sqrt(r2s));
+            double f = -kG * cell.mass * inv;
+            acc[0] += f * dx;
+            acc[1] += f * dy;
+            acc[2] += f * dz;
+            ++st.bodyInteractions;
+            continue;
+        }
+
+        // Opening criterion: side / distance < theta.
+        double side = 2.0 * cell.halfSize;
+        if (traced)
+            cellHeap().read(p, cell.addr + CellLayout::geomOffset(),
+                            CellLayout::kGeomBytes);
+        if (side * side >= theta2 * r2) {
+            // Open the cell.
+            if (traced)
+                cellHeap().read(p,
+                                cell.addr + CellLayout::childOffset(),
+                                CellLayout::kChildBytes);
+            ++st.cellsOpened;
+            for (int o = 0; o < 8; ++o) {
+                if (cell.child[o] >= 0)
+                    stack.push_back(cell.child[o]);
+            }
+            continue;
+        }
+
+        // Accept: monopole (+ quadrupole) interaction.
+        double r2s = r2 + eps2;
+        double r1 = std::sqrt(r2s);
+        double inv3 = 1.0 / (r2s * r1);
+        double f = -kG * cell.mass * inv3;
+        acc[0] += f * dx;
+        acc[1] += f * dy;
+        acc[2] += f * dz;
+
+        if (cfg_.quadrupole) {
+            if (traced)
+                cellHeap().read(p, cell.addr + CellLayout::quadOffset(),
+                                CellLayout::kQuadBytes);
+            const auto &Q = cell.quad;
+            double inv5 = inv3 / r2s;
+            double inv7 = inv5 / r2s;
+            double Qx = Q[0] * dx + Q[3] * dy + Q[4] * dz;
+            double Qy = Q[3] * dx + Q[1] * dy + Q[5] * dz;
+            double Qz = Q[4] * dx + Q[5] * dy + Q[2] * dz;
+            double rQr = dx * Qx + dy * Qy + dz * Qz;
+            acc[0] += kG * (Qx * inv5 - 2.5 * rQr * dx * inv7);
+            acc[1] += kG * (Qy * inv5 - 2.5 * rQr * dy * inv7);
+            acc[2] += kG * (Qz * inv5 - 2.5 * rQr * dz * inv7);
+        }
+        ++st.cellInteractions;
+    }
+    return st;
+}
+
+StepStats
+BarnesHut::forcePhase()
+{
+    StepStats total;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        // Bodies are visited in Morton order within a partition, so
+        // successive bodies are physically adjacent — the reuse the
+        // paper's lev2WS captures.
+        for (std::uint32_t k = 0; k < cfg_.numBodies; ++k) {
+            std::uint32_t i = order_[k];
+            if (owner_[i] != p)
+                continue;
+            Vec3 a;
+            StepStats st = walkBody(i, a, p, true);
+            total.bodyInteractions += st.bodyInteractions;
+            total.cellInteractions += st.cellInteractions;
+            total.cellsOpened += st.cellsOpened;
+            cost_[i] = 1 + st.bodyInteractions + st.cellInteractions;
+            std::uint64_t quad_extra =
+                cfg_.quadrupole ? kFlopsCellQuad - kFlopsCellMono : 0;
+            flops_.add(p, kFlopsBody * st.bodyInteractions +
+                              (kFlopsCellMono + quad_extra) *
+                                  st.cellInteractions);
+            for (int ax = 0; ax < 3; ++ax)
+                acc_.rawData()[3 * i + ax] = a[ax];
+            if (acc_.sink())
+                acc_.sink()->write(p, acc_.addrOf(3 * i), 24);
+        }
+    }
+    return total;
+}
+
+void
+BarnesHut::integrate()
+{
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint32_t k = 0; k < cfg_.numBodies; ++k) {
+            std::uint32_t i = order_[k];
+            if (owner_[i] != p)
+                continue;
+            if (vel_.sink()) {
+                acc_.sink()->read(p, acc_.addrOf(3 * i), 24);
+                vel_.sink()->read(p, vel_.addrOf(3 * i), 24);
+                vel_.sink()->write(p, vel_.addrOf(3 * i), 24);
+                pos_.sink()->read(p, pos_.addrOf(3 * i), 24);
+                pos_.sink()->write(p, pos_.addrOf(3 * i), 24);
+            }
+            for (int a = 0; a < 3; ++a) {
+                vel_.rawData()[3 * i + a] +=
+                    cfg_.dt * acc_.rawData()[3 * i + a];
+                pos_.rawData()[3 * i + a] +=
+                    cfg_.dt * vel_.rawData()[3 * i + a];
+            }
+            flops_.add(p, 12);
+        }
+    }
+}
+
+StepStats
+BarnesHut::step()
+{
+    partition();
+    buildTree();
+    StepStats st = forcePhase();
+    integrate();
+    return st;
+}
+
+void
+BarnesHut::accelerations(std::vector<Vec3> &out) const
+{
+    out.resize(cfg_.numBodies);
+    for (std::uint32_t i = 0; i < cfg_.numBodies; ++i)
+        walkBody(i, out[i], 0, false);
+}
+
+void
+BarnesHut::directAccelerations(std::vector<Vec3> &out) const
+{
+    std::uint32_t n = cfg_.numBodies;
+    double eps2 = cfg_.softening * cfg_.softening;
+    out.assign(n, {0, 0, 0});
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            double dx = pos_.raw(3 * i) - pos_.raw(3 * j);
+            double dy = pos_.raw(3 * i + 1) - pos_.raw(3 * j + 1);
+            double dz = pos_.raw(3 * i + 2) - pos_.raw(3 * j + 2);
+            double r2 = dx * dx + dy * dy + dz * dz + eps2;
+            double f = -kG * mass_.raw(j) / (r2 * std::sqrt(r2));
+            out[i][0] += f * dx;
+            out[i][1] += f * dy;
+            out[i][2] += f * dz;
+        }
+    }
+}
+
+double
+BarnesHut::totalEnergy() const
+{
+    std::uint32_t n = cfg_.numBodies;
+    double eps2 = cfg_.softening * cfg_.softening;
+    double ke = 0.0, pe = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        double v2 = 0.0;
+        for (int a = 0; a < 3; ++a)
+            v2 += vel_.raw(3 * i + a) * vel_.raw(3 * i + a);
+        ke += 0.5 * mass_.raw(i) * v2;
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+            double dx = pos_.raw(3 * i) - pos_.raw(3 * j);
+            double dy = pos_.raw(3 * i + 1) - pos_.raw(3 * j + 1);
+            double dz = pos_.raw(3 * i + 2) - pos_.raw(3 * j + 2);
+            double r = std::sqrt(dx * dx + dy * dy + dz * dz + eps2);
+            pe -= kG * mass_.raw(i) * mass_.raw(j) / r;
+        }
+    }
+    return ke + pe;
+}
+
+} // namespace wsg::apps::barnes

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Barnes-Hut 3-D galactic simulation driver (Section 6).
+ *
+ * Each time-step: (re)partition bodies among processors along a Morton
+ * space-filling curve weighted by last step's interaction counts (a
+ * costzones-style partition, giving the physical locality the paper's
+ * lev2WS reuse depends on), rebuild the octree, compute moments
+ * bottom-up, compute forces with the theta opening criterion and
+ * quadrupole moments, and advance positions with a leapfrog integrator.
+ *
+ * The force phase — by far the dominant one — is fully traced: every
+ * visit reads the cell's center of mass/mass, the opening test reads its
+ * geometry, accepted cells additionally read quadrupole moments, and
+ * opened cells read the child-pointer array.
+ */
+
+#ifndef WSG_APPS_BARNES_BARNES_HUT_HH
+#define WSG_APPS_BARNES_BARNES_HUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/barnes/octree.hh"
+#include "trace/address_space.hh"
+#include "trace/flop_counter.hh"
+#include "trace/traced_array.hh"
+
+namespace wsg::apps::barnes
+{
+
+/** Configuration of a Barnes-Hut run. */
+struct BarnesConfig
+{
+    std::uint32_t numBodies = 1024;
+    std::uint32_t numProcs = 4;
+    /** Opening-criterion accuracy parameter. */
+    double theta = 1.0;
+    /** Leapfrog time-step. */
+    double dt = 0.025;
+    /** Plummer softening length. */
+    double softening = 0.05;
+    /** Use quadrupole moments in cell interactions. */
+    bool quadrupole = true;
+    std::uint64_t seed = 42;
+};
+
+/** Per-step summary statistics. */
+struct StepStats
+{
+    std::uint64_t bodyInteractions = 0;
+    std::uint64_t cellInteractions = 0;
+    std::uint64_t cellsOpened = 0;
+};
+
+/** The traced Barnes-Hut application. */
+class BarnesHut
+{
+  public:
+    BarnesHut(const BarnesConfig &config,
+              trace::SharedAddressSpace &space, trace::MemorySink *sink);
+
+    /** Initialize bodies from a Plummer-model distribution (untraced). */
+    void initPlummer();
+
+    /** Place body @p i explicitly (untraced; for tests). */
+    void setBody(std::uint32_t i, const Vec3 &pos, const Vec3 &vel,
+                 double mass);
+
+    /** Advance one time-step (partition, build, moments, force, push). */
+    StepStats step();
+
+    /**
+     * Compute the Barnes-Hut acceleration of every body into @p out
+     * without advancing (untraced tree use; for accuracy tests). Uses
+     * the tree from the last step() or buildOnly().
+     */
+    void accelerations(std::vector<Vec3> &out) const;
+
+    /** Partition + build + moments only (untraced phases available). */
+    void buildOnly();
+
+    /** Direct O(n^2) accelerations — accuracy oracle (untraced). */
+    void directAccelerations(std::vector<Vec3> &out) const;
+
+    /** Total energy (kinetic + softened potential), untraced oracle. */
+    double totalEnergy() const;
+
+    Vec3 bodyPosition(std::uint32_t i) const;
+    Vec3 bodyVelocity(std::uint32_t i) const;
+    double bodyMass(std::uint32_t i) const;
+
+    /** Owner processor of each body in the current partition. */
+    const std::vector<ProcId> &owners() const { return owner_; }
+
+    const Octree &tree() const { return tree_; }
+    const trace::FlopCounter &flops() const { return flops_; }
+    const BarnesConfig &config() const { return cfg_; }
+
+  private:
+    void partition();
+    void buildTree();
+    StepStats forcePhase();
+    void integrate();
+
+    /**
+     * Tree walk computing the force on body @p i. When @p traced, every
+     * cell/body touch is reported to the sink on behalf of processor
+     * @p p; untraced walks implement the test oracles.
+     */
+    StepStats walkBody(std::uint32_t i, Vec3 &acc, ProcId p,
+                       bool traced) const;
+
+    const trace::TracedHeap &cellHeap() const { return cellHeap_; }
+
+    BarnesConfig cfg_;
+    trace::TracedArray<double> pos_;  // 3n
+    trace::TracedArray<double> vel_;  // 3n
+    trace::TracedArray<double> acc_;  // 3n
+    trace::TracedArray<double> mass_; // n
+    trace::TracedHeap cellHeap_;
+    Octree tree_;
+    trace::FlopCounter flops_;
+
+    std::vector<ProcId> owner_;
+    /** Bodies in Morton (space-filling-curve) order. */
+    std::vector<std::uint32_t> order_;
+    /** Interactions per body last step (costzone weights). */
+    std::vector<std::uint64_t> cost_;
+};
+
+} // namespace wsg::apps::barnes
+
+#endif // WSG_APPS_BARNES_BARNES_HUT_HH

@@ -1,0 +1,251 @@
+#include "apps/barnes/octree.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wsg::apps::barnes
+{
+
+namespace
+{
+
+/** Octant of @p p relative to @p center (bit per axis). */
+int
+octantOf(const Vec3 &center, const double *p)
+{
+    int o = 0;
+    for (int a = 0; a < 3; ++a) {
+        if (p[a] >= center[a])
+            o |= 1 << a;
+    }
+    return o;
+}
+
+/** Center of the @p oct octant of a cell at @p center / @p half. */
+Vec3
+childCenter(const Vec3 &center, double half, int oct)
+{
+    Vec3 c = center;
+    double q = half / 2.0;
+    for (int a = 0; a < 3; ++a)
+        c[a] += (oct & (1 << a)) ? q : -q;
+    return c;
+}
+
+/** Depth guard: co-located bodies would otherwise recurse forever. */
+constexpr int kMaxDepth = 64;
+
+} // namespace
+
+std::int32_t
+Octree::newCell(const Vec3 &center, double half_size)
+{
+    Cell cell;
+    cell.center = center;
+    cell.halfSize = half_size;
+    cell.addr = heap_->allocate(CellLayout::kTotalBytes);
+    cells_.push_back(cell);
+    return static_cast<std::int32_t>(cells_.size() - 1);
+}
+
+void
+Octree::build(const std::vector<double> &positions,
+              const std::vector<ProcId> &owners)
+{
+    assert(positions.size() % 3 == 0);
+    std::size_t n = positions.size() / 3;
+    assert(owners.size() == n);
+
+    cells_.clear();
+    heap_->reset();
+    bodyOwner_ = owners;
+    if (n == 0)
+        return;
+
+    // Bounding cube.
+    Vec3 lo{positions[0], positions[1], positions[2]};
+    Vec3 hi = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int a = 0; a < 3; ++a) {
+            lo[a] = std::min(lo[a], positions[3 * i + a]);
+            hi[a] = std::max(hi[a], positions[3 * i + a]);
+        }
+    }
+    Vec3 center{(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2,
+                (lo[2] + hi[2]) / 2};
+    double half = 0.0;
+    for (int a = 0; a < 3; ++a)
+        half = std::max(half, (hi[a] - lo[a]) / 2.0);
+    half = std::max(half, 1e-12) * 1.0001; // avoid zero-size root
+
+    std::int32_t root_idx = newCell(center, half);
+    cells_[root_idx].body = 0; // first body makes the root a leaf
+    for (std::size_t i = 1; i < n; ++i)
+        insert(root_idx, static_cast<std::int32_t>(i), positions, 0);
+}
+
+void
+Octree::insert(std::int32_t cell_idx, std::int32_t body_idx,
+               const std::vector<double> &positions, int depth)
+{
+    Cell &cell = cells_[cell_idx];
+    if (cell.isLeaf()) {
+        if (depth >= kMaxDepth) {
+            // Co-located bodies: keep only the first in the leaf and
+            // merge the rest at moment time (their mass still counts via
+            // the parent anyway). In practice this is unreachable for
+            // non-degenerate inputs.
+            return;
+        }
+        // Split: push the resident body down, then retry.
+        std::int32_t resident = cell.body;
+        cell.body = -1;
+        int oct =
+            octantOf(cell.center, &positions[3 * resident]);
+        Vec3 cc = childCenter(cell.center, cell.halfSize, oct);
+        std::int32_t child_idx = newCell(cc, cell.halfSize / 2.0);
+        cells_[child_idx].body = resident;
+        cells_[cell_idx].child[oct] = child_idx;
+    }
+
+    Cell &parent = cells_[cell_idx];
+    int oct = octantOf(parent.center, &positions[3 * body_idx]);
+    std::int32_t child_idx = parent.child[oct];
+    if (child_idx < 0) {
+        Vec3 cc = childCenter(parent.center, parent.halfSize, oct);
+        child_idx = newCell(cc, parent.halfSize / 2.0);
+        cells_[child_idx].body = body_idx;
+        cells_[cell_idx].child[oct] = child_idx;
+    } else {
+        insert(child_idx, body_idx, positions, depth + 1);
+    }
+}
+
+int
+Octree::computeMomentsRec(std::int32_t cell_idx,
+                          const std::vector<double> &positions,
+                          const std::vector<double> &masses,
+                          trace::TracedArray<double> &pos_array,
+                          trace::TracedArray<double> &mass_array)
+{
+    Cell &cell = cells_[cell_idx];
+
+    if (cell.isLeaf()) {
+        ProcId p = bodyOwner_[cell.body];
+        cell.owner = p;
+        // Read the body, write the cell's monopole (traced).
+        if (pos_array.sink()) {
+            pos_array.sink()->read(p, pos_array.addrOf(3 * cell.body), 24);
+            mass_array.sink()->read(p, mass_array.addrOf(cell.body), 8);
+        }
+        for (int a = 0; a < 3; ++a)
+            cell.com[a] = positions[3 * cell.body + a];
+        cell.mass = masses[cell.body];
+        cell.quad.fill(0.0);
+        heap_->write(p, cell.addr + CellLayout::comOffset(),
+                     CellLayout::kComBytes);
+        heap_->write(p, cell.addr + CellLayout::quadOffset(),
+                     CellLayout::kQuadBytes);
+        return 1;
+    }
+
+    // Recurse first; the owner of the subtree's first body computes this
+    // cell, reading each child's moments.
+    int depth = 0;
+    ProcId owner = 0;
+    bool owner_set = false;
+    for (int o = 0; o < 8; ++o) {
+        if (cell.child[o] < 0)
+            continue;
+        depth = std::max(depth,
+                         computeMomentsRec(cell.child[o], positions,
+                                           masses, pos_array, mass_array));
+        if (!owner_set) {
+            owner = cells_[cell.child[o]].owner;
+            owner_set = true;
+        }
+    }
+    cell.owner = owner;
+
+    // Monopole pass.
+    Vec3 com{0, 0, 0};
+    double mass = 0.0;
+    heap_->read(owner, cell.addr + CellLayout::childOffset(),
+                CellLayout::kChildBytes);
+    for (int o = 0; o < 8; ++o) {
+        if (cell.child[o] < 0)
+            continue;
+        const Cell &ch = cells_[cell.child[o]];
+        heap_->read(owner, ch.addr + CellLayout::comOffset(),
+                    CellLayout::kComBytes);
+        mass += ch.mass;
+        for (int a = 0; a < 3; ++a)
+            com[a] += ch.mass * ch.com[a];
+    }
+    if (mass > 0.0) {
+        for (int a = 0; a < 3; ++a)
+            com[a] /= mass;
+    }
+    cell.com = com;
+    cell.mass = mass;
+
+    // Quadrupole pass: parallel-axis shift of each child's moments.
+    std::array<double, 6> quad{0, 0, 0, 0, 0, 0};
+    for (int o = 0; o < 8; ++o) {
+        if (cell.child[o] < 0)
+            continue;
+        const Cell &ch = cells_[cell.child[o]];
+        heap_->read(owner, ch.addr + CellLayout::quadOffset(),
+                    CellLayout::kQuadBytes);
+        Vec3 d{ch.com[0] - com[0], ch.com[1] - com[1],
+               ch.com[2] - com[2]};
+        double d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        quad[0] += ch.quad[0] + ch.mass * (3.0 * d[0] * d[0] - d2);
+        quad[1] += ch.quad[1] + ch.mass * (3.0 * d[1] * d[1] - d2);
+        quad[2] += ch.quad[2] + ch.mass * (3.0 * d[2] * d[2] - d2);
+        quad[3] += ch.quad[3] + ch.mass * 3.0 * d[0] * d[1];
+        quad[4] += ch.quad[4] + ch.mass * 3.0 * d[0] * d[2];
+        quad[5] += ch.quad[5] + ch.mass * 3.0 * d[1] * d[2];
+    }
+    cell.quad = quad;
+    heap_->write(owner, cell.addr + CellLayout::comOffset(),
+                 CellLayout::kComBytes);
+    heap_->write(owner, cell.addr + CellLayout::quadOffset(),
+                 CellLayout::kQuadBytes);
+    return depth + 1;
+}
+
+void
+Octree::computeMoments(const std::vector<double> &positions,
+                       const std::vector<double> &masses,
+                       trace::TracedArray<double> &pos_array,
+                       trace::TracedArray<double> &mass_array)
+{
+    if (!cells_.empty())
+        computeMomentsRec(root(), positions, masses, pos_array,
+                          mass_array);
+}
+
+int
+Octree::maxDepth() const
+{
+    // Depth via iterative DFS over the child links.
+    if (cells_.empty())
+        return 0;
+    int max_depth = 1;
+    std::vector<std::pair<std::int32_t, int>> stack{{root(), 1}};
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, depth);
+        for (int o = 0; o < 8; ++o) {
+            std::int32_t c = cells_[idx].child[o];
+            if (c >= 0)
+                stack.emplace_back(c, depth + 1);
+        }
+    }
+    return max_depth;
+}
+
+} // namespace wsg::apps::barnes

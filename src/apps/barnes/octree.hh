@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Octree for the Barnes-Hut hierarchical N-body method (Section 6).
+ *
+ * The tree represents recursively subdivided space; internal cells carry
+ * center of mass, total mass and traceless quadrupole moments, leaves
+ * reference individual bodies. Cells live in a TracedHeap so every field
+ * access during the (traced) phases produces memory references at stable
+ * simulated addresses; the geometric build bookkeeping itself is host-side.
+ */
+
+#ifndef WSG_APPS_BARNES_OCTREE_HH
+#define WSG_APPS_BARNES_OCTREE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/traced_array.hh"
+
+namespace wsg::apps::barnes
+{
+
+using trace::Addr;
+using trace::ProcId;
+
+/** 3-vector of doubles. */
+using Vec3 = std::array<double, 3>;
+
+/** One octree node (internal cell or single-body leaf). */
+struct Cell
+{
+    /** Geometric center and half side length of the cube. */
+    Vec3 center{0, 0, 0};
+    double halfSize = 0.0;
+    /** Center of mass and total mass of the subtree. */
+    Vec3 com{0, 0, 0};
+    double mass = 0.0;
+    /** Traceless quadrupole moments (xx, yy, zz, xy, xz, yz). */
+    std::array<double, 6> quad{0, 0, 0, 0, 0, 0};
+    /** Child cell indices, -1 when absent. */
+    std::array<std::int32_t, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+    /** Body index for leaves, -1 for internal cells. */
+    std::int32_t body = -1;
+    /** Simulated base address of this cell's record. */
+    Addr addr = 0;
+    /** Processor that owns this cell's moment computation. */
+    ProcId owner = 0;
+
+    bool isLeaf() const { return body >= 0; }
+};
+
+/** Byte layout of a cell record in the simulated address space. */
+struct CellLayout
+{
+    static constexpr std::uint32_t kComBytes = 4 * 8;   // com + mass
+    static constexpr std::uint32_t kQuadBytes = 6 * 8;
+    static constexpr std::uint32_t kGeomBytes = 4 * 8;  // center + size
+    static constexpr std::uint32_t kChildBytes = 8 * 8; // child pointers
+    static constexpr std::uint32_t kTotalBytes =
+        kComBytes + kQuadBytes + kGeomBytes + kChildBytes;
+
+    static constexpr std::uint32_t comOffset() { return 0; }
+    static constexpr std::uint32_t quadOffset() { return kComBytes; }
+    static constexpr std::uint32_t
+    geomOffset()
+    {
+        return kComBytes + kQuadBytes;
+    }
+    static constexpr std::uint32_t
+    childOffset()
+    {
+        return kComBytes + kQuadBytes + kGeomBytes;
+    }
+};
+
+/**
+ * Octree over a set of body positions. Rebuilt once per time-step; the
+ * backing TracedHeap is reset and reused so cell addresses are stable
+ * across steps (arena reuse, as in real implementations).
+ */
+class Octree
+{
+  public:
+    /**
+     * @param heap Traced arena the cell records are allocated from.
+     */
+    explicit Octree(trace::TracedHeap &heap) : heap_(&heap) {}
+
+    /**
+     * Build the tree from scratch over @p positions (host-side geometry;
+     * the traced moment pass follows separately).
+     *
+     * @param positions xyz triples, 3*n doubles.
+     * @param owners Moment-phase owner per body.
+     */
+    void build(const std::vector<double> &positions,
+               const std::vector<ProcId> &owners);
+
+    /**
+     * Compute centers of mass, masses and quadrupole moments bottom-up.
+     * Traced: each cell's owner reads child moments and writes its own.
+     *
+     * @param positions Body positions (3*n doubles).
+     * @param masses Body masses (n doubles).
+     * @param pos_array Traced body-position array (for leaf reads).
+     * @param mass_array Traced body-mass array.
+     */
+    void computeMoments(const std::vector<double> &positions,
+                        const std::vector<double> &masses,
+                        trace::TracedArray<double> &pos_array,
+                        trace::TracedArray<double> &mass_array);
+
+    const std::vector<Cell> &cells() const { return cells_; }
+    std::vector<Cell> &cells() { return cells_; }
+
+    /** Root cell index (0 when built; tree must not be empty). */
+    std::int32_t root() const { return cells_.empty() ? -1 : 0; }
+
+    /** Number of cells (internal + leaves). */
+    std::size_t size() const { return cells_.size(); }
+
+    trace::TracedHeap &heap() { return *heap_; }
+
+    /** Maximum depth of the built tree (diagnostics / invariants). */
+    int maxDepth() const;
+
+  private:
+    std::int32_t newCell(const Vec3 &center, double half_size);
+    void insert(std::int32_t cell_idx, std::int32_t body_idx,
+                const std::vector<double> &positions, int depth);
+    int computeMomentsRec(std::int32_t cell_idx,
+                          const std::vector<double> &positions,
+                          const std::vector<double> &masses,
+                          trace::TracedArray<double> &pos_array,
+                          trace::TracedArray<double> &mass_array);
+
+    trace::TracedHeap *heap_;
+    std::vector<Cell> cells_;
+    std::vector<ProcId> bodyOwner_;
+};
+
+} // namespace wsg::apps::barnes
+
+#endif // WSG_APPS_BARNES_OCTREE_HH

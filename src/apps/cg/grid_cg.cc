@@ -1,0 +1,280 @@
+#include "apps/cg/grid_cg.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsg::apps::cg
+{
+
+namespace
+{
+
+/** Stencil neighbour order: self, -x, +x, -y, +y, -z, +z. */
+constexpr int kSelf = 0;
+
+} // namespace
+
+GridCg::GridCg(const CgConfig &config, trace::SharedAddressSpace &space,
+               trace::MemorySink *sink)
+    : cfg_(config),
+      w_(space, "cg.weights", config.numPoints() * config.stencil(), sink),
+      x_(space, "cg.x", config.numPoints(), sink),
+      b_(space, "cg.b", config.numPoints(), sink),
+      r_(space, "cg.r", config.numPoints(), sink),
+      p_(space, "cg.p", config.numPoints(), sink),
+      q_(space, "cg.q", config.numPoints(), sink),
+      flops_(config.numProcs())
+{
+    if (cfg_.dims != 2 && cfg_.dims != 3)
+        throw std::invalid_argument("GridCg: dims must be 2 or 3");
+    if (cfg_.n % cfg_.procX != 0 || cfg_.n % cfg_.procY != 0 ||
+        (cfg_.dims == 3 && cfg_.n % cfg_.procZ != 0)) {
+        throw std::invalid_argument(
+            "GridCg: processor grid must divide the point grid");
+    }
+    if (cfg_.stripWidth != 0 &&
+        (cfg_.n / cfg_.procX) % cfg_.stripWidth != 0) {
+        throw std::invalid_argument(
+            "GridCg: stripWidth must divide the subgrid width");
+    }
+}
+
+ProcId
+GridCg::owner(std::uint32_t x, std::uint32_t y, std::uint32_t z) const
+{
+    std::uint32_t sx = cfg_.n / cfg_.procX;
+    std::uint32_t sy = cfg_.n / cfg_.procY;
+    ProcId p = (y / sy) * cfg_.procX + (x / sx);
+    if (cfg_.dims == 3) {
+        std::uint32_t sz = cfg_.n / cfg_.procZ;
+        p += (z / sz) * cfg_.procX * cfg_.procY;
+    }
+    return p;
+}
+
+template <typename F>
+void
+GridCg::forOwnPoints(ProcId p, F body) const
+{
+    std::uint32_t sx = cfg_.n / cfg_.procX;
+    std::uint32_t sy = cfg_.n / cfg_.procY;
+    std::uint32_t sz = cfg_.dims == 3 ? cfg_.n / cfg_.procZ : 1;
+    std::uint32_t px = p % cfg_.procX;
+    std::uint32_t py = (p / cfg_.procX) % cfg_.procY;
+    std::uint32_t pz = cfg_.dims == 3 ? p / (cfg_.procX * cfg_.procY) : 0;
+
+    std::uint32_t zlo = pz * sz;
+    std::uint32_t zhi = cfg_.dims == 3 ? zlo + sz : 1;
+    // Strip width of 0 means one strip spanning the whole subrow.
+    std::uint32_t strip = cfg_.stripWidth ? cfg_.stripWidth : sx;
+    for (std::uint32_t z = zlo; z < zhi; ++z) {
+        for (std::uint32_t x0 = px * sx; x0 < (px + 1) * sx; x0 += strip)
+            for (std::uint32_t y = py * sy; y < (py + 1) * sy; ++y)
+                for (std::uint32_t x = x0; x < x0 + strip; ++x)
+                    body(x, y, z);
+    }
+}
+
+void
+GridCg::buildSystem()
+{
+    std::uint32_t S = cfg_.stencil();
+    std::uint32_t zmax = cfg_.dims == 3 ? cfg_.n : 1;
+    for (std::uint32_t z = 0; z < zmax; ++z) {
+        for (std::uint32_t y = 0; y < cfg_.n; ++y) {
+            for (std::uint32_t x = 0; x < cfg_.n; ++x) {
+                std::uint64_t id = pid(x, y, z);
+                double diag = 0.0;
+                auto edge = [&](int slot, bool present) {
+                    double v = present ? -1.0 : 0.0;
+                    w_.raw(id * S + slot) = v;
+                    if (present)
+                        diag += 1.0;
+                };
+                edge(1, x > 0);
+                edge(2, x + 1 < cfg_.n);
+                edge(3, y > 0);
+                edge(4, y + 1 < cfg_.n);
+                if (cfg_.dims == 3) {
+                    edge(5, z > 0);
+                    edge(6, z + 1 < cfg_.n);
+                }
+                // Slightly diagonally dominant => SPD, CG converges.
+                w_.raw(id * S + kSelf) = diag + 0.05;
+            }
+        }
+    }
+
+    // b = A * ones: row sum = 0.05 everywhere (off-diagonals cancel).
+    std::uint64_t points = cfg_.numPoints();
+    for (std::uint64_t i = 0; i < points; ++i) {
+        double rowsum = 0.0;
+        for (std::uint32_t s = 0; s < S; ++s)
+            rowsum += w_.raw(i * S + s);
+        b_.raw(i) = rowsum;
+        x_.raw(i) = 0.0;
+    }
+}
+
+void
+GridCg::matvec(ProcId p, const trace::TracedArray<double> &src,
+               trace::TracedArray<double> &dst)
+{
+    std::uint32_t S = cfg_.stencil();
+    forOwnPoints(p, [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+        std::uint64_t id = pid(x, y, z);
+        double acc =
+            w_.read(p, id * S + kSelf) * src.read(p, id);
+        flops_.add(p, 2);
+        auto term = [&](int slot, bool present, std::uint64_t nid) {
+            if (!present)
+                return;
+            acc += w_.read(p, id * S + slot) * src.read(p, nid);
+            flops_.add(p, 2);
+        };
+        term(1, x > 0, x > 0 ? pid(x - 1, y, z) : 0);
+        term(2, x + 1 < cfg_.n, x + 1 < cfg_.n ? pid(x + 1, y, z) : 0);
+        term(3, y > 0, y > 0 ? pid(x, y - 1, z) : 0);
+        term(4, y + 1 < cfg_.n, y + 1 < cfg_.n ? pid(x, y + 1, z) : 0);
+        if (cfg_.dims == 3) {
+            term(5, z > 0, z > 0 ? pid(x, y, z - 1) : 0);
+            term(6, z + 1 < cfg_.n, z + 1 < cfg_.n ? pid(x, y, z + 1) : 0);
+        }
+        dst.write(p, id, acc);
+    });
+}
+
+double
+GridCg::dotLocal(ProcId p, const trace::TracedArray<double> &u,
+                 const trace::TracedArray<double> &v)
+{
+    double acc = 0.0;
+    forOwnPoints(p, [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+        std::uint64_t id = pid(x, y, z);
+        acc += u.read(p, id) * v.read(p, id);
+        flops_.add(p, 2);
+    });
+    return acc;
+}
+
+CgResult
+GridCg::run(std::uint32_t max_iters, double tol)
+{
+    std::uint32_t P = cfg_.numProcs();
+
+    // r = b - A x = b (x = 0); p = r.
+    for (ProcId p = 0; p < P; ++p) {
+        forOwnPoints(p,
+                     [&](std::uint32_t x, std::uint32_t y,
+                         std::uint32_t z) {
+            std::uint64_t id = pid(x, y, z);
+            double bv = b_.read(p, id);
+            r_.write(p, id, bv);
+            p_.write(p, id, bv);
+        });
+    }
+
+    double rho = 0.0;
+    for (ProcId p = 0; p < P; ++p)
+        rho += dotLocal(p, r_, r_);
+
+    CgResult result;
+    for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+        // q = A p (the dominant, communication-bearing phase).
+        for (ProcId p = 0; p < P; ++p)
+            matvec(p, p_, q_);
+
+        double pq = 0.0;
+        for (ProcId p = 0; p < P; ++p)
+            pq += dotLocal(p, p_, q_);
+        double alpha = rho / pq;
+
+        // x += alpha p; r -= alpha q.
+        for (ProcId p = 0; p < P; ++p) {
+            forOwnPoints(p, [&](std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z) {
+                std::uint64_t id = pid(x, y, z);
+                double pv = p_.read(p, id);
+                double qv = q_.read(p, id);
+                x_.update(p, id, [&](double &v) { v += alpha * pv; });
+                r_.update(p, id, [&](double &v) { v -= alpha * qv; });
+                flops_.add(p, 4);
+            });
+        }
+
+        double rho_new = 0.0;
+        for (ProcId p = 0; p < P; ++p)
+            rho_new += dotLocal(p, r_, r_);
+
+        result.iterations = iter + 1;
+        result.finalResidualNorm = std::sqrt(rho_new);
+        if (result.finalResidualNorm < tol) {
+            result.converged = true;
+            return result;
+        }
+
+        double beta = rho_new / rho;
+        for (ProcId p = 0; p < P; ++p) {
+            forOwnPoints(p, [&](std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z) {
+                std::uint64_t id = pid(x, y, z);
+                double rv = r_.read(p, id);
+                p_.update(p, id,
+                          [&](double &v) { v = rv + beta * v; });
+                flops_.add(p, 2);
+            });
+        }
+        rho = rho_new;
+    }
+    return result;
+}
+
+CgResult
+GridCg::runJacobi(std::uint32_t max_iters, double tol, double omega)
+{
+    std::uint32_t P = cfg_.numProcs();
+    std::uint32_t S = cfg_.stencil();
+
+    CgResult result;
+    for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+        // q = A x (the same traced stencil sweep CG performs).
+        for (ProcId p = 0; p < P; ++p)
+            matvec(p, x_, q_);
+
+        // x += omega * (b - q) / diag; accumulate the residual norm.
+        double rho = 0.0;
+        for (ProcId p = 0; p < P; ++p) {
+            forOwnPoints(p, [&](std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z) {
+                std::uint64_t id = pid(x, y, z);
+                double resid = b_.read(p, id) - q_.read(p, id);
+                double diag = w_.read(p, id * S + kSelf);
+                x_.update(p, id, [&](double &v) {
+                    v += omega * resid / diag;
+                });
+                rho += resid * resid;
+                flops_.add(p, 6);
+            });
+        }
+
+        result.iterations = iter + 1;
+        result.finalResidualNorm = std::sqrt(rho);
+        if (result.finalResidualNorm < tol) {
+            result.converged = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+double
+GridCg::solutionError() const
+{
+    double worst = 0.0;
+    for (std::uint64_t i = 0; i < cfg_.numPoints(); ++i)
+        worst = std::max(worst, std::abs(x_.raw(i) - 1.0));
+    return worst;
+}
+
+} // namespace wsg::apps::cg

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Conjugate-gradient solver on regular 2-D / 3-D grids — the paper's
+ * iterative-method workload (Section 4).
+ *
+ * The sparse matrix is the 5-point (2-D) or 7-point (3-D) Laplacian with
+ * explicitly stored per-edge weights, viewed as a graph whose vertices are
+ * grid points. Vertices are block-partitioned among a procX x procY
+ * (x procZ) processor grid; each CG iteration performs the sparse
+ * matrix-vector product, two dot products and three vector updates, with
+ * every shared-data touch traced. Boundary exchanges appear naturally as
+ * coherence misses on partition-edge x values.
+ */
+
+#ifndef WSG_APPS_CG_GRID_CG_HH
+#define WSG_APPS_CG_GRID_CG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/address_space.hh"
+#include "trace/flop_counter.hh"
+#include "trace/traced_array.hh"
+
+namespace wsg::apps::cg
+{
+
+using trace::ProcId;
+
+/** Configuration of a grid CG run. */
+struct CgConfig
+{
+    /** Grid side length (points per dimension). */
+    std::uint32_t n = 64;
+    /** 2 or 3 dimensions. */
+    int dims = 2;
+    /** Processor grid; each must divide n. procZ ignored when dims == 2. */
+    std::uint32_t procX = 2;
+    std::uint32_t procY = 2;
+    std::uint32_t procZ = 1;
+    /**
+     * Sweep blocking (Section 4.2: "the size of lev1WS can actually be
+     * kept constant through the use of blocking techniques"): when
+     * non-zero, each processor sweeps its subgrid in x-strips of this
+     * width, so the lev1WS window is ~3 strip widths instead of ~3 full
+     * subrows — constant in n. 0 = unblocked row-major sweep. Must
+     * divide the subgrid width when set.
+     */
+    std::uint32_t stripWidth = 0;
+
+    std::uint32_t
+    numProcs() const
+    {
+        return procX * procY * (dims == 3 ? procZ : 1);
+    }
+
+    std::uint64_t
+    numPoints() const
+    {
+        std::uint64_t p = static_cast<std::uint64_t>(n) * n;
+        return dims == 3 ? p * n : p;
+    }
+
+    /** Stencil size: 5 or 7. */
+    std::uint32_t stencil() const { return dims == 2 ? 5 : 7; }
+};
+
+/** Result of a CG solve. */
+struct CgResult
+{
+    std::uint32_t iterations = 0;
+    double finalResidualNorm = 0.0;
+    bool converged = false;
+};
+
+/** Traced parallel CG on a regular grid. */
+class GridCg
+{
+  public:
+    GridCg(const CgConfig &config, trace::SharedAddressSpace &space,
+           trace::MemorySink *sink);
+
+    /**
+     * Build the Laplacian system with right-hand side b = A * ones, so
+     * the exact solution is the all-ones vector (untraced setup).
+     */
+    void buildSystem();
+
+    /**
+     * Run CG from x = 0 for at most @p max_iters iterations or until the
+     * residual 2-norm falls below @p tol. Traced, phase-parallel.
+     */
+    CgResult run(std::uint32_t max_iters, double tol = 1e-8);
+
+    /**
+     * Run (damped) Jacobi instead: x' = x + omega D^-1 (b - A x).
+     * The paper notes its CG "results should be similar for a range of
+     * other iterative methods" — Jacobi sweeps the same stencil with
+     * the same reference structure, so its working sets should match.
+     * Traced, phase-parallel, continues from the current x.
+     */
+    CgResult runJacobi(std::uint32_t max_iters, double tol = 1e-8,
+                       double omega = 0.9);
+
+    /** Max |x_i - 1| after run(); measures solution quality. */
+    double solutionError() const;
+
+    /** Owner of grid point (x, y, z). */
+    ProcId owner(std::uint32_t x, std::uint32_t y, std::uint32_t z) const;
+
+    const trace::FlopCounter &flops() const { return flops_; }
+    const CgConfig &config() const { return cfg_; }
+
+  private:
+    /** Flat point id; x fastest. */
+    std::uint64_t
+    pid(std::uint32_t x, std::uint32_t y, std::uint32_t z) const
+    {
+        std::uint64_t id = static_cast<std::uint64_t>(y) * cfg_.n + x;
+        if (cfg_.dims == 3)
+            id += static_cast<std::uint64_t>(z) * cfg_.n * cfg_.n;
+        return id;
+    }
+
+    /** Iterate a processor's own points in sweep order. */
+    template <typename F>
+    void forOwnPoints(ProcId p, F body) const;
+
+    /** q = A * src over processor p's points. */
+    void matvec(ProcId p, const trace::TracedArray<double> &src,
+                trace::TracedArray<double> &dst);
+
+    /** Local partial dot product over p's points. */
+    double dotLocal(ProcId p, const trace::TracedArray<double> &u,
+                    const trace::TracedArray<double> &v);
+
+    CgConfig cfg_;
+    /** Per-point stencil weights, stencil() doubles per point. */
+    trace::TracedArray<double> w_;
+    trace::TracedArray<double> x_;
+    trace::TracedArray<double> b_;
+    trace::TracedArray<double> r_;
+    trace::TracedArray<double> p_;
+    trace::TracedArray<double> q_;
+    trace::FlopCounter flops_;
+};
+
+} // namespace wsg::apps::cg
+
+#endif // WSG_APPS_CG_GRID_CG_HH

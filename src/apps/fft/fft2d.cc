@@ -1,0 +1,149 @@
+#include "apps/fft/fft2d.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wsg::apps::fft
+{
+
+Fft2d::Fft2d(const Fft2dConfig &config, trace::SharedAddressSpace &space,
+             trace::MemorySink *sink)
+    : cfg_(config),
+      x_(space, "fft2d.x", 2 * config.N(), sink),
+      y_(space, "fft2d.y", 2 * config.N(), sink),
+      tw_(space, "fft2d.twiddles", 2 * config.N(), sink),
+      flops_(config.numProcs),
+      kernel_(tw_, config.N(), config.internalRadix, flops_)
+{
+    if ((cfg_.numProcs & (cfg_.numProcs - 1)) != 0)
+        throw std::invalid_argument("Fft2d: P must be a power of two");
+    if (cfg_.numProcs > cfg_.rows() || cfg_.numProcs > cfg_.cols())
+        throw std::invalid_argument(
+            "Fft2d: P must divide both rows and cols");
+
+    // Shared twiddle table of length N = rows*cols: both row lengths
+    // divide it, so the kernel can index W exactly.
+    std::uint64_t N = cfg_.N();
+    for (std::uint64_t k = 0; k < N; ++k) {
+        double ang = -2.0 * std::numbers::pi *
+                     static_cast<double>(k) / static_cast<double>(N);
+        tw_.raw(2 * k) = std::cos(ang);
+        tw_.raw(2 * k + 1) = std::sin(ang);
+    }
+}
+
+void
+Fft2d::setInput(std::uint64_t row, std::uint64_t col,
+                std::complex<double> v)
+{
+    auto &buf = dataInX_ ? x_ : y_;
+    std::uint64_t i = row * cfg_.cols() + col;
+    buf.raw(2 * i) = v.real();
+    buf.raw(2 * i + 1) = v.imag();
+}
+
+std::complex<double>
+Fft2d::output(std::uint64_t row, std::uint64_t col) const
+{
+    const auto &buf = dataInX_ ? x_ : y_;
+    std::uint64_t i = row * cfg_.cols() + col;
+    return {buf.raw(2 * i), buf.raw(2 * i + 1)};
+}
+
+void
+Fft2d::rowFfts(trace::TracedArray<double> &buf, std::uint64_t rows,
+               std::uint64_t cols)
+{
+    std::uint64_t per = rows / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p)
+        for (std::uint64_t r = p * per; r < (p + 1) * per; ++r)
+            kernel_.run(p, buf, r * cols, cols);
+}
+
+void
+Fft2d::transpose(trace::TracedArray<double> &src,
+                 trace::TracedArray<double> &dst, std::uint64_t rows,
+                 std::uint64_t cols)
+{
+    std::uint64_t per = cols / cfg_.numProcs; // dst rows
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t r = p * per; r < (p + 1) * per; ++r) {
+            for (std::uint64_t c = 0; c < rows; ++c) {
+                std::complex<double> v = readComplex(p, src,
+                                                     c * cols + r);
+                writeComplex(p, dst, r * rows + c, v);
+            }
+        }
+    }
+}
+
+void
+Fft2d::conjugateAll(trace::TracedArray<double> &buf, double scale)
+{
+    std::uint64_t per = cfg_.N() / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t i = p * per; i < (p + 1) * per; ++i) {
+            std::complex<double> v = readComplex(p, buf, i);
+            writeComplex(p, buf, i, std::conj(v) * scale);
+            flops_.add(p, 2);
+        }
+    }
+}
+
+void
+Fft2d::forward()
+{
+    std::uint64_t R = cfg_.rows();
+    std::uint64_t C = cfg_.cols();
+    auto &a = dataInX_ ? x_ : y_;
+    auto &b = dataInX_ ? y_ : x_;
+
+    // 1. FFT every row (length C) in place.
+    rowFfts(a, R, C);
+    // 2. Transpose R x C -> C x R (all-to-all).
+    transpose(a, b, R, C);
+    // 3. FFT every former column (length R).
+    rowFfts(b, C, R);
+    // 4. Transpose back to natural R x C order.
+    transpose(b, a, C, R);
+    // Data ends in `a`: parity unchanged.
+}
+
+void
+Fft2d::inverse()
+{
+    auto &cur = dataInX_ ? x_ : y_;
+    conjugateAll(cur, 1.0);
+    forward();
+    auto &now = dataInX_ ? x_ : y_;
+    conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+}
+
+std::vector<std::complex<double>>
+Fft2d::naiveDft2d(const std::vector<std::complex<double>> &in,
+                  std::uint64_t rows, std::uint64_t cols, int sign)
+{
+    std::vector<std::complex<double>> out(rows * cols);
+    for (std::uint64_t kr = 0; kr < rows; ++kr) {
+        for (std::uint64_t kc = 0; kc < cols; ++kc) {
+            std::complex<double> acc{0.0, 0.0};
+            for (std::uint64_t r = 0; r < rows; ++r) {
+                for (std::uint64_t c = 0; c < cols; ++c) {
+                    double ang =
+                        sign * 2.0 * std::numbers::pi *
+                        (static_cast<double>(kr * r) / rows +
+                         static_cast<double>(kc * c) / cols);
+                    acc += in[r * cols + c] *
+                           std::complex<double>(std::cos(ang),
+                                                std::sin(ang));
+                }
+            }
+            out[kr * cols + kc] = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace wsg::apps::fft

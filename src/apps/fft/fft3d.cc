@@ -1,0 +1,152 @@
+#include "apps/fft/fft3d.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wsg::apps::fft
+{
+
+Fft3d::Fft3d(const Fft3dConfig &config, trace::SharedAddressSpace &space,
+             trace::MemorySink *sink)
+    : cfg_(config),
+      x_(space, "fft3d.x", 2 * config.N(), sink),
+      y_(space, "fft3d.y", 2 * config.N(), sink),
+      tw_(space, "fft3d.twiddles", 2 * config.N(), sink),
+      flops_(config.numProcs),
+      kernel_(tw_, config.N(), config.internalRadix, flops_)
+{
+    if ((cfg_.numProcs & (cfg_.numProcs - 1)) != 0)
+        throw std::invalid_argument("Fft3d: P must be a power of two");
+    if (cfg_.numProcs > cfg_.n0() || cfg_.numProcs > cfg_.n1() ||
+        cfg_.numProcs > cfg_.n2()) {
+        throw std::invalid_argument(
+            "Fft3d: P must divide every dimension");
+    }
+
+    std::uint64_t N = cfg_.N();
+    for (std::uint64_t k = 0; k < N; ++k) {
+        double ang = -2.0 * std::numbers::pi *
+                     static_cast<double>(k) / static_cast<double>(N);
+        tw_.raw(2 * k) = std::cos(ang);
+        tw_.raw(2 * k + 1) = std::sin(ang);
+    }
+}
+
+void
+Fft3d::setInput(std::uint64_t i0, std::uint64_t i1, std::uint64_t i2,
+                std::complex<double> v)
+{
+    auto &buf = dataInX_ ? x_ : y_;
+    std::uint64_t i = (i0 * cfg_.n1() + i1) * cfg_.n2() + i2;
+    buf.raw(2 * i) = v.real();
+    buf.raw(2 * i + 1) = v.imag();
+}
+
+std::complex<double>
+Fft3d::output(std::uint64_t i0, std::uint64_t i1,
+              std::uint64_t i2) const
+{
+    const auto &buf = dataInX_ ? x_ : y_;
+    std::uint64_t i = (i0 * cfg_.n1() + i1) * cfg_.n2() + i2;
+    return {buf.raw(2 * i), buf.raw(2 * i + 1)};
+}
+
+void
+Fft3d::pass(trace::TracedArray<double> &src,
+            trace::TracedArray<double> &dst, std::uint64_t rows,
+            std::uint64_t cols)
+{
+    // FFT every length-`cols` row in place (block-distributed rows).
+    std::uint64_t per_row = rows / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p)
+        for (std::uint64_t r = p * per_row; r < (p + 1) * per_row; ++r)
+            kernel_.run(p, src, r * cols, cols);
+
+    // Transpose (rows x cols) -> (cols x rows): the axis rotation.
+    std::uint64_t per_dst = cols / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t r = p * per_dst; r < (p + 1) * per_dst;
+             ++r) {
+            for (std::uint64_t c = 0; c < rows; ++c) {
+                std::complex<double> v = readComplex(p, src,
+                                                     c * cols + r);
+                writeComplex(p, dst, r * rows + c, v);
+            }
+        }
+    }
+}
+
+void
+Fft3d::conjugateAll(trace::TracedArray<double> &buf, double scale)
+{
+    std::uint64_t per = cfg_.N() / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t i = p * per; i < (p + 1) * per; ++i) {
+            std::complex<double> v = readComplex(p, buf, i);
+            writeComplex(p, buf, i, std::conj(v) * scale);
+            flops_.add(p, 2);
+        }
+    }
+}
+
+void
+Fft3d::forward()
+{
+    std::uint64_t n0 = cfg_.n0(), n1 = cfg_.n1(), n2 = cfg_.n2();
+    auto &a = dataInX_ ? x_ : y_;
+    auto &b = dataInX_ ? y_ : x_;
+
+    // Layout (i0, i1, i2): transform i2, rotate -> (i2, i0, i1).
+    pass(a, b, n0 * n1, n2);
+    // Layout (i2, i0, i1): transform i1, rotate -> (i1, i2, i0).
+    pass(b, a, n2 * n0, n1);
+    // Layout (i1, i2, i0): transform i0, rotate -> (i0, i1, i2).
+    pass(a, b, n1 * n2, n0);
+
+    dataInX_ = !dataInX_;
+}
+
+void
+Fft3d::inverse()
+{
+    auto &cur = dataInX_ ? x_ : y_;
+    conjugateAll(cur, 1.0);
+    forward();
+    auto &now = dataInX_ ? x_ : y_;
+    conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+}
+
+std::vector<std::complex<double>>
+Fft3d::naiveDft3d(const std::vector<std::complex<double>> &in,
+                  std::uint64_t n0, std::uint64_t n1, std::uint64_t n2,
+                  int sign)
+{
+    std::vector<std::complex<double>> out(n0 * n1 * n2);
+    for (std::uint64_t k0 = 0; k0 < n0; ++k0) {
+        for (std::uint64_t k1 = 0; k1 < n1; ++k1) {
+            for (std::uint64_t k2 = 0; k2 < n2; ++k2) {
+                std::complex<double> acc{0.0, 0.0};
+                for (std::uint64_t j0 = 0; j0 < n0; ++j0) {
+                    for (std::uint64_t j1 = 0; j1 < n1; ++j1) {
+                        for (std::uint64_t j2 = 0; j2 < n2; ++j2) {
+                            double ang =
+                                sign * 2.0 * std::numbers::pi *
+                                (static_cast<double>(k0 * j0) / n0 +
+                                 static_cast<double>(k1 * j1) / n1 +
+                                 static_cast<double>(k2 * j2) / n2);
+                            acc += in[(j0 * n1 + j1) * n2 + j2] *
+                                   std::complex<double>(std::cos(ang),
+                                                        std::sin(ang));
+                        }
+                    }
+                }
+                out[(k0 * n1 + k1) * n2 + k2] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace wsg::apps::fft

@@ -1,0 +1,121 @@
+#include "apps/fft/local_fft.hh"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace wsg::apps::fft
+{
+
+std::uint64_t
+bitReverse(std::uint64_t v, unsigned bits)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned l = 0;
+    while ((std::uint64_t{1} << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+LocalFft::LocalFft(trace::TracedArray<double> &twiddles,
+                   std::uint64_t table_n, std::uint32_t radix,
+                   trace::FlopCounter &flops)
+    : tw_(twiddles), tableN_(table_n), radix_(radix), flops_(flops)
+{
+    if (radix_ < 2 || (radix_ & (radix_ - 1)) != 0)
+        throw std::invalid_argument("LocalFft: bad internal radix");
+    if (tableN_ == 0 || (tableN_ & (tableN_ - 1)) != 0)
+        throw std::invalid_argument("LocalFft: bad twiddle table size");
+}
+
+std::complex<double>
+LocalFft::twiddle(ProcId p, std::uint64_t k)
+{
+    k &= tableN_ - 1;
+    if (tw_.sink())
+        tw_.sink()->read(p, tw_.addrOf(2 * k), 16);
+    return {tw_.raw(2 * k), tw_.raw(2 * k + 1)};
+}
+
+void
+LocalFft::run(ProcId p, trace::TracedArray<double> &buf,
+              std::uint64_t row_off, std::uint64_t len)
+{
+    if (len < 2)
+        return;
+    assert(tableN_ % len == 0 &&
+           "LocalFft: row length must divide the twiddle table size");
+    unsigned log_len = log2Exact(len);
+
+    // Bit-reversal permutation (decimation in time).
+    for (std::uint64_t i = 0; i < len; ++i) {
+        std::uint64_t j = bitReverse(i, log_len);
+        if (i < j) {
+            std::complex<double> a = readComplex(p, buf, row_off + i);
+            std::complex<double> b = readComplex(p, buf, row_off + j);
+            writeComplex(p, buf, row_off + i, b);
+            writeComplex(p, buf, row_off + j, a);
+        }
+    }
+
+    // Butterfly stages in internal-radix groups.
+    unsigned chunk_max = log2Exact(radix_);
+    std::vector<std::complex<double>> g(radix_);
+
+    for (unsigned s0 = 0; s0 < log_len; s0 += chunk_max) {
+        unsigned chunk = std::min(chunk_max, log_len - s0);
+        std::uint64_t gsize = std::uint64_t{1} << chunk;
+        std::uint64_t lowCount = std::uint64_t{1} << s0;
+        std::uint64_t hiCount = len >> (s0 + chunk);
+
+        for (std::uint64_t hi = 0; hi < hiCount; ++hi) {
+            for (std::uint64_t lo = 0; lo < lowCount; ++lo) {
+                std::uint64_t base = (hi << (s0 + chunk)) | lo;
+
+                for (std::uint64_t l = 0; l < gsize; ++l)
+                    g[l] = readComplex(p, buf,
+                                       row_off + (base | (l << s0)));
+
+                for (unsigned d = 0; d < chunk; ++d) {
+                    std::uint64_t m = std::uint64_t{1} << (s0 + d);
+                    for (std::uint64_t l = 0; l < gsize; ++l) {
+                        if (l & (std::uint64_t{1} << d))
+                            continue;
+                        std::uint64_t partner =
+                            l | (std::uint64_t{1} << d);
+                        std::uint64_t gl = base | (l << s0);
+                        std::uint64_t t = gl & (m - 1);
+                        std::complex<double> w =
+                            twiddle(p, t * (tableN_ / (2 * m)));
+                        std::complex<double> u = g[l];
+                        std::complex<double> v = g[partner] * w;
+                        g[l] = u + v;
+                        g[partner] = u - v;
+                        flops_.add(p, 10);
+                    }
+                }
+
+                for (std::uint64_t l = 0; l < gsize; ++l)
+                    writeComplex(p, buf, row_off + (base | (l << s0)),
+                                 g[l]);
+            }
+        }
+    }
+}
+
+} // namespace wsg::apps::fft

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The blocked (internal-radix) local FFT kernel, shared by the 1-D
+ * six-step transform and the 2-D row-column transform.
+ *
+ * Performs an in-place decimation-in-time FFT on a contiguous row of a
+ * traced complex buffer. Butterfly stages are processed `log2(radix)` at
+ * a time: each group of `radix` points is gathered once, pushed through
+ * the stages in registers, and written back — the paper's internal-radix
+ * blocking, whose working set (the group plus its twiddles) is lev1WS.
+ *
+ * Twiddles come from a shared read-only table of length tableN holding
+ * W_tableN^k; the kernel can transform any length that divides tableN.
+ */
+
+#ifndef WSG_APPS_FFT_LOCAL_FFT_HH
+#define WSG_APPS_FFT_LOCAL_FFT_HH
+
+#include <complex>
+#include <cstdint>
+
+#include "trace/flop_counter.hh"
+#include "trace/traced_array.hh"
+
+namespace wsg::apps::fft
+{
+
+using trace::ProcId;
+
+/** Traced read of complex element @p i (two doubles, one 16 B read). */
+inline std::complex<double>
+readComplex(ProcId p, const trace::TracedArray<double> &buf,
+            std::uint64_t i)
+{
+    if (buf.sink())
+        buf.sink()->read(p, buf.addrOf(2 * i), 16);
+    return {buf.raw(2 * i), buf.raw(2 * i + 1)};
+}
+
+/** Traced write of complex element @p i. */
+inline void
+writeComplex(ProcId p, trace::TracedArray<double> &buf, std::uint64_t i,
+             std::complex<double> v)
+{
+    if (buf.sink())
+        buf.sink()->write(p, buf.addrOf(2 * i), 16);
+    buf.rawData()[2 * i] = v.real();
+    buf.rawData()[2 * i + 1] = v.imag();
+}
+
+/** Reverse the low @p bits bits of @p v. */
+std::uint64_t bitReverse(std::uint64_t v, unsigned bits);
+
+/** The kernel. Stateless apart from references to shared tables. */
+class LocalFft
+{
+  public:
+    /**
+     * @param twiddles Traced table of tableN complex twiddles
+     *                 W_tableN^k, k in [0, tableN).
+     * @param table_n Table length (power of two).
+     * @param radix Internal radix (power of two >= 2).
+     * @param flops FLOP counter charged 10 per butterfly.
+     */
+    LocalFft(trace::TracedArray<double> &twiddles, std::uint64_t table_n,
+             std::uint32_t radix, trace::FlopCounter &flops);
+
+    /**
+     * Transform the length- @p len row at complex offset @p row_off of
+     * @p buf in place, on behalf of processor @p p. @p len must be a
+     * power of two dividing tableN.
+     */
+    void run(ProcId p, trace::TracedArray<double> &buf,
+             std::uint64_t row_off, std::uint64_t len);
+
+    std::uint32_t radix() const { return radix_; }
+
+  private:
+    std::complex<double> twiddle(ProcId p, std::uint64_t k);
+
+    trace::TracedArray<double> &tw_;
+    std::uint64_t tableN_;
+    std::uint32_t radix_;
+    trace::FlopCounter &flops_;
+};
+
+} // namespace wsg::apps::fft
+
+#endif // WSG_APPS_FFT_LOCAL_FFT_HH

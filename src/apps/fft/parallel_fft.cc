@@ -1,0 +1,203 @@
+#include "apps/fft/parallel_fft.hh"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wsg::apps::fft
+{
+
+ParallelFft::ParallelFft(const FftConfig &config,
+                         trace::SharedAddressSpace &space,
+                         trace::MemorySink *sink)
+    : cfg_(config),
+      x_(space, "fft.x", 2 * config.N(), sink),
+      y_(space, "fft.y", 2 * config.N(), sink),
+      tw_(space, "fft.twiddles", 2 * config.N(), sink),
+      flops_(config.numProcs),
+      kernel_(tw_, config.N(), config.internalRadix, flops_)
+{
+    if ((cfg_.numProcs & (cfg_.numProcs - 1)) != 0)
+        throw std::invalid_argument("ParallelFft: P must be a power of 2");
+    if (static_cast<std::uint64_t>(cfg_.numProcs) * cfg_.numProcs >
+        cfg_.N()) {
+        throw std::invalid_argument("ParallelFft: requires P^2 <= N");
+    }
+
+    // Twiddle table W_N^k, k in [0, N) (read-only shared data).
+    std::uint64_t N = cfg_.N();
+    for (std::uint64_t k = 0; k < N; ++k) {
+        double ang = -2.0 * std::numbers::pi *
+                     static_cast<double>(k) / static_cast<double>(N);
+        tw_.raw(2 * k) = std::cos(ang);
+        tw_.raw(2 * k + 1) = std::sin(ang);
+    }
+}
+
+void
+ParallelFft::setInput(std::uint64_t i, std::complex<double> v)
+{
+    auto &buf = dataInX_ ? x_ : y_;
+    buf.raw(2 * i) = v.real();
+    buf.raw(2 * i + 1) = v.imag();
+}
+
+std::complex<double>
+ParallelFft::output(std::uint64_t i) const
+{
+    const auto &buf = dataInX_ ? x_ : y_;
+    return {buf.raw(2 * i), buf.raw(2 * i + 1)};
+}
+
+void
+ParallelFft::loadInput(const std::vector<std::complex<double>> &in)
+{
+    assert(in.size() == cfg_.N());
+    for (std::uint64_t i = 0; i < in.size(); ++i)
+        setInput(i, in[i]);
+}
+
+std::vector<std::complex<double>>
+ParallelFft::copyOutput() const
+{
+    std::vector<std::complex<double>> out(cfg_.N());
+    for (std::uint64_t i = 0; i < out.size(); ++i)
+        out[i] = output(i);
+    return out;
+}
+
+ProcId
+ParallelFft::rowOwner(std::uint64_t row, std::uint64_t rows) const
+{
+    std::uint64_t per = rows / cfg_.numProcs;
+    return static_cast<ProcId>(row / per);
+}
+
+std::complex<double>
+ParallelFft::twiddle(ProcId p, std::uint64_t k)
+{
+    k &= cfg_.N() - 1;
+    if (tw_.sink())
+        tw_.sink()->read(p, tw_.addrOf(2 * k), 16);
+    return {tw_.raw(2 * k), tw_.raw(2 * k + 1)};
+}
+
+void
+ParallelFft::transpose(trace::TracedArray<double> &src,
+                       trace::TracedArray<double> &dst,
+                       std::uint64_t rows, std::uint64_t cols)
+{
+    // dst is cols x rows; processor p fills its contiguous block of dst
+    // rows, reading the scattered (mostly remote) source elements — this
+    // is the all-to-all exchange of a radix-D stage.
+    std::uint64_t dst_rows = cols;
+    std::uint64_t per = dst_rows / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t r = p * per; r < (p + 1) * per; ++r) {
+            for (std::uint64_t c = 0; c < rows; ++c) {
+                std::complex<double> v = readComplex(p, src,
+                                                     c * cols + r);
+                writeComplex(p, dst, r * rows + c, v);
+            }
+        }
+    }
+}
+
+void
+ParallelFft::twiddleScale(trace::TracedArray<double> &buf)
+{
+    // buf is the n2 x n1 view; element (j2, k1) *= W_N^(j2 k1).
+    std::uint64_t n1 = cfg_.numProcs;
+    std::uint64_t n2 = cfg_.pointsPerProc();
+    std::uint64_t per = n2 / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t j2 = p * per; j2 < (p + 1) * per; ++j2) {
+            for (std::uint64_t k1 = 0; k1 < n1; ++k1) {
+                std::uint64_t i = j2 * n1 + k1;
+                std::complex<double> v = readComplex(p, buf, i);
+                std::complex<double> w = twiddle(p, j2 * k1);
+                writeComplex(p, buf, i, v * w);
+                flops_.add(p, 6);
+            }
+        }
+    }
+}
+
+void
+ParallelFft::conjugateAll(trace::TracedArray<double> &buf, double scale)
+{
+    std::uint64_t per = cfg_.pointsPerProc();
+    for (ProcId p = 0; p < cfg_.numProcs; ++p) {
+        for (std::uint64_t i = p * per; i < (p + 1) * per; ++i) {
+            std::complex<double> v = readComplex(p, buf, i);
+            writeComplex(p, buf, i, std::conj(v) * scale);
+            flops_.add(p, 2);
+        }
+    }
+}
+
+void
+ParallelFft::forward()
+{
+    std::uint64_t n1 = cfg_.numProcs;
+    std::uint64_t n2 = cfg_.pointsPerProc();
+    auto &a = dataInX_ ? x_ : y_;
+    auto &b = dataInX_ ? y_ : x_;
+
+    // Step 1: transpose n1 x n2 -> n2 x n1.
+    transpose(a, b, n1, n2);
+
+    // Step 2: FFT each length-n1 row of the n2 x n1 view.
+    std::uint64_t per = n2 / cfg_.numProcs;
+    for (ProcId p = 0; p < cfg_.numProcs; ++p)
+        for (std::uint64_t r = p * per; r < (p + 1) * per; ++r)
+            kernel_.run(p, b, r * n1, n1);
+
+    // Step 3: twiddle scaling.
+    twiddleScale(b);
+
+    // Step 4: transpose n2 x n1 -> n1 x n2.
+    transpose(b, a, n2, n1);
+
+    // Step 5: FFT each length-n2 row (one per processor).
+    for (ProcId p = 0; p < cfg_.numProcs; ++p)
+        kernel_.run(p, a, static_cast<std::uint64_t>(p) * n2, n2);
+
+    // Step 6: transpose n1 x n2 -> n2 x n1, yielding natural order.
+    transpose(a, b, n1, n2);
+
+    dataInX_ = !dataInX_;
+}
+
+void
+ParallelFft::inverse()
+{
+    auto &cur = dataInX_ ? x_ : y_;
+    conjugateAll(cur, 1.0);
+    forward();
+    auto &now = dataInX_ ? x_ : y_;
+    conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+}
+
+std::vector<std::complex<double>>
+ParallelFft::naiveDft(const std::vector<std::complex<double>> &in,
+                      int sign)
+{
+    std::size_t N = in.size();
+    std::vector<std::complex<double>> out(N);
+    for (std::size_t k = 0; k < N; ++k) {
+        std::complex<double> acc{0.0, 0.0};
+        for (std::size_t j = 0; j < N; ++j) {
+            double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(j * k % N) /
+                         static_cast<double>(N);
+            acc += in[j] * std::complex<double>(std::cos(ang),
+                                                std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+} // namespace wsg::apps::fft

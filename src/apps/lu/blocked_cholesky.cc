@@ -1,0 +1,205 @@
+#include "apps/lu/blocked_cholesky.hh"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace wsg::apps::lu
+{
+
+BlockedCholesky::BlockedCholesky(const LuConfig &config,
+                                 trace::SharedAddressSpace &space,
+                                 trace::MemorySink *sink)
+    : cfg_(config),
+      a_(space, "chol.matrix",
+         static_cast<std::size_t>(config.n) * config.n, sink),
+      flops_(config.numProcs())
+{
+    if (cfg_.n % cfg_.blockSize != 0)
+        throw std::invalid_argument(
+            "BlockedCholesky: n must be a multiple of B");
+    if (cfg_.procRows == 0 || cfg_.procCols == 0)
+        throw std::invalid_argument(
+            "BlockedCholesky: empty processor grid");
+}
+
+void
+BlockedCholesky::randomizeSpd(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::uint32_t r = 0; r < cfg_.n; ++r) {
+        for (std::uint32_t c = 0; c <= r; ++c) {
+            double v = dist(rng);
+            set(r, c, v);
+            set(c, r, v);
+        }
+        set(r, r, std::abs(get(r, r)) + 2.0 * cfg_.n);
+    }
+}
+
+void
+BlockedCholesky::set(std::uint32_t row, std::uint32_t col, double v)
+{
+    std::uint32_t B = cfg_.blockSize;
+    a_.raw(idx(row / B, col / B, row % B, col % B)) = v;
+}
+
+double
+BlockedCholesky::get(std::uint32_t row, std::uint32_t col) const
+{
+    std::uint32_t B = cfg_.blockSize;
+    return a_.raw(idx(row / B, col / B, row % B, col % B));
+}
+
+std::vector<double>
+BlockedCholesky::denseCopy() const
+{
+    std::vector<double> out(static_cast<std::size_t>(cfg_.n) * cfg_.n);
+    for (std::uint32_t r = 0; r < cfg_.n; ++r)
+        for (std::uint32_t c = 0; c < cfg_.n; ++c)
+            out[static_cast<std::size_t>(r) * cfg_.n + c] = get(r, c);
+    return out;
+}
+
+void
+BlockedCholesky::factorDiagonal(std::uint32_t K)
+{
+    std::uint32_t B = cfg_.blockSize;
+    ProcId p = ownerOf(K, K);
+    for (std::uint32_t k = 0; k < B; ++k) {
+        double akk = a_.read(p, idx(K, K, k, k));
+        double lkk = std::sqrt(akk);
+        a_.write(p, idx(K, K, k, k), lkk);
+        flops_.add(p, 1);
+        for (std::uint32_t i = k + 1; i < B; ++i) {
+            a_.update(p, idx(K, K, i, k), [&](double &v) { v /= lkk; });
+            flops_.add(p, 1);
+        }
+        for (std::uint32_t j = k + 1; j < B; ++j) {
+            double ljk = a_.read(p, idx(K, K, j, k));
+            for (std::uint32_t i = j; i < B; ++i) {
+                double lik = a_.read(p, idx(K, K, i, k));
+                a_.update(p, idx(K, K, i, j),
+                          [&](double &v) { v -= lik * ljk; });
+                flops_.add(p, 2);
+            }
+        }
+    }
+}
+
+void
+BlockedCholesky::solveColumnPanel(std::uint32_t K)
+{
+    // A_IK <- A_IK * L_KK^{-T} for every I > K.
+    std::uint32_t B = cfg_.blockSize;
+    std::uint32_t N = cfg_.numBlocks();
+    for (ProcId p = 0; p < cfg_.numProcs(); ++p) {
+        for (std::uint32_t I = K + 1; I < N; ++I) {
+            if (ownerOf(I, K) != p)
+                continue;
+            for (std::uint32_t j = 0; j < B; ++j) {
+                for (std::uint32_t k = 0; k < j; ++k) {
+                    double ljk = a_.read(p, idx(K, K, j, k));
+                    for (std::uint32_t i = 0; i < B; ++i) {
+                        double xik = a_.read(p, idx(I, K, i, k));
+                        a_.update(p, idx(I, K, i, j),
+                                  [&](double &v) { v -= xik * ljk; });
+                        flops_.add(p, 2);
+                    }
+                }
+                double ljj = a_.read(p, idx(K, K, j, j));
+                for (std::uint32_t i = 0; i < B; ++i) {
+                    a_.update(p, idx(I, K, i, j),
+                              [&](double &v) { v /= ljj; });
+                    flops_.add(p, 1);
+                }
+            }
+        }
+    }
+}
+
+void
+BlockedCholesky::updateTrailing(std::uint32_t K)
+{
+    // A_IJ -= A_IK * A_JK^T for K < J <= I (lower triangle only),
+    // owner-computes, jki order as in BlockedLu.
+    std::uint32_t B = cfg_.blockSize;
+    std::uint32_t N = cfg_.numBlocks();
+    for (ProcId p = 0; p < cfg_.numProcs(); ++p) {
+        for (std::uint32_t J = K + 1; J < N; ++J) {
+            for (std::uint32_t I = J; I < N; ++I) {
+                if (ownerOf(I, J) != p)
+                    continue;
+                for (std::uint32_t j = 0; j < B; ++j) {
+                    for (std::uint32_t k = 0; k < B; ++k) {
+                        double ajk = a_.read(p, idx(J, K, j, k));
+                        for (std::uint32_t i = 0; i < B; ++i) {
+                            double aik = a_.read(p, idx(I, K, i, k));
+                            a_.update(p, idx(I, J, i, j),
+                                      [&](double &v) { v -= aik * ajk; });
+                            flops_.add(p, 2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+BlockedCholesky::factor()
+{
+    std::uint32_t N = cfg_.numBlocks();
+    for (std::uint32_t K = 0; K < N; ++K) {
+        factorDiagonal(K);
+        solveColumnPanel(K);
+        updateTrailing(K);
+    }
+}
+
+double
+BlockedCholesky::residual(const std::vector<double> &original) const
+{
+    // Compare A0 with L L^T over the lower triangle (the strict upper
+    // triangle of the working matrix is stale after factor()).
+    double num = 0.0, den = 0.0;
+    for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+        for (std::uint32_t j = 0; j <= i; ++j) {
+            double llt = 0.0;
+            for (std::uint32_t k = 0; k <= j; ++k)
+                llt += get(i, k) * get(j, k);
+            double a0 = original[static_cast<std::size_t>(i) * cfg_.n + j];
+            num += (a0 - llt) * (a0 - llt);
+            den += a0 * a0;
+        }
+    }
+    return std::sqrt(num / den);
+}
+
+std::vector<double>
+BlockedCholesky::solve(const std::vector<double> &b) const
+{
+    assert(b.size() == cfg_.n);
+    // L y = b.
+    std::vector<double> y(cfg_.n);
+    for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+        double s = b[i];
+        for (std::uint32_t k = 0; k < i; ++k)
+            s -= get(i, k) * y[k];
+        y[i] = s / get(i, i);
+    }
+    // L^T x = y.
+    std::vector<double> x(cfg_.n);
+    for (std::uint32_t ii = cfg_.n; ii > 0; --ii) {
+        std::uint32_t i = ii - 1;
+        double s = y[i];
+        for (std::uint32_t k = i + 1; k < cfg_.n; ++k)
+            s -= get(k, i) * x[k];
+        x[i] = s / get(i, i);
+    }
+    return x;
+}
+
+} // namespace wsg::apps::lu

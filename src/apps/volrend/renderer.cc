@@ -1,0 +1,294 @@
+#include "apps/volrend/renderer.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <numbers>
+
+namespace wsg::apps::volrend
+{
+
+namespace
+{
+
+/** Opacity assigned to a fully dense sample. */
+constexpr double kOpacityScale = 0.35;
+
+/** FLOP charges. */
+constexpr std::uint64_t kFlopsPerSample = 30;
+constexpr std::uint64_t kFlopsPerRaySetup = 20;
+
+} // namespace
+
+Renderer::Renderer(const RenderConfig &config, Volume &volume,
+                   trace::SharedAddressSpace &space,
+                   trace::MemorySink *sink)
+    : cfg_(config), vol_(volume),
+      image_(space, "vol.image",
+             static_cast<std::size_t>(config.imageWidth) *
+                 config.imageHeight,
+             sink),
+      flops_(config.numProcs)
+{
+    // Near-square processor grid over the image plane.
+    procU_ = 1;
+    for (std::uint32_t d = 1; d * d <= cfg_.numProcs; ++d) {
+        if (cfg_.numProcs % d == 0)
+            procU_ = d;
+    }
+    procV_ = cfg_.numProcs / procU_;
+}
+
+ProcId
+Renderer::pixelOwner(std::uint32_t u, std::uint32_t v) const
+{
+    std::uint32_t bu = std::min(u * procU_ / cfg_.imageWidth, procU_ - 1);
+    std::uint32_t bv = std::min(v * procV_ / cfg_.imageHeight,
+                                procV_ - 1);
+    return bv * procU_ + bu;
+}
+
+Renderer::Basis
+Renderer::viewBasis() const
+{
+    double a = angleDeg_ * std::numbers::pi / 180.0;
+    Basis b;
+    b.dir[0] = std::sin(a);
+    b.dir[1] = 0.0;
+    b.dir[2] = std::cos(a);
+    b.right[0] = std::cos(a);
+    b.right[1] = 0.0;
+    b.right[2] = -std::sin(a);
+    b.up[0] = 0.0;
+    b.up[1] = 1.0;
+    b.up[2] = 0.0;
+    return b;
+}
+
+double
+Renderer::castRay(ProcId p, std::uint32_t u, std::uint32_t v,
+                  const Basis &basis, FrameStats &stats)
+{
+    const auto &d = vol_.dims();
+    double cx = d.nx / 2.0, cy = d.ny / 2.0, cz = d.nz / 2.0;
+    double radius = 0.5 * std::sqrt(static_cast<double>(d.nx) * d.nx +
+                                    static_cast<double>(d.ny) * d.ny +
+                                    static_cast<double>(d.nz) * d.nz);
+
+    // Image plane spans the volume's bounding sphere.
+    double su = (static_cast<double>(u) + 0.5 - cfg_.imageWidth / 2.0) *
+                (2.0 * radius / cfg_.imageWidth);
+    double sv = (static_cast<double>(v) + 0.5 - cfg_.imageHeight / 2.0) *
+                (2.0 * radius / cfg_.imageHeight);
+
+    double ox, oy, oz;
+    double dirx = basis.dir[0], diry = basis.dir[1], dirz = basis.dir[2];
+    if (cfg_.perspective) {
+        // Eye far enough back that the bounding sphere fills the fov;
+        // rays fan out from the eye through the image plane at the
+        // volume center.
+        double half_fov = cfg_.fovDegrees * std::numbers::pi / 360.0;
+        double eye_dist = radius / std::tan(half_fov) + radius;
+        double ex = cx - eye_dist * basis.dir[0];
+        double ey = cy - eye_dist * basis.dir[1];
+        double ez = cz - eye_dist * basis.dir[2];
+        double tx = cx + su * basis.right[0] + sv * basis.up[0];
+        double ty = cy + su * basis.right[1] + sv * basis.up[1];
+        double tz = cz + su * basis.right[2] + sv * basis.up[2];
+        dirx = tx - ex;
+        diry = ty - ey;
+        dirz = tz - ez;
+        double norm = std::sqrt(dirx * dirx + diry * diry +
+                                dirz * dirz);
+        dirx /= norm;
+        diry /= norm;
+        dirz /= norm;
+        ox = ex;
+        oy = ey;
+        oz = ez;
+    } else {
+        ox = cx + su * basis.right[0] + sv * basis.up[0] -
+             radius * basis.dir[0];
+        oy = cy + su * basis.right[1] + sv * basis.up[1] -
+             radius * basis.dir[1];
+        oz = cz + su * basis.right[2] + sv * basis.up[2] -
+             radius * basis.dir[2];
+    }
+
+    flops_.add(p, kFlopsPerRaySetup);
+
+    // Clip to the volume's bounding box (pure geometry, no references).
+    // The slab test below bounds t1 on every axis the ray crosses, so
+    // start unbounded (a narrow-fov perspective eye sits far away).
+    double t0 = 0.0;
+    double t1 = std::numeric_limits<double>::max();
+    auto clip = [&](double o, double dir, double lo, double hi) {
+        if (std::abs(dir) < 1e-12) {
+            if (o < lo || o > hi)
+                t0 = t1 + 1.0;
+            return;
+        }
+        double ta = (lo - o) / dir;
+        double tb = (hi - o) / dir;
+        if (ta > tb)
+            std::swap(ta, tb);
+        t0 = std::max(t0, ta);
+        t1 = std::min(t1, tb);
+    };
+    clip(ox, dirx, 0.0, d.nx - 1.0);
+    clip(oy, diry, 0.0, d.ny - 1.0);
+    clip(oz, dirz, 0.0, d.nz - 1.0);
+    if (t0 > t1)
+        return 0.0;
+
+    double alpha = 0.0;
+    double color = 0.0;
+    std::uint16_t floor_d = cfg_.densityFloor;
+    double t = t0;
+    while (t <= t1) {
+        double x = ox + t * dirx;
+        double y = oy + t * diry;
+        double z = oz + t * dirz;
+
+        double side = cfg_.useOctree
+                          ? vol_.skipDistance(p, x, y, z, floor_d)
+                          : 0.0;
+        if (side > 0.0) {
+            // Advance to the exit of the transparent node.
+            double exit_t = t + side; // upper bound
+            for (int ax = 0; ax < 3; ++ax) {
+                double pos = ax == 0 ? x : (ax == 1 ? y : z);
+                double dir = ax == 0 ? dirx : (ax == 1 ? diry : dirz);
+                if (std::abs(dir) < 1e-12)
+                    continue;
+                double nb = std::floor(pos / side) * side;
+                double bound = dir > 0 ? nb + side : nb;
+                double step_t = t + (bound - pos) / dir;
+                exit_t = std::min(exit_t, step_t);
+            }
+            t = std::max(exit_t + 1e-6, t + cfg_.sampleStep);
+            ++stats.skips;
+            continue;
+        }
+
+        double dens = vol_.sample(p, x, y, z);
+        ++stats.samplesTaken;
+        flops_.add(p, kFlopsPerSample);
+        if (dens > floor_d) {
+            double a_s = kOpacityScale *
+                         std::min((dens - floor_d) / (255.0 - floor_d),
+                                  1.0);
+            color += (1.0 - alpha) * a_s * (dens / 255.0);
+            alpha += (1.0 - alpha) * a_s;
+            if (alpha >= cfg_.opacityCutoff) {
+                ++stats.earlyTerminations;
+                break;
+            }
+        }
+        t += cfg_.sampleStep;
+    }
+    return std::min(color + (1.0 - alpha) * 0.0, 1.0);
+}
+
+FrameStats
+Renderer::renderFrame()
+{
+    FrameStats stats;
+    stats.raysPerProc.assign(cfg_.numProcs, 0);
+    Basis basis = viewBasis();
+
+    // Static block assignment: per-processor ray queues in scan order.
+    std::vector<std::deque<std::uint64_t>> queues(cfg_.numProcs);
+    for (std::uint32_t v = 0; v < cfg_.imageHeight; ++v)
+        for (std::uint32_t u = 0; u < cfg_.imageWidth; ++u)
+            queues[pixelOwner(u, v)].push_back(
+                static_cast<std::uint64_t>(v) * cfg_.imageWidth + u);
+
+    // Returns the work (samples + skips) the chunk cost, so the
+    // scheduler below can track per-processor virtual time.
+    auto processChunk = [&](ProcId p, std::deque<std::uint64_t> &q) {
+        std::uint64_t before = stats.samplesTaken + stats.skips;
+        for (std::uint32_t c = 0; c < cfg_.stealChunk && !q.empty(); ++c) {
+            std::uint64_t pix = q.front();
+            q.pop_front();
+            auto u = static_cast<std::uint32_t>(pix % cfg_.imageWidth);
+            auto v = static_cast<std::uint32_t>(pix / cfg_.imageWidth);
+            double grey = castRay(p, u, v, basis, stats);
+            image_.write(p, pix, grey);
+            ++stats.raysCast;
+            ++stats.raysPerProc[p];
+        }
+        return stats.samplesTaken + stats.skips - before + 1;
+    };
+
+    // Virtual-time execution: the processor with the least accumulated
+    // work runs next, so cheap-block processors drain their queues
+    // early and then steal from the most loaded processor — the
+    // ray-stealing load balancer of [Nieh & Levoy].
+    std::vector<double> vtime(cfg_.numProcs, 0.0);
+    std::vector<bool> done(cfg_.numProcs, false);
+    std::uint32_t active = cfg_.numProcs;
+    while (active > 0) {
+        ProcId p = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (ProcId q = 0; q < cfg_.numProcs; ++q) {
+            if (!done[q] && vtime[q] < best) {
+                best = vtime[q];
+                p = q;
+            }
+        }
+
+        if (queues[p].empty()) {
+            // Steal a chunk (tail, to preserve the victim's scan-order
+            // coherence) from the most loaded processor.
+            ProcId victim = p;
+            std::size_t most = 0;
+            for (ProcId q = 0; q < cfg_.numProcs; ++q) {
+                if (queues[q].size() > most) {
+                    most = queues[q].size();
+                    victim = q;
+                }
+            }
+            if (most == 0) {
+                done[p] = true;
+                --active;
+                continue;
+            }
+            for (std::uint32_t c = 0;
+                 c < cfg_.stealChunk && !queues[victim].empty(); ++c) {
+                queues[p].push_back(queues[victim].back());
+                queues[victim].pop_back();
+                ++stats.raysStolen;
+            }
+        }
+        vtime[p] += static_cast<double>(processChunk(p, queues[p]));
+    }
+
+    angleDeg_ += cfg_.degreesPerFrame;
+    return stats;
+}
+
+double
+Renderer::pixel(std::uint32_t u, std::uint32_t v) const
+{
+    return image_.raw(static_cast<std::size_t>(v) * cfg_.imageWidth + u);
+}
+
+void
+Renderer::writePgm(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n"
+        << cfg_.imageWidth << " " << cfg_.imageHeight << "\n255\n";
+    for (std::uint32_t v = 0; v < cfg_.imageHeight; ++v) {
+        for (std::uint32_t u = 0; u < cfg_.imageWidth; ++u) {
+            double g = std::clamp(pixel(u, v), 0.0, 1.0);
+            out.put(static_cast<char>(std::lround(g * 255.0)));
+        }
+    }
+}
+
+} // namespace wsg::apps::volrend

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Parallel ray-cast volume renderer (Section 7).
+ *
+ * For every frame, rays are cast orthographically from a view direction
+ * that rotates between frames. Each processor owns a contiguous
+ * rectangular block of image pixels (the partitioning the paper's lev2WS
+ * relies on: successive rays pass through adjacent pixels and share
+ * voxels), marches its rays front-to-back with trilinear resampling,
+ * octree-guided space skipping and early termination at an opacity
+ * threshold, and steals rays from other processors once its own block is
+ * done.
+ */
+
+#ifndef WSG_APPS_VOLREND_RENDERER_HH
+#define WSG_APPS_VOLREND_RENDERER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/volrend/volume.hh"
+#include "trace/flop_counter.hh"
+
+namespace wsg::apps::volrend
+{
+
+/** Configuration of a rendering run. */
+struct RenderConfig
+{
+    std::uint32_t imageWidth = 64;
+    std::uint32_t imageHeight = 64;
+    std::uint32_t numProcs = 4;
+    /** View-angle change per frame, degrees (gradual rotation). */
+    double degreesPerFrame = 5.0;
+    /** Distance between resampling points along a ray, voxel units. */
+    double sampleStep = 1.0;
+    /** Accumulated opacity at which a ray terminates early. */
+    double opacityCutoff = 0.95;
+    /** Density below which space is considered transparent. */
+    std::uint16_t densityFloor = 20;
+    /** Rays handed over per steal. */
+    std::uint32_t stealChunk = 8;
+    /** Use the min-max octree to skip transparent space (ablation
+     *  switch: the paper's renderer relies on this, Section 7.1). */
+    bool useOctree = true;
+    /** Perspective projection (true camera) instead of orthographic. */
+    bool perspective = false;
+    /** Vertical field of view for the perspective camera, degrees. */
+    double fovDegrees = 40.0;
+};
+
+/** Per-frame statistics. */
+struct FrameStats
+{
+    std::uint64_t raysCast = 0;
+    std::uint64_t samplesTaken = 0;
+    std::uint64_t skips = 0;
+    std::uint64_t earlyTerminations = 0;
+    std::uint64_t raysStolen = 0;
+    /** Rays processed by each processor (own + stolen). */
+    std::vector<std::uint64_t> raysPerProc;
+};
+
+/** The traced parallel renderer. */
+class Renderer
+{
+  public:
+    Renderer(const RenderConfig &config, Volume &volume,
+             trace::SharedAddressSpace &space, trace::MemorySink *sink);
+
+    /**
+     * Render the next frame (advances the rotation angle). The image is
+     * written into the traced image plane and also returned.
+     */
+    FrameStats renderFrame();
+
+    /** Current view angle in degrees. */
+    double viewAngleDeg() const { return angleDeg_; }
+
+    /** Grey value of pixel (u, v) from the last frame, in [0, 1]. */
+    double pixel(std::uint32_t u, std::uint32_t v) const;
+
+    /** Write the last frame as a binary PGM file. */
+    void writePgm(const std::string &path) const;
+
+    const RenderConfig &config() const { return cfg_; }
+    const trace::FlopCounter &flops() const { return flops_; }
+
+    /** Owner of pixel (u, v) in the static block partition. */
+    ProcId pixelOwner(std::uint32_t u, std::uint32_t v) const;
+
+  private:
+    struct Basis
+    {
+        double dir[3];
+        double right[3];
+        double up[3];
+    };
+
+    Basis viewBasis() const;
+
+    /** March one ray; returns the composited grey value. */
+    double castRay(ProcId p, std::uint32_t u, std::uint32_t v,
+                   const Basis &basis, FrameStats &stats);
+
+    RenderConfig cfg_;
+    Volume &vol_;
+    trace::TracedArray<double> image_;
+    trace::FlopCounter flops_;
+    double angleDeg_ = 0.0;
+    /** Processor grid over the image (procU x procV blocks). */
+    std::uint32_t procU_ = 1;
+    std::uint32_t procV_ = 1;
+};
+
+} // namespace wsg::apps::volrend
+
+#endif // WSG_APPS_VOLREND_RENDERER_HH

@@ -1,0 +1,246 @@
+#include "apps/volrend/volume.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wsg::apps::volrend
+{
+
+Volume::Volume(const VolumeDims &dims, trace::SharedAddressSpace &space,
+               trace::MemorySink *sink)
+    : dims_(dims), voxels_(space, "vol.voxels", dims.count(), sink),
+      space_(&space), sink_(sink)
+{}
+
+void
+Volume::setVoxel(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                 std::uint16_t density)
+{
+    voxels_.raw(vidx(x, y, z)) = density;
+}
+
+std::uint16_t
+Volume::voxelAt(std::int64_t x, std::int64_t y, std::int64_t z) const
+{
+    if (x < 0 || y < 0 || z < 0 ||
+        x >= static_cast<std::int64_t>(dims_.nx) ||
+        y >= static_cast<std::int64_t>(dims_.ny) ||
+        z >= static_cast<std::int64_t>(dims_.nz)) {
+        return 0;
+    }
+    return voxels_.raw(vidx(static_cast<std::uint32_t>(x),
+                            static_cast<std::uint32_t>(y),
+                            static_cast<std::uint32_t>(z)));
+}
+
+std::uint16_t
+Volume::readVoxel(ProcId p, std::int64_t x, std::int64_t y,
+                  std::int64_t z) const
+{
+    if (x < 0 || y < 0 || z < 0 ||
+        x >= static_cast<std::int64_t>(dims_.nx) ||
+        y >= static_cast<std::int64_t>(dims_.ny) ||
+        z >= static_cast<std::int64_t>(dims_.nz)) {
+        return 0;
+    }
+    return voxels_.read(p, vidx(static_cast<std::uint32_t>(x),
+                                static_cast<std::uint32_t>(y),
+                                static_cast<std::uint32_t>(z)));
+}
+
+void
+Volume::buildHeadPhantom()
+{
+    // Nested ellipsoids centered in the volume, semi-axes as fractions of
+    // the half-dimensions: skin (soft tissue), skull (bone, dense),
+    // brain (medium), two ventricles (fluid, light). Densities roughly
+    // follow CT ranges scaled to [0, 255].
+    double cx = dims_.nx / 2.0, cy = dims_.ny / 2.0, cz = dims_.nz / 2.0;
+    double rx = dims_.nx / 2.0, ry = dims_.ny / 2.0, rz = dims_.nz / 2.0;
+
+    auto inEll = [](double x, double y, double z, double ax, double ay,
+                    double az) {
+        return (x * x) / (ax * ax) + (y * y) / (ay * ay) +
+                   (z * z) / (az * az) <=
+               1.0;
+    };
+
+    for (std::uint32_t z = 0; z < dims_.nz; ++z) {
+        for (std::uint32_t y = 0; y < dims_.ny; ++y) {
+            for (std::uint32_t x = 0; x < dims_.nx; ++x) {
+                double dx = x - cx, dy = y - cy, dz = z - cz;
+                std::uint16_t d = 0;
+                if (inEll(dx, dy, dz, 0.90 * rx, 0.90 * ry, 0.90 * rz))
+                    d = 40; // skin / soft tissue
+                if (inEll(dx, dy, dz, 0.82 * rx, 0.82 * ry, 0.82 * rz))
+                    d = 230; // skull shell
+                if (inEll(dx, dy, dz, 0.72 * rx, 0.72 * ry, 0.72 * rz))
+                    d = 100; // brain
+                // Ventricles: two small off-center ellipsoids.
+                if (inEll(dx - 0.18 * rx, dy, dz - 0.05 * rz, 0.16 * rx,
+                          0.28 * ry, 0.20 * rz) ||
+                    inEll(dx + 0.18 * rx, dy, dz - 0.05 * rz, 0.16 * rx,
+                          0.28 * ry, 0.20 * rz)) {
+                    d = 25;
+                }
+                voxels_.raw(vidx(x, y, z)) = d;
+            }
+        }
+    }
+}
+
+void
+Volume::buildOctree()
+{
+    levels_.clear();
+
+    auto ceilDiv = [](std::uint32_t a, std::uint32_t b) {
+        return (a + b - 1) / b;
+    };
+
+    // Level 0 from the voxels.
+    Level lev;
+    lev.blockSide = kLeafBlock;
+    lev.bx = ceilDiv(dims_.nx, kLeafBlock);
+    lev.by = ceilDiv(dims_.ny, kLeafBlock);
+    lev.bz = ceilDiv(dims_.nz, kLeafBlock);
+    lev.nodes.assign(static_cast<std::size_t>(lev.bx) * lev.by * lev.bz,
+                     Node{65535, 0});
+    for (std::uint32_t z = 0; z < dims_.nz; ++z) {
+        for (std::uint32_t y = 0; y < dims_.ny; ++y) {
+            for (std::uint32_t x = 0; x < dims_.nx; ++x) {
+                std::uint16_t d = voxels_.raw(vidx(x, y, z));
+                std::size_t bi = (static_cast<std::size_t>(z / kLeafBlock) *
+                                      lev.by +
+                                  y / kLeafBlock) *
+                                     lev.bx +
+                                 x / kLeafBlock;
+                lev.nodes[bi].lo = std::min(lev.nodes[bi].lo, d);
+                lev.nodes[bi].hi = std::max(lev.nodes[bi].hi, d);
+            }
+        }
+    }
+    lev.base = space_->allocate("vol.octree.l0",
+                                lev.nodes.size() * kNodeBytes);
+    levels_.push_back(std::move(lev));
+
+    // Higher levels by 2x2x2 reduction.
+    while (levels_.back().bx > 1 || levels_.back().by > 1 ||
+           levels_.back().bz > 1) {
+        const Level &prev = levels_.back();
+        Level up;
+        up.blockSide = prev.blockSide * 2;
+        up.bx = ceilDiv(prev.bx, 2);
+        up.by = ceilDiv(prev.by, 2);
+        up.bz = ceilDiv(prev.bz, 2);
+        up.nodes.assign(static_cast<std::size_t>(up.bx) * up.by * up.bz,
+                        Node{65535, 0});
+        for (std::uint32_t z = 0; z < prev.bz; ++z) {
+            for (std::uint32_t y = 0; y < prev.by; ++y) {
+                for (std::uint32_t x = 0; x < prev.bx; ++x) {
+                    const Node &n =
+                        prev.nodes[(static_cast<std::size_t>(z) * prev.by +
+                                    y) *
+                                       prev.bx +
+                                   x];
+                    Node &u = up.nodes[(static_cast<std::size_t>(z / 2) *
+                                            up.by +
+                                        y / 2) *
+                                           up.bx +
+                                       x / 2];
+                    u.lo = std::min(u.lo, n.lo);
+                    u.hi = std::max(u.hi, n.hi);
+                }
+            }
+        }
+        up.base = space_->allocate(
+            "vol.octree.l" + std::to_string(levels_.size()),
+            up.nodes.size() * kNodeBytes);
+        levels_.push_back(std::move(up));
+    }
+}
+
+double
+Volume::sample(ProcId p, double x, double y, double z) const
+{
+    double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+    auto x0 = static_cast<std::int64_t>(fx);
+    auto y0 = static_cast<std::int64_t>(fy);
+    auto z0 = static_cast<std::int64_t>(fz);
+    double tx = x - fx, ty = y - fy, tz = z - fz;
+
+    double c[2][2][2];
+    for (int dz = 0; dz < 2; ++dz)
+        for (int dy = 0; dy < 2; ++dy)
+            for (int dx = 0; dx < 2; ++dx)
+                c[dz][dy][dx] = readVoxel(p, x0 + dx, y0 + dy, z0 + dz);
+
+    auto lerp = [](double a, double b, double t) {
+        return a + (b - a) * t;
+    };
+    double c00 = lerp(c[0][0][0], c[0][0][1], tx);
+    double c01 = lerp(c[0][1][0], c[0][1][1], tx);
+    double c10 = lerp(c[1][0][0], c[1][0][1], tx);
+    double c11 = lerp(c[1][1][0], c[1][1][1], tx);
+    double c0 = lerp(c00, c01, ty);
+    double c1 = lerp(c10, c11, ty);
+    return lerp(c0, c1, tz);
+}
+
+double
+Volume::skipDistance(ProcId p, double x, double y, double z,
+                     std::uint16_t min_density) const
+{
+    if (levels_.empty())
+        return 0.0;
+    if (x < 0 || y < 0 || z < 0 || x >= dims_.nx || y >= dims_.ny ||
+        z >= dims_.nz) {
+        return 0.0; // outside: caller handles volume entry/exit
+    }
+
+    auto ix = static_cast<std::uint32_t>(x);
+    auto iy = static_cast<std::uint32_t>(y);
+    auto iz = static_cast<std::uint32_t>(z);
+
+    // Walk from the root down; the deepest node that is still entirely
+    // transparent gives the largest safe skip.
+    for (std::size_t li = levels_.size(); li-- > 0;) {
+        const Level &lev = levels_[li];
+        std::uint32_t bx = ix / lev.blockSide;
+        std::uint32_t by = iy / lev.blockSide;
+        std::uint32_t bz = iz / lev.blockSide;
+        std::size_t ni =
+            (static_cast<std::size_t>(bz) * lev.by + by) * lev.bx + bx;
+        if (sink_) {
+            sink_->read(p,
+                        lev.base + static_cast<Addr>(ni) * kNodeBytes,
+                        kNodeBytes);
+        }
+        if (lev.nodes[ni].hi < min_density)
+            return static_cast<double>(lev.blockSide);
+    }
+    return 0.0;
+}
+
+std::pair<std::uint16_t, std::uint16_t>
+Volume::nodeMinMax(std::uint32_t level, std::uint32_t bx,
+                   std::uint32_t by, std::uint32_t bz) const
+{
+    const Level &lev = levels_.at(level);
+    const Node &n =
+        lev.nodes[(static_cast<std::size_t>(bz) * lev.by + by) * lev.bx +
+                  bx];
+    return {n.lo, n.hi};
+}
+
+std::uint16_t
+Volume::maxDensity() const
+{
+    std::uint16_t m = 0;
+    for (std::uint64_t i = 0; i < dims_.count(); ++i)
+        m = std::max(m, voxels_.raw(i));
+    return m;
+}
+
+} // namespace wsg::apps::volrend

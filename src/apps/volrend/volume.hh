@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Voxel volume with a min-max octree — the renderer's data substrate.
+ *
+ * The paper renders a 256x256x113 CT head; that dataset is proprietary,
+ * so buildHeadPhantom() synthesizes a comparable volume from nested
+ * ellipsoid shells (skin, skull, brain, ventricles). What the working-set
+ * study measures is ray-coherent voxel reuse and octree-guided space
+ * skipping, both of which the phantom exercises identically: it has an
+ * empty exterior, a thin high-density shell, and structured interior.
+ *
+ * Voxels are 2-byte density samples (the paper: "two bytes of data are
+ * read per voxel"); the octree stores per-node min/max density so rays
+ * can skip transparent space hierarchically.
+ */
+
+#ifndef WSG_APPS_VOLREND_VOLUME_HH
+#define WSG_APPS_VOLREND_VOLUME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/address_space.hh"
+#include "trace/traced_array.hh"
+
+namespace wsg::apps::volrend
+{
+
+using trace::Addr;
+using trace::ProcId;
+
+/** Dimensions of a voxel volume. */
+struct VolumeDims
+{
+    std::uint32_t nx = 64;
+    std::uint32_t ny = 64;
+    std::uint32_t nz = 64;
+
+    std::uint64_t
+    count() const
+    {
+        return static_cast<std::uint64_t>(nx) * ny * nz;
+    }
+};
+
+/**
+ * Traced voxel volume plus min-max octree.
+ *
+ * Octree level 0 nodes cover kLeafBlock^3 voxels; each higher level
+ * halves the resolution. Node records are 8 bytes in the simulated
+ * address space (min, max, padding).
+ */
+class Volume
+{
+  public:
+    /** Voxels covered per axis by a level-0 octree node. */
+    static constexpr std::uint32_t kLeafBlock = 4;
+    /** Simulated bytes per octree node record. */
+    static constexpr std::uint32_t kNodeBytes = 8;
+
+    Volume(const VolumeDims &dims, trace::SharedAddressSpace &space,
+           trace::MemorySink *sink);
+
+    /** Fill with the synthetic head phantom (untraced). */
+    void buildHeadPhantom();
+
+    /** Set one voxel density (untraced; for tests). */
+    void setVoxel(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                  std::uint16_t density);
+
+    /** Rebuild the min-max octree from the voxel data (untraced). */
+    void buildOctree();
+
+    /** Untraced voxel fetch (0 outside the volume). */
+    std::uint16_t voxelAt(std::int64_t x, std::int64_t y,
+                          std::int64_t z) const;
+
+    /** Traced voxel fetch by processor @p p. */
+    std::uint16_t readVoxel(ProcId p, std::int64_t x, std::int64_t y,
+                            std::int64_t z) const;
+
+    /**
+     * Traced trilinear density interpolation at a continuous position
+     * (voxel coordinates). Reads the 8 surrounding voxels.
+     */
+    double sample(ProcId p, double x, double y, double z) const;
+
+    /**
+     * Hierarchically test whether the region around (x, y, z) can be
+     * skipped: walks octree levels top-down (traced node reads) and
+     * returns the side length (in voxels) of the largest node whose max
+     * density is below @p min_density, or 0 if the location is
+     * interesting.
+     */
+    double skipDistance(ProcId p, double x, double y, double z,
+                        std::uint16_t min_density) const;
+
+    /** Node (min, max) at a level — untraced, for tests. */
+    std::pair<std::uint16_t, std::uint16_t>
+    nodeMinMax(std::uint32_t level, std::uint32_t bx, std::uint32_t by,
+               std::uint32_t bz) const;
+
+    std::uint32_t numLevels() const
+    {
+        return static_cast<std::uint32_t>(levels_.size());
+    }
+
+    const VolumeDims &dims() const { return dims_; }
+
+    /** Max density present in the volume. */
+    std::uint16_t maxDensity() const;
+
+  private:
+    struct Node
+    {
+        std::uint16_t lo = 0;
+        std::uint16_t hi = 0;
+    };
+
+    /** One octree level: grid of nodes plus its simulated base address. */
+    struct Level
+    {
+        std::uint32_t bx = 0, by = 0, bz = 0; // node-grid dims
+        std::uint32_t blockSide = 0;          // voxels per node per axis
+        std::vector<Node> nodes;
+        Addr base = 0;
+    };
+
+    std::uint64_t
+    vidx(std::uint32_t x, std::uint32_t y, std::uint32_t z) const
+    {
+        return (static_cast<std::uint64_t>(z) * dims_.ny + y) * dims_.nx +
+               x;
+    }
+
+    VolumeDims dims_;
+    trace::TracedArray<std::uint16_t> voxels_;
+    std::vector<Level> levels_;
+    trace::SharedAddressSpace *space_;
+    trace::MemorySink *sink_;
+};
+
+} // namespace wsg::apps::volrend
+
+#endif // WSG_APPS_VOLREND_VOLUME_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Paper parameter presets: the prototypical problems of each section and
+ * the laptop-scale simulation configurations used to confirm the
+ * analytical models. Keeping them here makes every bench and test agree
+ * on what "the Figure 2 experiment" is.
+ */
+
+#ifndef WSG_CORE_PRESETS_HH
+#define WSG_CORE_PRESETS_HH
+
+#include "apps/barnes/barnes_hut.hh"
+#include "apps/cg/grid_cg.hh"
+#include "apps/fft/parallel_fft.hh"
+#include "apps/lu/blocked_lu.hh"
+#include "apps/volrend/renderer.hh"
+#include "apps/volrend/volume.hh"
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+#include "model/volrend_model.hh"
+
+namespace wsg::core::presets
+{
+
+// ---------------------------------------------------------------------
+// Paper-scale (analytical) problems.
+// ---------------------------------------------------------------------
+
+/** Figure 2: n = 10,000, P = 1024 LU; B varies per curve. */
+inline model::LuParams
+paperLu(std::uint32_t B = 16)
+{
+    return {10000, 1024, B};
+}
+
+/** Figure 4: 4000 x 4000 2-D grid (or 225^3 3-D), P = 1024. */
+inline model::CgParams
+paperCg2d()
+{
+    return {4000, 1024, 2};
+}
+
+inline model::CgParams
+paperCg3d()
+{
+    return {225, 1024, 3};
+}
+
+/** Figure 5: N = 2^26 points, P = 1024; internal radix per curve. */
+inline model::FftParams
+paperFft(std::uint32_t radix = 8)
+{
+    return {std::uint64_t{1} << 26, 1024, radix};
+}
+
+/** Section 6.2 base problem: 64K particles, theta = 1.0, 64 PEs. */
+inline model::BarnesParams
+paperBarnesBase()
+{
+    return {64.0 * 1024.0, 1.0, 64.0, 1.0};
+}
+
+/** Section 6.3 prototypical problem: 4.5M particles on 1024 PEs. */
+inline model::BarnesParams
+paperBarnesPrototype()
+{
+    return {4.5e6, 1.0, 1024.0, 1.0};
+}
+
+/** Section 7.3 prototypical problem: 600^3 voxels on 1024 PEs. */
+inline model::VolrendParams
+paperVolrendPrototype()
+{
+    return {600.0, 1024.0};
+}
+
+/** Figure 7's dataset scale (cube-equivalent of 256 x 256 x 113). */
+inline model::VolrendParams
+paperVolrendHead()
+{
+    return {197.0, 4.0}; // 197^3 ~ 256*256*113 voxels
+}
+
+// ---------------------------------------------------------------------
+// Simulation-scale configurations (confirm the models on a laptop).
+// ---------------------------------------------------------------------
+
+/** LU simulation: n = 256, B = 16, 4x4 processors. */
+inline apps::lu::LuConfig
+simLu(std::uint32_t B = 16)
+{
+    apps::lu::LuConfig cfg;
+    cfg.n = 256;
+    cfg.blockSize = B;
+    cfg.procRows = 4;
+    cfg.procCols = 4;
+    return cfg;
+}
+
+/** CG simulation: 128^2 grid on 4x4 processors. */
+inline apps::cg::CgConfig
+simCg2d()
+{
+    apps::cg::CgConfig cfg;
+    cfg.n = 128;
+    cfg.dims = 2;
+    cfg.procX = 4;
+    cfg.procY = 4;
+    return cfg;
+}
+
+/** CG simulation: 32^3 grid on 2x2x2 processors. */
+inline apps::cg::CgConfig
+simCg3d()
+{
+    apps::cg::CgConfig cfg;
+    cfg.n = 32;
+    cfg.dims = 3;
+    cfg.procX = 2;
+    cfg.procY = 2;
+    cfg.procZ = 2;
+    return cfg;
+}
+
+/** FFT simulation: N = 2^14 on 4 processors. */
+inline apps::fft::FftConfig
+simFft(std::uint32_t radix = 8)
+{
+    apps::fft::FftConfig cfg;
+    cfg.logN = 14;
+    cfg.numProcs = 4;
+    cfg.internalRadix = radix;
+    return cfg;
+}
+
+/** Figure 6 exactly: n = 1024 bodies, theta = 1.0, p = 4, quadrupole. */
+inline apps::barnes::BarnesConfig
+simBarnesFig6()
+{
+    apps::barnes::BarnesConfig cfg;
+    cfg.numBodies = 1024;
+    cfg.numProcs = 4;
+    cfg.theta = 1.0;
+    cfg.quadrupole = true;
+    return cfg;
+}
+
+/** Figure 7 at simulation scale: 96^3 phantom head, p = 4. */
+inline apps::volrend::VolumeDims
+simVolrendDims()
+{
+    return {96, 96, 96};
+}
+
+inline apps::volrend::RenderConfig
+simVolrendRender()
+{
+    apps::volrend::RenderConfig cfg;
+    cfg.imageWidth = 96;
+    cfg.imageHeight = 96;
+    cfg.numProcs = 4;
+    cfg.degreesPerFrame = 5.0;
+    return cfg;
+}
+
+} // namespace wsg::core::presets
+
+#endif // WSG_CORE_PRESETS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * One-call experiment runners: build the app, run it against a
+ * Multiprocessor (with warm-up excluded per Section 2.2), and analyze
+ * the working sets. Shared by the figure benches, the integration tests
+ * and the examples.
+ */
+
+#ifndef WSG_CORE_RUNNERS_HH
+#define WSG_CORE_RUNNERS_HH
+
+#include <cstdint>
+
+#include "apps/barnes/barnes_hut.hh"
+#include "apps/cg/grid_cg.hh"
+#include "apps/fft/parallel_fft.hh"
+#include "apps/lu/blocked_lu.hh"
+#include "apps/volrend/renderer.hh"
+#include "apps/volrend/volume.hh"
+#include "core/working_set_study.hh"
+
+namespace wsg::core
+{
+
+/**
+ * Run a blocked LU factorization and analyze misses/FLOP.
+ * LU is a one-shot computation; cold misses are excluded in the curve.
+ */
+StudyResult runLuStudy(const apps::lu::LuConfig &app_config,
+                       const StudyConfig &study = {},
+                       std::uint32_t line_bytes = 8);
+
+/**
+ * Run grid CG for @p warmup_iters + @p iters iterations; only the last
+ * @p iters are measured (cold-start exclusion).
+ */
+StudyResult runCgStudy(const apps::cg::CgConfig &app_config,
+                       std::uint32_t iters = 3,
+                       std::uint32_t warmup_iters = 1,
+                       const StudyConfig &study = {},
+                       std::uint32_t line_bytes = 8);
+
+/**
+ * Run @p warmup_transforms + @p transforms forward FFTs; only the last
+ * @p transforms are measured.
+ */
+StudyResult runFftStudy(const apps::fft::FftConfig &app_config,
+                        std::uint32_t transforms = 1,
+                        std::uint32_t warmup_transforms = 1,
+                        const StudyConfig &study = {},
+                        std::uint32_t line_bytes = 8);
+
+/**
+ * Run Barnes-Hut for @p warmup_steps + @p steps time-steps; only the
+ * last @p steps are measured. Metric: read miss rate.
+ */
+StudyResult runBarnesStudy(const apps::barnes::BarnesConfig &app_config,
+                           std::uint32_t steps = 2,
+                           std::uint32_t warmup_steps = 1,
+                           const StudyConfig &study = {},
+                           std::uint32_t line_bytes = 32);
+
+/**
+ * Render @p warmup_frames + @p frames frames of the phantom head; only
+ * the last @p frames are measured. Metric: read miss rate.
+ */
+StudyResult runVolrendStudy(const apps::volrend::VolumeDims &dims,
+                            const apps::volrend::RenderConfig &render,
+                            std::uint32_t frames = 2,
+                            std::uint32_t warmup_frames = 1,
+                            const StudyConfig &study = {},
+                            std::uint32_t line_bytes = 16);
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_RUNNERS_HH

@@ -1,0 +1,61 @@
+#include "core/working_set_study.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+namespace wsg::core
+{
+
+StudyResult
+analyzeWorkingSets(const sim::Multiprocessor &mp,
+                   const StudyConfig &config, Metric metric,
+                   std::uint64_t total_flops, const std::string &name)
+{
+    StudyResult result;
+    result.maxFootprintBytes = mp.maxFootprintBytes();
+
+    std::uint64_t max_bytes = config.maxCacheBytes;
+    if (max_bytes == 0)
+        max_bytes = std::max<std::uint64_t>(2 * result.maxFootprintBytes,
+                                            config.minCacheBytes * 4);
+
+    sim::CurveSpec spec;
+    spec.cacheSizesBytes =
+        sim::sweepSizes(config.minCacheBytes, max_bytes,
+                        config.pointsPerOctave, mp.config().lineBytes);
+    spec.includeCold = config.includeCold;
+
+    result.curve = metric == Metric::MissesPerFlop
+                       ? mp.missesPerFlopCurve(spec, total_flops, name)
+                       : mp.readMissRateCurve(spec, name);
+    result.aggregate = mp.aggregateStats();
+    if (!result.curve.empty())
+        result.floorRate = result.curve.minY();
+
+    stats::KneeConfig knee = config.knee;
+    knee.rateFloor = std::max(knee.rateFloor, result.floorRate);
+    result.workingSets = stats::detectWorkingSets(result.curve, knee);
+    return result;
+}
+
+std::string
+describeStudy(const StudyResult &result)
+{
+    std::ostringstream os;
+    os << stats::renderSeries("miss rate vs cache size", "cache",
+                              {result.curve});
+    os << "working sets:\n"
+       << stats::describeWorkingSets(result.workingSets);
+    os << "reads " << result.aggregate.reads << ", read cold "
+       << result.aggregate.readCold << ", read coherence "
+       << result.aggregate.readCoherence << ", max footprint "
+       << stats::formatBytes(
+              static_cast<double>(result.maxFootprintBytes))
+       << ", floor " << stats::formatRate(result.floorRate) << "\n";
+    return os.str();
+}
+
+} // namespace wsg::core

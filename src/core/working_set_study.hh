@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The working-set study driver — the paper's Section 2.2 methodology as a
+ * reusable procedure:
+ *
+ *   1. run an instrumented application against a Multiprocessor sink
+ *      (optionally with warm-up steps excluded via setMeasuring),
+ *   2. extract the miss-rate-versus-cache-size curve from the
+ *      stack-distance profiles,
+ *   3. find the knees => the working-set hierarchy.
+ */
+
+#ifndef WSG_CORE_WORKING_SET_STUDY_HH
+#define WSG_CORE_WORKING_SET_STUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/multiprocessor.hh"
+#include "stats/curve.hh"
+#include "stats/knee.hh"
+
+namespace wsg::core
+{
+
+/** Which miss metric a study reports (Section 2.2). */
+enum class Metric : std::uint8_t
+{
+    /** Double-word read misses per FLOP (LU, CG, FFT). */
+    MissesPerFlop,
+    /** Read misses / read references (Barnes-Hut, volume rendering). */
+    ReadMissRate,
+};
+
+/** Sweep and analysis parameters. */
+struct StudyConfig
+{
+    /** Smallest cache size to evaluate (bytes). */
+    std::uint64_t minCacheBytes = 64;
+    /** Largest cache size; 0 = twice the largest per-processor
+     *  footprint. */
+    std::uint64_t maxCacheBytes = 0;
+    /** Sweep resolution. */
+    int pointsPerOctave = 4;
+    /** Count cold misses (the paper excludes them). */
+    bool includeCold = false;
+    /** Knee-detection thresholds. */
+    stats::KneeConfig knee;
+};
+
+/** Outcome of one study. */
+struct StudyResult
+{
+    /** The analyzed curve (metric per the request). */
+    stats::Curve curve;
+    /** Detected working-set hierarchy. */
+    std::vector<stats::WorkingSet> workingSets;
+    /** Aggregate simulator counters. */
+    sim::ProcStats aggregate;
+    /** Largest per-processor footprint (bytes). */
+    std::uint64_t maxFootprintBytes = 0;
+    /** Floor of the curve (the inherent-communication rate). */
+    double floorRate = 0.0;
+};
+
+/**
+ * Analyze a finished simulation.
+ *
+ * @param mp The multiprocessor the application ran against.
+ * @param config Sweep and knee parameters.
+ * @param metric Metric to build the curve in.
+ * @param total_flops FLOPs for MissesPerFlop (ignored otherwise).
+ * @param name Curve name for display.
+ */
+StudyResult analyzeWorkingSets(const sim::Multiprocessor &mp,
+                               const StudyConfig &config, Metric metric,
+                               std::uint64_t total_flops,
+                               const std::string &name);
+
+/** Render a StudyResult as a small report (curve + knees + counters). */
+std::string describeStudy(const StudyResult &result);
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_WORKING_SET_STUDY_HH

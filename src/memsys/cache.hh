@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Abstract cache model interface.
+ *
+ * Caches operate on *line numbers* (byte address divided by the line
+ * size): the caller (the multiprocessor simulator) splits each MemRef
+ * into cache-line-sized pieces and converts to dense line indices. This
+ * keeps the models simple, makes the line size a property of the machine
+ * configuration rather than of each cache implementation, and gives
+ * set-indexed organizations dense index bits.
+ */
+
+#ifndef WSG_MEMSYS_CACHE_HH
+#define WSG_MEMSYS_CACHE_HH
+
+#include <cstdint>
+
+#include "trace/memref.hh"
+
+namespace wsg::memsys
+{
+
+using trace::Addr;
+
+/** Outcome of a cache access. */
+enum class AccessOutcome : std::uint8_t
+{
+    Hit,
+    Miss,
+};
+
+/**
+ * A single cache with some organization and replacement policy.
+ */
+class Cache
+{
+  public:
+    virtual ~Cache() = default;
+
+    /**
+     * Access the line at @p line_addr, allocating it on a miss.
+     *
+     * @param line_addr Line-aligned simulated address.
+     * @return Hit or Miss.
+     */
+    virtual AccessOutcome access(Addr line_addr) = 0;
+
+    /**
+     * Remove the line if present (coherence invalidation).
+     * @return true when the line was present.
+     */
+    virtual bool invalidate(Addr line_addr) = 0;
+
+    /** @return true when the line is currently cached. */
+    virtual bool contains(Addr line_addr) const = 0;
+
+    /** Capacity in lines. */
+    virtual std::uint64_t capacityLines() const = 0;
+
+    /** Number of lines currently resident. */
+    virtual std::uint64_t residentLines() const = 0;
+
+    /** Drop all contents. */
+    virtual void clear() = 0;
+};
+
+/** Align @p addr down to a multiple of @p line_bytes (power of two). */
+inline Addr
+lineAlign(Addr addr, std::uint32_t line_bytes)
+{
+    return addr & ~static_cast<Addr>(line_bytes - 1);
+}
+
+} // namespace wsg::memsys
+
+#endif // WSG_MEMSYS_CACHE_HH

@@ -1,0 +1,58 @@
+#include "memsys/fully_assoc_lru.hh"
+
+#include <stdexcept>
+
+namespace wsg::memsys
+{
+
+FullyAssocLru::FullyAssocLru(std::uint64_t capacity_lines)
+    : capacity_(capacity_lines)
+{
+    if (capacity_ == 0)
+        throw std::invalid_argument("FullyAssocLru: zero capacity");
+}
+
+AccessOutcome
+FullyAssocLru::access(Addr line_addr)
+{
+    auto it = index_.find(line_addr);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return AccessOutcome::Hit;
+    }
+
+    if (lru_.size() >= capacity_) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        index_.erase(victim);
+    }
+    lru_.push_front(line_addr);
+    index_[line_addr] = lru_.begin();
+    return AccessOutcome::Miss;
+}
+
+bool
+FullyAssocLru::invalidate(Addr line_addr)
+{
+    auto it = index_.find(line_addr);
+    if (it == index_.end())
+        return false;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+bool
+FullyAssocLru::contains(Addr line_addr) const
+{
+    return index_.count(line_addr) != 0;
+}
+
+void
+FullyAssocLru::clear()
+{
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace wsg::memsys

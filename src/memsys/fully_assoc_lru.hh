@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fully associative LRU cache — the paper's reference cache organization
+ * ("we use fully associative caches with an LRU replacement policy",
+ * Section 2.2).
+ *
+ * Implemented as a hash map over an intrusive doubly-linked list so that
+ * access, invalidate and eviction are all O(1).
+ */
+
+#ifndef WSG_MEMSYS_FULLY_ASSOC_LRU_HH
+#define WSG_MEMSYS_FULLY_ASSOC_LRU_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "memsys/cache.hh"
+
+namespace wsg::memsys
+{
+
+/** Fully associative cache with true-LRU replacement. */
+class FullyAssocLru : public Cache
+{
+  public:
+    /** @param capacity_lines Capacity in lines; must be >= 1. */
+    explicit FullyAssocLru(std::uint64_t capacity_lines);
+
+    AccessOutcome access(Addr line_addr) override;
+    bool invalidate(Addr line_addr) override;
+    bool contains(Addr line_addr) const override;
+    std::uint64_t capacityLines() const override { return capacity_; }
+
+    std::uint64_t
+    residentLines() const override
+    {
+        return static_cast<std::uint64_t>(lru_.size());
+    }
+
+    void clear() override;
+
+  private:
+    std::uint64_t capacity_;
+    /** MRU at front, LRU at back. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> index_;
+};
+
+} // namespace wsg::memsys
+
+#endif // WSG_MEMSYS_FULLY_ASSOC_LRU_HH

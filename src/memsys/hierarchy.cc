@@ -1,0 +1,52 @@
+#include "memsys/hierarchy.hh"
+
+#include <stdexcept>
+
+namespace wsg::memsys
+{
+
+TwoLevelCache::TwoLevelCache(std::unique_ptr<Cache> l1,
+                             std::unique_ptr<Cache> l2)
+    : l1_(std::move(l1)), l2_(std::move(l2))
+{
+    if (!l1_ || !l2_)
+        throw std::invalid_argument("TwoLevelCache: null level");
+}
+
+ServiceLevel
+TwoLevelCache::accessDetailed(Addr line_addr)
+{
+    ++stats_.accesses;
+    if (l1_->access(line_addr) == AccessOutcome::Hit)
+        return ServiceLevel::L1;
+    ++stats_.l1Misses;
+    // The L1 access above already allocated the line in L1 (fill).
+    if (l2_->access(line_addr) == AccessOutcome::Hit)
+        return ServiceLevel::L2;
+    ++stats_.l2Misses;
+    return ServiceLevel::Memory;
+}
+
+bool
+TwoLevelCache::invalidate(Addr line_addr)
+{
+    bool in_l1 = l1_->invalidate(line_addr);
+    bool in_l2 = l2_->invalidate(line_addr);
+    return in_l1 || in_l2;
+}
+
+bool
+TwoLevelCache::contains(Addr line_addr) const
+{
+    return l1_->contains(line_addr) || l2_->contains(line_addr);
+}
+
+void
+TwoLevelCache::clear()
+{
+    l1_->clear();
+    l2_->clear();
+    stats_ = HierarchyStats{};
+}
+
+} // namespace wsg::memsys

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Two-level cache hierarchy.
+ *
+ * The paper's working-set hierarchies are explicitly pitched at
+ * multi-level caches ("how large different levels of a multiprocessor's
+ * cache hierarchy should be", Section 1): a small L1 sized for lev1WS
+ * and a larger L2 sized for lev2WS. This model composes two Cache
+ * organizations; an access that misses in L1 is looked up (and allocated)
+ * in L2, and only an L2 miss goes to memory.
+ *
+ * The hierarchy is non-inclusive non-exclusive ("accidentally
+ * inclusive"): L1 fills also allocate in L2, but L2 evictions do not
+ * back-invalidate L1 — the common behaviour of early two-level designs.
+ * Coherence invalidations are applied to both levels.
+ */
+
+#ifndef WSG_MEMSYS_HIERARCHY_HH
+#define WSG_MEMSYS_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "memsys/cache.hh"
+
+namespace wsg::memsys
+{
+
+/** Where an access was satisfied. */
+enum class ServiceLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/** Hit/miss counters per level. */
+struct HierarchyStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+
+    double
+    l1MissRate() const
+    {
+        return accesses ? static_cast<double>(l1Misses) / accesses : 0.0;
+    }
+
+    /** Global (memory) miss rate. */
+    double
+    memoryMissRate() const
+    {
+        return accesses ? static_cast<double>(l2Misses) / accesses : 0.0;
+    }
+
+    /** L2 local miss rate (of the accesses that reached L2). */
+    double
+    l2LocalMissRate() const
+    {
+        return l1Misses ? static_cast<double>(l2Misses) / l1Misses : 0.0;
+    }
+};
+
+/**
+ * Two-level hierarchy behind the Cache interface: access() reports Miss
+ * only when the request reaches memory, so it can be attached to the
+ * Multiprocessor as a concrete cache (concreteReadMisses then counts
+ * memory-level misses).
+ */
+class TwoLevelCache : public Cache
+{
+  public:
+    /** Takes ownership of both levels. */
+    TwoLevelCache(std::unique_ptr<Cache> l1, std::unique_ptr<Cache> l2);
+
+    /** Detailed access: returns which level serviced the line. */
+    ServiceLevel accessDetailed(Addr line_addr);
+
+    AccessOutcome
+    access(Addr line_addr) override
+    {
+        return accessDetailed(line_addr) == ServiceLevel::Memory
+                   ? AccessOutcome::Miss
+                   : AccessOutcome::Hit;
+    }
+
+    bool invalidate(Addr line_addr) override;
+    bool contains(Addr line_addr) const override;
+
+    std::uint64_t
+    capacityLines() const override
+    {
+        return l1_->capacityLines() + l2_->capacityLines();
+    }
+
+    std::uint64_t
+    residentLines() const override
+    {
+        return l1_->residentLines() + l2_->residentLines();
+    }
+
+    void clear() override;
+
+    const HierarchyStats &stats() const { return stats_; }
+    void resetStats() { stats_ = HierarchyStats{}; }
+
+    const Cache &l1() const { return *l1_; }
+    const Cache &l2() const { return *l2_; }
+
+  private:
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2_;
+    HierarchyStats stats_;
+};
+
+} // namespace wsg::memsys
+
+#endif // WSG_MEMSYS_HIERARCHY_HH

@@ -1,0 +1,119 @@
+#include "memsys/set_assoc.hh"
+
+#include <stdexcept>
+
+namespace wsg::memsys
+{
+
+SetAssocCache::SetAssocCache(std::uint64_t num_sets, std::uint32_t ways,
+                             ReplacementPolicy policy, std::uint64_t seed)
+    : numSets_(num_sets), ways_(ways), policy_(policy),
+      store_(num_sets * ways), rng_(seed)
+{
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
+        throw std::invalid_argument(
+            "SetAssocCache: set count must be a power of two");
+    if (ways_ == 0)
+        throw std::invalid_argument("SetAssocCache: zero associativity");
+}
+
+SetAssocCache
+SetAssocCache::directMapped(std::uint64_t capacity_lines)
+{
+    return SetAssocCache(capacity_lines, 1);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    // Line addresses are already shifted by the caller's line size; mixing
+    // the bits a little avoids pathological striding across segments.
+    return static_cast<std::size_t>(line_addr & (numSets_ - 1));
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(Addr line_addr)
+{
+    std::size_t base = setIndex(line_addr) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = store_[base + w];
+        if (way.valid && way.line == line_addr)
+            return &way;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(Addr line_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findWay(line_addr);
+}
+
+AccessOutcome
+SetAssocCache::access(Addr line_addr)
+{
+    ++tick_;
+    if (Way *hit = findWay(line_addr)) {
+        if (policy_ == ReplacementPolicy::LRU)
+            hit->stamp = tick_;
+        return AccessOutcome::Hit;
+    }
+
+    // Miss: pick a victim way in the set.
+    std::size_t base = setIndex(line_addr) * ways_;
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = store_[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+    }
+    if (!victim) {
+        if (policy_ == ReplacementPolicy::Random) {
+            victim = &store_[base + rng_() % ways_];
+        } else {
+            // LRU and FIFO both evict the smallest stamp.
+            victim = &store_[base];
+            for (std::uint32_t w = 1; w < ways_; ++w) {
+                if (store_[base + w].stamp < victim->stamp)
+                    victim = &store_[base + w];
+            }
+        }
+    } else {
+        ++resident_;
+    }
+
+    victim->line = line_addr;
+    victim->valid = true;
+    victim->stamp = tick_;
+    return AccessOutcome::Miss;
+}
+
+bool
+SetAssocCache::invalidate(Addr line_addr)
+{
+    if (Way *way = findWay(line_addr)) {
+        way->valid = false;
+        --resident_;
+        return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr line_addr) const
+{
+    return findWay(line_addr) != nullptr;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &way : store_)
+        way = Way{};
+    resident_ = 0;
+    tick_ = 0;
+}
+
+} // namespace wsg::memsys

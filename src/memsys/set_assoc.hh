@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Set-associative cache with pluggable replacement, including the
+ * direct-mapped (1-way) organization the paper discusses in Section 6.4
+ * ("the direct-mapped cache size required to hold the important working
+ * set is about three times as large as the corresponding fully associative
+ * cache size").
+ */
+
+#ifndef WSG_MEMSYS_SET_ASSOC_HH
+#define WSG_MEMSYS_SET_ASSOC_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "memsys/cache.hh"
+
+namespace wsg::memsys
+{
+
+/** Replacement policy for SetAssocCache. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    LRU,
+    FIFO,
+    Random,
+};
+
+/**
+ * Set-associative cache.
+ *
+ * Sets are indexed by line-address bits; ways within a set are kept in
+ * recency/insertion order (small linear scans — associativity is small).
+ */
+class SetAssocCache : public Cache
+{
+  public:
+    /**
+     * @param num_sets Power-of-two set count.
+     * @param ways Associativity (1 == direct-mapped).
+     * @param policy Replacement policy.
+     * @param seed RNG seed for Random replacement (deterministic runs).
+     */
+    SetAssocCache(std::uint64_t num_sets, std::uint32_t ways,
+                  ReplacementPolicy policy = ReplacementPolicy::LRU,
+                  std::uint64_t seed = 1);
+
+    /** Build a direct-mapped cache with @p capacity_lines lines. */
+    static SetAssocCache directMapped(std::uint64_t capacity_lines);
+
+    AccessOutcome access(Addr line_addr) override;
+    bool invalidate(Addr line_addr) override;
+    bool contains(Addr line_addr) const override;
+
+    std::uint64_t
+    capacityLines() const override
+    {
+        return numSets_ * ways_;
+    }
+
+    std::uint64_t residentLines() const override { return resident_; }
+    void clear() override;
+
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t ways() const { return ways_; }
+    ReplacementPolicy policy() const { return policy_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        /** Recency (LRU) or insertion (FIFO) stamp; larger is newer. */
+        std::uint64_t stamp = 0;
+    };
+
+    std::size_t setIndex(Addr line_addr) const;
+    /** Pointer to the way holding @p line_addr in its set, or nullptr. */
+    Way *findWay(Addr line_addr);
+    const Way *findWay(Addr line_addr) const;
+
+    std::uint64_t numSets_;
+    std::uint32_t ways_;
+    ReplacementPolicy policy_;
+    std::vector<Way> store_;
+    std::uint64_t resident_ = 0;
+    std::uint64_t tick_ = 0;
+    std::mt19937_64 rng_;
+};
+
+} // namespace wsg::memsys
+
+#endif // WSG_MEMSYS_SET_ASSOC_HH

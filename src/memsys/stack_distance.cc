@@ -1,0 +1,141 @@
+#include "memsys/stack_distance.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsg::memsys
+{
+
+namespace
+{
+
+/** Initial Fenwick capacity (slots); grows by compaction as needed. */
+constexpr std::uint64_t kInitialSlots = 1 << 16;
+
+} // namespace
+
+StackDistanceProfiler::StackDistanceProfiler()
+    : tree_(kInitialSlots + 1, 0)
+{}
+
+std::uint64_t
+StackDistanceProfiler::prefix(std::uint64_t i) const
+{
+    std::uint64_t sum = 0;
+    for (; i > 0; i -= i & (~i + 1))
+        sum += tree_[i];
+    return sum;
+}
+
+void
+StackDistanceProfiler::update(std::uint64_t i, int delta)
+{
+    for (; i < tree_.size(); i += i & (~i + 1))
+        tree_[i] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(tree_[i]) + delta);
+}
+
+void
+StackDistanceProfiler::compact()
+{
+    // Collect live (addr, slot) pairs in slot order and renumber densely.
+    std::vector<std::pair<std::uint64_t, Addr>> livePairs;
+    livePairs.reserve(live_);
+    for (const auto &[addr, slot] : last_) {
+        if (slot != kInvalidated)
+            livePairs.emplace_back(static_cast<std::uint64_t>(slot), addr);
+    }
+    std::sort(livePairs.begin(), livePairs.end());
+
+    std::uint64_t slots = std::max<std::uint64_t>(kInitialSlots,
+                                                  4 * live_ + 16);
+    tree_.assign(slots + 1, 0);
+    now_ = 0;
+    for (const auto &[oldSlot, addr] : livePairs) {
+        (void)oldSlot;
+        ++now_;
+        last_[addr] = static_cast<std::int64_t>(now_);
+        update(now_, +1);
+    }
+}
+
+DistanceSample
+StackDistanceProfiler::access(Addr line)
+{
+    if (now_ + 1 >= tree_.size())
+        compact();
+
+    DistanceSample sample;
+    auto it = last_.find(line);
+    if (it == last_.end()) {
+        sample.kind = RefClass::Cold;
+    } else if (it->second == kInvalidated) {
+        sample.kind = RefClass::Coherence;
+    } else {
+        sample.kind = RefClass::Finite;
+        auto slot = static_cast<std::uint64_t>(it->second);
+        // Depth == number of live lines touched more recently than `line`.
+        sample.distance = live_ - prefix(slot);
+        update(slot, -1);
+        --live_;
+    }
+
+    ++now_;
+    last_[line] = static_cast<std::int64_t>(now_);
+    update(now_, +1);
+    ++live_;
+    return sample;
+}
+
+bool
+StackDistanceProfiler::invalidate(Addr line)
+{
+    auto it = last_.find(line);
+    if (it == last_.end() || it->second == kInvalidated)
+        return false;
+    update(static_cast<std::uint64_t>(it->second), -1);
+    it->second = kInvalidated;
+    --live_;
+    return true;
+}
+
+void
+StackDistanceProfiler::clear()
+{
+    last_.clear();
+    tree_.assign(kInitialSlots + 1, 0);
+    now_ = 0;
+    live_ = 0;
+}
+
+DistanceSample
+NaiveStackProfiler::access(Addr line)
+{
+    DistanceSample sample;
+    auto pos = std::find(stack_.begin(), stack_.end(), line);
+    if (pos != stack_.end()) {
+        sample.kind = RefClass::Finite;
+        sample.distance =
+            static_cast<std::uint64_t>(pos - stack_.begin());
+        stack_.erase(pos);
+    } else if (seen_.count(line)) {
+        sample.kind = RefClass::Coherence;
+    } else {
+        sample.kind = RefClass::Cold;
+    }
+    stack_.insert(stack_.begin(), line);
+    seen_[line] = true;
+    return sample;
+}
+
+bool
+NaiveStackProfiler::invalidate(Addr line)
+{
+    auto pos = std::find(stack_.begin(), stack_.end(), line);
+    if (pos == stack_.end())
+        return false;
+    stack_.erase(pos);
+    return true;
+}
+
+} // namespace wsg::memsys

@@ -1,0 +1,32 @@
+#include "model/app_model.hh"
+
+namespace wsg::model
+{
+
+double
+rateAtSize(double initial_rate, const std::vector<WsLevel> &levels,
+           double cache_bytes)
+{
+    double rate = initial_rate;
+    for (const auto &lev : levels) {
+        if (cache_bytes >= lev.sizeBytes)
+            rate = lev.missRateAfter;
+    }
+    return rate;
+}
+
+stats::Curve
+stepCurveFromLevels(const std::string &name, double initial_rate,
+                    const std::vector<WsLevel> &levels,
+                    const std::vector<std::uint64_t> &sizes)
+{
+    stats::Curve curve(name);
+    for (auto bytes : sizes) {
+        curve.addPoint(static_cast<double>(bytes),
+                       rateAtSize(initial_rate, levels,
+                                  static_cast<double>(bytes)));
+    }
+    return curve;
+}
+
+} // namespace wsg::model

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Common vocabulary for the per-application analytical models.
+ *
+ * Each application section of the paper derives (a) a working-set
+ * hierarchy with sizes and post-knee miss rates, (b) a computation-to-
+ * communication ratio, and (c) growth rates for Table 1. The per-app
+ * model classes in this directory expose those through the structures
+ * defined here, so the table/figure benches can iterate over applications
+ * uniformly.
+ */
+
+#ifndef WSG_MODEL_APP_MODEL_HH
+#define WSG_MODEL_APP_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/curve.hh"
+
+namespace wsg::model
+{
+
+/** One level of an analytically derived working-set hierarchy. */
+struct WsLevel
+{
+    /** "lev1WS", "lev2WS", ... */
+    std::string name;
+    /** Size in bytes. */
+    double sizeBytes = 0.0;
+    /** Miss metric once this level fits (misses/FLOP or read miss rate,
+     *  per the application's metric). */
+    double missRateAfter = 0.0;
+    /** Short description ("two columns of a block"). */
+    std::string what;
+};
+
+/** Growth-rate row of Table 1 (symbolic, as printed in the paper). */
+struct GrowthRates
+{
+    std::string app;
+    std::string data;
+    std::string ops;
+    std::string concurrency;
+    std::string communication;
+    std::string importantWorkingSet;
+};
+
+/**
+ * Build a stepwise miss-rate curve from a working-set hierarchy: the rate
+ * is @p initial_rate below the first level and drops to each level's
+ * missRateAfter at its size. Sampled at the given sizes (step semantics).
+ */
+stats::Curve stepCurveFromLevels(const std::string &name,
+                                 double initial_rate,
+                                 const std::vector<WsLevel> &levels,
+                                 const std::vector<std::uint64_t> &sizes);
+
+/**
+ * Evaluate a stepwise hierarchy at one cache size (bytes): the miss rate
+ * with the largest fitting level accounted for.
+ */
+double rateAtSize(double initial_rate, const std::vector<WsLevel> &levels,
+                  double cache_bytes);
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_APP_MODEL_HH

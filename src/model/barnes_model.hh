@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Analytical model of the Barnes-Hut hierarchical N-body method
+ * (Section 6).
+ *
+ * Working sets:
+ *   lev1WS  interaction scratch state: ~0.7 KB, independent of n, theta
+ *           and p
+ *   lev2WS  tree data needed to compute the force on one particle,
+ *           proportional to interactions per particle:
+ *               size = kLev2Coeff * (1/theta^2) * log10(n)
+ *           (kLev2Coeff calibrated to the paper: 32 KB at n = 64K,
+ *           theta = 1.0)
+ *   lev3WS  max(partition data, data needed for all of a partition's
+ *           forces) — unimportant to performance, reported for
+ *           completeness
+ *
+ * Miss metric: read miss rate. Plateaus (from the paper's simulations):
+ * ~100% with no cache, ~20% after lev1WS, near the inherent communication
+ * rate after lev2WS.
+ *
+ * Scaling rule (quadrupole moments): scaling n by s scales theta by
+ * s^(-1/8) (force error theta^4 tracks the n^(-1/2) sampling error) and
+ * dt by s^(-1/2); both working set and execution time follow.
+ */
+
+#ifndef WSG_MODEL_BARNES_MODEL_HH
+#define WSG_MODEL_BARNES_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/app_model.hh"
+
+namespace wsg::model
+{
+
+/** Problem instance for the Barnes-Hut model. */
+struct BarnesParams
+{
+    /** Particle count. */
+    double n = 64.0 * 1024.0;
+    /** Opening-criterion accuracy parameter. */
+    double theta = 1.0;
+    /** Processor count. */
+    double P = 64.0;
+    /** Time-step scale factor relative to the base problem (1.0). */
+    double dt = 1.0;
+};
+
+/** Closed-form characterization of Barnes-Hut. */
+class BarnesModel
+{
+  public:
+    explicit BarnesModel(const BarnesParams &params) : p_(params) {}
+
+    const BarnesParams &params() const { return p_; }
+
+    std::vector<WsLevel> workingSets() const;
+    double initialMissRate() const { return 1.0; }
+    stats::Curve missCurve(const std::vector<std::uint64_t> &sizes) const;
+
+    /** lev2WS size in bytes for the current parameters. */
+    double lev2Bytes() const;
+
+    /** Bytes per particle (quadrupole moments): ~230. */
+    static double bytesPerParticle() { return 230.0; }
+
+    double dataBytes() const { return p_.n * bytesPerParticle(); }
+    double grainBytes() const { return dataBytes() / p_.P; }
+
+    /** Interactions per particle per time-step: (1/theta^2) log2 n. */
+    double interactionsPerParticle() const;
+
+    /** Instructions per time-step: 80 per interaction (quadrupole). */
+    double instructionsPerTimestep() const;
+
+    /**
+     * Communication per processor per time-step, in "units" of 3 double
+     * words (paper: n^(1/3) theta^3 / p^(1/3) * log^(4/3) p, with a
+     * calibrated constant).
+     */
+    double commUnitsPerProcPerStep() const;
+
+    /**
+     * Communication-to-computation ratio in double words per instruction
+     * (the paper quotes "1 double word per 10,000 busy cycles" for the
+     * 4.5M-particle prototypical problem).
+     */
+    double wordsPerInstruction() const;
+
+    /** Particles per processor (load-balance/work-unit metric). */
+    double particlesPerProc() const { return p_.n / p_.P; }
+
+    /** Read-miss-rate floor from inherent communication. */
+    double commMissRate() const;
+
+    static GrowthRates growthRates();
+
+  private:
+    BarnesParams p_;
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_BARNES_MODEL_HH

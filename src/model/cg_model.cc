@@ -1,0 +1,118 @@
+#include "model/cg_model.hh"
+
+#include <cmath>
+#include <string>
+
+namespace wsg::model
+{
+
+namespace
+{
+
+constexpr double kWord = 8.0;
+
+/**
+ * Sliding-window size in subrows / planes of x data. Calibrated against
+ * the paper's prototypical numbers: 5 KB at 4000^2/1024 in 2-D and 18 KB
+ * at 225^3/1024 in 3-D.
+ */
+constexpr double kWindowRows2d = 5.0;
+constexpr double kWindowPlanes3d = 4.5;
+
+} // namespace
+
+double
+CgModel::pointsPerSide() const
+{
+    double n = static_cast<double>(p_.n);
+    double P = static_cast<double>(p_.P);
+    return p_.dims == 2 ? n / std::sqrt(P) : n / std::cbrt(P);
+}
+
+double
+CgModel::bytesPerPoint() const
+{
+    // 2-D: 5 stencil weights + 3 vector doubles; 3-D: 7 weights + 4.
+    return (p_.dims == 2 ? 8.0 : 11.0) * kWord;
+}
+
+std::vector<WsLevel>
+CgModel::workingSets() const
+{
+    double side = pointsPerSide();
+    double lev1 = p_.dims == 2 ? kWindowRows2d * side * kWord
+                               : kWindowPlanes3d * side * side * kWord;
+    double points_local = p_.dims == 2 ? side * side : side * side * side;
+    double lev2 = points_local * bytesPerPoint();
+
+    std::vector<WsLevel> levels;
+    // The stencil weights stream every iteration (5 or 7 reads per point)
+    // and the x values from already-swept rows hit once the window fits;
+    // the x value from the not-yet-swept side still misses. With 10
+    // FLOPs/point the plateau after lev1 is ~(weights + 1 x + vector-op
+    // traffic)/10.
+    double after1 = p_.dims == 2 ? 0.8 : 1.0;
+    levels.push_back({"lev1WS", lev1, after1,
+                      p_.dims == 2
+                          ? "three adjacent x subrows (plus vector rows)"
+                          : "adjacent x cross-section planes"});
+    levels.push_back({"lev2WS", lev2, commMissRate(),
+                      "entire per-processor partition"});
+    return levels;
+}
+
+double
+CgModel::initialMissRate() const
+{
+    // Nothing retained: weights + most x neighbours + vector ops all miss.
+    return p_.dims == 2 ? 1.0 : 1.2;
+}
+
+stats::Curve
+CgModel::missCurve(const std::vector<std::uint64_t> &sizes) const
+{
+    return stepCurveFromLevels("CG " + std::to_string(p_.dims) + "-D",
+                               initialMissRate(), workingSets(), sizes);
+}
+
+double
+CgModel::flopsPerIteration() const
+{
+    double n = static_cast<double>(p_.n);
+    double points = p_.dims == 2 ? n * n : n * n * n;
+    // Two FLOPs per stencil nonzero (multiply-add): 10 per point for the
+    // 5-point 2-D stencil, 14 for the 7-point 3-D stencil. This yields the
+    // paper's ratios 5n/(2 sqrt P) and 7n/(3 cbrt P).
+    return (p_.dims == 2 ? 10.0 : 14.0) * points;
+}
+
+double
+CgModel::dataBytes() const
+{
+    double n = static_cast<double>(p_.n);
+    double points = p_.dims == 2 ? n * n : n * n * n;
+    return points * bytesPerPoint();
+}
+
+double
+CgModel::commWordsPerIterPerProc() const
+{
+    double side = pointsPerSide();
+    return p_.dims == 2 ? 4.0 * side : 6.0 * side * side;
+}
+
+double
+CgModel::commToCompRatio() const
+{
+    double flops_per_proc =
+        flopsPerIteration() / static_cast<double>(p_.P);
+    return flops_per_proc / commWordsPerIterPerProc();
+}
+
+GrowthRates
+CgModel::growthRates()
+{
+    return {"CG", "n^2", "n^2", "n^2", "n sqrt(P)", "const"};
+}
+
+} // namespace wsg::model

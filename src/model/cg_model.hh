@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Analytical model of iterative solvers / conjugate gradient (Section 4).
+ *
+ * The solver sweeps a 5-point (2-D) or 7-point (3-D) stencil grid once per
+ * iteration; data per grid point is calibrated to the paper's prototypical
+ * problems (1 GB at 4000^2 in 2-D, 225^3 in 3-D):
+ *
+ *   2-D: 8 doubles/point (5 stencil weights + solution/search/residual)
+ *   3-D: 11 doubles/point (7 stencil weights + vectors)
+ *
+ * Working sets:
+ *   lev1WS  a sliding window of x-vector subrows (2-D) or planes (3-D):
+ *           2-D  kWindowRows2d * (n / sqrt(P)) * 8      (~5 KB prototyp.)
+ *           3-D  kWindowPlanes3d * (n / cbrt(P))^2 * 8  (~18 KB prototyp.)
+ *   lev2WS  the processor's whole partition
+ *
+ * Miss metric: double-word read misses per FLOP (10 FLOPs per point per
+ * iteration, as in the paper's "10 n^2 operations").
+ */
+
+#ifndef WSG_MODEL_CG_MODEL_HH
+#define WSG_MODEL_CG_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/app_model.hh"
+
+namespace wsg::model
+{
+
+/** Problem instance for the CG model. */
+struct CgParams
+{
+    /** Grid side length (n x n or n x n x n points). */
+    std::uint64_t n = 4000;
+    /** Processor count (arranged as a sqrt(P) or cbrt(P) grid). */
+    std::uint64_t P = 1024;
+    /** 2 or 3 dimensional grid. */
+    int dims = 2;
+};
+
+/** Closed-form characterization of grid CG. */
+class CgModel
+{
+  public:
+    explicit CgModel(const CgParams &params) : p_(params) {}
+
+    const CgParams &params() const { return p_; }
+
+    std::vector<WsLevel> workingSets() const;
+    double initialMissRate() const;
+    stats::Curve missCurve(const std::vector<std::uint64_t> &sizes) const;
+
+    /** FLOPs per CG iteration: 10 points-worth per grid point. */
+    double flopsPerIteration() const;
+
+    /** Bytes of data per grid point (weights + vectors). */
+    double bytesPerPoint() const;
+
+    double dataBytes() const;
+    double grainBytes() const { return dataBytes() / double(p_.P); }
+
+    /** Points on the partition surface communicated per iteration,
+     *  per processor. */
+    double commWordsPerIterPerProc() const;
+
+    /** FLOPs per communicated double word:
+     *  2-D: 5 n / (2 sqrt(P));   3-D: 7 n / (3 cbrt(P)). */
+    double commToCompRatio() const;
+
+    /** Misses/FLOP floor from inherent communication. */
+    double commMissRate() const { return 1.0 / commToCompRatio(); }
+
+    /** Side length of one processor's subgrid. */
+    double pointsPerSide() const;
+
+    static GrowthRates growthRates();
+
+  private:
+    CgParams p_;
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_CG_MODEL_HH

@@ -1,0 +1,81 @@
+#include "model/design_space.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace wsg::model
+{
+
+CostModel
+CostModel::ca1993()
+{
+    CostModel c;
+    c.budgetDollars = 1.0e6;
+    c.dollarsPerProcessor = 1000.0;
+    c.dollarsPerMByte = 50.0;
+    c.flopsPerProcessorPerSec = 2.0e8;
+    return c;
+}
+
+DesignPoint
+evaluateDesign(const DesignProblem &problem, const CostModel &cost,
+               const LatencyModel &lat, double processor_fraction)
+{
+    DesignPoint pt;
+    pt.processorFraction = processor_fraction;
+    pt.timeSeconds = std::numeric_limits<double>::infinity();
+    if (processor_fraction <= 0.0 || processor_fraction >= 1.0)
+        return pt;
+
+    pt.processors = std::max(
+        1.0, std::floor(processor_fraction * cost.budgetDollars /
+                        cost.dollarsPerProcessor));
+    pt.memoryBytes = (1.0 - processor_fraction) * cost.budgetDollars /
+                     cost.dollarsPerMByte * 1.0e6;
+    pt.grainBytes = pt.memoryBytes / pt.processors;
+
+    if (pt.memoryBytes < problem.dataBytes)
+        return pt; // problem does not fit: infeasible
+
+    double ratio = problem.ratioAtP(pt.processors);
+    double util = utilization(ratio, lat);
+    if (util <= 0.0)
+        return pt;
+
+    pt.feasible = true;
+    pt.timeSeconds = problem.totalFlops /
+                     (pt.processors * cost.flopsPerProcessorPerSec *
+                      util);
+    return pt;
+}
+
+stats::Curve
+designCurve(const DesignProblem &problem, const CostModel &cost,
+            const LatencyModel &lat, int steps)
+{
+    stats::Curve curve(problem.name);
+    for (int i = 1; i <= steps; ++i) {
+        double f = static_cast<double>(i) / (steps + 1);
+        DesignPoint pt = evaluateDesign(problem, cost, lat, f);
+        if (pt.feasible)
+            curve.addPoint(f, pt.timeSeconds);
+    }
+    return curve;
+}
+
+DesignPoint
+optimalDesign(const DesignProblem &problem, const CostModel &cost,
+              const LatencyModel &lat, int steps)
+{
+    DesignPoint best;
+    best.timeSeconds = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= steps; ++i) {
+        double f = static_cast<double>(i) / (steps + 1);
+        DesignPoint pt = evaluateDesign(problem, cost, lat, f);
+        if (pt.feasible && pt.timeSeconds < best.timeSeconds)
+            best = pt;
+    }
+    return best;
+}
+
+} // namespace wsg::model

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Machine design-space explorer for the paper's closing question
+ * (Section 8): given a fixed hardware budget split between processors
+ * and memory, what split minimizes execution time for a given
+ * application — and is the 50/50 split "within a small constant factor
+ * of the optimal design for any given application", as the paper
+ * conjectures?
+ *
+ * Model: a budget of `budgetDollars` buys P = f*B/cp processors and
+ * M = (1-f)*B/cm bytes of memory. A design is feasible when M holds the
+ * problem. Execution time is
+ *
+ *     time ~ ops / (P * flopRate * utilization(ratio(P)))
+ *
+ * where ratio(P) is the application's computation-to-communication
+ * ratio at P processors (grain shrinks as P grows) and utilization()
+ * is the latency model's comp/(comp+comm) estimate. This captures the
+ * paper's trade-off: more processors means more parallelism but finer
+ * grain and relatively more communication — and less memory.
+ */
+
+#ifndef WSG_MODEL_DESIGN_SPACE_HH
+#define WSG_MODEL_DESIGN_SPACE_HH
+
+#include <functional>
+#include <string>
+
+#include "model/perf_model.hh"
+#include "stats/curve.hh"
+
+namespace wsg::model
+{
+
+/** Hardware cost parameters. */
+struct CostModel
+{
+    /** Total machine budget. */
+    double budgetDollars = 1.0e6;
+    /** Cost of one processor (with its infrastructure). */
+    double dollarsPerProcessor = 1000.0;
+    /** Cost of one megabyte of memory. */
+    double dollarsPerMByte = 50.0;
+    /** Peak FLOP rate per processor (FLOPs per second). */
+    double flopsPerProcessorPerSec = 2.0e8;
+
+    /** Parameters representative of the paper's era ("it makes little
+     *  sense to place $50 worth of memory on a $1000 node"). */
+    static CostModel ca1993();
+};
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    /** Fraction of the budget spent on processors. */
+    double processorFraction = 0.0;
+    double processors = 0.0;
+    double memoryBytes = 0.0;
+    /** Memory per processor (the grain the paper asks about). */
+    double grainBytes = 0.0;
+    /** Estimated execution time, seconds; infinity when infeasible. */
+    double timeSeconds = 0.0;
+    bool feasible = false;
+};
+
+/** An application's inputs to the explorer. */
+struct DesignProblem
+{
+    std::string name;
+    /** Total data set bytes (must fit in memory). */
+    double dataBytes = 0.0;
+    /** Total FLOPs of the computation. */
+    double totalFlops = 0.0;
+    /** Computation-to-communication ratio as a function of P. */
+    std::function<double(double P)> ratioAtP;
+};
+
+/** Evaluate one processor-budget fraction. */
+DesignPoint evaluateDesign(const DesignProblem &problem,
+                           const CostModel &cost, const LatencyModel &lat,
+                           double processor_fraction);
+
+/**
+ * Sweep processor fractions and return (fraction, time) for feasible
+ * points.
+ *
+ * @param steps Number of fractions sampled in (0, 1).
+ */
+stats::Curve designCurve(const DesignProblem &problem,
+                         const CostModel &cost, const LatencyModel &lat,
+                         int steps = 99);
+
+/** The time-minimizing feasible design over the same sweep. */
+DesignPoint optimalDesign(const DesignProblem &problem,
+                          const CostModel &cost, const LatencyModel &lat,
+                          int steps = 99);
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_DESIGN_SPACE_HH

@@ -1,0 +1,113 @@
+#include "model/fft_model.hh"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace wsg::model
+{
+
+namespace
+{
+constexpr double kWord = 8.0;
+constexpr double kComplex = 16.0;
+} // namespace
+
+double
+FftModel::pointsPerProc() const
+{
+    return static_cast<double>(p_.N) / static_cast<double>(p_.P);
+}
+
+std::vector<WsLevel>
+FftModel::workingSets() const
+{
+    double r = p_.radix;
+    double log2r = std::log2(r);
+
+    // Steady-state reads per r-point group once the group data fits:
+    // 2r words of points + 2(r-1) words of twiddles.
+    double after1 = (4.0 * r - 2.0) / (5.0 * r * log2r);
+
+    std::vector<WsLevel> levels;
+    levels.push_back({"lev1WS", (2.0 * r + 2.0 * (r - 1.0)) * kWord,
+                      after1, "one internal-radix group + twiddles"});
+    levels.push_back({"lev2WS", pointsPerProc() * kComplex, commMissRate(),
+                      "entire per-processor point set"});
+    return levels;
+}
+
+double
+FftModel::initialMissRate() const
+{
+    // With no reuse at all, every internal stage of a radix-r group
+    // re-reads its points from memory: log2 r times the post-lev1 rate.
+    double r = p_.radix;
+    return (4.0 * r - 2.0) / (5.0 * r);
+}
+
+stats::Curve
+FftModel::missCurve(const std::vector<std::uint64_t> &sizes) const
+{
+    return stepCurveFromLevels("FFT radix-" + std::to_string(p_.radix),
+                               initialMissRate(), workingSets(), sizes);
+}
+
+double
+FftModel::totalFlops() const
+{
+    double N = static_cast<double>(p_.N);
+    return 5.0 * N * std::log2(N);
+}
+
+double
+FftModel::dataBytes() const
+{
+    return static_cast<double>(p_.N) * kComplex;
+}
+
+double
+FftModel::modelCommToCompRatio() const
+{
+    return 2.5 * std::log2(pointsPerProc());
+}
+
+int
+FftModel::numExchangeStages() const
+{
+    double logN = std::log2(static_cast<double>(p_.N));
+    double logD = std::log2(pointsPerProc());
+    int stages = static_cast<int>(std::ceil(logN / logD));
+    // A single-stage (P == 1) computation is all-local. With two or more
+    // radix-D stages the data crosses the machine once per stage: the
+    // inter-stage transposes plus the final reordering — the paper's "the
+    // 2N words of data [are communicated] twice" for the 26-stage,
+    // D = 2^16 prototypical problem.
+    return stages >= 2 ? stages : 0;
+}
+
+double
+FftModel::exactCommToCompRatio() const
+{
+    int exchanges = numExchangeStages();
+    if (exchanges == 0)
+        return std::numeric_limits<double>::infinity();
+    double N = static_cast<double>(p_.N);
+    // 2N double words of complex data cross the machine per exchange.
+    double words = 2.0 * N * exchanges;
+    return totalFlops() / words;
+}
+
+double
+FftModel::pointsPerProcForRatio(double ratio)
+{
+    return std::exp2(0.4 * ratio);
+}
+
+GrowthRates
+FftModel::growthRates()
+{
+    return {"FFT", "n", "n log n", "n", "n log P", "const"};
+}
+
+} // namespace wsg::model

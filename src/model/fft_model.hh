@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Analytical model of the parallel 1-D complex FFT (Section 5).
+ *
+ * The parallel algorithm is a radix-D computation (D = N/P points per
+ * processor) whose log D local stages are grouped by a smaller *internal
+ * radix* r for cache locality. Working sets:
+ *
+ *   lev1WS  one internal-radix group: r complex points + r-1 complex
+ *           twiddles                        (2r + 2(r-1)) * 8 bytes
+ *   lev2WS  the processor's D points       2 * D * 8 bytes
+ *
+ * Miss metric: double-word read misses per FLOP (5 N log2 N total ops).
+ * Once lev1WS fits, a radix-r pass reads 2r point words + 2(r-1) twiddle
+ * words per r-point group of 5 r log2 r ops:
+ *
+ *   misses/op = (4r - 2) / (5 r log2 r)
+ *
+ * which reproduces the paper's 0.6 / 0.25 / 0.15 for r = 2 / 8 / 32.
+ */
+
+#ifndef WSG_MODEL_FFT_MODEL_HH
+#define WSG_MODEL_FFT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/app_model.hh"
+
+namespace wsg::model
+{
+
+/** Problem instance for the FFT model. */
+struct FftParams
+{
+    /** Transform length; power of two. */
+    std::uint64_t N = std::uint64_t{1} << 26;
+    /** Processor count; power of two, P <= N. */
+    std::uint64_t P = 1024;
+    /** Internal radix; power of two, >= 2. */
+    std::uint32_t radix = 8;
+};
+
+/** Closed-form characterization of the radix-D parallel FFT. */
+class FftModel
+{
+  public:
+    explicit FftModel(const FftParams &params) : p_(params) {}
+
+    const FftParams &params() const { return p_; }
+
+    std::vector<WsLevel> workingSets() const;
+    double initialMissRate() const;
+    stats::Curve missCurve(const std::vector<std::uint64_t> &sizes) const;
+
+    /** Points per processor, D = N/P. */
+    double pointsPerProc() const;
+
+    /** Total FLOPs: 5 N log2 N. */
+    double totalFlops() const;
+
+    /** Data set size: N complex doubles (16 bytes each). */
+    double dataBytes() const;
+    double grainBytes() const { return dataBytes() / double(p_.P); }
+
+    /**
+     * Optimistic model ratio (5/2) log2(N/P) FLOPs per word, from the
+     * per-stage analysis.
+     */
+    double modelCommToCompRatio() const;
+
+    /**
+     * Exact ratio accounting for stage quantization: the whole
+     * computation performs 5 N log2 N ops and exchanges the 2N words
+     * however many radix-D stages there actually are (minus the one
+     * local stage).
+     */
+    double exactCommToCompRatio() const;
+
+    /** Number of radix-D exchange stages: ceil(log N / log D) - 1. */
+    int numExchangeStages() const;
+
+    /**
+     * Grain size (points per processor) needed to reach a target ratio R:
+     * N/P = 2^(2R/5) — the paper's exponential-growth observation.
+     */
+    static double pointsPerProcForRatio(double ratio);
+
+    /** Misses/FLOP floor from inherent communication. */
+    double commMissRate() const { return 1.0 / exactCommToCompRatio(); }
+
+    static GrowthRates growthRates();
+
+  private:
+    FftParams p_;
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_FFT_MODEL_HH

@@ -1,0 +1,113 @@
+#include "model/grain.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/units.hh"
+
+namespace wsg::model
+{
+
+namespace
+{
+
+std::string
+verdictString(const GrainAssessment &a)
+{
+    std::ostringstream os;
+    os << stats::formatBytes(a.grainBytes) << "/processor: communication "
+       << sustainabilityName(a.sustainability) << " ("
+       << stats::formatRate(a.commToCompRatio) << " per word), "
+       << stats::formatCount(a.workUnitsPerProc) << " " << a.workUnitName
+       << "/processor ("
+       << (a.loadBalanceOk ? "load balance fine" : "load balance at risk")
+       << ")";
+    return os.str();
+}
+
+} // namespace
+
+GrainAssessment
+assessLu(const LuParams &params)
+{
+    LuModel model(params);
+    GrainAssessment a;
+    a.app = "LU";
+    a.grainBytes = model.grainBytes();
+    a.commToCompRatio = model.commToCompRatio();
+    a.sustainability = classifySustainability(a.commToCompRatio);
+    a.workUnitsPerProc = model.blocksPerProcessor();
+    a.workUnitName = "blocks";
+    a.loadBalanceOk = a.workUnitsPerProc >= kLuBlocksComfort;
+    a.verdict = verdictString(a);
+    return a;
+}
+
+GrainAssessment
+assessCg(const CgParams &params)
+{
+    CgModel model(params);
+    GrainAssessment a;
+    a.app = params.dims == 2 ? "CG 2-D" : "CG 3-D";
+    a.grainBytes = model.grainBytes();
+    a.commToCompRatio = model.commToCompRatio();
+    a.sustainability = classifySustainability(a.commToCompRatio);
+    double side = model.pointsPerSide();
+    a.workUnitsPerProc =
+        params.dims == 2 ? side * side : side * side * side;
+    a.workUnitName = "grid points";
+    a.loadBalanceOk = a.workUnitsPerProc >= 64.0;
+    a.verdict = verdictString(a);
+    return a;
+}
+
+GrainAssessment
+assessFft(const FftParams &params)
+{
+    FftModel model(params);
+    GrainAssessment a;
+    a.app = "FFT";
+    a.grainBytes = model.grainBytes();
+    a.commToCompRatio = model.exactCommToCompRatio();
+    a.sustainability = classifySustainability(a.commToCompRatio);
+    a.workUnitsPerProc = model.pointsPerProc();
+    a.workUnitName = "points";
+    a.loadBalanceOk = a.workUnitsPerProc >= 2.0;
+    a.verdict = verdictString(a);
+    return a;
+}
+
+GrainAssessment
+assessBarnes(const BarnesParams &params)
+{
+    BarnesModel model(params);
+    GrainAssessment a;
+    a.app = "Barnes-Hut";
+    a.grainBytes = model.grainBytes();
+    // Instructions per double word of communication.
+    a.commToCompRatio = 1.0 / model.wordsPerInstruction();
+    a.sustainability = classifySustainability(a.commToCompRatio);
+    a.workUnitsPerProc = model.particlesPerProc();
+    a.workUnitName = "particles";
+    a.loadBalanceOk = a.workUnitsPerProc >= kBarnesParticlesComfort;
+    a.verdict = verdictString(a);
+    return a;
+}
+
+GrainAssessment
+assessVolrend(const VolrendParams &params)
+{
+    VolrendModel model(params);
+    GrainAssessment a;
+    a.app = "Volume Rendering";
+    a.grainBytes = model.grainBytes();
+    a.commToCompRatio = model.instructionsPerCommWord();
+    a.sustainability = classifySustainability(a.commToCompRatio);
+    a.workUnitsPerProc = model.raysPerProc();
+    a.workUnitName = "rays";
+    a.loadBalanceOk = a.workUnitsPerProc >= kVolrendRaysComfort;
+    a.verdict = verdictString(a);
+    return a;
+}
+
+} // namespace wsg::model

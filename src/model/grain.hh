@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Node-granularity analysis (the "Grain Size" subsections, 3.3-7.3).
+ *
+ * For a given application and problem/machine configuration this module
+ * computes the quantities the paper uses to judge a grain size:
+ * memory per processor, the computation-to-communication ratio and its
+ * sustainability band, and the number of load-balance work units per
+ * processor — then renders a coarse verdict.
+ */
+
+#ifndef WSG_MODEL_GRAIN_HH
+#define WSG_MODEL_GRAIN_HH
+
+#include <string>
+
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+#include "model/machine_model.hh"
+#include "model/volrend_model.hh"
+
+namespace wsg::model
+{
+
+/** One grain-size data point for one application configuration. */
+struct GrainAssessment
+{
+    std::string app;
+    /** Memory (data) per processor, bytes. */
+    double grainBytes = 0.0;
+    /** FLOPs (or instructions, for Barnes-Hut/volrend) per communicated
+     *  double word. */
+    double commToCompRatio = 0.0;
+    /** Paper sustainability band for the ratio. */
+    Sustainability sustainability = Sustainability::Easy;
+    /** Load-balance work units per processor (blocks, points, particles,
+     *  rays). */
+    double workUnitsPerProc = 0.0;
+    std::string workUnitName;
+    /** Work units above the load-balance comfort threshold? */
+    bool loadBalanceOk = true;
+    /** One-line verdict. */
+    std::string verdict;
+};
+
+/**
+ * Load-balance comfort thresholds (work units per processor below which
+ * the paper flags trouble): LU "25 blocks ... would reduce processor
+ * performance somewhat" vs 380 comfortable; volrend "66 rays, likely to
+ * be too few"; Barnes-Hut "280 particles ... load balancing may become a
+ * problem".
+ */
+constexpr double kLuBlocksComfort = 100.0;
+constexpr double kBarnesParticlesComfort = 500.0;
+constexpr double kVolrendRaysComfort = 100.0;
+
+/** Assess dense LU on the given configuration. */
+GrainAssessment assessLu(const LuParams &params);
+
+/** Assess grid CG. */
+GrainAssessment assessCg(const CgParams &params);
+
+/** Assess the parallel FFT. */
+GrainAssessment assessFft(const FftParams &params);
+
+/** Assess Barnes-Hut (ratio reported in instructions/word). */
+GrainAssessment assessBarnes(const BarnesParams &params);
+
+/** Assess the volume renderer (ratio in instructions/word). */
+GrainAssessment assessVolrend(const VolrendParams &params);
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_GRAIN_HH

@@ -1,0 +1,91 @@
+#include "model/lu_model.hh"
+
+#include <cmath>
+
+namespace wsg::model
+{
+
+namespace
+{
+constexpr double kWord = 8.0; // bytes per double word
+} // namespace
+
+std::vector<WsLevel>
+LuModel::workingSets() const
+{
+    double B = p_.B;
+    double n = static_cast<double>(p_.n);
+    double sqrtP = std::sqrt(static_cast<double>(p_.P));
+
+    std::vector<WsLevel> levels;
+    levels.push_back({"lev1WS", 2.0 * B * kWord, 0.5,
+                      "two columns of a block (one column reused)"});
+    levels.push_back({"lev2WS", B * B * kWord, 1.0 / B,
+                      "one whole BxB block"});
+    levels.push_back({"lev3WS", 2.0 * n * B / sqrtP * kWord,
+                      1.0 / (2.0 * B),
+                      "row/column-K blocks used by one processor"});
+    levels.push_back({"lev4WS", n * n / static_cast<double>(p_.P) * kWord,
+                      commMissRate(),
+                      "all blocks owned by a processor"});
+    return levels;
+}
+
+double
+LuModel::initialMissRate() const
+{
+    // Inner kernel: a_ij += a_ik * a_kj -> 2 FLOPs, 2 streamed operand
+    // reads when nothing is retained.
+    return 1.0;
+}
+
+stats::Curve
+LuModel::missCurve(const std::vector<std::uint64_t> &sizes) const
+{
+    return stepCurveFromLevels(
+        "LU B=" + std::to_string(p_.B), initialMissRate(), workingSets(),
+        sizes);
+}
+
+double
+LuModel::totalFlops() const
+{
+    double n = static_cast<double>(p_.n);
+    return 2.0 * n * n * n / 3.0;
+}
+
+double
+LuModel::dataBytes() const
+{
+    double n = static_cast<double>(p_.n);
+    return n * n * kWord;
+}
+
+double
+LuModel::commWords() const
+{
+    double n = static_cast<double>(p_.n);
+    return n * n * std::sqrt(static_cast<double>(p_.P));
+}
+
+double
+LuModel::commToCompRatio() const
+{
+    return totalFlops() / commWords();
+}
+
+double
+LuModel::blocksPerProcessor() const
+{
+    double n = static_cast<double>(p_.n);
+    double blocks = (n / p_.B) * (n / p_.B);
+    return blocks / static_cast<double>(p_.P);
+}
+
+GrowthRates
+LuModel::growthRates()
+{
+    return {"LU", "n^2", "n^3", "n^2", "n^2 sqrt(P)", "const"};
+}
+
+} // namespace wsg::model

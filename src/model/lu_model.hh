@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Analytical model of blocked dense LU factorization (paper Section 3).
+ *
+ * Working-set hierarchy (all sizes in bytes, double precision):
+ *   lev1WS  two columns of a B x B block            2 * B * 8
+ *   lev2WS  one whole block                         B * B * 8
+ *   lev3WS  the row/column-K blocks a processor
+ *           uses in one K iteration                 2 n B / sqrt(P) * 8
+ *   lev4WS  all blocks owned by a processor         n^2 / P * 8
+ *
+ * Miss metric: double-word read misses per FLOP. Plateaus:
+ *   below lev1: ~1 (both operand elements stream on every multiply-add)
+ *   >= lev1:   ~1/2 (one column reused)
+ *   >= lev2:   ~1/B (each block element reused across a whole block mult)
+ *   >= lev3:   ~1/(2B)
+ *   >= lev4:   communication rate 3 sqrt(P) / (2 n)
+ */
+
+#ifndef WSG_MODEL_LU_MODEL_HH
+#define WSG_MODEL_LU_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/app_model.hh"
+#include "model/machine_model.hh"
+
+namespace wsg::model
+{
+
+/** Problem instance for the LU model. */
+struct LuParams
+{
+    /** Matrix dimension (n x n). */
+    std::uint64_t n = 10000;
+    /** Number of processors (2-D scatter over a sqrt(P) grid). */
+    std::uint64_t P = 1024;
+    /** Block size. */
+    std::uint32_t B = 16;
+};
+
+/** Closed-form characterization of dense blocked LU. */
+class LuModel
+{
+  public:
+    explicit LuModel(const LuParams &params) : p_(params) {}
+
+    const LuParams &params() const { return p_; }
+
+    /** Working-set hierarchy, smallest level first. */
+    std::vector<WsLevel> workingSets() const;
+
+    /** Misses/FLOP with a cache too small for any working set. */
+    double initialMissRate() const;
+
+    /** Misses/FLOP versus cache size, sampled at @p sizes. */
+    stats::Curve missCurve(const std::vector<std::uint64_t> &sizes) const;
+
+    /** Total floating-point operations: 2 n^3 / 3. */
+    double totalFlops() const;
+
+    /** Total data set size in bytes: n^2 doubles. */
+    double dataBytes() const;
+
+    /** Grain size: bytes of matrix data per processor. */
+    double grainBytes() const { return dataBytes() / double(p_.P); }
+
+    /** Total communication volume in double words: n^2 sqrt(P). */
+    double commWords() const;
+
+    /** Computation-to-communication ratio, FLOPs per double word:
+     *  2 n / (3 sqrt(P)). */
+    double commToCompRatio() const;
+
+    /** Misses/FLOP floor once everything local fits: 3 sqrt(P) / (2 n). */
+    double commMissRate() const { return 1.0 / commToCompRatio(); }
+
+    /** Blocks of the matrix assigned to each processor (load balance). */
+    double blocksPerProcessor() const;
+
+    /** Table 1 row. */
+    static GrowthRates growthRates();
+
+  private:
+    LuParams p_;
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_LU_MODEL_HH

@@ -1,0 +1,70 @@
+#include "model/machine_model.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace wsg::model
+{
+
+Sustainability
+classifySustainability(double flops_per_word)
+{
+    if (flops_per_word < kExtremelyDifficultBelow)
+        return Sustainability::ExtremelyDifficult;
+    if (flops_per_word <= kEasyAbove)
+        return Sustainability::Sustainable;
+    return Sustainability::Easy;
+}
+
+std::string
+sustainabilityName(Sustainability s)
+{
+    switch (s) {
+      case Sustainability::ExtremelyDifficult:
+        return "extremely difficult";
+      case Sustainability::Sustainable:
+        return "sustainable (not easy)";
+      case Sustainability::Easy:
+        return "easy";
+    }
+    return "?";
+}
+
+double
+MachineModel::sustainableRatio(CommPattern pattern) const
+{
+    double mbps = pattern == CommPattern::NearestNeighbor ? linkMBps
+                                                          : generalMBps;
+    if (mbps <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    // MFLOPS / (Mwords/s); a double word is 8 bytes.
+    return mflopsPerNode / (mbps / 8.0);
+}
+
+MachineModel
+MachineModel::paragon()
+{
+    MachineModel m;
+    m.name = "Intel Paragon";
+    m.mflopsPerNode = 200.0; // four 50-MFLOPS processors
+    m.linkMBps = 200.0;
+    m.numNodes = 1024; // 32x32 mesh in the paper's example
+    // 64 links across the bisector; half of all random messages cross it,
+    // so each of the 1024 nodes sustains 64/512 of a link.
+    m.generalMBps = 200.0 * 64.0 / 512.0;
+    return m;
+}
+
+MachineModel
+MachineModel::cm5()
+{
+    MachineModel m;
+    m.name = "TMC CM-5";
+    m.mflopsPerNode = 128.0;
+    m.linkMBps = 20.0;
+    m.generalMBps = 5.0;
+    m.numNodes = 1024;
+    return m;
+}
+
+} // namespace wsg::model

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine models and communication-sustainability bands (Section 2.3).
+ *
+ * The paper calibrates "what computation-to-communication ratio is
+ * sustainable" against the Intel Paragon and the Thinking Machines CM-5,
+ * then adopts coarse bands: ratios of 1-15 FLOPs per double word are
+ * extremely difficult to sustain, 15-75 sustainable but not easy, and
+ * above 75 quite easy. This header reproduces those calculations.
+ */
+
+#ifndef WSG_MODEL_MACHINE_MODEL_HH
+#define WSG_MODEL_MACHINE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wsg::model
+{
+
+/** Communication pattern for sustainability estimates. */
+enum class CommPattern : std::uint8_t
+{
+    NearestNeighbor,
+    General, // random / bisection-limited
+};
+
+/** How hard a computation-to-communication ratio is to sustain. */
+enum class Sustainability : std::uint8_t
+{
+    ExtremelyDifficult, // < 15 FLOPs/word
+    Sustainable,        // 15 .. 75
+    Easy,               // > 75
+};
+
+/** Paper band thresholds (FLOPs per double word). */
+constexpr double kExtremelyDifficultBelow = 15.0;
+constexpr double kEasyAbove = 75.0;
+
+/** Classify a computation-to-communication ratio into the paper's bands. */
+Sustainability classifySustainability(double flops_per_word);
+
+/** Human-readable band name. */
+std::string sustainabilityName(Sustainability s);
+
+/**
+ * A parallel machine, described the way Section 2.3 does: per-node FLOP
+ * rate, per-link bandwidth, and a mesh bisection for general traffic.
+ */
+struct MachineModel
+{
+    std::string name;
+    /** Per-node peak, MFLOPS. */
+    double mflopsPerNode = 0.0;
+    /** Node-to-router link bandwidth, Mbyte/s (nearest neighbor limit). */
+    double linkMBps = 0.0;
+    /** Bandwidth available per node for general traffic, Mbyte/s.
+     *  For mesh machines this is derived from the bisection; for machines
+     *  like the CM-5 the vendor number is used directly. */
+    double generalMBps = 0.0;
+    std::uint32_t numNodes = 0;
+
+    /**
+     * Minimum computation-to-communication ratio (FLOPs per double word)
+     * an application must exhibit for this machine to keep up.
+     */
+    double sustainableRatio(CommPattern pattern) const;
+
+    /**
+     * The paper's Paragon example: 4x50 MFLOPS nodes, 200 MB/s links,
+     * 32x32 mesh; general bandwidth derived from the 64-link bisection
+     * with half of all random messages crossing it.
+     */
+    static MachineModel paragon();
+
+    /** The paper's CM-5 example: 128 MFLOPS vector nodes, 20 MB/s
+     *  nearest-neighbor and 5 MB/s general bandwidth. */
+    static MachineModel cm5();
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_MACHINE_MODEL_HH

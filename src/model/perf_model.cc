@@ -1,0 +1,72 @@
+#include "model/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsg::model
+{
+
+LatencyModel
+LatencyModel::ca1993()
+{
+    LatencyModel lat;
+    lat.cyclesPerFlop = 0.5;    // e.g. 100 MHz node at 200 MFLOPS peak
+    lat.localMissCycles = 30.0;
+    lat.remoteMissCycles = 120.0;
+    lat.hidingFactor = 0.0;
+    return lat;
+}
+
+double
+cyclesPerFlop(const LatencyModel &lat, double misses_per_flop,
+              double comm_misses_per_flop)
+{
+    double local = std::max(0.0, misses_per_flop - comm_misses_per_flop);
+    double exposed = 1.0 - lat.hidingFactor;
+    return lat.cyclesPerFlop +
+           exposed * (local * lat.localMissCycles +
+                      comm_misses_per_flop * lat.remoteMissCycles);
+}
+
+stats::Curve
+performanceCurve(const stats::Curve &miss_curve, double comm_floor,
+                 const LatencyModel &lat, const std::string &name)
+{
+    stats::Curve out(name);
+    for (const auto &p : miss_curve.points()) {
+        double comm = std::min(p.y, comm_floor);
+        double cycles = cyclesPerFlop(lat, p.y, comm);
+        out.addPoint(p.x, lat.cyclesPerFlop / cycles);
+    }
+    return out;
+}
+
+double
+utilization(double flops_per_word, const LatencyModel &lat)
+{
+    if (flops_per_word <= 0.0)
+        return 0.0;
+    double comp = flops_per_word * lat.cyclesPerFlop;
+    double comm = (1.0 - lat.hidingFactor) * lat.remoteMissCycles;
+    return comp / (comp + comm);
+}
+
+double
+globalSumCycles(double P, const LatencyModel &lat)
+{
+    if (P <= 1.0)
+        return 0.0;
+    // Combine up the tree and broadcast down: 2 log2(P) exchanges.
+    return 2.0 * std::ceil(std::log2(P)) * lat.remoteMissCycles;
+}
+
+double
+globalSumFraction(double flops_per_proc, double P,
+                  const LatencyModel &lat, double sums_per_iter)
+{
+    double sum_cost = sums_per_iter * globalSumCycles(P, lat);
+    double comp_cost = flops_per_proc * lat.cyclesPerFlop;
+    return sum_cost / (sum_cost + comp_cost);
+}
+
+} // namespace wsg::model

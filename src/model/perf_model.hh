@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A simple execution-time model on top of the miss-rate curves.
+ *
+ * The paper argues from miss rates and computation-to-communication
+ * ratios to performance ("a cache that is large enough to hold a given
+ * working set can yield dramatic performance benefits"); this module
+ * makes that translation explicit: charge every FLOP a compute cost and
+ * every miss a (local or remote) memory stall, and convert miss-rate
+ * curves into achieved-fraction-of-peak curves and grain-size ratios
+ * into node utilizations.
+ */
+
+#ifndef WSG_MODEL_PERF_MODEL_HH
+#define WSG_MODEL_PERF_MODEL_HH
+
+#include <string>
+
+#include "stats/curve.hh"
+
+namespace wsg::model
+{
+
+/** Cost parameters, in processor cycles. */
+struct LatencyModel
+{
+    /** Cycles per floating-point operation at peak. */
+    double cyclesPerFlop = 0.5;
+    /** Stall cycles for a miss serviced from local memory. */
+    double localMissCycles = 30.0;
+    /** Stall cycles for a miss serviced from a remote node. */
+    double remoteMissCycles = 120.0;
+    /**
+     * Fraction of miss latency hidden by prefetching/overlap (the paper:
+     * LU/CG misses are "predictable enough to be easily prefetched",
+     * Barnes-Hut/volrend misses are not).
+     */
+    double hidingFactor = 0.0;
+
+    /** Parameters representative of ca.-1993 large-scale machines. */
+    static LatencyModel ca1993();
+};
+
+/**
+ * Cycles per FLOP for an execution with @p misses_per_flop total
+ * double-word read misses per FLOP, of which @p comm_misses_per_flop
+ * are remote (inherent communication).
+ */
+double cyclesPerFlop(const LatencyModel &lat, double misses_per_flop,
+                     double comm_misses_per_flop);
+
+/**
+ * Convert a misses-per-FLOP-vs-cache-size curve into an achieved
+ * fraction-of-peak curve (1.0 = no memory stalls). The curve's floor is
+ * treated as the remote communication rate.
+ */
+stats::Curve performanceCurve(const stats::Curve &miss_curve,
+                              double comm_floor, const LatencyModel &lat,
+                              const std::string &name);
+
+/**
+ * Node utilization for a computation-to-communication ratio of
+ * @p flops_per_word (each communicated double word stalls the node for
+ * the unhidden remote latency): comp / (comp + comm).
+ */
+double utilization(double flops_per_word, const LatencyModel &lat);
+
+/**
+ * Cost of one global reduction (the CG dot products' global sum,
+ * Section 4.3): a log2(P)-stage combine plus broadcast, each stage one
+ * remote exchange. "The rate of increase (O(log P)) is sufficiently
+ * slow that ... this cost would not be a significant performance
+ * drain for practical P."
+ */
+double globalSumCycles(double P, const LatencyModel &lat);
+
+/**
+ * Fraction of an iteration spent in @p sums_per_iter global sums when
+ * each processor computes @p flops_per_proc FLOPs per iteration.
+ */
+double globalSumFraction(double flops_per_proc, double P,
+                         const LatencyModel &lat,
+                         double sums_per_iter = 2.0);
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_PERF_MODEL_HH

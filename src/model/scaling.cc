@@ -1,0 +1,133 @@
+#include "model/scaling.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wsg::model
+{
+
+namespace
+{
+
+/** Generic bisection for monotone-increasing f on [1, hi]. */
+double
+solveMonotone(double target, double hi, const auto &f)
+{
+    double lo = 1.0;
+    if (f(hi) < target)
+        return hi;
+    for (int iter = 0; iter < 200; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (f(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+LuParams
+scaleLu(const LuParams &base, std::uint64_t new_P, ScalingModel model)
+{
+    double k = static_cast<double>(new_P) / static_cast<double>(base.P);
+    LuParams out = base;
+    out.P = new_P;
+    double factor = model == ScalingModel::MemoryConstrained
+                        ? std::sqrt(k)
+                        : std::cbrt(k);
+    out.n = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base.n) * factor));
+    return out;
+}
+
+CgParams
+scaleCg(const CgParams &base, std::uint64_t new_P, ScalingModel model)
+{
+    (void)model; // ops track data: MC == TC per iteration
+    double k = static_cast<double>(new_P) / static_cast<double>(base.P);
+    CgParams out = base;
+    out.P = new_P;
+    double factor = base.dims == 2 ? std::sqrt(k) : std::cbrt(k);
+    out.n = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(base.n) * factor));
+    return out;
+}
+
+FftParams
+scaleFft(const FftParams &base, std::uint64_t new_P, ScalingModel model)
+{
+    double k = static_cast<double>(new_P) / static_cast<double>(base.P);
+    FftParams out = base;
+    out.P = new_P;
+    double baseN = static_cast<double>(base.N);
+    double s;
+    if (model == ScalingModel::MemoryConstrained) {
+        s = k;
+    } else {
+        // Solve s N log2(s N) = k N log2 N for s.
+        double target = k * baseN * std::log2(baseN);
+        s = solveMonotone(target, k, [&](double x) {
+            return x * baseN * std::log2(x * baseN);
+        });
+    }
+    // Round to a power of two, as FFT sizes must be.
+    double logN = std::round(std::log2(baseN * s));
+    out.N = std::uint64_t{1} << static_cast<unsigned>(logN);
+    return out;
+}
+
+ScaledBarnes
+scaleBarnes(const BarnesParams &base, double new_P, ScalingModel model,
+            bool scale_accuracy)
+{
+    double k = new_P / base.P;
+    ScaledBarnes out;
+    out.params = base;
+    out.params.P = new_P;
+
+    double s;
+    if (model == ScalingModel::MemoryConstrained) {
+        s = k;
+    } else if (!scale_accuracy) {
+        // Only n grows; work per unit physical time ~ n log n.
+        double target = k * base.n * std::log2(base.n);
+        s = solveMonotone(target, k, [&](double x) {
+            return x * base.n * std::log2(x * base.n);
+        });
+    } else {
+        // theta ~ s^(-1/8), dt ~ s^(-1/2):
+        // work ~ (1/theta^2) n log n / dt ~ s^(1/4) * s * log(sn) * s^(1/2)
+        //      = s^(7/4) log(s n).
+        double target = k * std::log2(base.n);
+        s = solveMonotone(target, k, [&](double x) {
+            return std::pow(x, 1.75) * std::log2(x * base.n);
+        });
+    }
+
+    out.params.n = base.n * s;
+    if (scale_accuracy) {
+        double theta = base.theta * std::pow(s, -1.0 / 8.0);
+        if (theta < kBarnesThetaFloor) {
+            theta = kBarnesThetaFloor;
+            out.momentUpgrade = true;
+        }
+        out.params.theta = theta;
+        out.params.dt = base.dt * std::pow(s, -0.5);
+    }
+    return out;
+}
+
+VolrendParams
+scaleVolrend(const VolrendParams &base, double new_P, ScalingModel model)
+{
+    (void)model; // execution time tracks the data set: MC == TC
+    double k = new_P / base.P;
+    VolrendParams out = base;
+    out.P = new_P;
+    out.n = base.n * std::cbrt(k);
+    return out;
+}
+
+} // namespace wsg::model

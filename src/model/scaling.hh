@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Problem-scaling models (Section 2.2, "Scaling"; reference [9]).
+ *
+ * Memory-constrained (MC) scaling grows the problem to fill the memory of
+ * the larger machine: data set size proportional to P. Time-constrained
+ * (TC) scaling grows the problem only until the execution time on the new
+ * machine matches the old one: ops(new)/P(new) = ops(old)/P(old).
+ *
+ * For Barnes-Hut the realistic parameter-scaling rule of Section 6.2 is
+ * applied: scaling n by s scales the accuracy parameter theta by s^(-1/8)
+ * (down to a floor of ~0.6, below which higher-order moments are used
+ * instead) and the time-step by s^(-1/2), so the per-unit-physical-time
+ * work grows as s^(7/4) log(sn)/log(n) — TC problem sizes are found by
+ * bisection on that expression.
+ */
+
+#ifndef WSG_MODEL_SCALING_HH
+#define WSG_MODEL_SCALING_HH
+
+#include <cstdint>
+
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+#include "model/volrend_model.hh"
+
+namespace wsg::model
+{
+
+/** The two scaling disciplines the paper considers. */
+enum class ScalingModel : std::uint8_t
+{
+    MemoryConstrained,
+    TimeConstrained,
+};
+
+/**
+ * Scale an LU problem to @p new_P processors.
+ * MC: n ~ sqrt(P) (data n^2 tracks memory).
+ * TC: n ~ P^(1/3) (ops n^3 track machine size).
+ */
+LuParams scaleLu(const LuParams &base, std::uint64_t new_P,
+                 ScalingModel model);
+
+/**
+ * Scale a CG problem. Per-iteration ops track the data set size, so MC
+ * and TC coincide: n ~ P^(1/dims).
+ */
+CgParams scaleCg(const CgParams &base, std::uint64_t new_P,
+                 ScalingModel model);
+
+/**
+ * Scale an FFT problem.
+ * MC: N ~ P.  TC: N log N ~ P (solved numerically).
+ */
+FftParams scaleFft(const FftParams &base, std::uint64_t new_P,
+                   ScalingModel model);
+
+/** Result of scaling a Barnes-Hut problem. */
+struct ScaledBarnes
+{
+    BarnesParams params;
+    /** True when theta hit its floor and higher-order moments (octopole)
+     *  would be used instead of reducing theta further. */
+    bool momentUpgrade = false;
+};
+
+/** Theta floor below which moment order is raised instead (Section 6.2:
+ *  "theta = 0.5 or so"; 0.6 reproduces the paper's examples). */
+constexpr double kBarnesThetaFloor = 0.6;
+
+/**
+ * Scale a Barnes-Hut problem under the realistic co-scaling rule.
+ * MC: n ~ P; TC: bisection on s^(7/4) log(s n)/log(n) = P'/P.
+ * @param scale_accuracy When false, only n is scaled ("naive" scaling).
+ */
+ScaledBarnes scaleBarnes(const BarnesParams &base, double new_P,
+                         ScalingModel model, bool scale_accuracy = true);
+
+/** Scale a volume-rendering problem; MC and TC coincide: n ~ P^(1/3). */
+VolrendParams scaleVolrend(const VolrendParams &base, double new_P,
+                           ScalingModel model);
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_SCALING_HH

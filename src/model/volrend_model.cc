@@ -1,0 +1,55 @@
+#include "model/volrend_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsg::model
+{
+
+namespace
+{
+
+/** Per-ray reuse window: "about 0.4 Kbytes". */
+constexpr double kLev1Bytes = 400.0;
+/** Read miss rate once lev1WS fits: "about 15%". */
+constexpr double kAfterLev1Rate = 0.15;
+/** Read miss rate once lev2WS fits: "about 2%". */
+constexpr double kAfterLev2Rate = 0.02;
+/**
+ * Fraction of the per-processor voxel share a processor references in one
+ * frame (lev3WS). Calibrated to the paper's ~700 KB for the 256x256x113
+ * head on 4 processors.
+ */
+constexpr double kLev3Fraction = 0.19;
+
+} // namespace
+
+std::vector<WsLevel>
+VolrendModel::workingSets() const
+{
+    std::vector<WsLevel> levels;
+    levels.push_back({"lev1WS", kLev1Bytes, kAfterLev1Rate,
+                      "voxel/octree data reused along a ray"});
+    levels.push_back({"lev2WS", lev2Bytes(), kAfterLev2Rate,
+                      "data shared by successive rays"});
+    double lev3 = std::max(lev2Bytes() * 2.0,
+                           kLev3Fraction * dataBytes() / p_.P);
+    levels.push_back({"lev3WS", lev3, commMissRate(),
+                      "voxels referenced per frame (cross-frame reuse)"});
+    return levels;
+}
+
+stats::Curve
+VolrendModel::missCurve(const std::vector<std::uint64_t> &sizes) const
+{
+    return stepCurveFromLevels("Volume rendering", initialMissRate(),
+                               workingSets(), sizes);
+}
+
+GrowthRates
+VolrendModel::growthRates()
+{
+    return {"Volume Rendering", "n^3", "n^3", "n^2", "n^3", "n"};
+}
+
+} // namespace wsg::model

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Analytical model of optimized ray-cast volume rendering (Section 7).
+ *
+ * Working sets:
+ *   lev1WS  voxel + octree data reused along one ray:     ~0.4 KB
+ *   lev2WS  data shared between successive rays:          4000 + 110 n
+ *           bytes (n = voxels per side; the paper's formula)
+ *   lev3WS  voxels a processor references in one frame,
+ *           reusable across frames under gradual rotation
+ *
+ * Miss metric: read miss rate. Plateaus from the paper: ~15% after
+ * lev1WS, ~2% after lev2WS, ~0.1% (communication) after lev3WS.
+ *
+ * Communication: voxel data is read-only and distributed round-robin, so
+ * each frame's first touch of a voxel is a remote read; the ratio is
+ * ~600 instructions per communicated word, independent of n and p.
+ */
+
+#ifndef WSG_MODEL_VOLREND_MODEL_HH
+#define WSG_MODEL_VOLREND_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/app_model.hh"
+
+namespace wsg::model
+{
+
+/** Problem instance for the volume-rendering model. */
+struct VolrendParams
+{
+    /** Voxels along one dimension (cube assumed for the model). */
+    double n = 256.0;
+    /** Processor count. */
+    double P = 4.0;
+};
+
+/** Closed-form characterization of the volume renderer. */
+class VolrendModel
+{
+  public:
+    explicit VolrendModel(const VolrendParams &params) : p_(params) {}
+
+    const VolrendParams &params() const { return p_; }
+
+    std::vector<WsLevel> workingSets() const;
+    double initialMissRate() const { return 1.0; }
+    stats::Curve missCurve(const std::vector<std::uint64_t> &sizes) const;
+
+    /** lev2WS bytes: 4000 + 110 n. */
+    double lev2Bytes() const { return 4000.0 + 110.0 * p_.n; }
+
+    /** Data set size: ~4 bytes per voxel (paper: "roughly 4 n^3"). */
+    double dataBytes() const { return 4.0 * p_.n * p_.n * p_.n; }
+    double grainBytes() const { return dataBytes() / p_.P; }
+
+    /** Instructions per frame: > 300 n^3. */
+    double instructionsPerFrame() const
+    {
+        return 300.0 * p_.n * p_.n * p_.n;
+    }
+
+    /** Communicated words per frame: ~2 n^3 bytes of voxel data. The
+     *  paper's "600 instructions per word" implies 4-byte words here
+     *  (voxels are small integers, not doubles). */
+    double commWordsPerFrame() const
+    {
+        return 2.0 * p_.n * p_.n * p_.n / 4.0;
+    }
+
+    /** ~600 instructions per communicated word, independent of n, p. */
+    double instructionsPerCommWord() const
+    {
+        return instructionsPerFrame() / commWordsPerFrame();
+    }
+
+    /** Rays (pixels) per processor — the load-balance work unit. */
+    double raysPerProc() const { return p_.n * p_.n / p_.P; }
+
+    /** Read-miss-rate floor from inherent communication: ~0.1%. */
+    double commMissRate() const { return 0.001; }
+
+    static GrowthRates growthRates();
+
+  private:
+    VolrendParams p_;
+};
+
+} // namespace wsg::model
+
+#endif // WSG_MODEL_VOLREND_MODEL_HH

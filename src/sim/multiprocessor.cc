@@ -1,0 +1,317 @@
+#include "sim/multiprocessor.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsg::sim
+{
+
+std::uint64_t
+ProcStats::readMissesAt(std::uint64_t capacity_lines,
+                        bool include_cold) const
+{
+    std::uint64_t misses = readDistances.countAtLeast(capacity_lines);
+    misses += readCoherence;
+    if (include_cold)
+        misses += readCold;
+    return misses;
+}
+
+std::uint64_t
+ProcStats::writeMissesAt(std::uint64_t capacity_lines,
+                         bool include_cold) const
+{
+    std::uint64_t misses = writeDistances.countAtLeast(capacity_lines);
+    misses += writeCoherence;
+    if (include_cold)
+        misses += writeCold;
+    return misses;
+}
+
+Multiprocessor::Multiprocessor(const SimConfig &config)
+    : config_(config), profilers_(config.numProcs), stats_(config.numProcs)
+{
+    if (config_.numProcs == 0 || config_.numProcs > 64)
+        throw std::invalid_argument(
+            "Multiprocessor: numProcs must be in [1, 64] (directory "
+            "entries are 64-bit sharer masks); larger machines are "
+            "handled by the analytical models");
+    if (config_.lineBytes == 0 ||
+        (config_.lineBytes & (config_.lineBytes - 1)) != 0) {
+        throw std::invalid_argument(
+            "Multiprocessor: lineBytes must be a power of two");
+    }
+}
+
+void
+Multiprocessor::attachCaches(
+    const std::function<std::unique_ptr<memsys::Cache>()> &factory)
+{
+    caches_.clear();
+    caches_.reserve(config_.numProcs);
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+        caches_.push_back(factory());
+}
+
+void
+Multiprocessor::access(const MemRef &ref)
+{
+    if (ref.pid >= config_.numProcs)
+        throw std::out_of_range(
+            "Multiprocessor::access: pid exceeds configured processor "
+            "count");
+    Addr first = memsys::lineAlign(ref.addr, config_.lineBytes);
+    Addr last = memsys::lineAlign(ref.addr + std::max(ref.bytes, 1u) - 1,
+                                  config_.lineBytes);
+    // Caches and profilers operate on line *numbers* so set-indexed
+    // organizations see dense indices regardless of the line size.
+    for (Addr line = first; line <= last; line += config_.lineBytes)
+        accessLine(ref.pid, line / config_.lineBytes, ref.isWrite());
+}
+
+void
+Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
+{
+    DirEntry &entry = directory_[line];
+    std::uint64_t self = std::uint64_t{1} << pid;
+
+    if (is_write) {
+        std::uint64_t others = entry.sharers & ~self;
+        if (config_.protocol == CoherenceProtocol::WriteInvalidate) {
+            // Purge every other sharer's copy.
+            while (others) {
+                unsigned victim = static_cast<unsigned>(
+                    std::countr_zero(others));
+                others &= others - 1;
+                profilers_[victim].invalidate(line);
+                if (!caches_.empty())
+                    caches_[victim]->invalidate(line);
+            }
+            entry.sharers = self;
+        } else {
+            // Write-update: sharers keep valid copies; the write costs
+            // one update message per other sharer.
+            entry.sharers |= self;
+            if (measuring_) {
+                stats_[pid].updatesSent += static_cast<std::uint64_t>(
+                    std::popcount(others));
+            }
+        }
+    } else {
+        entry.sharers |= self;
+    }
+
+    memsys::DistanceSample sample = profilers_[pid].access(line);
+
+    // A first-ever touch of a line that some *other* processor produced
+    // is inherent communication, not a cold miss: on a real machine it
+    // is a remote fetch at any cache size. (Invalidation-induced misses
+    // are already classified Coherence by the profiler.)
+    if (sample.kind == memsys::RefClass::Cold &&
+        entry.writerPlusOne != 0 && entry.writerPlusOne != pid + 1) {
+        sample.kind = memsys::RefClass::Coherence;
+    }
+    if (is_write)
+        entry.writerPlusOne = pid + 1;
+
+    bool concrete_miss = false;
+    if (!caches_.empty()) {
+        concrete_miss =
+            caches_[pid]->access(line) == memsys::AccessOutcome::Miss;
+    }
+
+    if (!measuring_)
+        return;
+
+    ProcStats &st = stats_[pid];
+    if (is_write) {
+        ++st.writes;
+        switch (sample.kind) {
+          case memsys::RefClass::Finite:
+            st.writeDistances.addSample(sample.distance);
+            break;
+          case memsys::RefClass::Cold:
+            ++st.writeCold;
+            break;
+          case memsys::RefClass::Coherence:
+            ++st.writeCoherence;
+            break;
+        }
+        if (concrete_miss)
+            ++st.concreteWriteMisses;
+    } else {
+        ++st.reads;
+        switch (sample.kind) {
+          case memsys::RefClass::Finite:
+            st.readDistances.addSample(sample.distance);
+            break;
+          case memsys::RefClass::Cold:
+            ++st.readCold;
+            break;
+          case memsys::RefClass::Coherence:
+            ++st.readCoherence;
+            break;
+        }
+        if (concrete_miss)
+            ++st.concreteReadMisses;
+    }
+}
+
+ProcStats
+Multiprocessor::aggregateStats() const
+{
+    ProcStats agg;
+    for (const auto &st : stats_) {
+        agg.reads += st.reads;
+        agg.writes += st.writes;
+        agg.readCold += st.readCold;
+        agg.readCoherence += st.readCoherence;
+        agg.writeCold += st.writeCold;
+        agg.writeCoherence += st.writeCoherence;
+        agg.readDistances.merge(st.readDistances);
+        agg.writeDistances.merge(st.writeDistances);
+        agg.concreteReadMisses += st.concreteReadMisses;
+        agg.concreteWriteMisses += st.concreteWriteMisses;
+        agg.updatesSent += st.updatesSent;
+    }
+    return agg;
+}
+
+stats::Curve
+Multiprocessor::readMissRateCurve(const CurveSpec &spec,
+                                  const std::string &name) const
+{
+    ProcStats agg = aggregateStats();
+    stats::Curve curve(name);
+    if (agg.reads == 0)
+        return curve;
+    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / config_.lineBytes);
+        double misses = static_cast<double>(
+            agg.readMissesAt(lines, spec.includeCold));
+        curve.addPoint(static_cast<double>(bytes),
+                       misses / static_cast<double>(agg.reads));
+    }
+    return curve;
+}
+
+stats::Curve
+Multiprocessor::procReadMissRateCurve(ProcId pid, const CurveSpec &spec,
+                                      const std::string &name) const
+{
+    const ProcStats &st = stats_[pid];
+    stats::Curve curve(name);
+    if (st.reads == 0)
+        return curve;
+    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / config_.lineBytes);
+        double misses = static_cast<double>(
+            st.readMissesAt(lines, spec.includeCold));
+        curve.addPoint(static_cast<double>(bytes),
+                       misses / static_cast<double>(st.reads));
+    }
+    return curve;
+}
+
+stats::Curve
+Multiprocessor::missesPerFlopCurve(const CurveSpec &spec,
+                                   std::uint64_t total_flops,
+                                   const std::string &name) const
+{
+    ProcStats agg = aggregateStats();
+    stats::Curve curve(name);
+    if (total_flops == 0)
+        return curve;
+    // The paper counts *double-word* misses; a wider line miss fetches
+    // lineBytes/8 double words.
+    double words_per_line =
+        static_cast<double>(config_.lineBytes) / 8.0;
+    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / config_.lineBytes);
+        double misses = static_cast<double>(
+            agg.readMissesAt(lines, spec.includeCold));
+        curve.addPoint(static_cast<double>(bytes),
+                       misses * words_per_line /
+                           static_cast<double>(total_flops));
+    }
+    return curve;
+}
+
+stats::Curve
+Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
+                                    std::uint64_t total_flops,
+                                    const std::string &name) const
+{
+    ProcStats agg = aggregateStats();
+    stats::Curve curve(name);
+    if (total_flops == 0)
+        return curve;
+    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / config_.lineBytes);
+        double fills = static_cast<double>(
+            agg.readMissesAt(lines, spec.includeCold));
+        double writes = static_cast<double>(
+            agg.writeMissesAt(lines, spec.includeCold));
+        curve.addPoint(static_cast<double>(bytes),
+                       (fills + 2.0 * writes) * config_.lineBytes /
+                           static_cast<double>(total_flops));
+    }
+    return curve;
+}
+
+std::uint64_t
+Multiprocessor::footprintBytes(ProcId pid) const
+{
+    return profilers_[pid].touchedLines() * config_.lineBytes;
+}
+
+std::uint64_t
+Multiprocessor::maxFootprintBytes() const
+{
+    std::uint64_t m = 0;
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+        m = std::max(m, footprintBytes(p));
+    return m;
+}
+
+double
+Multiprocessor::concreteReadMissRate() const
+{
+    ProcStats agg = aggregateStats();
+    if (agg.reads == 0)
+        return 0.0;
+    return static_cast<double>(agg.concreteReadMisses) /
+           static_cast<double>(agg.reads);
+}
+
+std::vector<std::uint64_t>
+sweepSizes(std::uint64_t min_bytes, std::uint64_t max_bytes,
+           int points_per_octave, std::uint32_t line_bytes)
+{
+    std::vector<std::uint64_t> sizes;
+    if (min_bytes < line_bytes)
+        min_bytes = line_bytes;
+    double factor = std::exp2(1.0 / points_per_octave);
+    double x = static_cast<double>(min_bytes);
+    while (x <= static_cast<double>(max_bytes) * 1.0001) {
+        auto bytes = static_cast<std::uint64_t>(std::llround(x));
+        bytes = (bytes / line_bytes) * line_bytes;
+        if (bytes >= line_bytes &&
+            (sizes.empty() || bytes > sizes.back())) {
+            sizes.push_back(bytes);
+        }
+        x *= factor;
+    }
+    if (sizes.empty() || sizes.back() < max_bytes)
+        sizes.push_back((max_bytes / line_bytes) * line_bytes);
+    return sizes;
+}
+
+} // namespace wsg::sim

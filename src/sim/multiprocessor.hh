@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Trace-driven multiprocessor memory-system simulator.
+ *
+ * This is the paper's experimental apparatus (Section 2.2): "we simulate a
+ * cache-coherent, shared-address-space multiprocessor architecture, with
+ * each processor having a single level of cache and an equal fraction of
+ * the total main memory".
+ *
+ * Every processor owns a StackDistanceProfiler, so one application run
+ * produces the exact fully-associative-LRU miss-rate curve over *all*
+ * cache sizes. A write-invalidate directory sits across the processors:
+ * a write by processor p removes the line from every other processor's
+ * stack, so the next access by a previous sharer is a Coherence miss — a
+ * miss at every cache size, i.e.\ the paper's inherent-communication floor.
+ *
+ * Warm-up control (setMeasuring) implements the paper's cold-start
+ * exclusion: references always update cache and directory state, but only
+ * measured references contribute to the statistics.
+ *
+ * Optionally a concrete cache (set-associative / direct-mapped) can be
+ * attached per processor to study associativity effects (Section 6.4).
+ */
+
+#ifndef WSG_SIM_MULTIPROCESSOR_HH
+#define WSG_SIM_MULTIPROCESSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memsys/cache.hh"
+#include "memsys/stack_distance.hh"
+#include "stats/curve.hh"
+#include "stats/histogram.hh"
+#include "trace/memref.hh"
+
+namespace wsg::sim
+{
+
+using trace::Addr;
+using trace::MemRef;
+using trace::ProcId;
+
+/** Coherence protocol family. */
+enum class CoherenceProtocol : std::uint8_t
+{
+    /** Writes invalidate other sharers; their next access misses (the
+     *  paper's implicit model). */
+    WriteInvalidate,
+    /** Writes update other sharers' copies in place: no coherence
+     *  misses, but every write to a shared line sends one update
+     *  message per other sharer. */
+    WriteUpdate,
+};
+
+/** Machine configuration for a simulation run. */
+struct SimConfig
+{
+    /** Number of processors; at most 64 (a directory entry is a u64). */
+    std::uint32_t numProcs = 1;
+    /** Cache line size in bytes (power of two). The paper's FLOP-based
+     *  metrics count double-word misses, so 8 is the default. */
+    std::uint32_t lineBytes = 8;
+    CoherenceProtocol protocol = CoherenceProtocol::WriteInvalidate;
+};
+
+/** Per-processor statistics gathered while measuring. */
+struct ProcStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readCold = 0;
+    std::uint64_t readCoherence = 0;
+    std::uint64_t writeCold = 0;
+    std::uint64_t writeCoherence = 0;
+    /** Stack distances of Finite read / write references. */
+    stats::Histogram readDistances;
+    stats::Histogram writeDistances;
+    /** Concrete-cache results (valid when a cache is attached). */
+    std::uint64_t concreteReadMisses = 0;
+    std::uint64_t concreteWriteMisses = 0;
+    /** Update messages sent by this processor's writes (WriteUpdate
+     *  protocol only): one per other sharer per shared-line write. */
+    std::uint64_t updatesSent = 0;
+
+    /**
+     * Read misses in a fully associative LRU cache of @p capacity_lines.
+     * @param include_cold Count cold misses too (off for the paper's
+     *        warm-start methodology).
+     */
+    std::uint64_t readMissesAt(std::uint64_t capacity_lines,
+                               bool include_cold = false) const;
+
+    /** Write misses under the same model. */
+    std::uint64_t writeMissesAt(std::uint64_t capacity_lines,
+                                bool include_cold = false) const;
+};
+
+/** How to build miss-rate curves out of a finished simulation. */
+struct CurveSpec
+{
+    /** Cache sizes (bytes) to evaluate; must be multiples of lineBytes. */
+    std::vector<std::uint64_t> cacheSizesBytes;
+    /** Include cold misses in the miss counts. */
+    bool includeCold = false;
+};
+
+/**
+ * The multiprocessor. Feed it MemRefs (it is a MemorySink); query curves
+ * and stats when the application finishes.
+ */
+class Multiprocessor : public trace::MemorySink
+{
+  public:
+    explicit Multiprocessor(const SimConfig &config);
+
+    /** MemorySink interface: split into lines, run coherence, profile. */
+    void access(const MemRef &ref) override;
+
+    /** Warm-up control: when false, references update state only. */
+    void setMeasuring(bool measuring) { measuring_ = measuring; }
+    bool measuring() const { return measuring_; }
+
+    /**
+     * Attach one concrete cache per processor. The factory is called once
+     * per processor. Concrete caches see the same line stream and the same
+     * invalidations as the profilers.
+     */
+    void attachCaches(
+        const std::function<std::unique_ptr<memsys::Cache>()> &factory);
+
+    const SimConfig &config() const { return config_; }
+    const ProcStats &procStats(ProcId pid) const { return stats_[pid]; }
+
+    /** Sum of per-processor counters/histograms. */
+    ProcStats aggregateStats() const;
+
+    /**
+     * Aggregate read-miss-rate curve: x = cache size in bytes, y = read
+     * misses / read references across all processors.
+     */
+    stats::Curve readMissRateCurve(const CurveSpec &spec,
+                                   const std::string &name) const;
+
+    /**
+     * Per-processor read-miss-rate curve — the paper's working sets are
+     * *per-processor*; comparing these across PEs shows whether the
+     * partition gives every processor the same locality.
+     */
+    stats::Curve procReadMissRateCurve(ProcId pid, const CurveSpec &spec,
+                                       const std::string &name) const;
+
+    /**
+     * Aggregate misses-per-FLOP curve: x = cache size in bytes, y =
+     * double-word read misses / @p total_flops. Line sizes larger than a
+     * double word scale the miss count by lineBytes/8 so the metric stays
+     * "double-word misses" as in the paper.
+     */
+    stats::Curve missesPerFlopCurve(const CurveSpec &spec,
+                                    std::uint64_t total_flops,
+                                    const std::string &name) const;
+
+    /**
+     * Aggregate memory-traffic curve: bytes moved between cache and the
+     * rest of the system per FLOP, versus cache size. A read miss moves
+     * one line in; a write miss moves a line in (write-allocate) and —
+     * since written lines are eventually evicted dirty — one line back
+     * out, so traffic = (readMisses + 2 * writeMisses) * lineBytes.
+     * This is the bandwidth demand the grain-size discussion (Section
+     * 2.3) weighs against the machine's sustainable rates.
+     */
+    stats::Curve trafficPerFlopCurve(const CurveSpec &spec,
+                                     std::uint64_t total_flops,
+                                     const std::string &name) const;
+
+    /** Per-processor footprint in bytes (distinct lines touched). */
+    std::uint64_t footprintBytes(ProcId pid) const;
+
+    /** Largest per-processor footprint — upper end for size sweeps. */
+    std::uint64_t maxFootprintBytes() const;
+
+    /** Concrete-cache aggregate read miss rate (caches attached). */
+    double concreteReadMissRate() const;
+
+  private:
+    void accessLine(ProcId pid, Addr line, bool is_write);
+
+    SimConfig config_;
+    bool measuring_ = true;
+    std::vector<memsys::StackDistanceProfiler> profilers_;
+    std::vector<ProcStats> stats_;
+    std::vector<std::unique_ptr<memsys::Cache>> caches_;
+
+    /** Directory entry per line. */
+    struct DirEntry
+    {
+        /** Bitmask of processors that may cache the line. */
+        std::uint64_t sharers = 0;
+        /** Last writer + 1; 0 = never written through the simulator. */
+        std::uint32_t writerPlusOne = 0;
+    };
+    std::unordered_map<Addr, DirEntry> directory_;
+};
+
+/**
+ * Generate a log-spaced cache-size sweep: @p points_per_octave sizes per
+ * doubling from @p min_bytes to @p max_bytes inclusive, all rounded to
+ * multiples of @p line_bytes.
+ */
+std::vector<std::uint64_t> sweepSizes(std::uint64_t min_bytes,
+                                      std::uint64_t max_bytes,
+                                      int points_per_octave = 4,
+                                      std::uint32_t line_bytes = 8);
+
+} // namespace wsg::sim
+
+#endif // WSG_SIM_MULTIPROCESSOR_HH

@@ -1,0 +1,116 @@
+#include "stats/curve.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsg::stats
+{
+
+void
+Curve::addPoint(double x, double y)
+{
+    auto it = std::lower_bound(points_.begin(), points_.end(), x,
+        [](const CurvePoint &p, double key) { return p.x < key; });
+    if (it != points_.end() && it->x == x) {
+        it->y = y;
+        return;
+    }
+    points_.insert(it, CurvePoint{x, y});
+}
+
+double
+Curve::valueAtOrBelow(double x) const
+{
+    if (points_.empty())
+        throw std::out_of_range("Curve::valueAtOrBelow on empty curve");
+    auto it = std::upper_bound(points_.begin(), points_.end(), x,
+        [](double key, const CurvePoint &p) { return key < p.x; });
+    if (it == points_.begin())
+        return it->y;
+    return std::prev(it)->y;
+}
+
+double
+Curve::interpolate(double x) const
+{
+    if (points_.empty())
+        throw std::out_of_range("Curve::interpolate on empty curve");
+    if (x <= points_.front().x)
+        return points_.front().y;
+    if (x >= points_.back().x)
+        return points_.back().y;
+    auto it = std::lower_bound(points_.begin(), points_.end(), x,
+        [](const CurvePoint &p, double key) { return p.x < key; });
+    const CurvePoint &hi = *it;
+    const CurvePoint &lo = *std::prev(it);
+    double t = (x - lo.x) / (hi.x - lo.x);
+    return lo.y + t * (hi.y - lo.y);
+}
+
+double
+Curve::firstXBelow(double y_threshold) const
+{
+    for (const auto &p : points_) {
+        if (p.y <= y_threshold)
+            return p.x;
+    }
+    return -1.0;
+}
+
+double
+Curve::minY() const
+{
+    if (points_.empty())
+        throw std::out_of_range("Curve::minY on empty curve");
+    double m = points_.front().y;
+    for (const auto &p : points_)
+        m = std::min(m, p.y);
+    return m;
+}
+
+double
+Curve::maxY() const
+{
+    if (points_.empty())
+        throw std::out_of_range("Curve::maxY on empty curve");
+    double m = points_.front().y;
+    for (const auto &p : points_)
+        m = std::max(m, p.y);
+    return m;
+}
+
+double
+Curve::logLogSlope() const
+{
+    // Ordinary least squares on (log x, log y).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::size_t n = 0;
+    for (const auto &p : points_) {
+        if (p.x <= 0 || p.y <= 0)
+            continue;
+        double lx = std::log(p.x);
+        double ly = std::log(p.y);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        ++n;
+    }
+    if (n < 2)
+        return 0.0;
+    double denom = static_cast<double>(n) * sxx - sx * sx;
+    if (denom == 0.0)
+        return 0.0;
+    return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+void
+Curve::scaleY(double s)
+{
+    for (auto &p : points_)
+        p.y *= s;
+}
+
+} // namespace wsg::stats

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A sampled (x, y) curve — the basic object of the working-set study.
+ *
+ * Every figure in the paper is a "miss rate versus cache size" curve; this
+ * class stores such curves, keeps them sorted by x, and offers the queries
+ * the knee detector and the benches need (value lookup with step semantics,
+ * log-log slope estimation, pointwise combination).
+ */
+
+#ifndef WSG_STATS_CURVE_HH
+#define WSG_STATS_CURVE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsg::stats
+{
+
+/** One sample of a curve. */
+struct CurvePoint
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * A curve sampled at increasing x. Duplicate x values are collapsed,
+ * keeping the last y inserted for that x.
+ */
+class Curve
+{
+  public:
+    Curve() = default;
+
+    /** Construct with a display name (used by the table printers). */
+    explicit Curve(std::string name) : _name(std::move(name)) {}
+
+    /** Insert or overwrite the sample at @p x. Keeps points sorted. */
+    void addPoint(double x, double y);
+
+    /** @return number of samples. */
+    std::size_t size() const { return points_.size(); }
+
+    /** @return true when the curve has no samples. */
+    bool empty() const { return points_.empty(); }
+
+    /** @return the i-th sample in increasing-x order. */
+    const CurvePoint &operator[](std::size_t i) const { return points_[i]; }
+
+    /** @return all samples in increasing-x order. */
+    const std::vector<CurvePoint> &points() const { return points_; }
+
+    const std::string &name() const { return _name; }
+    void name(const std::string &new_name) { _name = new_name; }
+
+    /**
+     * Step-function lookup: the y of the largest sampled x that is <= @p x.
+     * Below the first sample, the first y is returned. This matches the
+     * semantics of a miss-rate curve indexed by cache size: a cache of
+     * size s behaves like the largest measured size not exceeding s.
+     */
+    double valueAtOrBelow(double x) const;
+
+    /** Linear interpolation between neighbouring samples (clamped). */
+    double interpolate(double x) const;
+
+    /** Smallest sampled x whose y is <= @p y_threshold, or -1 if none. */
+    double firstXBelow(double y_threshold) const;
+
+    /** Minimum / maximum y over all samples. Curve must be non-empty. */
+    double minY() const;
+    double maxY() const;
+
+    /**
+     * Estimate d(log y)/d(log x) by least squares over all samples with
+     * positive x and y. Used by the growth-rate bench to verify the
+     * exponents in Table 1 (e.g.\ communication ~ n^2 sqrt(P)).
+     *
+     * @return the fitted log-log slope; 0 for curves with < 2 usable
+     *         samples.
+     */
+    double logLogSlope() const;
+
+    /** Pointwise y -> y * s. */
+    void scaleY(double s);
+
+    /**
+     * Pointwise combination with another curve sampled at the same x
+     * values (checked). Returns a new curve with
+     * y = combine(this.y, other.y).
+     */
+    template <typename BinaryOp>
+    Curve
+    combine(const Curve &other, BinaryOp op) const
+    {
+        Curve out(_name);
+        for (const auto &p : points_)
+            out.addPoint(p.x, op(p.y, other.valueAtOrBelow(p.x)));
+        return out;
+    }
+
+  private:
+    std::string _name;
+    std::vector<CurvePoint> points_;
+};
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_CURVE_HH

@@ -1,0 +1,97 @@
+#include "stats/knee.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/units.hh"
+
+namespace wsg::stats
+{
+
+std::vector<WorkingSet>
+detectWorkingSets(const Curve &curve, const KneeConfig &config)
+{
+    std::vector<WorkingSet> sets;
+    const auto &pts = curve.points();
+    if (pts.size() < 2)
+        return sets;
+
+    // Walk the curve accumulating maximal "drop regions": runs of samples
+    // where each step loses at least minStepDrop of the rate. Each region
+    // whose total drop factor exceeds minKneeFactor becomes a knee.
+    std::size_t i = 1;
+    while (i < pts.size()) {
+        double prev = pts[i - 1].y;
+        double cur = pts[i].y;
+        bool dropping = prev > config.rateFloor &&
+                        cur < prev * (1.0 - config.minStepDrop);
+        if (!dropping) {
+            ++i;
+            continue;
+        }
+
+        // Extend the region while the curve keeps dropping significantly.
+        std::size_t start = i - 1;
+        std::size_t end = i;
+        while (end + 1 < pts.size()) {
+            double a = pts[end].y;
+            double b = pts[end + 1].y;
+            if (a > config.rateFloor &&
+                b < a * (1.0 - config.minStepDrop)) {
+                ++end;
+            } else {
+                break;
+            }
+        }
+
+        double before = pts[start].y;
+        double after = pts[end].y;
+        double factor = after > 0.0 ? before / after
+                                    : std::numeric_limits<double>::infinity();
+        if (factor >= config.minKneeFactor) {
+            WorkingSet ws;
+            ws.level = static_cast<int>(sets.size()) + 1;
+            ws.sizeBytes = pts[end].x;
+            ws.missRateBefore = before;
+            ws.missRateAfter = after;
+            // Core: the end of the sharpest single step in the region.
+            double best = 0.0;
+            ws.coreSizeBytes = pts[end].x;
+            for (std::size_t k = start + 1; k <= end; ++k) {
+                double step = pts[k].y > 0.0
+                                  ? pts[k - 1].y / pts[k].y
+                                  : std::numeric_limits<double>::infinity();
+                if (step > best) {
+                    best = step;
+                    ws.coreSizeBytes = pts[k].x;
+                }
+            }
+            sets.push_back(ws);
+        }
+        i = end + 1;
+    }
+    return sets;
+}
+
+std::string
+describeWorkingSets(const std::vector<WorkingSet> &sets)
+{
+    std::ostringstream os;
+    if (sets.empty()) {
+        os << "  (no knees detected)\n";
+        return os.str();
+    }
+    for (const auto &ws : sets) {
+        os << "  lev" << ws.level << "WS: " << formatBytes(ws.sizeBytes)
+           << "  miss rate " << formatRate(ws.missRateBefore) << " -> "
+           << formatRate(ws.missRateAfter) << "  (x"
+           << formatRate(ws.dropFactor());
+        if (ws.coreSizeBytes != ws.sizeBytes)
+            os << ", core at " << formatBytes(ws.coreSizeBytes);
+        os << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace wsg::stats

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Knee detection — turning a miss-rate-versus-cache-size curve into a
+ * working-set hierarchy.
+ *
+ * The paper's methodology (Section 2.2) is to "simulate different cache
+ * sizes and look for knees in the resulting performance (or miss rate)
+ * versus cache size curve". A knee is a region where the miss rate falls
+ * sharply as the cache grows, separating two plateaus; the cache size at
+ * the end of the region is the size of a working set (lev1WS, lev2WS, ...).
+ */
+
+#ifndef WSG_STATS_KNEE_HH
+#define WSG_STATS_KNEE_HH
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stats/curve.hh"
+
+namespace wsg::stats
+{
+
+/** One detected working set (one knee of the curve). */
+struct WorkingSet
+{
+    /** 1-based level within the hierarchy (lev1WS has level == 1). */
+    int level = 0;
+    /** Cache size (bytes) at which this working set first fits. */
+    double sizeBytes = 0.0;
+    /** Miss rate just before the knee (cache slightly too small). */
+    double missRateBefore = 0.0;
+    /** Miss rate once the working set fits. */
+    double missRateAfter = 0.0;
+    /**
+     * Size at the *core* of the knee: the end of the single sharpest
+     * step inside the drop region. When a knee's tail decays slowly
+     * (e.g.\ Barnes-Hut beyond lev2WS, Section 6.2), sizeBytes marks
+     * where the decay ends while coreSizeBytes marks where most of the
+     * improvement happened.
+     */
+    double coreSizeBytes = 0.0;
+
+    /** Multiplicative miss-rate improvement across the knee (infinity
+     *  when the rate drops to zero). */
+    double
+    dropFactor() const
+    {
+        if (missRateAfter > 0.0)
+            return missRateBefore / missRateAfter;
+        return missRateBefore > 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : 1.0;
+    }
+};
+
+/** Tunables for the knee detector. */
+struct KneeConfig
+{
+    /**
+     * Minimum per-sample relative drop for a sample to be considered part
+     * of a knee region: y[i] < y[i-1] * (1 - minStepDrop).
+     */
+    double minStepDrop = 0.08;
+    /**
+     * Minimum total drop factor (rate before / rate after) for a merged
+     * region to be reported as a working set.
+     */
+    double minKneeFactor = 1.4;
+    /**
+     * Miss rates below this absolute floor are treated as "at the
+     * communication floor" and further drops are ignored.
+     */
+    double rateFloor = 0.0;
+};
+
+/**
+ * Detect the working-set hierarchy of a (cache size, miss rate) curve.
+ *
+ * The curve must be sampled at increasing cache size; it is expected to be
+ * (approximately) non-increasing, as produced by the stack-distance
+ * profiler or the analytical models.
+ *
+ * @param curve The miss-rate curve (x in bytes, y miss rate).
+ * @param config Detection thresholds.
+ * @return Detected working sets, smallest first, levels numbered from 1.
+ */
+std::vector<WorkingSet> detectWorkingSets(const Curve &curve,
+                                          const KneeConfig &config = {});
+
+/** Render a working-set hierarchy as a small human-readable table. */
+std::string describeWorkingSets(const std::vector<WorkingSet> &sets);
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_KNEE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Running summary statistics (count/mean/min/max/variance) via Welford's
+ * algorithm. Used by the simulator for per-processor load-balance metrics
+ * and by benches for timing summaries.
+ */
+
+#ifndef WSG_STATS_SUMMARY_HH
+#define WSG_STATS_SUMMARY_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace wsg::stats
+{
+
+/** Accumulates samples and answers mean/min/max/stddev queries. */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void
+    addSample(double v)
+    {
+        ++count_;
+        double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+        sum_ += v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /**
+     * Load-imbalance factor: max / mean. 1.0 is perfectly balanced. Used
+     * for the paper's load-balance discussions (work units per processor).
+     */
+    double
+    imbalance() const
+    {
+        return (count_ && mean_ > 0.0) ? max_ / mean_ : 1.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_SUMMARY_HH

@@ -1,0 +1,148 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/units.hh"
+
+namespace wsg::stats
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size())
+        throw std::invalid_argument("Table::addRow: wrong cell count for '" +
+                                    _title + "'");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto renderRow = [&](const std::vector<std::string> &cells,
+                         std::ostringstream &os) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << "  " << cells[i]
+               << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    os << _title << "\n";
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    if (!header_.empty()) {
+        renderRow(header_, os);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        renderRow(row, os);
+    return os.str();
+}
+
+std::string
+renderSeries(const std::string &title, const std::string &x_label,
+             const std::vector<Curve> &curves, bool x_is_bytes)
+{
+    Table table(title);
+    std::vector<std::string> head{x_label};
+    for (const auto &c : curves)
+        head.push_back(c.name().empty() ? "series" : c.name());
+    table.header(std::move(head));
+
+    std::set<double> xs;
+    for (const auto &c : curves)
+        for (const auto &p : c.points())
+            xs.insert(p.x);
+
+    for (double x : xs) {
+        std::vector<std::string> row;
+        row.push_back(x_is_bytes ? formatBytes(x) : formatRate(x));
+        for (const auto &c : curves)
+            row.push_back(c.empty() ? "-" : formatRate(c.valueAtOrBelow(x)));
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+std::string
+renderAsciiPlot(const Curve &curve, int width, int height)
+{
+    const auto &pts = curve.points();
+    if (pts.size() < 2 || width < 8 || height < 4)
+        return "(plot unavailable)\n";
+
+    double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+    bool first = true;
+    for (const auto &p : pts) {
+        if (p.x <= 0 || p.y <= 0)
+            continue;
+        double lx = std::log2(p.x);
+        double ly = std::log2(p.y);
+        if (first) {
+            xmin = xmax = lx;
+            ymin = ymax = ly;
+            first = false;
+        } else {
+            xmin = std::min(xmin, lx);
+            xmax = std::max(xmax, lx);
+            ymin = std::min(ymin, ly);
+            ymax = std::max(ymax, ly);
+        }
+    }
+    if (first || xmax == xmin)
+        return "(plot unavailable)\n";
+    if (ymax == ymin)
+        ymax = ymin + 1;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(
+                                      width), ' '));
+    for (const auto &p : pts) {
+        if (p.x <= 0 || p.y <= 0)
+            continue;
+        double lx = std::log2(p.x);
+        double ly = std::log2(p.y);
+        int col = static_cast<int>(std::round(
+            (lx - xmin) / (xmax - xmin) * (width - 1)));
+        int row = static_cast<int>(std::round(
+            (ymax - ly) / (ymax - ymin) * (height - 1)));
+        grid[static_cast<std::size_t>(row)]
+            [static_cast<std::size_t>(col)] = '*';
+    }
+
+    std::ostringstream os;
+    os << curve.name() << "  (log2 miss rate vs log2 size; y "
+       << formatRate(std::exp2(ymin)) << ".." << formatRate(std::exp2(ymax))
+       << ", x " << formatBytes(std::exp2(xmin)) << ".."
+       << formatBytes(std::exp2(xmax)) << ")\n";
+    for (const auto &line : grid)
+        os << "  |" << line << "\n";
+    os << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+    return os.str();
+}
+
+} // namespace wsg::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ASCII table and figure-series rendering.
+ *
+ * The bench binaries regenerate every table and figure from the paper; this
+ * is the single place where those are laid out, so all reproduction output
+ * looks uniform (aligned columns, a rule under the header, a caption line).
+ */
+
+#ifndef WSG_STATS_TABLE_HH
+#define WSG_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/curve.hh"
+
+namespace wsg::stats
+{
+
+/**
+ * Column-aligned ASCII table builder.
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. Must be called before addRow. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    const std::string &title() const { return _title; }
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render one or more curves as a figure-style series table: first column is
+ * x (formatted as a byte size when @p x_is_bytes), one column per curve.
+ * Curves may be sampled at different x values; the union of x values is
+ * used and step-lookup (valueAtOrBelow) fills each column.
+ */
+std::string renderSeries(const std::string &title,
+                         const std::string &x_label,
+                         const std::vector<Curve> &curves,
+                         bool x_is_bytes = true);
+
+/**
+ * Render a curve as a crude ASCII plot (log-x, log-y), useful for eyeballing
+ * knees in bench output.
+ */
+std::string renderAsciiPlot(const Curve &curve, int width = 64,
+                            int height = 16);
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_TABLE_HH

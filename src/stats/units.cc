@@ -1,0 +1,128 @@
+#include "stats/units.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wsg::stats
+{
+
+namespace
+{
+
+/** Render a double with up to one decimal, dropping a trailing ".0". */
+std::string
+oneDecimal(double value)
+{
+    char buf[64];
+    if (std::abs(value - std::round(value)) < 0.05) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f", value);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes < 0)
+        return "-" + formatBytes(-bytes);
+    if (bytes < static_cast<double>(kKiB))
+        return oneDecimal(bytes) + " B";
+    if (bytes < static_cast<double>(kMiB))
+        return oneDecimal(bytes / static_cast<double>(kKiB)) + " KB";
+    if (bytes < static_cast<double>(kGiB))
+        return oneDecimal(bytes / static_cast<double>(kMiB)) + " MB";
+    if (bytes < static_cast<double>(kGiB) * 1024.0)
+        return oneDecimal(bytes / static_cast<double>(kGiB)) + " GB";
+    return oneDecimal(bytes / (static_cast<double>(kGiB) * 1024.0)) + " TB";
+}
+
+std::string
+formatRate(double rate)
+{
+    char buf[64];
+    if (rate == 0.0)
+        return "0";
+    if (std::abs(rate) >= 0.001 && std::abs(rate) < 1.0e6) {
+        std::snprintf(buf, sizeof(buf), "%.3g", rate);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3e", rate);
+    }
+    return buf;
+}
+
+std::string
+formatCount(double count)
+{
+    char buf[64];
+    if (count < 1.0e3) {
+        std::snprintf(buf, sizeof(buf), "%.0f", count);
+    } else if (count < 1.0e6) {
+        std::snprintf(buf, sizeof(buf), "%.3gK", count / 1.0e3);
+    } else if (count < 1.0e9) {
+        std::snprintf(buf, sizeof(buf), "%.3gM", count / 1.0e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3gB", count / 1.0e9);
+    }
+    return buf;
+}
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        throw std::invalid_argument("parseSize: empty size string");
+
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("parseSize: bad size '" + text + "'");
+    }
+    if (value < 0)
+        throw std::invalid_argument("parseSize: negative size '" + text +
+                                    "'");
+
+    std::uint64_t multiplier = 1;
+    if (pos < text.size()) {
+        char suffix =
+            static_cast<char>(std::toupper(static_cast<unsigned char>(
+                text[pos])));
+        switch (suffix) {
+          case 'K':
+            multiplier = kKiB;
+            break;
+          case 'M':
+            multiplier = kMiB;
+            break;
+          case 'G':
+            multiplier = kGiB;
+            break;
+          case 'B':
+            multiplier = 1;
+            break;
+          default:
+            throw std::invalid_argument("parseSize: bad suffix in '" + text +
+                                        "'");
+        }
+        // Allow an optional trailing 'B' after K/M/G (e.g. "64KB").
+        std::size_t rest = pos + 1;
+        if (rest < text.size() &&
+            std::toupper(static_cast<unsigned char>(text[rest])) == 'B') {
+            ++rest;
+        }
+        if (rest != text.size())
+            throw std::invalid_argument("parseSize: trailing junk in '" +
+                                        text + "'");
+    }
+    return static_cast<std::uint64_t>(value * static_cast<double>(
+        multiplier));
+}
+
+} // namespace wsg::stats

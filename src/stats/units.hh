@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Formatting helpers for byte sizes, rates and counts used throughout the
+ * working-set study output. All tables and figure series in the benches are
+ * rendered through these helpers so that output stays consistent with the
+ * units used in the paper (Kbytes, Mbytes, misses per FLOP, ...).
+ */
+
+#ifndef WSG_STATS_UNITS_HH
+#define WSG_STATS_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wsg::stats
+{
+
+/** Number of bytes in a Kbyte / Mbyte / Gbyte (binary, as in the paper). */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/**
+ * Format a byte count the way the paper does: "260 B", "2.2 KB", "16 MB".
+ *
+ * @param bytes The size to format.
+ * @return Human-readable size string with at most one decimal digit.
+ */
+std::string formatBytes(double bytes);
+
+/**
+ * Format a rate (e.g.\ misses per FLOP or a miss ratio) compactly.
+ *
+ * Uses fixed notation for values >= 0.001 and scientific below that,
+ * keeping three significant digits either way.
+ */
+std::string formatRate(double rate);
+
+/**
+ * Format a large count ("4.5 million", "64K") for narrative output.
+ */
+std::string formatCount(double count);
+
+/**
+ * Parse sizes like "64K", "1M", "512" into bytes. Used by example CLIs.
+ *
+ * @param text The size string; suffixes K/M/G (case-insensitive) are
+ *             interpreted as binary multipliers.
+ * @return The size in bytes.
+ * @throws std::invalid_argument on malformed input.
+ */
+std::uint64_t parseSize(const std::string &text);
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_UNITS_HH

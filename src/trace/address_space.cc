@@ -1,0 +1,55 @@
+#include "trace/address_space.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wsg::trace
+{
+
+SharedAddressSpace::SharedAddressSpace(std::uint64_t alignment)
+    : alignment_(alignment),
+      // Leave address 0 unused so it can serve as a null sentinel.
+      next_(alignment)
+{
+    if (alignment_ == 0 || (alignment_ & (alignment_ - 1)) != 0)
+        throw std::invalid_argument(
+            "SharedAddressSpace: alignment must be a power of two");
+}
+
+Addr
+SharedAddressSpace::allocate(const std::string &name, std::uint64_t bytes)
+{
+    Segment seg;
+    seg.name = name;
+    seg.base = next_;
+    seg.bytes = bytes;
+    segments_.push_back(seg);
+    totalBytes_ += bytes;
+
+    std::uint64_t padded = bytes == 0 ? alignment_ : bytes;
+    padded = (padded + alignment_ - 1) & ~(alignment_ - 1);
+    next_ += padded;
+    return seg.base;
+}
+
+const Segment *
+SharedAddressSpace::findSegment(Addr addr) const
+{
+    for (const auto &seg : segments_) {
+        if (seg.contains(addr))
+            return &seg;
+    }
+    return nullptr;
+}
+
+const Segment *
+SharedAddressSpace::findSegment(const std::string &name) const
+{
+    for (const auto &seg : segments_) {
+        if (seg.name == name)
+            return &seg;
+    }
+    return nullptr;
+}
+
+} // namespace wsg::trace

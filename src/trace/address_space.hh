@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The simulated shared address space.
+ *
+ * Applications allocate named segments (e.g.\ "matrix", "bodies", "voxels")
+ * from a SharedAddressSpace; each segment gets a distinct, non-overlapping
+ * simulated address range. Addresses are purely symbolic — the actual data
+ * lives in ordinary host memory inside TracedArray / TracedHeap — but every
+ * MemRef carries a simulated address, so the cache models see the same
+ * layout a real shared-memory machine would.
+ */
+
+#ifndef WSG_TRACE_ADDRESS_SPACE_HH
+#define WSG_TRACE_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/memref.hh"
+
+namespace wsg::trace
+{
+
+/** One named allocation in the shared address space. */
+struct Segment
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + bytes;
+    }
+};
+
+/**
+ * Simple bump allocator over a simulated 64-bit address space.
+ *
+ * Segments are aligned (default to 64 bytes) and padded so that distinct
+ * data structures never share a cache line, mirroring careful data
+ * placement on a real machine.
+ */
+class SharedAddressSpace
+{
+  public:
+    /** @param alignment Base alignment for every segment, power of two. */
+    explicit SharedAddressSpace(std::uint64_t alignment = 64);
+
+    /**
+     * Allocate a segment.
+     *
+     * @param name Debug name for the segment.
+     * @param bytes Size in bytes (zero-sized segments are allowed and
+     *              consume one alignment unit so bases stay distinct).
+     * @return Base simulated address of the new segment.
+     */
+    Addr allocate(const std::string &name, std::uint64_t bytes);
+
+    /** @return the segment containing @p addr, or nullptr. */
+    const Segment *findSegment(Addr addr) const;
+
+    /** @return segment by name, or nullptr. */
+    const Segment *findSegment(const std::string &name) const;
+
+    /** Total bytes allocated across all segments (without padding). */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+  private:
+    std::uint64_t alignment_;
+    Addr next_;
+    std::uint64_t totalBytes_ = 0;
+    std::vector<Segment> segments_;
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_ADDRESS_SPACE_HH

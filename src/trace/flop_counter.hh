@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FLOP accounting for the regular kernels.
+ *
+ * The paper's metric for LU, CG and FFT is "double-word read misses per
+ * double-precision floating-point operation"; applications report the
+ * floating-point work they perform per processor through this counter so
+ * the study driver can normalize miss counts.
+ */
+
+#ifndef WSG_TRACE_FLOP_COUNTER_HH
+#define WSG_TRACE_FLOP_COUNTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/memref.hh"
+
+namespace wsg::trace
+{
+
+/** Per-processor floating-point-operation counter. */
+class FlopCounter
+{
+  public:
+    explicit FlopCounter(std::uint32_t num_procs) : flops_(num_procs, 0) {}
+
+    /** Charge @p n FLOPs to processor @p pid. */
+    void
+    add(ProcId pid, std::uint64_t n)
+    {
+        flops_[pid] += n;
+    }
+
+    std::uint64_t flops(ProcId pid) const { return flops_[pid]; }
+
+    std::uint64_t
+    totalFlops() const
+    {
+        std::uint64_t t = 0;
+        for (auto f : flops_)
+            t += f;
+        return t;
+    }
+
+    std::uint32_t
+    numProcs() const
+    {
+        return static_cast<std::uint32_t>(flops_.size());
+    }
+
+    /** Zero all counters (e.g.\ after warm-up). */
+    void
+    reset()
+    {
+        for (auto &f : flops_)
+            f = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> flops_;
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_FLOP_COUNTER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The memory-reference event and the sink interface that consumes it.
+ *
+ * Applications are instrumented at the data-structure level (TracedArray,
+ * TracedHeap): every logical read or write of shared data is reported as a
+ * MemRef to a MemorySink. The multiprocessor simulator is one such sink;
+ * tests use recording/counting sinks.
+ */
+
+#ifndef WSG_TRACE_MEMREF_HH
+#define WSG_TRACE_MEMREF_HH
+
+#include <cstdint>
+
+namespace wsg::trace
+{
+
+/** Simulated (virtual) byte address in the shared address space. */
+using Addr = std::uint64_t;
+
+/** Processor id, 0-based. */
+using ProcId = std::uint32_t;
+
+/** Kind of memory access. */
+enum class RefType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One memory reference issued by one simulated processor. */
+struct MemRef
+{
+    Addr addr = 0;
+    std::uint32_t bytes = 0;
+    ProcId pid = 0;
+    RefType type = RefType::Read;
+
+    bool isRead() const { return type == RefType::Read; }
+    bool isWrite() const { return type == RefType::Write; }
+};
+
+/**
+ * Consumer of memory references.
+ *
+ * Implementations must tolerate arbitrary interleavings of processors and
+ * accesses that span multiple cache lines (they split internally).
+ */
+class MemorySink
+{
+  public:
+    virtual ~MemorySink() = default;
+
+    /** Deliver one reference. */
+    virtual void access(const MemRef &ref) = 0;
+
+    /** Convenience wrapper for reads. */
+    void
+    read(ProcId pid, Addr addr, std::uint32_t bytes)
+    {
+        access(MemRef{addr, bytes, pid, RefType::Read});
+    }
+
+    /** Convenience wrapper for writes. */
+    void
+    write(ProcId pid, Addr addr, std::uint32_t bytes)
+    {
+        access(MemRef{addr, bytes, pid, RefType::Write});
+    }
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_MEMREF_HH

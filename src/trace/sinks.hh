@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Utility MemorySink implementations: discard, count, record, tee.
+ */
+
+#ifndef WSG_TRACE_SINKS_HH
+#define WSG_TRACE_SINKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/memref.hh"
+
+namespace wsg::trace
+{
+
+/** Discards every reference; tracing overhead only. */
+class NullSink : public MemorySink
+{
+  public:
+    void access(const MemRef &) override {}
+};
+
+/** Counts references per processor and per type. */
+class CountingSink : public MemorySink
+{
+  public:
+    /** @param num_procs Number of processors to track. */
+    explicit CountingSink(std::uint32_t num_procs)
+        : reads_(num_procs, 0), writes_(num_procs, 0),
+          readBytes_(num_procs, 0), writeBytes_(num_procs, 0)
+    {}
+
+    void
+    access(const MemRef &ref) override
+    {
+        if (ref.isRead()) {
+            ++reads_[ref.pid];
+            readBytes_[ref.pid] += ref.bytes;
+        } else {
+            ++writes_[ref.pid];
+            writeBytes_[ref.pid] += ref.bytes;
+        }
+    }
+
+    std::uint64_t reads(ProcId pid) const { return reads_[pid]; }
+    std::uint64_t writes(ProcId pid) const { return writes_[pid]; }
+    std::uint64_t readBytes(ProcId pid) const { return readBytes_[pid]; }
+    std::uint64_t writeBytes(ProcId pid) const { return writeBytes_[pid]; }
+
+    std::uint64_t totalReads() const { return total(reads_); }
+    std::uint64_t totalWrites() const { return total(writes_); }
+    std::uint64_t totalReadBytes() const { return total(readBytes_); }
+    std::uint64_t totalWriteBytes() const { return total(writeBytes_); }
+
+  private:
+    static std::uint64_t
+    total(const std::vector<std::uint64_t> &v)
+    {
+        std::uint64_t t = 0;
+        for (auto x : v)
+            t += x;
+        return t;
+    }
+
+    std::vector<std::uint64_t> reads_;
+    std::vector<std::uint64_t> writes_;
+    std::vector<std::uint64_t> readBytes_;
+    std::vector<std::uint64_t> writeBytes_;
+};
+
+/** Records every reference in order; for tests and trace dumps. */
+class RecordingSink : public MemorySink
+{
+  public:
+    void access(const MemRef &ref) override { refs_.push_back(ref); }
+
+    const std::vector<MemRef> &refs() const { return refs_; }
+    void clear() { refs_.clear(); }
+
+  private:
+    std::vector<MemRef> refs_;
+};
+
+/** Forwards each reference to two downstream sinks. */
+class TeeSink : public MemorySink
+{
+  public:
+    TeeSink(MemorySink &a, MemorySink &b) : a_(a), b_(b) {}
+
+    void
+    access(const MemRef &ref) override
+    {
+        a_.access(ref);
+        b_.access(ref);
+    }
+
+  private:
+    MemorySink &a_;
+    MemorySink &b_;
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_SINKS_HH

@@ -1,0 +1,114 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace wsg::trace
+{
+
+namespace
+{
+
+/** On-disk record: 16 bytes, little-endian (host order; the tool chain
+ *  targets a single host family). */
+struct Record
+{
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    std::uint16_t pid;
+    std::uint8_t type;
+    std::uint8_t pad;
+};
+static_assert(sizeof(Record) == 16, "trace record must pack to 16 B");
+
+struct Header
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t numProcs;
+};
+static_assert(sizeof(Header) == 16, "trace header must pack to 16 B");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, std::uint32_t num_procs)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        throw std::runtime_error("TraceWriter: cannot open " + path);
+    Header h{};
+    std::memcpy(h.magic, kTraceMagic, sizeof(kTraceMagic));
+    h.version = kTraceVersion;
+    h.numProcs = num_procs;
+    out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::access(const MemRef &ref)
+{
+    Record r{};
+    r.addr = ref.addr;
+    r.bytes = ref.bytes;
+    r.pid = static_cast<std::uint16_t>(ref.pid);
+    r.type = static_cast<std::uint8_t>(ref.type);
+    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    ++records_;
+}
+
+void
+TraceWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        throw std::runtime_error("TraceReader: cannot open " + path);
+    Header h{};
+    in_.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in_ || std::memcmp(h.magic, kTraceMagic, sizeof(kTraceMagic)) !=
+                    0) {
+        throw std::runtime_error("TraceReader: bad magic in " + path);
+    }
+    if (h.version != kTraceVersion) {
+        throw std::runtime_error("TraceReader: unsupported version in " +
+                                 path);
+    }
+    numProcs_ = h.numProcs;
+}
+
+bool
+TraceReader::next(MemRef &ref)
+{
+    Record r{};
+    in_.read(reinterpret_cast<char *>(&r), sizeof(r));
+    if (!in_)
+        return false;
+    ref.addr = r.addr;
+    ref.bytes = r.bytes;
+    ref.pid = r.pid;
+    ref.type = static_cast<RefType>(r.type);
+    return true;
+}
+
+std::uint64_t
+TraceReader::replay(MemorySink &sink)
+{
+    std::uint64_t count = 0;
+    MemRef ref;
+    while (next(ref)) {
+        sink.access(ref);
+        ++count;
+    }
+    return count;
+}
+
+} // namespace wsg::trace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary trace files: persist a reference stream to disk and replay it
+ * later. This decouples trace generation from analysis — the standard
+ * workflow of trace-driven simulators — so an expensive application run
+ * can be profiled against many machine configurations.
+ *
+ * Format: a fixed 16-byte header ("WSGTRACE", version, processor count)
+ * followed by packed 16-byte records (addr, bytes, pid, type). Files are
+ * written through a MemorySink (TraceWriter) and replayed into any other
+ * sink (TraceReader::replay).
+ */
+
+#ifndef WSG_TRACE_TRACE_FILE_HH
+#define WSG_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/memref.hh"
+
+namespace wsg::trace
+{
+
+/** Magic bytes identifying a wsg trace file. */
+constexpr char kTraceMagic[8] = {'W', 'S', 'G', 'T', 'R', 'A', 'C', 'E'};
+/** Current format version. */
+constexpr std::uint32_t kTraceVersion = 1;
+
+/** MemorySink that appends every reference to a binary trace file. */
+class TraceWriter : public MemorySink
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     *
+     * @param path Output file path.
+     * @param num_procs Processor count recorded in the header.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    TraceWriter(const std::string &path, std::uint32_t num_procs);
+
+    ~TraceWriter() override;
+
+    void access(const MemRef &ref) override;
+
+    /** Flush and close; further access() calls are invalid. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t records_ = 0;
+};
+
+/** Reads a trace file and replays it into a sink. */
+class TraceReader
+{
+  public:
+    /**
+     * Open @p path and parse the header.
+     * @throws std::runtime_error on open failure or bad magic/version.
+     */
+    explicit TraceReader(const std::string &path);
+
+    /** Processor count recorded when the trace was written. */
+    std::uint32_t numProcs() const { return numProcs_; }
+
+    /**
+     * Read the next record.
+     * @return false at end of file.
+     */
+    bool next(MemRef &ref);
+
+    /**
+     * Replay the remaining records into @p sink.
+     * @return the number of records delivered.
+     */
+    std::uint64_t replay(MemorySink &sink);
+
+  private:
+    std::ifstream in_;
+    std::uint32_t numProcs_ = 0;
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_TRACE_FILE_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * TracedArray — an instrumented flat array of POD elements.
+ *
+ * This is how the applications touch shared data: each read()/write() both
+ * performs the host-side operation and reports a MemRef at the element's
+ * simulated address to the bound MemorySink. With a null sink the tracing
+ * cost reduces to a branch, so the same application code doubles as a
+ * plain (correctness-testable) implementation.
+ */
+
+#ifndef WSG_TRACE_TRACED_ARRAY_HH
+#define WSG_TRACE_TRACED_ARRAY_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "trace/address_space.hh"
+#include "trace/memref.hh"
+
+namespace wsg::trace
+{
+
+/**
+ * Flat array of @p T living at a simulated base address.
+ *
+ * @tparam T element type; must be trivially copyable.
+ */
+template <typename T>
+class TracedArray
+{
+  public:
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "TracedArray elements must be trivially copyable");
+
+    /**
+     * Allocate an array segment in @p space.
+     *
+     * @param space Address space to allocate the segment in.
+     * @param name Segment name for diagnostics.
+     * @param count Number of elements.
+     * @param sink Reference sink; may be nullptr (tracing disabled).
+     */
+    TracedArray(SharedAddressSpace &space, const std::string &name,
+                std::size_t count, MemorySink *sink)
+        : data_(count),
+          base_(space.allocate(name, count * sizeof(T))),
+          sink_(sink)
+    {}
+
+    /** Number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Simulated address of element @p i. */
+    Addr
+    addrOf(std::size_t i) const
+    {
+        return base_ + static_cast<Addr>(i * sizeof(T));
+    }
+
+    /** Traced read of element @p i by processor @p pid. */
+    T
+    read(ProcId pid, std::size_t i) const
+    {
+        assert(i < data_.size());
+        if (sink_)
+            sink_->read(pid, addrOf(i), sizeof(T));
+        return data_[i];
+    }
+
+    /** Traced write of element @p i by processor @p pid. */
+    void
+    write(ProcId pid, std::size_t i, const T &v)
+    {
+        assert(i < data_.size());
+        if (sink_)
+            sink_->write(pid, addrOf(i), sizeof(T));
+        data_[i] = v;
+    }
+
+    /**
+     * Traced read-modify-write convenience (one read + one write event),
+     * e.g.\ for `a[i] += v`.
+     */
+    template <typename F>
+    void
+    update(ProcId pid, std::size_t i, F mutate)
+    {
+        assert(i < data_.size());
+        if (sink_) {
+            sink_->read(pid, addrOf(i), sizeof(T));
+            sink_->write(pid, addrOf(i), sizeof(T));
+        }
+        mutate(data_[i]);
+    }
+
+    /** Untraced access, for initialization and result verification only. */
+    T &raw(std::size_t i) { return data_[i]; }
+    const T &raw(std::size_t i) const { return data_[i]; }
+
+    /** Untraced view of the whole payload. */
+    std::vector<T> &rawData() { return data_; }
+    const std::vector<T> &rawData() const { return data_; }
+
+    /** Rebind the sink (e.g.\ switch from warm-up to measured sink). */
+    void sink(MemorySink *s) { sink_ = s; }
+    MemorySink *sink() const { return sink_; }
+
+    Addr base() const { return base_; }
+
+  private:
+    std::vector<T> data_;
+    Addr base_;
+    MemorySink *sink_;
+};
+
+/**
+ * TracedHeap — instrumented pool allocator for node-based structures
+ * (octree cells, bodies). Objects are allocated by size and referenced by
+ * simulated address; reads/writes are reported field-by-field or whole-
+ * object as the application chooses.
+ */
+class TracedHeap
+{
+  public:
+    TracedHeap(SharedAddressSpace &space, const std::string &name,
+               std::uint64_t capacity_bytes, MemorySink *sink)
+        : base_(space.allocate(name, capacity_bytes)),
+          capacity_(capacity_bytes), sink_(sink)
+    {}
+
+    /**
+     * Allocate @p bytes (8-byte aligned) from the pool.
+     * @return simulated address of the new object.
+     */
+    Addr
+    allocate(std::uint64_t bytes)
+    {
+        std::uint64_t padded = (bytes + 7) & ~std::uint64_t{7};
+        assert(used_ + padded <= capacity_ &&
+               "TracedHeap: pool capacity exceeded");
+        Addr a = base_ + used_;
+        used_ += padded;
+        return a;
+    }
+
+    /** Traced read of @p bytes at @p addr. */
+    void
+    read(ProcId pid, Addr addr, std::uint32_t bytes) const
+    {
+        if (sink_)
+            sink_->read(pid, addr, bytes);
+    }
+
+    /** Traced write of @p bytes at @p addr. */
+    void
+    write(ProcId pid, Addr addr, std::uint32_t bytes)
+    {
+        if (sink_)
+            sink_->write(pid, addr, bytes);
+    }
+
+    std::uint64_t used() const { return used_; }
+    std::uint64_t capacity() const { return capacity_; }
+    Addr base() const { return base_; }
+
+    /** Release all objects (the address range is reused). */
+    void reset() { used_ = 0; }
+
+    void sink(MemorySink *s) { sink_ = s; }
+
+  private:
+    Addr base_;
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    MemorySink *sink_;
+};
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_TRACED_ARRAY_HH

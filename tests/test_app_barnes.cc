@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests of the Barnes-Hut application: octree invariants, force accuracy
+ * against the direct O(n^2) oracle, quadrupole benefit, energy behaviour
+ * and partitioning.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/barnes/barnes_hut.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::barnes;
+using wsg::trace::CountingSink;
+using wsg::trace::SharedAddressSpace;
+
+namespace
+{
+
+BarnesConfig
+smallConfig(std::uint32_t n = 256, double theta = 0.8,
+            std::uint32_t procs = 4)
+{
+    BarnesConfig cfg;
+    cfg.numBodies = n;
+    cfg.numProcs = procs;
+    cfg.theta = theta;
+    cfg.seed = 99;
+    return cfg;
+}
+
+double
+relForceError(BarnesHut &app)
+{
+    std::vector<Vec3> bh, direct;
+    app.buildOnly();
+    app.accelerations(bh);
+    app.directAccelerations(direct);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < bh.size(); ++i) {
+        for (int a = 0; a < 3; ++a) {
+            num += (bh[i][a] - direct[i][a]) * (bh[i][a] - direct[i][a]);
+            den += direct[i][a] * direct[i][a];
+        }
+    }
+    return std::sqrt(num / den);
+}
+
+} // namespace
+
+TEST(Octree, EveryBodyInExactlyOneLeaf)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(512), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+
+    const auto &cells = app.tree().cells();
+    std::vector<int> seen(512, 0);
+    for (const auto &cell : cells) {
+        if (cell.isLeaf())
+            ++seen[static_cast<std::size_t>(cell.body)];
+    }
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(Octree, MassIsConservedAtRoot)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(512), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    double total = 0.0;
+    for (std::uint32_t i = 0; i < 512; ++i)
+        total += app.bodyMass(i);
+    EXPECT_NEAR(app.tree().cells()[0].mass, total, 1e-12);
+}
+
+TEST(Octree, ChildrenNestInsideParents)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    const auto &cells = app.tree().cells();
+    for (const auto &cell : cells) {
+        for (int o = 0; o < 8; ++o) {
+            if (cell.child[o] < 0)
+                continue;
+            const Cell &ch = cells[static_cast<std::size_t>(
+                cell.child[o])];
+            EXPECT_NEAR(ch.halfSize, cell.halfSize / 2.0, 1e-12);
+            for (int a = 0; a < 3; ++a) {
+                EXPECT_LE(std::abs(ch.center[a] - cell.center[a]),
+                          cell.halfSize / 2.0 + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(Octree, CenterOfMassInsideRootCube)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    const Cell &root = app.tree().cells()[0];
+    for (int a = 0; a < 3; ++a)
+        EXPECT_LE(std::abs(root.com[a] - root.center[a]),
+                  root.halfSize + 1e-9);
+}
+
+TEST(Octree, DepthIsLogarithmic)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(1024), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    EXPECT_LE(app.tree().maxDepth(), 24);
+    EXPECT_GE(app.tree().maxDepth(), 4);
+}
+
+TEST(Octree, QuadrupoleMomentsAreTraceless)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    for (const auto &cell : app.tree().cells()) {
+        if (cell.isLeaf())
+            continue;
+        double trace = cell.quad[0] + cell.quad[1] + cell.quad[2];
+        EXPECT_NEAR(trace, 0.0, 1e-9 * std::max(1.0, cell.mass));
+    }
+}
+
+TEST(BarnesForces, AccurateAtTightTheta)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256, 0.3), space, nullptr);
+    app.initPlummer();
+    EXPECT_LT(relForceError(app), 2e-3);
+}
+
+TEST(BarnesForces, ReasonableAtLooseTheta)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256, 1.0), space, nullptr);
+    app.initPlummer();
+    EXPECT_LT(relForceError(app), 0.03);
+}
+
+TEST(BarnesForces, ErrorShrinksWithTheta)
+{
+    double prev = 1.0;
+    for (double theta : {1.2, 0.8, 0.4}) {
+        SharedAddressSpace space;
+        BarnesHut app(smallConfig(256, theta), space, nullptr);
+        app.initPlummer();
+        double err = relForceError(app);
+        EXPECT_LT(err, prev * 1.05) << "theta " << theta;
+        prev = err;
+    }
+}
+
+TEST(BarnesForces, QuadrupoleBeatsMonopole)
+{
+    SharedAddressSpace s1, s2;
+    BarnesConfig with_q = smallConfig(256, 1.0);
+    BarnesConfig without_q = with_q;
+    without_q.quadrupole = false;
+    BarnesHut a(with_q, s1, nullptr), b(without_q, s2, nullptr);
+    a.initPlummer();
+    b.initPlummer();
+    EXPECT_LT(relForceError(a), relForceError(b));
+}
+
+TEST(BarnesDynamics, EnergyDriftIsBounded)
+{
+    SharedAddressSpace space;
+    BarnesConfig cfg = smallConfig(256, 0.6);
+    cfg.dt = 0.01;
+    BarnesHut app(cfg, space, nullptr);
+    app.initPlummer();
+    double e0 = app.totalEnergy();
+    for (int s = 0; s < 10; ++s)
+        app.step();
+    double e1 = app.totalEnergy();
+    // Softened leapfrog at dt = 0.01: a few percent over 10 steps.
+    EXPECT_LT(std::abs(e1 - e0) / std::abs(e0), 0.05);
+}
+
+TEST(BarnesDynamics, StepReportsInteractions)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(256), space, nullptr);
+    app.initPlummer();
+    StepStats st = app.step();
+    EXPECT_GT(st.bodyInteractions, 0u);
+    EXPECT_GT(st.cellInteractions, 0u);
+    EXPECT_GT(st.cellsOpened, 0u);
+    EXPECT_GT(app.flops().totalFlops(), 0u);
+}
+
+TEST(BarnesPartition, AllProcessorsGetComparableWork)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(1024, 0.8, 4), space, nullptr);
+    app.initPlummer();
+    app.step(); // first step seeds per-body costs
+    app.step(); // second step partitions by cost
+    std::vector<std::uint64_t> flops(4, 0);
+    std::uint64_t total = 0;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        flops[p] = app.flops().flops(p);
+        total += flops[p];
+    }
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        EXPECT_GT(flops[p], total / 16)
+            << "processor " << p << " starved";
+    }
+}
+
+TEST(BarnesPartition, OwnersCoverAllProcessors)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(512, 1.0, 8), space, nullptr);
+    app.initPlummer();
+    app.buildOnly();
+    std::vector<int> counts(8, 0);
+    for (ProcId p : app.owners())
+        ++counts[p];
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(BarnesTrace, ForcePhaseGeneratesSharedReads)
+{
+    SharedAddressSpace space;
+    CountingSink sink(4);
+    BarnesHut app(smallConfig(256), space, &sink);
+    app.initPlummer();
+    app.step();
+    EXPECT_GT(sink.totalReads(), 10000u);
+    EXPECT_GT(sink.totalWrites(), 100u);
+}
+
+TEST(BarnesTrace, TracingDoesNotChangePhysics)
+{
+    SharedAddressSpace s1, s2;
+    CountingSink sink(4);
+    BarnesHut traced(smallConfig(), s1, &sink);
+    BarnesHut plain(smallConfig(), s2, nullptr);
+    traced.initPlummer();
+    plain.initPlummer();
+    traced.step();
+    plain.step();
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        Vec3 a = traced.bodyPosition(i);
+        Vec3 b = plain.bodyPosition(i);
+        for (int ax = 0; ax < 3; ++ax)
+            ASSERT_DOUBLE_EQ(a[ax], b[ax]);
+    }
+}
+
+TEST(BarnesInit, PlummerProducesBoundCluster)
+{
+    SharedAddressSpace space;
+    BarnesHut app(smallConfig(1024), space, nullptr);
+    app.initPlummer();
+    // Total energy of a bound cluster is negative.
+    EXPECT_LT(app.totalEnergy(), 0.0);
+    // All radii within the 10-scale-length cutoff.
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+        Vec3 p = app.bodyPosition(i);
+        double r =
+            std::sqrt(p[0] * p[0] + p[1] * p[1] + p[2] * p[2]);
+        EXPECT_LE(r, 10.0 + 1e-9);
+    }
+}

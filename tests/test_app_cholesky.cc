@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of blocked Cholesky — numerical correctness and the paper's
+ * claim that its memory behaviour matches LU's (Section 3: the analysis
+ * "applies to ... dense Cholesky factorization").
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/lu/blocked_cholesky.hh"
+#include "apps/lu/blocked_lu.hh"
+#include "core/working_set_study.hh"
+#include "sim/multiprocessor.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::lu;
+using wsg::trace::SharedAddressSpace;
+
+namespace
+{
+
+LuConfig
+cfg(std::uint32_t n = 64, std::uint32_t B = 8, std::uint32_t pr = 2,
+    std::uint32_t pc = 2)
+{
+    return LuConfig{n, B, pr, pc};
+}
+
+} // namespace
+
+TEST(BlockedCholesky, ConfigValidation)
+{
+    SharedAddressSpace space;
+    EXPECT_THROW(BlockedCholesky(cfg(60, 8), space, nullptr),
+                 std::invalid_argument);
+}
+
+TEST(BlockedCholesky, FactorizationResidualIsTiny)
+{
+    SharedAddressSpace space;
+    BlockedCholesky chol(cfg(), space, nullptr);
+    chol.randomizeSpd(5);
+    auto original = chol.denseCopy();
+    chol.factor();
+    EXPECT_LT(chol.residual(original), 1e-12);
+}
+
+/** Residual across shapes. */
+class CholShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(CholShapes, ResidualAcrossShapes)
+{
+    auto [n, B, pr, pc] = GetParam();
+    SharedAddressSpace space;
+    BlockedCholesky chol(
+        cfg(static_cast<std::uint32_t>(n),
+            static_cast<std::uint32_t>(B),
+            static_cast<std::uint32_t>(pr),
+            static_cast<std::uint32_t>(pc)),
+        space, nullptr);
+    chol.randomizeSpd(static_cast<std::uint64_t>(n + B));
+    auto original = chol.denseCopy();
+    chol.factor();
+    EXPECT_LT(chol.residual(original), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CholShapes,
+    ::testing::Values(std::tuple{32, 4, 1, 1}, std::tuple{32, 8, 2, 2},
+                      std::tuple{48, 16, 3, 1},
+                      std::tuple{64, 16, 2, 2},
+                      std::tuple{96, 8, 2, 4}));
+
+TEST(BlockedCholesky, SolveRecoversKnownSolution)
+{
+    SharedAddressSpace space;
+    BlockedCholesky chol(cfg(), space, nullptr);
+    chol.randomizeSpd(11);
+    std::uint32_t n = chol.config().n;
+
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        x_true[i] = std::sin(0.1 * i) + 2.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t j = 0; j < n; ++j)
+            b[i] += chol.get(i, j) * x_true[j];
+
+    chol.factor();
+    auto x = chol.solve(b);
+    for (std::uint32_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(BlockedCholesky, FlopCountIsHalfOfLu)
+{
+    // Cholesky does n^3/3 FLOPs vs LU's 2n^3/3.
+    SharedAddressSpace s1, s2;
+    BlockedCholesky chol(cfg(96, 8, 2, 2), s1, nullptr);
+    BlockedLu lu(cfg(96, 8, 2, 2), s2, nullptr);
+    chol.randomizeSpd(3);
+    lu.randomize(3);
+    chol.factor();
+    lu.factor();
+    double ratio = static_cast<double>(chol.flops().totalFlops()) /
+                   static_cast<double>(lu.flops().totalFlops());
+    EXPECT_NEAR(ratio, 0.5, 0.1);
+}
+
+TEST(BlockedCholesky, WorkingSetHierarchyMatchesLu)
+{
+    // The paper's claim: same working-set structure as LU. Run both
+    // through the simulator and compare knee positions.
+    SharedAddressSpace s1, s2;
+    wsg::sim::Multiprocessor mp_chol({4, 8});
+    wsg::sim::Multiprocessor mp_lu({4, 8});
+    BlockedCholesky chol(cfg(128, 16, 2, 2), s1, &mp_chol);
+    BlockedLu lu(cfg(128, 16, 2, 2), s2, &mp_lu);
+    chol.randomizeSpd(7);
+    lu.randomize(7);
+    chol.factor();
+    lu.factor();
+
+    wsg::core::StudyConfig sc;
+    sc.minCacheBytes = 16;
+    auto rc = wsg::core::analyzeWorkingSets(
+        mp_chol, sc, wsg::core::Metric::MissesPerFlop,
+        chol.flops().totalFlops(), "chol");
+    auto rl = wsg::core::analyzeWorkingSets(
+        mp_lu, sc, wsg::core::Metric::MissesPerFlop,
+        lu.flops().totalFlops(), "lu");
+
+    ASSERT_GE(rc.workingSets.size(), 2u);
+    ASSERT_GE(rl.workingSets.size(), 2u);
+    // lev1WS (two block columns) and lev2WS (one block) at the same
+    // sizes, within a sweep step.
+    EXPECT_NEAR(rc.workingSets[0].sizeBytes, rl.workingSets[0].sizeBytes,
+                rl.workingSets[0].sizeBytes * 0.5);
+    EXPECT_NEAR(rc.workingSets[1].sizeBytes, rl.workingSets[1].sizeBytes,
+                rl.workingSets[1].sizeBytes * 0.5);
+    // Post-lev2 plateau ~1/B for both.
+    EXPECT_NEAR(rc.workingSets[1].missRateAfter,
+                rl.workingSets[1].missRateAfter,
+                rl.workingSets[1].missRateAfter * 0.6);
+}
+
+TEST(BlockedCholesky, CommunicationPerFlopRelativeToLu)
+{
+    // Each panel block A_.K feeds both a processor-grid row (as A_IK)
+    // and a column (as A_JK), so Cholesky moves roughly the same
+    // n^2 sqrt(P) volume as LU while doing half the FLOPs: its
+    // communication per FLOP lands between 1x and ~2.2x LU's.
+    SharedAddressSpace s1, s2;
+    wsg::sim::Multiprocessor mp_chol({4, 8});
+    wsg::sim::Multiprocessor mp_lu({4, 8});
+    BlockedCholesky chol(cfg(128, 16, 2, 2), s1, &mp_chol);
+    BlockedLu lu(cfg(128, 16, 2, 2), s2, &mp_lu);
+    chol.randomizeSpd(9);
+    lu.randomize(9);
+    chol.factor();
+    lu.factor();
+    double chol_comm =
+        static_cast<double>(mp_chol.aggregateStats().readCoherence) /
+        static_cast<double>(chol.flops().totalFlops());
+    double lu_comm =
+        static_cast<double>(mp_lu.aggregateStats().readCoherence) /
+        static_cast<double>(lu.flops().totalFlops());
+    EXPECT_GE(chol_comm, lu_comm * 0.8);
+    EXPECT_LE(chol_comm, lu_comm * 2.2);
+}
+
+TEST(BlockedCholesky, TracingDoesNotChangeNumerics)
+{
+    SharedAddressSpace s1, s2;
+    wsg::trace::CountingSink sink(4);
+    BlockedCholesky traced(cfg(), s1, &sink);
+    BlockedCholesky plain(cfg(), s2, nullptr);
+    traced.randomizeSpd(13);
+    plain.randomizeSpd(13);
+    traced.factor();
+    plain.factor();
+    for (std::uint32_t i = 0; i < traced.config().n; ++i)
+        for (std::uint32_t j = 0; j <= i; ++j)
+            ASSERT_DOUBLE_EQ(traced.get(i, j), plain.get(i, j));
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests of the six-step parallel FFT: correctness against the direct
+ * DFT, inverse round trips, classic transform identities, and FLOP
+ * accounting.
+ */
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "apps/fft/parallel_fft.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::fft;
+using wsg::trace::SharedAddressSpace;
+using cplx = std::complex<double>;
+
+namespace
+{
+
+std::vector<cplx>
+randomSignal(std::size_t n, unsigned seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> out(n);
+    for (auto &v : out)
+        v = {dist(rng), dist(rng)};
+    return out;
+}
+
+double
+maxError(const std::vector<cplx> &a, const std::vector<cplx> &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+} // namespace
+
+TEST(ParallelFft, ConfigValidation)
+{
+    SharedAddressSpace space;
+    FftConfig bad;
+    bad.logN = 4;
+    bad.numProcs = 3;
+    EXPECT_THROW(ParallelFft(bad, space, nullptr),
+                 std::invalid_argument);
+    bad.numProcs = 8; // 8^2 > 16
+    EXPECT_THROW(ParallelFft(bad, space, nullptr),
+                 std::invalid_argument);
+    bad.numProcs = 4;
+    bad.internalRadix = 3;
+    EXPECT_THROW(ParallelFft(bad, space, nullptr),
+                 std::invalid_argument);
+}
+
+/** Forward transform matches the O(N^2) DFT across shapes. */
+class FftShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(FftShapes, MatchesNaiveDft)
+{
+    auto [logN, P, radix] = GetParam();
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = static_cast<std::uint32_t>(logN);
+    cfg.numProcs = static_cast<std::uint32_t>(P);
+    cfg.internalRadix = static_cast<std::uint32_t>(radix);
+    ParallelFft fft(cfg, space, nullptr);
+
+    auto in = randomSignal(cfg.N(), 1000 + logN + P + radix);
+    fft.loadInput(in);
+    fft.forward();
+    auto expect = ParallelFft::naiveDft(in);
+    EXPECT_LT(maxError(fft.copyOutput(), expect),
+              1e-8 * static_cast<double>(cfg.N()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FftShapes,
+    ::testing::Values(std::tuple{4, 1, 2}, std::tuple{4, 2, 2},
+                      std::tuple{6, 4, 2}, std::tuple{6, 8, 8},
+                      std::tuple{8, 4, 8}, std::tuple{8, 16, 32},
+                      std::tuple{10, 4, 32}, std::tuple{10, 32, 8},
+                      std::tuple{9, 2, 16}));
+
+TEST(ParallelFft, InverseRoundTrip)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 10;
+    cfg.numProcs = 4;
+    cfg.internalRadix = 8;
+    ParallelFft fft(cfg, space, nullptr);
+    auto in = randomSignal(cfg.N(), 5);
+    fft.loadInput(in);
+    fft.forward();
+    fft.inverse();
+    EXPECT_LT(maxError(fft.copyOutput(), in), 1e-10);
+}
+
+TEST(ParallelFft, ImpulseGivesFlatSpectrum)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 8;
+    cfg.numProcs = 4;
+    ParallelFft fft(cfg, space, nullptr);
+    std::vector<cplx> in(cfg.N(), {0.0, 0.0});
+    in[0] = {1.0, 0.0};
+    fft.loadInput(in);
+    fft.forward();
+    for (auto v : fft.copyOutput())
+        ASSERT_NEAR(std::abs(v - cplx{1.0, 0.0}), 0.0, 1e-10);
+}
+
+TEST(ParallelFft, SingleToneLandsInOneBin)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 8;
+    cfg.numProcs = 4;
+    ParallelFft fft(cfg, space, nullptr);
+    std::uint64_t N = cfg.N();
+    const std::uint64_t k0 = 37;
+    for (std::uint64_t j = 0; j < N; ++j) {
+        double ang = 2.0 * M_PI * static_cast<double>(k0 * j % N) /
+                     static_cast<double>(N);
+        fft.setInput(j, {std::cos(ang), std::sin(ang)});
+    }
+    fft.forward();
+    for (std::uint64_t k = 0; k < N; ++k) {
+        double mag = std::abs(fft.output(k));
+        if (k == k0)
+            ASSERT_NEAR(mag, static_cast<double>(N), 1e-6);
+        else
+            ASSERT_NEAR(mag, 0.0, 1e-6) << "bin " << k;
+    }
+}
+
+TEST(ParallelFft, LinearityProperty)
+{
+    SharedAddressSpace s1, s2, s3;
+    FftConfig cfg;
+    cfg.logN = 7;
+    cfg.numProcs = 2;
+    auto a = randomSignal(cfg.N(), 8);
+    auto b = randomSignal(cfg.N(), 9);
+    std::vector<cplx> sum(cfg.N());
+    for (std::size_t i = 0; i < sum.size(); ++i)
+        sum[i] = 2.0 * a[i] + 3.0 * b[i];
+
+    ParallelFft fa(cfg, s1, nullptr), fb(cfg, s2, nullptr),
+        fs(cfg, s3, nullptr);
+    fa.loadInput(a);
+    fb.loadInput(b);
+    fs.loadInput(sum);
+    fa.forward();
+    fb.forward();
+    fs.forward();
+    auto ra = fa.copyOutput(), rb = fb.copyOutput(),
+         rs = fs.copyOutput();
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        ASSERT_NEAR(std::abs(rs[i] - (2.0 * ra[i] + 3.0 * rb[i])), 0.0,
+                    1e-9);
+}
+
+TEST(ParallelFft, ParsevalEnergyConservation)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 9;
+    cfg.numProcs = 4;
+    ParallelFft fft(cfg, space, nullptr);
+    auto in = randomSignal(cfg.N(), 13);
+    fft.loadInput(in);
+    fft.forward();
+    double time_e = 0.0, freq_e = 0.0;
+    for (auto v : in)
+        time_e += std::norm(v);
+    for (auto v : fft.copyOutput())
+        freq_e += std::norm(v);
+    EXPECT_NEAR(freq_e, time_e * static_cast<double>(cfg.N()),
+                1e-6 * freq_e);
+}
+
+TEST(ParallelFft, FlopCountNear5NLogN)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 12;
+    cfg.numProcs = 4;
+    cfg.internalRadix = 8;
+    ParallelFft fft(cfg, space, nullptr);
+    fft.loadInput(randomSignal(cfg.N(), 3));
+    fft.forward();
+    double N = static_cast<double>(cfg.N());
+    double expected = 5.0 * N * cfg.logN;
+    double actual = static_cast<double>(fft.flops().totalFlops());
+    // Twiddle-scale step adds ~6N on top of 5 N log N.
+    EXPECT_NEAR(actual / expected, 1.0, 0.15);
+}
+
+TEST(ParallelFft, FlopsBalancedAcrossProcessors)
+{
+    SharedAddressSpace space;
+    FftConfig cfg;
+    cfg.logN = 12;
+    cfg.numProcs = 8;
+    ParallelFft fft(cfg, space, nullptr);
+    fft.loadInput(randomSignal(cfg.N(), 4));
+    fft.forward();
+    std::uint64_t total = fft.flops().totalFlops();
+    for (std::uint32_t p = 0; p < 8; ++p)
+        EXPECT_NEAR(static_cast<double>(fft.flops().flops(p)),
+                    total / 8.0, total * 0.03);
+}
+
+TEST(ParallelFft, TracingDoesNotChangeNumerics)
+{
+    SharedAddressSpace s1, s2;
+    wsg::trace::CountingSink sink(4);
+    FftConfig cfg;
+    cfg.logN = 8;
+    cfg.numProcs = 4;
+    ParallelFft traced(cfg, s1, &sink);
+    ParallelFft plain(cfg, s2, nullptr);
+    auto in = randomSignal(cfg.N(), 77);
+    traced.loadInput(in);
+    plain.loadInput(in);
+    traced.forward();
+    plain.forward();
+    EXPECT_LT(maxError(traced.copyOutput(), plain.copyOutput()), 0.0 +
+              1e-15);
+    EXPECT_GT(sink.totalReads(), cfg.N());
+}

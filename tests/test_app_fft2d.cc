@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests of the 2-D parallel FFT, including the paper's claim that the
+ * 1-D working-set analysis "also applies to the complex 2D ... FFT".
+ */
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "apps/fft/fft2d.hh"
+#include "apps/fft/parallel_fft.hh"
+#include "core/working_set_study.hh"
+#include "sim/multiprocessor.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::fft;
+using wsg::trace::SharedAddressSpace;
+using cplx = std::complex<double>;
+
+namespace
+{
+
+std::vector<cplx>
+randomField(std::size_t n, unsigned seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> out(n);
+    for (auto &v : out)
+        v = {dist(rng), dist(rng)};
+    return out;
+}
+
+} // namespace
+
+TEST(Fft2d, ConfigValidation)
+{
+    SharedAddressSpace space;
+    Fft2dConfig bad;
+    bad.logRows = 3;
+    bad.logCols = 3;
+    bad.numProcs = 3;
+    EXPECT_THROW(Fft2d(bad, space, nullptr), std::invalid_argument);
+    bad.numProcs = 16; // > rows
+    EXPECT_THROW(Fft2d(bad, space, nullptr), std::invalid_argument);
+}
+
+/** Forward transform matches the O(N^2) 2-D DFT. */
+class Fft2dShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(Fft2dShapes, MatchesNaiveDft2d)
+{
+    auto [lr, lc, P, radix] = GetParam();
+    SharedAddressSpace space;
+    Fft2dConfig cfg;
+    cfg.logRows = static_cast<std::uint32_t>(lr);
+    cfg.logCols = static_cast<std::uint32_t>(lc);
+    cfg.numProcs = static_cast<std::uint32_t>(P);
+    cfg.internalRadix = static_cast<std::uint32_t>(radix);
+    Fft2d fft(cfg, space, nullptr);
+
+    auto in = randomField(cfg.N(), 100 + lr + lc + P);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            fft.setInput(r, c, in[r * cfg.cols() + c]);
+    fft.forward();
+    auto expect = Fft2d::naiveDft2d(in, cfg.rows(), cfg.cols());
+
+    double worst = 0.0;
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            worst = std::max(worst,
+                             std::abs(fft.output(r, c) -
+                                      expect[r * cfg.cols() + c]));
+    EXPECT_LT(worst, 1e-8 * static_cast<double>(cfg.N()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Fft2dShapes,
+    ::testing::Values(std::tuple{3, 3, 1, 2}, std::tuple{3, 3, 4, 2},
+                      std::tuple{4, 3, 2, 8}, std::tuple{3, 5, 4, 8},
+                      std::tuple{5, 5, 8, 32},
+                      std::tuple{4, 6, 4, 16}));
+
+TEST(Fft2d, InverseRoundTrip)
+{
+    SharedAddressSpace space;
+    Fft2dConfig cfg;
+    cfg.logRows = 5;
+    cfg.logCols = 6;
+    cfg.numProcs = 4;
+    Fft2d fft(cfg, space, nullptr);
+    auto in = randomField(cfg.N(), 42);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            fft.setInput(r, c, in[r * cfg.cols() + c]);
+    fft.forward();
+    fft.inverse();
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            ASSERT_NEAR(std::abs(fft.output(r, c) -
+                                 in[r * cfg.cols() + c]),
+                        0.0, 1e-10);
+}
+
+TEST(Fft2d, ImpulseGivesFlatSpectrum)
+{
+    SharedAddressSpace space;
+    Fft2dConfig cfg;
+    cfg.logRows = 4;
+    cfg.logCols = 4;
+    cfg.numProcs = 4;
+    Fft2d fft(cfg, space, nullptr);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            fft.setInput(r, c, {0.0, 0.0});
+    fft.setInput(0, 0, {1.0, 0.0});
+    fft.forward();
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            ASSERT_NEAR(std::abs(fft.output(r, c) - cplx{1.0, 0.0}), 0.0,
+                        1e-10);
+}
+
+TEST(Fft2d, SeparabilityARankOneInput)
+{
+    // DFT2(u v^T) = DFT(u) DFT(v)^T.
+    SharedAddressSpace space;
+    Fft2dConfig cfg;
+    cfg.logRows = 4;
+    cfg.logCols = 4;
+    cfg.numProcs = 2;
+    Fft2d fft(cfg, space, nullptr);
+    auto u = randomField(cfg.rows(), 1);
+    auto v = randomField(cfg.cols(), 2);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            fft.setInput(r, c, u[r] * v[c]);
+    fft.forward();
+
+    auto fu = ParallelFft::naiveDft(u);
+    auto fv = ParallelFft::naiveDft(v);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            ASSERT_NEAR(std::abs(fft.output(r, c) - fu[r] * fv[c]), 0.0,
+                        1e-8);
+}
+
+TEST(Fft2d, FlopCountNear5NLogN)
+{
+    SharedAddressSpace space;
+    Fft2dConfig cfg;
+    cfg.logRows = 6;
+    cfg.logCols = 6;
+    cfg.numProcs = 4;
+    Fft2d fft(cfg, space, nullptr);
+    auto in = randomField(cfg.N(), 9);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            fft.setInput(r, c, in[r * cfg.cols() + c]);
+    fft.forward();
+    double N = static_cast<double>(cfg.N());
+    double expected = 5.0 * N * (cfg.logRows + cfg.logCols);
+    EXPECT_NEAR(static_cast<double>(fft.flops().totalFlops()) / expected,
+                1.0, 0.05);
+}
+
+TEST(Fft2d, WorkingSetMatchesOneDimensionalAnalysis)
+{
+    // The paper: the 1-D analysis applies to the 2-D FFT. The measured
+    // lev1WS plateau should track (4r-2)/(5 r log2 r), floor-subtracted.
+    for (std::uint32_t radix : {2u, 8u}) {
+        SharedAddressSpace space;
+        wsg::sim::Multiprocessor mp({4, 8});
+        Fft2dConfig cfg;
+        cfg.logRows = 6;
+        cfg.logCols = 6;
+        cfg.numProcs = 4;
+        cfg.internalRadix = radix;
+        Fft2d fft(cfg, space, &mp);
+        auto in = randomField(cfg.N(), radix);
+        for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+            for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+                fft.setInput(r, c, in[r * cfg.cols() + c]);
+        mp.setMeasuring(false);
+        fft.forward();
+        std::uint64_t f0 = fft.flops().totalFlops();
+        mp.setMeasuring(true);
+        fft.forward();
+
+        wsg::core::StudyConfig sc;
+        sc.minCacheBytes = 16;
+        auto res = wsg::core::analyzeWorkingSets(
+            mp, sc, wsg::core::Metric::MissesPerFlop,
+            fft.flops().totalFlops() - f0, "fft2d");
+
+        double r = radix;
+        double model = (4.0 * r - 2.0) / (5.0 * r * std::log2(r));
+        double lev1 = (2.0 * r + 2.0 * (r - 1.0)) * 8.0;
+        double measured =
+            res.curve.valueAtOrBelow(4.0 * lev1) - res.floorRate;
+        EXPECT_NEAR(measured, model, 0.15) << "radix " << radix;
+    }
+}
+
+TEST(Fft2d, TracingDoesNotChangeNumerics)
+{
+    SharedAddressSpace s1, s2;
+    wsg::trace::CountingSink sink(4);
+    Fft2dConfig cfg;
+    cfg.logRows = 4;
+    cfg.logCols = 4;
+    cfg.numProcs = 4;
+    Fft2d traced(cfg, s1, &sink);
+    Fft2d plain(cfg, s2, nullptr);
+    auto in = randomField(cfg.N(), 55);
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r) {
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c) {
+            traced.setInput(r, c, in[r * cfg.cols() + c]);
+            plain.setInput(r, c, in[r * cfg.cols() + c]);
+        }
+    }
+    traced.forward();
+    plain.forward();
+    for (std::uint64_t r = 0; r < cfg.rows(); ++r)
+        for (std::uint64_t c = 0; c < cfg.cols(); ++c)
+            ASSERT_EQ(traced.output(r, c), plain.output(r, c));
+    EXPECT_GT(sink.totalReads(), cfg.N());
+}

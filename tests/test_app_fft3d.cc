@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests of the 3-D parallel FFT (Section 5's "also applies to the
+ * complex ... 3D FFT").
+ */
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "apps/fft/fft3d.hh"
+#include "apps/fft/parallel_fft.hh"
+#include "core/working_set_study.hh"
+#include "sim/multiprocessor.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::fft;
+using wsg::trace::SharedAddressSpace;
+using cplx = std::complex<double>;
+
+namespace
+{
+
+std::vector<cplx>
+randomField(std::size_t n, unsigned seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> out(n);
+    for (auto &v : out)
+        v = {dist(rng), dist(rng)};
+    return out;
+}
+
+void
+load(Fft3d &fft, const std::vector<cplx> &in)
+{
+    const auto &c = fft.config();
+    for (std::uint64_t i0 = 0; i0 < c.n0(); ++i0)
+        for (std::uint64_t i1 = 0; i1 < c.n1(); ++i1)
+            for (std::uint64_t i2 = 0; i2 < c.n2(); ++i2)
+                fft.setInput(i0, i1, i2,
+                             in[(i0 * c.n1() + i1) * c.n2() + i2]);
+}
+
+} // namespace
+
+TEST(Fft3d, ConfigValidation)
+{
+    SharedAddressSpace space;
+    Fft3dConfig bad;
+    bad.numProcs = 3;
+    EXPECT_THROW(Fft3d(bad, space, nullptr), std::invalid_argument);
+    bad.numProcs = 16; // exceeds an 8-point dimension
+    EXPECT_THROW(Fft3d(bad, space, nullptr), std::invalid_argument);
+}
+
+/** Forward matches the brute-force 3-D DFT across shapes. */
+class Fft3dShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(Fft3dShapes, MatchesNaiveDft3d)
+{
+    auto [l0, l1, l2, P] = GetParam();
+    SharedAddressSpace space;
+    Fft3dConfig cfg;
+    cfg.log0 = static_cast<std::uint32_t>(l0);
+    cfg.log1 = static_cast<std::uint32_t>(l1);
+    cfg.log2 = static_cast<std::uint32_t>(l2);
+    cfg.numProcs = static_cast<std::uint32_t>(P);
+    Fft3d fft(cfg, space, nullptr);
+
+    auto in = randomField(cfg.N(), 10 + l0 + l1 + l2 + P);
+    load(fft, in);
+    fft.forward();
+    auto expect = Fft3d::naiveDft3d(in, cfg.n0(), cfg.n1(), cfg.n2());
+
+    double worst = 0.0;
+    for (std::uint64_t i0 = 0; i0 < cfg.n0(); ++i0)
+        for (std::uint64_t i1 = 0; i1 < cfg.n1(); ++i1)
+            for (std::uint64_t i2 = 0; i2 < cfg.n2(); ++i2)
+                worst = std::max(
+                    worst,
+                    std::abs(fft.output(i0, i1, i2) -
+                             expect[(i0 * cfg.n1() + i1) * cfg.n2() +
+                                    i2]));
+    EXPECT_LT(worst, 1e-9 * static_cast<double>(cfg.N()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Fft3dShapes,
+    ::testing::Values(std::tuple{2, 2, 2, 1}, std::tuple{3, 3, 3, 4},
+                      std::tuple{2, 3, 4, 4}, std::tuple{4, 2, 3, 2},
+                      std::tuple{3, 4, 2, 4}));
+
+TEST(Fft3d, InverseRoundTrip)
+{
+    SharedAddressSpace space;
+    Fft3dConfig cfg;
+    cfg.log0 = 4;
+    cfg.log1 = 3;
+    cfg.log2 = 5;
+    cfg.numProcs = 4;
+    Fft3d fft(cfg, space, nullptr);
+    auto in = randomField(cfg.N(), 77);
+    load(fft, in);
+    fft.forward();
+    fft.inverse();
+    for (std::uint64_t i0 = 0; i0 < cfg.n0(); ++i0)
+        for (std::uint64_t i1 = 0; i1 < cfg.n1(); ++i1)
+            for (std::uint64_t i2 = 0; i2 < cfg.n2(); ++i2)
+                ASSERT_NEAR(
+                    std::abs(fft.output(i0, i1, i2) -
+                             in[(i0 * cfg.n1() + i1) * cfg.n2() + i2]),
+                    0.0, 1e-10);
+}
+
+TEST(Fft3d, SeparabilityOnRankOneInput)
+{
+    // DFT3(u x v x w) factors into the three 1-D DFTs.
+    SharedAddressSpace space;
+    Fft3dConfig cfg;
+    cfg.log0 = 3;
+    cfg.log1 = 3;
+    cfg.log2 = 3;
+    cfg.numProcs = 2;
+    Fft3d fft(cfg, space, nullptr);
+    auto u = randomField(cfg.n0(), 1);
+    auto v = randomField(cfg.n1(), 2);
+    auto w = randomField(cfg.n2(), 3);
+    for (std::uint64_t i0 = 0; i0 < cfg.n0(); ++i0)
+        for (std::uint64_t i1 = 0; i1 < cfg.n1(); ++i1)
+            for (std::uint64_t i2 = 0; i2 < cfg.n2(); ++i2)
+                fft.setInput(i0, i1, i2, u[i0] * v[i1] * w[i2]);
+    fft.forward();
+
+    auto fu = ParallelFft::naiveDft(u);
+    auto fv = ParallelFft::naiveDft(v);
+    auto fw = ParallelFft::naiveDft(w);
+    for (std::uint64_t i0 = 0; i0 < cfg.n0(); ++i0)
+        for (std::uint64_t i1 = 0; i1 < cfg.n1(); ++i1)
+            for (std::uint64_t i2 = 0; i2 < cfg.n2(); ++i2)
+                ASSERT_NEAR(std::abs(fft.output(i0, i1, i2) -
+                                     fu[i0] * fv[i1] * fw[i2]),
+                            0.0, 1e-8);
+}
+
+TEST(Fft3d, FlopCountNear5NLogN)
+{
+    SharedAddressSpace space;
+    Fft3dConfig cfg;
+    cfg.log0 = 4;
+    cfg.log1 = 4;
+    cfg.log2 = 4;
+    cfg.numProcs = 4;
+    Fft3d fft(cfg, space, nullptr);
+    load(fft, randomField(cfg.N(), 5));
+    fft.forward();
+    double N = static_cast<double>(cfg.N());
+    double expected = 5.0 * N * (cfg.log0 + cfg.log1 + cfg.log2);
+    EXPECT_NEAR(static_cast<double>(fft.flops().totalFlops()) / expected,
+                1.0, 0.05);
+}
+
+TEST(Fft3d, WorkingSetMatchesOneDimensionalAnalysis)
+{
+    // The radix-8 lev1WS plateau, floor-subtracted, tracks the 1-D
+    // model (4r-2)/(5 r log2 r) = 0.25.
+    SharedAddressSpace space;
+    wsg::sim::Multiprocessor mp({4, 8});
+    Fft3dConfig cfg;
+    cfg.log0 = 4;
+    cfg.log1 = 4;
+    cfg.log2 = 4;
+    cfg.numProcs = 4;
+    cfg.internalRadix = 8;
+    Fft3d fft(cfg, space, &mp);
+    load(fft, randomField(cfg.N(), 8));
+    mp.setMeasuring(false);
+    fft.forward();
+    std::uint64_t f0 = fft.flops().totalFlops();
+    mp.setMeasuring(true);
+    fft.forward();
+
+    wsg::core::StudyConfig sc;
+    sc.minCacheBytes = 16;
+    auto res = wsg::core::analyzeWorkingSets(
+        mp, sc, wsg::core::Metric::MissesPerFlop,
+        fft.flops().totalFlops() - f0, "fft3d");
+    double measured =
+        res.curve.valueAtOrBelow(4.0 * 30 * 8) - res.floorRate;
+    EXPECT_NEAR(measured, 0.25, 0.15);
+}

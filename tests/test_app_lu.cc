@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests of the blocked LU application: numerical correctness, the
+ * parallel decomposition, FLOP accounting and trace behaviour.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "apps/lu/blocked_lu.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::lu;
+using wsg::trace::CountingSink;
+using wsg::trace::SharedAddressSpace;
+
+namespace
+{
+
+LuConfig
+smallConfig(std::uint32_t n = 64, std::uint32_t B = 8,
+            std::uint32_t pr = 2, std::uint32_t pc = 2)
+{
+    LuConfig cfg;
+    cfg.n = n;
+    cfg.blockSize = B;
+    cfg.procRows = pr;
+    cfg.procCols = pc;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BlockedLu, ConfigValidation)
+{
+    SharedAddressSpace space;
+    EXPECT_THROW(BlockedLu(smallConfig(60, 8), space, nullptr),
+                 std::invalid_argument);
+    LuConfig bad = smallConfig();
+    bad.procRows = 0;
+    EXPECT_THROW(BlockedLu(bad, space, nullptr), std::invalid_argument);
+}
+
+TEST(BlockedLu, FactorizationResidualIsTiny)
+{
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(), space, nullptr);
+    lu.randomize(7);
+    auto original = lu.denseCopy();
+    lu.factor();
+    EXPECT_LT(lu.residual(original), 1e-12);
+}
+
+/** Residual stays tiny across block sizes and processor grids. */
+class LuShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(LuShapes, ResidualAcrossShapes)
+{
+    auto [n, B, pr, pc] = GetParam();
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(n, B, pr, pc), space, nullptr);
+    lu.randomize(n + B);
+    auto original = lu.denseCopy();
+    lu.factor();
+    EXPECT_LT(lu.residual(original), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LuShapes,
+    ::testing::Values(std::tuple{32, 4, 1, 1}, std::tuple{32, 8, 2, 1},
+                      std::tuple{48, 16, 1, 3}, std::tuple{64, 16, 2, 2},
+                      std::tuple{64, 8, 4, 2}, std::tuple{96, 32, 3, 3}));
+
+TEST(BlockedLu, SolveRecoversKnownSolution)
+{
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(), space, nullptr);
+    lu.randomize(11);
+
+    // b = A * x_true for x_true = (1, 2, 3, ...).
+    std::uint32_t n = lu.config().n;
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        x_true[i] = 1.0 + i;
+    for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t j = 0; j < n; ++j)
+            b[i] += lu.get(i, j) * x_true[j];
+
+    lu.factor();
+    auto x = lu.solve(b);
+    for (std::uint32_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-8) << "i=" << i;
+}
+
+TEST(BlockedLu, ScatterDecompositionOwnership)
+{
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(64, 8, 2, 4), space, nullptr);
+    // Block (I, J) belongs to (I mod 2) * 4 + (J mod 4).
+    EXPECT_EQ(lu.ownerOf(0, 0), 0u);
+    EXPECT_EQ(lu.ownerOf(0, 3), 3u);
+    EXPECT_EQ(lu.ownerOf(1, 0), 4u);
+    EXPECT_EQ(lu.ownerOf(3, 5), 1u * 4 + 1);
+    // Every processor owns at least one block.
+    std::vector<int> counts(8, 0);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        for (std::uint32_t j = 0; j < 8; ++j)
+            ++counts[lu.ownerOf(i, j)];
+    for (int c : counts)
+        EXPECT_EQ(c, 8);
+}
+
+TEST(BlockedLu, FlopCountMatchesClosedForm)
+{
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(96, 8, 2, 2), space, nullptr);
+    lu.randomize(3);
+    lu.factor();
+    double n = 96.0;
+    double expected = 2.0 * n * n * n / 3.0;
+    double actual = static_cast<double>(lu.flops().totalFlops());
+    // The 2n^3/3 closed form ignores O(n^2 B) panel terms.
+    EXPECT_NEAR(actual / expected, 1.0, 0.15);
+}
+
+TEST(BlockedLu, FlopsAreSpreadAcrossProcessors)
+{
+    SharedAddressSpace space;
+    BlockedLu lu(smallConfig(128, 16, 2, 2), space, nullptr);
+    lu.randomize(5);
+    lu.factor();
+    std::uint64_t total = lu.flops().totalFlops();
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        EXPECT_GT(lu.flops().flops(p), total / 8)
+            << "processor " << p << " starved";
+    }
+}
+
+TEST(BlockedLu, TracedReferencesRoughlyTrackFlops)
+{
+    SharedAddressSpace space;
+    CountingSink sink(4);
+    BlockedLu lu(smallConfig(64, 8, 2, 2), space, &sink);
+    lu.randomize(9);
+    lu.factor();
+    // The jki update kernel makes ~1 element read per FLOP (plus the
+    // read half of the read-modify-write) — confirm the right order.
+    double ratio = static_cast<double>(sink.totalReads()) /
+                   static_cast<double>(lu.flops().totalFlops());
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 2.1);
+    EXPECT_GT(sink.totalWrites(), 0u);
+}
+
+TEST(BlockedLu, TracingDoesNotChangeResults)
+{
+    SharedAddressSpace s1, s2;
+    CountingSink sink(4);
+    BlockedLu traced(smallConfig(), s1, &sink);
+    BlockedLu plain(smallConfig(), s2, nullptr);
+    traced.randomize(21);
+    plain.randomize(21);
+    traced.factor();
+    plain.factor();
+    for (std::uint32_t i = 0; i < traced.config().n; ++i)
+        for (std::uint32_t j = 0; j < traced.config().n; ++j)
+            ASSERT_DOUBLE_EQ(traced.get(i, j), plain.get(i, j));
+}

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests of the volume renderer: octree invariants, sampling, space
+ * skipping, image properties, and the ray-stealing load balancer.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/volrend/renderer.hh"
+#include "apps/volrend/volume.hh"
+#include "trace/sinks.hh"
+
+using namespace wsg::apps::volrend;
+using wsg::trace::CountingSink;
+using wsg::trace::SharedAddressSpace;
+
+namespace
+{
+
+RenderConfig
+smallRender(std::uint32_t procs = 4, std::uint32_t wh = 32)
+{
+    RenderConfig cfg;
+    cfg.imageWidth = wh;
+    cfg.imageHeight = wh;
+    cfg.numProcs = procs;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Volume, VoxelAccessAndBounds)
+{
+    SharedAddressSpace space;
+    Volume vol({8, 8, 8}, space, nullptr);
+    vol.setVoxel(1, 2, 3, 200);
+    EXPECT_EQ(vol.voxelAt(1, 2, 3), 200);
+    EXPECT_EQ(vol.voxelAt(-1, 0, 0), 0);
+    EXPECT_EQ(vol.voxelAt(8, 0, 0), 0);
+    EXPECT_EQ(vol.voxelAt(0, 0, 100), 0);
+}
+
+TEST(Volume, TrilinearSampleExactAtLatticeAndBounded)
+{
+    SharedAddressSpace space;
+    Volume vol({8, 8, 8}, space, nullptr);
+    vol.setVoxel(2, 2, 2, 100);
+    vol.setVoxel(3, 2, 2, 200);
+    EXPECT_DOUBLE_EQ(vol.sample(0, 2.0, 2.0, 2.0), 100.0);
+    EXPECT_DOUBLE_EQ(vol.sample(0, 3.0, 2.0, 2.0), 200.0);
+    double mid = vol.sample(0, 2.5, 2.0, 2.0);
+    EXPECT_DOUBLE_EQ(mid, 150.0);
+    // Interpolation never exceeds corner extremes.
+    for (double t = 0.0; t <= 1.0; t += 0.1) {
+        double v = vol.sample(0, 2.0 + t, 2.0, 2.0);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 200.0);
+    }
+}
+
+TEST(Volume, OctreeMinMaxInvariant)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 16}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    // Level-0 node (bx,by,bz) must bound the densities of its voxels.
+    for (std::uint32_t bz = 0; bz < 4; ++bz) {
+        for (std::uint32_t by = 0; by < 8; ++by) {
+            for (std::uint32_t bx = 0; bx < 8; ++bx) {
+                auto [lo, hi] = vol.nodeMinMax(0, bx, by, bz);
+                for (std::uint32_t z = bz * 4; z < bz * 4 + 4; ++z) {
+                    for (std::uint32_t y = by * 4; y < by * 4 + 4; ++y) {
+                        for (std::uint32_t x = bx * 4; x < bx * 4 + 4;
+                             ++x) {
+                            std::uint16_t d = vol.voxelAt(x, y, z);
+                            ASSERT_GE(d, lo);
+                            ASSERT_LE(d, hi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Volume, OctreeRootCoversWholeVolume)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    auto [lo, hi] = vol.nodeMinMax(vol.numLevels() - 1, 0, 0, 0);
+    EXPECT_EQ(lo, 0);      // corners are empty
+    EXPECT_EQ(hi, vol.maxDensity());
+}
+
+TEST(Volume, SkipDistanceIsSafe)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    // Wherever skipDistance says "skip s voxels", the enclosing level-0
+    // node must indeed have max density below the floor.
+    for (double x = 0.5; x < 32; x += 2.7) {
+        for (double y = 0.5; y < 32; y += 3.1) {
+            for (double z = 0.5; z < 32; z += 2.3) {
+                double s = vol.skipDistance(0, x, y, z, 20);
+                if (s > 0.0) {
+                    auto [lo, hi] = vol.nodeMinMax(
+                        0, static_cast<std::uint32_t>(x) / 4,
+                        static_cast<std::uint32_t>(y) / 4,
+                        static_cast<std::uint32_t>(z) / 4);
+                    (void)lo;
+                    ASSERT_LT(hi, 20) << "unsafe skip at " << x << ","
+                                      << y << "," << z;
+                }
+            }
+        }
+    }
+}
+
+TEST(Volume, SkipDistanceZeroInsideDenseMaterial)
+{
+    SharedAddressSpace space;
+    Volume vol({16, 16, 16}, space, nullptr);
+    for (std::uint32_t z = 0; z < 16; ++z)
+        for (std::uint32_t y = 0; y < 16; ++y)
+            for (std::uint32_t x = 0; x < 16; ++x)
+                vol.setVoxel(x, y, z, 255);
+    vol.buildOctree();
+    EXPECT_DOUBLE_EQ(vol.skipDistance(0, 8.0, 8.0, 8.0, 20), 0.0);
+}
+
+TEST(Volume, SkipDistanceLargeInEmptyVolume)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    vol.buildOctree(); // all zeros
+    EXPECT_GE(vol.skipDistance(0, 16.0, 16.0, 16.0, 20), 32.0);
+}
+
+TEST(Renderer, EmptyVolumeRendersBlack)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    vol.buildOctree();
+    Renderer r(smallRender(), vol, space, nullptr);
+    r.renderFrame();
+    for (std::uint32_t v = 0; v < 32; ++v)
+        for (std::uint32_t u = 0; u < 32; ++u)
+            ASSERT_DOUBLE_EQ(r.pixel(u, v), 0.0);
+}
+
+TEST(Renderer, PhantomHeadShowsUpBrightInTheMiddle)
+{
+    SharedAddressSpace space;
+    Volume vol({48, 48, 48}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    Renderer r(smallRender(), vol, space, nullptr);
+    r.renderFrame();
+    EXPECT_GT(r.pixel(16, 16), 0.2);  // center: dense skull shell
+    EXPECT_DOUBLE_EQ(r.pixel(0, 0), 0.0); // corner: outside the head
+}
+
+TEST(Renderer, EveryPixelIsRenderedExactlyOncePerFrame)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    RenderConfig cfg = smallRender(3, 32); // 3 procs: uneven blocks
+    Renderer r(cfg, vol, space, nullptr);
+    FrameStats st = r.renderFrame();
+    EXPECT_EQ(st.raysCast, 32u * 32u);
+    std::uint64_t sum = 0;
+    for (auto c : st.raysPerProc)
+        sum += c;
+    EXPECT_EQ(sum, 32u * 32u);
+}
+
+TEST(Renderer, RotationAdvancesAndChangesImage)
+{
+    SharedAddressSpace space;
+    Volume vol({48, 48, 48}, space, nullptr);
+    vol.buildHeadPhantom();
+    // Make the head asymmetric so rotation is visible.
+    for (std::uint32_t z = 0; z < 10; ++z)
+        for (std::uint32_t y = 0; y < 10; ++y)
+            for (std::uint32_t x = 0; x < 10; ++x)
+                vol.setVoxel(x + 30, y + 19, z + 19, 255);
+    vol.buildOctree();
+    RenderConfig cfg = smallRender();
+    cfg.degreesPerFrame = 45.0;
+    Renderer r(cfg, vol, space, nullptr);
+    r.renderFrame();
+    std::vector<double> first;
+    for (std::uint32_t v = 0; v < 32; ++v)
+        for (std::uint32_t u = 0; u < 32; ++u)
+            first.push_back(r.pixel(u, v));
+    EXPECT_DOUBLE_EQ(r.viewAngleDeg(), 45.0);
+    r.renderFrame();
+    double diff = 0.0;
+    std::size_t k = 0;
+    for (std::uint32_t v = 0; v < 32; ++v)
+        for (std::uint32_t u = 0; u < 32; ++u)
+            diff += std::abs(r.pixel(u, v) - first[k++]);
+    EXPECT_GT(diff, 0.1);
+}
+
+TEST(Renderer, EarlyTerminationTriggersInOpaqueVolume)
+{
+    SharedAddressSpace space;
+    Volume vol({32, 32, 32}, space, nullptr);
+    for (std::uint32_t z = 0; z < 32; ++z)
+        for (std::uint32_t y = 0; y < 32; ++y)
+            for (std::uint32_t x = 0; x < 32; ++x)
+                vol.setVoxel(x, y, z, 255);
+    vol.buildOctree();
+    Renderer r(smallRender(), vol, space, nullptr);
+    FrameStats st = r.renderFrame();
+    // Only the rays that actually hit the cube (inscribed in the image
+    // plane's bounding-sphere extent, ~1/3 of pixels) can terminate.
+    EXPECT_GT(st.earlyTerminations, st.raysCast / 5);
+}
+
+TEST(Renderer, OctreeSkipsEmptySpace)
+{
+    SharedAddressSpace space;
+    Volume vol({64, 64, 64}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    Renderer r(smallRender(), vol, space, nullptr);
+    FrameStats st = r.renderFrame();
+    EXPECT_GT(st.skips, 0u);
+}
+
+TEST(Renderer, StealingEngagesOnImbalancedScenes)
+{
+    // All the interesting (slow) content sits in one processor's image
+    // block; the others finish early and steal.
+    SharedAddressSpace space;
+    Volume vol({64, 64, 64}, space, nullptr);
+    for (std::uint32_t z = 0; z < 64; ++z)
+        for (std::uint32_t y = 0; y < 28; ++y)
+            for (std::uint32_t x = 0; x < 28; ++x)
+                vol.setVoxel(x, y, z, 60);
+    vol.buildOctree();
+    RenderConfig cfg = smallRender(4, 64);
+    cfg.opacityCutoff = 2.0; // never terminate early
+    Renderer r(cfg, vol, space, nullptr);
+    FrameStats st = r.renderFrame();
+    EXPECT_GT(st.raysStolen, 0u);
+    EXPECT_EQ(st.raysCast, 64u * 64u);
+}
+
+TEST(Renderer, PixelOwnerFormsContiguousBlocks)
+{
+    SharedAddressSpace space;
+    Volume vol({16, 16, 16}, space, nullptr);
+    vol.buildOctree();
+    Renderer r(smallRender(4, 32), vol, space, nullptr);
+    EXPECT_EQ(r.pixelOwner(0, 0), 0u);
+    EXPECT_EQ(r.pixelOwner(31, 31), 3u);
+    // 4 procs on 32x32: 2x2 blocks of 16x16.
+    EXPECT_EQ(r.pixelOwner(15, 0), 0u);
+    EXPECT_EQ(r.pixelOwner(16, 0), 1u);
+    EXPECT_EQ(r.pixelOwner(0, 16), 2u);
+}
+
+TEST(Renderer, WritesValidPgm)
+{
+    SharedAddressSpace space;
+    Volume vol({24, 24, 24}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    Renderer r(smallRender(1, 16), vol, space, nullptr);
+    r.renderFrame();
+    std::string path = "/tmp/wsg_test_render.pgm";
+    r.writePgm(path);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P5");
+    int w, h, maxv;
+    in >> w >> h >> maxv;
+    EXPECT_EQ(w, 16);
+    EXPECT_EQ(h, 16);
+    EXPECT_EQ(maxv, 255);
+    std::remove(path.c_str());
+}
+
+TEST(Renderer, TracedRenderingTouchesVoxelsAndOctree)
+{
+    SharedAddressSpace space;
+    CountingSink sink(4);
+    Volume vol({32, 32, 32}, space, &sink);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    Renderer r(smallRender(), vol, space, &sink);
+    r.renderFrame();
+    EXPECT_GT(sink.totalReads(), 10000u);
+    EXPECT_GT(sink.totalWrites(), 0u); // image-plane writes
+}
+
+TEST(Renderer, OctreeAblationSavesWork)
+{
+    // Section 7.1: the octree "find[s] the first interesting voxel in
+    // a ray's path efficiently". Disabling it forces dense sampling of
+    // transparent space but must not change what the image shows.
+    SharedAddressSpace s1, s2;
+    Volume v1({48, 48, 48}, s1, nullptr);
+    Volume v2({48, 48, 48}, s2, nullptr);
+    v1.buildHeadPhantom();
+    v2.buildHeadPhantom();
+    v1.buildOctree();
+    v2.buildOctree();
+
+    RenderConfig with = smallRender();
+    RenderConfig without = smallRender();
+    without.useOctree = false;
+
+    Renderer ra(with, v1, s1, nullptr);
+    Renderer rb(without, v2, s2, nullptr);
+    FrameStats sa = ra.renderFrame();
+    FrameStats sb = rb.renderFrame();
+
+    EXPECT_GT(sa.skips, 0u);
+    EXPECT_EQ(sb.skips, 0u);
+    EXPECT_GT(sb.samplesTaken, sa.samplesTaken * 2);
+
+    // Images agree closely (sampling phase differs slightly where a
+    // skip lands mid-step).
+    double diff = 0.0;
+    for (std::uint32_t v = 0; v < 32; ++v)
+        for (std::uint32_t u = 0; u < 32; ++u)
+            diff += std::abs(ra.pixel(u, v) - rb.pixel(u, v));
+    EXPECT_LT(diff / (32.0 * 32.0), 0.05);
+}
+
+TEST(Renderer, PerspectiveCameraRendersTheHead)
+{
+    SharedAddressSpace space;
+    Volume vol({48, 48, 48}, space, nullptr);
+    vol.buildHeadPhantom();
+    vol.buildOctree();
+    RenderConfig cfg = smallRender();
+    cfg.perspective = true;
+    Renderer r(cfg, vol, space, nullptr);
+    FrameStats st = r.renderFrame();
+    EXPECT_EQ(st.raysCast, 32u * 32u);
+    EXPECT_GT(r.pixel(16, 16), 0.2);      // head visible at the center
+    EXPECT_DOUBLE_EQ(r.pixel(0, 0), 0.0); // corners miss the volume
+}
+
+TEST(Renderer, PerspectiveDiffersFromOrthographic)
+{
+    SharedAddressSpace s1, s2;
+    Volume v1({48, 48, 48}, s1, nullptr);
+    Volume v2({48, 48, 48}, s2, nullptr);
+    v1.buildHeadPhantom();
+    v2.buildHeadPhantom();
+    v1.buildOctree();
+    v2.buildOctree();
+    RenderConfig ortho = smallRender();
+    RenderConfig persp = smallRender();
+    persp.perspective = true;
+    Renderer ra(ortho, v1, s1, nullptr);
+    Renderer rb(persp, v2, s2, nullptr);
+    ra.renderFrame();
+    rb.renderFrame();
+    double diff = 0.0;
+    for (std::uint32_t v = 0; v < 32; ++v)
+        for (std::uint32_t u = 0; u < 32; ++u)
+            diff += std::abs(ra.pixel(u, v) - rb.pixel(u, v));
+    EXPECT_GT(diff, 1.0); // projections genuinely differ
+}
+
+TEST(Renderer, NarrowFovApproachesOrthographic)
+{
+    // As the fov shrinks, perspective rays become parallel: the two
+    // projections converge.
+    SharedAddressSpace s1, s2;
+    Volume v1({32, 32, 32}, s1, nullptr);
+    Volume v2({32, 32, 32}, s2, nullptr);
+    v1.buildHeadPhantom();
+    v2.buildHeadPhantom();
+    v1.buildOctree();
+    v2.buildOctree();
+    RenderConfig ortho = smallRender(1, 16);
+    Renderer ra(ortho, v1, s1, nullptr);
+    ra.renderFrame();
+
+    auto diff_at_fov = [&](double fov) {
+        SharedAddressSpace s;
+        Volume v({32, 32, 32}, s, nullptr);
+        v.buildHeadPhantom();
+        v.buildOctree();
+        RenderConfig persp = smallRender(1, 16);
+        persp.perspective = true;
+        persp.fovDegrees = fov;
+        Renderer rb(persp, v, s, nullptr);
+        rb.renderFrame();
+        double diff = 0.0;
+        for (std::uint32_t y = 0; y < 16; ++y)
+            for (std::uint32_t x = 0; x < 16; ++x)
+                diff += std::abs(ra.pixel(x, y) - rb.pixel(x, y));
+        return diff / 256.0;
+    };
+    // Convergence is monotone; residual difference comes from sampling
+    // phase along the (now much longer) rays.
+    EXPECT_LT(diff_at_fov(2.0), diff_at_fov(40.0));
+    EXPECT_LT(diff_at_fov(2.0), 0.2);
+}

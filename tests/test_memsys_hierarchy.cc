@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the two-level cache hierarchy.
+ */
+
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "memsys/fully_assoc_lru.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/set_assoc.hh"
+#include "sim/multiprocessor.hh"
+
+using namespace wsg::memsys;
+
+namespace
+{
+
+TwoLevelCache
+makeHierarchy(std::uint64_t l1_lines, std::uint64_t l2_lines)
+{
+    return TwoLevelCache(std::make_unique<FullyAssocLru>(l1_lines),
+                         std::make_unique<FullyAssocLru>(l2_lines));
+}
+
+} // namespace
+
+TEST(TwoLevel, NullLevelRejected)
+{
+    EXPECT_THROW(TwoLevelCache(nullptr,
+                               std::make_unique<FullyAssocLru>(4)),
+                 std::invalid_argument);
+}
+
+TEST(TwoLevel, ServiceLevels)
+{
+    auto h = makeHierarchy(1, 4);
+    EXPECT_EQ(h.accessDetailed(10), ServiceLevel::Memory); // cold
+    EXPECT_EQ(h.accessDetailed(10), ServiceLevel::L1);     // in L1
+    h.accessDetailed(20); // evicts 10 from the 1-line L1, both in L2
+    EXPECT_EQ(h.accessDetailed(10), ServiceLevel::L2);
+    EXPECT_EQ(h.stats().accesses, 4u);
+    EXPECT_EQ(h.stats().l1Misses, 3u);
+    EXPECT_EQ(h.stats().l2Misses, 2u);
+}
+
+TEST(TwoLevel, CacheInterfaceReportsMemoryMissesOnly)
+{
+    auto h = makeHierarchy(1, 4);
+    EXPECT_EQ(h.access(1), AccessOutcome::Miss);
+    h.access(2);
+    EXPECT_EQ(h.access(1), AccessOutcome::Hit); // L2 hit counts as hit
+}
+
+TEST(TwoLevel, InvalidateClearsBothLevels)
+{
+    auto h = makeHierarchy(2, 8);
+    h.access(5);
+    EXPECT_TRUE(h.contains(5));
+    EXPECT_TRUE(h.invalidate(5));
+    EXPECT_FALSE(h.contains(5));
+    EXPECT_FALSE(h.invalidate(5));
+    EXPECT_EQ(h.accessDetailed(5), ServiceLevel::Memory);
+}
+
+TEST(TwoLevel, ClearResetsEverything)
+{
+    auto h = makeHierarchy(2, 8);
+    h.access(1);
+    h.access(2);
+    h.clear();
+    EXPECT_EQ(h.residentLines(), 0u);
+    EXPECT_EQ(h.stats().accesses, 0u);
+    EXPECT_EQ(h.accessDetailed(1), ServiceLevel::Memory);
+}
+
+TEST(TwoLevel, CapacityIsSumOfLevels)
+{
+    auto h = makeHierarchy(2, 8);
+    EXPECT_EQ(h.capacityLines(), 10u);
+}
+
+TEST(TwoLevel, L2CatchesL1ConflictMisses)
+{
+    // Direct-mapped L1 where 0 and 4 conflict; 4-way L2 absorbs them.
+    TwoLevelCache h(std::make_unique<SetAssocCache>(4, 1),
+                    std::make_unique<SetAssocCache>(4, 4));
+    h.accessDetailed(0);
+    h.accessDetailed(4);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(h.accessDetailed(0), ServiceLevel::L2);
+        EXPECT_EQ(h.accessDetailed(4), ServiceLevel::L2);
+    }
+    EXPECT_EQ(h.stats().l2Misses, 2u); // only the cold pair
+}
+
+TEST(TwoLevel, StatsRatesAreConsistent)
+{
+    auto h = makeHierarchy(4, 64);
+    std::mt19937_64 rng(9);
+    for (int i = 0; i < 10000; ++i)
+        h.access(rng() % 128);
+    const auto &st = h.stats();
+    EXPECT_GT(st.l1MissRate(), st.memoryMissRate());
+    EXPECT_NEAR(st.memoryMissRate(),
+                st.l1MissRate() * st.l2LocalMissRate(), 1e-12);
+}
+
+/**
+ * Property: a two-level hierarchy's memory misses are bracketed by an
+ * L2-alone cache above and a combined-capacity cache below — up to a
+ * small perturbation, because L1 hits are filtered out of L2's recency
+ * stream in a non-inclusive hierarchy (L2's LRU order differs slightly
+ * from the unfiltered one).
+ */
+class HierarchyBounds : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(HierarchyBounds, MemoryMissesBracketed)
+{
+    std::mt19937_64 rng(GetParam());
+    auto h = makeHierarchy(8, 64);
+    FullyAssocLru l2_alone(64);
+    FullyAssocLru combined(72);
+    std::uint64_t h_misses = 0, l2_misses = 0, combined_misses = 0;
+    for (int i = 0; i < 30000; ++i) {
+        Addr a = rng() % 256;
+        h_misses += h.access(a) == AccessOutcome::Miss;
+        l2_misses += l2_alone.access(a) == AccessOutcome::Miss;
+        combined_misses += combined.access(a) == AccessOutcome::Miss;
+    }
+    EXPECT_LE(static_cast<double>(h_misses),
+              static_cast<double>(l2_misses) * 1.005);
+    EXPECT_GE(static_cast<double>(h_misses),
+              static_cast<double>(combined_misses) * 0.995);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyBounds,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(TwoLevel, AttachesToMultiprocessor)
+{
+    wsg::sim::Multiprocessor mp({2, 8});
+    std::vector<TwoLevelCache *> raw;
+    mp.attachCaches([&]() {
+        auto h = std::make_unique<TwoLevelCache>(
+            std::make_unique<FullyAssocLru>(4),
+            std::make_unique<FullyAssocLru>(64));
+        raw.push_back(h.get());
+        return h;
+    });
+
+    std::mt19937_64 rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        wsg::trace::ProcId p = rng() % 2;
+        if (rng() % 6 == 0)
+            mp.write(p, (rng() % 512) * 8, 8);
+        else
+            mp.read(p, (rng() % 512) * 8, 8);
+    }
+
+    // concreteReadMisses counts memory-level misses only.
+    EXPECT_GT(mp.concreteReadMissRate(), 0.0);
+    EXPECT_LT(mp.concreteReadMissRate(), 1.0);
+    for (auto *h : raw) {
+        EXPECT_GT(h->stats().accesses, 0u);
+        EXPECT_GE(h->stats().l1Misses, h->stats().l2Misses);
+    }
+}

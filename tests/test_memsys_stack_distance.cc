@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit and property tests for the Fenwick-tree stack-distance profiler.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "memsys/stack_distance.hh"
+
+using namespace wsg::memsys;
+
+TEST(StackDistance, FirstAccessIsCold)
+{
+    StackDistanceProfiler prof;
+    DistanceSample s = prof.access(42);
+    EXPECT_EQ(s.kind, RefClass::Cold);
+    EXPECT_EQ(prof.liveLines(), 1u);
+    EXPECT_EQ(prof.touchedLines(), 1u);
+}
+
+TEST(StackDistance, ImmediateReuseHasDistanceZero)
+{
+    StackDistanceProfiler prof;
+    prof.access(1);
+    DistanceSample s = prof.access(1);
+    EXPECT_EQ(s.kind, RefClass::Finite);
+    EXPECT_EQ(s.distance, 0u);
+}
+
+TEST(StackDistance, DistanceCountsDistinctInterveningLines)
+{
+    StackDistanceProfiler prof;
+    prof.access(1);
+    prof.access(2);
+    prof.access(3);
+    prof.access(2); // touching 2 again doesn't add a distinct line
+    DistanceSample s = prof.access(1);
+    EXPECT_EQ(s.kind, RefClass::Finite);
+    EXPECT_EQ(s.distance, 2u); // {2, 3}
+}
+
+TEST(StackDistance, InvalidationMakesNextAccessCoherence)
+{
+    StackDistanceProfiler prof;
+    prof.access(5);
+    EXPECT_TRUE(prof.invalidate(5));
+    EXPECT_EQ(prof.liveLines(), 0u);
+    DistanceSample s = prof.access(5);
+    EXPECT_EQ(s.kind, RefClass::Coherence);
+    // And once re-fetched it is finite again.
+    EXPECT_EQ(prof.access(5).kind, RefClass::Finite);
+}
+
+TEST(StackDistance, InvalidateUnknownOrTombstonedLine)
+{
+    StackDistanceProfiler prof;
+    EXPECT_FALSE(prof.invalidate(9));
+    prof.access(9);
+    EXPECT_TRUE(prof.invalidate(9));
+    EXPECT_FALSE(prof.invalidate(9));
+}
+
+TEST(StackDistance, InvalidatedLinesLeaveTheStack)
+{
+    StackDistanceProfiler prof;
+    prof.access(1);
+    prof.access(2);
+    prof.access(3);
+    prof.invalidate(2);
+    // Distance to 1 should now skip the dead line 2.
+    DistanceSample s = prof.access(1);
+    EXPECT_EQ(s.distance, 1u); // only {3}
+}
+
+TEST(StackDistance, ClearForgetsHistory)
+{
+    StackDistanceProfiler prof;
+    prof.access(1);
+    prof.clear();
+    EXPECT_EQ(prof.access(1).kind, RefClass::Cold);
+    EXPECT_EQ(prof.liveLines(), 1u);
+}
+
+TEST(StackDistance, CompactionPreservesBehaviour)
+{
+    // Drive well past the initial 2^16 slots to force compactions and
+    // verify distances stay correct against the naive model.
+    StackDistanceProfiler fast;
+    NaiveStackProfiler slow;
+    std::mt19937_64 rng(11);
+    std::uniform_int_distribution<Addr> addr(0, 63);
+    for (int i = 0; i < 300000; ++i) {
+        Addr a = addr(rng);
+        DistanceSample f = fast.access(a);
+        DistanceSample s = slow.access(a);
+        ASSERT_EQ(static_cast<int>(f.kind), static_cast<int>(s.kind))
+            << "step " << i;
+        if (f.kind == RefClass::Finite) {
+            ASSERT_EQ(f.distance, s.distance) << "step " << i;
+        }
+    }
+}
+
+/**
+ * Property: the Fenwick profiler agrees with the naive O(n) stack on
+ * random traces mixing accesses and invalidations.
+ */
+class StackDistanceRandom : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(StackDistanceRandom, MatchesNaiveReference)
+{
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<Addr> addr(0, 255);
+    StackDistanceProfiler fast;
+    NaiveStackProfiler slow;
+
+    for (int i = 0; i < 30000; ++i) {
+        Addr a = addr(rng);
+        if (rng() % 11 == 0) {
+            EXPECT_EQ(fast.invalidate(a), slow.invalidate(a));
+            EXPECT_EQ(fast.liveLines(), slow.liveLines());
+            continue;
+        }
+        DistanceSample f = fast.access(a);
+        DistanceSample s = slow.access(a);
+        ASSERT_EQ(static_cast<int>(f.kind), static_cast<int>(s.kind))
+            << "step " << i << " addr " << a;
+        if (f.kind == RefClass::Finite) {
+            ASSERT_EQ(f.distance, s.distance) << "step " << i;
+        }
+        ASSERT_EQ(fast.liveLines(), slow.liveLines());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackDistanceRandom,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u));
+
+TEST(StackDistance, SequentialScanDistances)
+{
+    // Scanning K distinct lines repeatedly: after warm-up, every access
+    // has distance K-1.
+    constexpr Addr K = 100;
+    StackDistanceProfiler prof;
+    for (Addr a = 0; a < K; ++a)
+        prof.access(a);
+    for (int rep = 0; rep < 3; ++rep) {
+        for (Addr a = 0; a < K; ++a) {
+            DistanceSample s = prof.access(a);
+            ASSERT_EQ(s.kind, RefClass::Finite);
+            ASSERT_EQ(s.distance, K - 1);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests of the per-application analytical models against the numbers the
+ * paper states explicitly (Sections 3-7).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/barnes_model.hh"
+#include "model/cg_model.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+#include "model/volrend_model.hh"
+#include "stats/units.hh"
+
+using namespace wsg::model;
+using wsg::stats::kKiB;
+using wsg::stats::kMiB;
+
+// ---------------------------------------------------------------- LU --
+
+TEST(LuModel, WorkingSetSizesMatchPaper)
+{
+    LuModel m({10000, 1024, 16});
+    auto ws = m.workingSets();
+    ASSERT_EQ(ws.size(), 4u);
+    // lev1WS "roughly 260 bytes for B=16".
+    EXPECT_NEAR(ws[0].sizeBytes, 256.0, 16.0);
+    // lev2WS "roughly 2200 bytes for B=16".
+    EXPECT_NEAR(ws[1].sizeBytes, 2048.0, 256.0);
+    // lev3WS "roughly 80 Kbytes for B=16": 2nB/sqrt(P) words.
+    EXPECT_NEAR(ws[2].sizeBytes, 80.0 * 1024, 2048.0);
+    // lev4WS = n^2/P doubles.
+    EXPECT_NEAR(ws[3].sizeBytes, 1e8 / 1024 * 8, 1.0);
+}
+
+TEST(LuModel, MissRatePlateausFollowPaper)
+{
+    LuModel m({10000, 1024, 16});
+    auto ws = m.workingSets();
+    EXPECT_DOUBLE_EQ(m.initialMissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(ws[0].missRateAfter, 0.5);      // halves
+    EXPECT_DOUBLE_EQ(ws[1].missRateAfter, 1.0 / 16); // 1/B
+    EXPECT_DOUBLE_EQ(ws[2].missRateAfter, 1.0 / 32); // 1/2B
+}
+
+TEST(LuModel, CommunicationRatioDependsOnlyOnGrainSize)
+{
+    // Prototypical problem: ~200 FLOPs/word at 1 Mbyte grain.
+    LuModel proto({10000, 1024, 16});
+    EXPECT_NEAR(proto.commToCompRatio(), 208.0, 5.0);
+    EXPECT_NEAR(proto.grainBytes(), 780.0 * kKiB, 20.0 * kKiB);
+
+    // Same grain on a 4x bigger machine: same ratio (20000 on 4096).
+    LuModel scaled({20000, 4096, 16});
+    EXPECT_NEAR(scaled.commToCompRatio(), proto.commToCompRatio(), 1e-9);
+
+    // 16K processors: ratio drops ~4x to ~50.
+    LuModel fine({10000, 16384, 16});
+    EXPECT_NEAR(fine.commToCompRatio(), 52.0, 2.0);
+}
+
+TEST(LuModel, LoadBalanceBlocksPerProcessor)
+{
+    LuModel proto({10000, 1024, 16});
+    EXPECT_NEAR(proto.blocksPerProcessor(), 380.0, 10.0);
+    LuModel fine({10000, 16384, 16});
+    EXPECT_NEAR(fine.blocksPerProcessor(), 24.0, 2.0);
+}
+
+TEST(LuModel, CurveIsMonotoneAndHitsCommFloor)
+{
+    LuModel m({10000, 1024, 16});
+    auto sizes = std::vector<std::uint64_t>{
+        64, 256, 1024, 4096, 64 * kKiB, kMiB, 8 * kMiB};
+    auto curve = m.missCurve(sizes);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i].y, curve[i - 1].y + 1e-12);
+    EXPECT_NEAR(curve.minY(), m.commMissRate(), 1e-12);
+}
+
+TEST(LuModel, Lev2IndependentOfProblemAndMachine)
+{
+    for (std::uint64_t n : {1000ull, 10000ull, 100000ull}) {
+        for (std::uint64_t P : {16ull, 1024ull, 65536ull}) {
+            LuModel m({n, P, 16});
+            EXPECT_DOUBLE_EQ(m.workingSets()[1].sizeBytes, 2048.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- CG --
+
+TEST(CgModel, WorkingSetSizesMatchPaper)
+{
+    // 2-D prototypical: lev1WS ~5 KB.
+    CgModel m2({4000, 1024, 2});
+    EXPECT_NEAR(m2.workingSets()[0].sizeBytes, 5.0 * kKiB, 512.0);
+    // 3-D prototypical: lev1WS ~18 KB.
+    CgModel m3({225, 1024, 3});
+    EXPECT_NEAR(m3.workingSets()[0].sizeBytes, 18.0 * kKiB,
+                2.5 * kKiB);
+}
+
+TEST(CgModel, PrototypicalProblemIsOneGigabyte)
+{
+    CgModel m2({4000, 1024, 2});
+    EXPECT_NEAR(m2.dataBytes(), 1.0e9, 0.1e9);
+    CgModel m3({225, 1024, 3});
+    EXPECT_NEAR(m3.dataBytes(), 1.0e9, 0.1e9);
+}
+
+TEST(CgModel, SixteenMegabyteGrainWorkingSets)
+{
+    // Paper: a 16 MB/processor problem has lev1WS of 18 KB (2-D) and
+    // ~90 KB (3-D).
+    // 2-D: side s with s^2 * 64 = 16 MB -> s = 512; n = 512 * 32.
+    CgModel m2({512 * 32, 1024, 2});
+    EXPECT_NEAR(m2.workingSets()[0].sizeBytes, 18.0 * kKiB,
+                3.0 * kKiB);
+    // 3-D: side s with s^3 * 88 = 16 MB -> s ~ 57.6; use n = 576, P=1000.
+    CgModel m3({576, 1000, 3});
+    EXPECT_NEAR(m3.workingSets()[0].sizeBytes, 90.0 * kKiB,
+                40.0 * kKiB);
+}
+
+TEST(CgModel, CommunicationRatiosMatchPaper)
+{
+    // 2-D: 5n/(2 sqrt P) ~ 300 for the prototypical problem.
+    CgModel m2({4000, 1024, 2});
+    EXPECT_NEAR(m2.commToCompRatio(), 312.0, 5.0);
+    // 3-D: 7n/(3 cbrt P) ~ 50.
+    CgModel m3({225, 1024, 3});
+    EXPECT_NEAR(m3.commToCompRatio(), 52.0, 3.0);
+}
+
+TEST(CgModel, SixteenKilobyteGrainRatios)
+{
+    // Paper Section 4.3: on 16K processors the ratios drop to ~75 (2-D)
+    // and ~20 (3-D).
+    CgModel m2({4000, 16384, 2});
+    EXPECT_NEAR(m2.commToCompRatio(), 78.0, 4.0);
+    CgModel m3({225, 16384, 3});
+    EXPECT_NEAR(m3.commToCompRatio(), 20.5, 2.0);
+}
+
+TEST(CgModel, CurveFloorsAtCommunicationRate)
+{
+    CgModel m({4000, 1024, 2});
+    auto sizes = std::vector<std::uint64_t>{64, kKiB, 8 * kKiB, kMiB,
+                                            16 * kMiB};
+    auto curve = m.missCurve(sizes);
+    EXPECT_NEAR(curve.minY(), m.commMissRate(), 1e-12);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i].y, curve[i - 1].y + 1e-12);
+}
+
+// --------------------------------------------------------------- FFT --
+
+TEST(FftModel, Lev1RatesReproducePaper)
+{
+    // 0.6 / 0.25 / 0.15 misses per op for radix 2 / 8 / 32.
+    FftModel r2({1 << 26, 1024, 2});
+    FftModel r8({1 << 26, 1024, 8});
+    FftModel r32({1 << 26, 1024, 32});
+    EXPECT_NEAR(r2.workingSets()[0].missRateAfter, 0.60, 0.005);
+    EXPECT_NEAR(r8.workingSets()[0].missRateAfter, 0.25, 0.005);
+    EXPECT_NEAR(r32.workingSets()[0].missRateAfter, 0.15, 0.01);
+}
+
+TEST(FftModel, Lev1SizeIsAFewCacheLines)
+{
+    FftModel r8({1 << 26, 1024, 8});
+    EXPECT_LT(r8.workingSets()[0].sizeBytes, 4.0 * kKiB);
+    FftModel r32({1 << 26, 1024, 32});
+    EXPECT_LT(r32.workingSets()[0].sizeBytes, 4.0 * kKiB);
+}
+
+TEST(FftModel, ExactRatioMatchesPaperQuantization)
+{
+    // Prototypical: N = 2^26, P = 1024: two exchanges, ratio ~33.
+    FftModel m({std::uint64_t{1} << 26, 1024, 8});
+    EXPECT_EQ(m.numExchangeStages(), 2);
+    EXPECT_NEAR(m.exactCommToCompRatio(), 32.5, 0.6);
+
+    // Coarser machine (P = 64): still two exchange stages -> same ratio
+    // (the paper's "surprisingly does not change").
+    FftModel coarse({std::uint64_t{1} << 26, 64, 8});
+    EXPECT_EQ(coarse.numExchangeStages(), 2);
+    EXPECT_NEAR(coarse.exactCommToCompRatio(),
+                m.exactCommToCompRatio(), 1e-9);
+
+    // Single processor: no communication.
+    FftModel solo({std::uint64_t{1} << 20, 1, 8});
+    EXPECT_EQ(solo.numExchangeStages(), 0);
+}
+
+TEST(FftModel, GrainForRatioGrowsExponentially)
+{
+    // N/P = 2^(2R/5): ratio 60 -> 2^24 points = 256 Mbytes of complex
+    // data ("roughly 270 Mbytes"); ratio 100 -> 2^40 points = 16 TB.
+    double p60 = FftModel::pointsPerProcForRatio(60.0) * 16.0;
+    EXPECT_NEAR(p60 / double(kMiB), 256.0, 1.0);
+    double p100 = FftModel::pointsPerProcForRatio(100.0) * 16.0;
+    EXPECT_NEAR(p100 / (1024.0 * 1024 * 1024 * 1024), 16.0, 0.1);
+}
+
+TEST(FftModel, ModelRatioIsPerStageBound)
+{
+    FftModel m({std::uint64_t{1} << 26, 1024, 8});
+    EXPECT_NEAR(m.modelCommToCompRatio(), 40.0, 1e-9); // (5/2) * 16
+    // The exact ratio is below the optimistic per-stage bound here.
+    EXPECT_LT(m.exactCommToCompRatio(), m.modelCommToCompRatio());
+}
+
+// ------------------------------------------------------------ Barnes --
+
+TEST(BarnesModel, Lev2SizesMatchPaperDataPoints)
+{
+    // 32 KB at 64K particles, theta = 1.
+    BarnesModel base({64.0 * 1024, 1.0, 64.0, 1.0});
+    EXPECT_NEAR(base.lev2Bytes() / kKiB, 32.0, 1.5);
+    // ~20 KB at 1024 particles (Figure 6).
+    BarnesModel fig6({1024.0, 1.0, 4.0, 1.0});
+    EXPECT_NEAR(fig6.lev2Bytes() / kKiB, 20.0, 1.0);
+    // ~40 KB at 1M particles.
+    BarnesModel mc({1024.0 * 1024, 1.0, 1024.0, 1.0});
+    EXPECT_NEAR(mc.lev2Bytes() / kKiB, 40.0, 2.0);
+    // ~60 KB at 1G particles.
+    BarnesModel huge({1e9, 1.0, 1024.0, 1.0});
+    EXPECT_NEAR(huge.lev2Bytes() / kKiB, 60.0, 3.0);
+}
+
+TEST(BarnesModel, Lev2ScalesWithThetaSquared)
+{
+    BarnesModel loose({64.0 * 1024, 1.0, 64.0, 1.0});
+    BarnesModel tight({64.0 * 1024, 0.5, 64.0, 1.0});
+    EXPECT_NEAR(tight.lev2Bytes() / loose.lev2Bytes(), 4.0, 1e-9);
+}
+
+TEST(BarnesModel, PrototypicalCommunicationIsTiny)
+{
+    // "less than 1 double word per 10,000 processor busy cycles".
+    BarnesModel proto({4.5e6, 1.0, 1024.0, 1.0});
+    double wpi = proto.wordsPerInstruction();
+    EXPECT_LT(wpi, 1.0 / 8000.0);
+    EXPECT_GT(wpi, 1.0 / 40000.0);
+
+    // 16K processors: "about 1 double word per 1000 instructions".
+    BarnesModel fine({4.5e6, 1.0, 16384.0, 1.0});
+    double wpi_fine = fine.wordsPerInstruction();
+    EXPECT_LT(wpi_fine, 1.0 / 400.0);
+    EXPECT_GT(wpi_fine, 1.0 / 3000.0);
+}
+
+TEST(BarnesModel, DataSetSizeMatchesPaper)
+{
+    // "about 230 bytes per particle"; 1 GB total at ~4.5M particles.
+    BarnesModel proto({4.5e6, 1.0, 1024.0, 1.0});
+    EXPECT_NEAR(proto.dataBytes(), 1.0e9, 0.1e9);
+    EXPECT_NEAR(proto.particlesPerProc(), 4400.0, 150.0);
+}
+
+TEST(BarnesModel, WorkingSetHierarchyShape)
+{
+    BarnesModel m({64.0 * 1024, 1.0, 64.0, 1.0});
+    auto ws = m.workingSets();
+    ASSERT_EQ(ws.size(), 3u);
+    EXPECT_NEAR(ws[0].sizeBytes, 700.0, 1.0);
+    EXPECT_DOUBLE_EQ(ws[0].missRateAfter, 0.20);
+    EXPECT_GT(ws[1].sizeBytes, ws[0].sizeBytes);
+    EXPECT_GT(ws[2].sizeBytes, ws[1].sizeBytes);
+    EXPECT_LT(ws[1].missRateAfter, 0.01);
+}
+
+// ----------------------------------------------------------- Volrend --
+
+TEST(VolrendModel, Lev2FormulaMatchesPaper)
+{
+    // lev2WS = 4000 + 110 n: ~16 KB for the head's ~113 voxels along a
+    // ray...
+    VolrendModel head({113.0, 4.0});
+    EXPECT_NEAR(head.lev2Bytes(), 16.0 * kKiB, 400.0);
+    // ... and 116 KB for a 1024^3 volume.
+    VolrendModel big({1024.0, 1024.0});
+    EXPECT_NEAR(big.lev2Bytes() / kKiB, 114.0, 4.0);
+}
+
+TEST(VolrendModel, CommunicationRatioIs600InstrPerWord)
+{
+    VolrendModel proto({600.0, 1024.0});
+    EXPECT_NEAR(proto.instructionsPerCommWord(), 600.0, 1e-9);
+    // Independent of n and p.
+    VolrendModel other({128.0, 16.0});
+    EXPECT_NEAR(other.instructionsPerCommWord(), 600.0, 1e-9);
+}
+
+TEST(VolrendModel, RaysPerProcessor)
+{
+    VolrendModel proto({600.0, 1024.0});
+    EXPECT_NEAR(proto.raysPerProc(), 351.0, 1.0);
+    VolrendModel fine({600.0, 16384.0});
+    EXPECT_NEAR(fine.raysPerProc(), 22.0, 1.0);
+}
+
+TEST(VolrendModel, HierarchyShape)
+{
+    VolrendModel m({256.0, 4.0});
+    auto ws = m.workingSets();
+    ASSERT_EQ(ws.size(), 3u);
+    EXPECT_DOUBLE_EQ(ws[0].sizeBytes, 400.0);
+    EXPECT_DOUBLE_EQ(ws[0].missRateAfter, 0.15);
+    EXPECT_DOUBLE_EQ(ws[1].missRateAfter, 0.02);
+    EXPECT_DOUBLE_EQ(ws[2].missRateAfter, 0.001);
+    EXPECT_GT(ws[2].sizeBytes, 100.0 * kKiB);
+}
+
+// ----------------------------------------------------- growth rates --
+
+TEST(GrowthRatesTable, AllRowsPresent)
+{
+    EXPECT_EQ(LuModel::growthRates().app, "LU");
+    EXPECT_EQ(CgModel::growthRates().data, "n^2");
+    EXPECT_EQ(FftModel::growthRates().importantWorkingSet, "const");
+    EXPECT_NE(BarnesModel::growthRates().communication.find("theta"),
+              std::string::npos);
+    EXPECT_EQ(VolrendModel::growthRates().importantWorkingSet, "n");
+}

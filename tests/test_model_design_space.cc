@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the Section 8 design-space explorer.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/cg_model.hh"
+#include "model/design_space.hh"
+#include "model/fft_model.hh"
+#include "model/lu_model.hh"
+
+using namespace wsg::model;
+
+namespace
+{
+
+/** A 1 GB LU problem as a DesignProblem. */
+DesignProblem
+luProblem()
+{
+    DesignProblem p;
+    p.name = "LU";
+    LuModel base({10000, 1024, 16});
+    p.dataBytes = base.dataBytes();
+    p.totalFlops = base.totalFlops();
+    p.ratioAtP = [](double P) {
+        return LuModel({10000, static_cast<std::uint64_t>(P), 16})
+            .commToCompRatio();
+    };
+    return p;
+}
+
+} // namespace
+
+TEST(DesignSpace, InfeasibleWhenMemoryTooSmall)
+{
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+    DesignProblem p = luProblem();
+    // Spending 99.9% of the budget on processors leaves < 1 GB memory.
+    DesignPoint pt = evaluateDesign(p, cost, lat, 0.999);
+    EXPECT_FALSE(pt.feasible);
+    EXPECT_TRUE(std::isinf(pt.timeSeconds));
+    EXPECT_TRUE(std::isinf(
+        evaluateDesign(p, cost, lat, 0.0).timeSeconds));
+    EXPECT_TRUE(std::isinf(
+        evaluateDesign(p, cost, lat, 1.0).timeSeconds));
+}
+
+TEST(DesignSpace, MemoryConstraintBoundary)
+{
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+    DesignProblem p = luProblem();
+    // The 763 MB matrix at $50/MB costs ~$38K of the $1M budget, so
+    // fractions up to ~0.962 are feasible and beyond that are not.
+    EXPECT_TRUE(evaluateDesign(p, cost, lat, 0.9).feasible);
+    EXPECT_TRUE(evaluateDesign(p, cost, lat, 0.95).feasible);
+    EXPECT_FALSE(evaluateDesign(p, cost, lat, 0.97).feasible);
+}
+
+TEST(DesignSpace, MoreProcessorsUntilCommunicationBites)
+{
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+    DesignProblem p = luProblem();
+    DesignPoint few = evaluateDesign(p, cost, lat, 0.05);
+    DesignPoint more = evaluateDesign(p, cost, lat, 0.5);
+    ASSERT_TRUE(few.feasible);
+    ASSERT_TRUE(more.feasible);
+    EXPECT_LT(more.timeSeconds, few.timeSeconds);
+    EXPECT_GT(more.processors, few.processors);
+    EXPECT_LT(more.grainBytes, few.grainBytes);
+}
+
+TEST(DesignSpace, OptimalDesignIsFeasibleAndBeatsNeighbours)
+{
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+    DesignProblem p = luProblem();
+    DesignPoint best = optimalDesign(p, cost, lat);
+    ASSERT_TRUE(best.feasible);
+    for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        DesignPoint pt = evaluateDesign(p, cost, lat, f);
+        if (pt.feasible)
+            EXPECT_LE(best.timeSeconds, pt.timeSeconds + 1e-9);
+    }
+}
+
+TEST(DesignSpace, FiftyFiftyWithinSmallFactorOfOptimal)
+{
+    // The paper's conjecture, checked for LU, CG and FFT.
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+
+    std::vector<DesignProblem> problems;
+    problems.push_back(luProblem());
+    {
+        DesignProblem p;
+        p.name = "CG";
+        CgModel base({4000, 1024, 2});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = 100.0 * base.flopsPerIteration();
+        p.ratioAtP = [](double P) {
+            return CgModel({4000, static_cast<std::uint64_t>(P), 2})
+                .commToCompRatio();
+        };
+        problems.push_back(p);
+    }
+    {
+        DesignProblem p;
+        p.name = "FFT";
+        FftModel base({std::uint64_t{1} << 26, 1024, 8});
+        p.dataBytes = base.dataBytes();
+        p.totalFlops = base.totalFlops();
+        p.ratioAtP = [](double P) {
+            return FftModel({std::uint64_t{1} << 26,
+                             static_cast<std::uint64_t>(P), 8})
+                .exactCommToCompRatio();
+        };
+        problems.push_back(p);
+    }
+
+    for (const auto &p : problems) {
+        DesignPoint best = optimalDesign(p, cost, lat);
+        DesignPoint half = evaluateDesign(p, cost, lat, 0.5);
+        ASSERT_TRUE(best.feasible) << p.name;
+        ASSERT_TRUE(half.feasible) << p.name;
+        EXPECT_LT(half.timeSeconds / best.timeSeconds, 3.0) << p.name;
+    }
+}
+
+TEST(DesignSpace, CurveCoversFeasibleRegionOnly)
+{
+    CostModel cost = CostModel::ca1993();
+    LatencyModel lat = LatencyModel::ca1993();
+    auto curve = designCurve(luProblem(), cost, lat);
+    ASSERT_GT(curve.size(), 10u);
+    for (const auto &pt : curve.points()) {
+        EXPECT_GT(pt.x, 0.0);
+        EXPECT_LT(pt.x, 0.97); // infeasible tail excluded
+        EXPECT_TRUE(std::isfinite(pt.y));
+    }
+}
+
+TEST(DesignSpace, CostPresetMatchesPaperAnecdote)
+{
+    // "$50 worth of memory on a $1000 node" = 1 MB per node at the
+    // preset prices.
+    CostModel c = CostModel::ca1993();
+    EXPECT_DOUBLE_EQ(c.dollarsPerProcessor / c.dollarsPerMByte, 20.0);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the grain-size assessments against the verdicts in the
+ * paper's Sections 3.3-7.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/grain.hh"
+#include "stats/units.hh"
+
+using namespace wsg::model;
+using wsg::stats::kKiB;
+using wsg::stats::kMiB;
+
+TEST(GrainLu, PrototypicalOneMegabyteGrainIsEasy)
+{
+    auto a = assessLu({10000, 1024, 16});
+    EXPECT_EQ(a.sustainability, Sustainability::Easy);
+    EXPECT_TRUE(a.loadBalanceOk);
+    EXPECT_NEAR(a.workUnitsPerProc, 380.0, 10.0);
+    EXPECT_NEAR(a.grainBytes / kKiB, 763.0, 10.0);
+    EXPECT_FALSE(a.verdict.empty());
+}
+
+TEST(GrainLu, SixtyFourKilobyteGrainIsHarder)
+{
+    // 16K processors: ratio ~50 (sustainable, not easy), 25 blocks
+    // (load balance at risk) — the paper's "not so easy" verdict.
+    auto a = assessLu({10000, 16384, 16});
+    EXPECT_EQ(a.sustainability, Sustainability::Sustainable);
+    EXPECT_FALSE(a.loadBalanceOk);
+}
+
+TEST(GrainCg, TwoDimensionalEasyThreeDimensionalModerate)
+{
+    auto a2 = assessCg({4000, 1024, 2});
+    EXPECT_EQ(a2.sustainability, Sustainability::Easy);
+    EXPECT_TRUE(a2.loadBalanceOk);
+
+    auto a3 = assessCg({225, 1024, 3});
+    EXPECT_EQ(a3.sustainability, Sustainability::Sustainable);
+}
+
+TEST(GrainCg, SixteenKilobyteGrain)
+{
+    // Section 4.3: ratios ~75 (2-D) and ~20 (3-D) on 16K processors.
+    auto a2 = assessCg({4000, 16384, 2});
+    EXPECT_NEAR(a2.commToCompRatio, 78.0, 4.0);
+    auto a3 = assessCg({225, 16384, 3});
+    EXPECT_EQ(a3.sustainability, Sustainability::Sustainable);
+    EXPECT_NEAR(a3.commToCompRatio, 20.5, 2.0);
+}
+
+TEST(GrainFft, DifficultAtAnyReasonableGrain)
+{
+    auto a = assessFft({std::uint64_t{1} << 26, 1024, 8});
+    EXPECT_NEAR(a.commToCompRatio, 32.5, 1.0);
+    EXPECT_EQ(a.sustainability, Sustainability::Sustainable);
+    EXPECT_TRUE(a.loadBalanceOk); // concurrency is plentiful
+    EXPECT_NEAR(a.grainBytes / kMiB, 1.0, 0.1);
+}
+
+TEST(GrainBarnes, PrototypicalIsEasyFineGrainStillEasyOnComm)
+{
+    auto proto = assessBarnes({4.5e6, 1.0, 1024.0, 1.0});
+    EXPECT_EQ(proto.sustainability, Sustainability::Easy);
+    EXPECT_TRUE(proto.loadBalanceOk);
+    EXPECT_NEAR(proto.workUnitsPerProc, 4400.0, 150.0);
+
+    // 16K processors: communication still cheap (~1000 instr/word) but
+    // only ~280 particles/processor -> load balance at risk.
+    auto fine = assessBarnes({4.5e6, 1.0, 16384.0, 1.0});
+    EXPECT_EQ(fine.sustainability, Sustainability::Easy);
+    EXPECT_FALSE(fine.loadBalanceOk);
+    EXPECT_NEAR(fine.workUnitsPerProc, 275.0, 15.0);
+}
+
+TEST(GrainVolrend, CommEasyLoadBalanceLimitsFineGrain)
+{
+    auto proto = assessVolrend({600.0, 1024.0});
+    EXPECT_EQ(proto.sustainability, Sustainability::Easy);
+    EXPECT_NEAR(proto.commToCompRatio, 600.0, 1.0);
+    EXPECT_TRUE(proto.loadBalanceOk);
+
+    // 16K processors: ~22 rays per processor in the cube-equivalent
+    // model (the paper's 66 came from the head data set) -> too few.
+    auto fine = assessVolrend({600.0, 16384.0});
+    EXPECT_FALSE(fine.loadBalanceOk);
+}
+
+TEST(GrainVerdicts, MentionKeyQuantities)
+{
+    auto a = assessLu({10000, 1024, 16});
+    EXPECT_NE(a.verdict.find("blocks"), std::string::npos);
+    EXPECT_NE(a.verdict.find("easy"), std::string::npos);
+}

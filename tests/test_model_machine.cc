@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the machine models and sustainability bands (Section 2.3).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/machine_model.hh"
+
+using namespace wsg::model;
+
+TEST(MachineModel, ParagonRatiosMatchPaperArithmetic)
+{
+    MachineModel m = MachineModel::paragon();
+    // "The sustainable ratio, in FLOPs per double-word, is therefore
+    // 200/(200/8) = 8" for nearest-neighbour...
+    EXPECT_DOUBLE_EQ(m.sustainableRatio(CommPattern::NearestNeighbor),
+                     8.0);
+    // ... and 64 FLOPs/word for random traffic (bisection-limited).
+    EXPECT_DOUBLE_EQ(m.sustainableRatio(CommPattern::General), 64.0);
+}
+
+TEST(MachineModel, Cm5Ratios)
+{
+    MachineModel m = MachineModel::cm5();
+    // "about 50 FLOPs per word for nearest-neighbor communication".
+    EXPECT_NEAR(m.sustainableRatio(CommPattern::NearestNeighbor), 51.2,
+                0.1);
+    EXPECT_GT(m.sustainableRatio(CommPattern::General),
+              m.sustainableRatio(CommPattern::NearestNeighbor));
+}
+
+TEST(MachineModel, ZeroBandwidthMeansInfiniteRequirement)
+{
+    MachineModel m;
+    m.mflopsPerNode = 100.0;
+    m.linkMBps = 0.0;
+    EXPECT_TRUE(std::isinf(
+        m.sustainableRatio(CommPattern::NearestNeighbor)));
+}
+
+TEST(Sustainability, PaperBands)
+{
+    // "1-15 FLOPs/word are extremely difficult to sustain, 15-75 are
+    // sustainable but not easy, and above 75 are quite easy".
+    EXPECT_EQ(classifySustainability(1.0),
+              Sustainability::ExtremelyDifficult);
+    EXPECT_EQ(classifySustainability(14.9),
+              Sustainability::ExtremelyDifficult);
+    EXPECT_EQ(classifySustainability(15.0), Sustainability::Sustainable);
+    EXPECT_EQ(classifySustainability(33.0), Sustainability::Sustainable);
+    EXPECT_EQ(classifySustainability(75.0), Sustainability::Sustainable);
+    EXPECT_EQ(classifySustainability(75.1), Sustainability::Easy);
+    EXPECT_EQ(classifySustainability(600.0), Sustainability::Easy);
+}
+
+TEST(Sustainability, NamesAreDistinct)
+{
+    EXPECT_NE(sustainabilityName(Sustainability::ExtremelyDifficult),
+              sustainabilityName(Sustainability::Sustainable));
+    EXPECT_NE(sustainabilityName(Sustainability::Sustainable),
+              sustainabilityName(Sustainability::Easy));
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the execution-time / utilization model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/lu_model.hh"
+#include "model/perf_model.hh"
+
+using namespace wsg::model;
+
+TEST(PerfModel, ZeroMissesRunsAtPeak)
+{
+    LatencyModel lat = LatencyModel::ca1993();
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.0, 0.0), lat.cyclesPerFlop);
+}
+
+TEST(PerfModel, MissesAddStalls)
+{
+    LatencyModel lat;
+    lat.cyclesPerFlop = 1.0;
+    lat.localMissCycles = 10.0;
+    lat.remoteMissCycles = 100.0;
+    // 0.1 miss/FLOP, all local: 1 + 0.1*10 = 2 cycles/FLOP.
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.1, 0.0), 2.0);
+    // Same rate, all remote: 1 + 0.1*100 = 11.
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.1, 0.1), 11.0);
+    // Mixed.
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.1, 0.05), 1.0 + 0.5 + 5.0);
+}
+
+TEST(PerfModel, HidingFactorReducesStalls)
+{
+    LatencyModel lat;
+    lat.cyclesPerFlop = 1.0;
+    lat.localMissCycles = 10.0;
+    lat.hidingFactor = 0.5;
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.2, 0.0), 2.0);
+    lat.hidingFactor = 1.0; // perfect prefetching
+    EXPECT_DOUBLE_EQ(cyclesPerFlop(lat, 0.2, 0.0), 1.0);
+}
+
+TEST(PerfModel, CommFloorNeverExceedsMissRate)
+{
+    LatencyModel lat = LatencyModel::ca1993();
+    // A point below the floor must not produce negative local misses.
+    double c = cyclesPerFlop(lat, 0.01, 0.05);
+    EXPECT_GE(c, lat.cyclesPerFlop);
+}
+
+TEST(PerfModel, PerformanceCurveTracksWorkingSets)
+{
+    // The LU analytical curve's knees must translate into performance
+    // plateaus: fitting lev2WS gives a large fraction of peak.
+    LuModel m({10000, 1024, 16});
+    auto sizes = std::vector<std::uint64_t>{64, 512, 4096, 1 << 20};
+    auto miss = m.missCurve(sizes);
+    LatencyModel lat = LatencyModel::ca1993();
+    auto perf = performanceCurve(miss, m.commMissRate(), lat, "perf");
+
+    ASSERT_EQ(perf.size(), miss.size());
+    // Monotone non-decreasing in cache size.
+    for (std::size_t i = 1; i < perf.size(); ++i)
+        EXPECT_GE(perf[i].y, perf[i - 1].y - 1e-12);
+    // Tiny cache: memory-bound (< 10% of peak at 1 miss/FLOP x 30 cyc).
+    EXPECT_LT(perf[0].y, 0.1);
+    // lev2WS fits: an order of magnitude better than the tiny cache.
+    EXPECT_GT(perf.valueAtOrBelow(4096), 0.15);
+    EXPECT_GT(perf.valueAtOrBelow(4096), perf[0].y * 5.0);
+    // Everything fits: only the communication floor remains.
+    EXPECT_GT(perf.valueAtOrBelow(1 << 20), 0.4);
+    EXPECT_LE(perf.maxY(), 1.0 + 1e-12);
+}
+
+TEST(PerfModel, UtilizationLimits)
+{
+    LatencyModel lat = LatencyModel::ca1993();
+    EXPECT_DOUBLE_EQ(utilization(0.0, lat), 0.0);
+    EXPECT_LT(utilization(1.0, lat), 0.01);
+    EXPECT_GT(utilization(1.0e6, lat), 0.999);
+    // Monotone in the ratio.
+    double prev = 0.0;
+    for (double r : {1.0, 15.0, 75.0, 200.0, 1000.0}) {
+        double u = utilization(r, lat);
+        EXPECT_GT(u, prev);
+        prev = u;
+    }
+}
+
+TEST(PerfModel, UtilizationMatchesPaperBandsQualitatively)
+{
+    // With ca-1993 parameters, the paper's sustainability bands order
+    // correctly: a ratio of 200 (LU) beats 33 (FFT) beats 8.
+    LatencyModel lat = LatencyModel::ca1993();
+    double lu = utilization(208.0, lat);
+    double fft = utilization(32.5, lat);
+    double hard = utilization(8.0, lat);
+    EXPECT_GT(lu, fft);
+    EXPECT_GT(fft, hard);
+    EXPECT_GT(lu, 0.4);
+    EXPECT_LT(hard, 0.1);
+}
+
+TEST(PerfModel, Ca1993PresetIsSane)
+{
+    LatencyModel lat = LatencyModel::ca1993();
+    EXPECT_GT(lat.remoteMissCycles, lat.localMissCycles);
+    EXPECT_GT(lat.localMissCycles, lat.cyclesPerFlop);
+}
+
+TEST(GlobalSum, LogarithmicGrowth)
+{
+    LatencyModel lat = LatencyModel::ca1993();
+    EXPECT_DOUBLE_EQ(globalSumCycles(1.0, lat), 0.0);
+    double p64 = globalSumCycles(64.0, lat);
+    double p1k = globalSumCycles(1024.0, lat);
+    double p16k = globalSumCycles(16384.0, lat);
+    // 6 / 10 / 14 stages: linear in log2 P.
+    EXPECT_NEAR(p1k / p64, 10.0 / 6.0, 1e-9);
+    EXPECT_NEAR(p16k / p1k, 14.0 / 10.0, 1e-9);
+}
+
+TEST(GlobalSum, CgDotProductsAreNotABottleneckAtPracticalP)
+{
+    // Paper Section 4.3: the O(log P) global sums "would not be a
+    // significant performance drain for practical P". Prototypical CG:
+    // 10 n^2 / P FLOPs per processor per iteration.
+    LatencyModel lat = LatencyModel::ca1993();
+    double flops_per_proc = 10.0 * 4000.0 * 4000.0 / 1024.0;
+    double frac = globalSumFraction(flops_per_proc, 1024.0, lat);
+    EXPECT_LT(frac, 0.08);
+    // But at very fine grain the fraction grows noticeably.
+    double fine = globalSumFraction(10.0 * 4000.0 * 4000.0 / 262144.0,
+                                    262144.0, lat);
+    EXPECT_GT(fine, frac * 5.0);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the MC/TC scaling models against the paper's worked examples.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/scaling.hh"
+
+using namespace wsg::model;
+
+TEST(ScaleLu, MemoryConstrainedKeepsGrainFixed)
+{
+    LuParams base{10000, 1024, 16};
+    LuParams big = scaleLu(base, 4096, ScalingModel::MemoryConstrained);
+    // "Keeping the grain size fixed at 1 Mbyte per processor allows us
+    // to factor a 20,000 by 20,000 matrix on 4096 processors."
+    EXPECT_EQ(big.n, 20000u);
+    LuModel m0(base), m1(big);
+    EXPECT_NEAR(m1.grainBytes(), m0.grainBytes(), 1.0);
+    EXPECT_NEAR(m1.commToCompRatio(), m0.commToCompRatio(), 1e-6);
+    EXPECT_NEAR(m1.blocksPerProcessor(), m0.blocksPerProcessor(), 1.0);
+}
+
+TEST(ScaleLu, TimeConstrainedShrinksGrain)
+{
+    LuParams base{10000, 1024, 16};
+    LuParams big = scaleLu(base, 8192, ScalingModel::TimeConstrained);
+    // n ~ P^(1/3): 10000 * 2 = 20000.
+    EXPECT_EQ(big.n, 20000u);
+    // Per-processor data shrinks: n^2/P halves.
+    EXPECT_LT(LuModel(big).grainBytes(), LuModel(base).grainBytes());
+}
+
+TEST(ScaleCg, McEqualsTcAndPreservesRatio)
+{
+    CgParams base{4000, 1024, 2};
+    CgParams mc = scaleCg(base, 4096, ScalingModel::MemoryConstrained);
+    CgParams tc = scaleCg(base, 4096, ScalingModel::TimeConstrained);
+    EXPECT_EQ(mc.n, tc.n);
+    EXPECT_EQ(mc.n, 8000u);
+    EXPECT_NEAR(CgModel(mc).commToCompRatio(),
+                CgModel(base).commToCompRatio(), 1e-6);
+
+    CgParams base3{225, 1024, 3};
+    CgParams mc3 = scaleCg(base3, 8192, ScalingModel::MemoryConstrained);
+    EXPECT_EQ(mc3.n, 450u);
+}
+
+TEST(ScaleFft, McScalesLinearlyTcByOpsBalance)
+{
+    FftParams base{std::uint64_t{1} << 26, 1024, 8};
+    FftParams mc = scaleFft(base, 4096, ScalingModel::MemoryConstrained);
+    EXPECT_EQ(mc.N, std::uint64_t{1} << 28);
+
+    FftParams tc = scaleFft(base, 4096, ScalingModel::TimeConstrained);
+    // N log N must grow 4x; N slightly less than 4x, rounded to a power
+    // of two.
+    EXPECT_EQ(tc.N, std::uint64_t{1} << 28); // rounds up to 2^28
+    double work_ratio =
+        (double(tc.N) * std::log2(double(tc.N))) /
+        (double(base.N) * std::log2(double(base.N)));
+    EXPECT_NEAR(work_ratio, 4.0, 0.4);
+}
+
+TEST(ScaleBarnes, McReproducesPaperExample)
+{
+    // 64K particles, theta=1.0, 64 PEs -> 1K PEs MC: 1M particles,
+    // theta = 0.71.
+    BarnesParams base{64.0 * 1024, 1.0, 64.0, 1.0};
+    auto mc = scaleBarnes(base, 1024.0,
+                          ScalingModel::MemoryConstrained);
+    EXPECT_NEAR(mc.params.n / (1024.0 * 1024.0), 1.0, 0.01);
+    EXPECT_NEAR(mc.params.theta, 0.71, 0.01);
+    EXPECT_FALSE(mc.momentUpgrade);
+    // dt shrinks as s^(-1/2).
+    EXPECT_NEAR(mc.params.dt, 0.25, 0.01);
+}
+
+TEST(ScaleBarnes, TcReproducesPaperExample)
+{
+    // TC to 1K PEs: "256K particles (theta = 0.84) rather than the
+    // 1 million under MC". Our solver lands within ~15% of 256K.
+    BarnesParams base{64.0 * 1024, 1.0, 64.0, 1.0};
+    auto tc = scaleBarnes(base, 1024.0, ScalingModel::TimeConstrained);
+    EXPECT_GT(tc.params.n, 220.0 * 1024);
+    EXPECT_LT(tc.params.n, 340.0 * 1024);
+    EXPECT_NEAR(tc.params.theta, 0.84, 0.02);
+}
+
+TEST(ScaleBarnes, ThetaFloorsAndMomentsUpgrade)
+{
+    BarnesParams base{64.0 * 1024, 1.0, 64.0, 1.0};
+    auto huge = scaleBarnes(base, 1024.0 * 1024.0,
+                            ScalingModel::MemoryConstrained);
+    EXPECT_DOUBLE_EQ(huge.params.theta, kBarnesThetaFloor);
+    EXPECT_TRUE(huge.momentUpgrade);
+}
+
+TEST(ScaleBarnes, NaiveScalingLeavesAccuracyAlone)
+{
+    BarnesParams base{64.0 * 1024, 1.0, 64.0, 1.0};
+    auto naive = scaleBarnes(base, 1024.0,
+                             ScalingModel::MemoryConstrained, false);
+    EXPECT_DOUBLE_EQ(naive.params.theta, 1.0);
+    EXPECT_DOUBLE_EQ(naive.params.dt, 1.0);
+    EXPECT_NEAR(naive.params.n / (1024.0 * 1024.0), 1.0, 0.01);
+}
+
+TEST(ScaleBarnes, TcGrowsWorkingSetSlowerThanMc)
+{
+    BarnesParams base{64.0 * 1024, 1.0, 64.0, 1.0};
+    auto mc = scaleBarnes(base, 1024.0,
+                          ScalingModel::MemoryConstrained);
+    auto tc = scaleBarnes(base, 1024.0, ScalingModel::TimeConstrained);
+    // The paper quotes a smaller lev2WS under TC than under MC (its
+    // "only 25 Kbytes" figure is not reproducible from its own size
+    // formula — see EXPERIMENTS.md — but the ordering is).
+    double mc_ws = BarnesModel(mc.params).lev2Bytes();
+    double tc_ws = BarnesModel(tc.params).lev2Bytes();
+    EXPECT_LT(tc_ws, mc_ws);
+    EXPECT_LT(tc_ws / 1024.0, 60.0);
+}
+
+TEST(ScaleVolrend, CubeRootGrowthEitherModel)
+{
+    VolrendParams base{600.0, 1024.0};
+    auto mc = scaleVolrend(base, 8.0 * 1024.0,
+                           ScalingModel::MemoryConstrained);
+    EXPECT_NEAR(mc.n, 1200.0, 1.0);
+    auto tc = scaleVolrend(base, 8.0 * 1024.0,
+                           ScalingModel::TimeConstrained);
+    EXPECT_NEAR(tc.n, mc.n, 1e-9);
+    // Working set (110 n) doubles when the machine grows 8x.
+    EXPECT_NEAR(VolrendModel(mc).lev2Bytes() /
+                    VolrendModel(base).lev2Bytes(),
+                (4000.0 + 110.0 * 1200.0) / (4000.0 + 110.0 * 600.0),
+                1e-9);
+}

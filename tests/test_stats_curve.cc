@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for stats::Curve.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/curve.hh"
+
+using wsg::stats::Curve;
+
+TEST(Curve, EmptyCurveBasics)
+{
+    Curve c("empty");
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.name(), "empty");
+    EXPECT_THROW(c.valueAtOrBelow(1.0), std::out_of_range);
+    EXPECT_THROW(c.interpolate(1.0), std::out_of_range);
+    EXPECT_THROW(c.minY(), std::out_of_range);
+    EXPECT_THROW(c.maxY(), std::out_of_range);
+}
+
+TEST(Curve, PointsStaySortedRegardlessOfInsertionOrder)
+{
+    Curve c;
+    c.addPoint(8.0, 3.0);
+    c.addPoint(2.0, 1.0);
+    c.addPoint(4.0, 2.0);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_DOUBLE_EQ(c[0].x, 2.0);
+    EXPECT_DOUBLE_EQ(c[1].x, 4.0);
+    EXPECT_DOUBLE_EQ(c[2].x, 8.0);
+}
+
+TEST(Curve, DuplicateXOverwrites)
+{
+    Curve c;
+    c.addPoint(4.0, 1.0);
+    c.addPoint(4.0, 9.0);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_DOUBLE_EQ(c[0].y, 9.0);
+}
+
+TEST(Curve, ValueAtOrBelowHasStepSemantics)
+{
+    Curve c;
+    c.addPoint(10.0, 1.0);
+    c.addPoint(20.0, 0.5);
+    c.addPoint(40.0, 0.1);
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(5.0), 1.0);  // below first sample
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(10.0), 1.0); // exact hit
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(19.9), 1.0);
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(20.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(39.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.valueAtOrBelow(1e9), 0.1);
+}
+
+TEST(Curve, InterpolateIsLinearAndClamped)
+{
+    Curve c;
+    c.addPoint(0.0, 0.0);
+    c.addPoint(10.0, 10.0);
+    EXPECT_DOUBLE_EQ(c.interpolate(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.interpolate(-3.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.interpolate(30.0), 10.0);
+}
+
+TEST(Curve, FirstXBelowFindsThresholdCrossing)
+{
+    Curve c;
+    c.addPoint(1.0, 1.0);
+    c.addPoint(2.0, 0.6);
+    c.addPoint(4.0, 0.2);
+    EXPECT_DOUBLE_EQ(c.firstXBelow(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(c.firstXBelow(0.6), 2.0);
+    EXPECT_DOUBLE_EQ(c.firstXBelow(0.05), -1.0);
+}
+
+TEST(Curve, MinMaxY)
+{
+    Curve c;
+    c.addPoint(1.0, 3.0);
+    c.addPoint(2.0, 0.5);
+    c.addPoint(3.0, 2.0);
+    EXPECT_DOUBLE_EQ(c.minY(), 0.5);
+    EXPECT_DOUBLE_EQ(c.maxY(), 3.0);
+}
+
+TEST(Curve, ScaleY)
+{
+    Curve c;
+    c.addPoint(1.0, 2.0);
+    c.addPoint(2.0, 4.0);
+    c.scaleY(0.5);
+    EXPECT_DOUBLE_EQ(c[0].y, 1.0);
+    EXPECT_DOUBLE_EQ(c[1].y, 2.0);
+}
+
+TEST(Curve, CombinePointwise)
+{
+    Curve a, b;
+    for (double x : {1.0, 2.0, 4.0}) {
+        a.addPoint(x, x);
+        b.addPoint(x, 2.0 * x);
+    }
+    Curve sum = a.combine(b, [](double u, double v) { return u + v; });
+    ASSERT_EQ(sum.size(), 3u);
+    EXPECT_DOUBLE_EQ(sum[2].y, 12.0);
+}
+
+/** Property: the log-log slope recovers the exponent of a power law. */
+class CurveSlope : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(CurveSlope, RecoversPowerLawExponent)
+{
+    double exponent = GetParam();
+    Curve c;
+    for (int i = 1; i <= 32; ++i) {
+        double x = std::exp2(i / 4.0);
+        c.addPoint(x, 3.0 * std::pow(x, exponent));
+    }
+    EXPECT_NEAR(c.logLogSlope(), exponent, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, CurveSlope,
+                         ::testing::Values(-2.0, -1.0, -0.5, 0.0, 0.5,
+                                           1.0, 1.5, 2.0, 3.0));
+
+TEST(Curve, LogLogSlopeIgnoresNonPositiveSamples)
+{
+    Curve c;
+    c.addPoint(-1.0, 5.0);
+    c.addPoint(1.0, 0.0);
+    for (int i = 1; i <= 8; ++i)
+        c.addPoint(std::exp2(i), std::exp2(2 * i));
+    EXPECT_NEAR(c.logLogSlope(), 2.0, 1e-9);
+}
+
+TEST(Curve, LogLogSlopeDegenerateCases)
+{
+    Curve c;
+    EXPECT_DOUBLE_EQ(c.logLogSlope(), 0.0);
+    c.addPoint(2.0, 4.0);
+    EXPECT_DOUBLE_EQ(c.logLogSlope(), 0.0); // one point
+}

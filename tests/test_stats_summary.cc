@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for stats::Summary (Welford accumulator).
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+using wsg::stats::Summary;
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.imbalance(), 1.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.addSample(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.addSample(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(s.imbalance(), 9.0 / 5.0);
+}
+
+TEST(Summary, MatchesDirectComputationOnRandomData)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> dist(-100.0, 100.0);
+    Summary s;
+    std::vector<double> vals;
+    for (int i = 0; i < 5000; ++i) {
+        double v = dist(rng);
+        vals.push_back(v);
+        s.addSample(v);
+    }
+    double mean = 0.0;
+    for (double v : vals)
+        mean += v;
+    mean /= static_cast<double>(vals.size());
+    double var = 0.0;
+    for (double v : vals)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(vals.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Summary, ImbalanceGuardsZeroMean)
+{
+    Summary s;
+    s.addSample(-1.0);
+    s.addSample(1.0);
+    EXPECT_DOUBLE_EQ(s.imbalance(), 1.0); // mean 0 -> neutral
+}

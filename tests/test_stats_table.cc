@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the ASCII table / series renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+using wsg::stats::Curve;
+using wsg::stats::Table;
+
+TEST(Table, RendersHeaderRuleAndRows)
+{
+    Table t("Table X: demo");
+    t.header({"app", "size"});
+    t.addRow({"LU", "8K"});
+    t.addRow({"CG", "5K"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Table X: demo"), std::string::npos);
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("LU"), std::string::npos);
+    EXPECT_NE(out.find("5K"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t("align");
+    t.header({"a", "b"});
+    t.addRow({"xxxxxx", "1"});
+    t.addRow({"y", "2"});
+    std::string out = t.render();
+    // Find the start column of 'b' values: "1" and "2" should line up.
+    std::size_t p1 = out.find("1\n");
+    std::size_t p2 = out.find("2\n");
+    std::size_t l1 = out.rfind('\n', p1);
+    std::size_t l2 = out.rfind('\n', p2);
+    EXPECT_EQ(p1 - l1, p2 - l2);
+}
+
+TEST(Table, WrongCellCountThrows)
+{
+    Table t("bad");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Series, UnionOfXValuesAndStepFill)
+{
+    Curve a("a"), b("b");
+    a.addPoint(8.0, 1.0);
+    a.addPoint(32.0, 0.5);
+    b.addPoint(16.0, 0.9);
+    std::string out =
+        wsg::stats::renderSeries("fig", "cache", {a, b}, true);
+    EXPECT_NE(out.find("fig"), std::string::npos);
+    EXPECT_NE(out.find("8 B"), std::string::npos);
+    EXPECT_NE(out.find("16 B"), std::string::npos);
+    EXPECT_NE(out.find("32 B"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("b"), std::string::npos);
+}
+
+TEST(Series, UnnamedCurveGetsPlaceholder)
+{
+    Curve a;
+    a.addPoint(8.0, 1.0);
+    std::string out = wsg::stats::renderSeries("t", "x", {a}, false);
+    EXPECT_NE(out.find("series"), std::string::npos);
+}
+
+TEST(AsciiPlot, ProducesGridForRealCurve)
+{
+    Curve c("plot");
+    for (double x = 8.0; x <= 1 << 16; x *= 2)
+        c.addPoint(x, 1.0 / x);
+    std::string out = wsg::stats::renderAsciiPlot(c);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateCurvesAreHandled)
+{
+    Curve c("flat");
+    EXPECT_EQ(wsg::stats::renderAsciiPlot(c), "(plot unavailable)\n");
+    c.addPoint(4.0, 1.0);
+    EXPECT_EQ(wsg::stats::renderAsciiPlot(c), "(plot unavailable)\n");
+    c.addPoint(8.0, 1.0); // flat but two points: plottable
+    EXPECT_NE(wsg::stats::renderAsciiPlot(c).find('*'),
+              std::string::npos);
+}

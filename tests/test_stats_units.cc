@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the unit formatting/parsing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/units.hh"
+
+using namespace wsg::stats;
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(0), "0 B");
+    EXPECT_EQ(formatBytes(260), "260 B");
+    EXPECT_EQ(formatBytes(1024), "1 KB");
+    EXPECT_EQ(formatBytes(2200), "2.1 KB");
+    EXPECT_EQ(formatBytes(80 * 1024), "80 KB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024), "1.5 MB");
+    EXPECT_EQ(formatBytes(double(kGiB)), "1 GB");
+    EXPECT_EQ(formatBytes(-2048.0), "-2 KB");
+    EXPECT_EQ(formatBytes(18.0 * 1024 * kGiB), "18 TB");
+}
+
+TEST(Units, FormatRate)
+{
+    EXPECT_EQ(formatRate(0.0), "0");
+    EXPECT_EQ(formatRate(0.25), "0.25");
+    EXPECT_EQ(formatRate(0.6), "0.6");
+    // Tiny rates switch to scientific notation.
+    EXPECT_NE(formatRate(1e-6).find("e"), std::string::npos);
+}
+
+TEST(Units, FormatCount)
+{
+    EXPECT_EQ(formatCount(380), "380");
+    EXPECT_EQ(formatCount(64000), "64K");
+    EXPECT_EQ(formatCount(4.5e6), "4.5M");
+    EXPECT_EQ(formatCount(2e9), "2B");
+}
+
+TEST(Units, ParseSizeRoundTrips)
+{
+    EXPECT_EQ(parseSize("512"), 512u);
+    EXPECT_EQ(parseSize("64K"), 64u * 1024);
+    EXPECT_EQ(parseSize("64KB"), 64u * 1024);
+    EXPECT_EQ(parseSize("64k"), 64u * 1024);
+    EXPECT_EQ(parseSize("1M"), kMiB);
+    EXPECT_EQ(parseSize("2G"), 2 * kGiB);
+    EXPECT_EQ(parseSize("1.5K"), 1536u);
+    EXPECT_EQ(parseSize("100B"), 100u);
+}
+
+TEST(Units, ParseSizeRejectsGarbage)
+{
+    EXPECT_THROW(parseSize(""), std::invalid_argument);
+    EXPECT_THROW(parseSize("abc"), std::invalid_argument);
+    EXPECT_THROW(parseSize("12Q"), std::invalid_argument);
+    EXPECT_THROW(parseSize("12Kx"), std::invalid_argument);
+    EXPECT_THROW(parseSize("-5K"), std::invalid_argument);
+}

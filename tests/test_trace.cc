@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the tracing substrate: address space, traced arrays,
+ * traced heap, and the utility sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/address_space.hh"
+#include "trace/flop_counter.hh"
+#include "trace/sinks.hh"
+#include "trace/traced_array.hh"
+
+using namespace wsg::trace;
+
+TEST(AddressSpace, SegmentsDoNotOverlapAndAreAligned)
+{
+    SharedAddressSpace space(64);
+    Addr a = space.allocate("a", 100);
+    Addr b = space.allocate("b", 1);
+    Addr c = space.allocate("c", 0);
+    Addr d = space.allocate("d", 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GT(c, b);
+    EXPECT_GT(d, c);
+    EXPECT_NE(a, 0u); // address 0 reserved
+    EXPECT_EQ(space.totalBytes(), 165u);
+}
+
+TEST(AddressSpace, FindSegmentByAddressAndName)
+{
+    SharedAddressSpace space;
+    Addr a = space.allocate("matrix", 256);
+    space.allocate("vector", 64);
+    const Segment *seg = space.findSegment(a + 100);
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(seg->name, "matrix");
+    EXPECT_EQ(space.findSegment(Addr{0}), nullptr);
+    ASSERT_NE(space.findSegment("vector"), nullptr);
+    EXPECT_EQ(space.findSegment("nope"), nullptr);
+}
+
+TEST(AddressSpace, RejectsBadAlignment)
+{
+    EXPECT_THROW(SharedAddressSpace(0), std::invalid_argument);
+    EXPECT_THROW(SharedAddressSpace(48), std::invalid_argument);
+}
+
+TEST(TracedArray, EmitsReadsAndWritesWithCorrectAddresses)
+{
+    SharedAddressSpace space;
+    RecordingSink sink;
+    TracedArray<double> arr(space, "arr", 16, &sink);
+
+    arr.write(2, 3, 7.5);
+    EXPECT_DOUBLE_EQ(arr.read(1, 3), 7.5);
+
+    ASSERT_EQ(sink.refs().size(), 2u);
+    const MemRef &w = sink.refs()[0];
+    EXPECT_TRUE(w.isWrite());
+    EXPECT_EQ(w.pid, 2u);
+    EXPECT_EQ(w.addr, arr.base() + 3 * sizeof(double));
+    EXPECT_EQ(w.bytes, sizeof(double));
+    const MemRef &r = sink.refs()[1];
+    EXPECT_TRUE(r.isRead());
+    EXPECT_EQ(r.pid, 1u);
+    EXPECT_EQ(r.addr, w.addr);
+}
+
+TEST(TracedArray, UpdateEmitsReadThenWrite)
+{
+    SharedAddressSpace space;
+    RecordingSink sink;
+    TracedArray<double> arr(space, "arr", 4, &sink);
+    arr.raw(1) = 10.0;
+    arr.update(0, 1, [](double &v) { v += 5.0; });
+    EXPECT_DOUBLE_EQ(arr.raw(1), 15.0);
+    ASSERT_EQ(sink.refs().size(), 2u);
+    EXPECT_TRUE(sink.refs()[0].isRead());
+    EXPECT_TRUE(sink.refs()[1].isWrite());
+}
+
+TEST(TracedArray, NullSinkTracesNothing)
+{
+    SharedAddressSpace space;
+    TracedArray<int> arr(space, "arr", 4, nullptr);
+    arr.write(0, 0, 42);
+    EXPECT_EQ(arr.read(0, 0), 42);
+}
+
+TEST(TracedArray, SinkCanBeRebound)
+{
+    SharedAddressSpace space;
+    RecordingSink sink;
+    TracedArray<int> arr(space, "arr", 4, nullptr);
+    arr.write(0, 0, 1);
+    arr.sink(&sink);
+    arr.write(0, 1, 2);
+    EXPECT_EQ(sink.refs().size(), 1u);
+}
+
+TEST(TracedHeap, AllocatesAlignedDisjointObjects)
+{
+    SharedAddressSpace space;
+    TracedHeap heap(space, "heap", 1024, nullptr);
+    Addr a = heap.allocate(12);
+    Addr b = heap.allocate(8);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_GE(b, a + 16); // 12 rounds up to 16
+    EXPECT_EQ(heap.used(), 24u);
+    heap.reset();
+    EXPECT_EQ(heap.used(), 0u);
+    EXPECT_EQ(heap.allocate(8), a); // arena reuse => same addresses
+}
+
+TEST(TracedHeap, ReadsAndWritesAreTraced)
+{
+    SharedAddressSpace space;
+    RecordingSink sink;
+    TracedHeap heap(space, "heap", 256, &sink);
+    Addr a = heap.allocate(32);
+    heap.read(3, a, 16);
+    heap.write(1, a + 16, 8);
+    ASSERT_EQ(sink.refs().size(), 2u);
+    EXPECT_EQ(sink.refs()[0].pid, 3u);
+    EXPECT_EQ(sink.refs()[0].bytes, 16u);
+    EXPECT_EQ(sink.refs()[1].addr, a + 16);
+}
+
+TEST(Sinks, CountingSinkTallies)
+{
+    CountingSink sink(2);
+    sink.read(0, 100, 8);
+    sink.read(0, 108, 8);
+    sink.write(1, 200, 16);
+    EXPECT_EQ(sink.reads(0), 2u);
+    EXPECT_EQ(sink.writes(0), 0u);
+    EXPECT_EQ(sink.writes(1), 1u);
+    EXPECT_EQ(sink.readBytes(0), 16u);
+    EXPECT_EQ(sink.writeBytes(1), 16u);
+    EXPECT_EQ(sink.totalReads(), 2u);
+    EXPECT_EQ(sink.totalWrites(), 1u);
+    EXPECT_EQ(sink.totalReadBytes(), 16u);
+}
+
+TEST(Sinks, TeeForwardsToBoth)
+{
+    CountingSink a(1), b(1);
+    TeeSink tee(a, b);
+    tee.read(0, 64, 8);
+    EXPECT_EQ(a.reads(0), 1u);
+    EXPECT_EQ(b.reads(0), 1u);
+}
+
+TEST(Sinks, RecordingSinkClear)
+{
+    RecordingSink sink;
+    sink.read(0, 8, 8);
+    EXPECT_EQ(sink.refs().size(), 1u);
+    sink.clear();
+    EXPECT_TRUE(sink.refs().empty());
+}
+
+TEST(FlopCounterTest, PerProcAndTotal)
+{
+    wsg::trace::FlopCounter fc(3);
+    fc.add(0, 10);
+    fc.add(2, 5);
+    fc.add(0, 1);
+    EXPECT_EQ(fc.flops(0), 11u);
+    EXPECT_EQ(fc.flops(1), 0u);
+    EXPECT_EQ(fc.totalFlops(), 16u);
+    EXPECT_EQ(fc.numProcs(), 3u);
+    fc.reset();
+    EXPECT_EQ(fc.totalFlops(), 0u);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the binary trace file writer/reader.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sim/multiprocessor.hh"
+#include "trace/sinks.hh"
+#include "trace/trace_file.hh"
+
+using namespace wsg::trace;
+
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "wsg_trace_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+} // namespace
+
+TEST_F(TraceFileTest, RoundTripsRecordsExactly)
+{
+    std::vector<MemRef> refs;
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        MemRef r;
+        r.addr = rng();
+        r.bytes = static_cast<std::uint32_t>(rng() % 64 + 1);
+        r.pid = static_cast<ProcId>(rng() % 8);
+        r.type = rng() % 2 ? RefType::Write : RefType::Read;
+        refs.push_back(r);
+    }
+
+    {
+        TraceWriter writer(path_, 8);
+        for (const auto &r : refs)
+            writer.access(r);
+        EXPECT_EQ(writer.recordsWritten(), refs.size());
+    }
+
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.numProcs(), 8u);
+    MemRef r;
+    std::size_t i = 0;
+    while (reader.next(r)) {
+        ASSERT_LT(i, refs.size());
+        EXPECT_EQ(r.addr, refs[i].addr);
+        EXPECT_EQ(r.bytes, refs[i].bytes);
+        EXPECT_EQ(r.pid, refs[i].pid);
+        EXPECT_EQ(static_cast<int>(r.type),
+                  static_cast<int>(refs[i].type));
+        ++i;
+    }
+    EXPECT_EQ(i, refs.size());
+}
+
+TEST_F(TraceFileTest, ReplayDeliversEverything)
+{
+    {
+        TraceWriter writer(path_, 2);
+        for (int i = 0; i < 100; ++i)
+            writer.read(static_cast<ProcId>(i % 2),
+                        static_cast<Addr>(i * 8), 8);
+    }
+    RecordingSink sink;
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.replay(sink), 100u);
+    EXPECT_EQ(sink.refs().size(), 100u);
+    EXPECT_EQ(sink.refs()[7].addr, 56u);
+}
+
+TEST_F(TraceFileTest, SimulationFromTraceMatchesLive)
+{
+    // The whole point of trace files: replaying the trace through a
+    // fresh simulator reproduces the live run's statistics exactly.
+    std::mt19937_64 rng(11);
+    wsg::sim::Multiprocessor live({4, 8});
+    {
+        TraceWriter writer(path_, 4);
+        TeeSink tee(writer, live);
+        for (int i = 0; i < 20000; ++i) {
+            ProcId p = static_cast<ProcId>(rng() % 4);
+            Addr a = (rng() % 4096) * 8;
+            if (rng() % 4 == 0)
+                tee.write(p, a, 8);
+            else
+                tee.read(p, a, 8);
+        }
+    }
+
+    wsg::sim::Multiprocessor replayed({4, 8});
+    TraceReader reader(path_);
+    reader.replay(replayed);
+
+    auto a = live.aggregateStats();
+    auto b = replayed.aggregateStats();
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.readCold, b.readCold);
+    EXPECT_EQ(a.readCoherence, b.readCoherence);
+    for (std::uint64_t c : {1ull, 16ull, 256ull, 4096ull})
+        EXPECT_EQ(a.readMissesAt(c), b.readMissesAt(c)) << c;
+}
+
+TEST_F(TraceFileTest, RejectsMissingAndCorruptFiles)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/file.bin"),
+                 std::runtime_error);
+    {
+        std::ofstream bad(path_, std::ios::binary);
+        bad << "NOTATRACEFILE###";
+    }
+    EXPECT_THROW(TraceReader reader(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, EmptyTraceIsValid)
+{
+    {
+        TraceWriter writer(path_, 1);
+    }
+    TraceReader reader(path_);
+    MemRef r;
+    EXPECT_FALSE(reader.next(r));
+}

@@ -9,6 +9,9 @@
  * simulation of a smaller configuration (n = 256, 16 processors), as the
  * paper's Section 2.2 prescribes ("use simulation to confirm our
  * estimates for some examples").
+ *
+ * Runner flags: --jobs N (parallel studies), --json PATH (machine
+ * readable artifact), --progress (live per-study lines on stderr).
  */
 
 #include <iostream>
@@ -16,6 +19,7 @@
 #include "bench_util.hh"
 #include "core/presets.hh"
 #include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "model/lu_model.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/table.hh"
@@ -24,8 +28,9 @@
 using namespace wsg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     bench::banner("Figure 2",
                   "LU misses/FLOP vs cache size, n = 10,000, P = 1024, "
                   "B in {4, 16, 64}");
@@ -57,14 +62,20 @@ main()
     // Simulation confirmation at laptop scale.
     // ----------------------------------------------------------------
     std::cout << "\nSimulation confirmation (n = 256, 4x4 processors):\n";
-    std::vector<stats::Curve> sim_curves;
-    std::vector<core::StudyResult> results;
+    std::vector<core::StudyJob> jobs;
     for (std::uint32_t B : {4u, 16u, 64u}) {
-        apps::lu::LuConfig cfg = core::presets::simLu(B);
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
-        results.push_back(core::runLuStudy(cfg, sc));
-        sim_curves.push_back(results.back().curve);
+        jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
+        jobs.back().name = "fig2-lu-B" + std::to_string(B);
+    }
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    std::vector<stats::Curve> sim_curves;
+    std::vector<core::StudyResult> results;
+    for (const auto &rep : reports) {
+        results.push_back(rep.result);
+        sim_curves.push_back(rep.result.curve);
     }
     std::cout << stats::renderSeries(
         "Figure 2 (simulated, n = 256): misses per FLOP vs cache size",
@@ -89,5 +100,9 @@ main()
                    stats::formatRate(c16.valueAtOrBelow(6144)));
     bench::compare("lev2WS independent of n and P", "const",
                    "const (model: B*B*8 for all n, P)");
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

@@ -5,6 +5,8 @@
  *
  * Analytical curves at paper scale plus a trace-driven confirmation on a
  * 128^2 grid over 16 processors (and 32^3 over 8).
+ *
+ * Runner flags: --jobs N, --json PATH, --progress.
  */
 
 #include <iostream>
@@ -12,6 +14,7 @@
 #include "bench_util.hh"
 #include "core/presets.hh"
 #include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "model/cg_model.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/table.hh"
@@ -20,8 +23,9 @@
 using namespace wsg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     bench::banner("Figure 4",
                   "CG misses/FLOP vs cache size, 4000^2 grid (and 225^3 "
                   "3-D), P = 1024");
@@ -50,10 +54,16 @@ main()
     std::cout << "\nSimulation confirmation:\n";
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
-    core::StudyResult r2 =
-        core::runCgStudy(core::presets::simCg2d(), 3, 1, sc);
-    core::StudyResult r3 =
-        core::runCgStudy(core::presets::simCg3d(), 3, 1, sc);
+    std::vector<core::StudyJob> jobs = {
+        core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
+        core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),
+    };
+    jobs[0].name = "fig4-cg-2d";
+    jobs[1].name = "fig4-cg-3d";
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    const core::StudyResult &r2 = reports[0].result;
+    const core::StudyResult &r3 = reports[1].result;
     std::cout << stats::renderSeries(
         "Figure 4 (simulated): 128^2 on 4x4 procs; 32^3 on 2x2x2 procs",
         "cache", {r2.curve, r3.curve});
@@ -77,5 +87,9 @@ main()
                    stats::formatRate(r2.curve.valueAtOrBelow(
                        4 * m2.workingSets()[0].sizeBytes)) +
                        " (simulated, small grid)");
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

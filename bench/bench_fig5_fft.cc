@@ -5,6 +5,8 @@
  *
  * Analytical curves at paper scale; trace-driven confirmation with
  * N = 2^14 on 4 processors.
+ *
+ * Runner flags: --jobs N, --json PATH, --progress.
  */
 
 #include <iostream>
@@ -12,6 +14,7 @@
 #include "bench_util.hh"
 #include "core/presets.hh"
 #include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "model/fft_model.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/table.hh"
@@ -20,8 +23,9 @@
 using namespace wsg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     bench::banner("Figure 5",
                   "FFT misses/op vs cache size, N = 2^26, P = 1024, "
                   "internal radix in {2, 8, 32}");
@@ -38,15 +42,21 @@ main()
         curves);
 
     std::cout << "\nSimulation confirmation (N = 2^14, P = 4):\n";
-    std::vector<stats::Curve> sim_curves;
-    std::vector<double> sim_floor;
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
+    std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
-        core::StudyResult res =
-            core::runFftStudy(core::presets::simFft(r), 1, 1, sc);
-        sim_curves.push_back(res.curve);
-        sim_floor.push_back(res.floorRate);
+        jobs.push_back(
+            core::fftStudyJob(core::presets::simFft(r), 1, 1, sc));
+        jobs.back().name = "fig5-fft-radix" + std::to_string(r);
+    }
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    std::vector<stats::Curve> sim_curves;
+    std::vector<double> sim_floor;
+    for (const auto &rep : reports) {
+        sim_curves.push_back(rep.result.curve);
+        sim_floor.push_back(rep.result.floorRate);
     }
     std::cout << stats::renderSeries(
         "Figure 5 (simulated): misses per op vs cache size", "cache",
@@ -91,5 +101,9 @@ main()
         "per-processor data for ratio 100", "~18 TB",
         stats::formatBytes(model::FftModel::pointsPerProcForRatio(100.0) *
                            16.0));
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

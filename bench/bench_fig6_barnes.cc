@@ -6,6 +6,10 @@
  *
  * Also prints the lev2WS scaling study of Section 6.2 (sizes across n
  * and theta) from the analytical model.
+ *
+ * Runner flags: --jobs N, --json PATH, --progress. A single-study
+ * figure still benefits from --jobs: the runner's pool parallelizes
+ * the cache-size sweep inside the study.
  */
 
 #include <iostream>
@@ -13,6 +17,7 @@
 #include "bench_util.hh"
 #include "core/presets.hh"
 #include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "model/barnes_model.hh"
 #include "stats/table.hh"
 #include "stats/units.hh"
@@ -20,8 +25,9 @@
 using namespace wsg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     bench::banner("Figure 6",
                   "Barnes-Hut read miss rate vs cache size, n = 1024, "
                   "theta = 1.0, p = 4, quadrupole moments (simulated)");
@@ -29,8 +35,12 @@ main()
 
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
-    core::StudyResult res = core::runBarnesStudy(
-        core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc);
+    std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
+        core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
+    jobs[0].name = "fig6-barnes";
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    const core::StudyResult &res = reports[0].result;
 
     std::cout << stats::renderSeries("Figure 6 (simulated)", "cache",
                               {res.curve});
@@ -75,5 +85,9 @@ main()
         "100% -> ~20%",
         "not visible: scratch lives in host locals in this "
         "instrumentation (see DESIGN.md)");
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

@@ -5,6 +5,8 @@
  * simulated on the synthetic head phantom with a rotating viewpoint.
  *
  * Plus the lev2WS growth check (4000 + 110 n bytes) of Section 7.2.
+ *
+ * Runner flags: --jobs N, --json PATH, --progress.
  */
 
 #include <iostream>
@@ -12,6 +14,7 @@
 #include "bench_util.hh"
 #include "core/presets.hh"
 #include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "model/volrend_model.hh"
 #include "stats/table.hh"
 #include "stats/units.hh"
@@ -19,8 +22,9 @@
 using namespace wsg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     bench::banner("Figure 7",
                   "Volume rendering read miss rate vs cache size, "
                   "phantom head, p = 4, rotating frames (simulated)");
@@ -28,9 +32,13 @@ main()
 
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
-    core::StudyResult res = core::runVolrendStudy(
+    std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
-        /*frames=*/2, /*warmup=*/1, sc);
+        /*frames=*/2, /*warmup=*/1, sc)};
+    jobs[0].name = "fig7-volrend";
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    const core::StudyResult &res = reports[0].result;
 
     std::cout << stats::renderSeries("Figure 7 (simulated, 96^3 phantom)",
                               "cache", {res.curve});
@@ -83,5 +91,9 @@ main()
                    std::to_string(res.aggregate.readCoherence) +
                        " coherence misses of " +
                        std::to_string(res.aggregate.reads) + " reads");
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

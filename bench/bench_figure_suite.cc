@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The whole figure suite through one parallel StudyRunner: every
+ * trace-driven simulation study behind Figures 2, 4, 5, 6 and 7 (ten
+ * independent studies) submitted as one batch.
+ *
+ * This is the throughput showcase for the runner: the studies are
+ * embarrassingly parallel, so `--jobs N` should cut wall-clock roughly
+ * N-fold up to the core count. The bench prints a per-study timing and
+ * simulated-refs/sec table plus batch totals; pass `--json PATH` to
+ * also emit the combined machine-readable artifact for all five
+ * figures, and `--progress` for live per-study lines on stderr.
+ *
+ * Determinism: the emitted curves and knees are byte-identical at any
+ * --jobs value (see src/core/study_runner.hh).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/presets.hh"
+#include "core/runners.hh"
+#include "core/study_runner.hh"
+#include "stats/table.hh"
+#include "stats/units.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+std::vector<core::StudyJob>
+figureSuiteJobs()
+{
+    std::vector<core::StudyJob> jobs;
+
+    // Figure 2: LU, B in {4, 16, 64}.
+    for (std::uint32_t B : {4u, 16u, 64u}) {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 16;
+        jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
+        jobs.back().name = "fig2-lu-B" + std::to_string(B);
+    }
+
+    // Figure 4: CG in 2-D and 3-D.
+    {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 16;
+        jobs.push_back(core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc));
+        jobs.back().name = "fig4-cg-2d";
+        jobs.push_back(core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc));
+        jobs.back().name = "fig4-cg-3d";
+    }
+
+    // Figure 5: FFT, internal radix in {2, 8, 32}.
+    for (std::uint32_t r : {2u, 8u, 32u}) {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 16;
+        jobs.push_back(core::fftStudyJob(core::presets::simFft(r), 1, 1, sc));
+        jobs.back().name = "fig5-fft-radix" + std::to_string(r);
+    }
+
+    // Figure 6: Barnes-Hut at the paper's exact configuration.
+    {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 64;
+        jobs.push_back(
+            core::barnesStudyJob(core::presets::simBarnesFig6(), 2, 1, sc));
+        jobs.back().name = "fig6-barnes";
+    }
+
+    // Figure 7: volume rendering of the phantom head.
+    {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 64;
+        jobs.push_back(core::volrendStudyJob(
+            core::presets::simVolrendDims(),
+            core::presets::simVolrendRender(), 2, 1, sc));
+        jobs.back().name = "fig7-volrend";
+    }
+
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
+    bench::banner("Figures 2-7 (suite)",
+                  "all trace-driven figure studies in one parallel batch");
+
+    std::vector<core::StudyJob> jobs = figureSuiteJobs();
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::cout << "running " << jobs.size() << " studies on "
+              << runner.workerCount() << " worker(s)\n\n";
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    stats::Table tab("per-study timing");
+    tab.header({"study", "ok", "refs", "seconds", "refs/s", "knees"});
+    double cpu_seconds = 0.0;
+    std::uint64_t total_refs = 0;
+    bool all_ok = true;
+    for (const auto &rep : reports) {
+        cpu_seconds += rep.seconds;
+        total_refs += rep.simRefs;
+        all_ok = all_ok && rep.ok;
+        tab.addRow({rep.name, rep.ok ? "yes" : ("FAILED: " + rep.error),
+                    stats::formatCount(static_cast<double>(rep.simRefs)),
+                    stats::formatRate(rep.seconds),
+                    stats::formatCount(rep.refsPerSec),
+                    std::to_string(rep.result.workingSets.size())});
+    }
+    std::cout << tab.render();
+
+    std::cout << "\nbatch totals: "
+              << stats::formatCount(static_cast<double>(total_refs))
+              << " simulated refs, " << wall << " s wall, " << cpu_seconds
+              << " s aggregate study time";
+    if (wall > 0.0)
+        std::cout << " (" << cpu_seconds / wall
+                  << "x concurrency achieved)";
+    std::cout << "\n";
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
+    return all_ok ? 0 : 1;
+}

@@ -5,9 +5,11 @@
  * drift, force accuracy against direct summation), and measure the
  * working-set hierarchy the force computation exhibits — then show how
  * the important working set scales with n and theta using the
- * analytical model.
+ * analytical model, confirmed by a parallel multi-theta simulation
+ * study batch.
  *
- * Usage: galaxy [bodies] [steps] [theta]
+ * Usage: galaxy [bodies] [steps] [theta] [--jobs N] [--json PATH]
+ *               [--progress]
  */
 
 #include <cmath>
@@ -16,6 +18,8 @@
 #include <iostream>
 
 #include "apps/barnes/barnes_hut.hh"
+#include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "core/working_set_study.hh"
 #include "model/barnes_model.hh"
 #include "model/scaling.hh"
@@ -28,6 +32,7 @@ using namespace wsg;
 int
 main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(
         std::atoi(argv[1])) : 1024;
     std::uint32_t steps = argc > 2 ? static_cast<std::uint32_t>(
@@ -109,5 +114,40 @@ main(int argc, char **argv)
                  "only logarithmically\nwith the problem, so a few "
                  "hundred KB of cache suffices far beyond any\nfeasible "
                  "simulation.\n";
+
+    // Confirm the theta sensitivity by simulation: one independent
+    // study per opening angle, run as a parallel batch (--jobs N).
+    std::cout << "\nsimulated theta sensitivity (parallel study batch, "
+              << "measured knees):\n";
+    std::vector<core::StudyJob> jobs;
+    for (double th : {0.6, 0.8, 1.0}) {
+        apps::barnes::BarnesConfig cfg = config;
+        cfg.theta = th;
+        core::StudyConfig sc;
+        sc.minCacheBytes = 64;
+        jobs.push_back(core::barnesStudyJob(cfg, 2, 1, sc));
+        jobs.back().name = "galaxy-theta" + stats::formatRate(th);
+    }
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    for (const auto &rep : reports) {
+        std::cout << "  " << rep.name << ": ";
+        if (!rep.ok) {
+            std::cout << "FAILED: " << rep.error << "\n";
+            continue;
+        }
+        if (rep.result.workingSets.empty())
+            std::cout << "no knee detected";
+        else
+            std::cout << "dominant knee at "
+                      << stats::formatBytes(
+                             rep.result.workingSets.back().sizeBytes);
+        std::cout << " (floor "
+                  << stats::formatRate(rep.result.floorRate) << ")\n";
+    }
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

@@ -5,9 +5,11 @@
  * noisy signal with the parallel FFT — forward transform, zero the
  * out-of-band bins, inverse transform — verify the recovered tone, and
  * report the communication economics that make the FFT the hard case of
- * the paper.
+ * the paper — then compare internal radices with a parallel study
+ * batch.
  *
- * Usage: spectral_filter [logN] [procs] [radix]
+ * Usage: spectral_filter [logN] [procs] [radix] [--jobs N]
+ *        [--json PATH] [--progress]
  */
 
 #include <cmath>
@@ -18,6 +20,8 @@
 #include <random>
 
 #include "apps/fft/parallel_fft.hh"
+#include "core/runners.hh"
+#include "core/study_runner.hh"
 #include "core/working_set_study.hh"
 #include "model/fft_model.hh"
 #include "sim/multiprocessor.hh"
@@ -29,6 +33,7 @@ using namespace wsg;
 int
 main(int argc, char **argv)
 {
+    core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     std::uint32_t logN = argc > 1 ? static_cast<std::uint32_t>(
         std::atoi(argv[1])) : 14;
     std::uint32_t procs = argc > 2 ? static_cast<std::uint32_t>(
@@ -112,5 +117,37 @@ main(int argc, char **argv)
                      model::FftModel::pointsPerProcForRatio(100.0) *
                      16.0)
               << " per processor -- \"clearly unrealistic\"\n";
+
+    // Which internal radix should the filter use? One independent
+    // study per radix, executed as a parallel batch (--jobs N).
+    std::cout << "\nradix comparison (parallel study batch):\n";
+    std::vector<core::StudyJob> jobs;
+    for (std::uint32_t r : {2u, 8u, 32u}) {
+        core::StudyConfig sc;
+        sc.minCacheBytes = 16;
+        apps::fft::FftConfig cfg{logN, procs, r};
+        jobs.push_back(core::fftStudyJob(cfg, 1, 1, sc));
+        jobs.back().name = "filter-radix" + std::to_string(r);
+    }
+    core::StudyRunner runner(core::cliRunnerConfig(cli));
+    std::vector<core::JobReport> reports = runner.run(jobs);
+    for (const auto &rep : reports) {
+        std::cout << "  " << rep.name << ": ";
+        if (!rep.ok) {
+            std::cout << "FAILED: " << rep.error << "\n";
+            continue;
+        }
+        std::cout << "floor "
+                  << stats::formatRate(rep.result.floorRate);
+        if (!rep.result.workingSets.empty())
+            std::cout << ", lev1WS "
+                      << stats::formatBytes(
+                             rep.result.workingSets[0].sizeBytes);
+        std::cout << "\n";
+    }
+
+    std::string dest = core::emitCliReport(cli, reports);
+    if (!dest.empty())
+        std::cerr << "wrote JSON artifact: " << dest << "\n";
     return 0;
 }

@@ -5,19 +5,168 @@
 namespace wsg::core
 {
 
+// Every study is defined once, as a job body; the serial run*Study
+// entry points execute the same body inline with an empty context.
+// Job bodies capture their configuration by value so the StudyJob can
+// outlive the caller's locals (benches build job vectors up front).
+
+StudyJob
+luStudyJob(const apps::lu::LuConfig &app_config,
+           const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "LU n=" + std::to_string(app_config.n) +
+               " B=" + std::to_string(app_config.blockSize);
+    job.body = [app_config, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
+        apps::lu::BlockedLu app(app_config, space, &mp);
+        app.randomize(1234);
+        app.factor();
+        return analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
+            "LU n=" + std::to_string(app_config.n) +
+                " B=" + std::to_string(app_config.blockSize),
+            ctx.pool);
+    };
+    return job;
+}
+
+StudyJob
+cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
+           std::uint32_t warmup_iters, const StudyConfig &study,
+           std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "CG " + std::to_string(app_config.dims) +
+               "-D n=" + std::to_string(app_config.n);
+    job.body = [app_config, iters, warmup_iters, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
+        apps::cg::GridCg app(app_config, space, &mp);
+        app.buildSystem();
+
+        mp.setMeasuring(false);
+        app.run(warmup_iters, 0.0);
+        std::uint64_t warm_flops = app.flops().totalFlops();
+        mp.setMeasuring(true);
+        app.run(iters, 0.0);
+
+        return analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop,
+            app.flops().totalFlops() - warm_flops,
+            "CG " + std::to_string(app_config.dims) +
+                "-D n=" + std::to_string(app_config.n),
+            ctx.pool);
+    };
+    return job;
+}
+
+StudyJob
+fftStudyJob(const apps::fft::FftConfig &app_config,
+            std::uint32_t transforms, std::uint32_t warmup_transforms,
+            const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "FFT logN=" + std::to_string(app_config.logN) +
+               " r=" + std::to_string(app_config.internalRadix);
+    job.body = [app_config, transforms, warmup_transforms, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({app_config.numProcs, line_bytes});
+        apps::fft::ParallelFft app(app_config, space, &mp);
+        for (std::uint64_t i = 0; i < app_config.N(); ++i)
+            app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
+                             std::cos(0.003 * static_cast<double>(i))});
+
+        mp.setMeasuring(false);
+        for (std::uint32_t t = 0; t < warmup_transforms; ++t)
+            app.forward();
+        std::uint64_t warm_flops = app.flops().totalFlops();
+        mp.setMeasuring(true);
+        for (std::uint32_t t = 0; t < transforms; ++t)
+            app.forward();
+
+        return analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop,
+            app.flops().totalFlops() - warm_flops,
+            "FFT logN=" + std::to_string(app_config.logN) +
+                " r=" + std::to_string(app_config.internalRadix),
+            ctx.pool);
+    };
+    return job;
+}
+
+StudyJob
+barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
+               std::uint32_t steps, std::uint32_t warmup_steps,
+               const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
+               " theta=" + std::to_string(app_config.theta).substr(0, 4);
+    job.body = [app_config, steps, warmup_steps, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({app_config.numProcs, line_bytes});
+        apps::barnes::BarnesHut app(app_config, space, &mp);
+        app.initPlummer();
+
+        mp.setMeasuring(false);
+        for (std::uint32_t s = 0; s < warmup_steps; ++s)
+            app.step();
+        mp.setMeasuring(true);
+        for (std::uint32_t s = 0; s < steps; ++s)
+            app.step();
+
+        return analyzeWorkingSets(
+            mp, study, Metric::ReadMissRate, 0,
+            "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
+                " theta=" +
+                std::to_string(app_config.theta).substr(0, 4),
+            ctx.pool);
+    };
+    return job;
+}
+
+StudyJob
+volrendStudyJob(const apps::volrend::VolumeDims &dims,
+                const apps::volrend::RenderConfig &render,
+                std::uint32_t frames, std::uint32_t warmup_frames,
+                const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "Volrend " + std::to_string(dims.nx) + "^3";
+    job.body = [dims, render, frames, warmup_frames, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp({render.numProcs, line_bytes});
+        apps::volrend::Volume vol(dims, space, &mp);
+        vol.buildHeadPhantom();
+        vol.buildOctree();
+        apps::volrend::Renderer renderer(render, vol, space, &mp);
+
+        mp.setMeasuring(false);
+        for (std::uint32_t f = 0; f < warmup_frames; ++f)
+            renderer.renderFrame();
+        mp.setMeasuring(true);
+        for (std::uint32_t f = 0; f < frames; ++f)
+            renderer.renderFrame();
+
+        return analyzeWorkingSets(
+            mp, study, Metric::ReadMissRate, 0,
+            "Volrend " + std::to_string(dims.nx) + "^3", ctx.pool);
+    };
+    return job;
+}
+
 StudyResult
 runLuStudy(const apps::lu::LuConfig &app_config, const StudyConfig &study,
            std::uint32_t line_bytes)
 {
-    trace::SharedAddressSpace space;
-    sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
-    apps::lu::BlockedLu app(app_config, space, &mp);
-    app.randomize(1234);
-    app.factor();
-    return analyzeWorkingSets(
-        mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
-        "LU n=" + std::to_string(app_config.n) +
-            " B=" + std::to_string(app_config.blockSize));
+    return luStudyJob(app_config, study, line_bytes).body(StudyContext{});
 }
 
 StudyResult
@@ -25,22 +174,8 @@ runCgStudy(const apps::cg::CgConfig &app_config, std::uint32_t iters,
            std::uint32_t warmup_iters, const StudyConfig &study,
            std::uint32_t line_bytes)
 {
-    trace::SharedAddressSpace space;
-    sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
-    apps::cg::GridCg app(app_config, space, &mp);
-    app.buildSystem();
-
-    mp.setMeasuring(false);
-    app.run(warmup_iters, 0.0);
-    std::uint64_t warm_flops = app.flops().totalFlops();
-    mp.setMeasuring(true);
-    app.run(iters, 0.0);
-
-    return analyzeWorkingSets(
-        mp, study, Metric::MissesPerFlop,
-        app.flops().totalFlops() - warm_flops,
-        "CG " + std::to_string(app_config.dims) +
-            "-D n=" + std::to_string(app_config.n));
+    return cgStudyJob(app_config, iters, warmup_iters, study, line_bytes)
+        .body(StudyContext{});
 }
 
 StudyResult
@@ -48,26 +183,9 @@ runFftStudy(const apps::fft::FftConfig &app_config,
             std::uint32_t transforms, std::uint32_t warmup_transforms,
             const StudyConfig &study, std::uint32_t line_bytes)
 {
-    trace::SharedAddressSpace space;
-    sim::Multiprocessor mp({app_config.numProcs, line_bytes});
-    apps::fft::ParallelFft app(app_config, space, &mp);
-    for (std::uint64_t i = 0; i < app_config.N(); ++i)
-        app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
-                         std::cos(0.003 * static_cast<double>(i))});
-
-    mp.setMeasuring(false);
-    for (std::uint32_t t = 0; t < warmup_transforms; ++t)
-        app.forward();
-    std::uint64_t warm_flops = app.flops().totalFlops();
-    mp.setMeasuring(true);
-    for (std::uint32_t t = 0; t < transforms; ++t)
-        app.forward();
-
-    return analyzeWorkingSets(
-        mp, study, Metric::MissesPerFlop,
-        app.flops().totalFlops() - warm_flops,
-        "FFT logN=" + std::to_string(app_config.logN) +
-            " r=" + std::to_string(app_config.internalRadix));
+    return fftStudyJob(app_config, transforms, warmup_transforms, study,
+                       line_bytes)
+        .body(StudyContext{});
 }
 
 StudyResult
@@ -75,22 +193,9 @@ runBarnesStudy(const apps::barnes::BarnesConfig &app_config,
                std::uint32_t steps, std::uint32_t warmup_steps,
                const StudyConfig &study, std::uint32_t line_bytes)
 {
-    trace::SharedAddressSpace space;
-    sim::Multiprocessor mp({app_config.numProcs, line_bytes});
-    apps::barnes::BarnesHut app(app_config, space, &mp);
-    app.initPlummer();
-
-    mp.setMeasuring(false);
-    for (std::uint32_t s = 0; s < warmup_steps; ++s)
-        app.step();
-    mp.setMeasuring(true);
-    for (std::uint32_t s = 0; s < steps; ++s)
-        app.step();
-
-    return analyzeWorkingSets(
-        mp, study, Metric::ReadMissRate, 0,
-        "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
-            " theta=" + std::to_string(app_config.theta).substr(0, 4));
+    return barnesStudyJob(app_config, steps, warmup_steps, study,
+                          line_bytes)
+        .body(StudyContext{});
 }
 
 StudyResult
@@ -99,23 +204,9 @@ runVolrendStudy(const apps::volrend::VolumeDims &dims,
                 std::uint32_t frames, std::uint32_t warmup_frames,
                 const StudyConfig &study, std::uint32_t line_bytes)
 {
-    trace::SharedAddressSpace space;
-    sim::Multiprocessor mp({render.numProcs, line_bytes});
-    apps::volrend::Volume vol(dims, space, &mp);
-    vol.buildHeadPhantom();
-    vol.buildOctree();
-    apps::volrend::Renderer renderer(render, vol, space, &mp);
-
-    mp.setMeasuring(false);
-    for (std::uint32_t f = 0; f < warmup_frames; ++f)
-        renderer.renderFrame();
-    mp.setMeasuring(true);
-    for (std::uint32_t f = 0; f < frames; ++f)
-        renderer.renderFrame();
-
-    return analyzeWorkingSets(
-        mp, study, Metric::ReadMissRate, 0,
-        "Volrend " + std::to_string(dims.nx) + "^3");
+    return volrendStudyJob(dims, render, frames, warmup_frames, study,
+                           line_bytes)
+        .body(StudyContext{});
 }
 
 } // namespace wsg::core

@@ -4,6 +4,12 @@
  * Multiprocessor (with warm-up excluded per Section 2.2), and analyze
  * the working sets. Shared by the figure benches, the integration tests
  * and the examples.
+ *
+ * Each study exists in two forms: a `*StudyJob` factory producing a
+ * schedulable StudyJob for the parallel StudyRunner, and a serial
+ * `run*Study` wrapper that executes the identical job body inline.
+ * Because both forms share one code path, the runner's determinism
+ * guarantee (parallel == serial, byte for byte) is structural.
  */
 
 #ifndef WSG_CORE_RUNNERS_HH
@@ -17,10 +23,49 @@
 #include "apps/lu/blocked_lu.hh"
 #include "apps/volrend/renderer.hh"
 #include "apps/volrend/volume.hh"
+#include "core/study_runner.hh"
 #include "core/working_set_study.hh"
 
 namespace wsg::core
 {
+
+/**
+ * Schedulable form of runLuStudy: the job builds its own address space,
+ * Multiprocessor and application, so any number of instances can run
+ * concurrently.
+ */
+StudyJob luStudyJob(const apps::lu::LuConfig &app_config,
+                    const StudyConfig &study = {},
+                    std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runCgStudy. */
+StudyJob cgStudyJob(const apps::cg::CgConfig &app_config,
+                    std::uint32_t iters = 3,
+                    std::uint32_t warmup_iters = 1,
+                    const StudyConfig &study = {},
+                    std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runFftStudy. */
+StudyJob fftStudyJob(const apps::fft::FftConfig &app_config,
+                     std::uint32_t transforms = 1,
+                     std::uint32_t warmup_transforms = 1,
+                     const StudyConfig &study = {},
+                     std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runBarnesStudy. */
+StudyJob barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
+                        std::uint32_t steps = 2,
+                        std::uint32_t warmup_steps = 1,
+                        const StudyConfig &study = {},
+                        std::uint32_t line_bytes = 32);
+
+/** Schedulable form of runVolrendStudy. */
+StudyJob volrendStudyJob(const apps::volrend::VolumeDims &dims,
+                         const apps::volrend::RenderConfig &render,
+                         std::uint32_t frames = 2,
+                         std::uint32_t warmup_frames = 1,
+                         const StudyConfig &study = {},
+                         std::uint32_t line_bytes = 16);
 
 /**
  * Run a blocked LU factorization and analyze misses/FLOP.

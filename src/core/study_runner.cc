@@ -1,0 +1,273 @@
+#include "core/study_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/json_report.hh"
+#include "stats/units.hh"
+
+namespace wsg::core
+{
+
+StudyRunner::StudyRunner(const RunnerConfig &config)
+    : workers_(config.jobs == 0 ? ThreadPool::hardwareThreads()
+                                : config.jobs),
+      onProgress_(config.onProgress)
+{
+    if (workers_ > 1)
+        pool_ = std::make_unique<ThreadPool>(workers_);
+}
+
+StudyRunner::~StudyRunner() = default;
+
+void
+StudyRunner::emit(const JobEvent &event)
+{
+    if (!onProgress_)
+        return;
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    onProgress_(event);
+}
+
+JobReport
+StudyRunner::runOne(const StudyJob &job, std::size_t index,
+                    std::size_t total)
+{
+    JobEvent started;
+    started.kind = JobEvent::Kind::Started;
+    started.index = index;
+    started.total = total;
+    started.name = job.name;
+    emit(started);
+
+    JobReport report;
+    report.name = job.name;
+    StudyContext ctx;
+    ctx.pool = pool_.get();
+
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        report.result = job.body(ctx);
+        report.ok = true;
+    } catch (const std::exception &e) {
+        report.error = e.what();
+    } catch (...) {
+        report.error = "unknown exception";
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    report.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    report.simRefs =
+        report.result.aggregate.reads + report.result.aggregate.writes;
+    report.refsPerSec =
+        report.seconds > 0.0
+            ? static_cast<double>(report.simRefs) / report.seconds
+            : 0.0;
+
+    JobEvent finished;
+    finished.kind = JobEvent::Kind::Finished;
+    finished.index = index;
+    finished.total = total;
+    finished.name = job.name;
+    finished.seconds = report.seconds;
+    finished.simRefs = report.simRefs;
+    finished.refsPerSec = report.refsPerSec;
+    emit(finished);
+    return report;
+}
+
+std::vector<JobReport>
+StudyRunner::run(const std::vector<StudyJob> &jobs)
+{
+    std::size_t n = jobs.size();
+    if (!pool_) {
+        std::vector<JobReport> reports;
+        reports.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            reports.push_back(runOne(jobs[i], i, n));
+        return reports;
+    }
+
+    // One cache-line-aligned slot per job so concurrently finishing
+    // workers never write into the same line (host false sharing).
+    struct alignas(64) Slot
+    {
+        JobReport report;
+    };
+    std::vector<Slot> slots(n);
+    std::atomic<std::size_t> remaining{n};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pool_->submit([this, &jobs, &slots, &remaining, &done_mutex,
+                       &done_cv, i, n]() {
+            slots[i].report = runOne(jobs[i], i, n);
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&remaining] {
+            return remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    std::vector<JobReport> reports;
+    reports.reserve(n);
+    for (Slot &slot : slots)
+        reports.push_back(std::move(slot.report));
+    return reports;
+}
+
+void
+writeJsonReport(std::ostream &os,
+                const std::vector<JobReport> &reports,
+                bool include_timings)
+{
+    stats::JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "wsg-study-report-v1");
+    w.key("studies");
+    w.beginArray();
+    for (const JobReport &r : reports) {
+        w.beginObject();
+        w.member("name", r.name);
+        w.member("ok", r.ok);
+        if (!r.ok)
+            w.member("error", r.error);
+        w.key("curve");
+        stats::writeCurve(w, r.result.curve);
+        w.key("working_sets");
+        stats::writeWorkingSets(w, r.result.workingSets);
+        w.member("max_footprint_bytes", r.result.maxFootprintBytes);
+        w.member("floor_rate", r.result.floorRate);
+        w.key("aggregate");
+        w.beginObject();
+        const sim::ProcStats &agg = r.result.aggregate;
+        w.member("reads", agg.reads);
+        w.member("writes", agg.writes);
+        w.member("read_cold", agg.readCold);
+        w.member("read_coherence", agg.readCoherence);
+        w.member("write_cold", agg.writeCold);
+        w.member("write_coherence", agg.writeCoherence);
+        w.member("updates_sent", agg.updatesSent);
+        w.endObject();
+        if (include_timings) {
+            w.key("timing");
+            w.beginObject();
+            w.member("seconds", r.seconds);
+            w.member("sim_refs", r.simRefs);
+            w.member("refs_per_sec", r.refsPerSec);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+jsonReport(const std::vector<JobReport> &reports, bool include_timings)
+{
+    std::ostringstream os;
+    writeJsonReport(os, reports, include_timings);
+    return os.str();
+}
+
+RunnerCli
+parseRunnerCli(int &argc, char **argv)
+{
+    RunnerCli cli;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto fail = [](const std::string &message) {
+            std::cerr << "error: " << message << "\n";
+            std::exit(2);
+        };
+        auto next_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        auto parse_jobs = [&](const std::string &text) -> unsigned {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(text.c_str(), &end, 10);
+            if (text.empty() || end != text.c_str() + text.size())
+                fail("--jobs needs a non-negative integer, got '" +
+                     text + "'");
+            return static_cast<unsigned>(v);
+        };
+        if (arg == "--jobs") {
+            cli.jobs = parse_jobs(next_value("--jobs"));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            cli.jobs = parse_jobs(arg.substr(7));
+        } else if (arg == "--json") {
+            cli.jsonPath = next_value("--json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            cli.jsonPath = arg.substr(7);
+        } else if (arg == "--progress") {
+            cli.progress = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return cli;
+}
+
+RunnerConfig
+cliRunnerConfig(const RunnerCli &cli)
+{
+    RunnerConfig config;
+    config.jobs = cli.jobs;
+    if (cli.progress) {
+        config.onProgress = [](const JobEvent &e) {
+            if (e.kind == JobEvent::Kind::Started) {
+                std::cerr << "[" << e.index + 1 << "/" << e.total
+                          << "] " << e.name << " ...\n";
+            } else {
+                std::cerr << "[" << e.index + 1 << "/" << e.total
+                          << "] " << e.name << " done in " << e.seconds
+                          << " s ("
+                          << stats::formatCount(e.refsPerSec)
+                          << " simulated refs/s)\n";
+            }
+        };
+    }
+    return config;
+}
+
+std::string
+emitCliReport(const RunnerCli &cli,
+              const std::vector<JobReport> &reports)
+{
+    if (cli.jsonPath.empty())
+        return "";
+    if (cli.jsonPath == "-") {
+        writeJsonReport(std::cout, reports);
+        return "stdout";
+    }
+    std::ofstream file(cli.jsonPath);
+    if (!file) {
+        std::cerr << "error: cannot open JSON report path: "
+                  << cli.jsonPath << "\n";
+        std::exit(2);
+    }
+    writeJsonReport(file, reports);
+    return cli.jsonPath;
+}
+
+} // namespace wsg::core

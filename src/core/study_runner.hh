@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Parallel study runner with run observability.
+ *
+ * The paper's artifact is a family of miss-rate-versus-cache-size curves
+ * obtained by re-running applications across many configurations. The
+ * studies are embarrassingly parallel — each owns its Multiprocessor,
+ * its address space, and its RNG seeds — so this runner executes them
+ * concurrently on a ThreadPool and additionally parallelizes the curve
+ * point evaluation *inside* each study (CurveSpec::parallelFor).
+ *
+ * Determinism guarantee: a study executed through the runner produces
+ * byte-identical curves, knees, and aggregate counters to a serial run,
+ * at any worker count. This holds because (1) each study job is
+ * internally sequential and shares no mutable state with its siblings,
+ * (2) curve points are pure functions of immutable histograms written
+ * to index-addressed slots and assembled in index order, and (3) job
+ * reports are returned in submission order regardless of completion
+ * order. test_core_runner.cc enforces the guarantee at 2/4/8 workers.
+ *
+ * Observability: every job is wall-clock timed, its simulated-reference
+ * throughput is computed from the aggregate counters, and an optional
+ * progress callback sees start/finish events as they happen. The whole
+ * batch can be serialized as diffable JSON (stats/json_report).
+ */
+
+#ifndef WSG_CORE_STUDY_RUNNER_HH
+#define WSG_CORE_STUDY_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hh"
+#include "core/working_set_study.hh"
+
+namespace wsg::core
+{
+
+/** Handed to every study body; carries the parallel resources. */
+struct StudyContext
+{
+    /**
+     * Pool for intra-study parallelism (curve point evaluation), or
+     * null when running serially. Pass to analyzeWorkingSets / wire
+     * into CurveSpec::parallelFor.
+     */
+    ThreadPool *pool = nullptr;
+};
+
+/** One schedulable unit: a named, self-contained study. */
+struct StudyJob
+{
+    /** Display / report name; also the JSON object key material. */
+    std::string name;
+    /** Builds, runs, and analyzes the study. Must not share mutable
+     *  state with other jobs (each constructs its own Multiprocessor). */
+    std::function<StudyResult(const StudyContext &)> body;
+};
+
+/** Progress event passed to the observer callback. */
+struct JobEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Started,
+        Finished,
+    };
+    Kind kind = Kind::Started;
+    /** Submission index of the job. */
+    std::size_t index = 0;
+    /** Total jobs in the batch. */
+    std::size_t total = 0;
+    std::string name;
+    /** Valid for Finished events. */
+    double seconds = 0.0;
+    std::uint64_t simRefs = 0;
+    double refsPerSec = 0.0;
+};
+
+/** Outcome of one job, in submission order. */
+struct JobReport
+{
+    std::string name;
+    StudyResult result;
+    /** Wall-clock duration of the job body. */
+    double seconds = 0.0;
+    /** Simulated references (reads + writes) the study measured. */
+    std::uint64_t simRefs = 0;
+    /** Simulated references per wall-clock second. */
+    double refsPerSec = 0.0;
+    /** False when the body threw; `error` holds the message. */
+    bool ok = false;
+    std::string error;
+};
+
+/** Runner configuration. */
+struct RunnerConfig
+{
+    /**
+     * Worker count: 0 = one per hardware thread, 1 = serial (jobs run
+     * inline on the calling thread, no pool is created), N = pool of N.
+     */
+    unsigned jobs = 0;
+    /** Optional progress observer; invoked serialized (never two calls
+     *  concurrently), from worker threads. */
+    std::function<void(const JobEvent &)> onProgress;
+};
+
+/**
+ * Runs batches of StudyJobs. The pool is created once per runner and
+ * reused across run() calls.
+ */
+class StudyRunner
+{
+  public:
+    explicit StudyRunner(const RunnerConfig &config = {});
+    ~StudyRunner();
+
+    StudyRunner(const StudyRunner &) = delete;
+    StudyRunner &operator=(const StudyRunner &) = delete;
+
+    /** Resolved worker count (>= 1; 1 means serial). */
+    unsigned workerCount() const { return workers_; }
+
+    /** Pool backing this runner, or null in serial mode. */
+    ThreadPool *pool() { return pool_.get(); }
+
+    /**
+     * Execute every job and return reports in submission order.
+     * A throwing job yields a report with ok == false; it never takes
+     * down the batch.
+     */
+    std::vector<JobReport> run(const std::vector<StudyJob> &jobs);
+
+  private:
+    unsigned workers_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::function<void(const JobEvent &)> onProgress_;
+    std::mutex progressMutex_;
+
+    JobReport runOne(const StudyJob &job, std::size_t index,
+                     std::size_t total);
+    void emit(const JobEvent &event);
+};
+
+/**
+ * Serialize a batch of job reports as a diffable JSON document:
+ * {"studies": [{name, curve, working_sets, stats, [timing]}...]}.
+ *
+ * @param include_timings Add wall-clock/throughput per study. Off by
+ *        default so regenerated artifacts diff cleanly across machines.
+ */
+void writeJsonReport(std::ostream &os,
+                     const std::vector<JobReport> &reports,
+                     bool include_timings = false);
+
+/** writeJsonReport into a string. */
+std::string jsonReport(const std::vector<JobReport> &reports,
+                       bool include_timings = false);
+
+/**
+ * Parsed command-line options shared by the benches and examples that
+ * drive the runner.
+ */
+struct RunnerCli
+{
+    /** --jobs N (0 = auto). */
+    unsigned jobs = 1;
+    /** --json PATH: write the batch's JSON artifact here ("" = off,
+     *  "-" = stdout). */
+    std::string jsonPath;
+    /** --progress: emit live per-job progress lines on stderr. */
+    bool progress = false;
+};
+
+/**
+ * Extract --jobs/--json/--progress from argv, *removing* the consumed
+ * arguments so positional parameters keep their indices for the caller.
+ * A malformed runner flag (missing or non-numeric value) prints an
+ * error on stderr and exits with status 2.
+ */
+RunnerCli parseRunnerCli(int &argc, char **argv);
+
+/** RunnerConfig for a parsed CLI: worker count + optional stderr
+ *  progress printer ("[k/n] name ... 0.42 s, 1.3 Mref/s"). */
+RunnerConfig cliRunnerConfig(const RunnerCli &cli);
+
+/**
+ * Emit the batch artifact per the CLI: no-op when --json was absent,
+ * stdout for "-", else the named file. Returns the destination
+ * description ("" when disabled) for logging. An unwritable path
+ * prints an error on stderr and exits with status 2.
+ */
+std::string emitCliReport(const RunnerCli &cli,
+                          const std::vector<JobReport> &reports);
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_STUDY_RUNNER_HH

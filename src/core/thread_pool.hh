@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the parallel study runner.
+ *
+ * Design constraints (see DESIGN.md and the study-runner README section):
+ *
+ *  - Jobs are plain std::function<void()> drained from a FIFO queue by a
+ *    fixed set of worker threads — no work stealing between queues, so
+ *    there is exactly one shared queue to reason about.
+ *  - parallelFor() distributes loop iterations through a shared atomic
+ *    cursor that the *calling thread also drains*. This makes nested use
+ *    safe: a study job running on a pool worker can parallelFor its
+ *    curve points even when every other worker is busy — the caller
+ *    simply computes the iterations itself and never blocks on queue
+ *    space. Helper tasks that arrive after the cursor is exhausted are
+ *    no-ops.
+ *  - Iterations are claimed in blocks (kForGrain) so neighbouring output
+ *    slots — typically adjacent doubles in a curve's y vector — are
+ *    written by one thread, keeping host false sharing to the block
+ *    boundaries (cf. Cole & Ramachandran's analysis of false sharing in
+ *    randomized schedulers).
+ *
+ * Determinism: the pool never reorders *results*. parallelFor writes to
+ * caller-owned, index-addressed slots, and the study runner assembles
+ * outputs in submission order, so anything computed through the pool is
+ * bit-identical to a serial run.
+ */
+
+#ifndef WSG_CORE_THREAD_POOL_HH
+#define WSG_CORE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsg::core
+{
+
+/** A fixed-size thread pool with a shared FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks hardwareThreads().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending jobs are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue a job for asynchronous execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and every job has finished. */
+    void waitIdle();
+
+    /**
+     * Run body(0) .. body(n-1), cooperatively with the pool. The calling
+     * thread participates, so this is safe to call from inside a pool
+     * job (nested parallelism degrades to the caller doing the work).
+     * Returns when every iteration has completed.
+     *
+     * The iteration order is unspecified; callers must write results to
+     * index-addressed slots for deterministic output.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    /** Iterations claimed per cursor bump in parallelFor. */
+    static constexpr std::size_t kForGrain = 8;
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_THREAD_POOL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/thread_pool.hh"
 #include "stats/table.hh"
 #include "stats/units.hh"
 
@@ -12,7 +13,8 @@ namespace wsg::core
 StudyResult
 analyzeWorkingSets(const sim::Multiprocessor &mp,
                    const StudyConfig &config, Metric metric,
-                   std::uint64_t total_flops, const std::string &name)
+                   std::uint64_t total_flops, const std::string &name,
+                   ThreadPool *pool)
 {
     StudyResult result;
     result.maxFootprintBytes = mp.maxFootprintBytes();
@@ -27,6 +29,13 @@ analyzeWorkingSets(const sim::Multiprocessor &mp,
         sim::sweepSizes(config.minCacheBytes, max_bytes,
                         config.pointsPerOctave, mp.config().lineBytes);
     spec.includeCold = config.includeCold;
+    if (pool != nullptr) {
+        spec.parallelFor = [pool](std::size_t n,
+                                  const std::function<void(std::size_t)>
+                                      &body) {
+            pool->parallelFor(n, body);
+        };
+    }
 
     result.curve = metric == Metric::MissesPerFlop
                        ? mp.missesPerFlopCurve(spec, total_flops, name)

@@ -24,6 +24,8 @@
 namespace wsg::core
 {
 
+class ThreadPool;
+
 /** Which miss metric a study reports (Section 2.2). */
 enum class Metric : std::uint8_t
 {
@@ -72,11 +74,15 @@ struct StudyResult
  * @param metric Metric to build the curve in.
  * @param total_flops FLOPs for MissesPerFlop (ignored otherwise).
  * @param name Curve name for display.
+ * @param pool Optional thread pool: curve points are then evaluated in
+ *        parallel (bit-identical to the serial evaluation, see
+ *        CurveSpec::parallelFor).
  */
 StudyResult analyzeWorkingSets(const sim::Multiprocessor &mp,
                                const StudyConfig &config, Metric metric,
                                std::uint64_t total_flops,
-                               const std::string &name);
+                               const std::string &name,
+                               ThreadPool *pool = nullptr);
 
 /** Render a StudyResult as a small report (curve + knees + counters). */
 std::string describeStudy(const StudyResult &result);

@@ -160,6 +160,37 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
     }
 }
 
+namespace
+{
+
+/**
+ * Evaluate y(cache size) at every sweep point — through the spec's
+ * parallel-for hook when one is attached — and assemble the curve in
+ * index order so the result is identical either way.
+ */
+stats::Curve
+evalCurvePoints(const CurveSpec &spec, const std::string &name,
+                const std::function<double(std::uint64_t)> &y_at)
+{
+    stats::Curve curve(name);
+    std::vector<double> ys(spec.cacheSizesBytes.size(), 0.0);
+    auto eval_point = [&](std::size_t i) {
+        ys[i] = y_at(spec.cacheSizesBytes[i]);
+    };
+    if (spec.parallelFor) {
+        spec.parallelFor(ys.size(), eval_point);
+    } else {
+        for (std::size_t i = 0; i < ys.size(); ++i)
+            eval_point(i);
+    }
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        curve.addPoint(static_cast<double>(spec.cacheSizesBytes[i]),
+                       ys[i]);
+    return curve;
+}
+
+} // namespace
+
 ProcStats
 Multiprocessor::aggregateStats() const
 {
@@ -185,18 +216,15 @@ Multiprocessor::readMissRateCurve(const CurveSpec &spec,
                                   const std::string &name) const
 {
     ProcStats agg = aggregateStats();
-    stats::Curve curve(name);
     if (agg.reads == 0)
-        return curve;
-    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        return stats::Curve(name);
+    return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
         double misses = static_cast<double>(
             agg.readMissesAt(lines, spec.includeCold));
-        curve.addPoint(static_cast<double>(bytes),
-                       misses / static_cast<double>(agg.reads));
-    }
-    return curve;
+        return misses / static_cast<double>(agg.reads);
+    });
 }
 
 stats::Curve
@@ -204,18 +232,15 @@ Multiprocessor::procReadMissRateCurve(ProcId pid, const CurveSpec &spec,
                                       const std::string &name) const
 {
     const ProcStats &st = stats_[pid];
-    stats::Curve curve(name);
     if (st.reads == 0)
-        return curve;
-    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        return stats::Curve(name);
+    return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
         double misses = static_cast<double>(
             st.readMissesAt(lines, spec.includeCold));
-        curve.addPoint(static_cast<double>(bytes),
-                       misses / static_cast<double>(st.reads));
-    }
-    return curve;
+        return misses / static_cast<double>(st.reads);
+    });
 }
 
 stats::Curve
@@ -224,23 +249,20 @@ Multiprocessor::missesPerFlopCurve(const CurveSpec &spec,
                                    const std::string &name) const
 {
     ProcStats agg = aggregateStats();
-    stats::Curve curve(name);
     if (total_flops == 0)
-        return curve;
+        return stats::Curve(name);
     // The paper counts *double-word* misses; a wider line miss fetches
     // lineBytes/8 double words.
     double words_per_line =
         static_cast<double>(config_.lineBytes) / 8.0;
-    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+    return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
         double misses = static_cast<double>(
             agg.readMissesAt(lines, spec.includeCold));
-        curve.addPoint(static_cast<double>(bytes),
-                       misses * words_per_line /
-                           static_cast<double>(total_flops));
-    }
-    return curve;
+        return misses * words_per_line /
+               static_cast<double>(total_flops);
+    });
 }
 
 stats::Curve
@@ -249,21 +271,18 @@ Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
                                     const std::string &name) const
 {
     ProcStats agg = aggregateStats();
-    stats::Curve curve(name);
     if (total_flops == 0)
-        return curve;
-    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        return stats::Curve(name);
+    return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
         double fills = static_cast<double>(
             agg.readMissesAt(lines, spec.includeCold));
         double writes = static_cast<double>(
             agg.writeMissesAt(lines, spec.includeCold));
-        curve.addPoint(static_cast<double>(bytes),
-                       (fills + 2.0 * writes) * config_.lineBytes /
-                           static_cast<double>(total_flops));
-    }
-    return curve;
+        return (fills + 2.0 * writes) * config_.lineBytes /
+               static_cast<double>(total_flops);
+    });
 }
 
 std::uint64_t

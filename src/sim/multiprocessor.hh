@@ -25,6 +25,7 @@
 #ifndef WSG_SIM_MULTIPROCESSOR_HH
 #define WSG_SIM_MULTIPROCESSOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -107,6 +108,19 @@ struct CurveSpec
     std::vector<std::uint64_t> cacheSizesBytes;
     /** Include cold misses in the miss counts. */
     bool includeCold = false;
+    /**
+     * Optional parallel-for hook for point evaluation, called as
+     * parallelFor(n, body) with body(i) evaluating the i-th cache size.
+     * Null means serial evaluation. Each point is a pure function of the
+     * (immutable) per-processor histograms and its own cache size, and
+     * points are assembled into the curve in index order afterwards, so
+     * the resulting curve is bit-identical to a serial evaluation —
+     * this is the determinism guarantee the study runner relies on.
+     * core::ThreadPool::parallelFor matches this signature.
+     */
+    std::function<void(std::size_t,
+                       const std::function<void(std::size_t)> &)>
+        parallelFor;
 };
 
 /**

@@ -1,0 +1,196 @@
+#include "stats/json_report.hh"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace wsg::stats
+{
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    assert(ec == std::errc());
+    (void)ec;
+    return std::string(buf, ptr);
+}
+
+std::string
+JsonWriter::quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += esc;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os_ << '\n'
+        << std::string(2 * scopeIsObject_.size(), ' ');
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (scopeIsObject_.empty())
+        return; // root value
+    assert(!scopeIsObject_.back() &&
+           "object members need key() before a value");
+    if (scopeHasElement_.back())
+        os_ << ", ";
+    scopeHasElement_.back() = true;
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    assert(!scopeIsObject_.empty() && scopeIsObject_.back());
+    if (scopeHasElement_.back())
+        os_ << ',';
+    scopeHasElement_.back() = true;
+    newlineIndent();
+    os_ << quote(name) << ": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+    } else if (!scopeIsObject_.empty() && !scopeIsObject_.back()) {
+        // Array-of-object elements each start on their own line.
+        if (scopeHasElement_.back())
+            os_ << ',';
+        scopeHasElement_.back() = true;
+        newlineIndent();
+    }
+    os_ << '{';
+    scopeIsObject_.push_back(true);
+    scopeHasElement_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    assert(!scopeIsObject_.empty() && scopeIsObject_.back());
+    bool had = scopeHasElement_.back();
+    scopeIsObject_.pop_back();
+    scopeHasElement_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << '[';
+    scopeIsObject_.push_back(false);
+    scopeHasElement_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    assert(!scopeIsObject_.empty() && !scopeIsObject_.back());
+    scopeIsObject_.pop_back();
+    scopeHasElement_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    os_ << quote(v);
+}
+
+void
+JsonWriter::value(double v)
+{
+    separator();
+    os_ << formatDouble(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separator();
+    os_ << (v ? "true" : "false");
+}
+
+void
+writeCurve(JsonWriter &w, const Curve &curve)
+{
+    w.beginObject();
+    w.member("name", curve.name());
+    w.key("x");
+    w.beginArray();
+    for (const CurvePoint &p : curve.points())
+        w.value(p.x);
+    w.endArray();
+    w.key("y");
+    w.beginArray();
+    for (const CurvePoint &p : curve.points())
+        w.value(p.y);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeWorkingSets(JsonWriter &w, const std::vector<WorkingSet> &sets)
+{
+    w.beginArray();
+    for (const WorkingSet &ws : sets) {
+        w.beginObject();
+        w.member("level", static_cast<std::uint64_t>(
+                              ws.level < 0 ? 0 : ws.level));
+        w.member("size_bytes", ws.sizeBytes);
+        w.member("core_size_bytes", ws.coreSizeBytes);
+        w.member("miss_rate_before", ws.missRateBefore);
+        w.member("miss_rate_after", ws.missRateAfter);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace wsg::stats

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine-readable JSON emission for study artifacts.
+ *
+ * The figure benches historically printed human-oriented tables only;
+ * this writer turns curves, working-set hierarchies, and counters into
+ * stable, diffable JSON so regenerated figure data can be committed and
+ * compared across machines and revisions.
+ *
+ * Determinism/diffability rules:
+ *  - keys are emitted in the order the caller writes them (no hashing),
+ *  - doubles are printed with std::to_chars shortest round-trip form,
+ *    so equal values always serialize to equal bytes,
+ *  - indentation is fixed two-space, arrays of numbers stay on one line.
+ */
+
+#ifndef WSG_STATS_JSON_REPORT_HH
+#define WSG_STATS_JSON_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/curve.hh"
+#include "stats/knee.hh"
+
+namespace wsg::stats
+{
+
+/**
+ * Minimal streaming JSON writer. The caller is responsible for writing
+ * a well-formed document (the writer tracks nesting and commas, and
+ * asserts on key/value misuse in debug builds).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** Serialize a double in shortest round-trip form ("1e99"-safe). */
+    static std::string formatDouble(double v);
+
+    /** Escape and quote a JSON string. */
+    static std::string quote(const std::string &s);
+
+    // Structure.
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Write the key of the next member (inside an object). */
+    void key(const std::string &name);
+
+    // Values (as array elements or after key()).
+    void value(const std::string &v);
+    void value(const char *v) { value(std::string(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::uint64_t>(v < 0 ? 0 : v)); }
+    void value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void separator();
+    void newlineIndent();
+
+    std::ostream &os_;
+    /** One entry per open scope: true = object (expects keys). */
+    std::vector<bool> scopeIsObject_;
+    /** Parallel to scopeIsObject_: element already written in scope. */
+    std::vector<bool> scopeHasElement_;
+    bool pendingKey_ = false;
+};
+
+/** Emit a curve as {"name": ..., "x": [...], "y": [...]}. */
+void writeCurve(JsonWriter &w, const Curve &curve);
+
+/** Emit a working-set hierarchy as an array of knee objects. */
+void writeWorkingSets(JsonWriter &w,
+                      const std::vector<WorkingSet> &sets);
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_JSON_REPORT_HH

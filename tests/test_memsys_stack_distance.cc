@@ -139,6 +139,68 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StackDistanceRandom,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u,
                                            606u, 707u, 808u));
 
+/**
+ * Property: on long random traces whose *interleaved invalidations*
+ * create tombstones that survive timestamp compaction, the Fenwick
+ * profiler still agrees with the naive stack on the Cold / Coherence /
+ * Finite classification of EVERY reference, on every distance, and on
+ * the live-line count. The trace length (160k references per seed) is
+ * well past the 2^16 initial slot capacity, so each run crosses
+ * multiple compactions *with tombstones present* — the case the plain
+ * CompactionPreservesBehaviour test (no invalidations) never reaches.
+ */
+class StackDistanceCompaction : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(StackDistanceCompaction, InvalidationsSurviveCompaction)
+{
+    constexpr int kRefs = 160000; // > 2 compactions at 2^16 slots
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<Addr> addr(0, 319);
+    StackDistanceProfiler fast;
+    NaiveStackProfiler slow;
+
+    int seen_cold = 0, seen_coherence = 0, seen_finite = 0;
+    int invalidations = 0;
+    for (int i = 0; i < kRefs; ++i) {
+        Addr a = addr(rng);
+        if (rng() % 7 == 0) {
+            ASSERT_EQ(fast.invalidate(a), slow.invalidate(a))
+                << "step " << i << " addr " << a;
+            ASSERT_EQ(fast.liveLines(), slow.liveLines())
+                << "step " << i;
+            ++invalidations;
+            continue;
+        }
+        DistanceSample f = fast.access(a);
+        DistanceSample s = slow.access(a);
+        ASSERT_EQ(static_cast<int>(f.kind), static_cast<int>(s.kind))
+            << "step " << i << " addr " << a;
+        switch (f.kind) {
+          case RefClass::Cold: ++seen_cold; break;
+          case RefClass::Coherence: ++seen_coherence; break;
+          case RefClass::Finite:
+            ++seen_finite;
+            ASSERT_EQ(f.distance, s.distance)
+                << "step " << i << " addr " << a;
+            break;
+        }
+        ASSERT_EQ(fast.liveLines(), slow.liveLines()) << "step " << i;
+    }
+    // The trace must actually have exercised all three classes and the
+    // invalidation path, or this property test proves nothing.
+    EXPECT_EQ(seen_cold, 320);
+    EXPECT_GT(seen_coherence, 1000);
+    EXPECT_GT(seen_finite, 100000);
+    EXPECT_GT(invalidations, 10000);
+    // And the footprint must count every line ever touched, not just
+    // the live ones.
+    EXPECT_EQ(fast.touchedLines(), 320u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackDistanceCompaction,
+                         ::testing::Values(1u, 42u, 20260805u));
+
 TEST(StackDistance, SequentialScanDistances)
 {
     // Scanning K distinct lines repeatedly: after warm-up, every access

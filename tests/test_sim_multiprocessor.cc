@@ -27,6 +27,25 @@ TEST(Multiprocessor, ConfigValidation)
     EXPECT_EQ(ok.config().numProcs, 64u);
 }
 
+TEST(Multiprocessor, NumProcsAbove64RejectedNotCorrupted)
+{
+    // DirEntry.sharers is a u64 bitmask: a 65th processor would shift
+    // past the top bit and silently alias sharer sets. The constructor
+    // must refuse rather than corrupt.
+    for (std::uint32_t procs : {65u, 128u, 1024u}) {
+        EXPECT_THROW(Multiprocessor({procs, 8}), std::invalid_argument)
+            << procs << " processors";
+    }
+    // The highest legal pid (63) must drive the full-width mask
+    // correctly: a write by pid 63 invalidates pid 0's copy.
+    Multiprocessor mp({64, 8});
+    mp.read(0, 0, 8);
+    mp.read(63, 0, 8);
+    mp.write(63, 0, 8);
+    mp.read(0, 0, 8);
+    EXPECT_EQ(mp.procStats(0).readCoherence, 1u);
+}
+
 TEST(Multiprocessor, WideAccessSplitsIntoLines)
 {
     Multiprocessor mp({1, 8});

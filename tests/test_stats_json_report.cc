@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the JSON report writer: structural correctness,
+ * escaping, shortest-round-trip double formatting, and byte-stable
+ * output for equal inputs (the diffable-artifact property).
+ */
+
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/json_report.hh"
+
+using namespace wsg::stats;
+
+TEST(JsonWriter, FormatDoubleRoundTrips)
+{
+    for (double v : {0.0, 1.0, -1.5, 0.0625, 1.0 / 3.0, 1e-12, 2.5e300}) {
+        std::string s = JsonWriter::formatDouble(v);
+        EXPECT_EQ(std::stod(s), v) << s;
+    }
+    // Non-finite values have no JSON spelling; they become null.
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+TEST(JsonWriter, QuoteEscapes)
+{
+    EXPECT_EQ(JsonWriter::quote("plain"), "\"plain\"");
+    EXPECT_EQ(JsonWriter::quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(JsonWriter::quote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(JsonWriter::quote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(JsonWriter::quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, ObjectAndArrayStructure)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("name", "x");
+    w.member("count", std::uint64_t{3});
+    w.member("rate", 0.5);
+    w.member("on", true);
+    w.key("values");
+    w.beginArray();
+    w.value(1.0);
+    w.value(2.0);
+    w.endArray();
+    w.endObject();
+
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"name\": \"x\",\n"
+                        "  \"count\": 3,\n"
+                        "  \"rate\": 0.5,\n"
+                        "  \"on\": true,\n"
+                        "  \"values\": [1, 2]\n"
+                        "}");
+}
+
+TEST(JsonWriter, ArrayOfObjectsEachOnOwnLine)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("rows");
+    w.beginArray();
+    for (int i = 0; i < 2; ++i) {
+        w.beginObject();
+        w.member("i", static_cast<std::uint64_t>(i));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"rows\": [\n"
+                        "    {\n"
+                        "      \"i\": 0\n"
+                        "    },\n"
+                        "    {\n"
+                        "      \"i\": 1\n"
+                        "    }]\n"
+                        "}");
+}
+
+TEST(JsonReport, CurveSerialization)
+{
+    Curve c("test curve");
+    c.addPoint(64.0, 0.5);
+    c.addPoint(128.0, 0.25);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeCurve(w, c);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"name\": \"test curve\""), std::string::npos);
+    EXPECT_NE(out.find("\"x\": [64, 128]"), std::string::npos);
+    EXPECT_NE(out.find("\"y\": [0.5, 0.25]"), std::string::npos);
+}
+
+TEST(JsonReport, WorkingSetSerialization)
+{
+    WorkingSet ws;
+    ws.level = 1;
+    ws.sizeBytes = 256.0;
+    ws.coreSizeBytes = 192.0;
+    ws.missRateBefore = 1.0;
+    ws.missRateAfter = 0.5;
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeWorkingSets(w, {ws});
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"level\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"size_bytes\": 256"), std::string::npos);
+    EXPECT_NE(out.find("\"miss_rate_after\": 0.5"), std::string::npos);
+}
+
+TEST(JsonReport, EqualInputsGiveEqualBytes)
+{
+    auto render = [] {
+        Curve c("c");
+        c.addPoint(8.0, 1.0 / 3.0);
+        c.addPoint(16.0, 1.0 / 7.0);
+        std::ostringstream os;
+        JsonWriter w(os);
+        writeCurve(w, c);
+        return os.str();
+    };
+    EXPECT_EQ(render(), render());
+}

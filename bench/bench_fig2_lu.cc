@@ -66,6 +66,7 @@ main(int argc, char **argv)
     for (std::uint32_t B : {4u, 16u, 64u}) {
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
+        sc.sampling = cli.sampling;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }

@@ -54,6 +54,7 @@ main(int argc, char **argv)
     std::cout << "\nSimulation confirmation:\n";
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
+    sc.sampling = cli.sampling;
     std::vector<core::StudyJob> jobs = {
         core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
         core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),

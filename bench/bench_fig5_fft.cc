@@ -44,6 +44,7 @@ main(int argc, char **argv)
     std::cout << "\nSimulation confirmation (N = 2^14, P = 4):\n";
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
+    sc.sampling = cli.sampling;
     std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
         jobs.push_back(

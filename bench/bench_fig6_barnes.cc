@@ -35,6 +35,7 @@ main(int argc, char **argv)
 
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
+    sc.sampling = cli.sampling;
     std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
         core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
     jobs[0].name = "fig6-barnes";

@@ -32,6 +32,7 @@ main(int argc, char **argv)
 
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
+    sc.sampling = cli.sampling;
     std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
         /*frames=*/2, /*warmup=*/1, sc)};

@@ -13,8 +13,19 @@
  *
  * Determinism: the emitted curves and knees are byte-identical at any
  * --jobs value (see src/core/study_runner.hh).
+ *
+ * Extra flags beyond the shared runner CLI:
+ *   --list             print the study names, one per line, and exit
+ *   --only SUBSTRING   run only the studies whose name contains
+ *                      SUBSTRING (repeatable; a study runs if any
+ *                      pattern matches). No match, or a missing value,
+ *                      is a usage error (exit 2).
+ *   --sample-rate R / --sample-size N (from the runner CLI) switch
+ *   every study to spatially-sampled profiling; the JSON artifact then
+ *   carries the per-study sampling diagnostics.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -32,7 +43,7 @@ namespace
 {
 
 std::vector<core::StudyJob>
-figureSuiteJobs()
+figureSuiteJobs(const approx::SamplingConfig &sampling)
 {
     std::vector<core::StudyJob> jobs;
 
@@ -40,6 +51,7 @@ figureSuiteJobs()
     for (std::uint32_t B : {4u, 16u, 64u}) {
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
+        sc.sampling = sampling;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }
@@ -48,6 +60,7 @@ figureSuiteJobs()
     {
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
+        sc.sampling = sampling;
         jobs.push_back(core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc));
         jobs.back().name = "fig4-cg-2d";
         jobs.push_back(core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc));
@@ -58,6 +71,7 @@ figureSuiteJobs()
     for (std::uint32_t r : {2u, 8u, 32u}) {
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
+        sc.sampling = sampling;
         jobs.push_back(core::fftStudyJob(core::presets::simFft(r), 1, 1, sc));
         jobs.back().name = "fig5-fft-radix" + std::to_string(r);
     }
@@ -66,6 +80,7 @@ figureSuiteJobs()
     {
         core::StudyConfig sc;
         sc.minCacheBytes = 64;
+        sc.sampling = sampling;
         jobs.push_back(
             core::barnesStudyJob(core::presets::simBarnesFig6(), 2, 1, sc));
         jobs.back().name = "fig6-barnes";
@@ -75,6 +90,7 @@ figureSuiteJobs()
     {
         core::StudyConfig sc;
         sc.minCacheBytes = 64;
+        sc.sampling = sampling;
         jobs.push_back(core::volrendStudyJob(
             core::presets::simVolrendDims(),
             core::presets::simVolrendRender(), 2, 1, sc));
@@ -84,16 +100,75 @@ figureSuiteJobs()
     return jobs;
 }
 
+struct SuiteCli
+{
+    bool list = false;
+    std::vector<std::string> only;
+};
+
+SuiteCli
+parseSuiteCli(int argc, char **argv)
+{
+    SuiteCli suite;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            suite.list = true;
+        } else if (arg == "--only") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --only needs a substring\n";
+                std::exit(2);
+            }
+            suite.only.push_back(argv[++i]);
+        } else if (arg.rfind("--only=", 0) == 0) {
+            suite.only.push_back(arg.substr(7));
+        } else {
+            std::cerr << "error: unknown argument '" << arg
+                      << "' (flags: --jobs N, --json PATH, --progress, "
+                         "--sample-rate R, --sample-size N, --list, "
+                         "--only SUBSTRING)\n";
+            std::exit(2);
+        }
+    }
+    return suite;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     core::RunnerCli cli = core::parseRunnerCli(argc, argv);
+    SuiteCli suite = parseSuiteCli(argc, argv);
+
+    std::vector<core::StudyJob> jobs = figureSuiteJobs(cli.sampling);
+    if (!suite.only.empty()) {
+        std::vector<core::StudyJob> kept;
+        for (core::StudyJob &job : jobs) {
+            bool match = std::any_of(
+                suite.only.begin(), suite.only.end(),
+                [&job](const std::string &pat) {
+                    return job.name.find(pat) != std::string::npos;
+                });
+            if (match)
+                kept.push_back(std::move(job));
+        }
+        if (kept.empty()) {
+            std::cerr << "error: no study matches --only; names are:\n";
+            for (const core::StudyJob &job : figureSuiteJobs({}))
+                std::cerr << "  " << job.name << "\n";
+            std::exit(2);
+        }
+        jobs = std::move(kept);
+    }
+    if (suite.list) {
+        for (const core::StudyJob &job : jobs)
+            std::cout << job.name << "\n";
+        return 0;
+    }
+
     bench::banner("Figures 2-7 (suite)",
                   "all trace-driven figure studies in one parallel batch");
-
-    std::vector<core::StudyJob> jobs = figureSuiteJobs();
     core::StudyRunner runner(core::cliRunnerConfig(cli));
     std::cout << "running " << jobs.size() << " studies on "
               << runner.workerCount() << " worker(s)\n\n";

@@ -1,0 +1,211 @@
+#include "approx/approx_curve.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wsg::approx
+{
+
+namespace
+{
+
+/**
+ * x where @p curve falls through the knee's half-depth level
+ * (before + after) / 2, log2-interpolated between the straddling grid
+ * points. Noise can produce several crossings; the one nearest the
+ * knee's own detected location (in log distance) is the transition
+ * being measured. Falls back to the detector's sizeBytes when the
+ * curve never straddles the level (degenerate flat knee).
+ */
+double
+halfDepthCrossing(const stats::Curve &curve, const stats::WorkingSet &knee)
+{
+    double half = 0.5 * (knee.missRateBefore + knee.missRateAfter);
+    const auto &pts = curve.points();
+    double best = knee.sizeBytes;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        double y1 = pts[i - 1].y;
+        double y2 = pts[i].y;
+        if (!(y1 >= half && half > y2))
+            continue;
+        double t = (y1 - half) / (y1 - y2);
+        double lx = std::log2(pts[i - 1].x) +
+                    t * (std::log2(pts[i].x) - std::log2(pts[i - 1].x));
+        double x = std::exp2(lx);
+        double dist = std::fabs(std::log2(x / knee.sizeBytes));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = x;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::uint64_t
+ApproxCurve::sampledMisses(const SampledCounts &counts,
+                           std::uint64_t capacity_lines,
+                           bool include_cold)
+{
+    std::uint64_t misses =
+        counts.distances
+            ? counts.distances->countAtLeast(capacity_lines)
+            : 0;
+    misses += counts.coherence;
+    if (include_cold)
+        misses += counts.cold;
+    return misses;
+}
+
+double
+ApproxCurve::missRate(const SampledCounts &counts,
+                      std::uint64_t capacity_lines,
+                      bool include_cold) const
+{
+    if (counts.expectedSampledRefs <= 0.0)
+        return 0.0;
+    double misses = static_cast<double>(
+        sampledMisses(counts, capacity_lines, include_cold));
+    return misses / counts.expectedSampledRefs;
+}
+
+double
+ApproxCurve::missCount(const SampledCounts &counts,
+                       std::uint64_t capacity_lines,
+                       bool include_cold) const
+{
+    // Exact mode: return the exact count without touching the rate
+    // arithmetic, so existing golden curves stay bit-identical.
+    if (!sampled()) {
+        return static_cast<double>(
+            sampledMisses(counts, capacity_lines, include_cold));
+    }
+    return missRate(counts, capacity_lines, include_cold) *
+           static_cast<double>(counts.totalRefs);
+}
+
+double
+CurveComparison::maxKneeDisplacementSteps() const
+{
+    double worst = 0.0;
+    for (const KneeMatch &k : knees)
+        worst = std::max(worst, k.displacementSteps);
+    return worst;
+}
+
+CurveComparison
+compareCurves(const stats::Curve &exact, const stats::Curve &approx)
+{
+    CurveComparison cmp;
+    if (exact.empty() || approx.empty())
+        return cmp;
+    double sum = 0.0;
+    for (const stats::CurvePoint &p : exact.points()) {
+        double err = std::fabs(approx.valueAtOrBelow(p.x) - p.y);
+        sum += err;
+        cmp.maxAbsError = std::max(cmp.maxAbsError, err);
+    }
+    cmp.meanAbsError = sum / static_cast<double>(exact.size());
+    cmp.plateauMeanAbsError = cmp.meanAbsError;
+    cmp.plateauMaxAbsError = cmp.maxAbsError;
+    return cmp;
+}
+
+CurveComparison
+compareStudies(const stats::Curve &exact_curve,
+               const std::vector<stats::WorkingSet> &exact_knees,
+               const stats::Curve &approx_curve,
+               const std::vector<stats::WorkingSet> &approx_knees,
+               int points_per_octave)
+{
+    CurveComparison cmp = compareCurves(exact_curve, approx_curve);
+    std::size_t paired =
+        std::min(exact_knees.size(), approx_knees.size());
+    cmp.kneeCountDiff =
+        std::max(exact_knees.size(), approx_knees.size()) - paired;
+    for (std::size_t i = 0; i < paired; ++i) {
+        KneeMatch match;
+        match.level = exact_knees[i].level;
+        match.exactBytes = halfDepthCrossing(exact_curve, exact_knees[i]);
+        match.approxBytes =
+            halfDepthCrossing(approx_curve, approx_knees[i]);
+        if (match.exactBytes > 0.0 && match.approxBytes > 0.0) {
+            match.displacementSteps =
+                std::fabs(std::log2(match.approxBytes /
+                                    match.exactBytes)) *
+                static_cast<double>(points_per_octave);
+        }
+        cmp.knees.push_back(match);
+    }
+
+    // Off-transition (plateau) error: drop the grid points whose
+    // segments straddle a knee's half-depth level, widened by one step
+    // each way to cover the sampling smear tails.
+    const auto &pts = exact_curve.points();
+    std::vector<bool> on_face(pts.size(), false);
+    for (const stats::WorkingSet &knee : exact_knees) {
+        double half = 0.5 * (knee.missRateBefore + knee.missRateAfter);
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+            if (pts[i - 1].y >= half && half > pts[i].y) {
+                on_face[i - 1] = true;
+                on_face[i] = true;
+            }
+        }
+    }
+    std::vector<bool> banded = on_face;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (!on_face[i])
+            continue;
+        if (i > 0)
+            banded[i - 1] = true;
+        if (i + 1 < pts.size())
+            banded[i + 1] = true;
+    }
+    double sum = 0.0;
+    std::size_t kept = 0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (banded[i])
+            continue;
+        double err =
+            std::fabs(approx_curve.valueAtOrBelow(pts[i].x) - pts[i].y);
+        sum += err;
+        worst = std::max(worst, err);
+        ++kept;
+    }
+    if (kept > 0) {
+        cmp.plateauMeanAbsError = sum / static_cast<double>(kept);
+        cmp.plateauMaxAbsError = worst;
+    }
+    return cmp;
+}
+
+stats::Curve
+averageCurves(const std::vector<stats::Curve> &curves,
+              const std::string &name)
+{
+    if (curves.empty())
+        throw std::invalid_argument("averageCurves: no curves");
+    stats::Curve mean(name);
+    const auto &grid = curves.front().points();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        double sum = 0.0;
+        for (const stats::Curve &c : curves) {
+            if (c.size() != grid.size() ||
+                c.points()[i].x != grid[i].x) {
+                throw std::invalid_argument(
+                    "averageCurves: curves sample different x-grids");
+            }
+            sum += c.points()[i].y;
+        }
+        mean.addPoint(grid[i].x,
+                      sum / static_cast<double>(curves.size()));
+    }
+    return mean;
+}
+
+} // namespace wsg::approx

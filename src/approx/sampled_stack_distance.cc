@@ -1,0 +1,114 @@
+#include "approx/sampled_stack_distance.hh"
+
+#include <cmath>
+
+namespace wsg::approx
+{
+
+SampledStackDistanceProfiler::SampledStackDistanceProfiler(
+    const SamplingConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    if (config_.mode == SamplingMode::FixedRate)
+        threshold_ = thresholdForRate(config_.rate);
+}
+
+SampledSample
+SampledStackDistanceProfiler::access(Addr line)
+{
+    ++totalRefs_;
+    SampledSample result;
+
+    if (config_.mode == SamplingMode::None) {
+        result.admitted = true;
+        result.sample = inner_.access(line);
+        ++sampledRefs_;
+        return result;
+    }
+
+    std::uint64_t hash = lineHash(line);
+    if (hash >= threshold_)
+        return result;
+
+    // Rate at admission time: distances measured among sampled lines
+    // undercount by exactly this factor in expectation (each sampled
+    // intervening line stands in for 1/rate real ones).
+    double rate = rateForThreshold(threshold_);
+    bool first_touch = config_.mode == SamplingMode::FixedSize &&
+                       !inner_.tracks(line);
+
+    result.admitted = true;
+    result.sample = inner_.access(line);
+    ++sampledRefs_;
+    if (result.sample.kind == memsys::RefClass::Finite && rate < 1.0) {
+        result.sample.distance = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(result.sample.distance) / rate));
+    }
+
+    if (first_touch) {
+        victims_.emplace(hash, line);
+        shrinkToBudget();
+    }
+    return result;
+}
+
+void
+SampledStackDistanceProfiler::shrinkToBudget()
+{
+    while (victims_.size() > config_.maxLines) {
+        auto [hash, line] = victims_.top();
+        victims_.pop();
+        // The evicted hash becomes the new exclusive threshold, so the
+        // victim (and everything hashing at or above it) is rejected
+        // from now on; tied hashes are drained immediately to keep the
+        // heap consistent with the filter.
+        threshold_ = hash;
+        inner_.evict(line);
+        while (!victims_.empty() && victims_.top().first >= threshold_) {
+            inner_.evict(victims_.top().second);
+            victims_.pop();
+        }
+    }
+}
+
+bool
+SampledStackDistanceProfiler::invalidate(Addr line)
+{
+    if (!wouldAdmit(line))
+        return false;
+    return inner_.invalidate(line);
+}
+
+std::uint64_t
+SampledStackDistanceProfiler::estimatedTouchedLines() const
+{
+    double rate = effectiveRate();
+    if (rate >= 1.0)
+        return inner_.touchedLines();
+    return static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(inner_.touchedLines()) / rate));
+}
+
+std::uint64_t
+SampledStackDistanceProfiler::memoryBytes() const
+{
+    // The eviction heap stores one 16-byte pair per tracked line.
+    return inner_.memoryBytes() +
+           static_cast<std::uint64_t>(victims_.size()) *
+               sizeof(std::pair<std::uint64_t, Addr>);
+}
+
+void
+SampledStackDistanceProfiler::clear()
+{
+    inner_.clear();
+    victims_ = {};
+    totalRefs_ = 0;
+    sampledRefs_ = 0;
+    threshold_ = config_.mode == SamplingMode::FixedRate
+                     ? thresholdForRate(config_.rate)
+                     : kAdmitAll;
+}
+
+} // namespace wsg::approx

@@ -10,6 +10,22 @@ namespace wsg::core
 // Job bodies capture their configuration by value so the StudyJob can
 // outlive the caller's locals (benches build job vectors up front).
 
+namespace
+{
+
+sim::SimConfig
+simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
+             const StudyConfig &study)
+{
+    sim::SimConfig config;
+    config.numProcs = num_procs;
+    config.lineBytes = line_bytes;
+    config.sampling = study.sampling;
+    return config;
+}
+
+} // namespace
+
 StudyJob
 luStudyJob(const apps::lu::LuConfig &app_config,
            const StudyConfig &study, std::uint32_t line_bytes)
@@ -20,7 +36,8 @@ luStudyJob(const apps::lu::LuConfig &app_config,
     job.body = [app_config, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
-        sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs(), line_bytes, study));
         apps::lu::BlockedLu app(app_config, space, &mp);
         app.randomize(1234);
         app.factor();
@@ -44,7 +61,8 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
     job.body = [app_config, iters, warmup_iters, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
-        sim::Multiprocessor mp({app_config.numProcs(), line_bytes});
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs(), line_bytes, study));
         apps::cg::GridCg app(app_config, space, &mp);
         app.buildSystem();
 
@@ -75,7 +93,8 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
     job.body = [app_config, transforms, warmup_transforms, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
-        sim::Multiprocessor mp({app_config.numProcs, line_bytes});
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs, line_bytes, study));
         apps::fft::ParallelFft app(app_config, space, &mp);
         for (std::uint64_t i = 0; i < app_config.N(); ++i)
             app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
@@ -110,7 +129,8 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
     job.body = [app_config, steps, warmup_steps, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
-        sim::Multiprocessor mp({app_config.numProcs, line_bytes});
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs, line_bytes, study));
         apps::barnes::BarnesHut app(app_config, space, &mp);
         app.initPlummer();
 
@@ -142,7 +162,8 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
     job.body = [dims, render, frames, warmup_frames, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
-        sim::Multiprocessor mp({render.numProcs, line_bytes});
+        sim::Multiprocessor mp(
+            simConfigFor(render.numProcs, line_bytes, study));
         apps::volrend::Volume vol(dims, space, &mp);
         vol.buildHeadPhantom();
         vol.buildOctree();

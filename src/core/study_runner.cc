@@ -163,6 +163,23 @@ writeJsonReport(std::ostream &os,
         w.member("write_coherence", agg.writeCoherence);
         w.member("updates_sent", agg.updatesSent);
         w.endObject();
+        const approx::SamplingDiagnostics &samp = r.result.sampling;
+        w.member("profiler_bytes", samp.profilerBytes);
+        if (samp.config.enabled()) {
+            w.key("sampling");
+            w.beginObject();
+            w.member("mode",
+                     approx::samplingModeName(samp.config.mode));
+            if (samp.config.mode == approx::SamplingMode::FixedRate)
+                w.member("rate", samp.config.rate);
+            else
+                w.member("max_lines", samp.config.maxLines);
+            w.member("effective_rate", samp.effectiveRate);
+            w.member("total_refs", samp.totalRefs);
+            w.member("sampled_refs", samp.sampledRefs);
+            w.member("sampled_lines", samp.sampledLines);
+            w.endObject();
+        }
         if (include_timings) {
             w.key("timing");
             w.beginObject();
@@ -210,6 +227,33 @@ parseRunnerCli(int &argc, char **argv)
                      text + "'");
             return static_cast<unsigned>(v);
         };
+        auto parse_rate = [&](const std::string &text) {
+            char *end = nullptr;
+            double v = std::strtod(text.c_str(), &end);
+            if (text.empty() || end != text.c_str() + text.size() ||
+                !(v > 0.0) || v > 1.0)
+                fail("--sample-rate needs a rate in (0, 1], got '" +
+                     text + "'");
+            if (cli.sampling.mode == approx::SamplingMode::FixedSize)
+                fail("--sample-rate and --sample-size are mutually "
+                     "exclusive");
+            cli.sampling.mode = approx::SamplingMode::FixedRate;
+            cli.sampling.rate = v;
+        };
+        auto parse_size = [&](const std::string &text) {
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(text.c_str(), &end, 10);
+            if (text.empty() || end != text.c_str() + text.size() ||
+                v == 0)
+                fail("--sample-size needs a positive line count, got '" +
+                     text + "'");
+            if (cli.sampling.mode == approx::SamplingMode::FixedRate)
+                fail("--sample-rate and --sample-size are mutually "
+                     "exclusive");
+            cli.sampling.mode = approx::SamplingMode::FixedSize;
+            cli.sampling.maxLines = v;
+        };
         if (arg == "--jobs") {
             cli.jobs = parse_jobs(next_value("--jobs"));
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -220,6 +264,14 @@ parseRunnerCli(int &argc, char **argv)
             cli.jsonPath = arg.substr(7);
         } else if (arg == "--progress") {
             cli.progress = true;
+        } else if (arg == "--sample-rate") {
+            parse_rate(next_value("--sample-rate"));
+        } else if (arg.rfind("--sample-rate=", 0) == 0) {
+            parse_rate(arg.substr(14));
+        } else if (arg == "--sample-size") {
+            parse_size(next_value("--sample-size"));
+        } else if (arg.rfind("--sample-size=", 0) == 0) {
+            parse_size(arg.substr(14));
         } else {
             argv[out++] = argv[i];
         }

@@ -175,13 +175,20 @@ struct RunnerCli
     std::string jsonPath;
     /** --progress: emit live per-job progress lines on stderr. */
     bool progress = false;
+    /**
+     * --sample-rate R (fixed-rate) / --sample-size N (fixed-size)
+     * spatial sampling; mutually exclusive. Default: exact profiling.
+     * Benches copy this into StudyConfig::sampling.
+     */
+    approx::SamplingConfig sampling{};
 };
 
 /**
- * Extract --jobs/--json/--progress from argv, *removing* the consumed
- * arguments so positional parameters keep their indices for the caller.
- * A malformed runner flag (missing or non-numeric value) prints an
- * error on stderr and exits with status 2.
+ * Extract --jobs/--json/--progress/--sample-rate/--sample-size from
+ * argv, *removing* the consumed arguments so positional parameters keep
+ * their indices for the caller. A malformed runner flag (missing or
+ * unparseable value, rate outside (0,1], size of zero, or both sampling
+ * flags at once) prints an error on stderr and exits with status 2.
  */
 RunnerCli parseRunnerCli(int &argc, char **argv);
 

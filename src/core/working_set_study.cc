@@ -29,6 +29,7 @@ analyzeWorkingSets(const sim::Multiprocessor &mp,
         sim::sweepSizes(config.minCacheBytes, max_bytes,
                         config.pointsPerOctave, mp.config().lineBytes);
     spec.includeCold = config.includeCold;
+    spec.sampling = mp.config().sampling;
     if (pool != nullptr) {
         spec.parallelFor = [pool](std::size_t n,
                                   const std::function<void(std::size_t)>
@@ -41,6 +42,7 @@ analyzeWorkingSets(const sim::Multiprocessor &mp,
                        ? mp.missesPerFlopCurve(spec, total_flops, name)
                        : mp.readMissRateCurve(spec, name);
     result.aggregate = mp.aggregateStats();
+    result.sampling = mp.samplingDiagnostics();
     if (!result.curve.empty())
         result.floorRate = result.curve.minY();
 

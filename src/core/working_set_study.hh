@@ -49,6 +49,12 @@ struct StudyConfig
     bool includeCold = false;
     /** Knee-detection thresholds. */
     stats::KneeConfig knee;
+    /**
+     * Sampling policy. Studies pass this into the simulator they build
+     * AND into the curve extraction; must match the mode the simulator
+     * actually ran with (analyzeWorkingSets checks).
+     */
+    approx::SamplingConfig sampling{};
 };
 
 /** Outcome of one study. */
@@ -60,10 +66,14 @@ struct StudyResult
     std::vector<stats::WorkingSet> workingSets;
     /** Aggregate simulator counters. */
     sim::ProcStats aggregate;
-    /** Largest per-processor footprint (bytes). */
+    /** Largest per-processor footprint (bytes; an estimate when the
+     *  study ran sampled). */
     std::uint64_t maxFootprintBytes = 0;
     /** Floor of the curve (the inherent-communication rate). */
     double floorRate = 0.0;
+    /** Sampling observability: effective rate, admitted refs, profiler
+     *  memory. Valid in exact mode too (rate 1). */
+    approx::SamplingDiagnostics sampling;
 };
 
 /**

@@ -99,6 +99,32 @@ StackDistanceProfiler::invalidate(Addr line)
     return true;
 }
 
+bool
+StackDistanceProfiler::evict(Addr line)
+{
+    auto it = last_.find(line);
+    if (it == last_.end())
+        return false;
+    if (it->second != kInvalidated) {
+        update(static_cast<std::uint64_t>(it->second), -1);
+        --live_;
+    }
+    last_.erase(it);
+    return true;
+}
+
+std::uint64_t
+StackDistanceProfiler::memoryBytes() const
+{
+    // unordered_map node: pair + bucket pointer + next pointer, ~48 B
+    // on 64-bit hosts; the exact constant only matters for exact-vs-
+    // sampled *ratios*, which use the same formula on both sides.
+    constexpr std::uint64_t kMapNodeBytes = 48;
+    return static_cast<std::uint64_t>(last_.size()) * kMapNodeBytes +
+           static_cast<std::uint64_t>(tree_.size()) * sizeof(tree_[0]) +
+           sizeof(*this);
+}
+
 void
 StackDistanceProfiler::clear()
 {

@@ -76,6 +76,20 @@ class StackDistanceProfiler
      */
     bool invalidate(Addr line);
 
+    /**
+     * Forget @p line entirely: remove it from the stack *and* from the
+     * access history, as if it had never been touched. Unlike
+     * invalidate(), no tombstone is left, so a later access is Cold,
+     * not Coherence. This is the eviction primitive of fixed-size
+     * spatial sampling (src/approx): lines pushed above the admission
+     * threshold must stop consuming stack state immediately.
+     * @return true when the line was known (live or tombstoned).
+     */
+    bool evict(Addr line);
+
+    /** Whether @p line has ever been accessed (incl. tombstones). */
+    bool tracks(Addr line) const { return last_.count(line) != 0; }
+
     /** Number of lines currently in the stack (== footprint in lines). */
     std::uint64_t liveLines() const { return live_; }
 
@@ -88,6 +102,13 @@ class StackDistanceProfiler
 
     /** Forget everything (stack, history, tombstones). */
     void clear();
+
+    /**
+     * Approximate resident bytes: hash-map entries plus the Fenwick
+     * tree. Used by the sampling diagnostics to report how much memory
+     * exact profiling costs versus the sampled configuration.
+     */
+    std::uint64_t memoryBytes() const;
 
   private:
     static constexpr std::int64_t kInvalidated = -1;

@@ -32,7 +32,7 @@ ProcStats::writeMissesAt(std::uint64_t capacity_lines,
 }
 
 Multiprocessor::Multiprocessor(const SimConfig &config)
-    : config_(config), profilers_(config.numProcs), stats_(config.numProcs)
+    : config_(config), stats_(config.numProcs)
 {
     if (config_.numProcs == 0 || config_.numProcs > 64)
         throw std::invalid_argument(
@@ -44,6 +44,10 @@ Multiprocessor::Multiprocessor(const SimConfig &config)
         throw std::invalid_argument(
             "Multiprocessor: lineBytes must be a power of two");
     }
+    config_.sampling.validate();
+    profilers_.reserve(config_.numProcs);
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+        profilers_.emplace_back(config_.sampling);
 }
 
 void
@@ -104,13 +108,14 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
         entry.sharers |= self;
     }
 
-    memsys::DistanceSample sample = profilers_[pid].access(line);
+    approx::SampledSample sampled = profilers_[pid].access(line);
+    memsys::DistanceSample sample = sampled.sample;
 
     // A first-ever touch of a line that some *other* processor produced
     // is inherent communication, not a cold miss: on a real machine it
     // is a remote fetch at any cache size. (Invalidation-induced misses
     // are already classified Coherence by the profiler.)
-    if (sample.kind == memsys::RefClass::Cold &&
+    if (sampled.admitted && sample.kind == memsys::RefClass::Cold &&
         entry.writerPlusOne != 0 && entry.writerPlusOne != pid + 1) {
         sample.kind = memsys::RefClass::Coherence;
     }
@@ -126,34 +131,43 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
     if (!measuring_)
         return;
 
+    // reads/writes count every measured reference exactly — they are
+    // the denominators the estimator rescales against. Classification
+    // is only known for admitted references.
     ProcStats &st = stats_[pid];
     if (is_write) {
         ++st.writes;
-        switch (sample.kind) {
-          case memsys::RefClass::Finite:
-            st.writeDistances.addSample(sample.distance);
-            break;
-          case memsys::RefClass::Cold:
-            ++st.writeCold;
-            break;
-          case memsys::RefClass::Coherence:
-            ++st.writeCoherence;
-            break;
+        if (sampled.admitted) {
+            ++st.sampledWrites;
+            switch (sample.kind) {
+              case memsys::RefClass::Finite:
+                st.writeDistances.addSample(sample.distance);
+                break;
+              case memsys::RefClass::Cold:
+                ++st.writeCold;
+                break;
+              case memsys::RefClass::Coherence:
+                ++st.writeCoherence;
+                break;
+            }
         }
         if (concrete_miss)
             ++st.concreteWriteMisses;
     } else {
         ++st.reads;
-        switch (sample.kind) {
-          case memsys::RefClass::Finite:
-            st.readDistances.addSample(sample.distance);
-            break;
-          case memsys::RefClass::Cold:
-            ++st.readCold;
-            break;
-          case memsys::RefClass::Coherence:
-            ++st.readCoherence;
-            break;
+        if (sampled.admitted) {
+            ++st.sampledReads;
+            switch (sample.kind) {
+              case memsys::RefClass::Finite:
+                st.readDistances.addSample(sample.distance);
+                break;
+              case memsys::RefClass::Cold:
+                ++st.readCold;
+                break;
+              case memsys::RefClass::Coherence:
+                ++st.readCoherence;
+                break;
+            }
         }
         if (concrete_miss)
             ++st.concreteReadMisses;
@@ -198,6 +212,8 @@ Multiprocessor::aggregateStats() const
     for (const auto &st : stats_) {
         agg.reads += st.reads;
         agg.writes += st.writes;
+        agg.sampledReads += st.sampledReads;
+        agg.sampledWrites += st.sampledWrites;
         agg.readCold += st.readCold;
         agg.readCoherence += st.readCoherence;
         agg.writeCold += st.writeCold;
@@ -211,19 +227,117 @@ Multiprocessor::aggregateStats() const
     return agg;
 }
 
+void
+Multiprocessor::checkSpecSampling(const CurveSpec &spec) const
+{
+    if (spec.sampling.mode != config_.sampling.mode) {
+        throw std::invalid_argument(
+            "CurveSpec: sampling mode does not match the simulator's "
+            "(scaling sampled counts as exact, or vice versa, corrupts "
+            "the curve; set CurveSpec::sampling = "
+            "Multiprocessor::config().sampling)");
+    }
+}
+
+double
+Multiprocessor::expectedSampledReads() const
+{
+    switch (config_.sampling.mode) {
+      case approx::SamplingMode::FixedSize: {
+        // SHARDS_adj: early references were admitted at rates above the
+        // final one; normalizing by refs * final_rate (per processor)
+        // removes that inflation.
+        double expected = 0.0;
+        for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+            expected += static_cast<double>(stats_[p].reads) *
+                        profilers_[p].effectiveRate();
+        return expected;
+      }
+      case approx::SamplingMode::FixedRate: {
+        // Divide by the *expected* sample count (refs * rate), not the
+        // actual one: sampled misses scale with the fraction of *lines*
+        // admitted, so E[misses] = rate * misses regardless of how many
+        // references those lines happened to carry. Normalizing by the
+        // actual count would fold the (correlated) reference-weight
+        // fluctuation of this hash draw into the whole curve level.
+        std::uint64_t reads = 0;
+        for (const ProcStats &st : stats_)
+            reads += st.reads;
+        return static_cast<double>(reads) * config_.sampling.rate;
+      }
+      case approx::SamplingMode::None: break;
+    }
+    std::uint64_t reads = 0;
+    for (const ProcStats &st : stats_)
+        reads += st.reads;
+    return static_cast<double>(reads);
+}
+
+double
+Multiprocessor::expectedSampledWrites() const
+{
+    switch (config_.sampling.mode) {
+      case approx::SamplingMode::FixedSize: {
+        double expected = 0.0;
+        for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+            expected += static_cast<double>(stats_[p].writes) *
+                        profilers_[p].effectiveRate();
+        return expected;
+      }
+      case approx::SamplingMode::FixedRate: {
+        std::uint64_t writes = 0;
+        for (const ProcStats &st : stats_)
+            writes += st.writes;
+        return static_cast<double>(writes) * config_.sampling.rate;
+      }
+      case approx::SamplingMode::None: break;
+    }
+    std::uint64_t writes = 0;
+    for (const ProcStats &st : stats_)
+        writes += st.writes;
+    return static_cast<double>(writes);
+}
+
+approx::SampledCounts
+Multiprocessor::readCounts(const ProcStats &agg) const
+{
+    approx::SampledCounts counts;
+    counts.distances = &agg.readDistances;
+    counts.cold = agg.readCold;
+    counts.coherence = agg.readCoherence;
+    counts.sampledRefs = agg.sampledReads;
+    counts.totalRefs = agg.reads;
+    counts.expectedSampledRefs = expectedSampledReads();
+    return counts;
+}
+
+approx::SampledCounts
+Multiprocessor::writeCounts(const ProcStats &agg) const
+{
+    approx::SampledCounts counts;
+    counts.distances = &agg.writeDistances;
+    counts.cold = agg.writeCold;
+    counts.coherence = agg.writeCoherence;
+    counts.sampledRefs = agg.sampledWrites;
+    counts.totalRefs = agg.writes;
+    counts.expectedSampledRefs = expectedSampledWrites();
+    return counts;
+}
+
 stats::Curve
 Multiprocessor::readMissRateCurve(const CurveSpec &spec,
                                   const std::string &name) const
 {
+    checkSpecSampling(spec);
     ProcStats agg = aggregateStats();
     if (agg.reads == 0)
         return stats::Curve(name);
+    approx::ApproxCurve scaler(samplingDiagnostics());
+    approx::SampledCounts counts = readCounts(agg);
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
-        double misses = static_cast<double>(
-            agg.readMissesAt(lines, spec.includeCold));
-        return misses / static_cast<double>(agg.reads);
+        return scaler.missRate(counts, lines, spec.includeCold);
     });
 }
 
@@ -231,15 +345,35 @@ stats::Curve
 Multiprocessor::procReadMissRateCurve(ProcId pid, const CurveSpec &spec,
                                       const std::string &name) const
 {
+    checkSpecSampling(spec);
     const ProcStats &st = stats_[pid];
     if (st.reads == 0)
         return stats::Curve(name);
+    approx::ApproxCurve scaler(samplingDiagnostics());
+    approx::SampledCounts counts;
+    counts.distances = &st.readDistances;
+    counts.cold = st.readCold;
+    counts.coherence = st.readCoherence;
+    counts.sampledRefs = st.sampledReads;
+    counts.totalRefs = st.reads;
+    switch (config_.sampling.mode) {
+      case approx::SamplingMode::FixedSize:
+        counts.expectedSampledRefs =
+            static_cast<double>(st.reads) *
+            profilers_[pid].effectiveRate();
+        break;
+      case approx::SamplingMode::FixedRate:
+        counts.expectedSampledRefs =
+            static_cast<double>(st.reads) * config_.sampling.rate;
+        break;
+      case approx::SamplingMode::None:
+        counts.expectedSampledRefs = static_cast<double>(st.reads);
+        break;
+    }
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
-        double misses = static_cast<double>(
-            st.readMissesAt(lines, spec.includeCold));
-        return misses / static_cast<double>(st.reads);
+        return scaler.missRate(counts, lines, spec.includeCold);
     });
 }
 
@@ -248,6 +382,7 @@ Multiprocessor::missesPerFlopCurve(const CurveSpec &spec,
                                    std::uint64_t total_flops,
                                    const std::string &name) const
 {
+    checkSpecSampling(spec);
     ProcStats agg = aggregateStats();
     if (total_flops == 0)
         return stats::Curve(name);
@@ -255,13 +390,13 @@ Multiprocessor::missesPerFlopCurve(const CurveSpec &spec,
     // lineBytes/8 double words.
     double words_per_line =
         static_cast<double>(config_.lineBytes) / 8.0;
+    approx::ApproxCurve scaler(samplingDiagnostics());
+    approx::SampledCounts counts = readCounts(agg);
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
-        double misses = static_cast<double>(
-            agg.readMissesAt(lines, spec.includeCold));
-        return misses * words_per_line /
-               static_cast<double>(total_flops);
+        return scaler.missCount(counts, lines, spec.includeCold) *
+               words_per_line / static_cast<double>(total_flops);
     });
 }
 
@@ -270,17 +405,21 @@ Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
                                     std::uint64_t total_flops,
                                     const std::string &name) const
 {
+    checkSpecSampling(spec);
     ProcStats agg = aggregateStats();
     if (total_flops == 0)
         return stats::Curve(name);
+    approx::ApproxCurve scaler(samplingDiagnostics());
+    approx::SampledCounts reads = readCounts(agg);
+    approx::SampledCounts writes = writeCounts(agg);
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
-        double fills = static_cast<double>(
-            agg.readMissesAt(lines, spec.includeCold));
-        double writes = static_cast<double>(
-            agg.writeMissesAt(lines, spec.includeCold));
-        return (fills + 2.0 * writes) * config_.lineBytes /
+        double fills =
+            scaler.missCount(reads, lines, spec.includeCold);
+        double wmisses =
+            scaler.missCount(writes, lines, spec.includeCold);
+        return (fills + 2.0 * wmisses) * config_.lineBytes /
                static_cast<double>(total_flops);
     });
 }
@@ -288,7 +427,30 @@ Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
 std::uint64_t
 Multiprocessor::footprintBytes(ProcId pid) const
 {
-    return profilers_[pid].touchedLines() * config_.lineBytes;
+    return profilers_[pid].estimatedTouchedLines() * config_.lineBytes;
+}
+
+approx::SamplingDiagnostics
+Multiprocessor::samplingDiagnostics() const
+{
+    approx::SamplingDiagnostics diag;
+    diag.config = config_.sampling;
+    double weighted_rate = 0.0;
+    for (const auto &prof : profilers_) {
+        diag.totalRefs += prof.totalRefs();
+        diag.sampledRefs += prof.sampledRefs();
+        diag.sampledLines += prof.trackedLines();
+        diag.profilerBytes += prof.memoryBytes();
+        weighted_rate += prof.effectiveRate() *
+                         static_cast<double>(prof.totalRefs());
+    }
+    diag.effectiveRate =
+        diag.totalRefs > 0
+            ? weighted_rate / static_cast<double>(diag.totalRefs)
+            : (config_.sampling.mode == approx::SamplingMode::FixedRate
+                   ? config_.sampling.rate
+                   : 1.0);
+    return diag;
 }
 
 std::uint64_t

@@ -20,6 +20,18 @@
  *
  * Optionally a concrete cache (set-associative / direct-mapped) can be
  * attached per processor to study associativity effects (Section 6.4).
+ *
+ * Sampling mode (SimConfig::sampling): each profiler becomes a
+ * SHARDS-style spatially-sampled instrument (src/approx) that tracks
+ * only the lines whose address hash falls under the admission
+ * threshold. The directory stays exact — every write still looks up
+ * the full sharer set — but invalidations are delivered through the
+ * same admission filter, so sampled lines experience precisely the
+ * coherence they would see unsampled while unsampled lines never gain
+ * stack state. Curves are then *estimates*: sampled miss counts scaled
+ * by the effective rate (approx::ApproxCurve), accurate to a few
+ * percent at rates around 1% and byte-deterministic at any worker
+ * count because admission depends only on line addresses.
  */
 
 #ifndef WSG_SIM_MULTIPROCESSOR_HH
@@ -33,6 +45,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "approx/approx_curve.hh"
+#include "approx/sampled_stack_distance.hh"
+#include "approx/sampling.hh"
 #include "memsys/cache.hh"
 #include "memsys/stack_distance.hh"
 #include "stats/curve.hh"
@@ -67,6 +82,8 @@ struct SimConfig
      *  metrics count double-word misses, so 8 is the default. */
     std::uint32_t lineBytes = 8;
     CoherenceProtocol protocol = CoherenceProtocol::WriteInvalidate;
+    /** Profiler sampling policy; default is exact profiling. */
+    approx::SamplingConfig sampling{};
 };
 
 /** Per-processor statistics gathered while measuring. */
@@ -74,6 +91,11 @@ struct ProcStats
 {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    /** References the sampling filter admitted (== reads/writes when
+     *  profiling exactly). Cold/coherence counters and the distance
+     *  histograms only ever describe admitted references. */
+    std::uint64_t sampledReads = 0;
+    std::uint64_t sampledWrites = 0;
     std::uint64_t readCold = 0;
     std::uint64_t readCoherence = 0;
     std::uint64_t writeCold = 0;
@@ -90,6 +112,8 @@ struct ProcStats
 
     /**
      * Read misses in a fully associative LRU cache of @p capacity_lines.
+     * Under sampling this is the *raw sampled* miss count; the curve
+     * methods scale it to a full-trace estimate (approx::ApproxCurve).
      * @param include_cold Count cold misses too (off for the paper's
      *        warm-start methodology).
      */
@@ -121,6 +145,14 @@ struct CurveSpec
     std::function<void(std::size_t,
                        const std::function<void(std::size_t)> &)>
         parallelFor;
+    /**
+     * Sampling policy the statistics were collected under. Must match
+     * the simulator's SimConfig::sampling mode (checked: a mismatch
+     * throws std::invalid_argument, because scaling sampled counts as
+     * exact — or vice versa — silently corrupts the curve).
+     * analyzeWorkingSets wires this automatically.
+     */
+    approx::SamplingConfig sampling{};
 };
 
 /**
@@ -191,7 +223,8 @@ class Multiprocessor : public trace::MemorySink
                                      std::uint64_t total_flops,
                                      const std::string &name) const;
 
-    /** Per-processor footprint in bytes (distinct lines touched). */
+    /** Per-processor footprint in bytes (distinct lines touched; under
+     *  sampling an estimate scaled by the effective rate). */
     std::uint64_t footprintBytes(ProcId pid) const;
 
     /** Largest per-processor footprint — upper end for size sweeps. */
@@ -200,12 +233,29 @@ class Multiprocessor : public trace::MemorySink
     /** Concrete-cache aggregate read miss rate (caches attached). */
     double concreteReadMissRate() const;
 
+    /**
+     * Sampling observability across all profilers: effective rate,
+     * admitted/total references, tracked lines, and profiler memory.
+     * Meaningful in exact mode too (rate 1, sampled == total) — the
+     * profilerBytes field is how the exact-vs-sampled memory saving is
+     * measured and reported.
+     */
+    approx::SamplingDiagnostics samplingDiagnostics() const;
+
   private:
     void accessLine(ProcId pid, Addr line, bool is_write);
+    /** Throw unless @p spec's sampling mode matches the simulator's. */
+    void checkSpecSampling(const CurveSpec &spec) const;
+    /** Estimator denominators (see approx::SampledCounts). */
+    double expectedSampledReads() const;
+    double expectedSampledWrites() const;
+    /** Aggregate SampledCounts for the read / write stream. */
+    approx::SampledCounts readCounts(const ProcStats &agg) const;
+    approx::SampledCounts writeCounts(const ProcStats &agg) const;
 
     SimConfig config_;
     bool measuring_ = true;
-    std::vector<memsys::StackDistanceProfiler> profilers_;
+    std::vector<approx::SampledStackDistanceProfiler> profilers_;
     std::vector<ProcStats> stats_;
     std::vector<std::unique_ptr<memsys::Cache>> caches_;
 

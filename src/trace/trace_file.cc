@@ -21,13 +21,25 @@ struct Record
 };
 static_assert(sizeof(Record) == 16, "trace record must pack to 16 B");
 
-struct Header
+/** Fields shared by every version (the whole v1 header). */
+struct HeaderV1
 {
     char magic[8];
     std::uint32_t version;
     std::uint32_t numProcs;
 };
-static_assert(sizeof(Header) == 16, "trace header must pack to 16 B");
+static_assert(sizeof(HeaderV1) == 16, "trace header must pack to 16 B");
+
+/** v2 extension: record count (finalized on close) + reserved. */
+struct HeaderV2Ext
+{
+    std::uint64_t recordCount;
+    std::uint64_t reserved;
+};
+static_assert(sizeof(HeaderV2Ext) == 16,
+              "v2 header extension must pack to 16 B");
+
+constexpr std::uint64_t kRecordCountOffset = sizeof(HeaderV1);
 
 } // namespace
 
@@ -36,11 +48,14 @@ TraceWriter::TraceWriter(const std::string &path, std::uint32_t num_procs)
 {
     if (!out_)
         throw std::runtime_error("TraceWriter: cannot open " + path);
-    Header h{};
+    HeaderV1 h{};
     std::memcpy(h.magic, kTraceMagic, sizeof(kTraceMagic));
     h.version = kTraceVersion;
     h.numProcs = num_procs;
     out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    HeaderV2Ext ext{};
+    ext.recordCount = kTraceUnfinalizedCount;
+    out_.write(reinterpret_cast<const char *>(&ext), sizeof(ext));
 }
 
 TraceWriter::~TraceWriter()
@@ -63,26 +78,71 @@ TraceWriter::access(const MemRef &ref)
 void
 TraceWriter::close()
 {
-    if (out_.is_open())
-        out_.close();
+    if (!out_.is_open())
+        return;
+    out_.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+    out_.write(reinterpret_cast<const char *>(&records_),
+               sizeof(records_));
+    out_.close();
 }
 
 TraceReader::TraceReader(const std::string &path)
-    : in_(path, std::ios::binary)
+    : in_(path, std::ios::binary), path_(path)
 {
     if (!in_)
         throw std::runtime_error("TraceReader: cannot open " + path);
-    Header h{};
+
+    in_.seekg(0, std::ios::end);
+    std::uint64_t file_bytes =
+        static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+
+    HeaderV1 h{};
     in_.read(reinterpret_cast<char *>(&h), sizeof(h));
     if (!in_ || std::memcmp(h.magic, kTraceMagic, sizeof(kTraceMagic)) !=
                     0) {
         throw std::runtime_error("TraceReader: bad magic in " + path);
     }
-    if (h.version != kTraceVersion) {
-        throw std::runtime_error("TraceReader: unsupported version in " +
-                                 path);
+    if (h.version != 1 && h.version != kTraceVersion) {
+        throw std::runtime_error(
+            "TraceReader: unsupported version " +
+            std::to_string(h.version) + " in " + path);
     }
     numProcs_ = h.numProcs;
+
+    std::uint64_t header_bytes = sizeof(HeaderV1);
+    std::uint64_t header_count = kTraceUnfinalizedCount;
+    if (h.version >= 2) {
+        HeaderV2Ext ext{};
+        in_.read(reinterpret_cast<char *>(&ext), sizeof(ext));
+        if (!in_) {
+            throw std::runtime_error(
+                "TraceReader: truncated header in " + path + " (" +
+                std::to_string(file_bytes) + " bytes, v2 needs " +
+                std::to_string(sizeof(HeaderV1) + sizeof(HeaderV2Ext)) +
+                ")");
+        }
+        header_bytes += sizeof(HeaderV2Ext);
+        header_count = ext.recordCount;
+    }
+
+    std::uint64_t body_bytes = file_bytes - header_bytes;
+    if (body_bytes % sizeof(Record) != 0) {
+        throw std::runtime_error(
+            "TraceReader: truncated trace " + path + ": body of " +
+            std::to_string(body_bytes) +
+            " bytes is not a whole number of " +
+            std::to_string(sizeof(Record)) +
+            "-byte records (partial trailing record)");
+    }
+    recordCount_ = body_bytes / sizeof(Record);
+    finalized_ = header_count != kTraceUnfinalizedCount;
+    if (finalized_ && header_count != recordCount_) {
+        throw std::runtime_error(
+            "TraceReader: record count mismatch in " + path +
+            ": header says " + std::to_string(header_count) +
+            " but the file holds " + std::to_string(recordCount_));
+    }
 }
 
 bool
@@ -90,8 +150,16 @@ TraceReader::next(MemRef &ref)
 {
     Record r{};
     in_.read(reinterpret_cast<char *>(&r), sizeof(r));
-    if (!in_)
+    if (!in_) {
+        // Validated at open; a torn read here means the file changed
+        // underneath us (or an I/O error) — never silently truncate.
+        if (in_.gcount() != 0) {
+            throw std::runtime_error(
+                "TraceReader: trace " + path_ +
+                " ends inside a record (file changed while reading?)");
+        }
         return false;
+    }
     ref.addr = r.addr;
     ref.bytes = r.bytes;
     ref.pid = r.pid;

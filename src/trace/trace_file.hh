@@ -5,10 +5,20 @@
  * workflow of trace-driven simulators — so an expensive application run
  * can be profiled against many machine configurations.
  *
- * Format: a fixed 16-byte header ("WSGTRACE", version, processor count)
- * followed by packed 16-byte records (addr, bytes, pid, type). Files are
- * written through a MemorySink (TraceWriter) and replayed into any other
- * sink (TraceReader::replay).
+ * Format v2: a fixed 32-byte header ("WSGTRACE", version, processor
+ * count, record count, reserved) followed by packed 16-byte records
+ * (addr, bytes, pid, type). The record count is patched in when the
+ * writer closes; a writer that died mid-run leaves the unfinalized
+ * sentinel, which the reader accepts (the body is still
+ * size-validated) so a crashed run's trace remains replayable up to
+ * its last complete record boundary. v1 files (16-byte header, no
+ * record count) are still readable.
+ *
+ * The reader validates up front: a body that is not a whole number of
+ * records (a partial trailing record — classic lost-write truncation)
+ * and a finalized header count that disagrees with the actual file
+ * size both throw std::runtime_error with the numbers spelled out,
+ * instead of silently replaying a short or torn trace.
  */
 
 #ifndef WSG_TRACE_TRACE_FILE_HH
@@ -25,15 +35,18 @@ namespace wsg::trace
 
 /** Magic bytes identifying a wsg trace file. */
 constexpr char kTraceMagic[8] = {'W', 'S', 'G', 'T', 'R', 'A', 'C', 'E'};
-/** Current format version. */
-constexpr std::uint32_t kTraceVersion = 1;
+/** Current format version (v1 = no record count, still readable). */
+constexpr std::uint32_t kTraceVersion = 2;
+/** Header record-count value of a writer that never finalized. */
+constexpr std::uint64_t kTraceUnfinalizedCount = ~std::uint64_t{0};
 
 /** MemorySink that appends every reference to a binary trace file. */
 class TraceWriter : public MemorySink
 {
   public:
     /**
-     * Open @p path for writing and emit the header.
+     * Open @p path for writing and emit the header (with the record
+     * count unfinalized until close()).
      *
      * @param path Output file path.
      * @param num_procs Processor count recorded in the header.
@@ -45,7 +58,8 @@ class TraceWriter : public MemorySink
 
     void access(const MemRef &ref) override;
 
-    /** Flush and close; further access() calls are invalid. */
+    /** Patch the header's record count, flush, and close; further
+     *  access() calls are invalid. */
     void close();
 
     std::uint64_t recordsWritten() const { return records_; }
@@ -60,17 +74,30 @@ class TraceReader
 {
   public:
     /**
-     * Open @p path and parse the header.
-     * @throws std::runtime_error on open failure or bad magic/version.
+     * Open @p path, parse the header, and validate the body size.
+     * @throws std::runtime_error on open failure, bad magic, an
+     *         unsupported version, a truncated header, a body that is
+     *         not a whole number of records (partial trailing record),
+     *         or a finalized record count that disagrees with the
+     *         file's actual size.
      */
     explicit TraceReader(const std::string &path);
 
     /** Processor count recorded when the trace was written. */
     std::uint32_t numProcs() const { return numProcs_; }
 
+    /** Number of records in the file (from the validated body size). */
+    std::uint64_t recordCount() const { return recordCount_; }
+
+    /** False for a v2 trace whose writer never finalized the header
+     *  (crashed run) and for legacy v1 traces. */
+    bool finalized() const { return finalized_; }
+
     /**
      * Read the next record.
      * @return false at end of file.
+     * @throws std::runtime_error if the file ends inside a record
+     *         (truncated after open-time validation).
      */
     bool next(MemRef &ref);
 
@@ -82,7 +109,10 @@ class TraceReader
 
   private:
     std::ifstream in_;
+    std::string path_;
     std::uint32_t numProcs_ = 0;
+    std::uint64_t recordCount_ = 0;
+    bool finalized_ = false;
 };
 
 } // namespace wsg::trace

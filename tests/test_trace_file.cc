@@ -137,6 +137,123 @@ TEST_F(TraceFileTest, EmptyTraceIsValid)
         TraceWriter writer(path_, 1);
     }
     TraceReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    EXPECT_TRUE(reader.finalized());
     MemRef r;
     EXPECT_FALSE(reader.next(r));
+}
+
+namespace
+{
+
+/** Write a small valid trace and return its byte size. */
+std::uint64_t
+writeSmallTrace(const std::string &path, int records)
+{
+    TraceWriter writer(path, 2);
+    for (int i = 0; i < records; ++i)
+        writer.read(static_cast<ProcId>(i % 2),
+                    static_cast<Addr>(i * 8), 8);
+    writer.close();
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return static_cast<std::uint64_t>(in.tellg());
+}
+
+/** Truncate the file at @p path to @p bytes. */
+void
+truncateFile(const std::string &path, std::uint64_t bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> data(bytes);
+    in.read(data.data(), static_cast<std::streamsize>(bytes));
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(bytes));
+}
+
+/** Overwrite 8 bytes at @p offset with @p value. */
+void
+patchU64(const std::string &path, std::uint64_t offset,
+         std::uint64_t value)
+{
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+} // namespace
+
+TEST_F(TraceFileTest, RecordsFinalizedCountInHeader)
+{
+    writeSmallTrace(path_, 7);
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 7u);
+    EXPECT_TRUE(reader.finalized());
+}
+
+TEST_F(TraceFileTest, RejectsPartialTrailingRecord)
+{
+    // Classic lost-write truncation: the file ends mid-record.
+    std::uint64_t size = writeSmallTrace(path_, 5);
+    truncateFile(path_, size - 7);
+    try {
+        TraceReader reader(path_);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("partial trailing record"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(TraceFileTest, RejectsRecordCountMismatch)
+{
+    // Whole records lost (e.g. a torn copy): the finalized header
+    // count disagrees with the file size.
+    std::uint64_t size = writeSmallTrace(path_, 5);
+    truncateFile(path_, size - 2 * 16);
+    try {
+        TraceReader reader(path_);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("record count mismatch"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("header says 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("holds 3"), std::string::npos) << what;
+    }
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedHeader)
+{
+    writeSmallTrace(path_, 1);
+    truncateFile(path_, 20); // v2 magic intact, header cut short
+    EXPECT_THROW(TraceReader reader(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, AcceptsUnfinalizedTraceFromCrashedWriter)
+{
+    // A writer that never reached close() leaves the sentinel count;
+    // the trace must stay replayable (crash forensics), just flagged.
+    writeSmallTrace(path_, 4);
+    patchU64(path_, 16, ~std::uint64_t{0});
+    TraceReader reader(path_);
+    EXPECT_FALSE(reader.finalized());
+    EXPECT_EQ(reader.recordCount(), 4u);
+    RecordingSink sink;
+    EXPECT_EQ(reader.replay(sink), 4u);
+}
+
+TEST_F(TraceFileTest, RejectsUnsupportedVersion)
+{
+    writeSmallTrace(path_, 1);
+    std::fstream f(path_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    std::uint32_t bad_version = 99;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char *>(&bad_version),
+            sizeof(bad_version));
+    f.close();
+    EXPECT_THROW(TraceReader reader(path_), std::runtime_error);
 }

@@ -89,6 +89,20 @@ ApproxCurve::missCount(const SampledCounts &counts,
 }
 
 double
+ApproxCurve::scaledCount(const SampledCounts &counts,
+                         std::uint64_t raw) const
+{
+    // Exact mode: the counter is already the full-trace count.
+    if (!sampled())
+        return static_cast<double>(raw);
+    if (counts.expectedSampledRefs <= 0.0)
+        return 0.0;
+    return static_cast<double>(raw) *
+           (static_cast<double>(counts.totalRefs) /
+            counts.expectedSampledRefs);
+}
+
+double
 CurveComparison::maxKneeDisplacementSteps() const
 {
     double worst = 0.0;

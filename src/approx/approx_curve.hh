@@ -98,6 +98,18 @@ class ApproxCurve
                      std::uint64_t capacity_lines,
                      bool include_cold) const;
 
+    /**
+     * Scale an arbitrary admitted-reference counter @p raw to a
+     * full-trace estimate: raw * totalRefs / expectedSampledRefs — the
+     * same SHARDS_adj denominator as missCount, so per-category counts
+     * scaled this way still sum to the scaled total. Exact mode
+     * multiplies by exactly 1.0, keeping integer counts integer. This
+     * is how the miss-classification breakdown (cold / capacity /
+     * true-sharing / false-sharing) composes with sampling.
+     */
+    double scaledCount(const SampledCounts &counts,
+                       std::uint64_t raw) const;
+
   private:
     SamplingDiagnostics diagnostics_;
 };

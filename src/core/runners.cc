@@ -38,6 +38,7 @@ luStudyJob(const apps::lu::LuConfig &app_config,
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
+        mp.attachAddressSpace(&space);
         apps::lu::BlockedLu app(app_config, space, &mp);
         app.randomize(1234);
         app.factor();
@@ -63,6 +64,7 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
+        mp.attachAddressSpace(&space);
         apps::cg::GridCg app(app_config, space, &mp);
         app.buildSystem();
 
@@ -95,6 +97,7 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
         apps::fft::ParallelFft app(app_config, space, &mp);
         for (std::uint64_t i = 0; i < app_config.N(); ++i)
             app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
@@ -131,6 +134,7 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
         apps::barnes::BarnesHut app(app_config, space, &mp);
         app.initPlummer();
 
@@ -164,6 +168,7 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(render.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
         apps::volrend::Volume vol(dims, space, &mp);
         vol.buildHeadPhantom();
         vol.buildOctree();

@@ -130,6 +130,78 @@ StudyRunner::run(const std::vector<StudyJob> &jobs)
     return reports;
 }
 
+namespace
+{
+
+void
+writeSharingSummaries(stats::JsonWriter &w,
+                      const std::vector<sim::SharingSummary> &summaries)
+{
+    w.beginArray();
+    for (const sim::SharingSummary &s : summaries) {
+        w.beginObject();
+        w.member("name", s.name);
+        w.member("reads", s.reads);
+        w.member("writes", s.writes);
+        w.member("read_cold", s.readCold);
+        w.member("write_cold", s.writeCold);
+        w.member("read_true_sharing", s.readTrueSharing);
+        w.member("read_false_sharing", s.readFalseSharing);
+        w.member("write_true_sharing", s.writeTrueSharing);
+        w.member("write_false_sharing", s.writeFalseSharing);
+        std::uint64_t refs = s.reads + s.writes;
+        w.member("sharing_miss_rate",
+                 refs > 0 ? static_cast<double>(s.sharingMisses()) /
+                                static_cast<double>(refs)
+                          : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+/**
+ * The v2 miss_classes block: per-category read-miss curves over the
+ * study's cache-size sweep (cold + capacity + true_sharing +
+ * false_sharing == total at every size) plus the size-independent
+ * per-processor and per-array attribution.
+ */
+void
+writeMissClasses(stats::JsonWriter &w, const StudyResult &result)
+{
+    const sim::MissClassCurves &mc = result.missClasses;
+    w.key("miss_classes");
+    w.beginObject();
+    w.key("cache_sizes_bytes");
+    w.beginArray();
+    for (std::uint64_t b : mc.cacheSizesBytes)
+        w.value(b);
+    w.endArray();
+    auto write_category =
+        [&](const char *name, double sim::MissClassPoint::*field) {
+            w.key(name);
+            w.beginArray();
+            for (const sim::MissClassPoint &p : mc.points)
+                w.value(p.*field);
+            w.endArray();
+        };
+    write_category("cold", &sim::MissClassPoint::cold);
+    write_category("capacity", &sim::MissClassPoint::capacity);
+    write_category("true_sharing", &sim::MissClassPoint::trueSharing);
+    write_category("false_sharing", &sim::MissClassPoint::falseSharing);
+    w.key("total");
+    w.beginArray();
+    for (const sim::MissClassPoint &p : mc.points)
+        w.value(p.total());
+    w.endArray();
+    w.key("per_proc");
+    writeSharingSummaries(w, result.perProc);
+    w.key("per_array");
+    writeSharingSummaries(w, result.perArray);
+    w.endObject();
+}
+
+} // namespace
+
 void
 writeJsonReport(std::ostream &os,
                 const std::vector<JobReport> &reports,
@@ -137,7 +209,10 @@ writeJsonReport(std::ostream &os,
 {
     stats::JsonWriter w(os);
     w.beginObject();
-    w.member("schema", "wsg-study-report-v1");
+    // v2: aggregate gains the true/false-sharing split, and each study
+    // gains a miss_classes block (per-category curves over the sweep
+    // plus per-processor / per-array attribution).
+    w.member("schema", "wsg-study-report-v2");
     w.key("studies");
     w.beginArray();
     for (const JobReport &r : reports) {
@@ -161,8 +236,13 @@ writeJsonReport(std::ostream &os,
         w.member("read_coherence", agg.readCoherence);
         w.member("write_cold", agg.writeCold);
         w.member("write_coherence", agg.writeCoherence);
+        w.member("read_true_sharing", agg.readTrueSharing);
+        w.member("read_false_sharing", agg.readFalseSharing);
+        w.member("write_true_sharing", agg.writeTrueSharing);
+        w.member("write_false_sharing", agg.writeFalseSharing);
         w.member("updates_sent", agg.updatesSent);
         w.endObject();
+        writeMissClasses(w, r.result);
         const approx::SamplingDiagnostics &samp = r.result.sampling;
         w.member("profiler_bytes", samp.profilerBytes);
         if (samp.config.enabled()) {

@@ -148,8 +148,12 @@ class StudyRunner
 };
 
 /**
- * Serialize a batch of job reports as a diffable JSON document:
- * {"studies": [{name, curve, working_sets, stats, [timing]}...]}.
+ * Serialize a batch of job reports as a diffable JSON document
+ * (schema "wsg-study-report-v2"):
+ * {"studies": [{name, curve, working_sets, aggregate, miss_classes,
+ * [sampling], [timing]}...]} — miss_classes carries the per-category
+ * (cold / capacity / true_sharing / false_sharing) read-miss curves
+ * over the sweep plus per-processor and per-array attribution.
  *
  * @param include_timings Add wall-clock/throughput per study. Off by
  *        default so regenerated artifacts diff cleanly across machines.

@@ -43,6 +43,9 @@ analyzeWorkingSets(const sim::Multiprocessor &mp,
                        : mp.readMissRateCurve(spec, name);
     result.aggregate = mp.aggregateStats();
     result.sampling = mp.samplingDiagnostics();
+    result.missClasses = mp.readMissClassCurves(spec);
+    result.perProc = mp.procSummaries();
+    result.perArray = mp.arraySummaries();
     if (!result.curve.empty())
         result.floorRate = result.curve.minY();
 
@@ -62,7 +65,9 @@ describeStudy(const StudyResult &result)
        << stats::describeWorkingSets(result.workingSets);
     os << "reads " << result.aggregate.reads << ", read cold "
        << result.aggregate.readCold << ", read coherence "
-       << result.aggregate.readCoherence << ", max footprint "
+       << result.aggregate.readCoherence << " (true sharing "
+       << result.aggregate.readTrueSharing << ", false sharing "
+       << result.aggregate.readFalseSharing << "), max footprint "
        << stats::formatBytes(
               static_cast<double>(result.maxFootprintBytes))
        << ", floor " << stats::formatRate(result.floorRate) << "\n";

@@ -74,6 +74,19 @@ struct StudyResult
     /** Sampling observability: effective rate, admitted refs, profiler
      *  memory. Valid in exact mode too (rate 1). */
     approx::SamplingDiagnostics sampling;
+    /**
+     * Per-category read-miss curves (cold / capacity / true-sharing /
+     * false-sharing) over the same cache-size sweep as `curve` — the
+     * communication-vs-capacity split at every swept size. Categories
+     * sum to the total read misses (exactly in exact mode; as a
+     * consistent estimate under sampling).
+     */
+    sim::MissClassCurves missClasses;
+    /** Per-processor size-independent attribution ("p0".."pN-1"). */
+    std::vector<sim::SharingSummary> perProc;
+    /** Per-array attribution; empty unless the study attached its
+     *  address space (sim::Multiprocessor::attachAddressSpace). */
+    std::vector<sim::SharingSummary> perArray;
 };
 
 /**

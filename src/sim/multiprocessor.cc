@@ -67,33 +67,74 @@ Multiprocessor::access(const MemRef &ref)
         throw std::out_of_range(
             "Multiprocessor::access: pid exceeds configured processor "
             "count");
+    Addr ref_last = ref.addr + std::max(ref.bytes, 1u) - 1;
     Addr first = memsys::lineAlign(ref.addr, config_.lineBytes);
-    Addr last = memsys::lineAlign(ref.addr + std::max(ref.bytes, 1u) - 1,
-                                  config_.lineBytes);
+    Addr last = memsys::lineAlign(ref_last, config_.lineBytes);
     // Caches and profilers operate on line *numbers* so set-indexed
     // organizations see dense indices regardless of the line size.
-    for (Addr line = first; line <= last; line += config_.lineBytes)
-        accessLine(ref.pid, line / config_.lineBytes, ref.isWrite());
+    for (Addr line = first; line <= last; line += config_.lineBytes) {
+        // Bitmap of the 8-byte words this access covers within the
+        // line, for the true/false-sharing split. Lines of 8 bytes or
+        // less are a single word; lines wider than 512 B clamp to
+        // 64-word granularity.
+        Addr lo = std::max(ref.addr, line);
+        Addr hi = std::min(ref_last, line + config_.lineBytes - 1);
+        std::uint64_t lo_w = std::min<std::uint64_t>((lo - line) / 8, 63);
+        std::uint64_t hi_w = std::min<std::uint64_t>((hi - line) / 8, 63);
+        std::uint64_t words =
+            (hi_w - lo_w == 63)
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << (hi_w - lo_w + 1)) - 1) << lo_w;
+        accessLine(ref.pid, line / config_.lineBytes, ref.isWrite(),
+                   words, lo);
+    }
 }
 
 void
-Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
+Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write,
+                           std::uint64_t words, Addr byte_addr)
 {
     DirEntry &entry = directory_[line];
     std::uint64_t self = std::uint64_t{1} << pid;
+
+    // Claim the words others wrote to this line while this processor
+    // was invalidated off it — the evidence the Dubois split judges an
+    // invalidation-induced coherence miss by. Claimed on every access
+    // (measuring or not) so the pending state tracks the profiler's
+    // tombstones exactly.
+    std::uint64_t invalidated_words = 0;
+    if (entry.pendingProcs & self) {
+        auto it = pendingWords_.find(line * 64 + pid);
+        invalidated_words = it->second;
+        pendingWords_.erase(it);
+        entry.pendingProcs &= ~self;
+    }
 
     if (is_write) {
         std::uint64_t others = entry.sharers & ~self;
         if (config_.protocol == CoherenceProtocol::WriteInvalidate) {
             // Purge every other sharer's copy.
-            while (others) {
+            std::uint64_t victims = others;
+            while (victims) {
                 unsigned victim = static_cast<unsigned>(
-                    std::countr_zero(others));
-                others &= others - 1;
+                    std::countr_zero(victims));
+                victims &= victims - 1;
                 profilers_[victim].invalidate(line);
                 if (!caches_.empty())
                     caches_[victim]->invalidate(line);
             }
+            // Every processor now holding a stale copy — just
+            // invalidated or still away from an earlier invalidation —
+            // accumulates this write's words in its pending mask.
+            std::uint64_t stale = (entry.pendingProcs | others) & ~self;
+            std::uint64_t it_mask = stale;
+            while (it_mask) {
+                unsigned p = static_cast<unsigned>(
+                    std::countr_zero(it_mask));
+                it_mask &= it_mask - 1;
+                pendingWords_[line * 64 + p] |= words;
+            }
+            entry.pendingProcs = stale;
             entry.sharers = self;
         } else {
             // Write-update: sharers keep valid copies; the write costs
@@ -119,8 +160,20 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
         entry.writerPlusOne != 0 && entry.writerPlusOne != pid + 1) {
         sample.kind = memsys::RefClass::Coherence;
     }
-    if (is_write)
+    // True sharing iff the accessed words intersect the remotely
+    // produced ones. For an invalidation-induced miss those are the
+    // pending words claimed above; for a first touch of a remotely
+    // written line they are all words ever written (a first touch means
+    // this profiler never accessed the line, so every one of those
+    // writes was another processor's). Evaluated before this access's
+    // own write merges into writtenWords.
+    bool true_sharing =
+        (words & (invalidated_words != 0 ? invalidated_words
+                                         : entry.writtenWords)) != 0;
+    if (is_write) {
+        entry.writtenWords |= words;
         entry.writerPlusOne = pid + 1;
+    }
 
     bool concrete_miss = false;
     if (!caches_.empty()) {
@@ -135,8 +188,11 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
     // the denominators the estimator rescales against. Classification
     // is only known for admitted references.
     ProcStats &st = stats_[pid];
+    SharingSummary *arr = arraySlot(byte_addr);
     if (is_write) {
         ++st.writes;
+        if (arr)
+            ++arr->writes;
         if (sampled.admitted) {
             ++st.sampledWrites;
             switch (sample.kind) {
@@ -145,9 +201,20 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
                 break;
               case memsys::RefClass::Cold:
                 ++st.writeCold;
+                if (arr)
+                    ++arr->writeCold;
                 break;
               case memsys::RefClass::Coherence:
                 ++st.writeCoherence;
+                if (true_sharing) {
+                    ++st.writeTrueSharing;
+                    if (arr)
+                        ++arr->writeTrueSharing;
+                } else {
+                    ++st.writeFalseSharing;
+                    if (arr)
+                        ++arr->writeFalseSharing;
+                }
                 break;
             }
         }
@@ -155,6 +222,8 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
             ++st.concreteWriteMisses;
     } else {
         ++st.reads;
+        if (arr)
+            ++arr->reads;
         if (sampled.admitted) {
             ++st.sampledReads;
             switch (sample.kind) {
@@ -163,15 +232,39 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write)
                 break;
               case memsys::RefClass::Cold:
                 ++st.readCold;
+                if (arr)
+                    ++arr->readCold;
                 break;
               case memsys::RefClass::Coherence:
                 ++st.readCoherence;
+                if (true_sharing) {
+                    ++st.readTrueSharing;
+                    if (arr)
+                        ++arr->readTrueSharing;
+                } else {
+                    ++st.readFalseSharing;
+                    if (arr)
+                        ++arr->readFalseSharing;
+                }
                 break;
             }
         }
         if (concrete_miss)
             ++st.concreteReadMisses;
     }
+}
+
+SharingSummary *
+Multiprocessor::arraySlot(Addr byte_addr)
+{
+    if (!space_ || !measuring_)
+        return nullptr;
+    std::ptrdiff_t idx = space_->findSegmentIndex(byte_addr);
+    if (idx < 0)
+        return &unmappedStats_;
+    if (static_cast<std::size_t>(idx) >= arrayStats_.size())
+        arrayStats_.resize(space_->segments().size());
+    return &arrayStats_[static_cast<std::size_t>(idx)];
 }
 
 namespace
@@ -218,6 +311,10 @@ Multiprocessor::aggregateStats() const
         agg.readCoherence += st.readCoherence;
         agg.writeCold += st.writeCold;
         agg.writeCoherence += st.writeCoherence;
+        agg.readTrueSharing += st.readTrueSharing;
+        agg.readFalseSharing += st.readFalseSharing;
+        agg.writeTrueSharing += st.writeTrueSharing;
+        agg.writeFalseSharing += st.writeFalseSharing;
         agg.readDistances.merge(st.readDistances);
         agg.writeDistances.merge(st.writeDistances);
         agg.concreteReadMisses += st.concreteReadMisses;
@@ -422,6 +519,83 @@ Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
         return (fills + 2.0 * wmisses) * config_.lineBytes /
                static_cast<double>(total_flops);
     });
+}
+
+MissClassCurves
+Multiprocessor::readMissClassCurves(const CurveSpec &spec) const
+{
+    checkSpecSampling(spec);
+    ProcStats agg = aggregateStats();
+    approx::ApproxCurve scaler(samplingDiagnostics());
+    approx::SampledCounts counts = readCounts(agg);
+    MissClassCurves out;
+    out.cacheSizesBytes = spec.cacheSizesBytes;
+    out.points.reserve(spec.cacheSizesBytes.size());
+    for (std::uint64_t bytes : spec.cacheSizesBytes) {
+        std::uint64_t lines =
+            std::max<std::uint64_t>(1, bytes / config_.lineBytes);
+        MissClassPoint p;
+        p.cold = scaler.scaledCount(counts, agg.readCold);
+        p.capacity = scaler.scaledCount(
+            counts, agg.readDistances.countAtLeast(lines));
+        p.trueSharing =
+            scaler.scaledCount(counts, agg.readTrueSharing);
+        p.falseSharing =
+            scaler.scaledCount(counts, agg.readFalseSharing);
+        out.points.push_back(p);
+    }
+    return out;
+}
+
+MissClassPoint
+Multiprocessor::readMissClassesAt(std::uint64_t capacity_lines) const
+{
+    CurveSpec spec;
+    spec.cacheSizesBytes = {capacity_lines * config_.lineBytes};
+    spec.sampling = config_.sampling;
+    return readMissClassCurves(spec).points.front();
+}
+
+std::vector<SharingSummary>
+Multiprocessor::procSummaries() const
+{
+    std::vector<SharingSummary> out;
+    out.reserve(config_.numProcs);
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p) {
+        const ProcStats &st = stats_[p];
+        SharingSummary s;
+        s.name = "p" + std::to_string(p);
+        s.reads = st.reads;
+        s.writes = st.writes;
+        s.readCold = st.readCold;
+        s.writeCold = st.writeCold;
+        s.readTrueSharing = st.readTrueSharing;
+        s.readFalseSharing = st.readFalseSharing;
+        s.writeTrueSharing = st.writeTrueSharing;
+        s.writeFalseSharing = st.writeFalseSharing;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<SharingSummary>
+Multiprocessor::arraySummaries() const
+{
+    std::vector<SharingSummary> out;
+    if (!space_)
+        return out;
+    const auto &segments = space_->segments();
+    out.resize(segments.size());
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i < arrayStats_.size())
+            out[i] = arrayStats_[i];
+        out[i].name = segments[i].name;
+    }
+    if (unmappedStats_.reads + unmappedStats_.writes > 0) {
+        out.push_back(unmappedStats_);
+        out.back().name = "(unmapped)";
+    }
+    return out;
 }
 
 std::uint64_t

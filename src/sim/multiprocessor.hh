@@ -21,6 +21,20 @@
  * Optionally a concrete cache (set-associative / direct-mapped) can be
  * attached per processor to study associativity effects (Section 6.4).
  *
+ * Miss classification (Dubois-style): the directory tracks, per line, a
+ * bitmap of the 8-byte *words* ever written plus, per invalidated
+ * processor, the words written by others since its invalidation. A
+ * coherence miss whose accessed words intersect that remotely-written
+ * set is *true sharing* (the processor consumes a value another
+ * processor produced); otherwise it is *false sharing* — an artifact of
+ * the line granularity that vanishes at 8-byte lines. Together with the
+ * cold / capacity split from the stack-distance profiles this yields
+ * the four-way breakdown cold + capacity + true + false == total
+ * misses at every cache size (readMissClassCurves). When a
+ * SharedAddressSpace is attached (attachAddressSpace), every measured
+ * reference is additionally attributed to the named application array
+ * it touched (arraySummaries).
+ *
  * Sampling mode (SimConfig::sampling): each profiler becomes a
  * SHARDS-style spatially-sampled instrument (src/approx) that tracks
  * only the lines whose address hash falls under the admission
@@ -52,6 +66,7 @@
 #include "memsys/stack_distance.hh"
 #include "stats/curve.hh"
 #include "stats/histogram.hh"
+#include "trace/address_space.hh"
 #include "trace/memref.hh"
 
 namespace wsg::sim
@@ -100,6 +115,19 @@ struct ProcStats
     std::uint64_t readCoherence = 0;
     std::uint64_t writeCold = 0;
     std::uint64_t writeCoherence = 0;
+    /**
+     * Dubois split of the coherence counters: every admitted coherence
+     * miss is exactly one of true sharing (the accessed words intersect
+     * the words other processors wrote since this processor lost the
+     * line) or false sharing (they do not — a line-granularity
+     * artifact), so readTrueSharing + readFalseSharing == readCoherence
+     * and likewise for writes. With 8-byte lines a line is one word and
+     * the false-sharing counters are structurally zero.
+     */
+    std::uint64_t readTrueSharing = 0;
+    std::uint64_t readFalseSharing = 0;
+    std::uint64_t writeTrueSharing = 0;
+    std::uint64_t writeFalseSharing = 0;
     /** Stack distances of Finite read / write references. */
     stats::Histogram readDistances;
     stats::Histogram writeDistances;
@@ -156,6 +184,69 @@ struct CurveSpec
 };
 
 /**
+ * Estimated read-miss counts by category at one cache size. Exact runs
+ * carry integer-valued doubles; sampled runs carry 1/rate-scaled
+ * estimates. The invariant total() == cold + capacity + trueSharing +
+ * falseSharing holds by construction, and in exact mode total() equals
+ * ProcStats::readMissesAt(lines, include_cold = true) exactly.
+ */
+struct MissClassPoint
+{
+    double cold = 0.0;
+    /** Finite-distance misses at this size (the only size-dependent
+     *  category; the others are inherent to the reference stream). */
+    double capacity = 0.0;
+    double trueSharing = 0.0;
+    double falseSharing = 0.0;
+
+    double
+    total() const
+    {
+        return cold + capacity + trueSharing + falseSharing;
+    }
+    /** Inherent communication (the paper's miss-rate floor). */
+    double sharing() const { return trueSharing + falseSharing; }
+};
+
+/** Per-category read-miss curves over a cache-size sweep. */
+struct MissClassCurves
+{
+    std::vector<std::uint64_t> cacheSizesBytes;
+    /** One point per swept size, in cacheSizesBytes order. */
+    std::vector<MissClassPoint> points;
+
+    bool empty() const { return points.empty(); }
+};
+
+/**
+ * Size-independent miss attribution for one processor or one named
+ * application array: reference counts plus the cold and sharing
+ * classifications (capacity misses depend on the cache size and live in
+ * MissClassCurves instead). Raw admitted counts — under sampling, scale
+ * by 1/effective-rate to estimate full-trace magnitudes.
+ */
+struct SharingSummary
+{
+    /** Array segment name, or "p<i>" for processor summaries. */
+    std::string name;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readCold = 0;
+    std::uint64_t writeCold = 0;
+    std::uint64_t readTrueSharing = 0;
+    std::uint64_t readFalseSharing = 0;
+    std::uint64_t writeTrueSharing = 0;
+    std::uint64_t writeFalseSharing = 0;
+
+    std::uint64_t
+    sharingMisses() const
+    {
+        return readTrueSharing + readFalseSharing + writeTrueSharing +
+               writeFalseSharing;
+    }
+};
+
+/**
  * The multiprocessor. Feed it MemRefs (it is a MemorySink); query curves
  * and stats when the application finishes.
  */
@@ -178,6 +269,21 @@ class Multiprocessor : public trace::MemorySink
      */
     void attachCaches(
         const std::function<std::unique_ptr<memsys::Cache>()> &factory);
+
+    /**
+     * Attach the application's address space so measured references are
+     * attributed to the named array segments (arraySummaries). The
+     * space must outlive the simulator; segments allocated after the
+     * attach are picked up automatically (attribution resolves lazily
+     * against the live segment table). Attribution never perturbs the
+     * profilers or the directory, so curves and aggregate counters are
+     * byte-identical with or without an attached space.
+     */
+    void
+    attachAddressSpace(const trace::SharedAddressSpace *space)
+    {
+        space_ = space;
+    }
 
     const SimConfig &config() const { return config_; }
     const ProcStats &procStats(ProcId pid) const { return stats_[pid]; }
@@ -223,6 +329,36 @@ class Multiprocessor : public trace::MemorySink
                                      std::uint64_t total_flops,
                                      const std::string &name) const;
 
+    /**
+     * Per-category read-miss curves (cold / capacity / true-sharing /
+     * false-sharing) over the spec's cache sizes. Under sampling every
+     * category is the admitted count scaled by 1/rate (the same
+     * SHARDS_adj estimator the rate curves use), so the four categories
+     * still sum to the estimated total at every size; in exact mode the
+     * sums are integer-exact. Evaluation is serial — the points share
+     * one aggregation pass — and depends only on the per-processor
+     * histograms, so results are byte-identical at any worker count.
+     */
+    MissClassCurves readMissClassCurves(const CurveSpec &spec) const;
+
+    /**
+     * Convenience single point of readMissClassCurves at
+     * @p capacity_lines.
+     */
+    MissClassPoint readMissClassesAt(std::uint64_t capacity_lines) const;
+
+    /** Per-processor attribution summaries ("p0".."pN-1"). */
+    std::vector<SharingSummary> procSummaries() const;
+
+    /**
+     * Per-array attribution summaries, one per segment of the attached
+     * address space (in allocation order; zero-filled for arrays whose
+     * references all fell outside measurement), plus a trailing
+     * "(unmapped)" bucket when measured references hit addresses no
+     * segment covers. Empty when no space is attached.
+     */
+    std::vector<SharingSummary> arraySummaries() const;
+
     /** Per-processor footprint in bytes (distinct lines touched; under
      *  sampling an estimate scaled by the effective rate). */
     std::uint64_t footprintBytes(ProcId pid) const;
@@ -243,7 +379,15 @@ class Multiprocessor : public trace::MemorySink
     approx::SamplingDiagnostics samplingDiagnostics() const;
 
   private:
-    void accessLine(ProcId pid, Addr line, bool is_write);
+    /**
+     * @param words Bitmap of the 8-byte words this access touches
+     *        within the line (bit w = word w; lines wider than 512 B
+     *        clamp to 64 words).
+     * @param byte_addr First simulated byte this access touches within
+     *        the line — the address the array attribution resolves.
+     */
+    void accessLine(ProcId pid, Addr line, bool is_write,
+                    std::uint64_t words, Addr byte_addr);
     /** Throw unless @p spec's sampling mode matches the simulator's. */
     void checkSpecSampling(const CurveSpec &spec) const;
     /** Estimator denominators (see approx::SampledCounts). */
@@ -252,6 +396,10 @@ class Multiprocessor : public trace::MemorySink
     /** Aggregate SampledCounts for the read / write stream. */
     approx::SampledCounts readCounts(const ProcStats &agg) const;
     approx::SampledCounts writeCounts(const ProcStats &agg) const;
+    /** Per-array counter slot for @p byte_addr, or nullptr when no
+     *  space is attached. Grows the slot table lazily so segments
+     *  allocated after attachAddressSpace are covered. */
+    SharingSummary *arraySlot(Addr byte_addr);
 
     SimConfig config_;
     bool measuring_ = true;
@@ -264,10 +412,36 @@ class Multiprocessor : public trace::MemorySink
     {
         /** Bitmask of processors that may cache the line. */
         std::uint64_t sharers = 0;
+        /** Bitmask of processors invalidated off the line and not yet
+         *  returned; each has a live pending_ word-mask entry. Always
+         *  disjoint from sharers. */
+        std::uint64_t pendingProcs = 0;
+        /** Bitmap of the words ever written (any processor) — the
+         *  producer set a first-touch coherence miss is split against. */
+        std::uint64_t writtenWords = 0;
         /** Last writer + 1; 0 = never written through the simulator. */
         std::uint32_t writerPlusOne = 0;
     };
     std::unordered_map<Addr, DirEntry> directory_;
+    /**
+     * Words written (by anyone else) to a line since a given processor
+     * was invalidated off it, keyed by line * 64 + pid; created by the
+     * invalidation, accumulated by subsequent writes, and claimed —
+     * erased — by that processor's next access, where a non-empty
+     * intersection with the accessed words makes the coherence miss
+     * true sharing. Bounded by lines * procs but in practice tiny:
+     * entries only exist for lines in the invalidated-but-not-yet-
+     * reread state.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> pendingWords_;
+
+    /** Attribution state (attachAddressSpace). */
+    const trace::SharedAddressSpace *space_ = nullptr;
+    /** One slot per segment, indexed like space_->segments(); names are
+     *  filled in lazily by arraySummaries(). */
+    std::vector<SharingSummary> arrayStats_;
+    /** Measured references outside every segment. */
+    SharingSummary unmappedStats_;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "trace/address_space.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -35,11 +36,25 @@ SharedAddressSpace::allocate(const std::string &name, std::uint64_t bytes)
 const Segment *
 SharedAddressSpace::findSegment(Addr addr) const
 {
-    for (const auto &seg : segments_) {
-        if (seg.contains(addr))
-            return &seg;
-    }
-    return nullptr;
+    std::ptrdiff_t idx = findSegmentIndex(addr);
+    return idx < 0 ? nullptr : &segments_[static_cast<std::size_t>(idx)];
+}
+
+std::ptrdiff_t
+SharedAddressSpace::findSegmentIndex(Addr addr) const
+{
+    // Bases are strictly increasing (bump allocation), so the candidate
+    // is the last segment whose base is <= addr; alignment padding
+    // between segments makes a contains() check still necessary.
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), addr,
+        [](Addr a, const Segment &seg) { return a < seg.base; });
+    if (it == segments_.begin())
+        return -1;
+    --it;
+    if (!it->contains(addr))
+        return -1;
+    return it - segments_.begin();
 }
 
 const Segment *

@@ -62,6 +62,16 @@ class SharedAddressSpace
     /** @return the segment containing @p addr, or nullptr. */
     const Segment *findSegment(Addr addr) const;
 
+    /**
+     * Index into segments() of the segment containing @p addr, or -1.
+     * O(log segments): the bump allocator hands out monotonically
+     * increasing bases, so the segment table is always sorted and a
+     * binary search suffices — this is the per-reference attribution
+     * lookup of sim::Multiprocessor::attachAddressSpace and must stay
+     * cheap.
+     */
+    std::ptrdiff_t findSegmentIndex(Addr addr) const;
+
     /** @return segment by name, or nullptr. */
     const Segment *findSegment(const std::string &name) const;
 

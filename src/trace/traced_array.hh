@@ -46,10 +46,14 @@ class TracedArray
      */
     TracedArray(SharedAddressSpace &space, const std::string &name,
                 std::size_t count, MemorySink *sink)
-        : data_(count),
+        : data_(count), name_(name),
           base_(space.allocate(name, count * sizeof(T))),
           sink_(sink)
     {}
+
+    /** Segment name this array allocated — the key per-array miss
+     *  attribution reports under (sim::Multiprocessor::arraySummaries). */
+    const std::string &name() const { return name_; }
 
     /** Number of elements. */
     std::size_t size() const { return data_.size(); }
@@ -113,6 +117,7 @@ class TracedArray
 
   private:
     std::vector<T> data_;
+    std::string name_;
     Addr base_;
     MemorySink *sink_;
 };
@@ -128,9 +133,12 @@ class TracedHeap
   public:
     TracedHeap(SharedAddressSpace &space, const std::string &name,
                std::uint64_t capacity_bytes, MemorySink *sink)
-        : base_(space.allocate(name, capacity_bytes)),
+        : name_(name), base_(space.allocate(name, capacity_bytes)),
           capacity_(capacity_bytes), sink_(sink)
     {}
+
+    /** Segment name the pool allocated (see TracedArray::name). */
+    const std::string &name() const { return name_; }
 
     /**
      * Allocate @p bytes (8-byte aligned) from the pool.
@@ -173,6 +181,7 @@ class TracedHeap
     void sink(MemorySink *s) { sink_ = s; }
 
   private:
+    std::string name_;
     Addr base_;
     std::uint64_t capacity_;
     std::uint64_t used_ = 0;

@@ -170,6 +170,66 @@ TEST(ApproxAccuracy, GoldenStudiesAtRateTenPercent)
     }
 }
 
+TEST(ApproxAccuracy, MissClassSplitAtKneesWithinTenPercent)
+{
+    // The acceptance bar for the classification subsystem: on the
+    // fig-4 CG study, sampling at rate 0.1 must reproduce the exact
+    // communication/capacity split within 10% relative error at each
+    // knee of the working-set hierarchy. Communication (true + false
+    // sharing) is the curve's floor and capacity the part a bigger
+    // cache removes, so these two numbers carry the paper's whole
+    // grain-size argument — a sampled study is only useful if they
+    // survive the estimator.
+    StudyConfig exact_sc;
+    exact_sc.minCacheBytes = 1024;
+    exact_sc.knee.minKneeFactor = 1.6;
+    StudyResult exact =
+        cgStudyJob(presets::simCg2d(), 3, 1, exact_sc).body(StudyContext{});
+    ASSERT_FALSE(exact.workingSets.empty());
+    ASSERT_FALSE(exact.missClasses.empty());
+
+    StudyConfig sampled_sc = exact_sc;
+    sampled_sc.maxCacheBytes = static_cast<std::uint64_t>(
+        exact.curve.points().back().x);
+    sampled_sc.sampling = rateConfig(0.1);
+    StudyResult sampled =
+        cgStudyJob(presets::simCg2d(), 3, 1, sampled_sc)
+            .body(StudyContext{});
+    ASSERT_FALSE(sampled.missClasses.empty());
+
+    auto point_at = [](const StudyResult &r,
+                       std::uint64_t size_bytes) -> sim::MissClassPoint {
+        // One grid step below the last point under the knee. The
+        // knee's sizeBytes is where the working set first *fits*
+        // (capacity misses from it are gone there), so the split being
+        // checked lives on the before side of the drop — and the point
+        // directly on the transition face is excluded because sampling
+        // smears the drop by up to one grid step (the same tolerance
+        // the knee-location checks above grant), which on a
+        // near-vertical face turns into an arbitrarily large vertical
+        // error. Both runs sweep the identical grid.
+        const auto &sizes = r.missClasses.cacheSizesBytes;
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < sizes.size(); ++i)
+            if (sizes[i] < size_bytes)
+                best = i;
+        return r.missClasses.points[best > 0 ? best - 1 : 0];
+    };
+
+    for (const stats::WorkingSet &knee : exact.workingSets) {
+        SCOPED_TRACE("knee level " + std::to_string(knee.level) + " at " +
+                     std::to_string(knee.sizeBytes) + " B");
+        sim::MissClassPoint e =
+            point_at(exact, static_cast<std::uint64_t>(knee.sizeBytes));
+        sim::MissClassPoint s =
+            point_at(sampled, static_cast<std::uint64_t>(knee.sizeBytes));
+        ASSERT_GT(e.sharing(), 0.0);
+        ASSERT_GT(e.capacity, 0.0);
+        EXPECT_NEAR(s.sharing(), e.sharing(), 0.10 * e.sharing());
+        EXPECT_NEAR(s.capacity, e.capacity, 0.10 * e.capacity);
+    }
+}
+
 TEST(ApproxAccuracy, SampledJsonByteIdenticalAcrossWorkers)
 {
     auto make_jobs = [] {

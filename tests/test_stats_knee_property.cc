@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property tests for the knee detector (stats/knee).
+ *
+ * Constructive direction: build synthetic piecewise-constant miss-rate
+ * curves with randomized plateau levels and widths, where every drop
+ * location is known by construction, and require the detector to
+ * report exactly those knees, each within one grid point of its
+ * constructed location. Null direction: monotone smooth curves — whose
+ * every per-step drop sits below the region threshold — and flat or
+ * sub-factor curves must produce no knees at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "stats/curve.hh"
+#include "stats/knee.hh"
+
+using namespace wsg;
+using stats::Curve;
+using stats::KneeConfig;
+using stats::WorkingSet;
+using stats::detectWorkingSets;
+
+namespace
+{
+
+/** Log-spaced grid like the study sweeps: 4 points per octave. */
+constexpr std::size_t kGridPoints = 41;
+
+double
+gridX(std::size_t i)
+{
+    return 64.0 * std::exp2(static_cast<double>(i) / 4.0);
+}
+
+Curve
+curveFromLevels(const std::vector<double> &y)
+{
+    Curve c("synthetic");
+    for (std::size_t i = 0; i < y.size(); ++i)
+        c.addPoint(gridX(i), y[i]);
+    return c;
+}
+
+/** Grid index whose x is nearest @p size_bytes (log distance). */
+std::size_t
+nearestGridIndex(double size_bytes)
+{
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < kGridPoints; ++i) {
+        double dist = std::fabs(std::log2(gridX(i) / size_bytes));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+TEST(KneePropertyTest, PiecewiseConstantCurvesRecoverConstructedKnees)
+{
+    std::mt19937_64 rng(20260806);
+    std::uniform_int_distribution<int> num_knees_dist(1, 3);
+    std::uniform_real_distribution<double> drop_dist(2.0, 8.0);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        int num_knees = num_knees_dist(rng);
+
+        // Randomized drop positions with plateaus of >= 2 points
+        // between them (and on both ends), so constructed regions
+        // never merge and every plateau level is visible.
+        std::vector<std::size_t> positions;
+        std::size_t next_min = 2;
+        for (int k = 0; k < num_knees; ++k) {
+            std::size_t room_needed =
+                static_cast<std::size_t>(num_knees - 1 - k) * 3 + 2;
+            std::size_t max_pos = kGridPoints - 1 - room_needed;
+            std::uniform_int_distribution<std::size_t> pos_dist(
+                next_min, max_pos);
+            positions.push_back(pos_dist(rng));
+            next_min = positions.back() + 3;
+        }
+
+        // Piecewise-constant levels: each knee drops by a factor in
+        // [2, 8] — far above the detector's 1.4x region threshold and
+        // a >= 50% single step, far above the 8% step threshold.
+        std::vector<double> levels{1.0};
+        for (int k = 0; k < num_knees; ++k)
+            levels.push_back(levels.back() / drop_dist(rng));
+
+        std::vector<double> y(kGridPoints);
+        for (std::size_t i = 0; i < kGridPoints; ++i) {
+            std::size_t plateau = 0;
+            for (std::size_t pos : positions)
+                plateau += i >= pos ? 1 : 0;
+            y[i] = levels[plateau];
+        }
+
+        std::vector<WorkingSet> knees =
+            detectWorkingSets(curveFromLevels(y));
+        ASSERT_EQ(knees.size(), static_cast<std::size_t>(num_knees));
+        for (int k = 0; k < num_knees; ++k) {
+            std::size_t detected =
+                nearestGridIndex(knees[k].sizeBytes);
+            std::size_t constructed = positions[k];
+            EXPECT_LE(detected > constructed ? detected - constructed
+                                             : constructed - detected,
+                      1u)
+                << "knee " << k << " detected at grid index "
+                << detected << ", constructed at " << constructed;
+            EXPECT_EQ(knees[k].level, k + 1);
+            EXPECT_NEAR(knees[k].missRateBefore, levels[k], 1e-12);
+            EXPECT_NEAR(knees[k].missRateAfter, levels[k + 1], 1e-12);
+        }
+    }
+}
+
+TEST(KneePropertyTest, MonotoneSmoothCurvesProduceNoKnees)
+{
+    // Geometric decay at 5% per step: under the 8% step threshold at
+    // every sample even though the total drop factor across the curve
+    // is ~8x — a knee detector keying on total drop alone would fire.
+    std::vector<double> geometric(kGridPoints);
+    double y = 0.5;
+    for (std::size_t i = 0; i < kGridPoints; ++i, y *= 0.95)
+        geometric[i] = y;
+    EXPECT_TRUE(detectWorkingSets(curveFromLevels(geometric)).empty());
+
+    // Linear decay, shallow everywhere.
+    std::vector<double> linear(kGridPoints);
+    for (std::size_t i = 0; i < kGridPoints; ++i)
+        linear[i] = 1.0 - 0.01 * static_cast<double>(i);
+    EXPECT_TRUE(detectWorkingSets(curveFromLevels(linear)).empty());
+
+    // Constant curve.
+    std::vector<double> flat(kGridPoints, 0.25);
+    EXPECT_TRUE(detectWorkingSets(curveFromLevels(flat)).empty());
+}
+
+TEST(KneePropertyTest, SubFactorDropIsNotAKnee)
+{
+    // A sharp single step whose total factor (1.3x) stays below the
+    // 1.4x knee threshold: a drop region forms but must be discarded.
+    std::vector<double> y(kGridPoints, 1.0);
+    for (std::size_t i = 20; i < kGridPoints; ++i)
+        y[i] = 1.0 / 1.3;
+    EXPECT_TRUE(detectWorkingSets(curveFromLevels(y)).empty());
+
+    // Nudge it past the threshold and the knee appears at the step.
+    for (std::size_t i = 20; i < kGridPoints; ++i)
+        y[i] = 1.0 / 1.5;
+    std::vector<WorkingSet> knees =
+        detectWorkingSets(curveFromLevels(y));
+    ASSERT_EQ(knees.size(), 1u);
+    EXPECT_EQ(nearestGridIndex(knees[0].sizeBytes), 20u);
+}
+
+TEST(KneePropertyTest, RateFloorSuppressesDropsBelowFloor)
+{
+    // Drops entirely below the configured floor are communication
+    // noise by definition and must not be reported.
+    std::vector<double> y(kGridPoints, 0.01);
+    for (std::size_t i = 15; i < kGridPoints; ++i)
+        y[i] = 0.001;
+    KneeConfig config;
+    config.rateFloor = 0.02;
+    EXPECT_TRUE(detectWorkingSets(curveFromLevels(y), config).empty());
+}

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <random>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "sim/multiprocessor.hh"
@@ -23,10 +25,16 @@ class TraceFileTest : public ::testing::Test
     void
     SetUp() override
     {
+        // Keyed by test name AND pid: ctest runs each TEST_F as its
+        // own process, possibly concurrently (-j), and parallel ctest
+        // invocations from different build trees share TempDir() —
+        // any fixed name lets one test's TearDown unlink a file
+        // another test is still replaying.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
         path_ = ::testing::TempDir() + "wsg_trace_" +
-                std::to_string(::testing::UnitTest::GetInstance()
-                                   ->random_seed()) +
-                ".bin";
+                std::string(info->name()) + "_" +
+                std::to_string(::getpid()) + ".bin";
     }
 
     void TearDown() override { std::remove(path_.c_str()); }

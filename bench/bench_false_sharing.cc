@@ -62,6 +62,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 16 * 1024;
     sc.maxCacheBytes = 16 * 1024;
     sc.sampling = cli.sampling;
+    sc.analyzeRaces = cli.analyzeRaces;
 
     std::vector<core::StudyJob> jobs;
     std::vector<std::string> app_of_job;
@@ -131,5 +132,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

@@ -67,6 +67,7 @@ main(int argc, char **argv)
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
         sc.sampling = cli.sampling;
+        sc.analyzeRaces = cli.analyzeRaces;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }
@@ -105,5 +106,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

@@ -55,6 +55,7 @@ main(int argc, char **argv)
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
     sc.sampling = cli.sampling;
+    sc.analyzeRaces = cli.analyzeRaces;
     std::vector<core::StudyJob> jobs = {
         core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
         core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),
@@ -92,5 +93,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

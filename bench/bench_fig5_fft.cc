@@ -45,6 +45,7 @@ main(int argc, char **argv)
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
     sc.sampling = cli.sampling;
+    sc.analyzeRaces = cli.analyzeRaces;
     std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
         jobs.push_back(
@@ -106,5 +107,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

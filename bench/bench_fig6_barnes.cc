@@ -36,6 +36,7 @@ main(int argc, char **argv)
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
     sc.sampling = cli.sampling;
+    sc.analyzeRaces = cli.analyzeRaces;
     std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
         core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
     jobs[0].name = "fig6-barnes";
@@ -90,5 +91,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     core::StudyConfig sc;
     sc.minCacheBytes = 64;
     sc.sampling = cli.sampling;
+    sc.analyzeRaces = cli.analyzeRaces;
     std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
         /*frames=*/2, /*warmup=*/1, sc)};
@@ -96,5 +97,5 @@ main(int argc, char **argv)
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return 0;
+    return core::reportRaceChecks(std::cout, reports) == 0 ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 /**
  * @file
  * The whole figure suite through one parallel StudyRunner: every
- * trace-driven simulation study behind Figures 2, 4, 5, 6 and 7 (ten
- * independent studies) submitted as one batch.
+ * trace-driven simulation study behind Figures 2, 4, 5, 6 and 7, plus
+ * the four remaining instrumented applications (blocked Cholesky,
+ * unstructured CG, 2-D FFT, 3-D FFT) — fourteen independent studies
+ * over all nine applications, submitted as one batch.
  *
  * This is the throughput showcase for the runner: the studies are
  * embarrassingly parallel, so `--jobs N` should cut wall-clock roughly
@@ -23,6 +25,9 @@
  *   --sample-rate R / --sample-size N (from the runner CLI) switch
  *   every study to spatially-sampled profiling; the JSON artifact then
  *   carries the per-study sampling diagnostics.
+ *   --analyze-races (from the runner CLI) runs the happens-before race
+ *   check in every study and exits non-zero if any study reports an
+ *   unordered conflicting access pair.
  */
 
 #include <algorithm>
@@ -43,59 +48,65 @@ namespace
 {
 
 std::vector<core::StudyJob>
-figureSuiteJobs(const approx::SamplingConfig &sampling)
+figureSuiteJobs(const core::RunnerCli &cli)
 {
     std::vector<core::StudyJob> jobs;
+    auto studyConfig = [&cli](std::uint64_t min_cache_bytes) {
+        core::StudyConfig sc;
+        sc.minCacheBytes = min_cache_bytes;
+        sc.sampling = cli.sampling;
+        sc.analyzeRaces = cli.analyzeRaces;
+        return sc;
+    };
 
     // Figure 2: LU, B in {4, 16, 64}.
     for (std::uint32_t B : {4u, 16u, 64u}) {
-        core::StudyConfig sc;
-        sc.minCacheBytes = 16;
-        sc.sampling = sampling;
-        jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
+        jobs.push_back(core::luStudyJob(core::presets::simLu(B),
+                                        studyConfig(16)));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }
 
     // Figure 4: CG in 2-D and 3-D.
-    {
-        core::StudyConfig sc;
-        sc.minCacheBytes = 16;
-        sc.sampling = sampling;
-        jobs.push_back(core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc));
-        jobs.back().name = "fig4-cg-2d";
-        jobs.push_back(core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc));
-        jobs.back().name = "fig4-cg-3d";
-    }
+    jobs.push_back(core::cgStudyJob(core::presets::simCg2d(), 3, 1,
+                                    studyConfig(16)));
+    jobs.back().name = "fig4-cg-2d";
+    jobs.push_back(core::cgStudyJob(core::presets::simCg3d(), 3, 1,
+                                    studyConfig(16)));
+    jobs.back().name = "fig4-cg-3d";
 
     // Figure 5: FFT, internal radix in {2, 8, 32}.
     for (std::uint32_t r : {2u, 8u, 32u}) {
-        core::StudyConfig sc;
-        sc.minCacheBytes = 16;
-        sc.sampling = sampling;
-        jobs.push_back(core::fftStudyJob(core::presets::simFft(r), 1, 1, sc));
+        jobs.push_back(core::fftStudyJob(core::presets::simFft(r), 1, 1,
+                                         studyConfig(16)));
         jobs.back().name = "fig5-fft-radix" + std::to_string(r);
     }
 
     // Figure 6: Barnes-Hut at the paper's exact configuration.
-    {
-        core::StudyConfig sc;
-        sc.minCacheBytes = 64;
-        sc.sampling = sampling;
-        jobs.push_back(
-            core::barnesStudyJob(core::presets::simBarnesFig6(), 2, 1, sc));
-        jobs.back().name = "fig6-barnes";
-    }
+    jobs.push_back(core::barnesStudyJob(core::presets::simBarnesFig6(),
+                                        2, 1, studyConfig(64)));
+    jobs.back().name = "fig6-barnes";
 
     // Figure 7: volume rendering of the phantom head.
-    {
-        core::StudyConfig sc;
-        sc.minCacheBytes = 64;
-        sc.sampling = sampling;
-        jobs.push_back(core::volrendStudyJob(
-            core::presets::simVolrendDims(),
-            core::presets::simVolrendRender(), 2, 1, sc));
-        jobs.back().name = "fig7-volrend";
-    }
+    jobs.push_back(core::volrendStudyJob(
+        core::presets::simVolrendDims(),
+        core::presets::simVolrendRender(), 2, 1, studyConfig(64)));
+    jobs.back().name = "fig7-volrend";
+
+    // The remaining four applications (Table 1's wider suite): blocked
+    // Cholesky, unstructured CG, and the 2-D/3-D FFTs, so one batch
+    // touches every instrumented application in the tree.
+    jobs.push_back(core::choleskyStudyJob(core::presets::simCholesky(),
+                                          studyConfig(16)));
+    jobs.back().name = "app-cholesky";
+    jobs.push_back(core::unstructuredStudyJob(
+        core::presets::simUnstructured(), 3, 1, studyConfig(16)));
+    jobs.back().name = "app-ucg";
+    jobs.push_back(core::fft2dStudyJob(core::presets::simFft2d(), 1, 1,
+                                       studyConfig(16)));
+    jobs.back().name = "app-fft2d";
+    jobs.push_back(core::fft3dStudyJob(core::presets::simFft3d(), 1, 1,
+                                       studyConfig(16)));
+    jobs.back().name = "app-fft3d";
 
     return jobs;
 }
@@ -125,8 +136,8 @@ parseSuiteCli(int argc, char **argv)
         } else {
             std::cerr << "error: unknown argument '" << arg
                       << "' (flags: --jobs N, --json PATH, --progress, "
-                         "--sample-rate R, --sample-size N, --list, "
-                         "--only SUBSTRING)\n";
+                         "--analyze-races, --sample-rate R, "
+                         "--sample-size N, --list, --only SUBSTRING)\n";
             std::exit(2);
         }
     }
@@ -141,7 +152,7 @@ main(int argc, char **argv)
     core::RunnerCli cli = core::parseRunnerCli(argc, argv);
     SuiteCli suite = parseSuiteCli(argc, argv);
 
-    std::vector<core::StudyJob> jobs = figureSuiteJobs(cli.sampling);
+    std::vector<core::StudyJob> jobs = figureSuiteJobs(cli);
     if (!suite.only.empty()) {
         std::vector<core::StudyJob> kept;
         for (core::StudyJob &job : jobs) {
@@ -155,7 +166,7 @@ main(int argc, char **argv)
         }
         if (kept.empty()) {
             std::cerr << "error: no study matches --only; names are:\n";
-            for (const core::StudyJob &job : figureSuiteJobs({}))
+            for (const core::StudyJob &job : figureSuiteJobs(cli))
                 std::cerr << "  " << job.name << "\n";
             std::exit(2);
         }
@@ -205,8 +216,10 @@ main(int argc, char **argv)
                   << "x concurrency achieved)";
     std::cout << "\n";
 
+    std::size_t racy = core::reportRaceChecks(std::cout, reports);
+
     std::string dest = core::emitCliReport(cli, reports);
     if (!dest.empty())
         std::cerr << "wrote JSON artifact: " << dest << "\n";
-    return all_ok ? 0 : 1;
+    return all_ok && racy == 0 ? 0 : 1;
 }

@@ -34,6 +34,7 @@ recordDemoTrace()
     std::string path = "/tmp/wsg_demo_trace.bin";
     trace::SharedAddressSpace space;
     trace::TraceWriter writer(path, 4);
+    writer.attachAddressSpace(&space);
     apps::cg::CgConfig cfg;
     cfg.n = 64;
     cfg.dims = 2;

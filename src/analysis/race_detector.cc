@@ -1,0 +1,327 @@
+#include "analysis/race_detector.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wsg::analysis
+{
+
+namespace
+{
+
+constexpr std::uint32_t kNoPid = ~std::uint32_t{0};
+
+void
+join(std::vector<std::uint64_t> &into,
+     const std::vector<std::uint64_t> &from)
+{
+    for (std::size_t i = 0; i < into.size(); ++i)
+        into[i] = std::max(into[i], from[i]);
+}
+
+} // namespace
+
+/** Full per-processor read clocks, materialized only for words that are
+ *  concurrently read by several processors between writes. */
+struct RaceDetector::ReadVector
+{
+    std::vector<std::uint64_t> clk;
+    std::vector<std::uint64_t> phase;
+
+    explicit ReadVector(std::uint32_t num_procs)
+        : clk(num_procs, 0), phase(num_procs, 0)
+    {}
+};
+
+/**
+ * Shadow state of one word: the last write as an epoch, and the reads
+ * since that write — one epoch in the common same-reader case, promoted
+ * to a full ReadVector when multiple processors read concurrently
+ * (FastTrack's adaptive representation).
+ */
+struct RaceDetector::Shadow
+{
+    std::uint32_t writePid = kNoPid;
+    std::uint64_t writeClk = 0;
+    std::uint64_t writePhase = 0;
+
+    std::uint32_t readPid = kNoPid;
+    std::uint64_t readClk = 0;
+    std::uint64_t readPhase = 0;
+    std::unique_ptr<ReadVector> sharedReads;
+};
+
+RaceDetector::RaceDetector(const RaceConfig &config) : config_(config)
+{
+    if (config_.numProcs == 0)
+        throw std::invalid_argument(
+            "RaceDetector: numProcs must be positive");
+    if (config_.wordBytes == 0 ||
+        (config_.wordBytes & (config_.wordBytes - 1)) != 0) {
+        throw std::invalid_argument(
+            "RaceDetector: wordBytes must be a power of two");
+    }
+    clocks_.assign(config_.numProcs,
+                   std::vector<std::uint64_t>(config_.numProcs, 0));
+    // Start each processor at epoch 1 so clock value 0 means "never
+    // synchronized with" and an empty shadow epoch is distinguishable.
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p)
+        clocks_[p][p] = 1;
+}
+
+RaceDetector::~RaceDetector() = default;
+
+void
+RaceDetector::attachAddressSpace(const trace::SharedAddressSpace *space)
+{
+    space_ = space;
+}
+
+void
+RaceDetector::setSegments(std::vector<trace::Segment> segments)
+{
+    segments_ = std::move(segments);
+    std::sort(segments_.begin(), segments_.end(),
+              [](const trace::Segment &a, const trace::Segment &b) {
+                  return a.base < b.base;
+              });
+}
+
+void
+RaceDetector::access(const trace::MemRef &ref)
+{
+    if (ref.pid >= config_.numProcs) {
+        throw std::runtime_error(
+            "RaceDetector: reference from processor " +
+            std::to_string(ref.pid) + " but only " +
+            std::to_string(config_.numProcs) + " clocks configured");
+    }
+    ++refsChecked_;
+    const Addr mask = ~static_cast<Addr>(config_.wordBytes - 1);
+    Addr first = ref.addr & mask;
+    Addr last = ref.bytes == 0
+                    ? first
+                    : (ref.addr + ref.bytes - 1) & mask;
+    for (Addr word = first; word <= last; word += config_.wordBytes)
+        checkWord(ref.pid, word, ref.isWrite());
+}
+
+void
+RaceDetector::checkWord(ProcId p, Addr word, bool is_write)
+{
+    Shadow &s = shadow_[word];
+    const std::uint64_t now = clocks_[p][p];
+
+    // A prior write conflicts with everything.
+    if (s.writeClk != 0 && s.writePid != p &&
+        !happensBefore(s.writePid, s.writeClk, p)) {
+        report(word,
+               RaceAccess{s.writePid, true, s.writePhase},
+               RaceAccess{p, is_write, phase_});
+    }
+
+    if (!is_write) {
+        // Record the read: same-reader epoch in place, otherwise keep
+        // the epoch when it is ordered before us, else promote.
+        if (s.sharedReads != nullptr) {
+            s.sharedReads->clk[p] = now;
+            s.sharedReads->phase[p] = phase_;
+        } else if (s.readClk == 0 || s.readPid == p ||
+                   happensBefore(s.readPid, s.readClk, p)) {
+            s.readPid = p;
+            s.readClk = now;
+            s.readPhase = phase_;
+        } else {
+            auto reads = std::make_unique<ReadVector>(config_.numProcs);
+            reads->clk[s.readPid] = s.readClk;
+            reads->phase[s.readPid] = s.readPhase;
+            reads->clk[p] = now;
+            reads->phase[p] = phase_;
+            s.sharedReads = std::move(reads);
+            s.readPid = kNoPid;
+            s.readClk = 0;
+        }
+        return;
+    }
+
+    // A write also conflicts with every read since the last write.
+    if (s.sharedReads != nullptr) {
+        for (std::uint32_t q = 0; q < config_.numProcs; ++q) {
+            std::uint64_t rc = s.sharedReads->clk[q];
+            if (rc != 0 && q != p && !happensBefore(q, rc, p)) {
+                report(word,
+                       RaceAccess{q, false, s.sharedReads->phase[q]},
+                       RaceAccess{p, true, phase_});
+            }
+        }
+    } else if (s.readClk != 0 && s.readPid != p &&
+               !happensBefore(s.readPid, s.readClk, p)) {
+        report(word,
+               RaceAccess{s.readPid, false, s.readPhase},
+               RaceAccess{p, true, phase_});
+    }
+
+    s.writePid = p;
+    s.writeClk = now;
+    s.writePhase = phase_;
+    // Drop the read history: any future access racing a cleared read
+    // would also race this write (the reads happened-before it, or were
+    // just reported), so no race becomes invisible.
+    s.readPid = kNoPid;
+    s.readClk = 0;
+    s.sharedReads.reset();
+}
+
+void
+RaceDetector::sync(const trace::SyncEvent &event)
+{
+    ++syncEvents_;
+    switch (event.kind) {
+    case trace::SyncKind::Barrier: {
+        ++barriers_;
+        ++phase_;
+        std::vector<std::uint64_t> all(config_.numProcs, 0);
+        for (const auto &c : clocks_)
+            join(all, c);
+        for (std::uint32_t p = 0; p < config_.numProcs; ++p) {
+            clocks_[p] = all;
+            ++clocks_[p][p];
+        }
+        break;
+    }
+    case trace::SyncKind::LockAcquire: {
+        ++lockOps_;
+        if (event.pid >= config_.numProcs)
+            throw std::runtime_error(
+                "RaceDetector: sync event from processor " +
+                std::to_string(event.pid) + " but only " +
+                std::to_string(config_.numProcs) +
+                " clocks configured");
+        auto it = locks_.find(event.object);
+        if (it != locks_.end())
+            join(clocks_[event.pid], it->second);
+        break;
+    }
+    case trace::SyncKind::LockRelease: {
+        ++lockOps_;
+        if (event.pid >= config_.numProcs)
+            throw std::runtime_error(
+                "RaceDetector: sync event from processor " +
+                std::to_string(event.pid) + " but only " +
+                std::to_string(config_.numProcs) +
+                " clocks configured");
+        auto [it, inserted] = locks_.try_emplace(
+            event.object,
+            std::vector<std::uint64_t>(config_.numProcs, 0));
+        join(it->second, clocks_[event.pid]);
+        // Advance the releaser so its post-release work is not ordered
+        // by this release.
+        ++clocks_[event.pid][event.pid];
+        break;
+    }
+    }
+}
+
+void
+RaceDetector::report(Addr word, const RaceAccess &prior,
+                     const RaceAccess &current)
+{
+    constexpr std::size_t kDropped = ~std::size_t{0};
+    ++raceOccurrences_;
+    auto key = std::make_tuple(word, std::uint32_t{prior.pid},
+                               prior.isWrite, std::uint32_t{current.pid},
+                               current.isWrite);
+    auto it = findingIndex_.find(key);
+    if (it != findingIndex_.end()) {
+        if (it->second != kDropped)
+            ++findings_[it->second].count;
+        return;
+    }
+    if (findings_.size() >= config_.maxFindings) {
+        ++findingsDropped_;
+        // Remember the key with a sentinel so repeats of a dropped pair
+        // are not double-counted as new distinct pairs.
+        findingIndex_.emplace(key, kDropped);
+        return;
+    }
+    RaceFinding f;
+    f.wordAddr = word;
+    f.array = arrayNameFor(word);
+    f.prior = prior;
+    f.current = current;
+    f.count = 1;
+    findingIndex_.emplace(key, findings_.size());
+    findings_.push_back(std::move(f));
+}
+
+std::string
+RaceDetector::arrayNameFor(Addr addr) const
+{
+    if (space_ != nullptr) {
+        if (const trace::Segment *seg = space_->findSegment(addr))
+            return seg->name;
+        return "(unmapped)";
+    }
+    // Offline table: segments_ is sorted by base.
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), addr,
+        [](Addr a, const trace::Segment &seg) { return a < seg.base; });
+    if (it != segments_.begin()) {
+        const trace::Segment &seg = *std::prev(it);
+        if (addr >= seg.base && addr - seg.base < seg.bytes)
+            return seg.name;
+    }
+    return "(unmapped)";
+}
+
+RaceCheckResult
+RaceDetector::result() const
+{
+    RaceCheckResult r;
+    r.enabled = true;
+    r.numProcs = config_.numProcs;
+    r.wordBytes = config_.wordBytes;
+    r.refsChecked = refsChecked_;
+    r.syncEvents = syncEvents_;
+    r.barriers = barriers_;
+    r.lockOps = lockOps_;
+    r.findings = findings_;
+    r.findingsDropped = findingsDropped_;
+    r.raceOccurrences = raceOccurrences_;
+    return r;
+}
+
+std::string
+describeRaceCheck(const RaceCheckResult &result)
+{
+    std::ostringstream os;
+    if (!result.enabled) {
+        os << "race check: not run\n";
+        return os.str();
+    }
+    os << "race check: " << result.refsChecked << " refs, "
+       << result.syncEvents << " sync events (" << result.barriers
+       << " barriers, " << result.lockOps << " lock ops), "
+       << result.numProcs << " procs, " << result.wordBytes
+       << "-byte words\n";
+    if (result.clean()) {
+        os << "  no data races detected\n";
+        return os.str();
+    }
+    os << "  " << result.findings.size() << " racing pair(s)";
+    if (result.findingsDropped != 0)
+        os << " (+" << result.findingsDropped << " further dropped)";
+    os << ", " << result.raceOccurrences << " occurrence(s)\n";
+    for (const RaceFinding &f : result.findings) {
+        os << "  [" << f.array << "] word 0x" << std::hex << f.wordAddr
+           << std::dec << ": " << (f.prior.isWrite ? "write" : "read")
+           << " by p" << f.prior.pid << " in phase " << f.prior.phase
+           << " vs " << (f.current.isWrite ? "write" : "read")
+           << " by p" << f.current.pid << " in phase " << f.current.phase
+           << " (x" << f.count << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace wsg::analysis

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Vector-clock happens-before race detection for the *simulated*
+ * programs.
+ *
+ * The working-set methodology only measures what the reference stream
+ * encodes: an unsynchronized conflicting access pair in an instrumented
+ * application silently inflates "inherent communication" misses and
+ * makes the measured curves describe a program nobody intended to
+ * write. This module proves the streams clean. Applications annotate
+ * their synchronization (trace::SyncEvent — global barriers between
+ * phases, lock acquire/release for point-to-point ordering like the
+ * Barnes-Hut moment pass), and the detector maintains classic vector
+ * clocks over the annotated stream:
+ *
+ *   - each simulated processor p carries a clock C_p,
+ *   - a barrier joins every clock and advances every processor,
+ *   - release(m) joins C_p into the lock clock L_m; acquire(m) joins
+ *     L_m into the acquirer — the FastTrack-style epoch shadow below
+ *     then checks each data access against the last conflicting
+ *     accesses to the same machine word.
+ *
+ * Two accesses race when they touch the same word, at least one writes,
+ * and neither happens-before the other. Every reported pair carries the
+ * owning named array (live SharedAddressSpace or the segment table of a
+ * .wsgtrace file), both processor ids, both access kinds, and the
+ * program phase (barrier epoch) of each side, so a report reads like
+ * "lu.matrix word 0x1208: write by p2 in phase 7 vs write by p3 in
+ * phase 7".
+ *
+ * The detector is a MemorySink: tee it next to the Multiprocessor for
+ * live checking (`--analyze-races` in every study), or feed it a
+ * recorded trace via TraceReader::replay (the wsg-analyze CLI). Both
+ * paths are single-threaded over a deterministic stream, so the report
+ * — finding order included — is byte-identical at any StudyRunner
+ * worker count.
+ */
+
+#ifndef WSG_ANALYSIS_RACE_DETECTOR_HH
+#define WSG_ANALYSIS_RACE_DETECTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/address_space.hh"
+#include "trace/memref.hh"
+
+namespace wsg::analysis
+{
+
+using trace::Addr;
+using trace::ProcId;
+
+/** Detector configuration. */
+struct RaceConfig
+{
+    /** Simulated processor count (clock width). */
+    std::uint32_t numProcs = 1;
+    /** Conflict granularity in bytes (power of two). 8 matches the
+     *  double-word elements every application traces. */
+    std::uint32_t wordBytes = 8;
+    /** Distinct findings kept verbatim; further distinct pairs are
+     *  counted in RaceCheckResult::findingsDropped. */
+    std::size_t maxFindings = 64;
+};
+
+/** One side of a racing pair. */
+struct RaceAccess
+{
+    ProcId pid = 0;
+    bool isWrite = false;
+    /** Barrier epoch the access executed in (0 before any barrier). */
+    std::uint64_t phase = 0;
+};
+
+/**
+ * One distinct unordered conflicting pair: a word, the prior access
+ * still visible in the shadow state, and the current access that
+ * neither ordered itself after it nor avoided the conflict.
+ */
+struct RaceFinding
+{
+    /** Word-aligned simulated address of the conflict. */
+    Addr wordAddr = 0;
+    /** Named array segment owning the word, or "(unmapped)". */
+    std::string array;
+    RaceAccess prior;
+    RaceAccess current;
+    /** Occurrences of this (word, processors, kinds) combination. */
+    std::uint64_t count = 0;
+};
+
+/** Everything a race check learned about one stream. */
+struct RaceCheckResult
+{
+    /** False when no check ran (the default StudyResult state). */
+    bool enabled = false;
+    std::uint32_t numProcs = 0;
+    std::uint32_t wordBytes = 8;
+    /** Data references checked (access() calls). */
+    std::uint64_t refsChecked = 0;
+    /** Sync annotations consumed, of which... */
+    std::uint64_t syncEvents = 0;
+    /** ...global barriers (== final phase count). */
+    std::uint64_t barriers = 0;
+    /** ...lock acquire/release operations. */
+    std::uint64_t lockOps = 0;
+    /** Distinct racing pairs, in stream discovery order. */
+    std::vector<RaceFinding> findings;
+    /** Distinct pairs beyond RaceConfig::maxFindings (not listed). */
+    std::uint64_t findingsDropped = 0;
+    /** Total racing access occurrences (all pairs, all repeats). */
+    std::uint64_t raceOccurrences = 0;
+
+    bool clean() const { return findings.empty() && findingsDropped == 0; }
+};
+
+/**
+ * The detector. Feed it the annotated stream; read result() at the end.
+ */
+class RaceDetector : public trace::MemorySink
+{
+  public:
+    explicit RaceDetector(const RaceConfig &config);
+    ~RaceDetector() override;
+
+    /**
+     * Attribute findings against a live address space (must outlive the
+     * detector; segments allocated later are picked up lazily).
+     * Mutually exclusive with setSegments().
+     */
+    void attachAddressSpace(const trace::SharedAddressSpace *space);
+
+    /** Attribute findings against a recorded segment table (e.g.\ from
+     *  TraceReader::segments()). */
+    void setSegments(std::vector<trace::Segment> segments);
+
+    /** MemorySink: check one data reference. */
+    void access(const trace::MemRef &ref) override;
+
+    /** MemorySink: consume one synchronization annotation. */
+    void sync(const trace::SyncEvent &event) override;
+
+    /** Current barrier epoch. */
+    std::uint64_t phase() const { return phase_; }
+
+    /** Snapshot of everything learned so far. */
+    RaceCheckResult result() const;
+
+  private:
+    struct ReadVector;
+    struct Shadow;
+
+    /** True when epoch (q, clk) happened-before processor p's now. */
+    bool
+    happensBefore(std::uint32_t q, std::uint64_t clk, ProcId p) const
+    {
+        return clk <= clocks_[p][q];
+    }
+
+    void checkWord(ProcId p, Addr word, bool is_write);
+    void report(Addr word, const RaceAccess &prior,
+                const RaceAccess &current);
+    std::string arrayNameFor(Addr addr) const;
+
+    RaceConfig config_;
+    /** clocks_[p][q]: p's knowledge of q's epoch counter. */
+    std::vector<std::vector<std::uint64_t>> clocks_;
+    /** Lock clocks, keyed by SyncEvent::object. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> locks_;
+    /** Per-word shadow state (FastTrack-style adaptive epochs). */
+    std::unordered_map<Addr, Shadow> shadow_;
+    /** Dedup: (word, prior pid, prior kind, current pid, current kind)
+     *  -> findings_ index, or npos once the cap is hit. An ordered map
+     *  keeps no iteration-order hazards anywhere near reporting. */
+    std::map<std::tuple<Addr, std::uint32_t, bool, std::uint32_t, bool>,
+             std::size_t>
+        findingIndex_;
+    std::vector<RaceFinding> findings_;
+    std::uint64_t findingsDropped_ = 0;
+    std::uint64_t raceOccurrences_ = 0;
+    std::uint64_t refsChecked_ = 0;
+    std::uint64_t syncEvents_ = 0;
+    std::uint64_t barriers_ = 0;
+    std::uint64_t lockOps_ = 0;
+    std::uint64_t phase_ = 0;
+
+    const trace::SharedAddressSpace *space_ = nullptr;
+    /** Offline segment table, sorted by base address. */
+    std::vector<trace::Segment> segments_;
+};
+
+/** Render a race-check result as a small human-readable report. */
+std::string describeRaceCheck(const RaceCheckResult &result);
+
+} // namespace wsg::analysis
+
+#endif // WSG_ANALYSIS_RACE_DETECTOR_HH

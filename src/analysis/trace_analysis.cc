@@ -1,0 +1,48 @@
+#include "analysis/trace_analysis.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/trace_file.hh"
+
+namespace wsg::analysis
+{
+
+TraceAnalysis
+analyzeTraceFile(const std::string &path, const RaceConfig &config)
+{
+    trace::TraceReader reader(path);
+    if (reader.numProcs() == 0) {
+        throw std::runtime_error("analyzeTraceFile: " + path +
+                                 " declares zero processors");
+    }
+
+    RaceConfig effective = config;
+    effective.numProcs = reader.numProcs();
+    RaceDetector detector(effective);
+    detector.setSegments(reader.segments());
+
+    TraceAnalysis analysis;
+    analysis.numProcs = reader.numProcs();
+    analysis.segments = reader.segments().size();
+    analysis.finalized = reader.finalized();
+    analysis.records = reader.replay(detector);
+    analysis.races = detector.result();
+    return analysis;
+}
+
+std::string
+describeTraceAnalysis(const std::string &path,
+                      const TraceAnalysis &analysis)
+{
+    std::ostringstream os;
+    os << path << ": " << analysis.records << " records, "
+       << analysis.numProcs << " processors, " << analysis.segments
+       << " named segment(s)";
+    if (!analysis.finalized)
+        os << " [unfinalized trace: writer never closed]";
+    os << "\n" << describeRaceCheck(analysis.races);
+    return os.str();
+}
+
+} // namespace wsg::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Offline race analysis of recorded .wsgtrace files.
+ *
+ * The library half of the `wsg-analyze` CLI: open a trace, replay its
+ * data references and sync events through a RaceDetector, and attribute
+ * findings against the trace's own named-segment table (when the writer
+ * recorded one). Tests and the CLI share this exact code path, so a
+ * trace the tests prove clean is clean under the tool too.
+ */
+
+#ifndef WSG_ANALYSIS_TRACE_ANALYSIS_HH
+#define WSG_ANALYSIS_TRACE_ANALYSIS_HH
+
+#include <string>
+
+#include "analysis/race_detector.hh"
+
+namespace wsg::analysis
+{
+
+/** Per-file report of analyzeTraceFile. */
+struct TraceAnalysis
+{
+    /** Processor count from the trace header. */
+    std::uint32_t numProcs = 0;
+    /** Records replayed (data + sync). */
+    std::uint64_t records = 0;
+    /** Named segments the trace carries (0 = no table; findings then
+     *  attribute to "(unmapped)"). */
+    std::size_t segments = 0;
+    /** False for a v2 trace whose writer never finalized (crashed
+     *  run); the analysis still covers every complete record. */
+    bool finalized = true;
+    /** The happens-before verdict. */
+    RaceCheckResult races;
+};
+
+/**
+ * Replay @p path through a RaceDetector and report.
+ *
+ * @p config's numProcs is taken from the trace header (the field in
+ * @p config is ignored); wordBytes and maxFindings are honored.
+ * @throws std::runtime_error on unreadable/corrupt traces (bad magic,
+ *         truncation, unknown record types, out-of-range processor
+ *         ids — everything TraceReader and RaceDetector validate).
+ */
+TraceAnalysis analyzeTraceFile(const std::string &path,
+                               const RaceConfig &config = {});
+
+/** Render a TraceAnalysis as the CLI's per-file report block. */
+std::string describeTraceAnalysis(const std::string &path,
+                                  const TraceAnalysis &analysis);
+
+} // namespace wsg::analysis
+
+#endif // WSG_ANALYSIS_TRACE_ANALYSIS_HH

@@ -346,9 +346,22 @@ BarnesHut::integrate()
 StepStats
 BarnesHut::step()
 {
+    // Barriers mirror the SPLASH-2 structure: partitioning may hand a
+    // body to a new owner, so the previous step's position writes must
+    // be ordered before this step's tree build; the build's moment
+    // writes before the force reads; the force's acceleration writes
+    // before the update. (Within the build, the parent/child moment
+    // dependence is ordered by per-cell release/acquire — see Octree.)
+    trace::MemorySink *sink = pos_.sink();
     partition();
+    if (sink)
+        sink->barrier();
     buildTree();
+    if (sink)
+        sink->barrier();
     StepStats st = forcePhase();
+    if (sink)
+        sink->barrier();
     integrate();
     return st;
 }

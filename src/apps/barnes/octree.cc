@@ -147,6 +147,11 @@ Octree::computeMomentsRec(std::int32_t cell_idx,
                      CellLayout::kComBytes);
         heap_->write(p, cell.addr + CellLayout::quadOffset(),
                      CellLayout::kQuadBytes);
+        // Publish the finished moments (ready-flag per cell): the
+        // parent's owner may be a different processor and reads them in
+        // this same phase, ordered by the matching acquire below.
+        if (heap_->sink())
+            heap_->sink()->lockRelease(p, cell.addr);
         return 1;
     }
 
@@ -177,6 +182,9 @@ Octree::computeMomentsRec(std::int32_t cell_idx,
         if (cell.child[o] < 0)
             continue;
         const Cell &ch = cells_[cell.child[o]];
+        // Wait for the child's moments (matches the child's release).
+        if (heap_->sink())
+            heap_->sink()->lockAcquire(owner, ch.addr);
         heap_->read(owner, ch.addr + CellLayout::comOffset(),
                     CellLayout::kComBytes);
         mass += ch.mass;
@@ -213,6 +221,8 @@ Octree::computeMomentsRec(std::int32_t cell_idx,
                  CellLayout::kComBytes);
     heap_->write(owner, cell.addr + CellLayout::quadOffset(),
                  CellLayout::kQuadBytes);
+    if (heap_->sink())
+        heap_->sink()->lockRelease(owner, cell.addr);
     return depth + 1;
 }
 

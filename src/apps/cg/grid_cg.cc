@@ -162,6 +162,14 @@ CgResult
 GridCg::run(std::uint32_t max_iters, double tol)
 {
     std::uint32_t P = cfg_.numProcs();
+    // Global barriers separate the parallel phases; the reductions
+    // themselves are host-side (untraced) and stand in for the barrier-
+    // synchronized reduction trees of the real code.
+    trace::MemorySink *sink = x_.sink();
+    auto phaseBarrier = [&] {
+        if (sink)
+            sink->barrier();
+    };
 
     // r = b - A x = b (x = 0); p = r.
     for (ProcId p = 0; p < P; ++p) {
@@ -174,20 +182,24 @@ GridCg::run(std::uint32_t max_iters, double tol)
             p_.write(p, id, bv);
         });
     }
+    phaseBarrier();
 
     double rho = 0.0;
     for (ProcId p = 0; p < P; ++p)
         rho += dotLocal(p, r_, r_);
+    phaseBarrier();
 
     CgResult result;
     for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
         // q = A p (the dominant, communication-bearing phase).
         for (ProcId p = 0; p < P; ++p)
             matvec(p, p_, q_);
+        phaseBarrier();
 
         double pq = 0.0;
         for (ProcId p = 0; p < P; ++p)
             pq += dotLocal(p, p_, q_);
+        phaseBarrier();
         double alpha = rho / pq;
 
         // x += alpha p; r -= alpha q.
@@ -202,10 +214,12 @@ GridCg::run(std::uint32_t max_iters, double tol)
                 flops_.add(p, 4);
             });
         }
+        phaseBarrier();
 
         double rho_new = 0.0;
         for (ProcId p = 0; p < P; ++p)
             rho_new += dotLocal(p, r_, r_);
+        phaseBarrier();
 
         result.iterations = iter + 1;
         result.finalResidualNorm = std::sqrt(rho_new);
@@ -225,6 +239,7 @@ GridCg::run(std::uint32_t max_iters, double tol)
                 flops_.add(p, 2);
             });
         }
+        phaseBarrier();
         rho = rho_new;
     }
     return result;
@@ -235,12 +250,18 @@ GridCg::runJacobi(std::uint32_t max_iters, double tol, double omega)
 {
     std::uint32_t P = cfg_.numProcs();
     std::uint32_t S = cfg_.stencil();
+    trace::MemorySink *sink = x_.sink();
+    auto phaseBarrier = [&] {
+        if (sink)
+            sink->barrier();
+    };
 
     CgResult result;
     for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
         // q = A x (the same traced stencil sweep CG performs).
         for (ProcId p = 0; p < P; ++p)
             matvec(p, x_, q_);
+        phaseBarrier();
 
         // x += omega * (b - q) / diag; accumulate the residual norm.
         double rho = 0.0;
@@ -257,6 +278,7 @@ GridCg::runJacobi(std::uint32_t max_iters, double tol, double omega)
                 flops_.add(p, 6);
             });
         }
+        phaseBarrier();
 
         result.iterations = iter + 1;
         result.finalResidualNorm = std::sqrt(rho);

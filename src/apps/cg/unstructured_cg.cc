@@ -218,6 +218,12 @@ UnstructuredResult
 UnstructuredCg::run(std::uint32_t max_iters, double tol)
 {
     std::uint32_t P = cfg_.numProcs;
+    // Barrier-separated phases; reductions are host-side (see GridCg).
+    trace::MemorySink *sink = x_.sink();
+    auto phaseBarrier = [&] {
+        if (sink)
+            sink->barrier();
+    };
 
     for (ProcId p = 0; p < P; ++p) {
         forOwnVertices(p, [&](std::uint32_t v) {
@@ -226,19 +232,23 @@ UnstructuredCg::run(std::uint32_t max_iters, double tol)
             p_.write(p, v, bv);
         });
     }
+    phaseBarrier();
 
     double rho = 0.0;
     for (ProcId p = 0; p < P; ++p)
         rho += dotLocal(p, r_, r_);
+    phaseBarrier();
 
     UnstructuredResult result;
     for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
         for (ProcId p = 0; p < P; ++p)
             matvec(p, p_, q_);
+        phaseBarrier();
 
         double pq = 0.0;
         for (ProcId p = 0; p < P; ++p)
             pq += dotLocal(p, p_, q_);
+        phaseBarrier();
         double alpha = rho / pq;
 
         for (ProcId p = 0; p < P; ++p) {
@@ -250,10 +260,12 @@ UnstructuredCg::run(std::uint32_t max_iters, double tol)
                 flops_.add(p, 4);
             });
         }
+        phaseBarrier();
 
         double rho_new = 0.0;
         for (ProcId p = 0; p < P; ++p)
             rho_new += dotLocal(p, r_, r_);
+        phaseBarrier();
 
         result.iterations = iter + 1;
         result.finalResidualNorm = std::sqrt(rho_new);
@@ -270,6 +282,7 @@ UnstructuredCg::run(std::uint32_t max_iters, double tol)
                 flops_.add(p, 2);
             });
         }
+        phaseBarrier();
         rho = rho_new;
     }
     return result;

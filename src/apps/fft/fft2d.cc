@@ -99,26 +99,43 @@ Fft2d::forward()
     std::uint64_t C = cfg_.cols();
     auto &a = dataInX_ ? x_ : y_;
     auto &b = dataInX_ ? y_ : x_;
+    // Step boundaries are global barriers (transposes read remote rows);
+    // the leading one orders this call after the input producer.
+    trace::MemorySink *sink = x_.sink();
+    auto stepBarrier = [&] {
+        if (sink)
+            sink->barrier();
+    };
+    stepBarrier();
 
     // 1. FFT every row (length C) in place.
     rowFfts(a, R, C);
+    stepBarrier();
     // 2. Transpose R x C -> C x R (all-to-all).
     transpose(a, b, R, C);
+    stepBarrier();
     // 3. FFT every former column (length R).
     rowFfts(b, C, R);
+    stepBarrier();
     // 4. Transpose back to natural R x C order.
     transpose(b, a, C, R);
+    stepBarrier();
     // Data ends in `a`: parity unchanged.
 }
 
 void
 Fft2d::inverse()
 {
+    trace::MemorySink *sink = x_.sink();
     auto &cur = dataInX_ ? x_ : y_;
+    if (sink)
+        sink->barrier();
     conjugateAll(cur, 1.0);
     forward();
     auto &now = dataInX_ ? x_ : y_;
     conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+    if (sink)
+        sink->barrier();
 }
 
 std::vector<std::complex<double>>

@@ -58,11 +58,16 @@ Fft3d::pass(trace::TracedArray<double> &src,
             trace::TracedArray<double> &dst, std::uint64_t rows,
             std::uint64_t cols)
 {
+    trace::MemorySink *sink = x_.sink();
+
     // FFT every length-`cols` row in place (block-distributed rows).
     std::uint64_t per_row = rows / cfg_.numProcs;
     for (ProcId p = 0; p < cfg_.numProcs; ++p)
         for (std::uint64_t r = p * per_row; r < (p + 1) * per_row; ++r)
             kernel_.run(p, src, r * cols, cols);
+    // The rotation reads rows other processors just transformed.
+    if (sink)
+        sink->barrier();
 
     // Transpose (rows x cols) -> (cols x rows): the axis rotation.
     std::uint64_t per_dst = cols / cfg_.numProcs;
@@ -76,6 +81,8 @@ Fft3d::pass(trace::TracedArray<double> &src,
             }
         }
     }
+    if (sink)
+        sink->barrier();
 }
 
 void
@@ -97,6 +104,10 @@ Fft3d::forward()
     std::uint64_t n0 = cfg_.n0(), n1 = cfg_.n1(), n2 = cfg_.n2();
     auto &a = dataInX_ ? x_ : y_;
     auto &b = dataInX_ ? y_ : x_;
+    // Order this call after whatever produced the input; each pass()
+    // emits its own internal and trailing barriers.
+    if (trace::MemorySink *sink = x_.sink())
+        sink->barrier();
 
     // Layout (i0, i1, i2): transform i2, rotate -> (i2, i0, i1).
     pass(a, b, n0 * n1, n2);
@@ -111,11 +122,16 @@ Fft3d::forward()
 void
 Fft3d::inverse()
 {
+    trace::MemorySink *sink = x_.sink();
     auto &cur = dataInX_ ? x_ : y_;
+    if (sink)
+        sink->barrier();
     conjugateAll(cur, 1.0);
     forward();
     auto &now = dataInX_ ? x_ : y_;
     conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+    if (sink)
+        sink->barrier();
 }
 
 std::vector<std::complex<double>>

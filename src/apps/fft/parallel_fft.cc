@@ -144,28 +144,43 @@ ParallelFft::forward()
     std::uint64_t n2 = cfg_.pointsPerProc();
     auto &a = dataInX_ ? x_ : y_;
     auto &b = dataInX_ ? y_ : x_;
+    // A transpose reads mostly-remote rows, so every step boundary is a
+    // global barrier (as in the SPLASH-2 kernel); the leading barrier
+    // orders this call after whatever produced the input.
+    trace::MemorySink *sink = x_.sink();
+    auto stepBarrier = [&] {
+        if (sink)
+            sink->barrier();
+    };
+    stepBarrier();
 
     // Step 1: transpose n1 x n2 -> n2 x n1.
     transpose(a, b, n1, n2);
+    stepBarrier();
 
     // Step 2: FFT each length-n1 row of the n2 x n1 view.
     std::uint64_t per = n2 / cfg_.numProcs;
     for (ProcId p = 0; p < cfg_.numProcs; ++p)
         for (std::uint64_t r = p * per; r < (p + 1) * per; ++r)
             kernel_.run(p, b, r * n1, n1);
+    stepBarrier();
 
     // Step 3: twiddle scaling.
     twiddleScale(b);
+    stepBarrier();
 
     // Step 4: transpose n2 x n1 -> n1 x n2.
     transpose(b, a, n2, n1);
+    stepBarrier();
 
     // Step 5: FFT each length-n2 row (one per processor).
     for (ProcId p = 0; p < cfg_.numProcs; ++p)
         kernel_.run(p, a, static_cast<std::uint64_t>(p) * n2, n2);
+    stepBarrier();
 
     // Step 6: transpose n1 x n2 -> n2 x n1, yielding natural order.
     transpose(a, b, n1, n2);
+    stepBarrier();
 
     dataInX_ = !dataInX_;
 }
@@ -173,11 +188,16 @@ ParallelFft::forward()
 void
 ParallelFft::inverse()
 {
+    trace::MemorySink *sink = x_.sink();
     auto &cur = dataInX_ ? x_ : y_;
+    if (sink)
+        sink->barrier();
     conjugateAll(cur, 1.0);
     forward();
     auto &now = dataInX_ ? x_ : y_;
     conjugateAll(now, 1.0 / static_cast<double>(cfg_.N()));
+    if (sink)
+        sink->barrier();
 }
 
 std::vector<std::complex<double>>

@@ -151,11 +151,19 @@ BlockedCholesky::updateTrailing(std::uint32_t K)
 void
 BlockedCholesky::factor()
 {
+    // Barrier-separated phases, as in BlockedLu::factor.
+    trace::MemorySink *sink = a_.sink();
     std::uint32_t N = cfg_.numBlocks();
     for (std::uint32_t K = 0; K < N; ++K) {
         factorDiagonal(K);
+        if (sink)
+            sink->barrier();
         solveColumnPanel(K);
+        if (sink)
+            sink->barrier();
         updateTrailing(K);
+        if (sink)
+            sink->barrier();
     }
 }
 

@@ -170,12 +170,24 @@ BlockedLu::updateTrailing(std::uint32_t K)
 void
 BlockedLu::factor()
 {
+    // Each sub-step is a parallel phase separated by global barriers (as
+    // in SPLASH LU); the annotations let a happens-before check prove
+    // every cross-processor block dependence is barrier-ordered.
+    trace::MemorySink *sink = a_.sink();
     std::uint32_t N = cfg_.numBlocks();
     for (std::uint32_t K = 0; K < N; ++K) {
         factorDiagonal(K);
+        if (sink)
+            sink->barrier();
         solveColumnPanel(K);
+        if (sink)
+            sink->barrier();
         solveRowPanel(K);
+        if (sink)
+            sink->barrier();
         updateTrailing(K);
+        if (sink)
+            sink->barrier();
     }
 }
 

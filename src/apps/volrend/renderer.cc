@@ -200,6 +200,12 @@ Renderer::renderFrame()
     stats.raysPerProc.assign(cfg_.numProcs, 0);
     Basis basis = viewBasis();
 
+    // Frame barrier: stealing reshuffles pixel ownership every frame,
+    // so the previous frame's image writes (and the one-time volume /
+    // octree construction) must be ordered before this frame's work.
+    if (trace::MemorySink *sink = image_.sink())
+        sink->barrier();
+
     // Static block assignment: per-processor ray queues in scan order.
     std::vector<std::deque<std::uint64_t>> queues(cfg_.numProcs);
     for (std::uint32_t v = 0; v < cfg_.imageHeight; ++v)

@@ -11,6 +11,9 @@
 
 #include "apps/barnes/barnes_hut.hh"
 #include "apps/cg/grid_cg.hh"
+#include "apps/cg/unstructured_cg.hh"
+#include "apps/fft/fft2d.hh"
+#include "apps/fft/fft3d.hh"
 #include "apps/fft/parallel_fft.hh"
 #include "apps/lu/blocked_lu.hh"
 #include "apps/volrend/renderer.hh"
@@ -132,6 +135,52 @@ simFft(std::uint32_t radix = 8)
     cfg.logN = 14;
     cfg.numProcs = 4;
     cfg.internalRadix = radix;
+    return cfg;
+}
+
+/** Cholesky simulation: same scale as simLu (the factor shares LU's
+ *  block decomposition and working-set structure). */
+inline apps::lu::LuConfig
+simCholesky(std::uint32_t B = 16)
+{
+    return simLu(B);
+}
+
+/** Unstructured CG simulation: 4096-vertex k-NN mesh on 16
+ *  processors, partitioned along the space-filling curve. */
+inline apps::cg::UnstructuredConfig
+simUnstructured()
+{
+    apps::cg::UnstructuredConfig cfg;
+    cfg.numVertices = 4096;
+    cfg.neighbors = 6;
+    cfg.numProcs = 16;
+    cfg.partition = apps::cg::PartitionKind::SpaceFillingCurve;
+    return cfg;
+}
+
+/** 2-D FFT simulation: 64 x 64 on 4 processors. */
+inline apps::fft::Fft2dConfig
+simFft2d()
+{
+    apps::fft::Fft2dConfig cfg;
+    cfg.logRows = 6;
+    cfg.logCols = 6;
+    cfg.numProcs = 4;
+    cfg.internalRadix = 8;
+    return cfg;
+}
+
+/** 3-D FFT simulation: 16^3 on 4 processors. */
+inline apps::fft::Fft3dConfig
+simFft3d()
+{
+    apps::fft::Fft3dConfig cfg;
+    cfg.log0 = 4;
+    cfg.log1 = 4;
+    cfg.log2 = 4;
+    cfg.numProcs = 4;
+    cfg.internalRadix = 8;
     return cfg;
 }
 

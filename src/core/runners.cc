@@ -1,6 +1,10 @@
 #include "core/runners.hh"
 
+#include <cmath>
+#include <memory>
+
 #include "trace/address_space.hh"
+#include "trace/sinks.hh"
 
 namespace wsg::core
 {
@@ -24,6 +28,49 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
     return config;
 }
 
+/**
+ * Optional live race check. When the study asks for it, the
+ * application traces into a TeeSink feeding both the Multiprocessor
+ * and a RaceDetector, so the detector sees the exact reference and
+ * sync-event stream the caches see — warm-up included (a warm-up race
+ * is still a bug, even though its misses are excluded).
+ */
+class RaceCheck
+{
+  public:
+    RaceCheck(sim::Multiprocessor &mp,
+              const trace::SharedAddressSpace &space,
+              const StudyConfig &study)
+        : sink_(&mp)
+    {
+        if (!study.analyzeRaces)
+            return;
+        analysis::RaceConfig config;
+        config.numProcs = mp.config().numProcs;
+        detector_ = std::make_unique<analysis::RaceDetector>(config);
+        detector_->attachAddressSpace(&space);
+        tee_ = std::make_unique<trace::TeeSink>(mp, *detector_);
+        sink_ = tee_.get();
+    }
+
+    /** Sink to hand the application. */
+    trace::MemorySink *sink() const { return sink_; }
+
+    /** Stamp the check's outcome into the study result. */
+    StudyResult
+    finish(StudyResult result) const
+    {
+        if (detector_ != nullptr)
+            result.races = detector_->result();
+        return result;
+    }
+
+  private:
+    std::unique_ptr<analysis::RaceDetector> detector_;
+    std::unique_ptr<trace::TeeSink> tee_;
+    trace::MemorySink *sink_;
+};
+
 } // namespace
 
 StudyJob
@@ -39,14 +86,15 @@ luStudyJob(const apps::lu::LuConfig &app_config,
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
         mp.attachAddressSpace(&space);
-        apps::lu::BlockedLu app(app_config, space, &mp);
+        RaceCheck race(mp, space, study);
+        apps::lu::BlockedLu app(app_config, space, race.sink());
         app.randomize(1234);
         app.factor();
-        return analyzeWorkingSets(
+        return race.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
             "LU n=" + std::to_string(app_config.n) +
                 " B=" + std::to_string(app_config.blockSize),
-            ctx.pool);
+            ctx.pool));
     };
     return job;
 }
@@ -65,7 +113,8 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
         mp.attachAddressSpace(&space);
-        apps::cg::GridCg app(app_config, space, &mp);
+        RaceCheck race(mp, space, study);
+        apps::cg::GridCg app(app_config, space, race.sink());
         app.buildSystem();
 
         mp.setMeasuring(false);
@@ -74,12 +123,12 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
         mp.setMeasuring(true);
         app.run(iters, 0.0);
 
-        return analyzeWorkingSets(
+        return race.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "CG " + std::to_string(app_config.dims) +
                 "-D n=" + std::to_string(app_config.n),
-            ctx.pool);
+            ctx.pool));
     };
     return job;
 }
@@ -98,7 +147,8 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        apps::fft::ParallelFft app(app_config, space, &mp);
+        RaceCheck race(mp, space, study);
+        apps::fft::ParallelFft app(app_config, space, race.sink());
         for (std::uint64_t i = 0; i < app_config.N(); ++i)
             app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
                              std::cos(0.003 * static_cast<double>(i))});
@@ -111,12 +161,12 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
-        return analyzeWorkingSets(
+        return race.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "FFT logN=" + std::to_string(app_config.logN) +
                 " r=" + std::to_string(app_config.internalRadix),
-            ctx.pool);
+            ctx.pool));
     };
     return job;
 }
@@ -135,7 +185,8 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        apps::barnes::BarnesHut app(app_config, space, &mp);
+        RaceCheck race(mp, space, study);
+        apps::barnes::BarnesHut app(app_config, space, race.sink());
         app.initPlummer();
 
         mp.setMeasuring(false);
@@ -145,12 +196,12 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
         for (std::uint32_t s = 0; s < steps; ++s)
             app.step();
 
-        return analyzeWorkingSets(
+        return race.finish(analyzeWorkingSets(
             mp, study, Metric::ReadMissRate, 0,
             "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
                 " theta=" +
                 std::to_string(app_config.theta).substr(0, 4),
-            ctx.pool);
+            ctx.pool));
     };
     return job;
 }
@@ -169,10 +220,12 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
         sim::Multiprocessor mp(
             simConfigFor(render.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        apps::volrend::Volume vol(dims, space, &mp);
+        RaceCheck race(mp, space, study);
+        apps::volrend::Volume vol(dims, space, race.sink());
         vol.buildHeadPhantom();
         vol.buildOctree();
-        apps::volrend::Renderer renderer(render, vol, space, &mp);
+        apps::volrend::Renderer renderer(render, vol, space,
+                                         race.sink());
 
         mp.setMeasuring(false);
         for (std::uint32_t f = 0; f < warmup_frames; ++f)
@@ -181,9 +234,159 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
         for (std::uint32_t f = 0; f < frames; ++f)
             renderer.renderFrame();
 
-        return analyzeWorkingSets(
+        return race.finish(analyzeWorkingSets(
             mp, study, Metric::ReadMissRate, 0,
-            "Volrend " + std::to_string(dims.nx) + "^3", ctx.pool);
+            "Volrend " + std::to_string(dims.nx) + "^3", ctx.pool));
+    };
+    return job;
+}
+
+StudyJob
+choleskyStudyJob(const apps::lu::LuConfig &app_config,
+                 const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "Cholesky n=" + std::to_string(app_config.n) +
+               " B=" + std::to_string(app_config.blockSize);
+    job.body = [app_config, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs(), line_bytes, study));
+        mp.attachAddressSpace(&space);
+        RaceCheck race(mp, space, study);
+        apps::lu::BlockedCholesky app(app_config, space, race.sink());
+        app.randomizeSpd(1234);
+        app.factor();
+        return race.finish(analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
+            "Cholesky n=" + std::to_string(app_config.n) +
+                " B=" + std::to_string(app_config.blockSize),
+            ctx.pool));
+    };
+    return job;
+}
+
+StudyJob
+unstructuredStudyJob(const apps::cg::UnstructuredConfig &app_config,
+                     std::uint32_t iters, std::uint32_t warmup_iters,
+                     const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "UnstructuredCG n=" +
+               std::to_string(app_config.numVertices);
+    job.body = [app_config, iters, warmup_iters, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
+        RaceCheck race(mp, space, study);
+        apps::cg::UnstructuredCg app(app_config, space, race.sink());
+        app.buildSystem();
+
+        mp.setMeasuring(false);
+        app.run(warmup_iters, 0.0);
+        std::uint64_t warm_flops = app.flops().totalFlops();
+        mp.setMeasuring(true);
+        app.run(iters, 0.0);
+
+        return race.finish(analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop,
+            app.flops().totalFlops() - warm_flops,
+            "UnstructuredCG n=" +
+                std::to_string(app_config.numVertices),
+            ctx.pool));
+    };
+    return job;
+}
+
+StudyJob
+fft2dStudyJob(const apps::fft::Fft2dConfig &app_config,
+              std::uint32_t transforms, std::uint32_t warmup_transforms,
+              const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "FFT2D " + std::to_string(app_config.rows()) + "x" +
+               std::to_string(app_config.cols());
+    job.body = [app_config, transforms, warmup_transforms, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
+        RaceCheck race(mp, space, study);
+        apps::fft::Fft2d app(app_config, space, race.sink());
+        for (std::uint64_t r = 0; r < app_config.rows(); ++r) {
+            for (std::uint64_t c = 0; c < app_config.cols(); ++c) {
+                double t = 0.001 * static_cast<double>(
+                                       r * app_config.cols() + c);
+                app.setInput(r, c, {std::sin(t), std::cos(3.0 * t)});
+            }
+        }
+
+        mp.setMeasuring(false);
+        for (std::uint32_t t = 0; t < warmup_transforms; ++t)
+            app.forward();
+        std::uint64_t warm_flops = app.flops().totalFlops();
+        mp.setMeasuring(true);
+        for (std::uint32_t t = 0; t < transforms; ++t)
+            app.forward();
+
+        return race.finish(analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop,
+            app.flops().totalFlops() - warm_flops,
+            "FFT2D " + std::to_string(app_config.rows()) + "x" +
+                std::to_string(app_config.cols()),
+            ctx.pool));
+    };
+    return job;
+}
+
+StudyJob
+fft3dStudyJob(const apps::fft::Fft3dConfig &app_config,
+              std::uint32_t transforms, std::uint32_t warmup_transforms,
+              const StudyConfig &study, std::uint32_t line_bytes)
+{
+    StudyJob job;
+    job.name = "FFT3D " + std::to_string(app_config.n0()) + "x" +
+               std::to_string(app_config.n1()) + "x" +
+               std::to_string(app_config.n2());
+    job.body = [app_config, transforms, warmup_transforms, study,
+                line_bytes](const StudyContext &ctx) {
+        trace::SharedAddressSpace space;
+        sim::Multiprocessor mp(
+            simConfigFor(app_config.numProcs, line_bytes, study));
+        mp.attachAddressSpace(&space);
+        RaceCheck race(mp, space, study);
+        apps::fft::Fft3d app(app_config, space, race.sink());
+        std::uint64_t flat = 0;
+        for (std::uint64_t i0 = 0; i0 < app_config.n0(); ++i0) {
+            for (std::uint64_t i1 = 0; i1 < app_config.n1(); ++i1) {
+                for (std::uint64_t i2 = 0; i2 < app_config.n2();
+                     ++i2, ++flat) {
+                    double t = 0.001 * static_cast<double>(flat);
+                    app.setInput(i0, i1, i2,
+                                 {std::sin(t), std::cos(3.0 * t)});
+                }
+            }
+        }
+
+        mp.setMeasuring(false);
+        for (std::uint32_t t = 0; t < warmup_transforms; ++t)
+            app.forward();
+        std::uint64_t warm_flops = app.flops().totalFlops();
+        mp.setMeasuring(true);
+        for (std::uint32_t t = 0; t < transforms; ++t)
+            app.forward();
+
+        return race.finish(analyzeWorkingSets(
+            mp, study, Metric::MissesPerFlop,
+            app.flops().totalFlops() - warm_flops,
+            "FFT3D " + std::to_string(app_config.n0()) + "x" +
+                std::to_string(app_config.n1()) + "x" +
+                std::to_string(app_config.n2()),
+            ctx.pool));
     };
     return job;
 }
@@ -193,6 +396,44 @@ runLuStudy(const apps::lu::LuConfig &app_config, const StudyConfig &study,
            std::uint32_t line_bytes)
 {
     return luStudyJob(app_config, study, line_bytes).body(StudyContext{});
+}
+
+StudyResult
+runCholeskyStudy(const apps::lu::LuConfig &app_config,
+                 const StudyConfig &study, std::uint32_t line_bytes)
+{
+    return choleskyStudyJob(app_config, study, line_bytes)
+        .body(StudyContext{});
+}
+
+StudyResult
+runUnstructuredStudy(const apps::cg::UnstructuredConfig &app_config,
+                     std::uint32_t iters, std::uint32_t warmup_iters,
+                     const StudyConfig &study, std::uint32_t line_bytes)
+{
+    return unstructuredStudyJob(app_config, iters, warmup_iters, study,
+                                line_bytes)
+        .body(StudyContext{});
+}
+
+StudyResult
+runFft2dStudy(const apps::fft::Fft2dConfig &app_config,
+              std::uint32_t transforms, std::uint32_t warmup_transforms,
+              const StudyConfig &study, std::uint32_t line_bytes)
+{
+    return fft2dStudyJob(app_config, transforms, warmup_transforms,
+                         study, line_bytes)
+        .body(StudyContext{});
+}
+
+StudyResult
+runFft3dStudy(const apps::fft::Fft3dConfig &app_config,
+              std::uint32_t transforms, std::uint32_t warmup_transforms,
+              const StudyConfig &study, std::uint32_t line_bytes)
+{
+    return fft3dStudyJob(app_config, transforms, warmup_transforms,
+                         study, line_bytes)
+        .body(StudyContext{});
 }
 
 StudyResult

@@ -19,7 +19,11 @@
 
 #include "apps/barnes/barnes_hut.hh"
 #include "apps/cg/grid_cg.hh"
+#include "apps/cg/unstructured_cg.hh"
+#include "apps/fft/fft2d.hh"
+#include "apps/fft/fft3d.hh"
 #include "apps/fft/parallel_fft.hh"
+#include "apps/lu/blocked_cholesky.hh"
 #include "apps/lu/blocked_lu.hh"
 #include "apps/volrend/renderer.hh"
 #include "apps/volrend/volume.hh"
@@ -66,6 +70,31 @@ StudyJob volrendStudyJob(const apps::volrend::VolumeDims &dims,
                          std::uint32_t warmup_frames = 1,
                          const StudyConfig &study = {},
                          std::uint32_t line_bytes = 16);
+
+/** Schedulable form of runCholeskyStudy. */
+StudyJob choleskyStudyJob(const apps::lu::LuConfig &app_config,
+                          const StudyConfig &study = {},
+                          std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runUnstructuredStudy. */
+StudyJob unstructuredStudyJob(
+    const apps::cg::UnstructuredConfig &app_config,
+    std::uint32_t iters = 3, std::uint32_t warmup_iters = 1,
+    const StudyConfig &study = {}, std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runFft2dStudy. */
+StudyJob fft2dStudyJob(const apps::fft::Fft2dConfig &app_config,
+                       std::uint32_t transforms = 1,
+                       std::uint32_t warmup_transforms = 1,
+                       const StudyConfig &study = {},
+                       std::uint32_t line_bytes = 8);
+
+/** Schedulable form of runFft3dStudy. */
+StudyJob fft3dStudyJob(const apps::fft::Fft3dConfig &app_config,
+                       std::uint32_t transforms = 1,
+                       std::uint32_t warmup_transforms = 1,
+                       const StudyConfig &study = {},
+                       std::uint32_t line_bytes = 8);
 
 /**
  * Run a blocked LU factorization and analyze misses/FLOP.
@@ -115,6 +144,34 @@ StudyResult runVolrendStudy(const apps::volrend::VolumeDims &dims,
                             std::uint32_t warmup_frames = 1,
                             const StudyConfig &study = {},
                             std::uint32_t line_bytes = 16);
+
+/** Run a blocked Cholesky factorization; misses/FLOP, like LU. */
+StudyResult runCholeskyStudy(const apps::lu::LuConfig &app_config,
+                             const StudyConfig &study = {},
+                             std::uint32_t line_bytes = 8);
+
+/** Run unstructured CG on the k-NN mesh; warm-up iterations excluded
+ *  as in the grid solver. */
+StudyResult runUnstructuredStudy(
+    const apps::cg::UnstructuredConfig &app_config,
+    std::uint32_t iters = 3, std::uint32_t warmup_iters = 1,
+    const StudyConfig &study = {}, std::uint32_t line_bytes = 8);
+
+/** Run @p warmup_transforms + @p transforms forward 2-D FFTs; only the
+ *  last @p transforms are measured. */
+StudyResult runFft2dStudy(const apps::fft::Fft2dConfig &app_config,
+                          std::uint32_t transforms = 1,
+                          std::uint32_t warmup_transforms = 1,
+                          const StudyConfig &study = {},
+                          std::uint32_t line_bytes = 8);
+
+/** Run @p warmup_transforms + @p transforms forward 3-D FFTs; only the
+ *  last @p transforms are measured. */
+StudyResult runFft3dStudy(const apps::fft::Fft3dConfig &app_config,
+                          std::uint32_t transforms = 1,
+                          std::uint32_t warmup_transforms = 1,
+                          const StudyConfig &study = {},
+                          std::uint32_t line_bytes = 8);
 
 } // namespace wsg::core
 

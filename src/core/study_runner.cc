@@ -344,6 +344,8 @@ parseRunnerCli(int &argc, char **argv)
             cli.jsonPath = arg.substr(7);
         } else if (arg == "--progress") {
             cli.progress = true;
+        } else if (arg == "--analyze-races") {
+            cli.analyzeRaces = true;
         } else if (arg == "--sample-rate") {
             parse_rate(next_value("--sample-rate"));
         } else if (arg.rfind("--sample-rate=", 0) == 0) {
@@ -400,6 +402,32 @@ emitCliReport(const RunnerCli &cli,
     }
     writeJsonReport(file, reports);
     return cli.jsonPath;
+}
+
+std::size_t
+reportRaceChecks(std::ostream &os,
+                 const std::vector<JobReport> &reports)
+{
+    std::size_t racy = 0;
+    bool any = false;
+    for (const JobReport &report : reports) {
+        if (!report.result.races.enabled)
+            continue;
+        if (!any) {
+            os << "\nhappens-before race check:\n";
+            any = true;
+        }
+        os << report.name << ": "
+           << analysis::describeRaceCheck(report.result.races);
+        if (!report.result.races.clean())
+            ++racy;
+    }
+    if (any) {
+        os << (racy == 0 ? "race check: all studies clean\n"
+                         : "race check: " + std::to_string(racy) +
+                               " study(ies) report races\n");
+    }
+    return racy;
 }
 
 } // namespace wsg::core

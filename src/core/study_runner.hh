@@ -185,11 +185,19 @@ struct RunnerCli
      * Benches copy this into StudyConfig::sampling.
      */
     approx::SamplingConfig sampling{};
+    /**
+     * --analyze-races: run the happens-before race check alongside
+     * every study (StudyConfig::analyzeRaces). Benches report the
+     * outcome per study and exit non-zero if any race is found, so the
+     * flag doubles as a CI gate.
+     */
+    bool analyzeRaces = false;
 };
 
 /**
- * Extract --jobs/--json/--progress/--sample-rate/--sample-size from
- * argv, *removing* the consumed arguments so positional parameters keep
+ * Extract --jobs/--json/--progress/--analyze-races/--sample-rate/
+ * --sample-size from argv, *removing* the consumed arguments so
+ * positional parameters keep
  * their indices for the caller. A malformed runner flag (missing or
  * unparseable value, rate outside (0,1], size of zero, or both sampling
  * flags at once) prints an error on stderr and exits with status 2.
@@ -208,6 +216,16 @@ RunnerConfig cliRunnerConfig(const RunnerCli &cli);
  */
 std::string emitCliReport(const RunnerCli &cli,
                           const std::vector<JobReport> &reports);
+
+/**
+ * Print each race-checked study's happens-before verdict to @p os (in
+ * submission order, so the output is byte-identical at any --jobs
+ * value) and return the number of studies with findings. No-op
+ * returning 0 when no study ran the check. Benches exit non-zero on a
+ * non-zero return, which makes --analyze-races usable as a CI gate.
+ */
+std::size_t reportRaceChecks(std::ostream &os,
+                             const std::vector<JobReport> &reports);
 
 } // namespace wsg::core
 

@@ -71,6 +71,8 @@ describeStudy(const StudyResult &result)
        << stats::formatBytes(
               static_cast<double>(result.maxFootprintBytes))
        << ", floor " << stats::formatRate(result.floorRate) << "\n";
+    if (result.races.enabled)
+        os << analysis::describeRaceCheck(result.races);
     return os.str();
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/curve.hh"
 #include "stats/knee.hh"
@@ -55,6 +56,14 @@ struct StudyConfig
      * actually ran with (analyzeWorkingSets checks).
      */
     approx::SamplingConfig sampling{};
+    /**
+     * Run a happens-before race check alongside the simulation: the
+     * study tees the reference stream into an analysis::RaceDetector
+     * (warm-up included — a warm-up race is still a bug) and reports
+     * the outcome in StudyResult::races. Off by default: the check
+     * roughly doubles per-reference work.
+     */
+    bool analyzeRaces = false;
 };
 
 /** Outcome of one study. */
@@ -87,6 +96,9 @@ struct StudyResult
     /** Per-array attribution; empty unless the study attached its
      *  address space (sim::Multiprocessor::attachAddressSpace). */
     std::vector<sim::SharingSummary> perArray;
+    /** Happens-before race check over the full reference stream;
+     *  `races.enabled` is false unless StudyConfig::analyzeRaces. */
+    analysis::RaceCheckResult races;
 };
 
 /**

@@ -564,7 +564,10 @@ Multiprocessor::procSummaries() const
     for (std::uint32_t p = 0; p < config_.numProcs; ++p) {
         const ProcStats &st = stats_[p];
         SharingSummary s;
-        s.name = "p" + std::to_string(p);
+        // Bind to an lvalue: the const char* + string&& overload trips
+        // GCC 12's -Wrestrict false positive (PR 105651).
+        std::string pid = std::to_string(p);
+        s.name = "p" + pid;
         s.reads = st.reads;
         s.writes = st.writes;
         s.readCold = st.readCold;

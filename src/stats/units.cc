@@ -29,8 +29,12 @@ oneDecimal(double value)
 std::string
 formatBytes(double bytes)
 {
-    if (bytes < 0)
-        return "-" + formatBytes(-bytes);
+    if (bytes < 0) {
+        // Bind to an lvalue: the const char* + string&& overload trips
+        // GCC 12's -Wrestrict false positive (PR 105651).
+        std::string positive = formatBytes(-bytes);
+        return "-" + positive;
+    }
     if (bytes < static_cast<double>(kKiB))
         return oneDecimal(bytes) + " B";
     if (bytes < static_cast<double>(kMiB))

@@ -41,6 +41,38 @@ struct MemRef
     bool isWrite() const { return type == RefType::Write; }
 };
 
+/** Kind of synchronization event (see SyncEvent). */
+enum class SyncKind : std::uint8_t
+{
+    /** Global barrier: every processor participates; everything before
+     *  it happens-before everything after it. */
+    Barrier,
+    /** One processor acquires the lock named by SyncEvent::object. */
+    LockAcquire,
+    /** One processor releases the lock named by SyncEvent::object. */
+    LockRelease,
+};
+
+/**
+ * One synchronization operation of the simulated program.
+ *
+ * Applications annotate their phase structure with these so the
+ * reference stream carries the *intended* ordering, not just the
+ * addresses: a happens-before checker (analysis::RaceDetector) can then
+ * prove that every pair of conflicting accesses is ordered. Sync events
+ * are not memory references — they never touch the caches, the
+ * directory, or any counter the studies report.
+ */
+struct SyncEvent
+{
+    SyncKind kind = SyncKind::Barrier;
+    /** Acquiring/releasing processor; ignored for Barrier. */
+    ProcId pid = 0;
+    /** Lock identity (any stable id, e.g.\ a simulated address); also
+     *  usable as a barrier id, though barriers are global either way. */
+    std::uint64_t object = 0;
+};
+
 /**
  * Consumer of memory references.
  *
@@ -55,6 +87,14 @@ class MemorySink
     /** Deliver one reference. */
     virtual void access(const MemRef &ref) = 0;
 
+    /**
+     * Deliver one synchronization annotation. Default: ignore — sinks
+     * that only model the memory system (caches, counters) are
+     * oblivious to sync, so annotating an application never perturbs
+     * its measured reference stream.
+     */
+    virtual void sync(const SyncEvent &) {}
+
     /** Convenience wrapper for reads. */
     void
     read(ProcId pid, Addr addr, std::uint32_t bytes)
@@ -67,6 +107,27 @@ class MemorySink
     write(ProcId pid, Addr addr, std::uint32_t bytes)
     {
         access(MemRef{addr, bytes, pid, RefType::Write});
+    }
+
+    /** Convenience wrapper: global barrier. */
+    void
+    barrier(std::uint64_t id = 0)
+    {
+        sync(SyncEvent{SyncKind::Barrier, 0, id});
+    }
+
+    /** Convenience wrapper: @p pid acquires lock @p object. */
+    void
+    lockAcquire(ProcId pid, std::uint64_t object)
+    {
+        sync(SyncEvent{SyncKind::LockAcquire, pid, object});
+    }
+
+    /** Convenience wrapper: @p pid releases lock @p object. */
+    void
+    lockRelease(ProcId pid, std::uint64_t object)
+    {
+        sync(SyncEvent{SyncKind::LockRelease, pid, object});
     }
 };
 

@@ -69,20 +69,32 @@ class CountingSink : public MemorySink
     std::vector<std::uint64_t> writeBytes_;
 };
 
-/** Records every reference in order; for tests and trace dumps. */
+/** Records every reference (and sync event) in order; for tests and
+ *  trace dumps. */
 class RecordingSink : public MemorySink
 {
   public:
     void access(const MemRef &ref) override { refs_.push_back(ref); }
+    void sync(const SyncEvent &event) override
+    {
+        syncs_.push_back(event);
+    }
 
     const std::vector<MemRef> &refs() const { return refs_; }
-    void clear() { refs_.clear(); }
+    const std::vector<SyncEvent> &syncs() const { return syncs_; }
+    void
+    clear()
+    {
+        refs_.clear();
+        syncs_.clear();
+    }
 
   private:
     std::vector<MemRef> refs_;
+    std::vector<SyncEvent> syncs_;
 };
 
-/** Forwards each reference to two downstream sinks. */
+/** Forwards each reference and sync event to two downstream sinks. */
 class TeeSink : public MemorySink
 {
   public:
@@ -93,6 +105,13 @@ class TeeSink : public MemorySink
     {
         a_.access(ref);
         b_.access(ref);
+    }
+
+    void
+    sync(const SyncEvent &event) override
+    {
+        a_.sync(event);
+        b_.sync(event);
     }
 
   private:

@@ -1,6 +1,7 @@
 #include "trace/trace_file.hh"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace wsg::trace
@@ -21,6 +22,30 @@ struct Record
 };
 static_assert(sizeof(Record) == 16, "trace record must pack to 16 B");
 
+/** On-disk record type. 0/1 mirror RefType; 2..4 are sync events. */
+enum RecordType : std::uint8_t
+{
+    kRecRead = 0,
+    kRecWrite = 1,
+    kRecBarrier = 2,
+    kRecLockAcquire = 3,
+    kRecLockRelease = 4,
+    kRecTypeCount,
+};
+
+std::uint8_t
+syncRecordType(SyncKind kind)
+{
+    switch (kind) {
+    case SyncKind::Barrier:
+        return kRecBarrier;
+    case SyncKind::LockAcquire:
+        return kRecLockAcquire;
+    default:
+        return kRecLockRelease;
+    }
+}
+
 /** Fields shared by every version (the whole v1 header). */
 struct HeaderV1
 {
@@ -30,16 +55,28 @@ struct HeaderV1
 };
 static_assert(sizeof(HeaderV1) == 16, "trace header must pack to 16 B");
 
-/** v2 extension: record count (finalized on close) + reserved. */
+/** v2 extension: record count (finalized on close) + segment-table
+ *  offset (0 = no table; was reserved-and-zero before the table
+ *  existed, so older v2 files parse identically). */
 struct HeaderV2Ext
 {
     std::uint64_t recordCount;
-    std::uint64_t reserved;
+    std::uint64_t segmentTableOffset;
 };
 static_assert(sizeof(HeaderV2Ext) == 16,
               "v2 header extension must pack to 16 B");
 
 constexpr std::uint64_t kRecordCountOffset = sizeof(HeaderV1);
+constexpr std::uint64_t kSegmentTableOffsetOffset =
+    sizeof(HeaderV1) + sizeof(std::uint64_t);
+
+/** Segment-table entry prefix (the name's bytes follow it). */
+struct SegmentEntry
+{
+    std::uint64_t base;
+    std::uint64_t bytes;
+    std::uint32_t nameLen;
+};
 
 } // namespace
 
@@ -55,6 +92,7 @@ TraceWriter::TraceWriter(const std::string &path, std::uint32_t num_procs)
     out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
     HeaderV2Ext ext{};
     ext.recordCount = kTraceUnfinalizedCount;
+    ext.segmentTableOffset = 0;
     out_.write(reinterpret_cast<const char *>(&ext), sizeof(ext));
 }
 
@@ -76,13 +114,50 @@ TraceWriter::access(const MemRef &ref)
 }
 
 void
+TraceWriter::sync(const SyncEvent &event)
+{
+    Record r{};
+    r.addr = event.object;
+    r.bytes = 0;
+    r.pid = static_cast<std::uint16_t>(event.pid);
+    r.type = syncRecordType(event.kind);
+    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    ++records_;
+}
+
+void
 TraceWriter::close()
 {
     if (!out_.is_open())
         return;
+    std::uint64_t table_offset = 0;
+    if (space_ != nullptr && !space_->segments().empty()) {
+        table_offset = static_cast<std::uint64_t>(out_.tellp());
+        std::uint32_t count =
+            static_cast<std::uint32_t>(space_->segments().size());
+        out_.write(reinterpret_cast<const char *>(&count),
+                   sizeof(count));
+        for (const Segment &seg : space_->segments()) {
+            SegmentEntry entry{};
+            entry.base = seg.base;
+            entry.bytes = seg.bytes;
+            entry.nameLen = static_cast<std::uint32_t>(seg.name.size());
+            out_.write(reinterpret_cast<const char *>(&entry.base),
+                       sizeof(entry.base));
+            out_.write(reinterpret_cast<const char *>(&entry.bytes),
+                       sizeof(entry.bytes));
+            out_.write(reinterpret_cast<const char *>(&entry.nameLen),
+                       sizeof(entry.nameLen));
+            out_.write(seg.name.data(),
+                       static_cast<std::streamsize>(seg.name.size()));
+        }
+    }
     out_.seekp(static_cast<std::streamoff>(kRecordCountOffset));
     out_.write(reinterpret_cast<const char *>(&records_),
                sizeof(records_));
+    out_.seekp(static_cast<std::streamoff>(kSegmentTableOffsetOffset));
+    out_.write(reinterpret_cast<const char *>(&table_offset),
+               sizeof(table_offset));
     out_.close();
 }
 
@@ -112,6 +187,7 @@ TraceReader::TraceReader(const std::string &path)
 
     std::uint64_t header_bytes = sizeof(HeaderV1);
     std::uint64_t header_count = kTraceUnfinalizedCount;
+    std::uint64_t table_offset = 0;
     if (h.version >= 2) {
         HeaderV2Ext ext{};
         in_.read(reinterpret_cast<char *>(&ext), sizeof(ext));
@@ -124,9 +200,23 @@ TraceReader::TraceReader(const std::string &path)
         }
         header_bytes += sizeof(HeaderV2Ext);
         header_count = ext.recordCount;
+        table_offset = ext.segmentTableOffset;
     }
 
-    std::uint64_t body_bytes = file_bytes - header_bytes;
+    std::uint64_t body_end = file_bytes;
+    if (table_offset != 0) {
+        // At minimum the table holds its 4-byte segment count.
+        if (table_offset < header_bytes ||
+            table_offset + sizeof(std::uint32_t) > file_bytes) {
+            throw std::runtime_error(
+                "TraceReader: segment table offset " +
+                std::to_string(table_offset) + " is outside " + path +
+                " (" + std::to_string(file_bytes) + " bytes)");
+        }
+        body_end = table_offset;
+    }
+
+    std::uint64_t body_bytes = body_end - header_bytes;
     if (body_bytes % sizeof(Record) != 0) {
         throw std::runtime_error(
             "TraceReader: truncated trace " + path + ": body of " +
@@ -143,37 +233,115 @@ TraceReader::TraceReader(const std::string &path)
             ": header says " + std::to_string(header_count) +
             " but the file holds " + std::to_string(recordCount_));
     }
+
+    if (table_offset != 0) {
+        in_.seekg(static_cast<std::streamoff>(table_offset));
+        std::uint32_t count = 0;
+        in_.read(reinterpret_cast<char *>(&count), sizeof(count));
+        for (std::uint32_t i = 0; in_ && i < count; ++i) {
+            SegmentEntry entry{};
+            in_.read(reinterpret_cast<char *>(&entry.base),
+                     sizeof(entry.base));
+            in_.read(reinterpret_cast<char *>(&entry.bytes),
+                     sizeof(entry.bytes));
+            in_.read(reinterpret_cast<char *>(&entry.nameLen),
+                     sizeof(entry.nameLen));
+            if (!in_ || entry.nameLen > file_bytes)
+                break;
+            std::string name(entry.nameLen, '\0');
+            in_.read(name.data(),
+                     static_cast<std::streamsize>(entry.nameLen));
+            if (!in_)
+                break;
+            segments_.push_back(Segment{name, entry.base, entry.bytes});
+        }
+        if (!in_ || segments_.size() != count) {
+            throw std::runtime_error(
+                "TraceReader: malformed segment table in " + path +
+                " (declares " + std::to_string(count) +
+                " segments, decoded " +
+                std::to_string(segments_.size()) + ")");
+        }
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(header_bytes));
+    }
 }
 
 bool
-TraceReader::next(MemRef &ref)
+TraceReader::nextRecord(TraceRecord &record)
 {
+    if (recordsRead_ >= recordCount_)
+        return false;
     Record r{};
     in_.read(reinterpret_cast<char *>(&r), sizeof(r));
     if (!in_) {
         // Validated at open; a torn read here means the file changed
         // underneath us (or an I/O error) — never silently truncate.
-        if (in_.gcount() != 0) {
-            throw std::runtime_error(
-                "TraceReader: trace " + path_ +
-                " ends inside a record (file changed while reading?)");
-        }
-        return false;
+        throw std::runtime_error(
+            "TraceReader: trace " + path_ +
+            " ends inside a record (file changed while reading?)");
     }
-    ref.addr = r.addr;
-    ref.bytes = r.bytes;
-    ref.pid = r.pid;
-    ref.type = static_cast<RefType>(r.type);
+    ++recordsRead_;
+
+    if (r.type >= kRecTypeCount) {
+        throw std::runtime_error(
+            "TraceReader: unknown record type " +
+            std::to_string(r.type) + " at record " +
+            std::to_string(recordsRead_ - 1) + " of " + path_);
+    }
+    if (r.type == kRecRead || r.type == kRecWrite) {
+        record.kind = TraceRecord::Kind::Data;
+        record.ref.addr = r.addr;
+        record.ref.bytes = r.bytes;
+        record.ref.pid = r.pid;
+        record.ref.type = static_cast<RefType>(r.type);
+        return true;
+    }
+
+    // Sync event: validate the processor id against the header —
+    // happens-before analysis indexes per-processor clocks with it, so
+    // an out-of-range id is unambiguous corruption, not data.
+    if (r.pid >= numProcs_) {
+        throw std::runtime_error(
+            "TraceReader: sync event with out-of-range processor id " +
+            std::to_string(r.pid) + " (trace declares " +
+            std::to_string(numProcs_) + " processors) at record " +
+            std::to_string(recordsRead_ - 1) + " of " + path_);
+    }
+    record.kind = TraceRecord::Kind::Sync;
+    record.syncEvent.kind =
+        r.type == kRecBarrier
+            ? SyncKind::Barrier
+            : (r.type == kRecLockAcquire ? SyncKind::LockAcquire
+                                         : SyncKind::LockRelease);
+    record.syncEvent.pid = r.pid;
+    record.syncEvent.object = r.addr;
     return true;
+}
+
+bool
+TraceReader::next(MemRef &ref)
+{
+    TraceRecord record;
+    while (nextRecord(record)) {
+        if (record.kind == TraceRecord::Kind::Data) {
+            ref = record.ref;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::uint64_t
 TraceReader::replay(MemorySink &sink)
 {
     std::uint64_t count = 0;
-    MemRef ref;
-    while (next(ref)) {
-        sink.access(ref);
+    TraceRecord record;
+    while (nextRecord(record)) {
+        if (record.kind == TraceRecord::Kind::Data)
+            sink.access(record.ref);
+        else
+            sink.sync(record.syncEvent);
         ++count;
     }
     return count;

@@ -6,19 +6,36 @@
  * can be profiled against many machine configurations.
  *
  * Format v2: a fixed 32-byte header ("WSGTRACE", version, processor
- * count, record count, reserved) followed by packed 16-byte records
- * (addr, bytes, pid, type). The record count is patched in when the
+ * count, record count, segment-table offset) followed by packed
+ * 16-byte records (addr, bytes, pid, type). Record types 0/1 are data
+ * reads/writes; types 2/3/4 are synchronization annotations (global
+ * barrier, lock acquire, lock release — see trace::SyncEvent), so the
+ * file carries the application's intended happens-before structure and
+ * an offline race check (analysis::RaceDetector, the wsg-analyze tool)
+ * needs nothing but the trace. The record count is patched in when the
  * writer closes; a writer that died mid-run leaves the unfinalized
  * sentinel, which the reader accepts (the body is still
  * size-validated) so a crashed run's trace remains replayable up to
  * its last complete record boundary. v1 files (16-byte header, no
  * record count) are still readable.
  *
+ * When an address space is attached (TraceWriter::attachAddressSpace)
+ * the writer appends the named-segment table after the last record on
+ * close and points the header's fourth field at it, so offline analyses
+ * can attribute addresses to application arrays. A zero offset — which
+ * is what pre-segment-table v2 writers left in the then-reserved field
+ * — means no table; old files stay readable and old readers ignore the
+ * table bytes (they follow the record count).
+ *
  * The reader validates up front: a body that is not a whole number of
- * records (a partial trailing record — classic lost-write truncation)
- * and a finalized header count that disagrees with the actual file
- * size both throw std::runtime_error with the numbers spelled out,
- * instead of silently replaying a short or torn trace.
+ * records (a partial trailing record — classic lost-write truncation),
+ * a finalized header count that disagrees with the actual file size,
+ * and a segment-table offset outside the file all throw
+ * std::runtime_error with the numbers spelled out, instead of silently
+ * replaying a short or torn trace. Per record, an unknown type byte
+ * and a sync event naming a processor id outside the header's
+ * processor count are rejected the same way (corrupted sync events
+ * would otherwise silently poison a happens-before analysis).
  */
 
 #ifndef WSG_TRACE_TRACE_FILE_HH
@@ -27,7 +44,9 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "trace/address_space.hh"
 #include "trace/memref.hh"
 
 namespace wsg::trace
@@ -40,7 +59,23 @@ constexpr std::uint32_t kTraceVersion = 2;
 /** Header record-count value of a writer that never finalized. */
 constexpr std::uint64_t kTraceUnfinalizedCount = ~std::uint64_t{0};
 
-/** MemorySink that appends every reference to a binary trace file. */
+/** One decoded trace record: either a data reference or a sync event. */
+struct TraceRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        Data,
+        Sync,
+    };
+    Kind kind = Kind::Data;
+    /** Valid when kind == Data. */
+    MemRef ref{};
+    /** Valid when kind == Sync. */
+    SyncEvent syncEvent{};
+};
+
+/** MemorySink that appends every reference and sync event to a binary
+ *  trace file. */
 class TraceWriter : public MemorySink
 {
   public:
@@ -57,16 +92,32 @@ class TraceWriter : public MemorySink
     ~TraceWriter() override;
 
     void access(const MemRef &ref) override;
+    void sync(const SyncEvent &event) override;
 
-    /** Patch the header's record count, flush, and close; further
-     *  access() calls are invalid. */
+    /**
+     * Remember @p space so close() appends its named-segment table,
+     * making the trace self-describing for per-array attribution. The
+     * space must outlive the writer; segments allocated any time
+     * before close() are included (the table is serialized at close).
+     */
+    void
+    attachAddressSpace(const SharedAddressSpace *space)
+    {
+        space_ = space;
+    }
+
+    /** Append the segment table (when attached), patch the header's
+     *  record count, flush, and close; further access() calls are
+     *  invalid. */
     void close();
 
+    /** Records written so far, data and sync alike. */
     std::uint64_t recordsWritten() const { return records_; }
 
   private:
     std::ofstream out_;
     std::uint64_t records_ = 0;
+    const SharedAddressSpace *space_ = nullptr;
 };
 
 /** Reads a trace file and replays it into a sink. */
@@ -74,36 +125,53 @@ class TraceReader
 {
   public:
     /**
-     * Open @p path, parse the header, and validate the body size.
+     * Open @p path, parse the header (and segment table, if present),
+     * and validate the body size.
      * @throws std::runtime_error on open failure, bad magic, an
      *         unsupported version, a truncated header, a body that is
      *         not a whole number of records (partial trailing record),
-     *         or a finalized record count that disagrees with the
-     *         file's actual size.
+     *         a finalized record count that disagrees with the file's
+     *         actual size, or a malformed segment table.
      */
     explicit TraceReader(const std::string &path);
 
     /** Processor count recorded when the trace was written. */
     std::uint32_t numProcs() const { return numProcs_; }
 
-    /** Number of records in the file (from the validated body size). */
+    /** Number of records in the file (from the validated body size),
+     *  counting data and sync records alike. */
     std::uint64_t recordCount() const { return recordCount_; }
 
     /** False for a v2 trace whose writer never finalized the header
      *  (crashed run) and for legacy v1 traces. */
     bool finalized() const { return finalized_; }
 
+    /** Named segments recorded by the writer (empty when the trace
+     *  carries no segment table). */
+    const std::vector<Segment> &segments() const { return segments_; }
+
     /**
-     * Read the next record.
-     * @return false at end of file.
+     * Read the next record of any kind.
+     * @return false at end of the record body.
      * @throws std::runtime_error if the file ends inside a record
-     *         (truncated after open-time validation).
+     *         (truncated after open-time validation), on an unknown
+     *         record type, or on a sync event whose processor id is
+     *         outside the header's processor count.
+     */
+    bool nextRecord(TraceRecord &record);
+
+    /**
+     * Read the next *data* record, silently skipping sync events (the
+     * memory-system consumers are sync-oblivious).
+     * @return false at end of the record body.
+     * @throws std::runtime_error as nextRecord().
      */
     bool next(MemRef &ref);
 
     /**
-     * Replay the remaining records into @p sink.
-     * @return the number of records delivered.
+     * Replay the remaining records into @p sink: data records via
+     * MemorySink::access, sync records via MemorySink::sync.
+     * @return the number of records delivered (data + sync).
      */
     std::uint64_t replay(MemorySink &sink);
 
@@ -112,7 +180,9 @@ class TraceReader
     std::string path_;
     std::uint32_t numProcs_ = 0;
     std::uint64_t recordCount_ = 0;
+    std::uint64_t recordsRead_ = 0;
     bool finalized_ = false;
+    std::vector<Segment> segments_;
 };
 
 } // namespace wsg::trace

@@ -179,6 +179,7 @@ class TracedHeap
     void reset() { used_ = 0; }
 
     void sink(MemorySink *s) { sink_ = s; }
+    MemorySink *sink() const { return sink_; }
 
   private:
     std::string name_;

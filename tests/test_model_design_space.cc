@@ -85,8 +85,9 @@ TEST(DesignSpace, OptimalDesignIsFeasibleAndBeatsNeighbours)
     ASSERT_TRUE(best.feasible);
     for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
         DesignPoint pt = evaluateDesign(p, cost, lat, f);
-        if (pt.feasible)
+        if (pt.feasible) {
             EXPECT_LE(best.timeSeconds, pt.timeSeconds + 1e-9);
+        }
     }
 }
 

@@ -253,6 +253,124 @@ TEST_F(TraceFileTest, AcceptsUnfinalizedTraceFromCrashedWriter)
     EXPECT_EQ(reader.replay(sink), 4u);
 }
 
+TEST_F(TraceFileTest, RoundTripsSyncEventsAndSegmentTable)
+{
+    SharedAddressSpace space;
+    Addr base = space.allocate("cg.x", 256);
+    {
+        TraceWriter writer(path_, 4);
+        writer.attachAddressSpace(&space);
+        writer.write(1, base, 8);
+        writer.barrier(7);
+        writer.lockAcquire(2, 0xAB);
+        writer.read(3, base + 8, 8);
+        writer.lockRelease(2, 0xAB);
+        EXPECT_EQ(writer.recordsWritten(), 5u);
+    }
+
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 5u);
+    ASSERT_EQ(reader.segments().size(), 1u);
+    EXPECT_EQ(reader.segments()[0].name, "cg.x");
+    EXPECT_EQ(reader.segments()[0].base, base);
+    EXPECT_EQ(reader.segments()[0].bytes, 256u);
+
+    RecordingSink sink;
+    EXPECT_EQ(reader.replay(sink), 5u);
+    ASSERT_EQ(sink.refs().size(), 2u);
+    EXPECT_EQ(sink.refs()[0].pid, 1u);
+    EXPECT_EQ(sink.refs()[1].addr, base + 8);
+    ASSERT_EQ(sink.syncs().size(), 3u);
+    EXPECT_EQ(static_cast<int>(sink.syncs()[0].kind),
+              static_cast<int>(SyncKind::Barrier));
+    EXPECT_EQ(sink.syncs()[0].object, 7u);
+    EXPECT_EQ(static_cast<int>(sink.syncs()[1].kind),
+              static_cast<int>(SyncKind::LockAcquire));
+    EXPECT_EQ(sink.syncs()[1].pid, 2u);
+    EXPECT_EQ(sink.syncs()[1].object, 0xABu);
+    EXPECT_EQ(static_cast<int>(sink.syncs()[2].kind),
+              static_cast<int>(SyncKind::LockRelease));
+}
+
+TEST_F(TraceFileTest, NextSkipsSyncRecords)
+{
+    {
+        TraceWriter writer(path_, 2);
+        writer.barrier();
+        writer.read(0, 0x10, 8);
+        writer.barrier();
+        writer.write(1, 0x20, 8);
+    }
+    TraceReader reader(path_);
+    MemRef r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.addr, 0x10u);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.addr, 0x20u);
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST_F(TraceFileTest, RejectsSyncRecordWithOutOfRangeProcessorId)
+{
+    // A flipped pid in a *sync* record would silently corrupt a
+    // happens-before analysis (it indexes per-processor clocks), so
+    // the reader must reject it as corruption rather than deliver it.
+    {
+        TraceWriter writer(path_, 2);
+        writer.read(0, 0x10, 8);
+        writer.lockAcquire(1, 0xAB);
+        writer.read(1, 0x18, 8);
+    }
+    // Record layout (see trace_file.cc): 32-byte v2 header, 16-byte
+    // records with the 2-byte pid at offset 12. Patch the lock
+    // record's pid (record index 1) to a processor the header does
+    // not declare.
+    {
+        std::fstream f(path_,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        std::uint16_t bad_pid = 9;
+        f.seekp(32 + 1 * 16 + 12);
+        f.write(reinterpret_cast<const char *>(&bad_pid),
+                sizeof(bad_pid));
+    }
+
+    TraceReader reader(path_);
+    RecordingSink sink;
+    try {
+        reader.replay(sink);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("out-of-range processor id 9"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("declares 2 processors"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("at record 1"), std::string::npos) << what;
+    }
+    // The record before the corrupt one was still delivered.
+    EXPECT_EQ(sink.refs().size(), 1u);
+}
+
+TEST_F(TraceFileTest, RejectsUnknownRecordType)
+{
+    {
+        TraceWriter writer(path_, 2);
+        writer.read(0, 0x10, 8);
+    }
+    {
+        std::fstream f(path_,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        std::uint8_t bad_type = 0x7F;
+        f.seekp(32 + 14); // type byte of record 0
+        f.write(reinterpret_cast<const char *>(&bad_type),
+                sizeof(bad_type));
+    }
+    TraceReader reader(path_);
+    TraceRecord record;
+    EXPECT_THROW(reader.nextRecord(record), std::runtime_error);
+}
+
 TEST_F(TraceFileTest, RejectsUnsupportedVersion)
 {
     writeSmallTrace(path_, 1);

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""wsg_lint — project-specific determinism and correctness lint.
+
+The working-set artifacts (curves, knees, JSON reports) are promised to
+be byte-identical across runs and worker counts; these rules ban the
+constructs that silently break that promise. clang-tidy covers general
+C++ hazards, this tool covers the *project* invariants:
+
+  no-entropy
+      ``rand()``, ``srand()``, ``time()`` and ``std::random_device``
+      are banned in the simulation layers (``src/sim``, ``src/core``,
+      ``src/approx``). All randomness there must come from seeded,
+      named generators owned by a config, or results stop reproducing.
+
+  no-unordered-json
+      In a JSON-emitting file, iterating a ``std::unordered_*``
+      container is banned: iteration order is implementation-defined,
+      so emitted documents would differ across standard libraries (and
+      across runs under ASLR-keyed hashing). Copy into a sorted/ordered
+      structure first.
+
+  no-raw-new-delete
+      Raw ``new`` / ``delete`` are banned tree-wide; use containers or
+      ``std::make_unique``. (Deleted functions ``= delete`` and
+      placement syntax are recognized and allowed.)
+
+A finding can be suppressed for one line with a trailing
+``// wsg-lint: allow(<rule>)`` comment naming the rule.
+
+Usage:
+    tools/wsg_lint.py [--list-rules] [PATH...]
+
+PATH defaults to ``src``. Directories are scanned recursively for
+``*.cc`` / ``*.hh``. Exit status: 0 clean, 1 findings, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".cc", ".hh"}
+
+# Layers that must be deterministic by construction.
+ENTROPY_DIRS = ("src/sim", "src/core", "src/approx")
+
+ENTROPY_RE = re.compile(
+    r"std::random_device|\b(?:std::)?(?:rand|srand|time)\s*\("
+)
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:multi)?(?:map|set)\s*<[^;{}]*?>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*&?\s*([A-Za-z_]\w*)\s*\)")
+ITER_FOR_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+RAW_NEW_RE = re.compile(r"\bnew\b\s*[A-Za-z_:(\[]")
+RAW_DELETE_RE = re.compile(r"(?<!=)(?<!=\s)\bdelete\b\s*(?:\[\s*\]\s*)?")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+SUPPRESS_RE = re.compile(r"wsg-lint:\s*allow\(([\w,\s-]+)\)")
+
+RULES = {
+    "no-entropy": "rand()/srand()/time()/std::random_device banned in "
+    + ", ".join(ENTROPY_DIRS)
+    + " (use seeded generators from configs)",
+    "no-unordered-json": "JSON-emitting files must not iterate "
+    "std::unordered_* containers (iteration order is not deterministic)",
+    "no-raw-new-delete": "raw new/delete banned; use containers or "
+    "std::make_unique",
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, keeping every
+    newline and column so findings report true locations."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "squote"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # dquote / squote
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def is_json_emitter(path: pathlib.Path, code: str) -> bool:
+    return "json" in path.name.lower() or "json" in code.lower()
+
+
+def lint_file(path: pathlib.Path):
+    """Yield (line_number, rule, message) findings for one file."""
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+    posix = path.as_posix()
+
+    def suppressed(lineno: int, rule: str) -> bool:
+        if lineno - 1 >= len(raw_lines):
+            return False
+        m = SUPPRESS_RE.search(raw_lines[lineno - 1])
+        return bool(m) and rule in m.group(1)
+
+    def findings_for(regex, rule, message, predicate=None):
+        for lineno, line in enumerate(code_lines, start=1):
+            for m in regex.finditer(line):
+                if predicate is not None and not predicate(m, line):
+                    continue
+                if suppressed(lineno, rule):
+                    continue
+                yield lineno, rule, message % {"match": m.group(0).strip()}
+
+    if any(d in posix for d in ENTROPY_DIRS):
+        yield from findings_for(
+            ENTROPY_RE,
+            "no-entropy",
+            "'%(match)s' in a deterministic layer — seed from a config",
+        )
+
+    if is_json_emitter(path, code):
+        unordered = set(UNORDERED_DECL_RE.findall(code))
+        if unordered:
+
+            def over_unordered(m, _line):
+                return m.group(1) in unordered
+
+            yield from findings_for(
+                RANGE_FOR_RE,
+                "no-unordered-json",
+                "iteration '%(match)s' over an unordered container in a "
+                "JSON-emitting file",
+                over_unordered,
+            )
+            yield from findings_for(
+                ITER_FOR_RE,
+                "no-unordered-json",
+                "iterator walk '%(match)s...' over an unordered "
+                "container in a JSON-emitting file",
+                over_unordered,
+            )
+
+    yield from findings_for(
+        RAW_NEW_RE,
+        "no-raw-new-delete",
+        "raw '%(match)s' — use a container or std::make_unique",
+    )
+
+    def not_deleted_fn(_m, line):
+        return not DELETED_FN_RE.search(line)
+
+    yield from findings_for(
+        RAW_DELETE_RE,
+        "no-raw-new-delete",
+        "raw '%(match)s' — owning types should manage their memory",
+        not_deleted_fn,
+    )
+
+
+def collect_files(paths):
+    for p in paths:
+        path = pathlib.Path(p)
+        if path.is_dir():
+            yield from sorted(
+                f
+                for f in path.rglob("*")
+                if f.suffix in CXX_SUFFIXES and f.is_file()
+            )
+        elif path.is_file():
+            yield path
+        else:
+            print(f"error: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="wsg_lint.py",
+        description="project determinism/correctness lint",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rules and exit"
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name, blurb in RULES.items():
+            print(f"{name}: {blurb}")
+        return 0
+
+    count = 0
+    files = 0
+    for path in collect_files(args.paths):
+        files += 1
+        for lineno, rule, message in lint_file(path):
+            print(f"{path.as_posix()}:{lineno}: [{rule}] {message}")
+            count += 1
+    if count:
+        print(f"wsg_lint: {count} finding(s) in {files} file(s)")
+        return 1
+    print(f"wsg_lint: clean ({files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

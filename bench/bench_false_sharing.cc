@@ -63,6 +63,7 @@ main(int argc, char **argv)
     sc.maxCacheBytes = 16 * 1024;
     sc.sampling = cli.sampling;
     sc.analyzeRaces = cli.analyzeRaces;
+    sc.timeoutSeconds = cli.timeoutSeconds;
 
     std::vector<core::StudyJob> jobs;
     std::vector<std::string> app_of_job;

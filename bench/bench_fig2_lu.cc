@@ -68,6 +68,7 @@ main(int argc, char **argv)
         sc.minCacheBytes = 16;
         sc.sampling = cli.sampling;
         sc.analyzeRaces = cli.analyzeRaces;
+        sc.timeoutSeconds = cli.timeoutSeconds;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }

@@ -56,6 +56,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 16;
     sc.sampling = cli.sampling;
     sc.analyzeRaces = cli.analyzeRaces;
+    sc.timeoutSeconds = cli.timeoutSeconds;
     std::vector<core::StudyJob> jobs = {
         core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
         core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),

@@ -46,6 +46,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 16;
     sc.sampling = cli.sampling;
     sc.analyzeRaces = cli.analyzeRaces;
+    sc.timeoutSeconds = cli.timeoutSeconds;
     std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
         jobs.push_back(

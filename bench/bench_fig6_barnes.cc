@@ -37,6 +37,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 64;
     sc.sampling = cli.sampling;
     sc.analyzeRaces = cli.analyzeRaces;
+    sc.timeoutSeconds = cli.timeoutSeconds;
     std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
         core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
     jobs[0].name = "fig6-barnes";

@@ -34,6 +34,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 64;
     sc.sampling = cli.sampling;
     sc.analyzeRaces = cli.analyzeRaces;
+    sc.timeoutSeconds = cli.timeoutSeconds;
     std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
         /*frames=*/2, /*warmup=*/1, sc)};

@@ -36,9 +36,8 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "core/presets.hh"
-#include "core/runners.hh"
 #include "core/study_runner.hh"
+#include "core/suite.hh"
 #include "stats/table.hh"
 #include "stats/units.hh"
 
@@ -47,68 +46,19 @@ using namespace wsg;
 namespace
 {
 
+/**
+ * The 14 jobs come from the shared core/suite factory — the same one
+ * the serving daemon resolves presets through — so this bench's --json
+ * artifact is byte-identical to what `wsg-submit <name>` returns.
+ */
 std::vector<core::StudyJob>
 figureSuiteJobs(const core::RunnerCli &cli)
 {
-    std::vector<core::StudyJob> jobs;
-    auto studyConfig = [&cli](std::uint64_t min_cache_bytes) {
-        core::StudyConfig sc;
-        sc.minCacheBytes = min_cache_bytes;
-        sc.sampling = cli.sampling;
-        sc.analyzeRaces = cli.analyzeRaces;
-        return sc;
-    };
-
-    // Figure 2: LU, B in {4, 16, 64}.
-    for (std::uint32_t B : {4u, 16u, 64u}) {
-        jobs.push_back(core::luStudyJob(core::presets::simLu(B),
-                                        studyConfig(16)));
-        jobs.back().name = "fig2-lu-B" + std::to_string(B);
-    }
-
-    // Figure 4: CG in 2-D and 3-D.
-    jobs.push_back(core::cgStudyJob(core::presets::simCg2d(), 3, 1,
-                                    studyConfig(16)));
-    jobs.back().name = "fig4-cg-2d";
-    jobs.push_back(core::cgStudyJob(core::presets::simCg3d(), 3, 1,
-                                    studyConfig(16)));
-    jobs.back().name = "fig4-cg-3d";
-
-    // Figure 5: FFT, internal radix in {2, 8, 32}.
-    for (std::uint32_t r : {2u, 8u, 32u}) {
-        jobs.push_back(core::fftStudyJob(core::presets::simFft(r), 1, 1,
-                                         studyConfig(16)));
-        jobs.back().name = "fig5-fft-radix" + std::to_string(r);
-    }
-
-    // Figure 6: Barnes-Hut at the paper's exact configuration.
-    jobs.push_back(core::barnesStudyJob(core::presets::simBarnesFig6(),
-                                        2, 1, studyConfig(64)));
-    jobs.back().name = "fig6-barnes";
-
-    // Figure 7: volume rendering of the phantom head.
-    jobs.push_back(core::volrendStudyJob(
-        core::presets::simVolrendDims(),
-        core::presets::simVolrendRender(), 2, 1, studyConfig(64)));
-    jobs.back().name = "fig7-volrend";
-
-    // The remaining four applications (Table 1's wider suite): blocked
-    // Cholesky, unstructured CG, and the 2-D/3-D FFTs, so one batch
-    // touches every instrumented application in the tree.
-    jobs.push_back(core::choleskyStudyJob(core::presets::simCholesky(),
-                                          studyConfig(16)));
-    jobs.back().name = "app-cholesky";
-    jobs.push_back(core::unstructuredStudyJob(
-        core::presets::simUnstructured(), 3, 1, studyConfig(16)));
-    jobs.back().name = "app-ucg";
-    jobs.push_back(core::fft2dStudyJob(core::presets::simFft2d(), 1, 1,
-                                       studyConfig(16)));
-    jobs.back().name = "app-fft2d";
-    jobs.push_back(core::fft3dStudyJob(core::presets::simFft3d(), 1, 1,
-                                       studyConfig(16)));
-    jobs.back().name = "app-fft3d";
-
-    return jobs;
+    core::StudyConfig base;
+    base.sampling = cli.sampling;
+    base.analyzeRaces = cli.analyzeRaces;
+    base.timeoutSeconds = cli.timeoutSeconds;
+    return core::figureSuiteJobs(base);
 }
 
 struct SuiteCli
@@ -136,7 +86,7 @@ parseSuiteCli(int argc, char **argv)
         } else {
             std::cerr << "error: unknown argument '" << arg
                       << "' (flags: --jobs N, --json PATH, --progress, "
-                         "--analyze-races, --sample-rate R, "
+                         "--analyze-races, --timeout S, --sample-rate R, "
                          "--sample-size N, --list, --only SUBSTRING)\n";
             std::exit(2);
         }

@@ -13,6 +13,8 @@
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "apps/volrend/renderer.hh"
 #include "apps/volrend/volume.hh"
 #include "core/working_set_study.hh"
@@ -31,7 +33,11 @@ main(int argc, char **argv)
         std::atoi(argv[1])) : 96;
     std::uint32_t frames = argc > 2 ? static_cast<std::uint32_t>(
         std::atoi(argv[2])) : 4;
-    std::string prefix = argc > 3 ? argv[3] : "/tmp/headscan";
+    // Pid-keyed default so concurrent runs don't overwrite frames.
+    std::string prefix = argc > 3
+                             ? argv[3]
+                             : "/tmp/headscan_" +
+                                   std::to_string(::getpid());
 
     std::cout << "Head-scan viewer: " << n << "^3 phantom, " << frames
               << " frames at 5 degrees/frame, 4 processors\n\n";

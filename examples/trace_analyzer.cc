@@ -4,16 +4,20 @@
  * capture an application's reference stream once, then characterize it
  * against any machine configuration without re-running the application.
  *
- * With no arguments, the tool records a demonstration trace (one CG
- * iteration on a 64^2 grid over 4 processors) and analyzes it. Given a
- * trace file it analyzes that instead.
+ * Given an existing trace file, the tool analyzes it. Given a path
+ * that doesn't exist yet (or no argument at all — the default path is
+ * pid-keyed under /tmp), it first records a demonstration trace there
+ * (one CG iteration on a 64^2 grid over 4 processors).
  *
  * Usage: trace_analyzer [trace.bin] [line_bytes]
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include <unistd.h>
 
 #include "apps/cg/grid_cg.hh"
 #include "core/working_set_study.hh"
@@ -27,11 +31,10 @@ using namespace wsg;
 namespace
 {
 
-/** Record the demo trace and return its path. */
+/** Record the demo trace at @p path and return it. */
 std::string
-recordDemoTrace()
+recordDemoTrace(const std::string &path)
 {
-    std::string path = "/tmp/wsg_demo_trace.bin";
     trace::SharedAddressSpace space;
     trace::TraceWriter writer(path, 4);
     writer.attachAddressSpace(&space);
@@ -53,9 +56,18 @@ recordDemoTrace()
 int
 main(int argc, char **argv)
 {
-    std::string path = argc > 1 ? argv[1] : recordDemoTrace();
+    // The default demo path is pid-keyed so concurrent invocations
+    // (CI jobs, parallel shells) don't clobber each other's capture.
+    std::string path = argc > 1
+                           ? argv[1]
+                           : "/tmp/wsg_demo_trace_" +
+                                 std::to_string(::getpid()) + ".bin";
     std::uint32_t line_bytes = argc > 2 ? static_cast<std::uint32_t>(
         std::atoi(argv[2])) : 8;
+    // A path that doesn't exist yet gets the demo capture (one CG
+    // iteration on a 64^2 grid, 4 processors) recorded into it.
+    if (!std::ifstream(path).good())
+        recordDemoTrace(path);
 
     trace::TraceReader reader(path);
     std::cout << "trace: " << path << ", " << reader.numProcs()

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <memory>
 
+#include "core/watchdog.hh"
+#include "stats/json_report.hh"
 #include "trace/address_space.hh"
 #include "trace/sinks.hh"
 
@@ -29,47 +31,118 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
 }
 
 /**
- * Optional live race check. When the study asks for it, the
- * application traces into a TeeSink feeding both the Multiprocessor
- * and a RaceDetector, so the detector sees the exact reference and
- * sync-event stream the caches see — warm-up included (a warm-up race
- * is still a bug, even though its misses are excluded).
+ * The per-study sink chain: the Multiprocessor innermost, optionally
+ * teed into a RaceDetector (StudyConfig::analyzeRaces — the detector
+ * sees the exact reference and sync-event stream the caches see,
+ * warm-up included, since a warm-up race is still a bug), optionally
+ * wrapped in a WatchdogSink (StudyConfig::timeoutSeconds) so a runaway
+ * study fails with StudyTimeoutError instead of hanging its worker.
  */
-class RaceCheck
+class SinkChain
 {
   public:
-    RaceCheck(sim::Multiprocessor &mp,
+    SinkChain(sim::Multiprocessor &mp,
               const trace::SharedAddressSpace &space,
               const StudyConfig &study)
-        : sink_(&mp)
+        : watchdog_(study.timeoutSeconds), sink_(&mp)
     {
-        if (!study.analyzeRaces)
-            return;
-        analysis::RaceConfig config;
-        config.numProcs = mp.config().numProcs;
-        detector_ = std::make_unique<analysis::RaceDetector>(config);
-        detector_->attachAddressSpace(&space);
-        tee_ = std::make_unique<trace::TeeSink>(mp, *detector_);
-        sink_ = tee_.get();
+        if (study.analyzeRaces) {
+            analysis::RaceConfig config;
+            config.numProcs = mp.config().numProcs;
+            detector_ =
+                std::make_unique<analysis::RaceDetector>(config);
+            detector_->attachAddressSpace(&space);
+            tee_ = std::make_unique<trace::TeeSink>(mp, *detector_);
+            sink_ = tee_.get();
+        }
+        if (watchdog_.enabled()) {
+            guard_ =
+                std::make_unique<WatchdogSink>(*sink_, watchdog_);
+            sink_ = guard_.get();
+        }
     }
 
     /** Sink to hand the application. */
     trace::MemorySink *sink() const { return sink_; }
 
-    /** Stamp the check's outcome into the study result. */
+    /** Explicit deadline check between study phases. */
+    void checkDeadline() const { watchdog_.check(); }
+
+    /** Final deadline check + stamp the race outcome into the result. */
     StudyResult
     finish(StudyResult result) const
     {
+        watchdog_.check();
         if (detector_ != nullptr)
             result.races = detector_->result();
         return result;
     }
 
   private:
+    StudyWatchdog watchdog_;
     std::unique_ptr<analysis::RaceDetector> detector_;
     std::unique_ptr<trace::TeeSink> tee_;
+    std::unique_ptr<WatchdogSink> guard_;
     trace::MemorySink *sink_;
 };
+
+// ---------------------------------------------------------------------
+// Canonical config serialization (wsg-study-config-v1).
+//
+// One key=value per line, fixed key order, app parameters first, then
+// the shared study parameters. Every field that can change the study's
+// report bytes is present; StudyConfig::timeoutSeconds is deliberately
+// absent (it bounds wall-clock, never the result), so a request with a
+// different watchdog budget still hits the same cache entry. Doubles
+// are rendered with the JSON writer's shortest round-trip form so
+// equal values always canonicalize to equal bytes.
+// ---------------------------------------------------------------------
+
+std::string
+canonicalDouble(double v)
+{
+    return stats::JsonWriter::formatDouble(v);
+}
+
+std::string
+canonicalHeader(const char *app_kind)
+{
+    return std::string("wsg-study-config-v1\napp=") + app_kind + "\n";
+}
+
+void
+appendStudyConfig(std::string &out, const StudyConfig &study,
+                  std::uint32_t line_bytes)
+{
+    out += "line_bytes=" + std::to_string(line_bytes) + "\n";
+    out += "min_cache_bytes=" + std::to_string(study.minCacheBytes) +
+           "\n";
+    out += "max_cache_bytes=" + std::to_string(study.maxCacheBytes) +
+           "\n";
+    out += "points_per_octave=" +
+           std::to_string(study.pointsPerOctave) + "\n";
+    out += "include_cold=" +
+           std::to_string(study.includeCold ? 1 : 0) + "\n";
+    out += "knee_min_step_drop=" +
+           canonicalDouble(study.knee.minStepDrop) + "\n";
+    out += "knee_min_knee_factor=" +
+           canonicalDouble(study.knee.minKneeFactor) + "\n";
+    out += "knee_rate_floor=" + canonicalDouble(study.knee.rateFloor) +
+           "\n";
+    out += "analyze_races=" +
+           std::to_string(study.analyzeRaces ? 1 : 0) + "\n";
+    out += std::string("sampling_mode=") +
+           approx::samplingModeName(study.sampling.mode) + "\n";
+    if (study.sampling.mode == approx::SamplingMode::FixedRate)
+        out += "sampling_rate=" + canonicalDouble(study.sampling.rate) +
+               "\n";
+    if (study.sampling.mode == approx::SamplingMode::FixedSize)
+        out += "sampling_max_lines=" +
+               std::to_string(study.sampling.maxLines) + "\n";
+    if (study.sampling.enabled())
+        out += "sampling_hash_salt=" +
+               std::to_string(study.sampling.hashSalt) + "\n";
+}
 
 } // namespace
 
@@ -80,17 +153,24 @@ luStudyJob(const apps::lu::LuConfig &app_config,
     StudyJob job;
     job.name = "LU n=" + std::to_string(app_config.n) +
                " B=" + std::to_string(app_config.blockSize);
+    job.canonicalConfig =
+        canonicalHeader("lu") + "n=" + std::to_string(app_config.n) +
+        "\nblock_size=" + std::to_string(app_config.blockSize) +
+        "\nproc_rows=" + std::to_string(app_config.procRows) +
+        "\nproc_cols=" + std::to_string(app_config.procCols) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::lu::BlockedLu app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::lu::BlockedLu app(app_config, space, chain.sink());
         app.randomize(1234);
         app.factor();
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
             "LU n=" + std::to_string(app_config.n) +
                 " B=" + std::to_string(app_config.blockSize),
@@ -107,14 +187,24 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
     StudyJob job;
     job.name = "CG " + std::to_string(app_config.dims) +
                "-D n=" + std::to_string(app_config.n);
+    job.canonicalConfig =
+        canonicalHeader("cg") + "n=" + std::to_string(app_config.n) +
+        "\ndims=" + std::to_string(app_config.dims) +
+        "\nproc_x=" + std::to_string(app_config.procX) +
+        "\nproc_y=" + std::to_string(app_config.procY) +
+        "\nproc_z=" + std::to_string(app_config.procZ) +
+        "\nstrip_width=" + std::to_string(app_config.stripWidth) +
+        "\niters=" + std::to_string(iters) +
+        "\nwarmup_iters=" + std::to_string(warmup_iters) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, iters, warmup_iters, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::cg::GridCg app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::cg::GridCg app(app_config, space, chain.sink());
         app.buildSystem();
 
         mp.setMeasuring(false);
@@ -123,7 +213,8 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
         mp.setMeasuring(true);
         app.run(iters, 0.0);
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "CG " + std::to_string(app_config.dims) +
@@ -141,14 +232,22 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
     StudyJob job;
     job.name = "FFT logN=" + std::to_string(app_config.logN) +
                " r=" + std::to_string(app_config.internalRadix);
+    job.canonicalConfig =
+        canonicalHeader("fft") + "log_n=" +
+        std::to_string(app_config.logN) + "\nnum_procs=" +
+        std::to_string(app_config.numProcs) + "\ninternal_radix=" +
+        std::to_string(app_config.internalRadix) + "\ntransforms=" +
+        std::to_string(transforms) + "\nwarmup_transforms=" +
+        std::to_string(warmup_transforms) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, transforms, warmup_transforms, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::fft::ParallelFft app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::fft::ParallelFft app(app_config, space, chain.sink());
         for (std::uint64_t i = 0; i < app_config.N(); ++i)
             app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
                              std::cos(0.003 * static_cast<double>(i))});
@@ -161,7 +260,8 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "FFT logN=" + std::to_string(app_config.logN) +
@@ -179,14 +279,26 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
     StudyJob job;
     job.name = "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
                " theta=" + std::to_string(app_config.theta).substr(0, 4);
+    job.canonicalConfig =
+        canonicalHeader("barnes") + "num_bodies=" +
+        std::to_string(app_config.numBodies) + "\nnum_procs=" +
+        std::to_string(app_config.numProcs) + "\ntheta=" +
+        canonicalDouble(app_config.theta) + "\ndt=" +
+        canonicalDouble(app_config.dt) + "\nsoftening=" +
+        canonicalDouble(app_config.softening) + "\nquadrupole=" +
+        std::to_string(app_config.quadrupole ? 1 : 0) + "\nseed=" +
+        std::to_string(app_config.seed) + "\nsteps=" +
+        std::to_string(steps) + "\nwarmup_steps=" +
+        std::to_string(warmup_steps) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, steps, warmup_steps, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::barnes::BarnesHut app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::barnes::BarnesHut app(app_config, space, chain.sink());
         app.initPlummer();
 
         mp.setMeasuring(false);
@@ -196,7 +308,8 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
         for (std::uint32_t s = 0; s < steps; ++s)
             app.step();
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::ReadMissRate, 0,
             "Barnes-Hut n=" + std::to_string(app_config.numBodies) +
                 " theta=" +
@@ -214,18 +327,36 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
 {
     StudyJob job;
     job.name = "Volrend " + std::to_string(dims.nx) + "^3";
+    job.canonicalConfig =
+        canonicalHeader("volrend") + "nx=" + std::to_string(dims.nx) +
+        "\nny=" + std::to_string(dims.ny) + "\nnz=" +
+        std::to_string(dims.nz) + "\nimage_width=" +
+        std::to_string(render.imageWidth) + "\nimage_height=" +
+        std::to_string(render.imageHeight) + "\nnum_procs=" +
+        std::to_string(render.numProcs) + "\ndegrees_per_frame=" +
+        canonicalDouble(render.degreesPerFrame) + "\nsample_step=" +
+        canonicalDouble(render.sampleStep) + "\nopacity_cutoff=" +
+        canonicalDouble(render.opacityCutoff) + "\ndensity_floor=" +
+        std::to_string(render.densityFloor) + "\nsteal_chunk=" +
+        std::to_string(render.stealChunk) + "\nuse_octree=" +
+        std::to_string(render.useOctree ? 1 : 0) + "\nperspective=" +
+        std::to_string(render.perspective ? 1 : 0) + "\nfov_degrees=" +
+        canonicalDouble(render.fovDegrees) + "\nframes=" +
+        std::to_string(frames) + "\nwarmup_frames=" +
+        std::to_string(warmup_frames) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [dims, render, frames, warmup_frames, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(render.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::volrend::Volume vol(dims, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::volrend::Volume vol(dims, space, chain.sink());
         vol.buildHeadPhantom();
         vol.buildOctree();
         apps::volrend::Renderer renderer(render, vol, space,
-                                         race.sink());
+                                         chain.sink());
 
         mp.setMeasuring(false);
         for (std::uint32_t f = 0; f < warmup_frames; ++f)
@@ -234,7 +365,8 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
         for (std::uint32_t f = 0; f < frames; ++f)
             renderer.renderFrame();
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::ReadMissRate, 0,
             "Volrend " + std::to_string(dims.nx) + "^3", ctx.pool));
     };
@@ -248,17 +380,25 @@ choleskyStudyJob(const apps::lu::LuConfig &app_config,
     StudyJob job;
     job.name = "Cholesky n=" + std::to_string(app_config.n) +
                " B=" + std::to_string(app_config.blockSize);
+    job.canonicalConfig =
+        canonicalHeader("cholesky") + "n=" +
+        std::to_string(app_config.n) + "\nblock_size=" +
+        std::to_string(app_config.blockSize) + "\nproc_rows=" +
+        std::to_string(app_config.procRows) + "\nproc_cols=" +
+        std::to_string(app_config.procCols) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs(), line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::lu::BlockedCholesky app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::lu::BlockedCholesky app(app_config, space, chain.sink());
         app.randomizeSpd(1234);
         app.factor();
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop, app.flops().totalFlops(),
             "Cholesky n=" + std::to_string(app_config.n) +
                 " B=" + std::to_string(app_config.blockSize),
@@ -275,14 +415,24 @@ unstructuredStudyJob(const apps::cg::UnstructuredConfig &app_config,
     StudyJob job;
     job.name = "UnstructuredCG n=" +
                std::to_string(app_config.numVertices);
+    job.canonicalConfig =
+        canonicalHeader("ucg") + "num_vertices=" +
+        std::to_string(app_config.numVertices) + "\nneighbors=" +
+        std::to_string(app_config.neighbors) + "\nnum_procs=" +
+        std::to_string(app_config.numProcs) + "\npartition=" +
+        std::to_string(static_cast<int>(app_config.partition)) +
+        "\nseed=" + std::to_string(app_config.seed) + "\niters=" +
+        std::to_string(iters) + "\nwarmup_iters=" +
+        std::to_string(warmup_iters) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, iters, warmup_iters, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::cg::UnstructuredCg app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::cg::UnstructuredCg app(app_config, space, chain.sink());
         app.buildSystem();
 
         mp.setMeasuring(false);
@@ -291,7 +441,8 @@ unstructuredStudyJob(const apps::cg::UnstructuredConfig &app_config,
         mp.setMeasuring(true);
         app.run(iters, 0.0);
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "UnstructuredCG n=" +
@@ -309,14 +460,23 @@ fft2dStudyJob(const apps::fft::Fft2dConfig &app_config,
     StudyJob job;
     job.name = "FFT2D " + std::to_string(app_config.rows()) + "x" +
                std::to_string(app_config.cols());
+    job.canonicalConfig =
+        canonicalHeader("fft2d") + "log_rows=" +
+        std::to_string(app_config.logRows) + "\nlog_cols=" +
+        std::to_string(app_config.logCols) + "\nnum_procs=" +
+        std::to_string(app_config.numProcs) + "\ninternal_radix=" +
+        std::to_string(app_config.internalRadix) + "\ntransforms=" +
+        std::to_string(transforms) + "\nwarmup_transforms=" +
+        std::to_string(warmup_transforms) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, transforms, warmup_transforms, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::fft::Fft2d app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::fft::Fft2d app(app_config, space, chain.sink());
         for (std::uint64_t r = 0; r < app_config.rows(); ++r) {
             for (std::uint64_t c = 0; c < app_config.cols(); ++c) {
                 double t = 0.001 * static_cast<double>(
@@ -333,7 +493,8 @@ fft2dStudyJob(const apps::fft::Fft2dConfig &app_config,
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "FFT2D " + std::to_string(app_config.rows()) + "x" +
@@ -352,14 +513,24 @@ fft3dStudyJob(const apps::fft::Fft3dConfig &app_config,
     job.name = "FFT3D " + std::to_string(app_config.n0()) + "x" +
                std::to_string(app_config.n1()) + "x" +
                std::to_string(app_config.n2());
+    job.canonicalConfig =
+        canonicalHeader("fft3d") + "log0=" +
+        std::to_string(app_config.log0) + "\nlog1=" +
+        std::to_string(app_config.log1) + "\nlog2=" +
+        std::to_string(app_config.log2) + "\nnum_procs=" +
+        std::to_string(app_config.numProcs) + "\ninternal_radix=" +
+        std::to_string(app_config.internalRadix) + "\ntransforms=" +
+        std::to_string(transforms) + "\nwarmup_transforms=" +
+        std::to_string(warmup_transforms) + "\n";
+    appendStudyConfig(job.canonicalConfig, study, line_bytes);
     job.body = [app_config, transforms, warmup_transforms, study,
                 line_bytes](const StudyContext &ctx) {
         trace::SharedAddressSpace space;
         sim::Multiprocessor mp(
             simConfigFor(app_config.numProcs, line_bytes, study));
         mp.attachAddressSpace(&space);
-        RaceCheck race(mp, space, study);
-        apps::fft::Fft3d app(app_config, space, race.sink());
+        SinkChain chain(mp, space, study);
+        apps::fft::Fft3d app(app_config, space, chain.sink());
         std::uint64_t flat = 0;
         for (std::uint64_t i0 = 0; i0 < app_config.n0(); ++i0) {
             for (std::uint64_t i1 = 0; i1 < app_config.n1(); ++i1) {
@@ -380,7 +551,8 @@ fft3dStudyJob(const apps::fft::Fft3dConfig &app_config,
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
-        return race.finish(analyzeWorkingSets(
+        chain.checkDeadline();
+        return chain.finish(analyzeWorkingSets(
             mp, study, Metric::MissesPerFlop,
             app.flops().totalFlops() - warm_flops,
             "FFT3D " + std::to_string(app_config.n0()) + "x" +

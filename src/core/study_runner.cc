@@ -8,11 +8,64 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "stats/hash.hh"
 #include "stats/json_report.hh"
 #include "stats/units.hh"
 
 namespace wsg::core
 {
+
+namespace
+{
+
+/**
+ * The shared single-job execution path: time the body, capture
+ * failures (the watchdog's typed timeout separately), and stamp the
+ * canonical-config hash. Used by StudyRunner::runOne and by
+ * runJobInline so the serving layer and the batch runner produce
+ * identical reports for identical jobs.
+ */
+JobReport
+executeJob(const StudyJob &job, ThreadPool *pool)
+{
+    JobReport report;
+    report.name = job.name;
+    if (!job.canonicalConfig.empty())
+        report.configHash = stats::fnv1a64Hex(job.canonicalConfig);
+    StudyContext ctx;
+    ctx.pool = pool;
+
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        report.result = job.body(ctx);
+        report.ok = true;
+    } catch (const StudyTimeoutError &e) {
+        report.error = e.what();
+        report.timedOut = true;
+    } catch (const std::exception &e) {
+        report.error = e.what();
+    } catch (...) {
+        report.error = "unknown exception";
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    report.seconds = std::chrono::duration<double>(t1 - t0).count();
+    report.simRefs =
+        report.result.aggregate.reads + report.result.aggregate.writes;
+    report.refsPerSec =
+        report.seconds > 0.0
+            ? static_cast<double>(report.simRefs) / report.seconds
+            : 0.0;
+    return report;
+}
+
+} // namespace
+
+JobReport
+runJobInline(const StudyJob &job)
+{
+    return executeJob(job, nullptr);
+}
 
 StudyRunner::StudyRunner(const RunnerConfig &config)
     : workers_(config.jobs == 0 ? ThreadPool::hardwareThreads()
@@ -45,30 +98,7 @@ StudyRunner::runOne(const StudyJob &job, std::size_t index,
     started.name = job.name;
     emit(started);
 
-    JobReport report;
-    report.name = job.name;
-    StudyContext ctx;
-    ctx.pool = pool_.get();
-
-    auto t0 = std::chrono::steady_clock::now();
-    try {
-        report.result = job.body(ctx);
-        report.ok = true;
-    } catch (const std::exception &e) {
-        report.error = e.what();
-    } catch (...) {
-        report.error = "unknown exception";
-    }
-    auto t1 = std::chrono::steady_clock::now();
-
-    report.seconds =
-        std::chrono::duration<double>(t1 - t0).count();
-    report.simRefs =
-        report.result.aggregate.reads + report.result.aggregate.writes;
-    report.refsPerSec =
-        report.seconds > 0.0
-            ? static_cast<double>(report.simRefs) / report.seconds
-            : 0.0;
+    JobReport report = executeJob(job, pool_.get());
 
     JobEvent finished;
     finished.kind = JobEvent::Kind::Finished;
@@ -221,6 +251,10 @@ writeJsonReport(std::ostream &os,
         w.member("ok", r.ok);
         if (!r.ok)
             w.member("error", r.error);
+        if (r.timedOut)
+            w.member("timed_out", true);
+        if (!r.configHash.empty())
+            w.member("config_hash", r.configHash);
         w.key("curve");
         stats::writeCurve(w, r.result.curve);
         w.key("working_sets");
@@ -320,6 +354,16 @@ parseRunnerCli(int &argc, char **argv)
             cli.sampling.mode = approx::SamplingMode::FixedRate;
             cli.sampling.rate = v;
         };
+        auto parse_timeout = [&](const std::string &text) {
+            char *end = nullptr;
+            double v = std::strtod(text.c_str(), &end);
+            if (text.empty() || end != text.c_str() + text.size() ||
+                !(v > 0.0))
+                fail("--timeout needs a positive number of seconds, "
+                     "got '" +
+                     text + "'");
+            cli.timeoutSeconds = v;
+        };
         auto parse_size = [&](const std::string &text) {
             char *end = nullptr;
             unsigned long long v =
@@ -346,6 +390,10 @@ parseRunnerCli(int &argc, char **argv)
             cli.progress = true;
         } else if (arg == "--analyze-races") {
             cli.analyzeRaces = true;
+        } else if (arg == "--timeout") {
+            parse_timeout(next_value("--timeout"));
+        } else if (arg.rfind("--timeout=", 0) == 0) {
+            parse_timeout(arg.substr(10));
         } else if (arg == "--sample-rate") {
             parse_rate(next_value("--sample-rate"));
         } else if (arg.rfind("--sample-rate=", 0) == 0) {

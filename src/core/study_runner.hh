@@ -59,6 +59,16 @@ struct StudyJob
     /** Builds, runs, and analyzes the study. Must not share mutable
      *  state with other jobs (each constructs its own Multiprocessor). */
     std::function<StudyResult(const StudyContext &)> body;
+    /**
+     * Canonical serialization of everything that determines the study's
+     * output bytes: application kind and parameters, line size, sweep,
+     * knee thresholds and sampling mode (wsg-study-config-v1, one
+     * key=value per line). The job factories in core/runners.hh fill
+     * this in; its FNV-1a hash becomes JobReport::configHash, the
+     * report's `config_hash` field, and the serving layer's cache key.
+     * Empty for ad-hoc jobs, which then carry no hash.
+     */
+    std::string canonicalConfig;
 };
 
 /** Progress event passed to the observer callback. */
@@ -95,7 +105,20 @@ struct JobReport
     /** False when the body threw; `error` holds the message. */
     bool ok = false;
     std::string error;
+    /** True when the failure was the watchdog (StudyTimeoutError). */
+    bool timedOut = false;
+    /** FNV-1a hex of StudyJob::canonicalConfig ("" for ad-hoc jobs). */
+    std::string configHash;
 };
+
+/**
+ * Execute one job inline on the calling thread (no pool, no observer)
+ * and return its report — the single-study form of StudyRunner::run,
+ * with identical timing, error capture and configHash stamping. The
+ * serving layer uses this to compute a cacheable study on a service
+ * worker thread.
+ */
+JobReport runJobInline(const StudyJob &job);
 
 /** Runner configuration. */
 struct RunnerConfig
@@ -192,14 +215,21 @@ struct RunnerCli
      * flag doubles as a CI gate.
      */
     bool analyzeRaces = false;
+    /**
+     * --timeout S: per-study watchdog budget in seconds (0 = off).
+     * Benches copy this into StudyConfig::timeoutSeconds; a study past
+     * its budget fails with a typed error instead of hanging the pool.
+     */
+    double timeoutSeconds = 0.0;
 };
 
 /**
- * Extract --jobs/--json/--progress/--analyze-races/--sample-rate/
- * --sample-size from argv, *removing* the consumed arguments so
- * positional parameters keep
+ * Extract --jobs/--json/--progress/--analyze-races/--timeout/
+ * --sample-rate/--sample-size from argv, *removing* the consumed
+ * arguments so positional parameters keep
  * their indices for the caller. A malformed runner flag (missing or
- * unparseable value, rate outside (0,1], size of zero, or both sampling
+ * unparseable value, rate outside (0,1], size of zero, a non-positive
+ * timeout, or both sampling
  * flags at once) prints an error on stderr and exits with status 2.
  */
 RunnerCli parseRunnerCli(int &argc, char **argv);

@@ -1,0 +1,192 @@
+#include "core/suite.hh"
+
+#include <stdexcept>
+
+#include "core/presets.hh"
+#include "core/runners.hh"
+
+namespace wsg::core
+{
+
+namespace
+{
+
+/** One suite entry: stable name, canonical sweep start, factory. */
+struct SuiteEntry
+{
+    const char *name;
+    std::uint64_t minCacheBytes;
+    StudyJob (*make)(const StudyConfig &study);
+};
+
+// Each maker matches the corresponding figure bench's construction
+// exactly (problem preset, warm-up shape, line size defaults), so the
+// suite is the single source of truth for "the Figure N experiment".
+
+StudyJob
+makeLu(std::uint32_t B, const StudyConfig &study)
+{
+    return luStudyJob(presets::simLu(B), study);
+}
+
+StudyJob
+makeLuB4(const StudyConfig &s)
+{
+    return makeLu(4, s);
+}
+
+StudyJob
+makeLuB16(const StudyConfig &s)
+{
+    return makeLu(16, s);
+}
+
+StudyJob
+makeLuB64(const StudyConfig &s)
+{
+    return makeLu(64, s);
+}
+
+StudyJob
+makeCg2d(const StudyConfig &s)
+{
+    return cgStudyJob(presets::simCg2d(), 3, 1, s);
+}
+
+StudyJob
+makeCg3d(const StudyConfig &s)
+{
+    return cgStudyJob(presets::simCg3d(), 3, 1, s);
+}
+
+StudyJob
+makeFft(std::uint32_t radix, const StudyConfig &study)
+{
+    return fftStudyJob(presets::simFft(radix), 1, 1, study);
+}
+
+StudyJob
+makeFftR2(const StudyConfig &s)
+{
+    return makeFft(2, s);
+}
+
+StudyJob
+makeFftR8(const StudyConfig &s)
+{
+    return makeFft(8, s);
+}
+
+StudyJob
+makeFftR32(const StudyConfig &s)
+{
+    return makeFft(32, s);
+}
+
+StudyJob
+makeBarnes(const StudyConfig &s)
+{
+    return barnesStudyJob(presets::simBarnesFig6(), 2, 1, s, 32);
+}
+
+StudyJob
+makeVolrend(const StudyConfig &s)
+{
+    return volrendStudyJob(presets::simVolrendDims(),
+                           presets::simVolrendRender(), 2, 1, s, 16);
+}
+
+StudyJob
+makeCholesky(const StudyConfig &s)
+{
+    return choleskyStudyJob(presets::simCholesky(), s);
+}
+
+StudyJob
+makeUcg(const StudyConfig &s)
+{
+    return unstructuredStudyJob(presets::simUnstructured(), 3, 1, s);
+}
+
+StudyJob
+makeFft2d(const StudyConfig &s)
+{
+    return fft2dStudyJob(presets::simFft2d(), 1, 1, s);
+}
+
+StudyJob
+makeFft3d(const StudyConfig &s)
+{
+    return fft3dStudyJob(presets::simFft3d(), 1, 1, s);
+}
+
+constexpr SuiteEntry kSuite[] = {
+    {"fig2-lu-B4", 16, makeLuB4},
+    {"fig2-lu-B16", 16, makeLuB16},
+    {"fig2-lu-B64", 16, makeLuB64},
+    {"fig4-cg-2d", 16, makeCg2d},
+    {"fig4-cg-3d", 16, makeCg3d},
+    {"fig5-fft-radix2", 16, makeFftR2},
+    {"fig5-fft-radix8", 16, makeFftR8},
+    {"fig5-fft-radix32", 16, makeFftR32},
+    {"fig6-barnes", 64, makeBarnes},
+    {"fig7-volrend", 64, makeVolrend},
+    {"app-cholesky", 16, makeCholesky},
+    {"app-ucg", 16, makeUcg},
+    {"app-fft2d", 16, makeFft2d},
+    {"app-fft3d", 16, makeFft3d},
+};
+
+StudyJob
+buildEntry(const SuiteEntry &entry, const StudyConfig &base)
+{
+    StudyConfig study = base;
+    study.minCacheBytes = entry.minCacheBytes;
+    StudyJob job = entry.make(study);
+    job.name = entry.name;
+    return job;
+}
+
+} // namespace
+
+std::vector<std::string>
+figureSuiteNames()
+{
+    std::vector<std::string> names;
+    names.reserve(std::size(kSuite));
+    for (const SuiteEntry &entry : kSuite)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+bool
+isFigureSuiteName(const std::string &name)
+{
+    for (const SuiteEntry &entry : kSuite) {
+        if (name == entry.name)
+            return true;
+    }
+    return false;
+}
+
+StudyJob
+figureSuiteJob(const std::string &name, const StudyConfig &base)
+{
+    for (const SuiteEntry &entry : kSuite) {
+        if (name == entry.name)
+            return buildEntry(entry, base);
+    }
+    throw std::invalid_argument("unknown figure-suite preset: " + name);
+}
+
+std::vector<StudyJob>
+figureSuiteJobs(const StudyConfig &base)
+{
+    std::vector<StudyJob> jobs;
+    jobs.reserve(std::size(kSuite));
+    for (const SuiteEntry &entry : kSuite)
+        jobs.push_back(buildEntry(entry, base));
+    return jobs;
+}
+
+} // namespace wsg::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The named 14-study figure suite — the studies behind Figures 2, 4,
+ * 5, 6 and 7 plus the four remaining instrumented applications, each
+ * addressable by a stable preset name ("fig2-lu-B16", "app-fft3d", …).
+ *
+ * Historically this list lived inside bench_figure_suite; it moved here
+ * so that every consumer agrees on what, say, "fig5-fft-radix8" means:
+ * the bench builds its batch from it, the serving daemon resolves
+ * request presets through it, and the load generator enumerates it.
+ * Because all of them share one factory (and with it the canonical
+ * config serialization in core/runners.hh), a study served from the
+ * daemon's cache is byte-identical to the same study's figure-bench
+ * JSON — which is what makes the content-addressed cache sound.
+ */
+
+#ifndef WSG_CORE_SUITE_HH
+#define WSG_CORE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/study_runner.hh"
+#include "core/working_set_study.hh"
+
+namespace wsg::core
+{
+
+/** Names of the suite's studies, in canonical (submission) order. */
+std::vector<std::string> figureSuiteNames();
+
+/** True when @p name is one of figureSuiteNames(). */
+bool isFigureSuiteName(const std::string &name);
+
+/**
+ * Build one suite study by preset name. @p base supplies the
+ * cross-cutting knobs (sampling, analyzeRaces, timeoutSeconds, knee
+ * thresholds…); the preset overrides minCacheBytes with its study's
+ * canonical sweep start, exactly as the figure benches do. The
+ * returned job carries the preset as its name and a filled-in
+ * canonicalConfig.
+ *
+ * @throws std::invalid_argument for an unknown preset name.
+ */
+StudyJob figureSuiteJob(const std::string &name,
+                        const StudyConfig &base = {});
+
+/** The whole suite, in canonical order, sharing @p base. */
+std::vector<StudyJob> figureSuiteJobs(const StudyConfig &base = {});
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_SUITE_HH

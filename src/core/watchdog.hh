@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cooperative per-study watchdog (StudyConfig::timeoutSeconds).
+ *
+ * A study body is an opaque function running on a pool worker; it
+ * cannot be killed from outside without tearing down the thread (and
+ * with it, the pool's determinism and the process's sanitizer state).
+ * Instead the watchdog rides the densest event stream a study already
+ * has — its memory references: the study wraps its sink in a
+ * WatchdogSink that re-reads the wall clock every kCheckInterval
+ * references and throws StudyTimeoutError past the deadline. The
+ * runner catches the typed error and reports the study as failed
+ * (JobReport::timedOut) while the worker moves on to the next job.
+ *
+ * Granularity: one clock read per 2^18 references keeps the overhead
+ * unmeasurable (a reference costs ~100 ns of simulation) while bounding
+ * the overshoot to well under a second for every study in the tree.
+ * Studies also call check() explicitly between their phases (after the
+ * app run, before curve analysis) so even a reference-sparse phase
+ * cannot stretch far past the budget.
+ */
+
+#ifndef WSG_CORE_WATCHDOG_HH
+#define WSG_CORE_WATCHDOG_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/working_set_study.hh"
+#include "trace/memref.hh"
+
+namespace wsg::core
+{
+
+/** Deadline holder; copyable, cheap to check. */
+class StudyWatchdog
+{
+  public:
+    /** @param timeout_seconds Budget; <= 0 disables the watchdog. */
+    explicit StudyWatchdog(double timeout_seconds)
+        : limitSeconds_(timeout_seconds)
+    {
+        if (enabled()) {
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                timeout_seconds));
+        }
+    }
+
+    bool enabled() const { return limitSeconds_ > 0.0; }
+
+    /** @throws StudyTimeoutError once the deadline has passed. */
+    void
+    check() const
+    {
+        if (enabled() && std::chrono::steady_clock::now() > deadline_)
+            throw StudyTimeoutError(limitSeconds_);
+    }
+
+  private:
+    double limitSeconds_;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/**
+ * Pass-through MemorySink that enforces a StudyWatchdog every
+ * kCheckInterval references. Sync events are forwarded uncounted —
+ * they are orders of magnitude rarer than references.
+ */
+class WatchdogSink : public trace::MemorySink
+{
+  public:
+    /** Clock-check period, in references. */
+    static constexpr std::uint64_t kCheckInterval = std::uint64_t{1}
+                                                    << 18;
+
+    WatchdogSink(trace::MemorySink &inner, const StudyWatchdog &watchdog)
+        : inner_(inner), watchdog_(watchdog)
+    {}
+
+    void
+    access(const trace::MemRef &ref) override
+    {
+        if (++sinceCheck_ >= kCheckInterval) {
+            sinceCheck_ = 0;
+            watchdog_.check();
+        }
+        inner_.access(ref);
+    }
+
+    void
+    sync(const trace::SyncEvent &event) override
+    {
+        inner_.sync(event);
+    }
+
+  private:
+    trace::MemorySink &inner_;
+    StudyWatchdog watchdog_;
+    std::uint64_t sinceCheck_ = 0;
+};
+
+} // namespace wsg::core
+
+#endif // WSG_CORE_WATCHDOG_HH

@@ -14,6 +14,7 @@
 #define WSG_CORE_WORKING_SET_STUDY_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,28 @@ namespace wsg::core
 {
 
 class ThreadPool;
+
+/**
+ * Typed failure for a study that exceeded its watchdog budget
+ * (StudyConfig::timeoutSeconds). The runner and the serving layer match
+ * on this type — a timeout is an expected, reportable outcome
+ * (JobReport::timedOut, a "failed" serve response), not a crash.
+ */
+class StudyTimeoutError : public std::runtime_error
+{
+  public:
+    explicit StudyTimeoutError(double limit_seconds)
+        : std::runtime_error(
+              "study exceeded its watchdog budget of " +
+              std::to_string(limit_seconds) + " s"),
+          limitSeconds_(limit_seconds)
+    {}
+
+    double limitSeconds() const { return limitSeconds_; }
+
+  private:
+    double limitSeconds_;
+};
 
 /** Which miss metric a study reports (Section 2.2). */
 enum class Metric : std::uint8_t
@@ -64,6 +87,18 @@ struct StudyConfig
      * roughly doubles per-reference work.
      */
     bool analyzeRaces = false;
+    /**
+     * Per-study watchdog budget in wall-clock seconds; 0 (the default)
+     * disables it. Enforcement is cooperative: the study's reference
+     * stream passes through a sink that checks the deadline every few
+     * hundred thousand references (core/watchdog.hh) and throws
+     * StudyTimeoutError, so a runaway study fails with a typed error
+     * instead of occupying a pool worker forever. Because the check
+     * reads the wall clock, a run that times out is not reproducible —
+     * use it as an operational guard (the serving daemon, CI), not in
+     * experiments whose artifacts are diffed.
+     */
+    double timeoutSeconds = 0.0;
 };
 
 /** Outcome of one study. */

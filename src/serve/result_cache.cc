@@ -1,0 +1,169 @@
+#include "serve/result_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
+
+namespace wsg::serve
+{
+
+namespace
+{
+
+/**
+ * A stored report is plausible when it is non-empty, starts with '{'
+ * and ends with "}\n" — the invariant every jsonReport() artifact
+ * satisfies. Anything else is a torn write or foreign file.
+ */
+bool
+plausibleReport(const std::string &bytes)
+{
+    return bytes.size() >= 3 && bytes.front() == '{' &&
+           bytes[bytes.size() - 2] == '}' && bytes.back() == '\n';
+}
+
+} // namespace
+
+ResultCache::ResultCache(const CacheConfig &config) : config_(config)
+{
+}
+
+std::string
+ResultCache::diskPath(const std::string &hash) const
+{
+    return config_.dir + "/" + hash + ".json";
+}
+
+std::optional<std::string>
+ResultCache::loadFromDisk(const std::string &hash)
+{
+    if (config_.dir.empty())
+        return std::nullopt;
+    std::ifstream in(diskPath(hash), std::ios::binary);
+    if (!in.is_open())
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        ++counters_.corruptDrops;
+        return std::nullopt;
+    }
+    std::string bytes = std::move(buf).str();
+    if (!plausibleReport(bytes)) {
+        ++counters_.corruptDrops;
+        std::error_code ec;
+        std::filesystem::remove(diskPath(hash), ec);
+        return std::nullopt;
+    }
+    return bytes;
+}
+
+void
+ResultCache::storeToDisk(const std::string &hash, const std::string &bytes)
+{
+    if (config_.dir.empty())
+        return;
+    if (!dirReady_) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.dir, ec);
+        if (ec)
+            return; // disk tier degrades to memory-only
+        dirReady_ = true;
+    }
+    std::string tmp = diskPath(hash) + ".tmp." +
+                      std::to_string(::getpid()) + "." +
+                      std::to_string(tempSeq_++);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.is_open())
+            return;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out.good()) {
+            out.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), diskPath(hash).c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+void
+ResultCache::insertMemory(const std::string &hash, std::string bytes)
+{
+    auto it = index_.find(hash);
+    if (it != index_.end()) {
+        counters_.bytesCached -= it->second->bytes.size();
+        counters_.bytesCached += bytes.size();
+        it->second->bytes = std::move(bytes);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        evictToBudget();
+        return;
+    }
+    counters_.bytesCached += bytes.size();
+    lru_.push_front(Entry{hash, std::move(bytes)});
+    index_.emplace(hash, lru_.begin());
+    counters_.entries = lru_.size();
+    evictToBudget();
+}
+
+void
+ResultCache::evictToBudget()
+{
+    while (lru_.size() > 1 &&
+           counters_.bytesCached > config_.memBudgetBytes) {
+        Entry &victim = lru_.back();
+        counters_.bytesCached -= victim.bytes.size();
+        index_.erase(victim.hash);
+        lru_.pop_back();
+        ++counters_.evictions;
+    }
+    counters_.entries = lru_.size();
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string &hash, CacheTier *tier)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(hash);
+    if (it != index_.end()) {
+        ++counters_.memHits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (tier)
+            *tier = CacheTier::Memory;
+        return it->second->bytes;
+    }
+    std::optional<std::string> disk = loadFromDisk(hash);
+    if (disk) {
+        ++counters_.diskHits;
+        insertMemory(hash, *disk);
+        if (tier)
+            *tier = CacheTier::Disk;
+        return disk;
+    }
+    ++counters_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::put(const std::string &hash, const std::string &bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.puts;
+    storeToDisk(hash, bytes);
+    insertMemory(hash, bytes);
+}
+
+CacheCounters
+ResultCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace wsg::serve

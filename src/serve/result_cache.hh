@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Two-tier content-addressed result cache for study reports.
+ *
+ * Tier 1 is an in-memory LRU of report byte-strings with a byte-budget
+ * eviction policy (a report is a few tens of kilobytes; the budget
+ * bounds resident memory, not entry count). Tier 2 is an on-disk
+ * content-addressed store, one `<dir>/<hash>.json` per entry, written
+ * via a pid+sequence-keyed temp file and an atomic rename so a reader
+ * never observes a half-written report and concurrent writers of the
+ * same hash last-write-win with either writer's complete bytes.
+ *
+ * Keys are the FNV-1a hex of the canonical config serialization
+ * (StudyJob::canonicalConfig), NOT of the payload — the cache answers
+ * "has this exact configuration been computed", so a stored payload
+ * cannot be verified against its own name. Disk loads are therefore
+ * corruption-*tolerant* rather than corruption-*proof*: a missing,
+ * empty, or visibly truncated file (the emitter always ends reports
+ * with "}\n") is treated as a miss and the entry is dropped, which
+ * converts a torn write or a disk-full artifact into one recompute.
+ *
+ * Thread safety: all public methods are safe to call concurrently;
+ * one internal mutex serializes both tiers (disk IO inside the lock is
+ * acceptable at study-report sizes — a service worker spends seconds
+ * computing what the cache stores in microseconds).
+ */
+
+#ifndef WSG_SERVE_RESULT_CACHE_HH
+#define WSG_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace wsg::serve
+{
+
+/** Cache configuration. */
+struct CacheConfig
+{
+    /** On-disk store directory; "" disables the disk tier. Created
+     *  (with parents) on first use. */
+    std::string dir;
+    /** In-memory tier budget over payload bytes. At least one entry is
+     *  always retained, even when it alone exceeds the budget. */
+    std::uint64_t memBudgetBytes = 256ULL << 20;
+};
+
+/** Monotonic cache counters (all since construction). */
+struct CacheCounters
+{
+    std::uint64_t memHits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t evictions = 0;
+    /** Disk loads dropped as corrupt (empty/truncated/unreadable). */
+    std::uint64_t corruptDrops = 0;
+    /** Current resident payload bytes of the memory tier. */
+    std::uint64_t bytesCached = 0;
+    /** Current entry count of the memory tier. */
+    std::uint64_t entries = 0;
+};
+
+/** Where a get() was answered from. */
+enum class CacheTier : std::uint8_t
+{
+    Memory,
+    Disk,
+};
+
+class ResultCache
+{
+  public:
+    explicit ResultCache(const CacheConfig &config);
+
+    /**
+     * Look up @p hash. A disk hit is promoted into the memory tier.
+     * @param tier Set (when non-null) to the answering tier on a hit.
+     */
+    std::optional<std::string> get(const std::string &hash,
+                                   CacheTier *tier = nullptr);
+
+    /**
+     * Insert @p bytes under @p hash in both tiers (overwriting), then
+     * evict least-recently-used memory entries down to the budget.
+     */
+    void put(const std::string &hash, const std::string &bytes);
+
+    /** Snapshot of the counters. */
+    CacheCounters counters() const;
+
+  private:
+    /** hash -> LRU list node; the list front is most recently used. */
+    struct Entry
+    {
+        std::string hash;
+        std::string bytes;
+    };
+
+    std::string diskPath(const std::string &hash) const;
+    std::optional<std::string> loadFromDisk(const std::string &hash);
+    void storeToDisk(const std::string &hash, const std::string &bytes);
+    void insertMemory(const std::string &hash, std::string bytes);
+    void evictToBudget();
+
+    CacheConfig config_;
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_;
+    std::map<std::string, std::list<Entry>::iterator> index_;
+    CacheCounters counters_;
+    std::uint64_t tempSeq_ = 0;
+    bool dirReady_ = false;
+};
+
+} // namespace wsg::serve
+
+#endif // WSG_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,182 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace wsg::serve
+{
+
+Server::Server(const ServerConfig &config, StudyService::JobFactory factory)
+    : config_(config), service_(config.service, std::move(factory))
+{
+}
+
+Server::~Server()
+{
+    requestShutdown();
+    wait();
+}
+
+void
+Server::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(addr.sun_path))
+        throw ProtocolError("socket path too long: " +
+                            config_.socketPath);
+    std::memcpy(addr.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw ProtocolError(std::string("socket: ") +
+                            std::strerror(errno));
+    // A previous daemon's socket file would make bind fail; a live
+    // daemon still serving it is indistinguishable here, so the unlink
+    // takes the path over either way (standard unix-daemon behaviour).
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ProtocolError("bind " + config_.socketPath + ": " +
+                            std::strerror(err));
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ProtocolError(std::string("listen: ") +
+                            std::strerror(err));
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // shutdown() on the listen socket lands here.
+            break;
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string line;
+    try {
+        while (readLine(fd, line)) {
+            Request req;
+            try {
+                req = parseRequest(line);
+            } catch (const ProtocolError &e) {
+                ResponseHeader bad;
+                bad.status = "bad_request";
+                bad.error = e.what();
+                writeAll(fd, encodeResponseHeader(bad));
+                break; // framing may be broken; drop the connection
+            }
+            switch (req.op) {
+            case Op::Ping: {
+                ResponseHeader pong;
+                pong.status = "ok";
+                writeAll(fd, encodeResponseHeader(pong));
+                break;
+            }
+            case Op::Stats: {
+                std::string payload = service_.statsJson();
+                ResponseHeader header;
+                header.status = "ok";
+                header.payloadBytes = payload.size();
+                writeAll(fd, encodeResponseHeader(header));
+                writeAll(fd, payload);
+                break;
+            }
+            case Op::Shutdown: {
+                ResponseHeader header;
+                header.status = "ok";
+                writeAll(fd, encodeResponseHeader(header));
+                requestShutdown();
+                break;
+            }
+            case Op::Study: {
+                if (stopping_.load()) {
+                    ResponseHeader header;
+                    header.status = "shutting_down";
+                    writeAll(fd, encodeResponseHeader(header));
+                    break;
+                }
+                Response res;
+                try {
+                    res = service_.submit(req.preset,
+                                          req.studyConfig());
+                } catch (const ProtocolError &e) {
+                    res.status = Status::BadRequest;
+                    res.error = e.what();
+                }
+                writeAll(fd, encodeResponseHeader(
+                                 studyResponseHeader(res)));
+                if (res.status == Status::Ok)
+                    writeAll(fd, res.payload);
+                break;
+            }
+            }
+        }
+    } catch (const ProtocolError &) {
+        // Torn connection: nothing to answer to.
+    }
+    ::close(fd);
+}
+
+void
+Server::requestShutdown()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR); // wakes the accept loop
+}
+
+void
+Server::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // The accept loop is done, so connections_ no longer grows.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(connections_);
+    }
+    for (std::thread &t : conns)
+        t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(config_.socketPath.c_str());
+    }
+}
+
+} // namespace wsg::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Embeddable Unix-domain-socket front end for StudyService.
+ *
+ * One accept thread hands each connection to its own handler thread; a
+ * connection may issue any number of requests (the protocol is
+ * request/response over one stream). Study requests block their
+ * connection thread inside StudyService::submit — concurrency and
+ * queueing are the *service's* policy, the server adds none of its
+ * own, so backpressure semantics are identical whether the service is
+ * driven through a socket or called directly (as the tests do).
+ *
+ * Shutdown: a "shutdown" request (or requestShutdown()) flips the
+ * stopping flag and wakes the accept loop by shutting the listen
+ * socket down; in-flight requests complete, subsequent study requests
+ * are answered "shutting_down", and wait() returns once every
+ * connection thread has been joined. The socket file is unlinked on
+ * stop so a daemon restart on the same path succeeds.
+ */
+
+#ifndef WSG_SERVE_SERVER_HH
+#define WSG_SERVE_SERVER_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/study_service.hh"
+
+namespace wsg::serve
+{
+
+/** Server configuration. */
+struct ServerConfig
+{
+    /** Filesystem path of the listening socket. */
+    std::string socketPath;
+    ServiceConfig service;
+};
+
+class Server
+{
+  public:
+    /** @param factory Overrides the suite job factory (tests). */
+    explicit Server(const ServerConfig &config,
+                    StudyService::JobFactory factory = {});
+
+    /** Stops and joins everything. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen and start the accept thread.
+     * @throws ProtocolError when the socket cannot be set up.
+     */
+    void start();
+
+    /** Block until shutdown has been requested and all connection
+     *  threads have drained. */
+    void wait();
+
+    /** Initiate shutdown (idempotent, safe from handler threads). */
+    void requestShutdown();
+
+    /** The underlying service (stats, direct submission). */
+    StudyService &service() { return service_; }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    ServerConfig config_;
+    StudyService service_;
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::atomic<bool> stopping_{false};
+    std::mutex connMutex_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace wsg::serve
+
+#endif // WSG_SERVE_SERVER_HH

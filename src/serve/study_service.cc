@@ -1,0 +1,230 @@
+#include "serve/study_service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/suite.hh"
+#include "stats/hash.hh"
+#include "stats/json_report.hh"
+
+namespace wsg::serve
+{
+
+/**
+ * One in-flight computation. The leader fills `result` and flips
+ * `done`; every waiter (leader included) blocks on `cv`. The flight is
+ * removed from the service map *before* `done` flips, so a request
+ * that finds the map entry is guaranteed a result, and one that misses
+ * it re-checks the cache via a fresh submit.
+ */
+struct StudyService::Flight
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Response result;
+};
+
+StudyService::StudyService(const ServiceConfig &config, JobFactory factory)
+    : config_(config),
+      factory_(factory ? std::move(factory)
+                       : JobFactory(&core::figureSuiteJob)),
+      cache_(config.cache), pool_(config.concurrency)
+{
+    latency_.reserve(kLatencyWindow);
+}
+
+StudyService::~StudyService() = default;
+
+void
+StudyService::recordLatency(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (latency_.size() < kLatencyWindow)
+        latency_.push_back(seconds);
+    else
+        latency_[latencyNext_] = seconds;
+    latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
+}
+
+Response
+StudyService::submit(const std::string &name,
+                     const core::StudyConfig &base)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++requests_;
+    }
+
+    core::StudyJob job;
+    try {
+        job = factory_(name, base);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++badRequests_;
+        Response bad;
+        bad.status = Status::BadRequest;
+        bad.error = e.what();
+        return bad;
+    }
+    std::string hash =
+        job.canonicalConfig.empty()
+            ? stats::fnv1a64Hex("wsg-unkeyed-config\nname=" + job.name +
+                                "\n")
+            : stats::fnv1a64Hex(job.canonicalConfig);
+
+    CacheTier tier = CacheTier::Memory;
+    if (std::optional<std::string> cached = cache_.get(hash, &tier)) {
+        Response hit;
+        hit.status = Status::Ok;
+        hit.outcome = tier == CacheTier::Memory ? Outcome::MemoryHit
+                                                : Outcome::DiskHit;
+        hit.hash = hash;
+        hit.payload = std::move(*cached);
+        recordLatency(elapsed());
+        return hit;
+    }
+
+    // Cache miss: join an existing flight, or lead a new one if the
+    // backpressure cap leaves room.
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = flights_.find(hash);
+        if (it != flights_.end()) {
+            flight = it->second;
+            ++coalescedJoins_;
+        } else if (flights_.size() >= config_.maxQueueDepth) {
+            ++rejections_;
+            Response busy;
+            busy.status = Status::Overloaded;
+            busy.hash = hash;
+            busy.error = "queue depth limit reached (" +
+                         std::to_string(config_.maxQueueDepth) + ")";
+            return busy;
+        } else {
+            flight = std::make_shared<Flight>();
+            flights_.emplace(hash, flight);
+            leader = true;
+        }
+    }
+
+    if (leader) {
+        pool_.submit([this, flight, hash, job = std::move(job)]() {
+            core::JobReport report = core::runJobInline(job);
+            Response res;
+            res.hash = hash;
+            if (report.ok) {
+                res.status = Status::Ok;
+                res.payload = core::jsonReport({std::move(report)});
+                cache_.put(hash, res.payload);
+            } else {
+                res.status = Status::Failed;
+                res.error = report.error;
+                res.timedOut = report.timedOut;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                flights_.erase(hash);
+                if (res.status == Status::Failed) {
+                    ++failures_;
+                    if (res.timedOut)
+                        ++timeouts_;
+                }
+            }
+            {
+                std::lock_guard<std::mutex> lock(flight->m);
+                flight->result = std::move(res);
+                flight->done = true;
+            }
+            flight->cv.notify_all();
+        });
+    }
+
+    Response out;
+    {
+        std::unique_lock<std::mutex> lock(flight->m);
+        flight->cv.wait(lock, [&flight] { return flight->done; });
+        out = flight->result;
+    }
+    out.outcome = leader ? Outcome::Computed : Outcome::Join;
+    recordLatency(elapsed());
+    return out;
+}
+
+ServiceStats
+StudyService::stats() const
+{
+    CacheCounters cache = cache_.counters();
+    ServiceStats s;
+    std::vector<double> window;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.requests = requests_;
+        s.coalescedJoins = coalescedJoins_;
+        s.rejections = rejections_;
+        s.badRequests = badRequests_;
+        s.failures = failures_;
+        s.timeouts = timeouts_;
+        window = latency_;
+    }
+    s.memHits = cache.memHits;
+    s.diskHits = cache.diskHits;
+    // Every request reaching the admit path has one cache miss on
+    // record; of those, joins and rejections never start a study.
+    s.misses = cache.misses - s.coalescedJoins - s.rejections;
+    s.evictions = cache.evictions;
+    s.bytesCached = cache.bytesCached;
+    s.cacheEntries = cache.entries;
+    if (!window.empty()) {
+        std::sort(window.begin(), window.end());
+        auto at = [&window](double q) {
+            std::size_t idx = static_cast<std::size_t>(
+                q * static_cast<double>(window.size() - 1));
+            return window[idx];
+        };
+        s.p50Seconds = at(0.50);
+        s.p95Seconds = at(0.95);
+    }
+    return s;
+}
+
+std::string
+StudyService::statsJson() const
+{
+    ServiceStats s = stats();
+    std::ostringstream os;
+    stats::JsonWriter w(os);
+    w.beginObject();
+    w.member("schema", "wsg-serve-stats-v1");
+    w.member("requests", s.requests);
+    w.member("mem_hits", s.memHits);
+    w.member("disk_hits", s.diskHits);
+    w.member("misses", s.misses);
+    w.member("coalesced_joins", s.coalescedJoins);
+    w.member("rejections", s.rejections);
+    w.member("bad_requests", s.badRequests);
+    w.member("failures", s.failures);
+    w.member("timeouts", s.timeouts);
+    w.member("evictions", s.evictions);
+    w.member("bytes_cached", s.bytesCached);
+    w.member("cache_entries", s.cacheEntries);
+    w.member("p50_seconds", s.p50Seconds);
+    w.member("p95_seconds", s.p95Seconds);
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace wsg::serve

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The serving core behind wsg-served, independent of any transport:
+ * resolve a preset name to a StudyJob, answer from the two-tier result
+ * cache when possible, and otherwise compute the study on a bounded
+ * worker pool — with two load-shaping behaviours layered on top:
+ *
+ *  - **Single-flight coalescing.** N concurrent requests for the same
+ *    config hash trigger exactly one computation; the other N-1 block
+ *    on the in-flight result and are answered from it (`Outcome::Join`).
+ *    This is what keeps a thundering herd of identical submissions from
+ *    multiplying minutes-long simulations.
+ *  - **Backpressure.** The number of *distinct* in-flight computations
+ *    is capped (maxQueueDepth); beyond it, new cache-missing requests
+ *    are rejected with a typed `Status::Overloaded` instead of growing
+ *    an unbounded queue. Cache hits and coalesced joins are always
+ *    admitted — they cost no study work.
+ *
+ * Results are cached by config hash only when the study succeeded;
+ * failures and timeouts are returned to every coalesced waiter but
+ * never stored, so a transient failure does not poison the cache.
+ *
+ * The job factory is injectable so tests can serve synthetic
+ * (blocking, failing) jobs deterministically; the default factory is
+ * core::figureSuiteJob, i.e. the daemon serves the 14 figure presets.
+ */
+
+#ifndef WSG_SERVE_STUDY_SERVICE_HH
+#define WSG_SERVE_STUDY_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/study_runner.hh"
+#include "core/thread_pool.hh"
+#include "core/working_set_study.hh"
+#include "serve/result_cache.hh"
+
+namespace wsg::serve
+{
+
+/** Request admission / completion status. */
+enum class Status : std::uint8_t
+{
+    Ok,         ///< Report payload attached.
+    BadRequest, ///< Unknown preset or malformed request.
+    Overloaded, ///< Backpressure rejection; retry later.
+    Failed,     ///< Study ran and raised an error (or timed out).
+};
+
+/** How an Ok response was produced. */
+enum class Outcome : std::uint8_t
+{
+    MemoryHit, ///< Served from the in-memory tier.
+    DiskHit,   ///< Served from the on-disk tier.
+    Computed,  ///< This request ran the study.
+    Join,      ///< Coalesced onto another request's computation.
+};
+
+/** One answered request. */
+struct Response
+{
+    Status status = Status::Ok;
+    Outcome outcome = Outcome::Computed;
+    /** Config hash (16 hex chars); empty for BadRequest. */
+    std::string hash;
+    /** Report JSON bytes when status == Ok, else empty. */
+    std::string payload;
+    /** Error detail for BadRequest / Overloaded / Failed. */
+    std::string error;
+    /** True when a Failed study hit its watchdog timeout. */
+    bool timedOut = false;
+};
+
+/** Service configuration. */
+struct ServiceConfig
+{
+    CacheConfig cache;
+    /** Worker threads computing studies (0 = hardware threads). */
+    unsigned concurrency = 0;
+    /** Max distinct in-flight computations before Overloaded. */
+    std::size_t maxQueueDepth = 16;
+};
+
+/** Service counters + latency digest, as served by /stats. */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t memHits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t misses = 0; ///< Requests that started a computation.
+    std::uint64_t coalescedJoins = 0;
+    std::uint64_t rejections = 0;
+    std::uint64_t badRequests = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytesCached = 0;
+    std::uint64_t cacheEntries = 0;
+    /** Service-time percentiles over the recent-request window, in
+     *  seconds; 0 before the first completed request. */
+    double p50Seconds = 0.0;
+    double p95Seconds = 0.0;
+};
+
+class StudyService
+{
+  public:
+    /**
+     * Builds a StudyJob for a preset name under base study knobs.
+     * Throws std::invalid_argument to signal BadRequest.
+     */
+    using JobFactory = std::function<core::StudyJob(
+        const std::string &name, const core::StudyConfig &base)>;
+
+    /** @param factory Overrides the suite factory (tests). */
+    explicit StudyService(const ServiceConfig &config,
+                          JobFactory factory = {});
+    ~StudyService();
+
+    StudyService(const StudyService &) = delete;
+    StudyService &operator=(const StudyService &) = delete;
+
+    /**
+     * Serve one request: preset @p name with cross-cutting study knobs
+     * @p base (sampling, analyzeRaces, timeoutSeconds). Blocks the
+     * calling thread until the response is ready; callers are expected
+     * to be per-connection threads.
+     */
+    Response submit(const std::string &name,
+                    const core::StudyConfig &base = {});
+
+    /** Snapshot of counters and latency percentiles. */
+    ServiceStats stats() const;
+
+    /** stats() serialized as ordered JSON (wsg-serve-stats-v1). */
+    std::string statsJson() const;
+
+  private:
+    struct Flight;
+
+    void recordLatency(double seconds);
+    std::shared_ptr<Flight> admit(const std::string &hash,
+                                  Response &reject);
+
+    ServiceConfig config_;
+    JobFactory factory_;
+    ResultCache cache_;
+    core::ThreadPool pool_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Flight>> flights_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t coalescedJoins_ = 0;
+    std::uint64_t rejections_ = 0;
+    std::uint64_t badRequests_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t timeouts_ = 0;
+    /** Ring buffer of recent service times (seconds). */
+    std::vector<double> latency_;
+    std::size_t latencyNext_ = 0;
+
+    static constexpr std::size_t kLatencyWindow = 4096;
+};
+
+} // namespace wsg::serve
+
+#endif // WSG_SERVE_STUDY_SERVICE_HH

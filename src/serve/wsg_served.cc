@@ -1,0 +1,113 @@
+/**
+ * @file
+ * wsg-served — the study-serving daemon.
+ *
+ * Listens on a Unix-domain socket and serves the 14 figure-suite
+ * presets through a StudyService: content-addressed result cache
+ * (memory LRU + on-disk store), single-flight coalescing of identical
+ * requests, and bounded-queue backpressure. See src/serve/protocol.hh
+ * for the wire format and README.md ("Serving studies") for usage.
+ *
+ * Flags:
+ *   --socket PATH      listening socket path (required)
+ *   --cache-dir PATH   on-disk result store ("" = memory-only)
+ *   --mem-budget MB    in-memory cache budget in MiB (default 256)
+ *   --concurrency N    study worker threads (default: hardware)
+ *   --max-queue N      distinct in-flight studies before requests are
+ *                      rejected as overloaded (default 16)
+ *
+ * The daemon prints one "listening on PATH" line to stdout once ready
+ * (scripts wait for it) and exits 0 after a client's shutdown request
+ * has drained. Exit 2 on usage errors, 1 on socket setup failure.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const std::string &error)
+{
+    std::cerr << "error: " << error
+              << "\nusage: wsg-served --socket PATH [--cache-dir PATH]"
+                 " [--mem-budget MB]\n"
+                 "                  [--concurrency N] [--max-queue N]\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    std::size_t pos = 0;
+    unsigned long long n = 0;
+    try {
+        n = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        usage(flag + " needs a non-negative integer");
+    }
+    if (pos != value.size())
+        usage(flag + " needs a non-negative integer");
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            config.socketPath = next("--socket");
+        } else if (arg == "--cache-dir") {
+            config.service.cache.dir = next("--cache-dir");
+        } else if (arg == "--mem-budget") {
+            config.service.cache.memBudgetBytes =
+                parseCount(arg, next("--mem-budget")) << 20;
+        } else if (arg == "--concurrency") {
+            config.service.concurrency = static_cast<unsigned>(
+                parseCount(arg, next("--concurrency")));
+        } else if (arg == "--max-queue") {
+            std::uint64_t depth = parseCount(arg, next("--max-queue"));
+            if (depth == 0)
+                usage("--max-queue must be at least 1");
+            config.service.maxQueueDepth =
+                static_cast<std::size_t>(depth);
+        } else {
+            usage("unknown argument '" + arg + "'");
+        }
+    }
+    if (config.socketPath.empty())
+        usage("--socket is required");
+
+    serve::Server server(config);
+    try {
+        server.start();
+    } catch (const serve::ProtocolError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    std::cout << "listening on " << config.socketPath << std::endl;
+    server.wait();
+
+    serve::ServiceStats stats = server.service().stats();
+    std::cerr << "served " << stats.requests << " request(s), "
+              << stats.memHits + stats.diskHits << " cache hit(s), "
+              << stats.coalescedJoins << " coalesced, "
+              << stats.rejections << " rejected\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Content hashing for cacheable artifacts.
+ *
+ * The serving layer keys its result cache by a hash of the canonical
+ * study-config serialization (see core/runners.hh); the same hash is
+ * embedded in the wsg-study-report-v2 JSON as `config_hash` so an
+ * artifact names the exact configuration that produced it. FNV-1a is
+ * used because the input is tiny (a few hundred canonical bytes), the
+ * function is a dozen lines with no dependencies, and the 64-bit
+ * variant's collision odds over the handful of configs a cache ever
+ * holds are negligible. It is *not* cryptographic; nothing here defends
+ * against adversarial collisions.
+ */
+
+#ifndef WSG_STATS_HASH_HH
+#define WSG_STATS_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wsg::stats
+{
+
+/** FNV-1a offset basis / prime (64-bit variant). */
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+/** FNV-1a over a byte string, continuing from @p seed. */
+constexpr std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t seed = kFnv1a64Offset)
+{
+    std::uint64_t h = seed;
+    for (char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnv1a64Prime;
+    }
+    return h;
+}
+
+/** Fixed-width (16 digit) lowercase hex rendering of a 64-bit hash. */
+inline std::string
+hashHex(std::uint64_t h)
+{
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+/** fnv1a64 + hashHex in one call — the config-hash spelling. */
+inline std::string
+fnv1a64Hex(std::string_view bytes)
+{
+    return hashHex(fnv1a64(bytes));
+}
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_HASH_HH

@@ -1,0 +1,434 @@
+#include "stats/json_parse.hh"
+
+#include <cstdlib>
+
+namespace wsg::stats
+{
+
+namespace
+{
+
+[[noreturn]] void
+typeError(const char *wanted)
+{
+    throw std::runtime_error(std::string("JsonValue: not a ") + wanted);
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw JsonParseError(message, pos_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail("invalid literal");
+        pos_ += word.size();
+    }
+
+    JsonValue
+    parseValue()
+    {
+        if (depth_ >= kMaxDepth)
+            fail("nesting too deep");
+        skipWhitespace();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            expectLiteral("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            expectLiteral("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            expectLiteral("null");
+            return JsonValue::makeNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        ++depth_;
+        expect('{');
+        JsonValue::Members members;
+        skipWhitespace();
+        if (!consumeIf('}')) {
+            while (true) {
+                skipWhitespace();
+                std::string key = parseString();
+                skipWhitespace();
+                expect(':');
+                JsonValue value = parseValue();
+                members.emplace_back(std::move(key), std::move(value));
+                skipWhitespace();
+                if (consumeIf(','))
+                    continue;
+                expect('}');
+                break;
+            }
+        }
+        --depth_;
+        return JsonValue::makeObject(std::move(members));
+    }
+
+    JsonValue
+    parseArray()
+    {
+        ++depth_;
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWhitespace();
+        if (!consumeIf(']')) {
+            while (true) {
+                items.push_back(parseValue());
+                skipWhitespace();
+                if (consumeIf(','))
+                    continue;
+                expect(']');
+                break;
+            }
+        }
+        --depth_;
+        return JsonValue::makeArray(std::move(items));
+    }
+
+    /** Append the UTF-8 encoding of @p cp to @p out. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    std::uint32_t
+    parseHex4()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++pos_;
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                std::uint32_t cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require the paired low one.
+                    if (!consumeIf('\\') || !consumeIf('u'))
+                        fail("unpaired surrogate");
+                    std::uint32_t lo = parseHex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("invalid escape");
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (consumeIf('-')) {}
+        if (pos_ >= text_.size() || text_[pos_] < '0' ||
+            text_[pos_] > '9')
+            fail("invalid number");
+        // JSON forbids leading zeros ("01"): after an initial '0' the
+        // integer part is over.
+        bool leading_zero = text_[pos_] == '0';
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        if (leading_zero && pos_ - start > (text_[start] == '-' ? 2u : 1u))
+            fail("invalid number: leading zero");
+        if (consumeIf('.')) {
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                fail("invalid number: missing fraction digits");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9')
+                fail("invalid number: missing exponent digits");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        std::string token(text_.substr(start, pos_ - start));
+        return JsonValue::makeNumber(std::strtod(token.c_str(), nullptr));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        typeError("bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        typeError("number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        typeError("string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        typeError("array");
+    return items_;
+}
+
+const JsonValue::Members &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        typeError("object");
+    return members_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return items_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        throw std::runtime_error("JsonValue: missing key '" + key + "'");
+    return *v;
+}
+
+const JsonValue &
+JsonValue::operator[](std::size_t i) const
+{
+    const auto &v = items();
+    if (i >= v.size())
+        throw std::runtime_error("JsonValue: array index out of range");
+    return v[i];
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Bool;
+    out.bool_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Number;
+    out.number_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.kind_ = Kind::String;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Array;
+    out.items_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject(Members v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Object;
+    out.members_ = std::move(v);
+    return out;
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace wsg::stats

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A minimal JSON reader — the inverse of json_report.hh.
+ *
+ * Three consumers need to *read* JSON back: the serving daemon parses
+ * request lines off its socket, the wsg-submit client parses response
+ * headers, and the round-trip tests re-read emitted wsg-study-report-v2
+ * artifacts to check the schema. The documents involved are small (one
+ * request line, one report), so this is a straightforward recursive-
+ * descent parser into an owning tree; no streaming, no SAX.
+ *
+ * Deliberate simplifications, all safe for our inputs:
+ *  - numbers are parsed as double (the reports' integers are exact up
+ *    to 2^53, far beyond any counter the tests inspect),
+ *  - object member order is preserved and duplicate keys are kept
+ *    (find() returns the first), matching the emitter's ordered style,
+ *  - input depth is capped so a hostile request line cannot overflow
+ *    the parser's stack.
+ */
+
+#ifndef WSG_STATS_JSON_PARSE_HH
+#define WSG_STATS_JSON_PARSE_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wsg::stats
+{
+
+/** Thrown on malformed input; carries the byte offset of the error. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &message, std::size_t offset)
+        : std::runtime_error(message + " at byte " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {}
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** One parsed JSON value (an owning tree). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; throw std::runtime_error on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const Members &members() const;
+
+    /** Array/object element count; 0 for scalars. */
+    std::size_t size() const;
+
+    /** First member with @p key, or null when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find() that throws std::runtime_error when the key is absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Array element access (bounds-checked). */
+    const JsonValue &operator[](std::size_t i) const;
+
+    // Construction helpers used by the parser.
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue makeObject(Members v);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    Members members_;
+};
+
+/**
+ * Parse one JSON document. Trailing whitespace is permitted, trailing
+ * non-whitespace is an error (a request line is exactly one document).
+ *
+ * @throws JsonParseError on malformed input or nesting deeper than 64.
+ */
+JsonValue parseJson(std::string_view text);
+
+} // namespace wsg::stats
+
+#endif // WSG_STATS_JSON_PARSE_HH

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "apps/volrend/renderer.hh"
@@ -281,7 +283,12 @@ TEST(Renderer, WritesValidPgm)
     vol.buildOctree();
     Renderer r(smallRender(1, 16), vol, space, nullptr);
     r.renderFrame();
-    std::string path = "/tmp/wsg_test_render.pgm";
+    // Keyed by test name + pid so parallel ctest runs don't collide.
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string path = ::testing::TempDir() + "wsg_render_" +
+                       std::string(info->name()) + "_" +
+                       std::to_string(::getpid()) + ".pgm";
     r.writePgm(path);
     std::ifstream in(path, std::ios::binary);
     ASSERT_TRUE(in.good());

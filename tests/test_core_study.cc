@@ -100,3 +100,47 @@ TEST(StudyDriver, KneeFloorGuardsCommunicationNoise)
     for (const auto &ws : res.workingSets)
         EXPECT_GE(ws.missRateBefore, res.floorRate);
 }
+
+TEST(StudyWatchdog, TimeoutSurfacesAsTypedError)
+{
+    // A budget of one nanosecond expires before the study's first
+    // watchdog check, so the run must abort with the typed error
+    // instead of completing (or hanging a pool worker).
+    StudyConfig sc;
+    sc.timeoutSeconds = 1e-9;
+    EXPECT_THROW(runLuStudy(presets::simLu(8), sc), StudyTimeoutError);
+}
+
+TEST(StudyWatchdog, InlineJobReportsTimedOut)
+{
+    StudyConfig sc;
+    sc.timeoutSeconds = 1e-9;
+    JobReport report = runJobInline(luStudyJob(presets::simLu(8), sc));
+    EXPECT_FALSE(report.ok);
+    EXPECT_TRUE(report.timedOut);
+    EXPECT_NE(report.error.find("watchdog"), std::string::npos)
+        << report.error;
+    // The hash is stamped even for failed runs (diagnostics).
+    EXPECT_EQ(report.configHash.size(), 16u);
+}
+
+TEST(StudyWatchdog, DisabledByDefault)
+{
+    StudyConfig sc;
+    EXPECT_DOUBLE_EQ(sc.timeoutSeconds, 0.0);
+    JobReport report = runJobInline(luStudyJob(presets::simLu(8), sc));
+    EXPECT_TRUE(report.ok);
+    EXPECT_FALSE(report.timedOut);
+}
+
+TEST(StudyWatchdog, TimeoutDoesNotChangeTheCacheKey)
+{
+    // timeoutSeconds is a wall-clock guard, not a result parameter: it
+    // must not appear in the canonical config, so runs with different
+    // budgets share one cache entry.
+    StudyConfig with;
+    with.timeoutSeconds = 3600.0;
+    StudyConfig without;
+    EXPECT_EQ(luStudyJob(presets::simLu(8), with).canonicalConfig,
+              luStudyJob(presets::simLu(8), without).canonicalConfig);
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the shared figure-suite factory (core/suite): the stable
+ * preset names, lookup semantics, and the canonical-config invariants
+ * the serving cache depends on (distinct hashes per preset, stable
+ * bytes across calls, wall-clock knobs excluded from the key).
+ */
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+#include "stats/hash.hh"
+
+using namespace wsg;
+using namespace wsg::core;
+
+TEST(FigureSuite, NamesAreStableAndComplete)
+{
+    std::vector<std::string> names = figureSuiteNames();
+    ASSERT_EQ(names.size(), 14u);
+    // The serving protocol and EXPERIMENTS.md quote these names; a
+    // rename is a breaking change and must be deliberate.
+    EXPECT_EQ(names.front(), "fig2-lu-B4");
+    EXPECT_EQ(names[7], "fig5-fft-radix32");
+    EXPECT_EQ(names.back(), "app-fft3d");
+    for (const std::string &name : names)
+        EXPECT_TRUE(isFigureSuiteName(name)) << name;
+    EXPECT_FALSE(isFigureSuiteName("fig9-quicksort"));
+}
+
+TEST(FigureSuite, UnknownPresetThrows)
+{
+    EXPECT_THROW(figureSuiteJob("fig9-quicksort"),
+                 std::invalid_argument);
+    EXPECT_THROW(figureSuiteJob(""), std::invalid_argument);
+}
+
+TEST(FigureSuite, JobsCarryDistinctCanonicalConfigs)
+{
+    std::vector<StudyJob> jobs = figureSuiteJobs();
+    ASSERT_EQ(jobs.size(), figureSuiteNames().size());
+    std::set<std::string> configs, hashes;
+    for (const StudyJob &job : jobs) {
+        EXPECT_TRUE(isFigureSuiteName(job.name)) << job.name;
+        ASSERT_FALSE(job.canonicalConfig.empty()) << job.name;
+        EXPECT_EQ(job.canonicalConfig.rfind("wsg-study-config-v1\n", 0),
+                  0u)
+            << job.name;
+        configs.insert(job.canonicalConfig);
+        hashes.insert(stats::fnv1a64Hex(job.canonicalConfig));
+    }
+    // Distinct presets must never collide onto one cache entry.
+    EXPECT_EQ(configs.size(), jobs.size());
+    EXPECT_EQ(hashes.size(), jobs.size());
+}
+
+TEST(FigureSuite, LookupMatchesBatchConstruction)
+{
+    StudyConfig base;
+    std::vector<StudyJob> batch = figureSuiteJobs(base);
+    for (const StudyJob &job : batch) {
+        StudyJob byName = figureSuiteJob(job.name, base);
+        EXPECT_EQ(byName.name, job.name);
+        EXPECT_EQ(byName.canonicalConfig, job.canonicalConfig)
+            << "lookup and batch must agree on " << job.name;
+    }
+}
+
+TEST(FigureSuite, SamplingChangesTheKeyTimeoutDoesNot)
+{
+    StudyConfig plain;
+    StudyConfig sampled;
+    sampled.sampling.mode = approx::SamplingMode::FixedSize;
+    sampled.sampling.maxLines = 4096;
+    StudyConfig timed;
+    timed.timeoutSeconds = 60.0;
+
+    StudyJob a = figureSuiteJob("fig4-cg-2d", plain);
+    StudyJob b = figureSuiteJob("fig4-cg-2d", sampled);
+    StudyJob c = figureSuiteJob("fig4-cg-2d", timed);
+
+    // Sampling changes the output bytes, so it must change the key;
+    // the watchdog budget never does, so it must not.
+    EXPECT_NE(a.canonicalConfig, b.canonicalConfig);
+    EXPECT_EQ(a.canonicalConfig, c.canonicalConfig);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Round-trip test for the JSON study report: emit a real study through
+ * jsonReport, re-parse it with stats/json_parse, and verify the schema
+ * shape — field presence, matched curve lengths across the document,
+ * and the config_hash contract (16 hex chars, equal to the FNV-1a of
+ * the job's canonical config).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "core/runners.hh"
+#include "core/study_runner.hh"
+#include "stats/hash.hh"
+#include "stats/json_parse.hh"
+
+using namespace wsg;
+using wsg::stats::JsonValue;
+
+namespace
+{
+
+/** Every curve object is {"name", "x": [...], "y": [...]} with equal
+ *  lengths; returns that length. */
+std::size_t
+checkCurve(const JsonValue &curve)
+{
+    EXPECT_EQ(curve.at("name").kind(), JsonValue::Kind::String);
+    const JsonValue &x = curve.at("x");
+    const JsonValue &y = curve.at("y");
+    EXPECT_EQ(x.kind(), JsonValue::Kind::Array);
+    EXPECT_EQ(y.kind(), JsonValue::Kind::Array);
+    EXPECT_EQ(x.size(), y.size());
+    return x.size();
+}
+
+} // namespace
+
+TEST(ReportRoundTrip, SchemaFieldsCurveLengthsAndConfigHash)
+{
+    core::StudyJob job = core::luStudyJob(core::presets::simLu(8));
+    ASSERT_FALSE(job.canonicalConfig.empty());
+    core::JobReport report = core::runJobInline(job);
+    ASSERT_TRUE(report.ok) << report.error;
+
+    std::string bytes = core::jsonReport({report});
+    EXPECT_EQ(bytes.back(), '\n');
+    JsonValue root = wsg::stats::parseJson(bytes);
+
+    EXPECT_EQ(root.at("schema").asString(), "wsg-study-report-v2");
+    const JsonValue &studies = root.at("studies");
+    ASSERT_EQ(studies.kind(), JsonValue::Kind::Array);
+    ASSERT_EQ(studies.size(), 1u);
+    const JsonValue &study = studies[0];
+
+    EXPECT_EQ(study.at("name").asString(), job.name);
+    EXPECT_TRUE(study.at("ok").asBool());
+    EXPECT_EQ(study.find("error"), nullptr);
+    EXPECT_EQ(study.find("timed_out"), nullptr);
+
+    // config_hash: 16 lowercase hex chars, and exactly the FNV-1a of
+    // the canonical config the job carries.
+    std::string hash = study.at("config_hash").asString();
+    ASSERT_EQ(hash.size(), 16u);
+    for (char c : hash)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << "non-hex char '" << c << "'";
+    EXPECT_EQ(hash, wsg::stats::fnv1a64Hex(job.canonicalConfig));
+    EXPECT_EQ(hash, report.configHash);
+
+    // The main curve and every miss-class category array cover the
+    // same sweep.
+    std::size_t points = checkCurve(study.at("curve"));
+    ASSERT_GT(points, 0u);
+    const JsonValue &missClasses = study.at("miss_classes");
+    std::size_t sweep = missClasses.at("cache_sizes_bytes").size();
+    EXPECT_EQ(sweep, points);
+    for (const char *category :
+         {"cold", "capacity", "true_sharing", "false_sharing", "total"})
+        EXPECT_EQ(missClasses.at(category).size(), sweep) << category;
+
+    // Working sets: every knee is a sane level annotation.
+    const JsonValue &sets = study.at("working_sets");
+    ASSERT_EQ(sets.kind(), JsonValue::Kind::Array);
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        const JsonValue &knee = sets[i];
+        EXPECT_GT(knee.at("size_bytes").asNumber(), 0.0);
+        EXPECT_GE(knee.at("miss_rate_before").asNumber(),
+                  knee.at("miss_rate_after").asNumber());
+    }
+
+    // Aggregate block carries the v2 sharing split.
+    const JsonValue &agg = study.at("aggregate");
+    EXPECT_NE(agg.find("read_true_sharing"), nullptr);
+    EXPECT_NE(agg.find("read_false_sharing"), nullptr);
+    EXPECT_GT(agg.at("reads").asNumber(), 0.0);
+}
+
+TEST(ReportRoundTrip, FailedStudyCarriesErrorAndTimedOut)
+{
+    core::StudyConfig sc;
+    sc.timeoutSeconds = 1e-9;
+    core::JobReport report =
+        core::runJobInline(core::luStudyJob(core::presets::simLu(8), sc));
+    ASSERT_FALSE(report.ok);
+
+    JsonValue root = wsg::stats::parseJson(core::jsonReport({report}));
+    const JsonValue &study = root.at("studies")[0];
+    EXPECT_FALSE(study.at("ok").asBool());
+    EXPECT_NE(study.at("error").asString().find("watchdog"),
+              std::string::npos);
+    EXPECT_TRUE(study.at("timed_out").asBool());
+    EXPECT_EQ(study.at("config_hash").asString().size(), 16u);
+}
+
+TEST(ReportRoundTrip, ReportBytesAreDeterministic)
+{
+    core::StudyJob job = core::luStudyJob(core::presets::simLu(8));
+    std::string a = core::jsonReport({core::runJobInline(job)});
+    std::string b = core::jsonReport({core::runJobInline(job)});
+    EXPECT_EQ(a, b);
+}

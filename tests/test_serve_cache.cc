@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the two-tier result cache (serve/result_cache):
+ * memory/disk hit paths, byte-budget LRU eviction, atomic disk writes,
+ * and corruption tolerance.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/result_cache.hh"
+
+using namespace wsg::serve;
+
+namespace
+{
+
+/** Per-test, pid-keyed scratch directory (parallel-ctest safe). */
+std::string
+scratchDir()
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "wsg_cache_" +
+           std::string(info->name()) + "_" +
+           std::to_string(::getpid());
+}
+
+/** A payload shaped like a real report (passes the plausibility
+ *  check on disk loads). */
+std::string
+payload(const std::string &tag, std::size_t pad = 0)
+{
+    return "{\"tag\":\"" + tag + "\"" + std::string(pad, ' ') + "}\n";
+}
+
+class ServeCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = scratchDir();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+} // namespace
+
+TEST_F(ServeCacheTest, MissThenMemoryHit)
+{
+    ResultCache cache({dir_, 1 << 20});
+    EXPECT_FALSE(cache.get("aaaa").has_value());
+
+    cache.put("aaaa", payload("a"));
+    CacheTier tier = CacheTier::Disk;
+    auto hit = cache.get("aaaa", &tier);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload("a"));
+    EXPECT_EQ(tier, CacheTier::Memory);
+
+    CacheCounters c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.memHits, 1u);
+    EXPECT_EQ(c.puts, 1u);
+    EXPECT_EQ(c.entries, 1u);
+    EXPECT_EQ(c.bytesCached, payload("a").size());
+}
+
+TEST_F(ServeCacheTest, DiskTierSurvivesRestart)
+{
+    {
+        ResultCache cache({dir_, 1 << 20});
+        cache.put("bbbb", payload("b"));
+    }
+    // A fresh instance (cold memory tier) must hit from disk and
+    // promote into memory.
+    ResultCache cache({dir_, 1 << 20});
+    CacheTier tier = CacheTier::Memory;
+    auto hit = cache.get("bbbb", &tier);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload("b"));
+    EXPECT_EQ(tier, CacheTier::Disk);
+
+    tier = CacheTier::Disk;
+    ASSERT_TRUE(cache.get("bbbb", &tier).has_value());
+    EXPECT_EQ(tier, CacheTier::Memory);
+    EXPECT_EQ(cache.counters().diskHits, 1u);
+    EXPECT_EQ(cache.counters().memHits, 1u);
+}
+
+TEST_F(ServeCacheTest, EvictsLeastRecentlyUsedToBudget)
+{
+    std::string big = payload("x", 100); // > half the budget below
+    ResultCache cache({"", 2 * big.size() + 1});
+    cache.put("h1", big);
+    cache.put("h2", big);
+    cache.put("h3", big); // exceeds budget: h1 is the LRU victim
+
+    EXPECT_EQ(cache.counters().evictions, 1u);
+    EXPECT_EQ(cache.counters().entries, 2u);
+    EXPECT_FALSE(cache.get("h1").has_value());
+    EXPECT_TRUE(cache.get("h2").has_value());
+    EXPECT_TRUE(cache.get("h3").has_value());
+
+    // A get() refreshes recency: touch h2, insert h4, h3 is evicted.
+    ASSERT_TRUE(cache.get("h2").has_value());
+    cache.put("h4", big);
+    EXPECT_TRUE(cache.get("h2").has_value());
+    EXPECT_FALSE(cache.get("h3").has_value());
+}
+
+TEST_F(ServeCacheTest, OversizedEntryIsStillServed)
+{
+    ResultCache cache({"", 4}); // budget smaller than any payload
+    cache.put("big", payload("big", 64));
+    EXPECT_TRUE(cache.get("big").has_value());
+    EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST_F(ServeCacheTest, CorruptDiskEntryIsDropped)
+{
+    ResultCache cache({dir_, 1 << 20});
+    cache.put("cccc", payload("c"));
+    // Truncate the stored file mid-payload, as a torn write would.
+    std::string path = dir_ + "/cccc.json";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "{\"tag\":\"c";
+    }
+    ResultCache fresh({dir_, 1 << 20});
+    EXPECT_FALSE(fresh.get("cccc").has_value());
+    EXPECT_EQ(fresh.counters().corruptDrops, 1u);
+    // The corrupt file is removed so the next put can heal it.
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    fresh.put("cccc", payload("c"));
+    ResultCache again({dir_, 1 << 20});
+    EXPECT_TRUE(again.get("cccc").has_value());
+}
+
+TEST_F(ServeCacheTest, NoTempFilesLeftBehind)
+{
+    ResultCache cache({dir_, 1 << 20});
+    cache.put("dddd", payload("d"));
+    cache.put("eeee", payload("e"));
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".json");
+    }
+    EXPECT_EQ(files, 2u);
+}
+
+TEST_F(ServeCacheTest, PutOverwrites)
+{
+    ResultCache cache({dir_, 1 << 20});
+    cache.put("ffff", payload("old"));
+    cache.put("ffff", payload("new"));
+    auto hit = cache.get("ffff");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload("new"));
+    EXPECT_EQ(cache.counters().entries, 1u);
+    EXPECT_EQ(cache.counters().bytesCached, payload("new").size());
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON parser (stats/json_parse) that backs
+ * the serving protocol and the report round-trip test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/json_parse.hh"
+
+using wsg::stats::JsonParseError;
+using wsg::stats::JsonValue;
+using wsg::stats::parseJson;
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_EQ(parseJson("null").kind(), JsonValue::Kind::Null);
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3").asNumber(), -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedContainers)
+{
+    JsonValue v = parseJson(R"({"a":[1,2,{"b":true}],"c":"x"})");
+    ASSERT_EQ(v.kind(), JsonValue::Kind::Object);
+    EXPECT_EQ(v.size(), 2u);
+    const JsonValue &a = v.at("a");
+    ASSERT_EQ(a.kind(), JsonValue::Kind::Array);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a[1].asNumber(), 2.0);
+    EXPECT_TRUE(a[2].at("b").asBool());
+    EXPECT_EQ(v.at("c").asString(), "x");
+}
+
+TEST(JsonParse, MemberOrderIsPreserved)
+{
+    JsonValue v = parseJson(R"({"z":1,"a":2,"m":3})");
+    const auto &members = v.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParse, DuplicateKeysKeptFindReturnsFirst)
+{
+    JsonValue v = parseJson(R"({"k":1,"k":2})");
+    EXPECT_EQ(v.size(), 2u);
+    ASSERT_NE(v.find("k"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("k")->asNumber(), 1.0);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(parseJson(R"("a\"b\\c\/d\n\t")").asString(),
+              "a\"b\\c/d\n\t");
+    // A = 'A'; surrogate pair U+1F600 -> 4-byte UTF-8.
+    EXPECT_EQ(parseJson(R"("A")").asString(), "A");
+    EXPECT_EQ(parseJson(R"("😀")").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceTolerant)
+{
+    JsonValue v = parseJson("  {\n  \"a\" :\t[ 1 , 2 ]\n}  ");
+    EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets)
+{
+    try {
+        parseJson("{\"a\":}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.offset(), 5u);
+    }
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), JsonParseError);
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("[1,]"), JsonParseError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), JsonParseError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonParseError);
+    EXPECT_THROW(parseJson("nul"), JsonParseError);
+    EXPECT_THROW(parseJson("01"), JsonParseError);
+    EXPECT_THROW(parseJson("\"bad \\x escape\""), JsonParseError);
+}
+
+TEST(JsonParse, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(parseJson("{} extra"), JsonParseError);
+    EXPECT_THROW(parseJson("1 2"), JsonParseError);
+    // Trailing whitespace (incl. the newline every report ends with)
+    // is fine.
+    EXPECT_NO_THROW(parseJson("{}\n"));
+}
+
+TEST(JsonParse, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_THROW(parseJson(deep), JsonParseError);
+}
+
+TEST(JsonParse, TypeMismatchThrows)
+{
+    JsonValue v = parseJson("{\"a\":1}");
+    EXPECT_THROW(v.asNumber(), std::runtime_error);
+    EXPECT_THROW(v.at("a").asString(), std::runtime_error);
+    EXPECT_THROW(v.at("missing"), std::runtime_error);
+}

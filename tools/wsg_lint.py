@@ -44,7 +44,7 @@ import sys
 CXX_SUFFIXES = {".cc", ".hh"}
 
 # Layers that must be deterministic by construction.
-ENTROPY_DIRS = ("src/sim", "src/core", "src/approx")
+ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve")
 
 ENTROPY_RE = re.compile(
     r"std::random_device|\b(?:std::)?(?:rand|srand|time)\s*\("

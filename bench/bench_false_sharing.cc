@@ -62,6 +62,7 @@ main(int argc, char **argv)
     sc.minCacheBytes = 16 * 1024;
     sc.maxCacheBytes = 16 * 1024;
     sc.sampling = cli.sampling;
+    sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
 

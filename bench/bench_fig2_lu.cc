@@ -67,6 +67,7 @@ main(int argc, char **argv)
         core::StudyConfig sc;
         sc.minCacheBytes = 16;
         sc.sampling = cli.sampling;
+        sc.profiler = cli.profiler;
         sc.analyzeRaces = cli.analyzeRaces;
         sc.timeoutSeconds = cli.timeoutSeconds;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));

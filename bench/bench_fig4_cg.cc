@@ -55,6 +55,7 @@ main(int argc, char **argv)
     core::StudyConfig sc;
     sc.minCacheBytes = 16;
     sc.sampling = cli.sampling;
+    sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
     std::vector<core::StudyJob> jobs = {

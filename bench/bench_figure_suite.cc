@@ -56,6 +56,7 @@ figureSuiteJobs(const core::RunnerCli &cli)
 {
     core::StudyConfig base;
     base.sampling = cli.sampling;
+    base.profiler = cli.profiler;
     base.analyzeRaces = cli.analyzeRaces;
     base.timeoutSeconds = cli.timeoutSeconds;
     return core::figureSuiteJobs(base);

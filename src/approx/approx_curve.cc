@@ -12,30 +12,36 @@ namespace
 {
 
 /**
- * x where @p curve falls through the knee's half-depth level
- * (before + after) / 2, log2-interpolated between the straddling grid
- * points. Noise can produce several crossings; the one nearest the
- * knee's own detected location (in log distance) is the transition
- * being measured. Falls back to the detector's sizeBytes when the
- * curve never straddles the level (degenerate flat knee).
+ * x where @p curve falls through @p level, log2-interpolated between
+ * the straddling grid points. Noise can produce several crossings; the
+ * one nearest @p anchor_bytes (in log distance) is the transition
+ * being measured. Falls back to @p fallback_bytes when the curve never
+ * straddles the level (degenerate flat knee).
+ *
+ * Displacement is a *horizontal* measure, so both curves must be cut
+ * at the same level — the exact knee's half depth — and anchored at
+ * the same location. Cutting each curve at its own detected knee's
+ * half depth would fold the detectors' metadata quantization (the
+ * before/after rates are read off adjacent grid points) into a metric
+ * that is supposed to measure only where the drop sits.
  */
 double
-halfDepthCrossing(const stats::Curve &curve, const stats::WorkingSet &knee)
+levelCrossing(const stats::Curve &curve, double level,
+              double anchor_bytes, double fallback_bytes)
 {
-    double half = 0.5 * (knee.missRateBefore + knee.missRateAfter);
     const auto &pts = curve.points();
-    double best = knee.sizeBytes;
+    double best = fallback_bytes;
     double best_dist = std::numeric_limits<double>::infinity();
     for (std::size_t i = 1; i < pts.size(); ++i) {
         double y1 = pts[i - 1].y;
         double y2 = pts[i].y;
-        if (!(y1 >= half && half > y2))
+        if (!(y1 >= level && level > y2))
             continue;
-        double t = (y1 - half) / (y1 - y2);
+        double t = (y1 - level) / (y1 - y2);
         double lx = std::log2(pts[i - 1].x) +
                     t * (std::log2(pts[i].x) - std::log2(pts[i - 1].x));
         double x = std::exp2(lx);
-        double dist = std::fabs(std::log2(x / knee.sizeBytes));
+        double dist = std::fabs(std::log2(x / anchor_bytes));
         if (dist < best_dist) {
             best_dist = dist;
             best = x;
@@ -85,6 +91,26 @@ ApproxCurve::missCount(const SampledCounts &counts,
             sampledMisses(counts, capacity_lines, include_cold));
     }
     return missRate(counts, capacity_lines, include_cold) *
+           static_cast<double>(counts.totalRefs);
+}
+
+double
+ApproxCurve::missRateFromMisses(const SampledCounts &counts,
+                                std::uint64_t sampled_misses) const
+{
+    if (counts.expectedSampledRefs <= 0.0)
+        return 0.0;
+    return static_cast<double>(sampled_misses) /
+           counts.expectedSampledRefs;
+}
+
+double
+ApproxCurve::missCountFromMisses(const SampledCounts &counts,
+                                 std::uint64_t sampled_misses) const
+{
+    if (!sampled())
+        return static_cast<double>(sampled_misses);
+    return missRateFromMisses(counts, sampled_misses) *
            static_cast<double>(counts.totalRefs);
 }
 
@@ -144,9 +170,14 @@ compareStudies(const stats::Curve &exact_curve,
     for (std::size_t i = 0; i < paired; ++i) {
         KneeMatch match;
         match.level = exact_knees[i].level;
-        match.exactBytes = halfDepthCrossing(exact_curve, exact_knees[i]);
+        double half = 0.5 * (exact_knees[i].missRateBefore +
+                             exact_knees[i].missRateAfter);
+        match.exactBytes =
+            levelCrossing(exact_curve, half, exact_knees[i].sizeBytes,
+                          exact_knees[i].sizeBytes);
         match.approxBytes =
-            halfDepthCrossing(approx_curve, approx_knees[i]);
+            levelCrossing(approx_curve, half, exact_knees[i].sizeBytes,
+                          approx_knees[i].sizeBytes);
         if (match.exactBytes > 0.0 && match.approxBytes > 0.0) {
             match.displacementSteps =
                 std::fabs(std::log2(match.approxBytes /
@@ -156,9 +187,16 @@ compareStudies(const stats::Curve &exact_curve,
         cmp.knees.push_back(match);
     }
 
-    // Off-transition (plateau) error: drop the grid points whose
-    // segments straddle a knee's half-depth level, widened by one step
-    // each way to cover the sampling smear tails.
+    // Off-transition (plateau) error: drop the grid points where the
+    // exact curve is in transition, widened by one step each way to
+    // cover the approximation's smear tails. Transition means either a
+    // detected knee's half-depth face or any segment dropping faster
+    // than the flatness tolerance — an undetected sub-knee step (too
+    // shallow for the detector) smears under approximation exactly
+    // like a detected one, and a "plateau" metric that charges for it
+    // measures the step's location, not the level accuracy it is
+    // meant to bound.
+    constexpr double kFlatTolerance = 0.01;
     const auto &pts = exact_curve.points();
     std::vector<bool> on_face(pts.size(), false);
     for (const stats::WorkingSet &knee : exact_knees) {
@@ -168,6 +206,12 @@ compareStudies(const stats::Curve &exact_curve,
                 on_face[i - 1] = true;
                 on_face[i] = true;
             }
+        }
+    }
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        if (std::fabs(pts[i - 1].y - pts[i].y) > kFlatTolerance) {
+            on_face[i - 1] = true;
+            on_face[i] = true;
         }
     }
     std::vector<bool> banded = on_face;

@@ -99,6 +99,21 @@ class ApproxCurve
                      bool include_cold) const;
 
     /**
+     * missRate with a caller-computed sampled-miss numerator. The AET
+     * construction maps capacity to a *per-processor* histogram
+     * threshold (each processor's reuse-time model is its own), so its
+     * miss counts cannot be read off a merged histogram the way the
+     * Mattson kinds' can; the simulator sums per-processor counts and
+     * feeds the total through here to share the denominator arithmetic.
+     */
+    double missRateFromMisses(const SampledCounts &counts,
+                              std::uint64_t sampled_misses) const;
+
+    /** missCount for a caller-computed sampled-miss numerator. */
+    double missCountFromMisses(const SampledCounts &counts,
+                               std::uint64_t sampled_misses) const;
+
+    /**
      * Scale an arbitrary admitted-reference counter @p raw to a
      * full-trace estimate: raw * totalRefs / expectedSampledRefs — the
      * same SHARDS_adj denominator as missCount, so per-category counts
@@ -145,10 +160,12 @@ struct CurveComparison
     double meanAbsError = 0.0;
     double maxAbsError = 0.0;
     /**
-     * Mean / max absolute y-error over the grid points *off* the knee
-     * transitions (the segments straddling a knee's half-depth level,
-     * dilated by one sweep step). On a near-vertical drop a small
-     * horizontal displacement — already measured by
+     * Mean / max absolute y-error over the grid points where the exact
+     * curve is *flat*: off the detected knees' half-depth faces and off
+     * any segment dropping faster than the 0.01 flatness tolerance
+     * (undetected sub-knee steps smear under approximation exactly like
+     * detected ones), all dilated by one sweep step. On a transition a
+     * small horizontal displacement — already measured by
      * KneeMatch::displacementSteps — shows up as a huge vertical error,
      * so the full-grid MAE conflates the two axes; the plateau error is
      * the meaningful vertical-accuracy number. Equal to the full-grid

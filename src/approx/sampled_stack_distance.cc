@@ -1,15 +1,25 @@
 #include "approx/sampled_stack_distance.hh"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "approx/profiler_factory.hh"
 
 namespace wsg::approx
 {
 
 SampledStackDistanceProfiler::SampledStackDistanceProfiler(
-    const SamplingConfig &config)
-    : config_(config)
+    const SamplingConfig &config, memsys::ProfilerKind kind)
+    : config_(config), inner_(makeProfiler(kind))
 {
     config_.validate();
+    if (kind == memsys::ProfilerKind::Aet && config_.enabled()) {
+        throw std::invalid_argument(
+            "SampledStackDistanceProfiler: the AET profiler does not "
+            "compose with spatial sampling (reuse times measured on a "
+            "sampled sub-trace are not rescalable); use an exact "
+            "Mattson kind or disable sampling");
+    }
     if (config_.mode == SamplingMode::FixedRate)
         threshold_ = thresholdForRate(config_.rate);
 }
@@ -22,7 +32,7 @@ SampledStackDistanceProfiler::access(Addr line)
 
     if (config_.mode == SamplingMode::None) {
         result.admitted = true;
-        result.sample = inner_.access(line);
+        result.sample = inner_->access(line);
         ++sampledRefs_;
         return result;
     }
@@ -36,10 +46,10 @@ SampledStackDistanceProfiler::access(Addr line)
     // intervening line stands in for 1/rate real ones).
     double rate = rateForThreshold(threshold_);
     bool first_touch = config_.mode == SamplingMode::FixedSize &&
-                       !inner_.tracks(line);
+                       !inner_->tracks(line);
 
     result.admitted = true;
-    result.sample = inner_.access(line);
+    result.sample = inner_->access(line);
     ++sampledRefs_;
     if (result.sample.kind == memsys::RefClass::Finite && rate < 1.0) {
         result.sample.distance = static_cast<std::uint64_t>(std::llround(
@@ -64,9 +74,9 @@ SampledStackDistanceProfiler::shrinkToBudget()
         // from now on; tied hashes are drained immediately to keep the
         // heap consistent with the filter.
         threshold_ = hash;
-        inner_.evict(line);
+        inner_->evict(line);
         while (!victims_.empty() && victims_.top().first >= threshold_) {
-            inner_.evict(victims_.top().second);
+            inner_->evict(victims_.top().second);
             victims_.pop();
         }
     }
@@ -77,7 +87,7 @@ SampledStackDistanceProfiler::invalidate(Addr line)
 {
     if (!wouldAdmit(line))
         return false;
-    return inner_.invalidate(line);
+    return inner_->invalidate(line);
 }
 
 std::uint64_t
@@ -85,16 +95,16 @@ SampledStackDistanceProfiler::estimatedTouchedLines() const
 {
     double rate = effectiveRate();
     if (rate >= 1.0)
-        return inner_.touchedLines();
+        return inner_->touchedLines();
     return static_cast<std::uint64_t>(std::llround(
-        static_cast<double>(inner_.touchedLines()) / rate));
+        static_cast<double>(inner_->touchedLines()) / rate));
 }
 
 std::uint64_t
 SampledStackDistanceProfiler::memoryBytes() const
 {
     // The eviction heap stores one 16-byte pair per tracked line.
-    return inner_.memoryBytes() +
+    return inner_->memoryBytes() +
            static_cast<std::uint64_t>(victims_.size()) *
                sizeof(std::pair<std::uint64_t, Addr>);
 }
@@ -102,7 +112,7 @@ SampledStackDistanceProfiler::memoryBytes() const
 void
 SampledStackDistanceProfiler::clear()
 {
-    inner_.clear();
+    inner_->clear();
     victims_ = {};
     totalRefs_ = 0;
     sampledRefs_ = 0;

@@ -35,12 +35,13 @@
 #define WSG_APPROX_SAMPLED_STACK_DISTANCE_HH
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
 
 #include "approx/sampling.hh"
-#include "memsys/stack_distance.hh"
+#include "memsys/profiler.hh"
 
 namespace wsg::approx
 {
@@ -56,17 +57,23 @@ struct SampledSample
 };
 
 /**
- * One processor's sampled profiler. API mirrors StackDistanceProfiler
- * so sim::Multiprocessor can drive either through one code path; in
- * SamplingMode::None it *is* the exact profiler (every reference
- * admitted, distances unscaled, zero per-access overhead beyond one
- * branch).
+ * One processor's sampled profiler. API mirrors memsys::Profiler so
+ * sim::Multiprocessor can drive any construction through one code path;
+ * in SamplingMode::None it *is* the underlying profiler (every
+ * reference admitted, distances unscaled, zero per-access overhead
+ * beyond one branch).
+ *
+ * The underlying construction is chosen by ProfilerKind. The Mattson
+ * kinds compose freely with sampling; AET does not (reuse times on a
+ * sampled sub-trace do not rescale like stack distances), so AET plus
+ * an enabled sampling mode is rejected at construction.
  */
 class SampledStackDistanceProfiler
 {
   public:
     explicit SampledStackDistanceProfiler(
-        const SamplingConfig &config = {});
+        const SamplingConfig &config = {},
+        memsys::ProfilerKind kind = memsys::ProfilerKind::TreeMattson);
 
     /** Profile a reference; rejected lines update nothing. */
     SampledSample access(Addr line);
@@ -101,7 +108,17 @@ class SampledStackDistanceProfiler
     std::uint64_t sampledRefs() const { return sampledRefs_; }
 
     /** Distinct lines currently tracked (sampled footprint). */
-    std::uint64_t trackedLines() const { return inner_.touchedLines(); }
+    std::uint64_t trackedLines() const { return inner_->touchedLines(); }
+
+    /** Which construction is underneath. */
+    memsys::ProfilerKind kind() const { return inner_->kind(); }
+
+    /** Passthrough of the construction's capacity transform. */
+    std::uint64_t
+    capacityToThreshold(std::uint64_t capacity_lines) const
+    {
+        return inner_->capacityToThreshold(capacity_lines);
+    }
 
     /**
      * Estimated full-trace footprint in lines: tracked lines divided by
@@ -113,7 +130,7 @@ class SampledStackDistanceProfiler
     std::uint64_t memoryBytes() const;
 
     const SamplingConfig &config() const { return config_; }
-    const memsys::StackDistanceProfiler &inner() const { return inner_; }
+    const memsys::Profiler &inner() const { return *inner_; }
 
     /** Forget everything; the admission threshold resets too. */
     void clear();
@@ -131,7 +148,7 @@ class SampledStackDistanceProfiler
     SamplingConfig config_;
     /** Admit iff lineHash(line) < threshold_. */
     std::uint64_t threshold_ = kAdmitAll;
-    memsys::StackDistanceProfiler inner_;
+    std::unique_ptr<memsys::Profiler> inner_;
     /**
      * FixedSize only: (hash, line) max-heap over distinct tracked
      * lines; the top is the next eviction victim when the budget

@@ -26,6 +26,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "memsys/profiler.hh"
 #include "trace/memref.hh"
 
 namespace wsg::approx
@@ -147,6 +148,8 @@ rateForThreshold(std::uint64_t threshold)
 struct SamplingDiagnostics
 {
     SamplingConfig config;
+    /** Which miss-rate-curve construction the profilers ran. */
+    memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
     /** Final admission rate, reference-weighted across processors
      *  (fixed-rate: the configured rate; fixed-size: whatever the
      *  budget converged to). */

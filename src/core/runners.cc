@@ -27,6 +27,7 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
     config.numProcs = num_procs;
     config.lineBytes = line_bytes;
     config.sampling = study.sampling;
+    config.profiler = study.profiler;
     return config;
 }
 
@@ -36,7 +37,14 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
  * sees the exact reference and sync-event stream the caches see,
  * warm-up included, since a warm-up race is still a bug), optionally
  * wrapped in a WatchdogSink (StudyConfig::timeoutSeconds) so a runaway
- * study fails with StudyTimeoutError instead of hanging its worker.
+ * study fails with StudyTimeoutError instead of hanging its worker,
+ * and always fronted by a BatchingSink so the whole chain below it is
+ * traversed once per block of references instead of once per
+ * reference. Batching is invisible to the results: the buffer is
+ * drained before every point where simulator state is read or its mode
+ * toggled — sync events (inside BatchingSink), measurement switches
+ * (setMeasuring), phase boundaries (checkDeadline) and study
+ * completion (finish).
  */
 class SinkChain
 {
@@ -44,7 +52,7 @@ class SinkChain
     SinkChain(sim::Multiprocessor &mp,
               const trace::SharedAddressSpace &space,
               const StudyConfig &study)
-        : watchdog_(study.timeoutSeconds), sink_(&mp)
+        : watchdog_(study.timeoutSeconds), mp_(mp), sink_(&mp)
     {
         if (study.analyzeRaces) {
             analysis::RaceConfig config;
@@ -60,18 +68,36 @@ class SinkChain
                 std::make_unique<WatchdogSink>(*sink_, watchdog_);
             sink_ = guard_.get();
         }
+        batcher_ = std::make_unique<trace::BatchingSink>(*sink_);
+        sink_ = batcher_.get();
     }
 
     /** Sink to hand the application. */
     trace::MemorySink *sink() const { return sink_; }
 
-    /** Explicit deadline check between study phases. */
-    void checkDeadline() const { watchdog_.check(); }
+    /** Warm-up switch: drains the buffer first so every buffered
+     *  reference is counted under the mode it was issued in. */
+    void
+    setMeasuring(bool measuring)
+    {
+        batcher_->flush();
+        mp_.setMeasuring(measuring);
+    }
+
+    /** Explicit deadline check between study phases; drains the buffer
+     *  so the downstream simulator state is complete. */
+    void
+    checkDeadline()
+    {
+        batcher_->flush();
+        watchdog_.check();
+    }
 
     /** Final deadline check + stamp the race outcome into the result. */
     StudyResult
-    finish(StudyResult result) const
+    finish(StudyResult result)
     {
+        batcher_->flush();
         watchdog_.check();
         if (detector_ != nullptr)
             result.races = detector_->result();
@@ -80,9 +106,11 @@ class SinkChain
 
   private:
     StudyWatchdog watchdog_;
+    sim::Multiprocessor &mp_;
     std::unique_ptr<analysis::RaceDetector> detector_;
     std::unique_ptr<trace::TeeSink> tee_;
     std::unique_ptr<WatchdogSink> guard_;
+    std::unique_ptr<trace::BatchingSink> batcher_;
     trace::MemorySink *sink_;
 };
 
@@ -131,6 +159,8 @@ appendStudyConfig(std::string &out, const StudyConfig &study,
            "\n";
     out += "analyze_races=" +
            std::to_string(study.analyzeRaces ? 1 : 0) + "\n";
+    out += std::string("profiler=") +
+           memsys::profilerKindName(study.profiler) + "\n";
     out += std::string("sampling_mode=") +
            approx::samplingModeName(study.sampling.mode) + "\n";
     if (study.sampling.mode == approx::SamplingMode::FixedRate)
@@ -207,10 +237,10 @@ cgStudyJob(const apps::cg::CgConfig &app_config, std::uint32_t iters,
         apps::cg::GridCg app(app_config, space, chain.sink());
         app.buildSystem();
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         app.run(warmup_iters, 0.0);
         std::uint64_t warm_flops = app.flops().totalFlops();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         app.run(iters, 0.0);
 
         chain.checkDeadline();
@@ -252,11 +282,11 @@ fftStudyJob(const apps::fft::FftConfig &app_config,
             app.setInput(i, {std::sin(0.001 * static_cast<double>(i)),
                              std::cos(0.003 * static_cast<double>(i))});
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         for (std::uint32_t t = 0; t < warmup_transforms; ++t)
             app.forward();
         std::uint64_t warm_flops = app.flops().totalFlops();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
@@ -301,10 +331,10 @@ barnesStudyJob(const apps::barnes::BarnesConfig &app_config,
         apps::barnes::BarnesHut app(app_config, space, chain.sink());
         app.initPlummer();
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         for (std::uint32_t s = 0; s < warmup_steps; ++s)
             app.step();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         for (std::uint32_t s = 0; s < steps; ++s)
             app.step();
 
@@ -358,10 +388,10 @@ volrendStudyJob(const apps::volrend::VolumeDims &dims,
         apps::volrend::Renderer renderer(render, vol, space,
                                          chain.sink());
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         for (std::uint32_t f = 0; f < warmup_frames; ++f)
             renderer.renderFrame();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         for (std::uint32_t f = 0; f < frames; ++f)
             renderer.renderFrame();
 
@@ -435,10 +465,10 @@ unstructuredStudyJob(const apps::cg::UnstructuredConfig &app_config,
         apps::cg::UnstructuredCg app(app_config, space, chain.sink());
         app.buildSystem();
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         app.run(warmup_iters, 0.0);
         std::uint64_t warm_flops = app.flops().totalFlops();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         app.run(iters, 0.0);
 
         chain.checkDeadline();
@@ -485,11 +515,11 @@ fft2dStudyJob(const apps::fft::Fft2dConfig &app_config,
             }
         }
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         for (std::uint32_t t = 0; t < warmup_transforms; ++t)
             app.forward();
         std::uint64_t warm_flops = app.flops().totalFlops();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 
@@ -543,11 +573,11 @@ fft3dStudyJob(const apps::fft::Fft3dConfig &app_config,
             }
         }
 
-        mp.setMeasuring(false);
+        chain.setMeasuring(false);
         for (std::uint32_t t = 0; t < warmup_transforms; ++t)
             app.forward();
         std::uint64_t warm_flops = app.flops().totalFlops();
-        mp.setMeasuring(true);
+        chain.setMeasuring(true);
         for (std::uint32_t t = 0; t < transforms; ++t)
             app.forward();
 

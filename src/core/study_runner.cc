@@ -278,6 +278,7 @@ writeJsonReport(std::ostream &os,
         w.endObject();
         writeMissClasses(w, r.result);
         const approx::SamplingDiagnostics &samp = r.result.sampling;
+        w.member("profiler", memsys::profilerKindName(samp.profiler));
         w.member("profiler_bytes", samp.profilerBytes);
         if (samp.config.enabled()) {
             w.key("sampling");
@@ -351,8 +352,20 @@ parseRunnerCli(int &argc, char **argv)
             if (cli.sampling.mode == approx::SamplingMode::FixedSize)
                 fail("--sample-rate and --sample-size are mutually "
                      "exclusive");
+            if (cli.profiler == memsys::ProfilerKind::Aet)
+                fail("--profiler aet does not compose with sampling");
             cli.sampling.mode = approx::SamplingMode::FixedRate;
             cli.sampling.rate = v;
+        };
+        auto parse_profiler = [&](const std::string &text) {
+            try {
+                cli.profiler = memsys::parseProfilerKind(text);
+            } catch (const std::invalid_argument &e) {
+                fail(std::string("--profiler: ") + e.what());
+            }
+            if (cli.profiler == memsys::ProfilerKind::Aet &&
+                cli.sampling.enabled())
+                fail("--profiler aet does not compose with sampling");
         };
         auto parse_timeout = [&](const std::string &text) {
             char *end = nullptr;
@@ -375,6 +388,8 @@ parseRunnerCli(int &argc, char **argv)
             if (cli.sampling.mode == approx::SamplingMode::FixedRate)
                 fail("--sample-rate and --sample-size are mutually "
                      "exclusive");
+            if (cli.profiler == memsys::ProfilerKind::Aet)
+                fail("--profiler aet does not compose with sampling");
             cli.sampling.mode = approx::SamplingMode::FixedSize;
             cli.sampling.maxLines = v;
         };
@@ -394,6 +409,10 @@ parseRunnerCli(int &argc, char **argv)
             parse_timeout(next_value("--timeout"));
         } else if (arg.rfind("--timeout=", 0) == 0) {
             parse_timeout(arg.substr(10));
+        } else if (arg == "--profiler") {
+            parse_profiler(next_value("--profiler"));
+        } else if (arg.rfind("--profiler=", 0) == 0) {
+            parse_profiler(arg.substr(11));
         } else if (arg == "--sample-rate") {
             parse_rate(next_value("--sample-rate"));
         } else if (arg.rfind("--sample-rate=", 0) == 0) {

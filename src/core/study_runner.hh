@@ -221,15 +221,24 @@ struct RunnerCli
      * its budget fails with a typed error instead of hanging the pool.
      */
     double timeoutSeconds = 0.0;
+    /**
+     * --profiler KIND: which miss-rate-curve construction the studies
+     * run (list-mattson | tree-mattson | aet, with "list"/"tree"
+     * accepted as short forms). Benches copy this into
+     * StudyConfig::profiler. AET combined with a sampling flag is
+     * rejected.
+     */
+    memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
 };
 
 /**
  * Extract --jobs/--json/--progress/--analyze-races/--timeout/
- * --sample-rate/--sample-size from argv, *removing* the consumed
- * arguments so positional parameters keep
+ * --profiler/--sample-rate/--sample-size from argv, *removing* the
+ * consumed arguments so positional parameters keep
  * their indices for the caller. A malformed runner flag (missing or
  * unparseable value, rate outside (0,1], size of zero, a non-positive
- * timeout, or both sampling
+ * timeout, an unknown profiler kind, AET together with a sampling flag,
+ * or both sampling
  * flags at once) prints an error on stderr and exits with status 2.
  */
 RunnerCli parseRunnerCli(int &argc, char **argv);

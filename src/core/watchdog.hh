@@ -91,6 +91,17 @@ class WatchdogSink : public trace::MemorySink
     }
 
     void
+    accessBatch(const trace::MemRef *refs, std::size_t n) override
+    {
+        sinceCheck_ += n;
+        if (sinceCheck_ >= kCheckInterval) {
+            sinceCheck_ = 0;
+            watchdog_.check();
+        }
+        inner_.accessBatch(refs, n);
+    }
+
+    void
     sync(const trace::SyncEvent &event) override
     {
         inner_.sync(event);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/race_detector.hh"
+#include "memsys/profiler.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/curve.hh"
 #include "stats/knee.hh"
@@ -79,6 +80,14 @@ struct StudyConfig
      * actually ran with (analyzeWorkingSets checks).
      */
     approx::SamplingConfig sampling{};
+    /**
+     * Which miss-rate-curve construction the simulator's profilers run
+     * (see memsys::ProfilerKind). The Mattson kinds are exact and
+     * bit-identical to each other; Aet approximates the finite-distance
+     * part of the curve at O(1) per reference and cannot be combined
+     * with sampling.
+     */
+    memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
     /**
      * Run a happens-before race check alongside the simulation: the
      * study tees the reference stream into an analysis::RaceDetector

@@ -87,6 +87,14 @@ StackDistanceProfiler::access(Addr line)
     return sample;
 }
 
+void
+StackDistanceProfiler::accessBatch(const Addr *lines, std::size_t n,
+                                   DistanceSample *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = access(lines[i]);
+}
+
 bool
 StackDistanceProfiler::invalidate(Addr line)
 {
@@ -162,6 +170,16 @@ NaiveStackProfiler::invalidate(Addr line)
         return false;
     stack_.erase(pos);
     return true;
+}
+
+bool
+NaiveStackProfiler::evict(Addr line)
+{
+    bool known = seen_.erase(line) != 0;
+    auto pos = std::find(stack_.begin(), stack_.end(), line);
+    if (pos != stack_.end())
+        stack_.erase(pos);
+    return known;
 }
 
 } // namespace wsg::memsys

@@ -30,51 +30,39 @@
 #include <unordered_map>
 #include <vector>
 
+#include "memsys/profiler.hh"
 #include "trace/memref.hh"
 
 namespace wsg::memsys
 {
 
-using trace::Addr;
-
-/** Classification of one profiled reference. */
-enum class RefClass : std::uint8_t
-{
-    /** Line was in the LRU stack; `distance` is its 0-based depth. */
-    Finite,
-    /** First-ever reference to the line. */
-    Cold,
-    /** Line was invalidated by another processor since last touch. */
-    Coherence,
-};
-
-/** Result of profiling one reference. */
-struct DistanceSample
-{
-    RefClass kind = RefClass::Cold;
-    /** Valid only when kind == Finite. */
-    std::uint64_t distance = 0;
-};
-
 /**
- * Single-processor LRU stack-distance profiler with invalidation support.
+ * Single-processor LRU stack-distance profiler with invalidation
+ * support — the ProfilerKind::ListMattson construction.
  */
-class StackDistanceProfiler
+class StackDistanceProfiler : public Profiler
 {
   public:
     StackDistanceProfiler();
+
+    ProfilerKind kind() const override { return ProfilerKind::ListMattson; }
 
     /**
      * Profile a reference to @p line and update the stack.
      * @return the classified stack distance of the access.
      */
-    DistanceSample access(Addr line);
+    DistanceSample access(Addr line) override;
+
+    /** Batched form: identical to n access() calls, minus the virtual
+     *  dispatch per reference. */
+    void accessBatch(const Addr *lines, std::size_t n,
+                     DistanceSample *out) override;
 
     /**
      * Remove @p line from the stack (coherence invalidation).
      * @return true when the line was live.
      */
-    bool invalidate(Addr line);
+    bool invalidate(Addr line) override;
 
     /**
      * Forget @p line entirely: remove it from the stack *and* from the
@@ -85,30 +73,34 @@ class StackDistanceProfiler
      * threshold must stop consuming stack state immediately.
      * @return true when the line was known (live or tombstoned).
      */
-    bool evict(Addr line);
+    bool evict(Addr line) override;
 
     /** Whether @p line has ever been accessed (incl. tombstones). */
-    bool tracks(Addr line) const { return last_.count(line) != 0; }
+    bool
+    tracks(Addr line) const override
+    {
+        return last_.count(line) != 0;
+    }
 
     /** Number of lines currently in the stack (== footprint in lines). */
-    std::uint64_t liveLines() const { return live_; }
+    std::uint64_t liveLines() const override { return live_; }
 
     /** Number of distinct lines ever touched. */
     std::uint64_t
-    touchedLines() const
+    touchedLines() const override
     {
         return static_cast<std::uint64_t>(last_.size());
     }
 
     /** Forget everything (stack, history, tombstones). */
-    void clear();
+    void clear() override;
 
     /**
      * Approximate resident bytes: hash-map entries plus the Fenwick
      * tree. Used by the sampling diagnostics to report how much memory
      * exact profiling costs versus the sampled configuration.
      */
-    std::uint64_t memoryBytes() const;
+    std::uint64_t memoryBytes() const override;
 
   private:
     static constexpr std::int64_t kInvalidated = -1;
@@ -140,6 +132,9 @@ class NaiveStackProfiler
   public:
     DistanceSample access(Addr line);
     bool invalidate(Addr line);
+    /** Full forget, mirroring Profiler::evict semantics: the line
+     *  leaves the stack *and* the seen set, so a retouch is Cold. */
+    bool evict(Addr line);
     std::uint64_t
     liveLines() const
     {

@@ -1,0 +1,119 @@
+#include "memsys/tree_stack_distance.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace wsg::memsys
+{
+
+DistanceSample
+TreeStackDistanceProfiler::accessOne(Addr line)
+{
+    DistanceSample sample;
+    auto it = last_.find(line);
+    if (it == last_.end()) {
+        sample.kind = RefClass::Cold;
+    } else if (it->second == kInvalidated) {
+        sample.kind = RefClass::Coherence;
+    } else {
+        sample.kind = RefClass::Finite;
+        auto stamp = static_cast<std::uint64_t>(it->second);
+        // Depth == number of live lines touched more recently.
+        sample.distance = live_.countGreater(stamp);
+        live_.erase(stamp);
+    }
+
+    ++now_;
+    if (it != last_.end())
+        it->second = static_cast<std::int64_t>(now_);
+    else
+        last_.emplace(line, static_cast<std::int64_t>(now_));
+    live_.insertMax(now_);
+    if (live_.span() > kMinRenumberSpan &&
+        live_.span() > 4 * live_.size())
+        renumber();
+    return sample;
+}
+
+void
+TreeStackDistanceProfiler::renumber()
+{
+    // The live stamps are exactly the non-tombstone values of last_
+    // (one per live line). Sorting them gives the order-preserving
+    // renumbering old-stamp -> rank.
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(static_cast<std::size_t>(live_.size()));
+    for (const auto &entry : last_)
+        if (entry.second != kInvalidated)
+            stamps.push_back(static_cast<std::uint64_t>(entry.second));
+    std::sort(stamps.begin(), stamps.end());
+    live_.clear();
+    for (std::uint64_t i = 0; i < stamps.size(); ++i)
+        live_.insertMax(i + 1);
+    for (auto &entry : last_) {
+        if (entry.second == kInvalidated)
+            continue;
+        auto it = std::lower_bound(
+            stamps.begin(), stamps.end(),
+            static_cast<std::uint64_t>(entry.second));
+        entry.second = (it - stamps.begin()) + 1;
+    }
+    now_ = stamps.size();
+}
+
+DistanceSample
+TreeStackDistanceProfiler::access(Addr line)
+{
+    return accessOne(line);
+}
+
+void
+TreeStackDistanceProfiler::accessBatch(const Addr *lines, std::size_t n,
+                                       DistanceSample *out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = accessOne(lines[i]);
+}
+
+bool
+TreeStackDistanceProfiler::invalidate(Addr line)
+{
+    auto it = last_.find(line);
+    if (it == last_.end() || it->second == kInvalidated)
+        return false;
+    live_.erase(static_cast<std::uint64_t>(it->second));
+    it->second = kInvalidated;
+    return true;
+}
+
+bool
+TreeStackDistanceProfiler::evict(Addr line)
+{
+    auto it = last_.find(line);
+    if (it == last_.end())
+        return false;
+    if (it->second != kInvalidated)
+        live_.erase(static_cast<std::uint64_t>(it->second));
+    last_.erase(it);
+    return true;
+}
+
+void
+TreeStackDistanceProfiler::clear()
+{
+    last_.clear();
+    live_.clear();
+    now_ = 0;
+}
+
+std::uint64_t
+TreeStackDistanceProfiler::memoryBytes() const
+{
+    // Same map-node constant as the list profiler so exact-vs-exact
+    // memory comparisons isolate the index structure.
+    constexpr std::uint64_t kMapNodeBytes = 48;
+    return static_cast<std::uint64_t>(last_.size()) * kMapNodeBytes +
+           live_.memoryBytes() + sizeof(*this);
+}
+
+} // namespace wsg::memsys

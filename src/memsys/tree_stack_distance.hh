@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Order-statistic-tree exact Mattson profiler (ProfilerKind::TreeMattson).
+ *
+ * Semantically identical — bit for bit, enforced by
+ * test_memsys_profiler_differential — to StackDistanceProfiler: the
+ * same RefClass classification, the same tombstone behaviour, the same
+ * distances. The difference is purely mechanical: live timestamps sit
+ * in an OrderStatSet — a dense bitmap with an implicit order-statistic
+ * tree over group counts — whose operations are all search-free bit
+ * twiddles plus short Fenwick walks. Timestamps are handed out
+ * consecutively so the set stays dense; when erased stamps have blown
+ * the span past 4x the live count the profiler renumbers them (an
+ * order-preserving O(live log live) walk, amortized O(1) per access
+ * because at least 3x live accesses must pass between renumberings).
+ * Renumbering preserves the relative order of live stamps, so every
+ * reported distance is unaffected — the bit-identical guarantee holds
+ * across compaction points.
+ */
+
+#ifndef WSG_MEMSYS_TREE_STACK_DISTANCE_HH
+#define WSG_MEMSYS_TREE_STACK_DISTANCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memsys/order_stat_set.hh"
+#include "memsys/profiler.hh"
+
+namespace wsg::memsys
+{
+
+/** Exact Mattson over an order-statistic set of live timestamps. */
+class TreeStackDistanceProfiler : public Profiler
+{
+  public:
+    ProfilerKind kind() const override { return ProfilerKind::TreeMattson; }
+
+    DistanceSample access(Addr line) override;
+
+    void accessBatch(const Addr *lines, std::size_t n,
+                     DistanceSample *out) override;
+
+    bool invalidate(Addr line) override;
+
+    bool evict(Addr line) override;
+
+    bool
+    tracks(Addr line) const override
+    {
+        return last_.count(line) != 0;
+    }
+
+    std::uint64_t liveLines() const override { return live_.size(); }
+
+    std::uint64_t
+    touchedLines() const override
+    {
+        return static_cast<std::uint64_t>(last_.size());
+    }
+
+    void clear() override;
+
+    std::uint64_t memoryBytes() const override;
+
+  private:
+    static constexpr std::int64_t kInvalidated = -1;
+    /** Never renumber below this span: tiny footprints would otherwise
+     *  renumber constantly for a few KB of bitmap. */
+    static constexpr std::uint64_t kMinRenumberSpan = std::uint64_t{1}
+                                                      << 16;
+
+    /** The shared classification + stack update; the non-virtual core
+     *  of both access() and accessBatch(). */
+    DistanceSample accessOne(Addr line);
+
+    /** Reassign live stamps to 1..live in the same relative order and
+     *  rebuild the set densely; distances are invariant under this. */
+    void renumber();
+
+    /** addr -> timestamp of latest access, or kInvalidated tombstone. */
+    std::unordered_map<Addr, std::int64_t> last_;
+    /** Timestamps of live (non-tombstoned) lines. */
+    OrderStatSet live_;
+    /** Last timestamp handed out; strictly increasing between
+     *  renumberings. */
+    std::uint64_t now_ = 0;
+};
+
+} // namespace wsg::memsys
+
+#endif // WSG_MEMSYS_TREE_STACK_DISTANCE_HH

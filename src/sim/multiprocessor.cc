@@ -47,7 +47,7 @@ Multiprocessor::Multiprocessor(const SimConfig &config)
     config_.sampling.validate();
     profilers_.reserve(config_.numProcs);
     for (std::uint32_t p = 0; p < config_.numProcs; ++p)
-        profilers_.emplace_back(config_.sampling);
+        profilers_.emplace_back(config_.sampling, config_.profiler);
 }
 
 void
@@ -88,6 +88,13 @@ Multiprocessor::access(const MemRef &ref)
         accessLine(ref.pid, line / config_.lineBytes, ref.isWrite(),
                    words, lo);
     }
+}
+
+void
+Multiprocessor::accessBatch(const MemRef *refs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        access(refs[i]);
 }
 
 void
@@ -421,6 +428,36 @@ Multiprocessor::writeCounts(const ProcStats &agg) const
     return counts;
 }
 
+std::uint64_t
+Multiprocessor::aetReadMisses(std::uint64_t capacity_lines,
+                              bool include_cold) const
+{
+    std::uint64_t misses = 0;
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p) {
+        misses += stats_[p].readDistances.countAtLeast(
+            profilers_[p].capacityToThreshold(capacity_lines));
+        misses += stats_[p].readCoherence;
+        if (include_cold)
+            misses += stats_[p].readCold;
+    }
+    return misses;
+}
+
+std::uint64_t
+Multiprocessor::aetWriteMisses(std::uint64_t capacity_lines,
+                               bool include_cold) const
+{
+    std::uint64_t misses = 0;
+    for (std::uint32_t p = 0; p < config_.numProcs; ++p) {
+        misses += stats_[p].writeDistances.countAtLeast(
+            profilers_[p].capacityToThreshold(capacity_lines));
+        misses += stats_[p].writeCoherence;
+        if (include_cold)
+            misses += stats_[p].writeCold;
+    }
+    return misses;
+}
+
 stats::Curve
 Multiprocessor::readMissRateCurve(const CurveSpec &spec,
                                   const std::string &name) const
@@ -431,6 +468,14 @@ Multiprocessor::readMissRateCurve(const CurveSpec &spec,
         return stats::Curve(name);
     approx::ApproxCurve scaler(samplingDiagnostics());
     approx::SampledCounts counts = readCounts(agg);
+    if (config_.profiler == memsys::ProfilerKind::Aet) {
+        return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
+            std::uint64_t lines = std::max<std::uint64_t>(
+                1, bytes / config_.lineBytes);
+            return scaler.missRateFromMisses(
+                counts, aetReadMisses(lines, spec.includeCold));
+        });
+    }
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
@@ -467,6 +512,18 @@ Multiprocessor::procReadMissRateCurve(ProcId pid, const CurveSpec &spec,
         counts.expectedSampledRefs = static_cast<double>(st.reads);
         break;
     }
+    if (config_.profiler == memsys::ProfilerKind::Aet) {
+        return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
+            std::uint64_t lines = std::max<std::uint64_t>(
+                1, bytes / config_.lineBytes);
+            std::uint64_t misses = st.readDistances.countAtLeast(
+                profilers_[pid].capacityToThreshold(lines));
+            misses += st.readCoherence;
+            if (spec.includeCold)
+                misses += st.readCold;
+            return scaler.missRateFromMisses(counts, misses);
+        });
+    }
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
@@ -489,6 +546,16 @@ Multiprocessor::missesPerFlopCurve(const CurveSpec &spec,
         static_cast<double>(config_.lineBytes) / 8.0;
     approx::ApproxCurve scaler(samplingDiagnostics());
     approx::SampledCounts counts = readCounts(agg);
+    if (config_.profiler == memsys::ProfilerKind::Aet) {
+        return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
+            std::uint64_t lines = std::max<std::uint64_t>(
+                1, bytes / config_.lineBytes);
+            return scaler.missCountFromMisses(
+                       counts,
+                       aetReadMisses(lines, spec.includeCold)) *
+                   words_per_line / static_cast<double>(total_flops);
+        });
+    }
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
@@ -509,6 +576,18 @@ Multiprocessor::trafficPerFlopCurve(const CurveSpec &spec,
     approx::ApproxCurve scaler(samplingDiagnostics());
     approx::SampledCounts reads = readCounts(agg);
     approx::SampledCounts writes = writeCounts(agg);
+    if (config_.profiler == memsys::ProfilerKind::Aet) {
+        return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
+            std::uint64_t lines = std::max<std::uint64_t>(
+                1, bytes / config_.lineBytes);
+            double fills = scaler.missCountFromMisses(
+                reads, aetReadMisses(lines, spec.includeCold));
+            double wmisses = scaler.missCountFromMisses(
+                writes, aetWriteMisses(lines, spec.includeCold));
+            return (fills + 2.0 * wmisses) * config_.lineBytes /
+                   static_cast<double>(total_flops);
+        });
+    }
     return evalCurvePoints(spec, name, [&](std::uint64_t bytes) {
         std::uint64_t lines = std::max<std::uint64_t>(
             1, bytes / config_.lineBytes);
@@ -537,7 +616,10 @@ Multiprocessor::readMissClassCurves(const CurveSpec &spec) const
         MissClassPoint p;
         p.cold = scaler.scaledCount(counts, agg.readCold);
         p.capacity = scaler.scaledCount(
-            counts, agg.readDistances.countAtLeast(lines));
+            counts,
+            config_.profiler == memsys::ProfilerKind::Aet
+                ? aetReadMisses(lines, false) - agg.readCoherence
+                : agg.readDistances.countAtLeast(lines));
         p.trueSharing =
             scaler.scaledCount(counts, agg.readTrueSharing);
         p.falseSharing =
@@ -612,6 +694,7 @@ Multiprocessor::samplingDiagnostics() const
 {
     approx::SamplingDiagnostics diag;
     diag.config = config_.sampling;
+    diag.profiler = config_.profiler;
     double weighted_rate = 0.0;
     for (const auto &prof : profilers_) {
         diag.totalRefs += prof.totalRefs();

@@ -63,6 +63,7 @@
 #include "approx/sampled_stack_distance.hh"
 #include "approx/sampling.hh"
 #include "memsys/cache.hh"
+#include "memsys/profiler.hh"
 #include "memsys/stack_distance.hh"
 #include "stats/curve.hh"
 #include "stats/histogram.hh"
@@ -99,6 +100,13 @@ struct SimConfig
     CoherenceProtocol protocol = CoherenceProtocol::WriteInvalidate;
     /** Profiler sampling policy; default is exact profiling. */
     approx::SamplingConfig sampling{};
+    /**
+     * Which miss-rate-curve construction each processor runs. The two
+     * Mattson kinds produce bit-identical curves (tree is the faster
+     * default); Aet trades exactness of the finite-distance part for
+     * O(1) per-reference cost and does not compose with sampling.
+     */
+    memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
 };
 
 /** Per-processor statistics gathered while measuring. */
@@ -258,6 +266,10 @@ class Multiprocessor : public trace::MemorySink
     /** MemorySink interface: split into lines, run coherence, profile. */
     void access(const MemRef &ref) override;
 
+    /** Batched delivery: identical to n access() calls, minus the
+     *  virtual dispatch per reference. */
+    void accessBatch(const MemRef *refs, std::size_t n) override;
+
     /** Warm-up control: when false, references update state only. */
     void setMeasuring(bool measuring) { measuring_ = measuring; }
     bool measuring() const { return measuring_; }
@@ -390,6 +402,19 @@ class Multiprocessor : public trace::MemorySink
                     std::uint64_t words, Addr byte_addr);
     /** Throw unless @p spec's sampling mode matches the simulator's. */
     void checkSpecSampling(const CurveSpec &spec) const;
+    /**
+     * AET-construction miss counts at @p capacity_lines. The Mattson
+     * kinds read misses off the *merged* distance histogram (threshold
+     * == capacity for every processor), but AET's capacity-to-threshold
+     * transform is per-processor — each profiler models its own
+     * reference stream — so the sum must be taken per processor before
+     * scaling. Pure functions of immutable state, safe to evaluate from
+     * parallel curve points.
+     */
+    std::uint64_t aetReadMisses(std::uint64_t capacity_lines,
+                                bool include_cold) const;
+    std::uint64_t aetWriteMisses(std::uint64_t capacity_lines,
+                                 bool include_cold) const;
     /** Estimator denominators (see approx::SampledCounts). */
     double expectedSampledReads() const;
     double expectedSampledWrites() const;

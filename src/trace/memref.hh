@@ -11,6 +11,7 @@
 #ifndef WSG_TRACE_MEMREF_HH
 #define WSG_TRACE_MEMREF_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace wsg::trace
@@ -86,6 +87,21 @@ class MemorySink
 
     /** Deliver one reference. */
     virtual void access(const MemRef &ref) = 0;
+
+    /**
+     * Deliver a block of references in order. Must be observably
+     * identical to n access() calls — batching is purely a mechanical
+     * optimization (one virtual dispatch and one cache-warm pass per
+     * block instead of per reference), never a semantic one; the
+     * batched-ingestion property tests enforce the equivalence for
+     * every sink in the study path. The default simply loops.
+     */
+    virtual void
+    accessBatch(const MemRef *refs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            access(refs[i]);
+    }
 
     /**
      * Deliver one synchronization annotation. Default: ignore — sinks

@@ -1,11 +1,13 @@
 /**
  * @file
- * Utility MemorySink implementations: discard, count, record, tee.
+ * Utility MemorySink implementations: discard, count, record, tee,
+ * batch.
  */
 
 #ifndef WSG_TRACE_SINKS_HH
 #define WSG_TRACE_SINKS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -108,6 +110,13 @@ class TeeSink : public MemorySink
     }
 
     void
+    accessBatch(const MemRef *refs, std::size_t n) override
+    {
+        a_.accessBatch(refs, n);
+        b_.accessBatch(refs, n);
+    }
+
+    void
     sync(const SyncEvent &event) override
     {
         a_.sync(event);
@@ -117,6 +126,74 @@ class TeeSink : public MemorySink
   private:
     MemorySink &a_;
     MemorySink &b_;
+};
+
+/**
+ * Buffers references and forwards them to the inner sink in blocks,
+ * amortizing the per-reference virtual dispatch of a deep sink chain
+ * into one accessBatch call per kCapacity references. Stream order is
+ * preserved exactly: a sync event or an explicit flush() drains the
+ * buffer first, so the inner sink observes the same interleaving of
+ * accesses and syncs it would see unbatched.
+ *
+ * The holder must flush() (or destroy the sink) before reading any
+ * state derived from the inner sink, and before toggling modes the
+ * buffered references were issued under (e.g.\ a measurement switch) —
+ * the study runner's SinkChain wires those flushes in.
+ */
+class BatchingSink : public MemorySink
+{
+  public:
+    /** Buffer capacity: large enough to amortize dispatch, small
+     *  enough that the buffer stays in L1/L2 (256 * 16 B = 4 KB). */
+    static constexpr std::size_t kCapacity = 256;
+
+    explicit BatchingSink(MemorySink &inner) : inner_(inner)
+    {
+        buffer_.reserve(kCapacity);
+    }
+
+    ~BatchingSink() override { flush(); }
+
+    void
+    access(const MemRef &ref) override
+    {
+        buffer_.push_back(ref);
+        if (buffer_.size() >= kCapacity)
+            flush();
+    }
+
+    void
+    accessBatch(const MemRef *refs, std::size_t n) override
+    {
+        // Already a block: drain what is queued, then pass through.
+        flush();
+        inner_.accessBatch(refs, n);
+    }
+
+    void
+    sync(const SyncEvent &event) override
+    {
+        flush();
+        inner_.sync(event);
+    }
+
+    /** Forward everything buffered, in order. */
+    void
+    flush()
+    {
+        if (buffer_.empty())
+            return;
+        inner_.accessBatch(buffer_.data(), buffer_.size());
+        buffer_.clear();
+    }
+
+    /** References currently buffered (tests). */
+    std::size_t pending() const { return buffer_.size(); }
+
+  private:
+    MemorySink &inner_;
+    std::vector<MemRef> buffer_;
 };
 
 } // namespace wsg::trace

@@ -44,7 +44,8 @@ import sys
 CXX_SUFFIXES = {".cc", ".hh"}
 
 # Layers that must be deterministic by construction.
-ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve")
+ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve",
+                "src/memsys")
 
 ENTROPY_RE = re.compile(
     r"std::random_device|\b(?:std::)?(?:rand|srand|time)\s*\("

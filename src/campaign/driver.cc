@@ -1,0 +1,299 @@
+#include "campaign/driver.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace wsg::campaign
+{
+
+namespace
+{
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return;
+    throw CampaignError("cannot create results dir " + path + ": " +
+                        std::strerror(errno));
+}
+
+std::string
+payloadPath(const std::string &dir, const std::string &hash)
+{
+    return dir + "/" + hash + ".json";
+}
+
+/** Durable single-file write: tmp + rename, the same discipline the
+ *  daemon's disk tier uses. */
+void
+savePayload(const std::string &dir, const std::string &hash,
+            const std::string &payload)
+{
+    std::string final_path = payloadPath(dir, hash);
+    std::string tmp_path = final_path + ".tmp";
+    {
+        std::ofstream out(tmp_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out)
+            throw CampaignError("cannot write " + tmp_path);
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+        throw CampaignError("cannot rename " + tmp_path + ": " +
+                            std::strerror(errno));
+}
+
+/** Read a saved payload; empty optional when absent or wrong-sized. */
+bool
+loadPayload(const std::string &dir, const std::string &hash,
+            std::uint64_t expected_bytes, std::string &payload)
+{
+    std::ifstream in(payloadPath(dir, hash), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    payload = text.str();
+    return expected_bytes == 0 || payload.size() == expected_bytes;
+}
+
+std::string
+statusOf(const serve::ResponseHeader &header)
+{
+    if (header.status == "ok")
+        return "ok";
+    if (header.status == "overloaded")
+        return "overloaded";
+    if (header.status == "failed")
+        return header.timedOut ? "timed_out" : "failed";
+    return "error"; // bad_request, shutting_down, anything future.
+}
+
+/** Shared per-campaign state the workers append into. */
+struct SharedState
+{
+    std::mutex m;
+    ManifestWriter *manifest = nullptr;
+    std::vector<double> latencySeconds;
+    std::size_t done = 0;
+};
+
+} // namespace
+
+CampaignResult
+runCampaign(const Grid &grid, const DriverConfig &config)
+{
+    CampaignResult result;
+    result.outcomes.resize(grid.entries.size());
+    if (!config.resultsDir.empty())
+        ensureDir(config.resultsDir);
+
+    // Resume pass: outcomes the checkpoint already settled.
+    ManifestContents prior;
+    if (!config.manifestPath.empty())
+        prior = loadManifest(config.manifestPath);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < grid.entries.size(); ++i) {
+        const CampaignEntry &entry = grid.entries[i];
+        auto it = prior.records.find(entry.configHash);
+        if (it != prior.records.end() && it->second.status == "ok" &&
+            !config.resultsDir.empty()) {
+            EntryOutcome &out = result.outcomes[i];
+            if (loadPayload(config.resultsDir, entry.configHash,
+                            it->second.payloadBytes, out.payload)) {
+                out.status = "skipped";
+                out.cache = "manifest";
+                continue;
+            }
+            out.payload.clear(); // Stale or torn file: resubmit.
+        }
+        pending.push_back(i);
+    }
+
+    ManifestWriter manifest_storage =
+        config.manifestPath.empty()
+            ? ManifestWriter("/dev/null", grid.gridHash,
+                             grid.entries.size())
+            : ManifestWriter(config.manifestPath, grid.gridHash,
+                             grid.entries.size());
+
+    SharedState shared;
+    shared.done = grid.entries.size() - pending.size();
+    if (!config.manifestPath.empty())
+        shared.manifest = &manifest_storage;
+
+    std::atomic<std::size_t> cursor{0};
+    unsigned workers = std::max(1u, config.concurrency);
+    workers = static_cast<unsigned>(std::min<std::size_t>(
+        workers, std::max<std::size_t>(1, pending.size())));
+
+    auto worker = [&] {
+        int fd = -1;
+        auto ensureConnected = [&] {
+            if (fd < 0)
+                fd = serve::connectUnix(config.socketPath);
+        };
+        for (;;) {
+            std::size_t slot = cursor.fetch_add(1);
+            if (slot >= pending.size())
+                break;
+            std::size_t idx = pending[slot];
+            const CampaignEntry &entry = grid.entries[idx];
+            EntryOutcome &out = result.outcomes[idx];
+
+            serve::Reply reply;
+            serve::RetryOutcome retried;
+            bool transport_ok = false;
+            std::string transport_error;
+            auto t0 = std::chrono::steady_clock::now();
+            // One reconnect: a daemon restart mid-campaign drops every
+            // held connection once, and should cost one retry, not one
+            // failed study per worker.
+            for (int attempt = 0; attempt < 2 && !transport_ok;
+                 ++attempt) {
+                try {
+                    ensureConnected();
+                    reply = serve::roundTripWithRetry(
+                        fd, entry.request, config.retry,
+                        serve::retrySeedKey(entry.configHash),
+                        &retried);
+                    transport_ok = true;
+                } catch (const serve::ProtocolError &e) {
+                    transport_error = e.what();
+                    if (fd >= 0)
+                        ::close(fd);
+                    fd = -1;
+                }
+            }
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            out.attempts = retried.attempts;
+            out.backoffMs = retried.backoffMs;
+            if (!transport_ok) {
+                out.status = "error";
+                out.error = transport_error;
+            } else {
+                out.status = statusOf(reply.header);
+                out.cache = reply.header.cache;
+                out.error = reply.header.error;
+                if (out.status == "ok") {
+                    if (reply.header.hash != entry.configHash) {
+                        // The daemon resolved the same preset to a
+                        // different canonical config — a version skew
+                        // that would silently aggregate wrong data.
+                        out.status = "error";
+                        out.error = "config hash mismatch: expected " +
+                                    entry.configHash + ", daemon has " +
+                                    reply.header.hash;
+                    } else {
+                        out.payload = std::move(reply.payload);
+                        if (!config.resultsDir.empty())
+                            savePayload(config.resultsDir,
+                                        entry.configHash, out.payload);
+                    }
+                }
+            }
+
+            ManifestRecord record;
+            record.hash = entry.configHash;
+            record.name = entry.name;
+            record.status = out.status;
+            record.cache = out.cache;
+            record.payloadBytes = out.payload.size();
+            record.attempts = out.attempts;
+            record.error = out.error;
+
+            std::lock_guard<std::mutex> lock(shared.m);
+            if (shared.manifest != nullptr)
+                shared.manifest->append(record);
+            shared.latencySeconds.push_back(elapsed);
+            ++shared.done;
+            if (config.progress)
+                config.progress(entry.name, out.status, shared.done,
+                                grid.entries.size());
+        }
+        if (fd >= 0)
+            ::close(fd);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    CampaignTelemetry &tel = result.telemetry;
+    for (const EntryOutcome &out : result.outcomes) {
+        if (out.status == "ok")
+            ++tel.ok;
+        else if (out.status == "skipped")
+            ++tel.skipped;
+        else if (out.status == "failed")
+            ++tel.failed;
+        else if (out.status == "timed_out")
+            ++tel.timedOut;
+        else if (out.status == "overloaded")
+            ++tel.overloaded;
+        else
+            ++tel.errors;
+        if (out.cache == "hit")
+            ++tel.cacheHits;
+        else if (out.cache == "miss")
+            ++tel.cacheMisses;
+        else if (out.cache == "join")
+            ++tel.cacheJoins;
+        if (out.attempts > 1)
+            ++tel.retriedRoundTrips;
+        tel.backoffMsTotal += out.backoffMs;
+    }
+    std::vector<double> window = std::move(shared.latencySeconds);
+    if (!window.empty()) {
+        std::sort(window.begin(), window.end());
+        auto at = [&window](double q) {
+            std::size_t idx = static_cast<std::size_t>(
+                q * static_cast<double>(window.size() - 1));
+            return window[idx];
+        };
+        tel.p50Seconds = at(0.50);
+        tel.p95Seconds = at(0.95);
+    }
+
+    // Final fleet snapshot from the daemon's own counters, so the
+    // campaign can assert cache behaviour (resume = hits) end to end.
+    try {
+        int fd = serve::connectUnix(config.socketPath);
+        serve::Request stats_req;
+        stats_req.op = serve::Op::Stats;
+        serve::Reply reply = serve::roundTrip(fd, stats_req);
+        ::close(fd);
+        if (reply.header.status == "ok")
+            tel.serverStats = std::move(reply.payload);
+    } catch (const serve::ProtocolError &) {
+        // Telemetry only; a vanished daemon does not fail a finished
+        // campaign.
+    }
+    return result;
+}
+
+} // namespace wsg::campaign

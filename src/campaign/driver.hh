@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Campaign driver: push an expanded grid through wsg-served with
+ * bounded client concurrency, checkpointing every completion.
+ *
+ * The driver is a thin fleet client over the existing wire protocol:
+ * N worker threads each hold one connection to the daemon and pull
+ * entries off a shared atomic cursor, so at most N studies are in
+ * flight from this campaign no matter how large the grid is. Typed
+ * "overloaded" rejections are retried with the shared deterministic
+ * backoff (serve/backoff.hh), seeded per entry by its config hash so
+ * colliding workers decorrelate; per-study timeouts ride in the
+ * request and surface as "timed_out" outcomes, not client hangs.
+ *
+ * Resumability is layered:
+ *  - the **manifest** (campaign/manifest.hh) records completions; on
+ *    restart, entries with an ok record and a readable payload are
+ *    skipped outright ("skipped" outcome), and the report aggregates
+ *    from the saved bytes;
+ *  - studies the manifest missed are resubmitted, where the daemon's
+ *    content-addressed cache answers them as hits — kill -9 at any
+ *    point costs at most the in-flight studies' compute.
+ *
+ * Every payload is verified against the entry's precomputed config
+ * hash before it is trusted; a daemon answering with the wrong bytes
+ * is an error, not a silent corruption of the aggregate.
+ */
+
+#ifndef WSG_CAMPAIGN_DRIVER_HH
+#define WSG_CAMPAIGN_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.hh"
+#include "campaign/manifest.hh"
+#include "serve/backoff.hh"
+
+namespace wsg::campaign
+{
+
+/** How the campaign driver runs one sweep. */
+struct DriverConfig
+{
+    /** Unix-domain socket of the serving daemon. */
+    std::string socketPath;
+    /** Concurrent client connections (clamped to >= 1). */
+    unsigned concurrency = 4;
+    /** Typed-overload retry policy, shared with wsg-submit. */
+    serve::RetryPolicy retry{.retries = 8,
+                             .baseBackoffMs = 50,
+                             .maxBackoffMs = 5000};
+    /** Checkpoint manifest path ("" = no checkpointing). */
+    std::string manifestPath;
+    /** Payload store directory ("" = keep payloads in memory only). */
+    std::string resultsDir;
+    /** Optional per-completion progress hook (serialized). */
+    std::function<void(const std::string &name,
+                       const std::string &status, std::size_t done,
+                       std::size_t total)>
+        progress;
+};
+
+/** Result of one grid entry after the campaign ran. */
+struct EntryOutcome
+{
+    /** "ok", "skipped" (manifest), "overloaded", "failed",
+     *  "timed_out" or "error". */
+    std::string status;
+    /** "hit", "miss", "join" from the daemon, or "manifest". */
+    std::string cache;
+    /** Report JSON (ok/skipped outcomes; verified against the entry
+     *  hash). */
+    std::string payload;
+    std::string error;
+    unsigned attempts = 1;
+    std::uint64_t backoffMs = 0;
+};
+
+/** Campaign-level fleet telemetry. */
+struct CampaignTelemetry
+{
+    std::uint64_t ok = 0;
+    /** Resumed straight off the manifest, no daemon round trip. */
+    std::uint64_t skipped = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t errors = 0;
+    /** Daemon cache dispositions over the non-skipped entries. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheJoins = 0;
+    std::uint64_t retriedRoundTrips = 0;
+    std::uint64_t backoffMsTotal = 0;
+    /** Client-observed per-study service time quantiles, seconds. */
+    double p50Seconds = 0.0;
+    double p95Seconds = 0.0;
+    /** The daemon's final /stats JSON ("" if unavailable). */
+    std::string serverStats;
+
+    /** Entries answered from a cache layer (daemon or manifest)
+     *  divided by all completed entries; 0 when nothing completed. */
+    double cacheServedRatio() const
+    {
+        std::uint64_t served = skipped + cacheHits + cacheJoins;
+        std::uint64_t total = served + cacheMisses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(served) /
+                         static_cast<double>(total);
+    }
+};
+
+/** Everything runCampaign produces. */
+struct CampaignResult
+{
+    /** One outcome per grid entry, in grid order. */
+    std::vector<EntryOutcome> outcomes;
+    CampaignTelemetry telemetry;
+};
+
+/**
+ * Run @p grid against the daemon per @p config. Blocks until every
+ * entry has an outcome; individual study failures become outcomes,
+ * not exceptions.
+ * @throws CampaignError when the manifest is incompatible or cannot
+ *         be written.
+ */
+CampaignResult runCampaign(const Grid &grid,
+                           const DriverConfig &config);
+
+} // namespace wsg::campaign
+
+#endif // WSG_CAMPAIGN_DRIVER_HH

@@ -1,0 +1,369 @@
+#include "campaign/grid.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/hash.hh"
+#include "stats/json_parse.hh"
+#include "stats/json_report.hh"
+
+namespace wsg::campaign
+{
+
+namespace
+{
+
+/** The known top-level grid keys; anything else is a typo. */
+constexpr const char *kGridKeys[] = {
+    "schema",           "presets",  "sizes",
+    "line_bytes",       "points_per_octave",
+    "profilers",        "sampling", "include",
+    "exclude",          "analyze_races",
+    "timeout_seconds",
+};
+
+const stats::JsonValue *
+arrayField(const stats::JsonValue &root, const char *key)
+{
+    const stats::JsonValue *v = root.find(key);
+    if (v == nullptr)
+        return nullptr;
+    if (!v->isArray())
+        throw CampaignError(std::string("grid field '") + key +
+                            "' must be an array");
+    if (v->size() == 0)
+        throw CampaignError(std::string("grid field '") + key +
+                            "' must not be empty");
+    return v;
+}
+
+std::vector<std::string>
+stringArray(const stats::JsonValue &root, const char *key)
+{
+    std::vector<std::string> out;
+    const stats::JsonValue *v = arrayField(root, key);
+    if (v == nullptr)
+        return out;
+    for (std::size_t i = 0; i < v->size(); ++i) {
+        if (!(*v)[i].isString())
+            throw CampaignError(std::string("grid field '") + key +
+                                "' must hold strings");
+        out.push_back((*v)[i].asString());
+    }
+    return out;
+}
+
+std::vector<double>
+numberArray(const stats::JsonValue &root, const char *key)
+{
+    std::vector<double> out;
+    const stats::JsonValue *v = arrayField(root, key);
+    if (v == nullptr)
+        return out;
+    for (std::size_t i = 0; i < v->size(); ++i) {
+        if (!(*v)[i].isNumber())
+            throw CampaignError(std::string("grid field '") + key +
+                                "' must hold numbers");
+        out.push_back((*v)[i].asNumber());
+    }
+    return out;
+}
+
+/** Wrap axis-value parse errors with the field name. */
+template <typename Fn>
+auto
+axisValue(const char *key, const std::string &value, Fn &&parse)
+{
+    try {
+        return parse(value);
+    } catch (const std::invalid_argument &e) {
+        throw CampaignError(std::string("grid field '") + key +
+                            "': " + e.what());
+    }
+}
+
+} // namespace
+
+SamplingPoint
+parseSamplingPoint(const std::string &text)
+{
+    SamplingPoint point;
+    if (text == "exact") {
+        point.label = "exact";
+        return point;
+    }
+    auto numberTail = [&text](std::string_view prefix) {
+        return text.substr(prefix.size());
+    };
+    if (text.rfind("rate:", 0) == 0) {
+        std::string tail = numberTail("rate:");
+        std::size_t pos = 0;
+        double rate = 0.0;
+        try {
+            rate = std::stod(tail, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != tail.size() || !(rate > 0.0 && rate <= 1.0))
+            throw CampaignError(
+                "sampling 'rate:' needs a rate in (0, 1], got '" +
+                text + "'");
+        point.config.mode = approx::SamplingMode::FixedRate;
+        point.config.rate = rate;
+        point.label = "rate:" + stats::JsonWriter::formatDouble(rate);
+        return point;
+    }
+    if (text.rfind("size:", 0) == 0) {
+        std::string tail = numberTail("size:");
+        std::size_t pos = 0;
+        unsigned long long lines = 0;
+        try {
+            lines = std::stoull(tail, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != tail.size() || lines == 0)
+            throw CampaignError(
+                "sampling 'size:' needs a positive line budget, "
+                "got '" +
+                text + "'");
+        point.config.mode = approx::SamplingMode::FixedSize;
+        point.config.maxLines = lines;
+        point.label = "size:" + std::to_string(lines);
+        return point;
+    }
+    throw CampaignError("unknown sampling mode '" + text +
+                        "' (expected exact, rate:R or size:N)");
+}
+
+GridSpec
+parseGridSpec(std::string_view json)
+{
+    stats::JsonValue root;
+    try {
+        root = stats::parseJson(json);
+    } catch (const stats::JsonParseError &e) {
+        throw CampaignError(std::string("grid file: ") + e.what());
+    }
+    if (!root.isObject())
+        throw CampaignError("grid file: not a JSON object");
+
+    for (const auto &[key, value] : root.members()) {
+        bool known = false;
+        for (const char *k : kGridKeys)
+            known = known || key == k;
+        if (!known)
+            throw CampaignError("grid file: unknown key '" + key +
+                                "'");
+    }
+
+    const stats::JsonValue *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->asString() != "wsg-campaign-grid-v1")
+        throw CampaignError(
+            "grid file: schema must be \"wsg-campaign-grid-v1\"");
+
+    GridSpec spec;
+    spec.presets = stringArray(root, "presets");
+    for (const std::string &preset : spec.presets) {
+        if (!core::isFigureSuiteName(preset))
+            throw CampaignError("grid file: unknown preset '" +
+                                preset + "'");
+    }
+
+    std::vector<std::string> sizes = stringArray(root, "sizes");
+    if (!sizes.empty()) {
+        spec.sizes.clear();
+        for (const std::string &s : sizes)
+            spec.sizes.push_back(axisValue(
+                "sizes", s, [](const std::string &v) {
+                    return core::parseProblemSize(v);
+                }));
+    }
+
+    std::vector<double> lines = numberArray(root, "line_bytes");
+    if (!lines.empty()) {
+        spec.lineBytes.clear();
+        for (double v : lines) {
+            if (v < 0.0 || v != static_cast<double>(
+                                    static_cast<std::uint32_t>(v)))
+                throw CampaignError(
+                    "grid field 'line_bytes' must hold non-negative "
+                    "integers");
+            spec.lineBytes.push_back(static_cast<std::uint32_t>(v));
+        }
+    }
+
+    std::vector<double> ppo = numberArray(root, "points_per_octave");
+    if (!ppo.empty()) {
+        spec.pointsPerOctave.clear();
+        for (double v : ppo) {
+            if (v < 0.0 || v > 64.0 ||
+                v != static_cast<double>(static_cast<int>(v)))
+                throw CampaignError(
+                    "grid field 'points_per_octave' must hold "
+                    "integers in [0, 64]");
+            spec.pointsPerOctave.push_back(static_cast<int>(v));
+        }
+    }
+
+    std::vector<std::string> profilers =
+        stringArray(root, "profilers");
+    if (!profilers.empty()) {
+        spec.profilers.clear();
+        for (const std::string &p : profilers)
+            spec.profilers.push_back(axisValue(
+                "profilers", p, [](const std::string &v) {
+                    return memsys::parseProfilerKind(v);
+                }));
+    }
+
+    std::vector<std::string> sampling = stringArray(root, "sampling");
+    if (!sampling.empty()) {
+        spec.sampling.clear();
+        for (const std::string &s : sampling)
+            spec.sampling.push_back(parseSamplingPoint(s));
+    }
+
+    spec.include = stringArray(root, "include");
+    spec.exclude = stringArray(root, "exclude");
+
+    if (const stats::JsonValue *v = root.find("analyze_races")) {
+        if (!v->isBool())
+            throw CampaignError(
+                "grid field 'analyze_races' must be a bool");
+        spec.analyzeRaces = v->asBool();
+    }
+    if (const stats::JsonValue *v = root.find("timeout_seconds")) {
+        if (!v->isNumber() || v->asNumber() < 0.0)
+            throw CampaignError("grid field 'timeout_seconds' must be "
+                                "a non-negative number");
+        spec.timeoutSeconds = v->asNumber();
+    }
+    return spec;
+}
+
+GridSpec
+loadGridSpec(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CampaignError("cannot read grid file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseGridSpec(text.str());
+}
+
+Grid
+expandGrid(const GridSpec &spec)
+{
+    std::vector<std::string> presets =
+        spec.presets.empty() ? core::figureSuiteNames() : spec.presets;
+
+    Grid grid;
+    std::string hashInput = "wsg-campaign-grid-v1\n";
+    for (const std::string &preset : presets) {
+        for (core::ProblemSize size : spec.sizes) {
+            for (std::uint32_t line : spec.lineBytes) {
+                for (int ppo : spec.pointsPerOctave) {
+                    for (memsys::ProfilerKind prof : spec.profilers) {
+                        for (const SamplingPoint &samp :
+                             spec.sampling) {
+                            // AET has no per-line stack state to
+                            // sample from; the combination is
+                            // infeasible, not an error — a grid that
+                            // sweeps both axes simply skips it.
+                            if (prof == memsys::ProfilerKind::Aet &&
+                                samp.config.enabled()) {
+                                ++grid.skippedInfeasible;
+                                continue;
+                            }
+
+                            CampaignEntry entry;
+                            entry.preset = preset;
+                            entry.size = size;
+                            entry.lineBytes = line;
+                            entry.pointsPerOctave = ppo;
+                            entry.profiler = prof;
+                            entry.samplingLabel = samp.label;
+
+                            core::SuiteVariant variant;
+                            variant.size = size;
+                            variant.lineBytes = line;
+                            serve::Request &req = entry.request;
+                            req.op = serve::Op::Study;
+                            req.preset = core::suiteVariantName(
+                                preset, variant);
+                            if (prof !=
+                                memsys::ProfilerKind::TreeMattson)
+                                req.profiler =
+                                    memsys::profilerKindName(prof);
+                            if (ppo != 0)
+                                req.pointsPerOctave = ppo;
+                            if (samp.config.mode ==
+                                approx::SamplingMode::FixedRate)
+                                req.sampleRate = samp.config.rate;
+                            if (samp.config.mode ==
+                                approx::SamplingMode::FixedSize)
+                                req.sampleSize = samp.config.maxLines;
+                            req.analyzeRaces = spec.analyzeRaces;
+                            req.timeoutSeconds = spec.timeoutSeconds;
+
+                            entry.name = req.preset;
+                            if (ppo != 0)
+                                entry.name +=
+                                    "@ppo=" + std::to_string(ppo);
+                            if (prof !=
+                                memsys::ProfilerKind::TreeMattson)
+                                entry.name +=
+                                    std::string("@prof=") +
+                                    memsys::profilerKindName(prof);
+                            if (samp.label != "exact")
+                                entry.name += "@samp=" + samp.label;
+
+                            bool kept = spec.include.empty();
+                            for (const std::string &inc :
+                                 spec.include)
+                                kept = kept ||
+                                       entry.name.find(inc) !=
+                                           std::string::npos;
+                            for (const std::string &exc :
+                                 spec.exclude)
+                                kept = kept &&
+                                       entry.name.find(exc) ==
+                                           std::string::npos;
+                            if (!kept) {
+                                ++grid.filteredOut;
+                                continue;
+                            }
+
+                            // Resolve the point through the same
+                            // factory the daemon uses: the canonical
+                            // config's hash is the cache key, known
+                            // before anything is submitted.
+                            core::StudyJob job;
+                            try {
+                                job = core::figureSuiteJob(
+                                    req.preset, req.studyConfig());
+                            } catch (const std::exception &e) {
+                                throw CampaignError(
+                                    "grid point '" + entry.name +
+                                    "' is invalid: " + e.what());
+                            }
+                            entry.configHash =
+                                stats::fnv1a64Hex(job.canonicalConfig);
+
+                            hashInput += entry.name + "=" +
+                                         entry.configHash + "\n";
+                            grid.entries.push_back(std::move(entry));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grid.gridHash = stats::fnv1a64Hex(hashInput);
+    return grid;
+}
+
+} // namespace wsg::campaign

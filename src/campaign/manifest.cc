@@ -1,0 +1,152 @@
+#include "campaign/manifest.hh"
+
+#include <sstream>
+
+#include "stats/json_parse.hh"
+#include "stats/json_report.hh"
+
+namespace wsg::campaign
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "wsg-campaign-manifest-v1";
+
+std::string
+stringField(const stats::JsonValue &obj, const char *key)
+{
+    const stats::JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isString())
+        return "";
+    return v->asString();
+}
+
+std::uint64_t
+countField(const stats::JsonValue &obj, const char *key,
+           std::uint64_t fallback)
+{
+    const stats::JsonValue *v = obj.find(key);
+    if (v == nullptr || !v->isNumber() || v->asNumber() < 0.0)
+        return fallback;
+    return static_cast<std::uint64_t>(v->asNumber());
+}
+
+} // namespace
+
+ManifestContents
+loadManifest(const std::string &path)
+{
+    ManifestContents contents;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return contents; // No file yet: a fresh campaign.
+
+    std::string line;
+    if (!std::getline(in, line))
+        return contents; // Empty file behaves like a fresh one.
+
+    stats::JsonValue header;
+    try {
+        header = stats::parseJson(line);
+    } catch (const stats::JsonParseError &e) {
+        throw CampaignError("manifest " + path +
+                            ": bad header: " + e.what());
+    }
+    if (!header.isObject() || stringField(header, "schema") != kSchema)
+        throw CampaignError("manifest " + path +
+                            ": header schema must be \"" +
+                            std::string(kSchema) + "\"");
+    contents.gridHash = stringField(header, "grid_hash");
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        stats::JsonValue rec;
+        try {
+            rec = stats::parseJson(line);
+        } catch (const stats::JsonParseError &) {
+            // A torn tail line is the expected shape of a crash
+            // mid-append; everything before it is still good.
+            break;
+        }
+        if (!rec.isObject())
+            break;
+        ManifestRecord record;
+        record.hash = stringField(rec, "hash");
+        record.name = stringField(rec, "name");
+        record.status = stringField(rec, "status");
+        record.cache = stringField(rec, "cache");
+        record.payloadBytes = countField(rec, "payload_bytes", 0);
+        record.attempts = countField(rec, "attempts", 1);
+        record.error = stringField(rec, "error");
+        if (record.hash.empty() || record.status.empty())
+            break;
+        contents.records[record.hash] = std::move(record);
+    }
+    return contents;
+}
+
+ManifestWriter::ManifestWriter(const std::string &path,
+                               const std::string &grid_hash,
+                               std::uint64_t entries)
+    : path_(path)
+{
+    // An existing manifest must describe the same grid; replaying a
+    // checkpoint from a different sweep would silently skip studies
+    // whose hashes happen to collide in name but not in content.
+    ManifestContents existing = loadManifest(path);
+    if (!existing.gridHash.empty() && existing.gridHash != grid_hash)
+        throw CampaignError(
+            "manifest " + path + " was written for grid " +
+            existing.gridHash + ", not " + grid_hash +
+            " (delete it or pass a fresh --manifest path)");
+
+    bool fresh = existing.gridHash.empty();
+    out_.open(path, std::ios::binary | std::ios::app);
+    if (!out_)
+        throw CampaignError("cannot open manifest for append: " + path);
+    if (fresh) {
+        std::ostringstream os;
+        stats::JsonWriter w(os, /*compact=*/true);
+        w.beginObject();
+        w.member("schema", kSchema);
+        w.member("grid_hash", grid_hash);
+        w.member("entries", entries);
+        w.endObject();
+        out_ << os.str() << '\n';
+        out_.flush();
+        if (!out_)
+            throw CampaignError("manifest write failed: " + path);
+    }
+}
+
+std::string
+ManifestWriter::encodeRecord(const ManifestRecord &record)
+{
+    std::ostringstream os;
+    stats::JsonWriter w(os, /*compact=*/true);
+    w.beginObject();
+    w.member("hash", record.hash);
+    w.member("name", record.name);
+    w.member("status", record.status);
+    w.member("cache", record.cache);
+    w.member("payload_bytes", record.payloadBytes);
+    w.member("attempts", record.attempts);
+    if (!record.error.empty())
+        w.member("error", record.error);
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+void
+ManifestWriter::append(const ManifestRecord &record)
+{
+    out_ << encodeRecord(record);
+    out_.flush();
+    if (!out_)
+        throw CampaignError("manifest write failed: " + path_);
+}
+
+} // namespace wsg::campaign

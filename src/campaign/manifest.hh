@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Campaign checkpointing: an append-only JSON-lines manifest keyed by
+ * config hash (wsg-campaign-manifest-v1).
+ *
+ * The driver appends one record per finished study, flushing after
+ * every write, so an interrupted campaign loses at most the studies
+ * that were in flight. On restart the loader replays the file: the
+ * header binds the manifest to a grid hash (resuming with a different
+ * grid is an error, not a silent partial sweep), records are keyed by
+ * config hash with last-record-wins, and a torn final line — the
+ * expected shape of a crash mid-append — is ignored rather than
+ * rejected.
+ *
+ * A manifest alone marks *what* completed; the report payloads live in
+ * the campaign's results directory (one `<hash>.json` per study,
+ * mirroring the daemon's content-addressed store) or are re-fetched
+ * from the daemon's cache on resume, where they are hits by
+ * definition.
+ *
+ * File shape:
+ *
+ *   {"schema":"wsg-campaign-manifest-v1","grid_hash":"…","entries":N}
+ *   {"hash":"…","name":"…","status":"ok","cache":"miss", ...}
+ *   …one line per completed study…
+ */
+
+#ifndef WSG_CAMPAIGN_MANIFEST_HH
+#define WSG_CAMPAIGN_MANIFEST_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "campaign/grid.hh"
+
+namespace wsg::campaign
+{
+
+/** One completed-study record. */
+struct ManifestRecord
+{
+    /** Config hash (the key; 16 hex chars). */
+    std::string hash;
+    /** Entry name, for humans reading the file. */
+    std::string name;
+    /** "ok", "failed", "timed_out", "overloaded" or "error". */
+    std::string status;
+    /** Serving disposition: "hit", "miss", "join" or "". */
+    std::string cache;
+    std::uint64_t payloadBytes = 0;
+    /** Round trips the entry took (retries included). */
+    std::uint64_t attempts = 1;
+    std::string error;
+};
+
+/** A loaded manifest: header + last record per config hash. */
+struct ManifestContents
+{
+    std::string gridHash;
+    std::map<std::string, ManifestRecord> records;
+};
+
+/**
+ * Load @p path. A missing file yields empty contents (a fresh
+ * campaign); an unparsable header is an error; an unparsable or
+ * truncated record line ends the replay silently (crash tail).
+ * @throws CampaignError on IO errors other than non-existence or on a
+ *         malformed header.
+ */
+ManifestContents loadManifest(const std::string &path);
+
+/**
+ * Append-only manifest writer. Opening validates an existing file's
+ * grid hash against @p grid_hash (mismatch throws CampaignError) and
+ * otherwise writes a fresh header.
+ */
+class ManifestWriter
+{
+  public:
+    ManifestWriter(const std::string &path, const std::string &grid_hash,
+                   std::uint64_t entries);
+
+    /** Append one record and flush. @throws CampaignError on IO. */
+    void append(const ManifestRecord &record);
+
+    /** Serialize @p record as one JSON line (newline included). */
+    static std::string encodeRecord(const ManifestRecord &record);
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+} // namespace wsg::campaign
+
+#endif // WSG_CAMPAIGN_MANIFEST_HH

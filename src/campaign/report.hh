@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fleet-style aggregate reporting over a completed campaign
+ * (wsg-campaign-report-v1).
+ *
+ * The per-study payloads (wsg-study-report-v2) carry full miss-rate
+ * curves; a thousand-study campaign needs the cross-study view the
+ * paper argues from: where the working-set knees fall across the
+ * suite, how the miss-class mix shifts per application / line size /
+ * problem size, and — the paper's machine-design question — what
+ * fraction of the studied workloads a given per-node cache size
+ * sustains (its largest working set fits).
+ *
+ * Determinism contract: the report is a pure function of the grid
+ * (order, axes, hashes) and the study payload bytes. Grouping is
+ * first-seen order over the grid — never map iteration — and doubles
+ * go through JsonWriter's shortest-round-trip formatter, so two
+ * campaigns over the same grid emit byte-identical reports even when
+ * one of them was interrupted and resumed (serving dispositions and
+ * timings are volatile, so they live in an opt-in "telemetry" block
+ * that defaults to off). parseCampaignReport() inverts
+ * writeCampaignReport() exactly; emit → parse → emit is
+ * byte-identity, which the tests pin.
+ */
+
+#ifndef WSG_CAMPAIGN_REPORT_HH
+#define WSG_CAMPAIGN_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/driver.hh"
+#include "campaign/grid.hh"
+
+namespace wsg::campaign
+{
+
+/** One working-set knee lifted from a study payload. */
+struct KneeSummary
+{
+    std::uint64_t level = 0;
+    std::uint64_t sizeBytes = 0;
+    double missRateBefore = 0.0;
+    double missRateAfter = 0.0;
+};
+
+/** Per-category fractions of total read misses at one sweep point. */
+struct MissSplit
+{
+    double cold = 0.0;
+    double capacity = 0.0;
+    double trueSharing = 0.0;
+    double falseSharing = 0.0;
+};
+
+/** The compact cross-study record for one grid entry. */
+struct StudySummary
+{
+    std::string name;
+    std::string hash;
+    /** "ok", "failed", "timed_out", "overloaded" or "error". A study
+     *  resumed off the manifest reports "ok" — how a result was
+     *  served is telemetry, not a property of the result. */
+    std::string status;
+
+    // Axis coordinates (as requested; 0 / "" = axis default).
+    std::string preset;
+    std::string size;
+    std::uint64_t lineBytes = 0;
+    std::uint64_t pointsPerOctave = 0;
+    std::string profiler;
+    std::string sampling;
+
+    // Metrics, present when status == "ok".
+    std::uint64_t numProcs = 0;
+    double floorRate = 0.0;
+    std::uint64_t maxFootprintBytes = 0;
+    std::uint64_t largestKneeBytes = 0;
+    std::vector<KneeSummary> knees;
+    /** Miss-class mix at the first sweep point at or past the largest
+     *  knee (the "everything important fits" regime). */
+    MissSplit missSplit;
+    /** Coherence (true+false sharing) misses per reference. */
+    double sharingMissRate = 0.0;
+
+    std::string error;
+
+    bool hasMetrics() const { return status == "ok"; }
+};
+
+/** Aggregates over one group of ok studies (an app, a line size…). */
+struct GroupBreakdown
+{
+    /** Group label: a preset name, "line=32", "size=small", … */
+    std::string key;
+    std::uint64_t studies = 0;
+    std::uint64_t kneeMinBytes = 0;
+    std::uint64_t kneeMedianBytes = 0;
+    std::uint64_t kneeMaxBytes = 0;
+    double meanFloorRate = 0.0;
+    /** Mean per-study miss-class fractions. */
+    MissSplit missSplit;
+    double meanSharingMissRate = 0.0;
+};
+
+/** Fraction of studies a cache of size C sustains, per node count. */
+struct SustainabilityBand
+{
+    /** 0 = all studies pooled. */
+    std::uint64_t numProcs = 0;
+    std::uint64_t studies = 0;
+    /** Parallel to CampaignReport::bandCacheSizes: fraction of the
+     *  group whose largest knee fits in that cache. */
+    std::vector<double> fractionFit;
+};
+
+/** The wsg-campaign-report-v1 document. */
+struct CampaignReport
+{
+    std::string gridHash;
+    std::uint64_t entries = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t errors = 0;
+
+    /** One summary per grid entry, grid order. */
+    std::vector<StudySummary> studies;
+    /** First-seen-order groupings over the ok studies. */
+    std::vector<GroupBreakdown> byPreset;
+    std::vector<GroupBreakdown> byLineBytes;
+    std::vector<GroupBreakdown> bySize;
+
+    /** Power-of-two candidate per-node cache sizes, 1 KiB … 16 MiB. */
+    std::vector<std::uint64_t> bandCacheSizes;
+    /** Pooled band first (numProcs 0), then per node count,
+     *  first-seen order. */
+    std::vector<SustainabilityBand> bands;
+
+    /** Volatile fleet telemetry; excluded from the emitted report
+     *  unless set (resume changes it, byte-determinism must not). */
+    bool hasTelemetry = false;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheJoins = 0;
+    std::uint64_t resumedFromManifest = 0;
+    std::uint64_t retriedRoundTrips = 0;
+    std::uint64_t backoffMsTotal = 0;
+    double cacheServedRatio = 0.0;
+    double p50Seconds = 0.0;
+    double p95Seconds = 0.0;
+};
+
+/**
+ * Aggregate @p result (aligned with @p grid) into a report.
+ * @p include_telemetry folds the driver's fleet telemetry in; leave
+ * it off when the report must be byte-stable across resumed runs.
+ * Unparsable ok payloads demote that study to status "error".
+ */
+CampaignReport buildCampaignReport(const Grid &grid,
+                                   const CampaignResult &result,
+                                   bool include_telemetry = false);
+
+/** Serialize @p report (newline-terminated, deterministic bytes). */
+std::string writeCampaignReport(const CampaignReport &report);
+
+/** Exact inverse of writeCampaignReport.
+ *  @throws CampaignError on malformed input or wrong schema. */
+CampaignReport parseCampaignReport(std::string_view json);
+
+} // namespace wsg::campaign
+
+#endif // WSG_CAMPAIGN_REPORT_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * wsg-campaign — sweep orchestrator over the wsg-served study daemon.
+ *
+ * Expand a declarative grid file into its study population, drive it
+ * through the daemon with bounded concurrency and typed-overload
+ * retry, checkpoint completions to a manifest, and emit the
+ * wsg-campaign-report-v1 aggregate.
+ *
+ * Usage:
+ *   wsg-campaign --socket PATH --grid FILE [--report FILE]
+ *                [--manifest FILE] [--results DIR] [--concurrency N]
+ *                [--retries N] [--backoff-ms MS] [--telemetry]
+ *                [--min-hit-ratio F] [--quiet]
+ *   wsg-campaign --grid FILE --list
+ *
+ * --list expands and prints the population (name and config hash per
+ * line) without contacting a daemon — a dry run for grid authoring.
+ * --manifest makes the run resumable: re-running the same command
+ * skips entries whose ok results are already on disk (when --results
+ * is given) and re-fetches the rest from the daemon's cache.
+ * --telemetry folds volatile fleet telemetry (cache dispositions,
+ * retry counts, latency quantiles) into the report; leave it off when
+ * reports must be byte-identical across resumed runs.
+ * --min-hit-ratio F fails the run (exit 1) when fewer than F of the
+ * completed studies were served from a cache layer — how CI asserts
+ * that a resumed campaign really resumed.
+ *
+ * Exit codes: 0 all studies ok; 1 any study failed or --min-hit-ratio
+ * unmet; 2 usage or grid errors.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/driver.hh"
+#include "campaign/grid.hh"
+#include "campaign/report.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const std::string &error)
+{
+    std::cerr
+        << "error: " << error
+        << "\nusage: wsg-campaign --socket PATH --grid FILE"
+           " [--report FILE]\n"
+           "                    [--manifest FILE] [--results DIR]"
+           " [--concurrency N]\n"
+           "                    [--retries N] [--backoff-ms MS]"
+           " [--telemetry]\n"
+           "                    [--min-hit-ratio F] [--quiet]\n"
+           "       wsg-campaign --grid FILE --list\n";
+    std::exit(2);
+}
+
+struct Cli
+{
+    std::string socket;
+    std::string grid;
+    std::string report;
+    campaign::DriverConfig driver;
+    bool list = false;
+    bool telemetry = false;
+    bool quiet = false;
+    double minHitRatio = -1.0;
+};
+
+unsigned
+parseUnsigned(const std::string &flag, const std::string &value)
+{
+    std::size_t pos = 0;
+    unsigned long v = 0;
+    try {
+        v = std::stoul(value, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != value.size())
+        usage(flag + " needs a non-negative integer");
+    return static_cast<unsigned>(v);
+}
+
+Cli
+parseCli(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            cli.socket = next("--socket");
+        } else if (arg == "--grid") {
+            cli.grid = next("--grid");
+        } else if (arg == "--report") {
+            cli.report = next("--report");
+        } else if (arg == "--manifest") {
+            cli.driver.manifestPath = next("--manifest");
+        } else if (arg == "--results") {
+            cli.driver.resultsDir = next("--results");
+        } else if (arg == "--concurrency") {
+            cli.driver.concurrency =
+                parseUnsigned(arg, next("--concurrency"));
+            if (cli.driver.concurrency == 0)
+                usage("--concurrency must be at least 1");
+        } else if (arg == "--retries") {
+            cli.driver.retry.retries =
+                parseUnsigned(arg, next("--retries"));
+        } else if (arg == "--backoff-ms") {
+            unsigned ms = parseUnsigned(arg, next("--backoff-ms"));
+            if (ms == 0)
+                usage("--backoff-ms must be positive");
+            cli.driver.retry.baseBackoffMs = ms;
+        } else if (arg == "--telemetry") {
+            cli.telemetry = true;
+        } else if (arg == "--list") {
+            cli.list = true;
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else if (arg == "--min-hit-ratio") {
+            std::string v = next("--min-hit-ratio");
+            std::size_t pos = 0;
+            double f = -1.0;
+            try {
+                f = std::stod(v, &pos);
+            } catch (const std::exception &) {
+                pos = 0;
+            }
+            if (pos != v.size() || f < 0.0 || f > 1.0)
+                usage("--min-hit-ratio needs a fraction in [0, 1]");
+            cli.minHitRatio = f;
+        } else {
+            usage("unknown argument '" + arg + "'");
+        }
+    }
+    if (cli.grid.empty())
+        usage("--grid is required");
+    if (!cli.list && cli.socket.empty())
+        usage("--socket is required (or pass --list)");
+    return cli;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli = parseCli(argc, argv);
+
+    campaign::Grid grid;
+    try {
+        grid = campaign::expandGrid(campaign::loadGridSpec(cli.grid));
+    } catch (const campaign::CampaignError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+    if (grid.entries.empty()) {
+        std::cerr << "error: grid expands to zero studies ("
+                  << grid.filteredOut << " filtered out, "
+                  << grid.skippedInfeasible << " infeasible)\n";
+        return 2;
+    }
+
+    if (cli.list) {
+        for (const campaign::CampaignEntry &entry : grid.entries)
+            std::cout << entry.configHash << " " << entry.name << "\n";
+        std::cerr << grid.entries.size() << " studies (grid "
+                  << grid.gridHash << ", " << grid.filteredOut
+                  << " filtered out, " << grid.skippedInfeasible
+                  << " infeasible)\n";
+        return 0;
+    }
+
+    cli.driver.socketPath = cli.socket;
+    if (!cli.quiet) {
+        cli.driver.progress = [](const std::string &name,
+                                 const std::string &status,
+                                 std::size_t done,
+                                 std::size_t total) {
+            std::cerr << "[" << done << "/" << total << "] " << status
+                      << " " << name << "\n";
+        };
+        std::cerr << "campaign: " << grid.entries.size()
+                  << " studies (grid " << grid.gridHash << ", "
+                  << grid.filteredOut << " filtered out, "
+                  << grid.skippedInfeasible << " infeasible)\n";
+    }
+
+    campaign::CampaignResult result;
+    try {
+        result = campaign::runCampaign(grid, cli.driver);
+    } catch (const campaign::CampaignError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    campaign::CampaignReport report;
+    std::string rendered;
+    try {
+        report = campaign::buildCampaignReport(grid, result,
+                                               cli.telemetry);
+        rendered = campaign::writeCampaignReport(report);
+    } catch (const campaign::CampaignError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    if (cli.report.empty()) {
+        std::cout << rendered;
+    } else {
+        std::ofstream out(cli.report,
+                          std::ios::binary | std::ios::trunc);
+        out.write(rendered.data(),
+                  static_cast<std::streamsize>(rendered.size()));
+        out.flush();
+        if (!out) {
+            std::cerr << "error: cannot write " << cli.report << "\n";
+            return 1;
+        }
+    }
+
+    const campaign::CampaignTelemetry &tel = result.telemetry;
+    if (!cli.quiet) {
+        std::cerr << "campaign: " << report.ok << "/" << report.entries
+                  << " ok (" << tel.skipped << " resumed, "
+                  << tel.cacheHits << " hits, " << tel.cacheMisses
+                  << " computed, " << tel.cacheJoins << " joins, "
+                  << tel.retriedRoundTrips << " retried)"
+                  << " p50=" << tel.p50Seconds
+                  << "s p95=" << tel.p95Seconds << "s\n";
+    }
+
+    int exit_code = report.ok == report.entries ? 0 : 1;
+    if (cli.minHitRatio >= 0.0 &&
+        tel.cacheServedRatio() < cli.minHitRatio) {
+        std::cerr << "error: cache-served ratio "
+                  << tel.cacheServedRatio() << " below required "
+                  << cli.minHitRatio << "\n";
+        exit_code = 1;
+    }
+    return exit_code;
+}

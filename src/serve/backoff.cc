@@ -1,0 +1,72 @@
+#include "serve/backoff.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "approx/sampling.hh"
+#include "stats/hash.hh"
+
+namespace wsg::serve
+{
+
+unsigned
+backoffDelayMs(const RetryPolicy &policy, unsigned attempt,
+               std::uint64_t seed_key)
+{
+    if (attempt == 0)
+        return 0;
+    // Exponential envelope, saturating at maxBackoffMs without
+    // overflowing: base * 2^(attempt-1).
+    std::uint64_t envelope = policy.baseBackoffMs;
+    for (unsigned i = 1; i < attempt && envelope < policy.maxBackoffMs;
+         ++i)
+        envelope *= 2;
+    if (envelope > policy.maxBackoffMs)
+        envelope = policy.maxBackoffMs;
+    if (envelope == 0)
+        return 0;
+    // Deterministic jitter in [envelope/2, envelope]: splitmix64 of
+    // (seed, attempt) supplies the fraction — no RNG state, so the
+    // same (key, attempt) always sleeps the same amount.
+    std::uint64_t mixed =
+        approx::mixAddr(seed_key ^ (std::uint64_t{attempt} << 32));
+    std::uint64_t half = envelope / 2;
+    std::uint64_t jitter = half == 0 ? 0 : mixed % (half + 1);
+    return static_cast<unsigned>(envelope - jitter);
+}
+
+Reply
+roundTripWithRetry(int fd, const Request &req,
+                   const RetryPolicy &policy, std::uint64_t seed_key,
+                   RetryOutcome *outcome,
+                   const std::function<void(unsigned)> &sleep_ms)
+{
+    RetryOutcome local;
+    Reply reply;
+    for (unsigned attempt = 0;; ++attempt) {
+        reply = roundTrip(fd, req);
+        local.attempts = attempt + 1;
+        if (reply.header.status != "overloaded" ||
+            attempt >= policy.retries)
+            break;
+        unsigned delay = backoffDelayMs(policy, attempt + 1, seed_key);
+        local.backoffMs += delay;
+        if (sleep_ms) {
+            sleep_ms(delay);
+        } else if (delay > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
+    if (outcome != nullptr)
+        *outcome = local;
+    return reply;
+}
+
+std::uint64_t
+retrySeedKey(const std::string &name)
+{
+    return stats::fnv1a64(name);
+}
+
+} // namespace wsg::serve

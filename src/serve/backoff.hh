@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Typed-overload retry with deterministic jittered exponential backoff,
+ * shared by the wsg-submit client and the campaign driver.
+ *
+ * The daemon sheds load with a typed "overloaded" rejection
+ * (Status::Overloaded) instead of queueing unboundedly; a well-behaved
+ * client therefore retries with exponential backoff so a burst drains
+ * instead of hammering the admission path. Two properties matter here:
+ *
+ *  - **Jitter without entropy.** Retrying clients must decorrelate (a
+ *    thundering herd that backs off in lockstep re-collides), but the
+ *    campaign's artifacts are promised to be reproducible and src/serve
+ *    is an entropy-free layer (wsg_lint no-entropy). The jitter is
+ *    therefore a pure function of (seed key, attempt): splitmix64 of
+ *    the pair picks a delay in [base/2, base] of the exponential
+ *    envelope. Distinct studies get uncorrelated schedules; the same
+ *    study always gets the same schedule.
+ *  - **Bounded envelope.** The delay doubles per attempt and saturates
+ *    at maxBackoffMs, so a long outage costs retries * maxBackoffMs at
+ *    worst, never an overflow.
+ */
+
+#ifndef WSG_SERVE_BACKOFF_HH
+#define WSG_SERVE_BACKOFF_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace wsg::serve
+{
+
+/** Client-side retry policy for typed "overloaded" rejections. */
+struct RetryPolicy
+{
+    /** Additional attempts after the first (0 = give up immediately,
+     *  matching the historical client behaviour). */
+    unsigned retries = 0;
+    /** Backoff envelope for the first retry, milliseconds. */
+    unsigned baseBackoffMs = 100;
+    /** Saturation of the exponential envelope, milliseconds. */
+    unsigned maxBackoffMs = 10000;
+};
+
+/**
+ * Deterministic jittered delay before retry attempt @p attempt
+ * (1-based): uniform-looking in [envelope/2, envelope] where envelope
+ * = min(base * 2^(attempt-1), max), selected by hashing
+ * (@p seed_key, @p attempt). Returns 0 for attempt 0.
+ */
+unsigned backoffDelayMs(const RetryPolicy &policy, unsigned attempt,
+                        std::uint64_t seed_key);
+
+/** Telemetry of one retried round trip. */
+struct RetryOutcome
+{
+    /** Total attempts made (>= 1). */
+    unsigned attempts = 1;
+    /** Milliseconds of backoff slept across all retries. */
+    std::uint64_t backoffMs = 0;
+};
+
+/**
+ * roundTrip that retries typed "overloaded" rejections per @p policy on
+ * the same connection (the daemon keeps the connection open after a
+ * rejection). Any other status — ok, failed, bad_request,
+ * shutting_down — returns immediately; retries exhausted returns the
+ * last overloaded reply. @p sleep_ms is injectable for tests; the
+ * default sleeps the calling thread. @p seed_key decorrelates the
+ * jitter schedule between callers (use the study's config-hash value
+ * or a hash of the preset name).
+ *
+ * @throws ProtocolError as roundTrip does.
+ */
+Reply roundTripWithRetry(
+    int fd, const Request &req, const RetryPolicy &policy,
+    std::uint64_t seed_key, RetryOutcome *outcome = nullptr,
+    const std::function<void(unsigned)> &sleep_ms = {});
+
+/** FNV-1a of @p name as a jitter seed key. */
+std::uint64_t retrySeedKey(const std::string &name);
+
+} // namespace wsg::serve
+
+#endif // WSG_SERVE_BACKOFF_HH

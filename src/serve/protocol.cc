@@ -147,6 +147,23 @@ Request::studyConfig() const
     }
     base.analyzeRaces = analyzeRaces;
     base.timeoutSeconds = timeoutSeconds;
+    if (!profiler.empty()) {
+        try {
+            base.profiler = memsys::parseProfilerKind(profiler);
+        } catch (const std::invalid_argument &e) {
+            throw ProtocolError(e.what());
+        }
+    }
+    if (base.profiler == memsys::ProfilerKind::Aet &&
+        base.sampling.enabled())
+        throw ProtocolError(
+            "the aet profiler cannot be combined with sampling");
+    if (pointsPerOctave != 0) {
+        if (pointsPerOctave < 1 || pointsPerOctave > 64)
+            throw ProtocolError(
+                "points_per_octave must be in [1, 64]");
+        base.pointsPerOctave = pointsPerOctave;
+    }
     try {
         base.sampling.validate();
     } catch (const std::invalid_argument &e) {
@@ -170,6 +187,14 @@ encodeRequest(const Request &req)
             appendBool(out, "analyze_races", true);
         if (req.timeoutSeconds > 0.0)
             appendNumber(out, "timeout_seconds", req.timeoutSeconds);
+        if (!req.profiler.empty())
+            appendString(out, "profiler", req.profiler);
+        if (req.pointsPerOctave != 0)
+            appendCount(out, "points_per_octave",
+                        static_cast<std::uint64_t>(
+                            req.pointsPerOctave < 0
+                                ? 0
+                                : req.pointsPerOctave));
     }
     out += "}\n";
     return out;
@@ -191,6 +216,11 @@ parseRequest(std::string_view line)
     req.sampleSize = static_cast<std::uint64_t>(size);
     req.analyzeRaces = boolField(root, "analyze_races", false);
     req.timeoutSeconds = numberField(root, "timeout_seconds", 0.0);
+    req.profiler = stringField(root, "profiler", "");
+    double ppo = numberField(root, "points_per_octave", 0.0);
+    if (ppo < 0.0)
+        throw ProtocolError("points_per_octave must be >= 0");
+    req.pointsPerOctave = static_cast<int>(ppo);
     return req;
 }
 

@@ -11,7 +11,12 @@
  * ops: "study" (requires "preset"), "stats", "ping", "shutdown".
  * Study overrides — "sample_rate" (fixed-rate sampling), "sample_size"
  * (fixed-size sampling; mutually exclusive with sample_rate),
- * "analyze_races" (bool), "timeout_seconds" — mirror the runner CLI.
+ * "analyze_races" (bool), "timeout_seconds", "profiler"
+ * (list-mattson | tree-mattson | aet) and "points_per_octave" — mirror
+ * the runner CLI. The preset itself may carry a variant suffix
+ * ("fig2-lu-B16@size=small@line=32", see core/suite), which is how the
+ * campaign driver sweeps problem and line sizes over the same wire
+ * format.
  *
  * Response (server -> client): one JSON header line, then exactly
  * `payload_bytes` raw bytes.
@@ -79,6 +84,11 @@ struct Request
     bool analyzeRaces = false;
     /** > 0 arms the per-study watchdog. */
     double timeoutSeconds = 0.0;
+    /** Miss-rate-curve construction name; "" = the default
+     *  (tree-mattson). */
+    std::string profiler;
+    /** > 0 overrides the sweep resolution. */
+    int pointsPerOctave = 0;
 
     /** The cross-cutting StudyConfig these overrides describe.
      *  @throws ProtocolError on invalid combinations. */

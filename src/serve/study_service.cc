@@ -32,7 +32,10 @@ struct StudyService::Flight
 StudyService::StudyService(const ServiceConfig &config, JobFactory factory)
     : config_(config),
       factory_(factory ? std::move(factory)
-                       : JobFactory(&core::figureSuiteJob)),
+                       : JobFactory([](const std::string &name,
+                                       const core::StudyConfig &base) {
+                             return core::figureSuiteJob(name, base);
+                         })),
       cache_(config.cache), pool_(config.concurrency)
 {
     latency_.reserve(kLatencyWindow);
@@ -220,6 +223,21 @@ StudyService::statsJson() const
     w.member("evictions", s.evictions);
     w.member("bytes_cached", s.bytesCached);
     w.member("cache_entries", s.cacheEntries);
+    w.member("hit_ratio", s.hitRatio());
+    // Per-outcome view of every answered study request: cache-served
+    // (hit), computed (miss), coalesced (join), and the rejection /
+    // failure classes. "error" is the non-timeout failure count plus
+    // malformed requests; timeouts are split out because they are an
+    // operational signal, not a study bug.
+    w.key("outcomes");
+    w.beginObject();
+    w.member("hit", s.hits());
+    w.member("miss", s.misses);
+    w.member("join", s.coalescedJoins);
+    w.member("timeout", s.timeouts);
+    w.member("overloaded", s.rejections);
+    w.member("error", s.failures - s.timeouts + s.badRequests);
+    w.endObject();
     w.member("p50_seconds", s.p50Seconds);
     w.member("p95_seconds", s.p95Seconds);
     w.endObject();

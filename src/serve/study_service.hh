@@ -106,6 +106,29 @@ struct ServiceStats
      *  seconds; 0 before the first completed request. */
     double p50Seconds = 0.0;
     double p95Seconds = 0.0;
+
+    /** Cache-served study responses (memory + disk tiers). */
+    std::uint64_t
+    hits() const
+    {
+        return memHits + diskHits;
+    }
+
+    /**
+     * Cumulative cache hit-ratio: the fraction of admitted study
+     * lookups (hits + computations + coalesced joins) answered from
+     * the content-addressed cache. 0 before the first lookup.
+     * Campaign telemetry reads this off /stats instead of inferring it
+     * from response headers client-side.
+     */
+    double
+    hitRatio() const
+    {
+        std::uint64_t lookups = hits() + misses + coalescedJoins;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits()) /
+                                  static_cast<double>(lookups);
+    }
 };
 
 class StudyService

@@ -9,16 +9,24 @@
  * Usage:
  *   wsg-submit --socket PATH PRESET [--out FILE] [--expect hit|miss]
  *              [--sample-rate R | --sample-size N] [--analyze-races]
- *              [--timeout S]
+ *              [--timeout S] [--profiler KIND] [--points-per-octave N]
+ *              [--retries N] [--backoff-ms MS]
  *   wsg-submit --socket PATH --stats | --ping | --shutdown
  *
  * The report (or stats JSON) goes to stdout, or --out FILE; the
  * response disposition ("cache hit (memory)", "computed", …) goes to
  * stderr. --expect asserts the cache disposition, for smoke tests.
+ * PRESET may carry a variant suffix ("fig2-lu-B16@size=small@line=32",
+ * see core/suite).
+ *
+ * A typed "overloaded" rejection is retried up to --retries times with
+ * jittered exponential backoff starting at --backoff-ms (default: no
+ * retries, the historical give-up-at-once behaviour). The backoff
+ * schedule is shared with the campaign driver (serve/backoff.hh).
  *
  * Exit codes: 0 success (and --expect satisfied); 1 study failed, bad
  * request, daemon shutting down, or --expect mismatch; 2 usage error;
- * 3 rejected as overloaded (retry later).
+ * 3 rejected as overloaded after all retries.
  */
 
 #include <cstdlib>
@@ -28,6 +36,7 @@
 
 #include <unistd.h>
 
+#include "serve/backoff.hh"
 #include "serve/protocol.hh"
 
 using namespace wsg;
@@ -44,6 +53,8 @@ usage(const std::string &error)
            " [--expect hit|miss]\n"
            "                  [--sample-rate R | --sample-size N]"
            " [--analyze-races] [--timeout S]\n"
+           "                  [--profiler KIND] [--points-per-octave N]"
+           " [--retries N] [--backoff-ms MS]\n"
            "       wsg-submit --socket PATH --stats|--ping|--shutdown\n";
     std::exit(2);
 }
@@ -56,6 +67,7 @@ struct Cli
     std::string expect;
     serve::Op op = serve::Op::Study;
     serve::Request req;
+    serve::RetryPolicy retry;
 };
 
 double
@@ -109,6 +121,26 @@ parseCli(int argc, char **argv)
         } else if (arg == "--timeout") {
             cli.req.timeoutSeconds =
                 parsePositive(arg, next("--timeout"));
+        } else if (arg == "--profiler") {
+            cli.req.profiler = next("--profiler");
+        } else if (arg == "--points-per-octave") {
+            cli.req.pointsPerOctave = static_cast<int>(
+                parsePositive(arg, next("--points-per-octave")));
+        } else if (arg == "--retries") {
+            std::string v = next("--retries");
+            std::size_t pos = 0;
+            unsigned long n = 0;
+            try {
+                n = std::stoul(v, &pos);
+            } catch (const std::exception &) {
+                pos = 0;
+            }
+            if (pos != v.size())
+                usage("--retries needs a non-negative integer");
+            cli.retry.retries = static_cast<unsigned>(n);
+        } else if (arg == "--backoff-ms") {
+            cli.retry.baseBackoffMs = static_cast<unsigned>(
+                parsePositive(arg, next("--backoff-ms")));
         } else if (!arg.empty() && arg[0] == '-') {
             usage("unknown argument '" + arg + "'");
         } else if (cli.preset.empty()) {
@@ -165,9 +197,12 @@ main(int argc, char **argv)
     Cli cli = parseCli(argc, argv);
     int fd = -1;
     serve::Reply reply;
+    serve::RetryOutcome retried;
     try {
         fd = serve::connectUnix(cli.socket);
-        reply = serve::roundTrip(fd, cli.req);
+        reply = serve::roundTripWithRetry(
+            fd, cli.req, cli.retry,
+            serve::retrySeedKey(cli.preset), &retried);
     } catch (const serve::ProtocolError &e) {
         if (fd >= 0)
             ::close(fd);
@@ -178,8 +213,14 @@ main(int argc, char **argv)
 
     const serve::ResponseHeader &header = reply.header;
     if (header.status == "overloaded") {
-        std::cerr << "overloaded: " << header.error << "\n";
+        std::cerr << "overloaded after " << retried.attempts
+                  << " attempt(s): " << header.error << "\n";
         return 3;
+    }
+    if (retried.attempts > 1) {
+        std::cerr << "admitted after " << retried.attempts
+                  << " attempts (" << retried.backoffMs
+                  << " ms of backoff)\n";
     }
     if (header.status != "ok") {
         std::cerr << header.status << ": " << header.error << "\n";

@@ -51,6 +51,8 @@ JsonWriter::quote(const std::string &s)
 void
 JsonWriter::newlineIndent()
 {
+    if (compact_)
+        return;
     os_ << '\n'
         << std::string(2 * scopeIsObject_.size(), ' ');
 }
@@ -67,7 +69,7 @@ JsonWriter::separator()
     assert(!scopeIsObject_.back() &&
            "object members need key() before a value");
     if (scopeHasElement_.back())
-        os_ << ", ";
+        os_ << (compact_ ? "," : ", ");
     scopeHasElement_.back() = true;
 }
 
@@ -79,7 +81,7 @@ JsonWriter::key(const std::string &name)
         os_ << ',';
     scopeHasElement_.back() = true;
     newlineIndent();
-    os_ << quote(name) << ": ";
+    os_ << quote(name) << (compact_ ? ":" : ": ");
     pendingKey_ = true;
 }
 

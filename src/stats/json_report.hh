@@ -36,7 +36,12 @@ namespace wsg::stats
 class JsonWriter
 {
   public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
+    /** @p compact drops all inter-token whitespace, for JSON-lines
+     *  records that must stay on one physical line. */
+    explicit JsonWriter(std::ostream &os, bool compact = false)
+        : os_(os), compact_(compact)
+    {
+    }
 
     /** Serialize a double in shortest round-trip form ("1e99"-safe). */
     static std::string formatDouble(double v);
@@ -75,6 +80,7 @@ class JsonWriter
     void newlineIndent();
 
     std::ostream &os_;
+    bool compact_ = false;
     /** One entry per open scope: true = object (expects keys). */
     std::vector<bool> scopeIsObject_;
     /** Parallel to scopeIsObject_: element already written in scope. */

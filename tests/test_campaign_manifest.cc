@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Manifest checkpoint tests: JSON-lines round trip, last-record-wins
+ * replay, crash-torn-tail tolerance, and the grid-hash compatibility
+ * gate that stops a checkpoint from one sweep silently resuming a
+ * different one.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "campaign/manifest.hh"
+
+using namespace wsg;
+using namespace wsg::campaign;
+
+namespace
+{
+
+std::string
+manifestPath()
+{
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "wsg_manifest_" +
+           std::string(info->name()) + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+ManifestRecord
+record(const std::string &hash, const std::string &status,
+       const std::string &cache = "miss")
+{
+    ManifestRecord r;
+    r.hash = hash;
+    r.name = "study-" + hash;
+    r.status = status;
+    r.cache = cache;
+    r.payloadBytes = 128;
+    r.attempts = 1;
+    return r;
+}
+
+} // namespace
+
+TEST(CampaignManifest, MissingFileIsAFreshCampaign)
+{
+    ManifestContents contents =
+        loadManifest(manifestPath() + ".absent");
+    EXPECT_TRUE(contents.gridHash.empty());
+    EXPECT_TRUE(contents.records.empty());
+}
+
+TEST(CampaignManifest, AppendLoadRoundTrip)
+{
+    std::string path = manifestPath();
+    std::remove(path.c_str());
+    {
+        ManifestWriter writer(path, "gridhash00000001", 3);
+        writer.append(record("aaaa", "ok", "miss"));
+        ManifestRecord failed = record("bbbb", "failed", "");
+        failed.error = "synthetic \"quoted\" failure\n";
+        failed.payloadBytes = 0;
+        failed.attempts = 3;
+        writer.append(failed);
+    }
+    ManifestContents contents = loadManifest(path);
+    EXPECT_EQ(contents.gridHash, "gridhash00000001");
+    ASSERT_EQ(contents.records.size(), 2u);
+    EXPECT_EQ(contents.records.at("aaaa").status, "ok");
+    EXPECT_EQ(contents.records.at("aaaa").payloadBytes, 128u);
+    EXPECT_EQ(contents.records.at("bbbb").error,
+              "synthetic \"quoted\" failure\n");
+    EXPECT_EQ(contents.records.at("bbbb").attempts, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, EveryRecordIsOnePhysicalLine)
+{
+    std::string line = ManifestWriter::encodeRecord(
+        record("cccc", "ok", "hit"));
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(line.find('\n'), line.size() - 1)
+        << "JSON-lines records must not wrap";
+}
+
+TEST(CampaignManifest, LastRecordWinsOnReplay)
+{
+    std::string path = manifestPath();
+    std::remove(path.c_str());
+    {
+        ManifestWriter writer(path, "g", 1);
+        writer.append(record("aaaa", "failed"));
+        writer.append(record("aaaa", "ok", "hit"));
+    }
+    ManifestContents contents = loadManifest(path);
+    ASSERT_EQ(contents.records.size(), 1u);
+    EXPECT_EQ(contents.records.at("aaaa").status, "ok");
+    EXPECT_EQ(contents.records.at("aaaa").cache, "hit");
+    std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, ReopeningAppendsWithoutASecondHeader)
+{
+    std::string path = manifestPath();
+    std::remove(path.c_str());
+    {
+        ManifestWriter writer(path, "g", 2);
+        writer.append(record("aaaa", "ok"));
+    }
+    {
+        ManifestWriter writer(path, "g", 2); // resume
+        writer.append(record("bbbb", "ok"));
+    }
+    ManifestContents contents = loadManifest(path);
+    EXPECT_EQ(contents.records.size(), 2u);
+
+    std::ifstream in(path);
+    std::string line;
+    std::size_t headers = 0;
+    while (std::getline(in, line))
+        headers += line.find("wsg-campaign-manifest-v1") !=
+                           std::string::npos
+                       ? 1
+                       : 0;
+    EXPECT_EQ(headers, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, TornTailLineIsIgnoredNotFatal)
+{
+    std::string path = manifestPath();
+    std::remove(path.c_str());
+    {
+        ManifestWriter writer(path, "g", 2);
+        writer.append(record("aaaa", "ok"));
+        writer.append(record("bbbb", "ok"));
+    }
+    // Simulate a crash mid-append: chop the file mid-way through the
+    // final record.
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        text = os.str();
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(text.data(),
+                  static_cast<std::streamsize>(text.size() - 17));
+    }
+    ManifestContents contents = loadManifest(path);
+    ASSERT_EQ(contents.records.size(), 1u);
+    EXPECT_EQ(contents.records.count("aaaa"), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, GridHashMismatchRefusesToResume)
+{
+    std::string path = manifestPath();
+    std::remove(path.c_str());
+    {
+        ManifestWriter writer(path, "grid-a", 1);
+        writer.append(record("aaaa", "ok"));
+    }
+    EXPECT_THROW(ManifestWriter(path, "grid-b", 1), CampaignError);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignManifest, MalformedHeaderIsFatal)
+{
+    std::string path = manifestPath();
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "{\"schema\":\"something-else\"}\n";
+    }
+    EXPECT_THROW(loadManifest(path), CampaignError);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "{\"schema\":\"wsg-campaign-manifest-v1\""; // torn
+    }
+    EXPECT_THROW(loadManifest(path), CampaignError);
+    std::remove(path.c_str());
+}

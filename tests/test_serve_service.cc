@@ -240,3 +240,47 @@ TEST(ServeService, StatsJsonIsWellFormed)
               stats.at("p50_seconds").asNumber());
     EXPECT_GT(stats.at("bytes_cached").asNumber(), 0.0);
 }
+
+TEST(ServeService, HitRatioTracksCumulativeServing)
+{
+    SyntheticFactory factory;
+    StudyService service(memoryOnlyConfig(), factory);
+
+    // Before any lookup the ratio is defined as 0, not NaN.
+    EXPECT_DOUBLE_EQ(service.stats().hitRatio(), 0.0);
+
+    ASSERT_EQ(service.submit("fast").status, Status::Ok); // miss
+    EXPECT_DOUBLE_EQ(service.stats().hitRatio(), 0.0);
+
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(service.submit("fast").status, Status::Ok); // hits
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.hits(), 3u);
+    EXPECT_DOUBLE_EQ(s.hitRatio(), 0.75);
+
+    stats::JsonValue json = stats::parseJson(service.statsJson());
+    EXPECT_DOUBLE_EQ(json.at("hit_ratio").asNumber(), 0.75);
+}
+
+TEST(ServeService, OutcomeCountersPartitionEveryRequestClass)
+{
+    SyntheticFactory factory;
+    StudyService service(memoryOnlyConfig(), factory);
+
+    ASSERT_EQ(service.submit("fast").status, Status::Ok);   // miss
+    ASSERT_EQ(service.submit("fast").status, Status::Ok);   // hit
+    ASSERT_EQ(service.submit("boom").status, Status::Failed);
+    ASSERT_EQ(service.submit("nope").status, Status::BadRequest);
+
+    stats::JsonValue json = stats::parseJson(service.statsJson());
+    const stats::JsonValue &outcomes = json.at("outcomes");
+    EXPECT_DOUBLE_EQ(outcomes.at("hit").asNumber(), 1.0);
+    // Both the computed study and the failed one left the admit path
+    // as cache misses; "miss" counts only the successful computation.
+    EXPECT_DOUBLE_EQ(outcomes.at("miss").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(outcomes.at("join").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(outcomes.at("timeout").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(outcomes.at("overloaded").asNumber(), 0.0);
+    // failures (1, non-timeout) + bad requests (1).
+    EXPECT_DOUBLE_EQ(outcomes.at("error").asNumber(), 2.0);
+}

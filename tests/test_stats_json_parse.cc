@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "stats/json_parse.hh"
+#include "stats/json_report.hh"
 
 using wsg::stats::JsonParseError;
 using wsg::stats::JsonValue;
@@ -113,4 +114,66 @@ TEST(JsonParse, TypeMismatchThrows)
     EXPECT_THROW(v.asNumber(), std::runtime_error);
     EXPECT_THROW(v.at("a").asString(), std::runtime_error);
     EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+// The campaign report nests arrays of objects three levels deep
+// (studies[].knees[], sustainability.bands[].fraction_fit[]); pin the
+// shape the aggregator leans on.
+TEST(JsonParse, NestedArraysOfObjects)
+{
+    JsonValue v = parseJson(
+        R"({"studies":[
+              {"name":"a","knees":[{"size_bytes":1024},
+                                   {"size_bytes":4096}]},
+              {"name":"b","knees":[]}],
+            "bands":[{"fit":[0.5,1]}]})");
+    const JsonValue &studies = v.at("studies");
+    ASSERT_EQ(studies.size(), 2u);
+    EXPECT_EQ(studies[0].at("name").asString(), "a");
+    ASSERT_EQ(studies[0].at("knees").size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        studies[0].at("knees")[1].at("size_bytes").asNumber(), 4096.0);
+    EXPECT_EQ(studies[1].at("knees").size(), 0u);
+    EXPECT_DOUBLE_EQ(v.at("bands")[0].at("fit")[1].asNumber(), 1.0);
+}
+
+// Every string the writer can emit must come back byte-identical:
+// quote() -> parseJson() is an identity on the raw value.
+TEST(JsonParse, EscapedStringsRoundTripThroughWriter)
+{
+    const std::string cases[] = {
+        "plain",
+        "quote\" backslash\\ slash/",
+        "newline\n tab\t return\r",
+        std::string("nul\0byte", 8),
+        "\x01\x1f control bytes",
+        "utf8 \xF0\x9F\x98\x80 intact",
+    };
+    for (const std::string &raw : cases) {
+        std::string quoted = wsg::stats::JsonWriter::quote(raw);
+        EXPECT_EQ(parseJson(quoted).asString(), raw) << quoted;
+    }
+}
+
+TEST(JsonParse, DuplicateKeysInNestedObjects)
+{
+    // find() returns the first occurrence at *every* level, so a
+    // malicious or buggy emitter cannot shadow an already-seen field.
+    JsonValue v = parseJson(
+        R"({"outer":{"k":"first","k":"second"},"outer":{"k":"third"}})");
+    EXPECT_EQ(v.size(), 2u);
+    ASSERT_NE(v.find("outer"), nullptr);
+    EXPECT_EQ(v.find("outer")->at("k").asString(), "first");
+}
+
+// A manifest's final line can be torn at any byte by a crash; every
+// proper prefix of a valid document must throw, never return junk.
+TEST(JsonParse, TruncatedDocumentsThrow)
+{
+    const std::string doc =
+        R"({"hash":"abc","n":12,"ok":true,"arr":[1,2.5],"s":"x\ny"})";
+    ASSERT_NO_THROW(parseJson(doc));
+    for (std::size_t cut = 0; cut < doc.size(); ++cut)
+        EXPECT_THROW(parseJson(doc.substr(0, cut)), JsonParseError)
+            << "prefix length " << cut;
 }

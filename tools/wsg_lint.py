@@ -45,7 +45,7 @@ CXX_SUFFIXES = {".cc", ".hh"}
 
 # Layers that must be deterministic by construction.
 ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve",
-                "src/memsys")
+                "src/memsys", "src/campaign")
 
 ENTROPY_RE = re.compile(
     r"std::random_device|\b(?:std::)?(?:rand|srand|time)\s*\("

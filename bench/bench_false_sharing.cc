@@ -65,6 +65,8 @@ main(int argc, char **argv)
     sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
 
     std::vector<core::StudyJob> jobs;
     std::vector<std::string> app_of_job;

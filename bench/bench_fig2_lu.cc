@@ -70,6 +70,8 @@ main(int argc, char **argv)
         sc.profiler = cli.profiler;
         sc.analyzeRaces = cli.analyzeRaces;
         sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }

@@ -58,6 +58,8 @@ main(int argc, char **argv)
     sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
     std::vector<core::StudyJob> jobs = {
         core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
         core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),

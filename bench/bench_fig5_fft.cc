@@ -48,6 +48,8 @@ main(int argc, char **argv)
     sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
     std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
         jobs.push_back(

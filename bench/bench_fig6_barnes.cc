@@ -39,6 +39,8 @@ main(int argc, char **argv)
     sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
     std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
         core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
     jobs[0].name = "fig6-barnes";

@@ -36,6 +36,8 @@ main(int argc, char **argv)
     sc.profiler = cli.profiler;
     sc.analyzeRaces = cli.analyzeRaces;
     sc.timeoutSeconds = cli.timeoutSeconds;
+    sc.protocol = cli.protocol;
+    sc.hierarchy = cli.hierarchy;
     std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
         /*frames=*/2, /*warmup=*/1, sc)};

@@ -59,6 +59,8 @@ figureSuiteJobs(const core::RunnerCli &cli)
     base.profiler = cli.profiler;
     base.analyzeRaces = cli.analyzeRaces;
     base.timeoutSeconds = cli.timeoutSeconds;
+    base.protocol = cli.protocol;
+    base.hierarchy = cli.hierarchy;
     return core::figureSuiteJobs(base);
 }
 

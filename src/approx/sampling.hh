@@ -141,7 +141,7 @@ rateForThreshold(std::uint64_t threshold)
 
 /**
  * Run-level sampling observability, reported per study and serialized
- * into the wsg-study-report-v2 artifact. In exact mode the counters
+ * into the wsg-study-report-v3 artifact. In exact mode the counters
  * still describe the profilers (sampledRefs == totalRefs, rate 1), so
  * the same record doubles as the exact run's profiler-cost report.
  */

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "memsys/hierarchy.hh"
+#include "sim/coherence.hh"
 #include "stats/hash.hh"
 #include "stats/json_parse.hh"
 #include "stats/json_report.hh"
@@ -17,7 +19,8 @@ namespace
 constexpr const char *kGridKeys[] = {
     "schema",           "presets",  "sizes",
     "line_bytes",       "points_per_octave",
-    "profilers",        "sampling", "include",
+    "profilers",        "sampling", "protocols",
+    "hierarchies",      "include",
     "exclude",          "analyze_races",
     "timeout_seconds",
 };
@@ -225,6 +228,32 @@ parseGridSpec(std::string_view json)
             spec.sampling.push_back(parseSamplingPoint(s));
     }
 
+    std::vector<std::string> protocols =
+        stringArray(root, "protocols");
+    if (!protocols.empty()) {
+        spec.protocols.clear();
+        for (const std::string &p : protocols)
+            // Normalize short forms so "wi" and "write-invalidate"
+            // label (and hash) identically.
+            spec.protocols.push_back(axisValue(
+                "protocols", p, [](const std::string &v) {
+                    return std::string(sim::coherenceProtocolName(
+                        sim::parseCoherenceProtocol(v)));
+                }));
+    }
+
+    std::vector<std::string> hierarchies =
+        stringArray(root, "hierarchies");
+    if (!hierarchies.empty()) {
+        spec.hierarchies.clear();
+        for (const std::string &h : hierarchies)
+            spec.hierarchies.push_back(axisValue(
+                "hierarchies", h, [](const std::string &v) {
+                    return memsys::hierarchyLabel(
+                        memsys::parseHierarchySpec(v));
+                }));
+    }
+
     spec.include = stringArray(root, "include");
     spec.exclude = stringArray(root, "exclude");
 
@@ -254,11 +283,35 @@ loadGridSpec(const std::string &path)
     return parseGridSpec(text.str());
 }
 
+namespace
+{
+
+/** One machine-axis point of the sweep (protocol × hierarchy). */
+struct MachinePoint
+{
+    std::string protocol;
+    std::string hierarchy;
+};
+
+/** The protocol × hierarchy cross product, sweep order. */
+std::vector<MachinePoint>
+machinePoints(const GridSpec &spec)
+{
+    std::vector<MachinePoint> out;
+    for (const std::string &proto : spec.protocols)
+        for (const std::string &hier : spec.hierarchies)
+            out.push_back({proto, hier});
+    return out;
+}
+
+} // namespace
+
 Grid
 expandGrid(const GridSpec &spec)
 {
     std::vector<std::string> presets =
         spec.presets.empty() ? core::figureSuiteNames() : spec.presets;
+    std::vector<MachinePoint> machines = machinePoints(spec);
 
     Grid grid;
     std::string hashInput = "wsg-campaign-grid-v1\n";
@@ -269,6 +322,7 @@ expandGrid(const GridSpec &spec)
                     for (memsys::ProfilerKind prof : spec.profilers) {
                         for (const SamplingPoint &samp :
                              spec.sampling) {
+                          for (const MachinePoint &mach : machines) {
                             // AET has no per-line stack state to
                             // sample from; the combination is
                             // infeasible, not an error — a grid that
@@ -286,6 +340,8 @@ expandGrid(const GridSpec &spec)
                             entry.pointsPerOctave = ppo;
                             entry.profiler = prof;
                             entry.samplingLabel = samp.label;
+                            entry.protocol = mach.protocol;
+                            entry.hierarchy = mach.hierarchy;
 
                             core::SuiteVariant variant;
                             variant.size = size;
@@ -306,6 +362,10 @@ expandGrid(const GridSpec &spec)
                             if (samp.config.mode ==
                                 approx::SamplingMode::FixedSize)
                                 req.sampleSize = samp.config.maxLines;
+                            if (mach.protocol != "write-invalidate")
+                                req.protocol = mach.protocol;
+                            if (mach.hierarchy != "single")
+                                req.hierarchy = mach.hierarchy;
                             req.analyzeRaces = spec.analyzeRaces;
                             req.timeoutSeconds = spec.timeoutSeconds;
 
@@ -320,6 +380,12 @@ expandGrid(const GridSpec &spec)
                                     memsys::profilerKindName(prof);
                             if (samp.label != "exact")
                                 entry.name += "@samp=" + samp.label;
+                            if (mach.protocol != "write-invalidate")
+                                entry.name +=
+                                    "@proto=" + mach.protocol;
+                            if (mach.hierarchy != "single")
+                                entry.name +=
+                                    "@hier=" + mach.hierarchy;
 
                             bool kept = spec.include.empty();
                             for (const std::string &inc :
@@ -356,6 +422,7 @@ expandGrid(const GridSpec &spec)
                             hashInput += entry.name + "=" +
                                          entry.configHash + "\n";
                             grid.entries.push_back(std::move(entry));
+                          }
                         }
                     }
                 }

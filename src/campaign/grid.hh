@@ -4,8 +4,9 @@
  *
  * A campaign starts from a small JSON grid file (wsg-campaign-grid-v1)
  * naming the axis values to sweep — suite presets × problem sizes ×
- * line sizes × sweep resolutions × profilers × sampling modes — plus
- * include/exclude filters. expandGrid() takes the cross product,
+ * line sizes × sweep resolutions × profilers × sampling modes ×
+ * coherence protocols × node hierarchies — plus include/exclude
+ * filters. expandGrid() takes the cross product,
  * drops infeasible combinations (the AET profiler cannot be combined
  * with sampling), applies the filters, and resolves every surviving
  * point through core::figureSuiteJob to its canonical config and
@@ -22,6 +23,8 @@
  *    "points_per_octave": [4, 2],            // [0] = study default
  *    "profilers": ["tree-mattson", "aet"],   // ["tree-mattson"]
  *    "sampling": ["exact", "rate:0.1", "size:4096"],  // ["exact"]
+ *    "protocols": ["msi", "mesi", "mi"],     // ["write-invalidate"]
+ *    "hierarchies": ["single", "incl:4096:65536"],    // ["single"]
  *    "include": ["fig2"], "exclude": ["B64"],         // name substrings
  *    "analyze_races": false,
  *    "timeout_seconds": 0}
@@ -82,6 +85,12 @@ struct GridSpec
     std::vector<memsys::ProfilerKind> profilers{
         memsys::ProfilerKind::TreeMattson};
     std::vector<SamplingPoint> sampling{SamplingPoint{}};
+    /** Canonical coherence-protocol names (short forms normalized at
+     *  parse time). */
+    std::vector<std::string> protocols{"write-invalidate"};
+    /** Canonical node-hierarchy labels ("single" | "incl:<l1>:<l2>" |
+     *  "excl:<l1>:<l2>"). */
+    std::vector<std::string> hierarchies{"single"};
     /** Keep only entries whose name contains one of these (empty =
      *  keep all); then drop entries whose name contains any exclude. */
     std::vector<std::string> include;
@@ -103,8 +112,8 @@ struct CampaignEntry
 {
     /**
      * Stable axis-qualified label: the variant-suffixed preset name
-     * plus "@ppo=", "@prof=", "@samp=" segments for non-default axis
-     * values. Filters match against this.
+     * plus "@ppo=", "@prof=", "@samp=", "@proto=", "@hier=" segments
+     * for non-default axis values. Filters match against this.
      */
     std::string name;
     /** Ready-to-send wire request (preset, overrides, timeout). */
@@ -121,6 +130,8 @@ struct CampaignEntry
     int pointsPerOctave = 0;
     memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
     std::string samplingLabel = "exact";
+    std::string protocol = "write-invalidate";
+    std::string hierarchy = "single";
 };
 
 /** An expanded, filtered, content-addressed study population. */
@@ -141,7 +152,8 @@ struct Grid
 
 /**
  * Expand @p spec into its deterministic study population (nested-loop
- * order: preset, size, line, resolution, profiler, sampling).
+ * order: preset, size, line, resolution, profiler, sampling, protocol,
+ * hierarchy).
  * @throws CampaignError on unknown presets or axis values the suite
  *         factory rejects.
  */

@@ -38,7 +38,7 @@ countAt(const stats::JsonValue &obj, const char *key)
 }
 
 /**
- * Lift the cross-study metrics out of one wsg-study-report-v2 payload
+ * Lift the cross-study metrics out of one wsg-study-report payload (v2 or v3)
  * into @p summary. @throws CampaignError on schema violations.
  */
 void
@@ -243,6 +243,10 @@ writeStudy(stats::JsonWriter &w, const StudySummary &s)
     w.member("points_per_octave", s.pointsPerOctave);
     w.member("profiler", s.profiler);
     w.member("sampling", s.sampling);
+    if (!s.protocol.empty())
+        w.member("protocol", s.protocol);
+    if (!s.hierarchy.empty())
+        w.member("hierarchy", s.hierarchy);
     if (s.hasMetrics()) {
         w.member("num_procs", s.numProcs);
         w.member("floor_rate", s.floorRate);
@@ -300,6 +304,19 @@ parseString(const stats::JsonValue &obj, const char *key)
         throw CampaignError(std::string("campaign report: missing "
                                         "string '") +
                             key + "'");
+    return v->asString();
+}
+
+/** "" when absent — for fields only emitted off the axis default. */
+std::string
+optionalString(const stats::JsonValue &obj, const char *key)
+{
+    const stats::JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return "";
+    if (!v->isString())
+        throw CampaignError(std::string("campaign report: '") + key +
+                            "' must be a string");
     return v->asString();
 }
 
@@ -414,6 +431,10 @@ buildCampaignReport(const Grid &grid, const CampaignResult &result,
             static_cast<std::uint64_t>(entry.pointsPerOctave);
         s.profiler = memsys::profilerKindName(entry.profiler);
         s.sampling = entry.samplingLabel;
+        if (entry.protocol != "write-invalidate")
+            s.protocol = entry.protocol;
+        if (entry.hierarchy != "single")
+            s.hierarchy = entry.hierarchy;
         s.error = outcome.error;
 
         if (s.status == "ok") {
@@ -594,6 +615,8 @@ parseCampaignReport(std::string_view json)
         s.pointsPerOctave = parseCount(obj, "points_per_octave");
         s.profiler = parseString(obj, "profiler");
         s.sampling = parseString(obj, "sampling");
+        s.protocol = optionalString(obj, "protocol");
+        s.hierarchy = optionalString(obj, "hierarchy");
         if (s.hasMetrics()) {
             s.numProcs = parseCount(obj, "num_procs");
             s.floorRate = parseNumber(obj, "floor_rate");

@@ -3,7 +3,7 @@
  * Fleet-style aggregate reporting over a completed campaign
  * (wsg-campaign-report-v1).
  *
- * The per-study payloads (wsg-study-report-v2) carry full miss-rate
+ * The per-study payloads (wsg-study-report-v3) carry full miss-rate
  * curves; a thousand-study campaign needs the cross-study view the
  * paper argues from: where the working-set knees fall across the
  * suite, how the miss-class mix shifts per application / line size /
@@ -72,6 +72,13 @@ struct StudySummary
     std::uint64_t pointsPerOctave = 0;
     std::string profiler;
     std::string sampling;
+    /** Coherence protocol; "" = the default (write-invalidate). Only
+     *  emitted when non-default, so default-axes reports keep their
+     *  v1 bytes. */
+    std::string protocol;
+    /** Node hierarchy; "" = the default (single-level). Same
+     *  conditional-emission contract as `protocol`. */
+    std::string hierarchy;
 
     // Metrics, present when status == "ok".
     std::uint64_t numProcs = 0;

@@ -28,6 +28,8 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
     config.lineBytes = line_bytes;
     config.sampling = study.sampling;
     config.profiler = study.profiler;
+    config.protocol = study.protocol;
+    config.hierarchy = study.hierarchy;
     return config;
 }
 
@@ -172,6 +174,15 @@ appendStudyConfig(std::string &out, const StudyConfig &study,
     if (study.sampling.enabled())
         out += "sampling_hash_salt=" +
                std::to_string(study.sampling.hashSalt) + "\n";
+    // The machine axes are appended only when off their defaults so
+    // every pre-existing study config — and therefore every content
+    // hash, cache entry and campaign resume key — keeps its bytes.
+    if (study.protocol != sim::CoherenceProtocol::WriteInvalidate)
+        out += std::string("protocol=") +
+               sim::coherenceProtocolName(study.protocol) + "\n";
+    if (study.hierarchy.twoLevel())
+        out += "hierarchy=" + memsys::hierarchyLabel(study.hierarchy) +
+               "\n";
 }
 
 } // namespace

@@ -239,10 +239,11 @@ writeJsonReport(std::ostream &os,
 {
     stats::JsonWriter w(os);
     w.beginObject();
-    // v2: aggregate gains the true/false-sharing split, and each study
-    // gains a miss_classes block (per-category curves over the sweep
-    // plus per-processor / per-array attribution).
-    w.member("schema", "wsg-study-report-v2");
+    // v3: studies that ran off the default machine axes additionally
+    // carry a protocol string, invalidations_sent/upgrades_sent in the
+    // aggregate, and a node_hierarchy block. Default-axes documents
+    // differ from v2 in this schema string alone.
+    w.member("schema", "wsg-study-report-v3");
     w.key("studies");
     w.beginArray();
     for (const JobReport &r : reports) {
@@ -261,6 +262,12 @@ writeJsonReport(std::ostream &os,
         stats::writeWorkingSets(w, r.result.workingSets);
         w.member("max_footprint_bytes", r.result.maxFootprintBytes);
         w.member("floor_rate", r.result.floorRate);
+        bool off_default_protocol =
+            r.result.protocol !=
+            sim::CoherenceProtocol::WriteInvalidate;
+        if (off_default_protocol)
+            w.member("protocol",
+                     sim::coherenceProtocolName(r.result.protocol));
         w.key("aggregate");
         w.beginObject();
         const sim::ProcStats &agg = r.result.aggregate;
@@ -275,8 +282,22 @@ writeJsonReport(std::ostream &os,
         w.member("write_true_sharing", agg.writeTrueSharing);
         w.member("write_false_sharing", agg.writeFalseSharing);
         w.member("updates_sent", agg.updatesSent);
+        if (off_default_protocol) {
+            w.member("invalidations_sent", agg.invalidationsSent);
+            w.member("upgrades_sent", agg.upgradesSent);
+        }
         w.endObject();
         writeMissClasses(w, r.result);
+        if (r.result.hierarchySpec.twoLevel()) {
+            w.key("node_hierarchy");
+            w.beginObject();
+            w.member("spec",
+                     memsys::hierarchyLabel(r.result.hierarchySpec));
+            w.member("accesses", r.result.nodeHierarchy.accesses);
+            w.member("l1_misses", r.result.nodeHierarchy.l1Misses);
+            w.member("l2_misses", r.result.nodeHierarchy.l2Misses);
+            w.endObject();
+        }
         const approx::SamplingDiagnostics &samp = r.result.sampling;
         w.member("profiler", memsys::profilerKindName(samp.profiler));
         w.member("profiler_bytes", samp.profilerBytes);
@@ -393,6 +414,20 @@ parseRunnerCli(int &argc, char **argv)
             cli.sampling.mode = approx::SamplingMode::FixedSize;
             cli.sampling.maxLines = v;
         };
+        auto parse_protocol = [&](const std::string &text) {
+            try {
+                cli.protocol = sim::parseCoherenceProtocol(text);
+            } catch (const std::invalid_argument &e) {
+                fail(std::string("--protocol: ") + e.what());
+            }
+        };
+        auto parse_hierarchy = [&](const std::string &text) {
+            try {
+                cli.hierarchy = memsys::parseHierarchySpec(text);
+            } catch (const std::invalid_argument &e) {
+                fail(std::string("--hierarchy: ") + e.what());
+            }
+        };
         if (arg == "--jobs") {
             cli.jobs = parse_jobs(next_value("--jobs"));
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -413,6 +448,14 @@ parseRunnerCli(int &argc, char **argv)
             parse_profiler(next_value("--profiler"));
         } else if (arg.rfind("--profiler=", 0) == 0) {
             parse_profiler(arg.substr(11));
+        } else if (arg == "--protocol") {
+            parse_protocol(next_value("--protocol"));
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            parse_protocol(arg.substr(11));
+        } else if (arg == "--hierarchy") {
+            parse_hierarchy(next_value("--hierarchy"));
+        } else if (arg.rfind("--hierarchy=", 0) == 0) {
+            parse_hierarchy(arg.substr(12));
         } else if (arg == "--sample-rate") {
             parse_rate(next_value("--sample-rate"));
         } else if (arg.rfind("--sample-rate=", 0) == 0) {

@@ -172,11 +172,17 @@ class StudyRunner
 
 /**
  * Serialize a batch of job reports as a diffable JSON document
- * (schema "wsg-study-report-v2"):
+ * (schema "wsg-study-report-v3"):
  * {"studies": [{name, curve, working_sets, aggregate, miss_classes,
- * [sampling], [timing]}...]} — miss_classes carries the per-category
- * (cold / capacity / true_sharing / false_sharing) read-miss curves
- * over the sweep plus per-processor and per-array attribution.
+ * [protocol], [node_hierarchy], [sampling], [timing]}...]} —
+ * miss_classes carries the per-category (cold / capacity /
+ * true_sharing / false_sharing) read-miss curves over the sweep plus
+ * per-processor and per-array attribution. The v3 additions (protocol,
+ * the aggregate's invalidations_sent/upgrades_sent, node_hierarchy)
+ * are emitted only when a study ran off the default machine axes, so a
+ * default-axes v3 document differs from its v2 predecessor in the
+ * schema string alone, and v2 consumers that tolerate unknown fields
+ * parse v3 unchanged.
  *
  * @param include_timings Add wall-clock/throughput per study. Off by
  *        default so regenerated artifacts diff cleanly across machines.
@@ -229,17 +235,32 @@ struct RunnerCli
      * rejected.
      */
     memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
+    /**
+     * --protocol NAME: coherence protocol the studies run
+     * (write-invalidate | write-update | mi | msi | mesi, with "wi" and
+     * "wu" accepted as short forms). Benches copy this into
+     * StudyConfig::protocol.
+     */
+    sim::CoherenceProtocol protocol =
+        sim::CoherenceProtocol::WriteInvalidate;
+    /**
+     * --hierarchy SPEC: per-node cache hierarchy the studies run
+     * (single | incl:<l1-bytes>:<l2-bytes> | excl:<l1-bytes>:<l2-bytes>).
+     * Benches copy this into StudyConfig::hierarchy.
+     */
+    memsys::NodeHierarchySpec hierarchy{};
 };
 
 /**
  * Extract --jobs/--json/--progress/--analyze-races/--timeout/
- * --profiler/--sample-rate/--sample-size from argv, *removing* the
- * consumed arguments so positional parameters keep
+ * --profiler/--protocol/--hierarchy/--sample-rate/--sample-size from
+ * argv, *removing* the consumed arguments so positional parameters keep
  * their indices for the caller. A malformed runner flag (missing or
  * unparseable value, rate outside (0,1], size of zero, a non-positive
- * timeout, an unknown profiler kind, AET together with a sampling flag,
- * or both sampling
- * flags at once) prints an error on stderr and exits with status 2.
+ * timeout, an unknown profiler kind, an unknown protocol name, a
+ * malformed hierarchy spec, AET together with a sampling flag, or both
+ * sampling flags at once) prints an error on stderr and exits with
+ * status 2.
  */
 RunnerCli parseRunnerCli(int &argc, char **argv);
 

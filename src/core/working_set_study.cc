@@ -46,6 +46,9 @@ analyzeWorkingSets(const sim::Multiprocessor &mp,
     result.missClasses = mp.readMissClassCurves(spec);
     result.perProc = mp.procSummaries();
     result.perArray = mp.arraySummaries();
+    result.protocol = mp.config().protocol;
+    result.hierarchySpec = mp.config().hierarchy;
+    result.nodeHierarchy = mp.hierarchyStats();
     if (!result.curve.empty())
         result.floorRate = result.curve.minY();
 
@@ -71,6 +74,22 @@ describeStudy(const StudyResult &result)
        << stats::formatBytes(
               static_cast<double>(result.maxFootprintBytes))
        << ", floor " << stats::formatRate(result.floorRate) << "\n";
+    if (result.protocol != sim::CoherenceProtocol::WriteInvalidate ||
+        result.hierarchySpec.twoLevel()) {
+        os << "machine: protocol "
+           << sim::coherenceProtocolName(result.protocol)
+           << ", hierarchy "
+           << memsys::hierarchyLabel(result.hierarchySpec);
+        if (result.hierarchySpec.twoLevel()) {
+            os << " (L1 miss rate "
+               << stats::formatRate(result.nodeHierarchy.l1MissRate())
+               << ", memory miss rate "
+               << stats::formatRate(
+                      result.nodeHierarchy.memoryMissRate())
+               << ")";
+        }
+        os << "\n";
+    }
     if (result.races.enabled)
         os << analysis::describeRaceCheck(result.races);
     return os.str();

@@ -108,6 +108,21 @@ struct StudyConfig
      * experiments whose artifacts are diffed.
      */
     double timeoutSeconds = 0.0;
+    /**
+     * Coherence protocol the simulated machine runs (a study axis; see
+     * sim::CoherenceProtocol). The default is the paper's
+     * write-invalidate model, which is field-identical to Msi.
+     */
+    sim::CoherenceProtocol protocol =
+        sim::CoherenceProtocol::WriteInvalidate;
+    /**
+     * Per-node cache hierarchy of the simulated machine (a study axis;
+     * see memsys::NodeHierarchySpec). The profiler-derived curves and
+     * working sets are hierarchy-independent by construction; a
+     * two-level spec additionally reports concrete per-level miss
+     * counters (StudyResult::nodeHierarchy).
+     */
+    memsys::NodeHierarchySpec hierarchy{};
 };
 
 /** Outcome of one study. */
@@ -143,6 +158,13 @@ struct StudyResult
     /** Happens-before race check over the full reference stream;
      *  `races.enabled` is false unless StudyConfig::analyzeRaces. */
     analysis::RaceCheckResult races;
+    /** The protocol the simulator ran (copied from its SimConfig). */
+    sim::CoherenceProtocol protocol =
+        sim::CoherenceProtocol::WriteInvalidate;
+    /** The node hierarchy the simulator ran. */
+    memsys::NodeHierarchySpec hierarchySpec{};
+    /** Aggregated per-level counters when hierarchySpec is two-level. */
+    memsys::HierarchyStats nodeHierarchy{};
 };
 
 /**

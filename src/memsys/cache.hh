@@ -29,6 +29,13 @@ enum class AccessOutcome : std::uint8_t
     Miss,
 };
 
+/** A line evicted by a miss-fill (valid == false when none was). */
+struct Eviction
+{
+    Addr line = 0;
+    bool valid = false;
+};
+
 /**
  * A single cache with some organization and replacement policy.
  */
@@ -44,6 +51,21 @@ class Cache
      * @return Hit or Miss.
      */
     virtual AccessOutcome access(Addr line_addr) = 0;
+
+    /**
+     * access() that additionally reports the line a miss-fill evicted,
+     * for hierarchies that must observe victims (inclusive L2s
+     * back-invalidate them from L1, exclusive L1s spill them into L2).
+     * The default cannot observe evictions and reports none;
+     * organizations that can, override it.
+     */
+    virtual AccessOutcome
+    accessTracked(Addr line_addr, Eviction *evicted)
+    {
+        if (evicted)
+            evicted->valid = false;
+        return access(line_addr);
+    }
 
     /**
      * Remove the line if present (coherence invalidation).

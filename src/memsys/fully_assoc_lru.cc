@@ -15,6 +15,14 @@ FullyAssocLru::FullyAssocLru(std::uint64_t capacity_lines)
 AccessOutcome
 FullyAssocLru::access(Addr line_addr)
 {
+    return accessTracked(line_addr, nullptr);
+}
+
+AccessOutcome
+FullyAssocLru::accessTracked(Addr line_addr, Eviction *evicted)
+{
+    if (evicted)
+        evicted->valid = false;
     auto it = index_.find(line_addr);
     if (it != index_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -25,6 +33,10 @@ FullyAssocLru::access(Addr line_addr)
         Addr victim = lru_.back();
         lru_.pop_back();
         index_.erase(victim);
+        if (evicted) {
+            evicted->line = victim;
+            evicted->valid = true;
+        }
     }
     lru_.push_front(line_addr);
     index_[line_addr] = lru_.begin();

@@ -28,6 +28,8 @@ class FullyAssocLru : public Cache
     explicit FullyAssocLru(std::uint64_t capacity_lines);
 
     AccessOutcome access(Addr line_addr) override;
+    AccessOutcome accessTracked(Addr line_addr,
+                                Eviction *evicted) override;
     bool invalidate(Addr line_addr) override;
     bool contains(Addr line_addr) const override;
     std::uint64_t capacityLines() const override { return capacity_; }

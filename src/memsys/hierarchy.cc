@@ -5,18 +5,95 @@
 namespace wsg::memsys
 {
 
+void
+NodeHierarchySpec::validate(std::uint32_t line_bytes) const
+{
+    if (!twoLevel())
+        return;
+    if (l1Bytes < line_bytes)
+        throw std::invalid_argument(
+            "NodeHierarchySpec: L1 must hold at least one line (" +
+            std::to_string(l1Bytes) + " B < " +
+            std::to_string(line_bytes) + " B line)");
+    if (l2Bytes <= l1Bytes)
+        throw std::invalid_argument(
+            "NodeHierarchySpec: L2 (" + std::to_string(l2Bytes) +
+            " B) must be larger than L1 (" + std::to_string(l1Bytes) +
+            " B)");
+}
+
+std::string
+hierarchyLabel(const NodeHierarchySpec &spec)
+{
+    switch (spec.kind) {
+      case HierarchyKind::TwoLevelInclusive:
+        return "incl:" + std::to_string(spec.l1Bytes) + ":" +
+               std::to_string(spec.l2Bytes);
+      case HierarchyKind::TwoLevelExclusive:
+        return "excl:" + std::to_string(spec.l1Bytes) + ":" +
+               std::to_string(spec.l2Bytes);
+      case HierarchyKind::SingleLevel: break;
+    }
+    return "single";
+}
+
+NodeHierarchySpec
+parseHierarchySpec(const std::string &label)
+{
+    NodeHierarchySpec spec;
+    if (label == "single" || label.empty())
+        return spec;
+    std::string sizes;
+    if (label.rfind("incl:", 0) == 0) {
+        spec.kind = HierarchyKind::TwoLevelInclusive;
+        sizes = label.substr(5);
+    } else if (label.rfind("excl:", 0) == 0) {
+        spec.kind = HierarchyKind::TwoLevelExclusive;
+        sizes = label.substr(5);
+    } else {
+        throw std::invalid_argument(
+            "unknown hierarchy '" + label +
+            "' (expected single, incl:<l1>:<l2> or excl:<l1>:<l2>)");
+    }
+    std::size_t colon = sizes.find(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument(
+            "hierarchy '" + label + "' needs two sizes: " +
+            (spec.kind == HierarchyKind::TwoLevelInclusive ? "incl"
+                                                           : "excl") +
+            ":<l1Bytes>:<l2Bytes>");
+    try {
+        std::size_t used = 0;
+        spec.l1Bytes = std::stoull(sizes.substr(0, colon), &used);
+        if (used != colon)
+            throw std::invalid_argument("trailing characters");
+        std::string l2 = sizes.substr(colon + 1);
+        spec.l2Bytes = std::stoull(l2, &used);
+        if (used != l2.size())
+            throw std::invalid_argument("trailing characters");
+    } catch (const std::exception &) {
+        throw std::invalid_argument(
+            "hierarchy '" + label + "' has malformed sizes (expected "
+            "decimal byte counts)");
+    }
+    if (spec.l2Bytes <= spec.l1Bytes)
+        throw std::invalid_argument(
+            "hierarchy '" + label + "': L2 must be larger than L1");
+    return spec;
+}
+
 TwoLevelCache::TwoLevelCache(std::unique_ptr<Cache> l1,
-                             std::unique_ptr<Cache> l2)
-    : l1_(std::move(l1)), l2_(std::move(l2))
+                             std::unique_ptr<Cache> l2,
+                             InclusionPolicy inclusion)
+    : l1_(std::move(l1)), l2_(std::move(l2)), inclusion_(inclusion)
 {
     if (!l1_ || !l2_)
         throw std::invalid_argument("TwoLevelCache: null level");
 }
 
 ServiceLevel
-TwoLevelCache::accessDetailed(Addr line_addr)
+TwoLevelCache::accessNonInclusive(Addr line_addr)
 {
-    ++stats_.accesses;
     if (l1_->access(line_addr) == AccessOutcome::Hit)
         return ServiceLevel::L1;
     ++stats_.l1Misses;
@@ -25,6 +102,62 @@ TwoLevelCache::accessDetailed(Addr line_addr)
         return ServiceLevel::L2;
     ++stats_.l2Misses;
     return ServiceLevel::Memory;
+}
+
+ServiceLevel
+TwoLevelCache::accessInclusive(Addr line_addr)
+{
+    if (l1_->access(line_addr) == AccessOutcome::Hit)
+        return ServiceLevel::L1;
+    ++stats_.l1Misses;
+    // L1 victims stay in L2 (inclusion), so the L1 fill needs no
+    // victim handling; the L2 fill does — an L2 eviction must
+    // back-invalidate the victim from L1 or inclusion breaks.
+    Eviction evicted;
+    if (l2_->accessTracked(line_addr, &evicted) == AccessOutcome::Hit)
+        return ServiceLevel::L2;
+    ++stats_.l2Misses;
+    if (evicted.valid)
+        l1_->invalidate(evicted.line);
+    return ServiceLevel::Memory;
+}
+
+ServiceLevel
+TwoLevelCache::accessExclusive(Addr line_addr)
+{
+    if (l1_->contains(line_addr)) {
+        l1_->access(line_addr); // recency touch
+        return ServiceLevel::L1;
+    }
+    ++stats_.l1Misses;
+    // The line moves up into L1 wherever it comes from; remove it from
+    // L2 first so the levels stay disjoint.
+    bool in_l2 = l2_->contains(line_addr);
+    if (in_l2)
+        l2_->invalidate(line_addr);
+    else
+        ++stats_.l2Misses;
+    Eviction evicted;
+    l1_->accessTracked(line_addr, &evicted);
+    // The displaced L1 line (disjointness: not in L2) spills into L2;
+    // whatever L2 drops to make room leaves the hierarchy.
+    if (evicted.valid)
+        l2_->access(evicted.line);
+    return in_l2 ? ServiceLevel::L2 : ServiceLevel::Memory;
+}
+
+ServiceLevel
+TwoLevelCache::accessDetailed(Addr line_addr)
+{
+    ++stats_.accesses;
+    switch (inclusion_) {
+      case InclusionPolicy::Inclusive:
+        return accessInclusive(line_addr);
+      case InclusionPolicy::Exclusive:
+        return accessExclusive(line_addr);
+      case InclusionPolicy::NonInclusive: break;
+    }
+    return accessNonInclusive(line_addr);
 }
 
 bool

@@ -9,10 +9,20 @@
  * organizations; an access that misses in L1 is looked up (and allocated)
  * in L2, and only an L2 miss goes to memory.
  *
- * The hierarchy is non-inclusive non-exclusive ("accidentally
- * inclusive"): L1 fills also allocate in L2, but L2 evictions do not
- * back-invalidate L1 — the common behaviour of early two-level designs.
- * Coherence invalidations are applied to both levels.
+ * Three inclusion disciplines are modelled (InclusionPolicy):
+ *
+ *  - NonInclusive ("accidentally inclusive", the default and the
+ *    common behaviour of early two-level designs): L1 fills also
+ *    allocate in L2, but L2 evictions do not back-invalidate L1.
+ *  - Inclusive: L2 is a strict superset of L1 — an L2 eviction
+ *    back-invalidates the victim from L1, so every live L1 line is in
+ *    L2 at all times.
+ *  - Exclusive: L1 and L2 are disjoint — an L2 hit moves the line up
+ *    into L1, and the L1 victim it displaces spills down into L2, so
+ *    the levels together act as one cache of combined capacity.
+ *
+ * Coherence invalidations are applied to both levels under every
+ * discipline.
  */
 
 #ifndef WSG_MEMSYS_HIERARCHY_HH
@@ -20,6 +30,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "memsys/cache.hh"
 
@@ -33,6 +45,52 @@ enum class ServiceLevel : std::uint8_t
     L2,
     Memory,
 };
+
+/** Inclusion discipline between the two levels. */
+enum class InclusionPolicy : std::uint8_t
+{
+    NonInclusive,
+    Inclusive,
+    Exclusive,
+};
+
+/**
+ * Per-node cache hierarchy shape, as a machine-configuration axis:
+ * either the paper's single level of cache per processor, or a private
+ * L1 backed by a larger per-node L2 (inclusive or exclusive). Sizes
+ * are in bytes; the simulator converts to lines with its line size.
+ */
+enum class HierarchyKind : std::uint8_t
+{
+    SingleLevel,
+    TwoLevelInclusive,
+    TwoLevelExclusive,
+};
+
+struct NodeHierarchySpec
+{
+    HierarchyKind kind = HierarchyKind::SingleLevel;
+    /** Private L1 capacity in bytes (two-level kinds only). */
+    std::uint64_t l1Bytes = 4096;
+    /** Per-node L2 capacity in bytes; must exceed l1Bytes. */
+    std::uint64_t l2Bytes = 65536;
+
+    bool twoLevel() const { return kind != HierarchyKind::SingleLevel; }
+
+    /** @throws std::invalid_argument when the sizes cannot form a
+     *  hierarchy at @p line_bytes granularity. */
+    void validate(std::uint32_t line_bytes) const;
+};
+
+/**
+ * Canonical spelling of a hierarchy spec: "single", or
+ * "incl:<l1Bytes>:<l2Bytes>" / "excl:<l1Bytes>:<l2Bytes>". Used by the
+ * CLI flags, the JSON report and the campaign grid axis.
+ */
+std::string hierarchyLabel(const NodeHierarchySpec &spec);
+
+/** Parse a hierarchyLabel spelling. @throws std::invalid_argument. */
+NodeHierarchySpec parseHierarchySpec(const std::string &label);
 
 /** Hit/miss counters per level. */
 struct HierarchyStats
@@ -72,7 +130,8 @@ class TwoLevelCache : public Cache
 {
   public:
     /** Takes ownership of both levels. */
-    TwoLevelCache(std::unique_ptr<Cache> l1, std::unique_ptr<Cache> l2);
+    TwoLevelCache(std::unique_ptr<Cache> l1, std::unique_ptr<Cache> l2,
+                  InclusionPolicy inclusion = InclusionPolicy::NonInclusive);
 
     /** Detailed access: returns which level serviced the line. */
     ServiceLevel accessDetailed(Addr line_addr);
@@ -105,12 +164,19 @@ class TwoLevelCache : public Cache
     const HierarchyStats &stats() const { return stats_; }
     void resetStats() { stats_ = HierarchyStats{}; }
 
+    InclusionPolicy inclusion() const { return inclusion_; }
+
     const Cache &l1() const { return *l1_; }
     const Cache &l2() const { return *l2_; }
 
   private:
+    ServiceLevel accessNonInclusive(Addr line_addr);
+    ServiceLevel accessInclusive(Addr line_addr);
+    ServiceLevel accessExclusive(Addr line_addr);
+
     std::unique_ptr<Cache> l1_;
     std::unique_ptr<Cache> l2_;
+    InclusionPolicy inclusion_;
     HierarchyStats stats_;
 };
 

@@ -52,6 +52,14 @@ SetAssocCache::findWay(Addr line_addr) const
 AccessOutcome
 SetAssocCache::access(Addr line_addr)
 {
+    return accessTracked(line_addr, nullptr);
+}
+
+AccessOutcome
+SetAssocCache::accessTracked(Addr line_addr, Eviction *evicted)
+{
+    if (evicted)
+        evicted->valid = false;
     ++tick_;
     if (Way *hit = findWay(line_addr)) {
         if (policy_ == ReplacementPolicy::LRU)
@@ -79,6 +87,10 @@ SetAssocCache::access(Addr line_addr)
                 if (store_[base + w].stamp < victim->stamp)
                     victim = &store_[base + w];
             }
+        }
+        if (evicted) {
+            evicted->line = victim->line;
+            evicted->valid = true;
         }
     } else {
         ++resident_;

@@ -50,6 +50,8 @@ class SetAssocCache : public Cache
     static SetAssocCache directMapped(std::uint64_t capacity_lines);
 
     AccessOutcome access(Addr line_addr) override;
+    AccessOutcome accessTracked(Addr line_addr,
+                                Eviction *evicted) override;
     bool invalidate(Addr line_addr) override;
     bool contains(Addr line_addr) const override;
 

@@ -164,6 +164,20 @@ Request::studyConfig() const
                 "points_per_octave must be in [1, 64]");
         base.pointsPerOctave = pointsPerOctave;
     }
+    if (!protocol.empty()) {
+        try {
+            base.protocol = sim::parseCoherenceProtocol(protocol);
+        } catch (const std::invalid_argument &e) {
+            throw ProtocolError(e.what());
+        }
+    }
+    if (!hierarchy.empty()) {
+        try {
+            base.hierarchy = memsys::parseHierarchySpec(hierarchy);
+        } catch (const std::invalid_argument &e) {
+            throw ProtocolError(e.what());
+        }
+    }
     try {
         base.sampling.validate();
     } catch (const std::invalid_argument &e) {
@@ -189,6 +203,10 @@ encodeRequest(const Request &req)
             appendNumber(out, "timeout_seconds", req.timeoutSeconds);
         if (!req.profiler.empty())
             appendString(out, "profiler", req.profiler);
+        if (!req.protocol.empty())
+            appendString(out, "protocol", req.protocol);
+        if (!req.hierarchy.empty())
+            appendString(out, "hierarchy", req.hierarchy);
         if (req.pointsPerOctave != 0)
             appendCount(out, "points_per_octave",
                         static_cast<std::uint64_t>(
@@ -217,6 +235,8 @@ parseRequest(std::string_view line)
     req.analyzeRaces = boolField(root, "analyze_races", false);
     req.timeoutSeconds = numberField(root, "timeout_seconds", 0.0);
     req.profiler = stringField(root, "profiler", "");
+    req.protocol = stringField(root, "protocol", "");
+    req.hierarchy = stringField(root, "hierarchy", "");
     double ppo = numberField(root, "points_per_octave", 0.0);
     if (ppo < 0.0)
         throw ProtocolError("points_per_octave must be >= 0");

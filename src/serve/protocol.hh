@@ -12,7 +12,9 @@
  * Study overrides — "sample_rate" (fixed-rate sampling), "sample_size"
  * (fixed-size sampling; mutually exclusive with sample_rate),
  * "analyze_races" (bool), "timeout_seconds", "profiler"
- * (list-mattson | tree-mattson | aet) and "points_per_octave" — mirror
+ * (list-mattson | tree-mattson | aet), "protocol" (write-invalidate |
+ * write-update | mi | msi | mesi), "hierarchy" (single |
+ * incl:<l1>:<l2> | excl:<l1>:<l2>) and "points_per_octave" — mirror
  * the runner CLI. The preset itself may carry a variant suffix
  * ("fig2-lu-B16@size=small@line=32", see core/suite), which is how the
  * campaign driver sweeps problem and line sizes over the same wire
@@ -89,6 +91,10 @@ struct Request
     std::string profiler;
     /** > 0 overrides the sweep resolution. */
     int pointsPerOctave = 0;
+    /** Coherence protocol name; "" = the default (write-invalidate). */
+    std::string protocol;
+    /** Node hierarchy spec; "" = the default (single-level). */
+    std::string hierarchy;
 
     /** The cross-cutting StudyConfig these overrides describe.
      *  @throws ProtocolError on invalid combinations. */

@@ -9,7 +9,8 @@
  * Usage:
  *   wsg-submit --socket PATH PRESET [--out FILE] [--expect hit|miss]
  *              [--sample-rate R | --sample-size N] [--analyze-races]
- *              [--timeout S] [--profiler KIND] [--points-per-octave N]
+ *              [--timeout S] [--profiler KIND] [--protocol NAME]
+ *              [--hierarchy SPEC] [--points-per-octave N]
  *              [--retries N] [--backoff-ms MS]
  *   wsg-submit --socket PATH --stats | --ping | --shutdown
  *
@@ -53,7 +54,9 @@ usage(const std::string &error)
            " [--expect hit|miss]\n"
            "                  [--sample-rate R | --sample-size N]"
            " [--analyze-races] [--timeout S]\n"
-           "                  [--profiler KIND] [--points-per-octave N]"
+           "                  [--profiler KIND] [--protocol NAME]"
+           " [--hierarchy SPEC]\n"
+           "                  [--points-per-octave N]"
            " [--retries N] [--backoff-ms MS]\n"
            "       wsg-submit --socket PATH --stats|--ping|--shutdown\n";
     std::exit(2);
@@ -123,6 +126,10 @@ parseCli(int argc, char **argv)
                 parsePositive(arg, next("--timeout"));
         } else if (arg == "--profiler") {
             cli.req.profiler = next("--profiler");
+        } else if (arg == "--protocol") {
+            cli.req.protocol = next("--protocol");
+        } else if (arg == "--hierarchy") {
+            cli.req.hierarchy = next("--hierarchy");
         } else if (arg == "--points-per-octave") {
             cli.req.pointsPerOctave = static_cast<int>(
                 parsePositive(arg, next("--points-per-octave")));

@@ -1,0 +1,160 @@
+#include "sim/coherence.hh"
+
+#include <bit>
+
+namespace wsg::sim
+{
+
+namespace
+{
+
+/**
+ * MSI (and, via aliasing, the paper's write-invalidate). A write
+ * purges every other sharer and takes the line Modified; a write from
+ * Shared costs an upgrade message; reads join the sharer set and
+ * downgrade a remote Modified holder to Shared.
+ */
+class MsiPolicy : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            actions.invalidateMask = line.sharers & ~self;
+            actions.upgrade = (line.sharers & self) != 0 &&
+                              line.exclusivePlusOne != pid + 1;
+            line.sharers = self;
+            line.exclusivePlusOne = pid + 1;
+        } else {
+            line.sharers |= self;
+            if (line.exclusivePlusOne != pid + 1)
+                line.exclusivePlusOne = 0;
+        }
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/**
+ * MESI: MSI with an Exclusive state. A read that finds no other
+ * cached copy installs the line Exclusive, so this processor's next
+ * write upgrades silently — identical miss counts to MSI on every
+ * trace, fewer upgrade messages.
+ */
+class MesiPolicy : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            actions.invalidateMask = line.sharers & ~self;
+            actions.upgrade = (line.sharers & self) != 0 &&
+                              line.exclusivePlusOne != pid + 1;
+            line.sharers = self;
+            line.exclusivePlusOne = pid + 1;
+        } else if (line.sharers == 0) {
+            // Read miss with no other cached copy: Exclusive grant.
+            line.sharers = self;
+            line.exclusivePlusOne = pid + 1;
+        } else {
+            line.sharers |= self;
+            if (line.exclusivePlusOne != pid + 1)
+                line.exclusivePlusOne = 0;
+        }
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Mesi;
+    }
+};
+
+/**
+ * MI: the line has exactly one holder at a time. Any access — reads
+ * included — purges every other holder, so even read-read sharing
+ * ping-pongs the line. Ownership always transfers with the data, so
+ * there are no upgrade messages.
+ */
+class MiPolicy : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool /*is_write*/) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        actions.invalidateMask = line.sharers & ~self;
+        line.sharers = self;
+        line.exclusivePlusOne = pid + 1;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Mi;
+    }
+};
+
+/**
+ * Write-update: sharers keep valid copies; each write to a shared
+ * line sends one update message per other sharer. No invalidations,
+ * so the only coherence misses left are first-touch fetches of
+ * remotely produced lines (inherent communication).
+ */
+class WriteUpdatePolicy : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            actions.updates = static_cast<std::uint32_t>(
+                std::popcount(line.sharers & ~self));
+        }
+        line.sharers |= self;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::WriteUpdate;
+    }
+};
+
+} // namespace
+
+const CoherencePolicy &
+coherencePolicyFor(CoherenceProtocol protocol)
+{
+    static const MsiPolicy msi;
+    static const MesiPolicy mesi;
+    static const MiPolicy mi;
+    static const WriteUpdatePolicy update;
+    switch (protocol) {
+      case CoherenceProtocol::WriteUpdate: return update;
+      case CoherenceProtocol::Mi: return mi;
+      case CoherenceProtocol::Mesi: return mesi;
+      case CoherenceProtocol::WriteInvalidate:
+      case CoherenceProtocol::Msi: break;
+    }
+    return msi;
+}
+
+} // namespace wsg::sim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Pluggable coherence protocols for the multiprocessor simulator.
+ *
+ * The paper's apparatus hard-wires one protocol (write-invalidate);
+ * this interface factors the directory's protocol decisions out of
+ * sim::Multiprocessor so the protocol becomes a swappable study axis,
+ * FlexiCAS-style: the simulator owns the directory storage and the
+ * profiler/cache plumbing, the policy owns the state transitions and
+ * the message accounting.
+ *
+ * The policy operates on a per-line LineState (sharer mask plus the
+ * exclusive/modified holder) and returns the actions the machine must
+ * carry out: which processors lose their copies, how many update or
+ * upgrade messages the access costs. Miss *classification* stays in
+ * the simulator — every protocol feeds the same Dubois true/false
+ * split and the same cold/capacity/coherence accounting, which is what
+ * keeps the sum identity (cold + capacity + true + false == total)
+ * protocol-independent.
+ *
+ * Protocol semantics at line granularity:
+ *  - Msi: writes invalidate all other sharers; reads join the sharer
+ *    set. This is exactly the paper's write-invalidate model —
+ *    WriteInvalidate is an alias resolved to the same policy, so every
+ *    golden study is preserved byte for byte. A write while in S costs
+ *    an upgrade message.
+ *  - Mesi: identical invalidation behaviour (miss counts match MSI on
+ *    every trace); a read miss with no other sharers installs the line
+ *    Exclusive, so the first write by that processor upgrades
+ *    silently. The protocols differ only in upgradesSent.
+ *  - Mi: no shared state at all — *any* access (reads included) purges
+ *    every other holder, so read-read sharing ping-pongs. Coherence
+ *    misses are a pointwise superset of MSI's: MI's tombstone set
+ *    contains MSI's at every trace prefix because "someone accessed
+ *    since" contains "someone wrote since".
+ *  - WriteUpdate: writes update sharers in place (one message per
+ *    other sharer, no invalidations; coherence misses reduce to the
+ *    first-touch inherent-communication floor).
+ */
+
+#ifndef WSG_SIM_COHERENCE_HH
+#define WSG_SIM_COHERENCE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace wsg::sim
+{
+
+/** Coherence protocol family. */
+enum class CoherenceProtocol : std::uint8_t
+{
+    /** Writes invalidate other sharers; their next access misses (the
+     *  paper's implicit model). Resolved to the Msi policy — the two
+     *  are the same machine, so studies are field-identical. */
+    WriteInvalidate,
+    /** Writes update other sharers' copies in place: no
+     *  invalidation-induced misses, but every write to a shared line
+     *  sends one update message per other sharer. */
+    WriteUpdate,
+    /** Modified/Invalid: any access purges all other holders. */
+    Mi,
+    /** Modified/Shared/Invalid: writes invalidate, reads share. */
+    Msi,
+    /** MESI: MSI plus a silent Exclusive->Modified upgrade. */
+    Mesi,
+};
+
+/** Human-readable protocol name (also the CLI/JSON spelling). */
+inline const char *
+coherenceProtocolName(CoherenceProtocol protocol)
+{
+    switch (protocol) {
+      case CoherenceProtocol::WriteUpdate: return "write-update";
+      case CoherenceProtocol::Mi: return "mi";
+      case CoherenceProtocol::Msi: return "msi";
+      case CoherenceProtocol::Mesi: return "mesi";
+      case CoherenceProtocol::WriteInvalidate: break;
+    }
+    return "write-invalidate";
+}
+
+/** Parse a protocol name as spelled by coherenceProtocolName (short
+ *  forms "wi" and "wu" accepted). @throws std::invalid_argument. */
+inline CoherenceProtocol
+parseCoherenceProtocol(const std::string &name)
+{
+    if (name == "write-invalidate" || name == "wi")
+        return CoherenceProtocol::WriteInvalidate;
+    if (name == "write-update" || name == "wu")
+        return CoherenceProtocol::WriteUpdate;
+    if (name == "mi")
+        return CoherenceProtocol::Mi;
+    if (name == "msi")
+        return CoherenceProtocol::Msi;
+    if (name == "mesi")
+        return CoherenceProtocol::Mesi;
+    throw std::invalid_argument(
+        "unknown coherence protocol '" + name +
+        "' (expected write-invalidate, write-update, mi, msi or mesi)");
+}
+
+/**
+ * Per-line protocol state, embedded in the simulator's directory
+ * entry. sharers is the mask of processors that may hold a valid copy;
+ * exclusivePlusOne - 1 is the processor holding the line Exclusive or
+ * Modified (0 = no exclusive holder / protocol does not track one).
+ */
+struct LineState
+{
+    std::uint64_t sharers = 0;
+    std::uint32_t exclusivePlusOne = 0;
+};
+
+/**
+ * What an access obliges the machine to do. invalidateMask drives the
+ * profiler/cache invalidations (and therefore the coherence-miss
+ * tombstones); the message counters are bookkeeping only and never
+ * affect miss counts.
+ */
+struct CoherenceActions
+{
+    /** Processors whose copies must be purged. */
+    std::uint64_t invalidateMask = 0;
+    /** Write-update messages sent (one per other sharer). */
+    std::uint32_t updates = 0;
+    /** True when the access is an ownership upgrade (S->M) message. */
+    bool upgrade = false;
+};
+
+/**
+ * A coherence protocol's state machine. Implementations are stateless
+ * (all per-line state lives in LineState), so one shared instance
+ * serves every simulator — obtain it from coherencePolicyFor().
+ */
+class CoherencePolicy
+{
+  public:
+    virtual ~CoherencePolicy() = default;
+
+    /**
+     * Apply one access by @p pid to @p line and report the required
+     * actions. Called for every reference, measuring or not, so the
+     * directory state always tracks the reference stream exactly.
+     */
+    virtual CoherenceActions onAccess(LineState &line, std::uint32_t pid,
+                                      bool is_write) const = 0;
+
+    /** The protocol this policy implements. */
+    virtual CoherenceProtocol protocol() const = 0;
+};
+
+/** Shared policy instance for @p protocol (WriteInvalidate resolves to
+ *  the Msi policy; see the file comment). */
+const CoherencePolicy &coherencePolicyFor(CoherenceProtocol protocol);
+
+} // namespace wsg::sim
+
+#endif // WSG_SIM_COHERENCE_HH

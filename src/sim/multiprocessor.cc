@@ -1,5 +1,7 @@
 #include "sim/multiprocessor.hh"
 
+#include "memsys/fully_assoc_lru.hh"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -32,7 +34,9 @@ ProcStats::writeMissesAt(std::uint64_t capacity_lines,
 }
 
 Multiprocessor::Multiprocessor(const SimConfig &config)
-    : config_(config), stats_(config.numProcs)
+    : config_(config),
+      policy_(&coherencePolicyFor(config.protocol)),
+      stats_(config.numProcs)
 {
     if (config_.numProcs == 0 || config_.numProcs > 64)
         throw std::invalid_argument(
@@ -45,9 +49,31 @@ Multiprocessor::Multiprocessor(const SimConfig &config)
             "Multiprocessor: lineBytes must be a power of two");
     }
     config_.sampling.validate();
+    config_.hierarchy.validate(config_.lineBytes);
     profilers_.reserve(config_.numProcs);
     for (std::uint32_t p = 0; p < config_.numProcs; ++p)
         profilers_.emplace_back(config_.sampling, config_.profiler);
+    if (config_.hierarchy.twoLevel()) {
+        // One private L1 + per-node L2 pair per processor, behind the
+        // concrete-cache hooks: the profiler curves still sweep all
+        // sizes, while the concrete counters describe this machine.
+        memsys::InclusionPolicy inclusion =
+            config_.hierarchy.kind ==
+                    memsys::HierarchyKind::TwoLevelInclusive
+                ? memsys::InclusionPolicy::Inclusive
+                : memsys::InclusionPolicy::Exclusive;
+        attachCaches([&] {
+            return std::make_unique<memsys::TwoLevelCache>(
+                std::make_unique<memsys::FullyAssocLru>(
+                    config_.hierarchy.l1Bytes / config_.lineBytes),
+                std::make_unique<memsys::FullyAssocLru>(
+                    config_.hierarchy.l2Bytes / config_.lineBytes),
+                inclusion);
+        });
+        for (const auto &cache : caches_)
+            nodeCaches_.push_back(
+                static_cast<const memsys::TwoLevelCache *>(cache.get()));
+    }
 }
 
 void
@@ -55,6 +81,7 @@ Multiprocessor::attachCaches(
     const std::function<std::unique_ptr<memsys::Cache>()> &factory)
 {
     caches_.clear();
+    nodeCaches_.clear();
     caches_.reserve(config_.numProcs);
     for (std::uint32_t p = 0; p < config_.numProcs; ++p)
         caches_.push_back(factory());
@@ -108,52 +135,67 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write,
     // was invalidated off it — the evidence the Dubois split judges an
     // invalidation-induced coherence miss by. Claimed on every access
     // (measuring or not) so the pending state tracks the profiler's
-    // tombstones exactly.
+    // tombstones exactly. The flag (not the mask) records the claim:
+    // MI's read-triggered invalidations leave zero-word pending masks,
+    // which must still classify against the pending interval rather
+    // than fall back to the line's lifetime write set.
+    bool was_invalidated = (entry.pendingProcs & self) != 0;
     std::uint64_t invalidated_words = 0;
-    if (entry.pendingProcs & self) {
+    if (was_invalidated) {
         auto it = pendingWords_.find(line * 64 + pid);
         invalidated_words = it->second;
         pendingWords_.erase(it);
         entry.pendingProcs &= ~self;
     }
 
-    if (is_write) {
-        std::uint64_t others = entry.sharers & ~self;
-        if (config_.protocol == CoherenceProtocol::WriteInvalidate) {
-            // Purge every other sharer's copy.
-            std::uint64_t victims = others;
-            while (victims) {
-                unsigned victim = static_cast<unsigned>(
-                    std::countr_zero(victims));
-                victims &= victims - 1;
-                profilers_[victim].invalidate(line);
-                if (!caches_.empty())
-                    caches_[victim]->invalidate(line);
-            }
-            // Every processor now holding a stale copy — just
-            // invalidated or still away from an earlier invalidation —
-            // accumulates this write's words in its pending mask.
-            std::uint64_t stale = (entry.pendingProcs | others) & ~self;
-            std::uint64_t it_mask = stale;
-            while (it_mask) {
-                unsigned p = static_cast<unsigned>(
-                    std::countr_zero(it_mask));
-                it_mask &= it_mask - 1;
-                pendingWords_[line * 64 + p] |= words;
-            }
-            entry.pendingProcs = stale;
-            entry.sharers = self;
-        } else {
-            // Write-update: sharers keep valid copies; the write costs
-            // one update message per other sharer.
-            entry.sharers |= self;
-            if (measuring_) {
-                stats_[pid].updatesSent += static_cast<std::uint64_t>(
-                    std::popcount(others));
-            }
+    // The protocol decides the transition; the simulator carries out
+    // the purges and keeps the Dubois pending-word bookkeeping in sync
+    // with the tombstones the purges create.
+    CoherenceActions actions = policy_->onAccess(entry.state, pid,
+                                                 is_write);
+    std::uint64_t victims = actions.invalidateMask;
+    while (victims) {
+        unsigned victim =
+            static_cast<unsigned>(std::countr_zero(victims));
+        victims &= victims - 1;
+        profilers_[victim].invalidate(line);
+        if (!caches_.empty())
+            caches_[victim]->invalidate(line);
+    }
+    if (is_write &&
+        config_.protocol != CoherenceProtocol::WriteUpdate) {
+        // Every processor now holding a stale copy — just invalidated
+        // or still away from an earlier invalidation — accumulates
+        // this write's words in its pending mask.
+        std::uint64_t stale =
+            (entry.pendingProcs | actions.invalidateMask) & ~self;
+        std::uint64_t it_mask = stale;
+        while (it_mask) {
+            unsigned p =
+                static_cast<unsigned>(std::countr_zero(it_mask));
+            it_mask &= it_mask - 1;
+            pendingWords_[line * 64 + p] |= words;
         }
-    } else {
-        entry.sharers |= self;
+        entry.pendingProcs = stale;
+    } else if (actions.invalidateMask != 0) {
+        // Read-triggered invalidation (MI): the victims enter the
+        // pending state with empty word masks — nothing was written,
+        // so their return misses are pure protocol artifacts.
+        std::uint64_t it_mask = actions.invalidateMask;
+        while (it_mask) {
+            unsigned p =
+                static_cast<unsigned>(std::countr_zero(it_mask));
+            it_mask &= it_mask - 1;
+            pendingWords_.try_emplace(line * 64 + p, 0);
+        }
+        entry.pendingProcs |= actions.invalidateMask;
+    }
+    if (measuring_) {
+        ProcStats &st = stats_[pid];
+        st.updatesSent += actions.updates;
+        st.invalidationsSent += static_cast<std::uint64_t>(
+            std::popcount(actions.invalidateMask));
+        st.upgradesSent += actions.upgrade ? 1 : 0;
     }
 
     approx::SampledSample sampled = profilers_[pid].access(line);
@@ -175,8 +217,8 @@ Multiprocessor::accessLine(ProcId pid, Addr line, bool is_write,
     // writes was another processor's). Evaluated before this access's
     // own write merges into writtenWords.
     bool true_sharing =
-        (words & (invalidated_words != 0 ? invalidated_words
-                                         : entry.writtenWords)) != 0;
+        (words & (was_invalidated ? invalidated_words
+                                  : entry.writtenWords)) != 0;
     if (is_write) {
         entry.writtenWords |= words;
         entry.writerPlusOne = pid + 1;
@@ -327,6 +369,8 @@ Multiprocessor::aggregateStats() const
         agg.concreteReadMisses += st.concreteReadMisses;
         agg.concreteWriteMisses += st.concreteWriteMisses;
         agg.updatesSent += st.updatesSent;
+        agg.invalidationsSent += st.invalidationsSent;
+        agg.upgradesSent += st.upgradesSent;
     }
     return agg;
 }
@@ -720,6 +764,18 @@ Multiprocessor::maxFootprintBytes() const
     for (std::uint32_t p = 0; p < config_.numProcs; ++p)
         m = std::max(m, footprintBytes(p));
     return m;
+}
+
+memsys::HierarchyStats
+Multiprocessor::hierarchyStats() const
+{
+    memsys::HierarchyStats agg;
+    for (const memsys::TwoLevelCache *node : nodeCaches_) {
+        agg.accesses += node->stats().accesses;
+        agg.l1Misses += node->stats().l1Misses;
+        agg.l2Misses += node->stats().l2Misses;
+    }
+    return agg;
 }
 
 double

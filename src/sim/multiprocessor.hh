@@ -63,8 +63,10 @@
 #include "approx/sampled_stack_distance.hh"
 #include "approx/sampling.hh"
 #include "memsys/cache.hh"
+#include "memsys/hierarchy.hh"
 #include "memsys/profiler.hh"
 #include "memsys/stack_distance.hh"
+#include "sim/coherence.hh"
 #include "stats/curve.hh"
 #include "stats/histogram.hh"
 #include "trace/address_space.hh"
@@ -76,18 +78,6 @@ namespace wsg::sim
 using trace::Addr;
 using trace::MemRef;
 using trace::ProcId;
-
-/** Coherence protocol family. */
-enum class CoherenceProtocol : std::uint8_t
-{
-    /** Writes invalidate other sharers; their next access misses (the
-     *  paper's implicit model). */
-    WriteInvalidate,
-    /** Writes update other sharers' copies in place: no coherence
-     *  misses, but every write to a shared line sends one update
-     *  message per other sharer. */
-    WriteUpdate,
-};
 
 /** Machine configuration for a simulation run. */
 struct SimConfig
@@ -107,6 +97,13 @@ struct SimConfig
      * O(1) per-reference cost and does not compose with sampling.
      */
     memsys::ProfilerKind profiler = memsys::ProfilerKind::TreeMattson;
+    /**
+     * Per-node concrete cache hierarchy. The profiler-based curves are
+     * unaffected (they sweep all sizes by construction); a two-level
+     * spec attaches one TwoLevelCache per processor, so the concrete
+     * miss counters and hierarchyStats() describe that machine point.
+     */
+    memsys::NodeHierarchySpec hierarchy{};
 };
 
 /** Per-processor statistics gathered while measuring. */
@@ -145,6 +142,14 @@ struct ProcStats
     /** Update messages sent by this processor's writes (WriteUpdate
      *  protocol only): one per other sharer per shared-line write. */
     std::uint64_t updatesSent = 0;
+    /** Copies this processor's accesses purged from other processors
+     *  (invalidating protocols): one per victim per invalidation. */
+    std::uint64_t invalidationsSent = 0;
+    /** Ownership-upgrade messages (write while Shared). MESI's silent
+     *  Exclusive->Modified transition is the only protocol difference
+     *  visible in a profiling simulator, so this counter is what
+     *  separates MESI from MSI. */
+    std::uint64_t upgradesSent = 0;
 
     /**
      * Read misses in a fully associative LRU cache of @p capacity_lines.
@@ -382,6 +387,13 @@ class Multiprocessor : public trace::MemorySink
     double concreteReadMissRate() const;
 
     /**
+     * Per-level hit/miss counters summed over the node caches built
+     * from SimConfig::hierarchy (zero-valued for single-level runs or
+     * externally attached caches).
+     */
+    memsys::HierarchyStats hierarchyStats() const;
+
+    /**
      * Sampling observability across all profilers: effective rate,
      * admitted/total references, tracked lines, and profiler memory.
      * Meaningful in exact mode too (rate 1, sampled == total) — the
@@ -428,18 +440,24 @@ class Multiprocessor : public trace::MemorySink
 
     SimConfig config_;
     bool measuring_ = true;
+    /** Protocol state machine (shared, stateless; never null). */
+    const CoherencePolicy *policy_;
     std::vector<approx::SampledStackDistanceProfiler> profilers_;
     std::vector<ProcStats> stats_;
     std::vector<std::unique_ptr<memsys::Cache>> caches_;
+    /** Non-owning views of caches_ when they are TwoLevelCaches built
+     *  from config_.hierarchy, for hierarchyStats(). */
+    std::vector<const memsys::TwoLevelCache *> nodeCaches_;
 
     /** Directory entry per line. */
     struct DirEntry
     {
-        /** Bitmask of processors that may cache the line. */
-        std::uint64_t sharers = 0;
+        /** Protocol state (sharer mask + exclusive holder), owned by
+         *  the CoherencePolicy's transitions. */
+        LineState state;
         /** Bitmask of processors invalidated off the line and not yet
          *  returned; each has a live pending_ word-mask entry. Always
-         *  disjoint from sharers. */
+         *  disjoint from state.sharers. */
         std::uint64_t pendingProcs = 0;
         /** Bitmap of the words ever written (any processor) — the
          *  producer set a first-touch coherence miss is split against. */

@@ -4,7 +4,7 @@
  *
  * The serving layer keys its result cache by a hash of the canonical
  * study-config serialization (see core/runners.hh); the same hash is
- * embedded in the wsg-study-report-v2 JSON as `config_hash` so an
+ * embedded in the wsg-study-report-v3 JSON as `config_hash` so an
  * artifact names the exact configuration that produced it. FNV-1a is
  * used because the input is tiny (a few hundred canonical bytes), the
  * function is a dozen lines with no dependencies, and the 64-bit

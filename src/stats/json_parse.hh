@@ -4,7 +4,7 @@
  *
  * Three consumers need to *read* JSON back: the serving daemon parses
  * request lines off its socket, the wsg-submit client parses response
- * headers, and the round-trip tests re-read emitted wsg-study-report-v2
+ * headers, and the round-trip tests re-read emitted wsg-study-report-v3
  * artifacts to check the schema. The documents involved are small (one
  * request line, one report), so this is a straightforward recursive-
  * descent parser into an owning tree; no streaming, no SAX.

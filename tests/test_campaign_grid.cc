@@ -194,3 +194,70 @@ TEST(CampaignGrid, NamesEncodeNonDefaultAxesOnly)
     EXPECT_EQ(qualified.entries[0].name,
               "fig2-lu-B16@size=large@ppo=2@prof=aet");
 }
+
+TEST(CampaignGrid, MachineAxesExpandNormalizeAndName)
+{
+    GridSpec spec = parseGridSpec(R"({
+        "schema": "wsg-campaign-grid-v1",
+        "presets": ["fig2-lu-B16"],
+        "protocols": ["wi", "mesi"],
+        "hierarchies": ["single", "incl:4096:65536"]})");
+    // Short spellings normalize through the real parsers at parse
+    // time, so labels and hashes are canonical.
+    ASSERT_EQ(spec.protocols.size(), 2u);
+    EXPECT_EQ(spec.protocols[0], "write-invalidate");
+    EXPECT_EQ(spec.protocols[1], "mesi");
+    ASSERT_EQ(spec.hierarchies.size(), 2u);
+    EXPECT_EQ(spec.hierarchies[1], "incl:4096:65536");
+
+    Grid grid = expandGrid(spec);
+    ASSERT_EQ(grid.entries.size(), 4u);
+    // Default axes stay out of names and requests; non-default ones
+    // appear as @proto= / @hier= segments in axis order.
+    EXPECT_EQ(grid.entries[0].name, "fig2-lu-B16");
+    EXPECT_TRUE(grid.entries[0].request.protocol.empty());
+    EXPECT_TRUE(grid.entries[0].request.hierarchy.empty());
+    EXPECT_EQ(grid.entries[1].name,
+              "fig2-lu-B16@hier=incl:4096:65536");
+    EXPECT_EQ(grid.entries[2].name, "fig2-lu-B16@proto=mesi");
+    EXPECT_EQ(grid.entries[3].name,
+              "fig2-lu-B16@proto=mesi@hier=incl:4096:65536");
+    EXPECT_EQ(grid.entries[3].request.protocol, "mesi");
+    EXPECT_EQ(grid.entries[3].request.hierarchy, "incl:4096:65536");
+
+    std::set<std::string> hashes;
+    for (const CampaignEntry &entry : grid.entries)
+        hashes.insert(entry.configHash);
+    EXPECT_EQ(hashes.size(), 4u) << "machine points must not collide";
+}
+
+TEST(CampaignGrid, MachineAxisDefaultsLeaveHashesUntouched)
+{
+    // A grid that spells the defaults explicitly is the same grid: a
+    // pre-axes campaign manifest must keep resolving byte-identically.
+    GridSpec plain;
+    plain.presets = {"fig2-lu-B16"};
+    GridSpec spelled = parseGridSpec(R"({
+        "schema": "wsg-campaign-grid-v1",
+        "presets": ["fig2-lu-B16"],
+        "protocols": ["write-invalidate"],
+        "hierarchies": ["single"]})");
+    Grid a = expandGrid(plain);
+    Grid b = expandGrid(spelled);
+    EXPECT_EQ(a.gridHash, b.gridHash);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    EXPECT_EQ(a.entries[0].name, b.entries[0].name);
+    EXPECT_EQ(a.entries[0].configHash, b.entries[0].configHash);
+}
+
+TEST(CampaignGrid, MachineAxisTyposAreRejected)
+{
+    EXPECT_THROW(parseGridSpec(R"({
+        "schema": "wsg-campaign-grid-v1",
+        "protocols": ["moesi"]})"),
+                 CampaignError);
+    EXPECT_THROW(parseGridSpec(R"({
+        "schema": "wsg-campaign-grid-v1",
+        "hierarchies": ["incl:65536:4096"]})"),
+                 CampaignError);
+}

@@ -242,3 +242,40 @@ TEST(CampaignReport, ParserRejectsWrongSchema)
     EXPECT_THROW(parseCampaignReport("not json"), CampaignError);
     EXPECT_THROW(parseCampaignReport("[]"), CampaignError);
 }
+
+TEST(CampaignReport, MachineAxesSurviveTheRoundTrip)
+{
+    Grid grid;
+    grid.gridHash = "g7";
+    CampaignEntry plain = entry("appA", "h1");
+    CampaignEntry mach = entry("appA", "h2");
+    mach.name = "appA@proto=mesi@hier=incl:4096:65536";
+    mach.protocol = "mesi";
+    mach.hierarchy = "incl:4096:65536";
+    grid.entries.push_back(plain);
+    grid.entries.push_back(mach);
+    CampaignResult result;
+    result.outcomes.push_back(okOutcome(payload(1024, 2)));
+    result.outcomes.push_back(okOutcome(payload(65536, 2)));
+
+    CampaignReport report = buildCampaignReport(grid, result);
+    ASSERT_EQ(report.studies.size(), 2u);
+    EXPECT_EQ(report.studies[0].protocol, "");
+    EXPECT_EQ(report.studies[0].hierarchy, "");
+    EXPECT_EQ(report.studies[1].protocol, "mesi");
+    EXPECT_EQ(report.studies[1].hierarchy, "incl:4096:65536");
+
+    std::string once = writeCampaignReport(report);
+    // Default axes stay out of the document entirely, so a pre-axes
+    // campaign's report bytes are unchanged; non-default ones appear.
+    EXPECT_EQ(once.find("write-invalidate"), std::string::npos);
+    EXPECT_NE(once.find("\"protocol\": \"mesi\""), std::string::npos);
+    EXPECT_NE(once.find("\"hierarchy\": \"incl:4096:65536\""),
+              std::string::npos);
+
+    CampaignReport back = parseCampaignReport(once);
+    ASSERT_EQ(back.studies.size(), 2u);
+    EXPECT_EQ(back.studies[1].protocol, "mesi");
+    EXPECT_EQ(back.studies[1].hierarchy, "incl:4096:65536");
+    EXPECT_EQ(writeCampaignReport(back), once);
+}

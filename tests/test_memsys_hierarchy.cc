@@ -169,3 +169,165 @@ TEST(TwoLevel, AttachesToMultiprocessor)
         EXPECT_GE(h->stats().l1Misses, h->stats().l2Misses);
     }
 }
+
+// ---------------------------------------------------------------------
+// Inclusion-discipline invariants, checked against a naive oracle.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The three reference streams the invariants are checked under. */
+std::vector<Addr>
+stream(const std::string &kind)
+{
+    std::vector<Addr> refs;
+    if (kind == "random") {
+        std::mt19937_64 rng(11);
+        for (int i = 0; i < 6000; ++i)
+            refs.push_back(rng() % 192);
+    } else if (kind == "looped") {
+        for (int rep = 0; rep < 40; ++rep)
+            for (Addr a = 0; a < 150; ++a)
+                refs.push_back(a);
+    } else { // "eviction": strided sweep far beyond both capacities
+        for (int rep = 0; rep < 30; ++rep)
+            for (Addr a = 0; a < 192; ++a)
+                refs.push_back(a * 7 % 192);
+    }
+    return refs;
+}
+
+const char *kStreams[] = {"random", "looped", "eviction"};
+
+} // namespace
+
+TEST(Inclusion, InclusiveL2IsSupersetOfL1AfterEveryReference)
+{
+    for (const char *kind : kStreams) {
+        SCOPED_TRACE(kind);
+        TwoLevelCache h(std::make_unique<FullyAssocLru>(8),
+                        std::make_unique<FullyAssocLru>(64),
+                        InclusionPolicy::Inclusive);
+        std::mt19937_64 coin(23);
+        std::vector<Addr> universe;
+        for (Addr a = 0; a < 192; ++a)
+            universe.push_back(a);
+        for (Addr a : stream(kind)) {
+            h.accessDetailed(a);
+            // Coherence invalidations must not break inclusion either.
+            if (coin() % 97 == 0)
+                h.invalidate(coin() % 192);
+            for (Addr u : universe) {
+                if (h.l1().contains(u)) {
+                    ASSERT_TRUE(h.l2().contains(u))
+                        << u << " live in L1 but not in L2";
+                }
+            }
+        }
+    }
+}
+
+TEST(Inclusion, ExclusiveLevelsAreDisjointAfterEveryReference)
+{
+    for (const char *kind : kStreams) {
+        SCOPED_TRACE(kind);
+        TwoLevelCache h(std::make_unique<FullyAssocLru>(8),
+                        std::make_unique<FullyAssocLru>(64),
+                        InclusionPolicy::Exclusive);
+        std::mt19937_64 coin(29);
+        for (Addr a : stream(kind)) {
+            h.accessDetailed(a);
+            if (coin() % 97 == 0)
+                h.invalidate(coin() % 192);
+            for (Addr u = 0; u < 192; ++u)
+                ASSERT_FALSE(h.l1().contains(u) && h.l2().contains(u))
+                    << u << " resident in both exclusive levels";
+        }
+    }
+}
+
+TEST(Inclusion, ExclusiveActsAsOneCacheOfCombinedCapacity)
+{
+    // Fully-associative LRU at both levels, exclusive: promotions and
+    // spills preserve global recency order, so the pair services the
+    // exact reference outcomes of a single LRU of L1+L2 lines.
+    for (const char *kind : kStreams) {
+        SCOPED_TRACE(kind);
+        TwoLevelCache h(std::make_unique<FullyAssocLru>(8),
+                        std::make_unique<FullyAssocLru>(64),
+                        InclusionPolicy::Exclusive);
+        FullyAssocLru oracle(72);
+        for (Addr a : stream(kind))
+            ASSERT_EQ(h.access(a), oracle.access(a)) << "at line " << a;
+    }
+}
+
+TEST(Inclusion, L2HoldingTheWorkingSetCollapsesToL2AloneMisses)
+{
+    // When L2 is at least the footprint, the two-level machine's
+    // memory misses equal those of the L2 run alone (pure cold), under
+    // every discipline: granularity stops mattering once the working
+    // set fits — the paper's cache-size knee argument at node scale.
+    for (InclusionPolicy policy :
+         {InclusionPolicy::NonInclusive, InclusionPolicy::Inclusive,
+          InclusionPolicy::Exclusive}) {
+        SCOPED_TRACE(static_cast<int>(policy));
+        TwoLevelCache h(std::make_unique<FullyAssocLru>(8),
+                        std::make_unique<FullyAssocLru>(64),
+                        policy);
+        FullyAssocLru l2_alone(64);
+        std::uint64_t h_misses = 0, alone_misses = 0;
+        std::mt19937_64 rng(31);
+        for (int i = 0; i < 20000; ++i) {
+            Addr a = rng() % 48; // footprint 48 < 64 L2 lines
+            h_misses += h.access(a) == AccessOutcome::Miss;
+            alone_misses += l2_alone.access(a) == AccessOutcome::Miss;
+        }
+        EXPECT_EQ(h_misses, alone_misses);
+        EXPECT_EQ(h_misses, 48u); // cold only
+    }
+}
+
+// ---------------------------------------------------------------------
+// NodeHierarchySpec: the machine-axis form of the hierarchy.
+// ---------------------------------------------------------------------
+
+TEST(HierarchySpec, ValidateEnforcesLevelSizes)
+{
+    NodeHierarchySpec spec;
+    spec.validate(64); // single level: nothing to check
+
+    spec = parseHierarchySpec("incl:4096:65536");
+    spec.validate(64);
+    EXPECT_THROW(spec.validate(8192), std::invalid_argument);
+
+    spec.l2Bytes = spec.l1Bytes;
+    EXPECT_THROW(spec.validate(64), std::invalid_argument);
+}
+
+TEST(HierarchySpec, SimulatorBuildsTheRequestedHierarchy)
+{
+    for (const char *label : {"incl:64:1024", "excl:64:1024"}) {
+        SCOPED_TRACE(label);
+        wsg::sim::SimConfig config;
+        config.numProcs = 2;
+        config.lineBytes = 8;
+        config.hierarchy = parseHierarchySpec(label);
+        wsg::sim::Multiprocessor mp(config);
+        std::mt19937_64 rng(37);
+        for (int i = 0; i < 20000; ++i) {
+            wsg::trace::ProcId p = rng() % 2;
+            if (rng() % 6 == 0)
+                mp.write(p, (rng() % 512) * 8, 8);
+            else
+                mp.read(p, (rng() % 512) * 8, 8);
+        }
+        HierarchyStats hs = mp.hierarchyStats();
+        EXPECT_GT(hs.accesses, 0u);
+        EXPECT_GT(hs.l1Misses, 0u);
+        EXPECT_GE(hs.l1Misses, hs.l2Misses);
+        EXPECT_NEAR(hs.memoryMissRate(),
+                    hs.l1MissRate() * hs.l2LocalMissRate(), 1e-12);
+    }
+}

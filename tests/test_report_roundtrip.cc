@@ -50,7 +50,7 @@ TEST(ReportRoundTrip, SchemaFieldsCurveLengthsAndConfigHash)
     EXPECT_EQ(bytes.back(), '\n');
     JsonValue root = wsg::stats::parseJson(bytes);
 
-    EXPECT_EQ(root.at("schema").asString(), "wsg-study-report-v2");
+    EXPECT_EQ(root.at("schema").asString(), "wsg-study-report-v3");
     const JsonValue &studies = root.at("studies");
     ASSERT_EQ(studies.kind(), JsonValue::Kind::Array);
     ASSERT_EQ(studies.size(), 1u);
@@ -97,6 +97,42 @@ TEST(ReportRoundTrip, SchemaFieldsCurveLengthsAndConfigHash)
     EXPECT_NE(agg.find("read_true_sharing"), nullptr);
     EXPECT_NE(agg.find("read_false_sharing"), nullptr);
     EXPECT_GT(agg.at("reads").asNumber(), 0.0);
+
+    // Default machine axes: the v3 additions stay absent, so a
+    // default-axes report differs from v2 in the schema string alone.
+    EXPECT_EQ(study.find("protocol"), nullptr);
+    EXPECT_EQ(study.find("node_hierarchy"), nullptr);
+    EXPECT_EQ(agg.find("invalidations_sent"), nullptr);
+    EXPECT_EQ(agg.find("upgrades_sent"), nullptr);
+}
+
+TEST(ReportRoundTrip, OffDefaultAxesEmitTheV3Fields)
+{
+    core::StudyConfig sc;
+    sc.protocol = sim::CoherenceProtocol::Mesi;
+    sc.hierarchy = memsys::parseHierarchySpec("incl:1024:16384");
+    core::JobReport report =
+        core::runJobInline(core::luStudyJob(core::presets::simLu(8), sc));
+    ASSERT_TRUE(report.ok) << report.error;
+
+    JsonValue root = wsg::stats::parseJson(core::jsonReport({report}));
+    const JsonValue &study = root.at("studies")[0];
+    EXPECT_EQ(study.at("protocol").asString(), "mesi");
+
+    const JsonValue &agg = study.at("aggregate");
+    EXPECT_NE(agg.find("invalidations_sent"), nullptr);
+    EXPECT_NE(agg.find("upgrades_sent"), nullptr);
+
+    const JsonValue &hier = study.at("node_hierarchy");
+    EXPECT_EQ(hier.at("spec").asString(), "incl:1024:16384");
+    EXPECT_GT(hier.at("accesses").asNumber(), 0.0);
+    EXPECT_GE(hier.at("l1_misses").asNumber(),
+              hier.at("l2_misses").asNumber());
+
+    // The axes are part of the canonical config, so the hash moves.
+    core::StudyJob defaults = core::luStudyJob(core::presets::simLu(8));
+    EXPECT_NE(study.at("config_hash").asString(),
+              wsg::stats::fnv1a64Hex(defaults.canonicalConfig));
 }
 
 TEST(ReportRoundTrip, FailedStudyCarriesErrorAndTimedOut)

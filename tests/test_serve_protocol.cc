@@ -111,6 +111,59 @@ TEST(ServeProtocol, RequestConfigRejectsConflictingSampling)
     EXPECT_DOUBLE_EQ(config.sampling.rate, 0.5);
 }
 
+TEST(ServeProtocol, MachineAxesRoundTripAndMapToStudyConfig)
+{
+    Request req;
+    req.op = Op::Study;
+    req.preset = "x";
+    req.protocol = "mesi";
+    req.hierarchy = "excl:4096:65536";
+
+    Request back = parseRequest(encodeRequest(req));
+    EXPECT_EQ(back.protocol, "mesi");
+    EXPECT_EQ(back.hierarchy, "excl:4096:65536");
+
+    core::StudyConfig config = back.studyConfig();
+    EXPECT_EQ(config.protocol, sim::CoherenceProtocol::Mesi);
+    EXPECT_EQ(config.hierarchy.kind,
+              memsys::HierarchyKind::TwoLevelExclusive);
+    EXPECT_EQ(config.hierarchy.l1Bytes, 4096u);
+    EXPECT_EQ(config.hierarchy.l2Bytes, 65536u);
+}
+
+TEST(ServeProtocol, DefaultMachineAxesStayOffTheWire)
+{
+    // "" axes must not appear in the encoded request, so pre-axes
+    // clients and servers keep exchanging byte-identical lines (and
+    // the daemon's content-addressed cache keys are stable).
+    Request req;
+    req.op = Op::Study;
+    req.preset = "x";
+    std::string line = encodeRequest(req);
+    EXPECT_EQ(line.find("protocol"), std::string::npos);
+    EXPECT_EQ(line.find("hierarchy"), std::string::npos);
+
+    Request back = parseRequest(line);
+    EXPECT_TRUE(back.protocol.empty());
+    EXPECT_TRUE(back.hierarchy.empty());
+    core::StudyConfig config = back.studyConfig();
+    EXPECT_EQ(config.protocol, sim::CoherenceProtocol::WriteInvalidate);
+    EXPECT_FALSE(config.hierarchy.twoLevel());
+}
+
+TEST(ServeProtocol, BadMachineAxesBecomeProtocolErrors)
+{
+    Request req;
+    req.op = Op::Study;
+    req.preset = "x";
+    req.protocol = "moesi";
+    EXPECT_THROW(req.studyConfig(), ProtocolError);
+
+    req.protocol = "";
+    req.hierarchy = "incl:65536:4096";
+    EXPECT_THROW(req.studyConfig(), ProtocolError);
+}
+
 TEST(ServeProtocol, ResponseHeaderRoundTrip)
 {
     ResponseHeader header;

@@ -542,3 +542,150 @@ TEST(MissClassSampling, SampledSplitEstimatesConvergeOnExact)
     EXPECT_NEAR(s.falseSharing, e.falseSharing, 0.15 * e.falseSharing);
     EXPECT_NEAR(s.capacity, e.capacity, 0.15 * e.capacity);
 }
+
+// ---------------------------------------------------------------------
+// The protocol x hierarchy x sampling matrix.
+// ---------------------------------------------------------------------
+
+/**
+ * The invariant harness's core claim: the four-way breakdown closes at
+ * every swept size under EVERY protocol, EVERY node hierarchy, exact
+ * or sampled. The hierarchy attaches concrete caches only — profiled
+ * curves must not move — and the protocols only reshuffle which
+ * category a miss lands in, never whether the categories sum.
+ */
+TEST(MissClassesMatrix, SumIdentityUnderEveryProtocolHierarchyAndSampling)
+{
+    const CoherenceProtocol kProtocols[] = {
+        CoherenceProtocol::WriteInvalidate,
+        CoherenceProtocol::WriteUpdate, CoherenceProtocol::Mi,
+        CoherenceProtocol::Msi, CoherenceProtocol::Mesi};
+    const char *kHierarchies[] = {"single", "incl:1024:16384",
+                                  "excl:1024:16384"};
+
+    for (CoherenceProtocol protocol : kProtocols) {
+        for (const char *hier : kHierarchies) {
+            for (bool sampled : {false, true}) {
+                SCOPED_TRACE(std::string(coherenceProtocolName(
+                                 protocol)) +
+                             " / " + hier +
+                             (sampled ? " / sampled" : " / exact"));
+                approx::SamplingConfig sampling;
+                if (sampled) {
+                    sampling.mode = approx::SamplingMode::FixedRate;
+                    sampling.rate = 0.5;
+                }
+                SimConfig config{4, 32, protocol, sampling,
+                                 memsys::ProfilerKind::TreeMattson,
+                                 memsys::parseHierarchySpec(hier)};
+                Multiprocessor mp(config);
+                std::mt19937_64 rng(512);
+                for (int i = 0; i < 20000; ++i) {
+                    auto pid = static_cast<ProcId>(rng() % 4);
+                    trace::Addr addr = (rng() % 1024) * 8;
+                    if (rng() % 3 == 0)
+                        mp.write(pid, addr, 8);
+                    else
+                        mp.read(pid, addr, 8);
+                }
+                ProcStats agg = mp.aggregateStats();
+
+                // Dubois partition of the coherence counters.
+                EXPECT_EQ(agg.readTrueSharing + agg.readFalseSharing,
+                          agg.readCoherence);
+                EXPECT_EQ(agg.writeTrueSharing +
+                              agg.writeFalseSharing,
+                          agg.writeCoherence);
+
+                CurveSpec spec;
+                spec.cacheSizesBytes = sweepSizes(32, 1 << 19, 4, 32);
+                spec.includeCold = true;
+                spec.sampling = sampling;
+                MissClassCurves mc = mp.readMissClassCurves(spec);
+                stats::Curve total =
+                    mp.readMissRateCurve(spec, "total");
+                ASSERT_EQ(mc.points.size(),
+                          spec.cacheSizesBytes.size());
+                for (std::size_t i = 0; i < mc.points.size(); ++i) {
+                    double have = mc.points[i].total();
+                    if (sampled) {
+                        // Scaled categories close on the scaled total.
+                        double want =
+                            total[i].y * static_cast<double>(agg.reads);
+                        EXPECT_NEAR(have, want,
+                                    1e-9 * want + 1e-9)
+                            << "at size "
+                            << spec.cacheSizesBytes[i];
+                    } else {
+                        std::uint64_t lines =
+                            spec.cacheSizesBytes[i] / 32;
+                        EXPECT_EQ(have,
+                                  static_cast<double>(agg.readMissesAt(
+                                      lines, /*include_cold=*/true)))
+                            << "at size "
+                            << spec.cacheSizesBytes[i];
+                    }
+                }
+
+                // Two-level machine points report per-level counters.
+                memsys::HierarchyStats hs = mp.hierarchyStats();
+                if (config.hierarchy.twoLevel()) {
+                    EXPECT_GT(hs.accesses, 0u);
+                    EXPECT_LE(hs.l2Misses, hs.l1Misses);
+                    EXPECT_LE(hs.l1Misses, hs.accesses);
+                } else {
+                    EXPECT_EQ(hs.accesses, 0u);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Parallel study execution stays byte-deterministic when the machine
+ * axes are off their defaults: the same MESI + inclusive-two-level
+ * batch at 1/2/4/8 workers emits identical report bytes.
+ */
+TEST(MissClassesMatrix, ReportsByteIdenticalAcrossWorkersOffDefaultAxes)
+{
+    core::StudyConfig sc;
+    sc.minCacheBytes = 16;
+    sc.protocol = CoherenceProtocol::Mesi;
+    sc.hierarchy = memsys::parseHierarchySpec("incl:1024:16384");
+
+    apps::lu::LuConfig lu;
+    lu.n = 48;
+    lu.blockSize = 8;
+    lu.procRows = 2;
+    lu.procCols = 2;
+    apps::cg::CgConfig cg;
+    cg.n = 48;
+    cg.dims = 2;
+    cg.procX = 2;
+    cg.procY = 2;
+
+    std::vector<core::StudyJob> jobs;
+    jobs.push_back(core::luStudyJob(lu, sc));
+    jobs.push_back(core::cgStudyJob(cg, 2, 1, sc));
+
+    std::string baseline;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        core::RunnerConfig config;
+        config.jobs = workers;
+        core::StudyRunner runner(config);
+        auto reports = runner.run(jobs);
+        for (const core::JobReport &r : reports)
+            ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+        std::string json = core::jsonReport(reports);
+        // Off-default axes must actually show up in the artifact...
+        EXPECT_NE(json.find("\"protocol\": \"mesi\""),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"node_hierarchy\""), std::string::npos);
+        // ...and the bytes must not depend on the worker count.
+        if (baseline.empty())
+            baseline = json;
+        else
+            EXPECT_EQ(json, baseline);
+    }
+}

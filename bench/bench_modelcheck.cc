@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Model-checker state throughput: reachable states, checked
+ * transitions, and wall time for every shipped protocol across model
+ * sizes, plus one mutation-gate row. This is the bench behind the
+ * EXPERIMENTS "Verification" table and the guard on the <10s
+ * acceptance budget for the CI gate (all protocols, N=4, depth=8).
+ *
+ * Full mode sweeps N = 2..6 to the fixed point (depth 0) with and
+ * without the symmetry reduction; --smoke runs N in {2, 4} bounded at
+ * depth 8, which is the CI configuration.
+ *
+ * Reported per row: protocol, procs, mode, reachable states, checked
+ * transitions (invariant sweep plus refinement products), wall time,
+ * and transitions/second. Any violation on a shipped protocol fails
+ * the bench hard — the throughput of a broken checker is meaningless.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+#include "verify/mutants.hh"
+
+using namespace wsg;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/** One verifyProtocol timing row; exits non-zero on a violation. */
+bool
+runRow(sim::CoherenceProtocol protocol, const verify::CheckConfig &config,
+       const char *mode)
+{
+    auto start = std::chrono::steady_clock::now();
+    verify::ProtocolCheck check = verify::verifyProtocol(protocol, config);
+    double secs = seconds(std::chrono::steady_clock::now() - start);
+    std::uint64_t transitions = check.totalTransitions();
+    std::cout << std::left << std::setw(17)
+              << sim::coherenceProtocolName(protocol) << std::right
+              << std::setw(3) << config.procs << "  " << std::left
+              << std::setw(10) << mode << std::right << std::setw(8)
+              << check.invariants.statesExplored << std::setw(12)
+              << transitions << std::setw(11) << std::fixed
+              << std::setprecision(1) << secs * 1e3 << " ms"
+              << std::setw(13) << std::setprecision(0)
+              << (secs > 0 ? static_cast<double>(transitions) / secs
+                           : 0.0)
+              << " t/s\n";
+    if (!check.clean()) {
+        const verify::Violation *violation = check.firstViolation();
+        std::cout << "VIOLATION on shipped protocol "
+                  << sim::coherenceProtocolName(protocol) << ": "
+                  << violation->invariant << " — " << violation->detail
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::cerr << "usage: bench_modelcheck [--smoke]\n";
+            return 2;
+        }
+    }
+
+    std::cout << "model-checker state throughput ("
+              << (smoke ? "smoke: N in {2,4}, depth 8"
+                        : "full: N=2..6, fixed point")
+              << ")\n"
+              << std::left << std::setw(17) << "protocol" << std::right
+              << std::setw(3) << "N"
+              << "  " << std::left << std::setw(10) << "mode"
+              << std::right << std::setw(8) << "states" << std::setw(12)
+              << "transitions" << std::setw(14) << "time"
+              << std::setw(17) << "throughput\n";
+
+    std::vector<std::uint32_t> sizes =
+        smoke ? std::vector<std::uint32_t>{2, 4}
+              : std::vector<std::uint32_t>{2, 3, 4, 5, 6};
+    bool ok = true;
+    auto total_start = std::chrono::steady_clock::now();
+    for (std::uint32_t procs : sizes) {
+        for (sim::CoherenceProtocol protocol :
+             verify::shippedProtocols()) {
+            verify::CheckConfig config;
+            config.procs = procs;
+            config.depth = smoke ? 8 : 0;
+            ok = runRow(protocol, config, smoke ? "depth-8" : "plain") &&
+                 ok;
+            if (!smoke) {
+                config.symmetry = true;
+                ok = runRow(protocol, config, "symmetric") && ok;
+            }
+        }
+    }
+
+    // The gate row: the CI configuration, all mutants.
+    verify::CheckConfig gate;
+    auto gate_start = std::chrono::steady_clock::now();
+    std::size_t killed = 0;
+    std::uint64_t gate_transitions = 0;
+    for (const verify::MutantInfo &mutant : verify::mutantRegistry()) {
+        verify::MutantCheck check = verify::checkMutant(mutant, gate);
+        gate_transitions += check.transitionsChecked;
+        if (check.killed && check.killedBy == mutant.expectedKiller)
+            ++killed;
+    }
+    double gate_secs =
+        seconds(std::chrono::steady_clock::now() - gate_start);
+    std::cout << "mutation gate: " << killed << "/"
+              << verify::mutantRegistry().size() << " killed, "
+              << gate_transitions << " transitions, " << std::fixed
+              << std::setprecision(1) << gate_secs * 1e3 << " ms\n";
+    ok = ok && killed == verify::mutantRegistry().size();
+
+    double total_secs =
+        seconds(std::chrono::steady_clock::now() - total_start);
+    std::cout << "total wall time: " << std::fixed
+              << std::setprecision(2) << total_secs << " s"
+              << (smoke ? " (budget 10 s)" : "") << "\n";
+    if (smoke && total_secs > 10.0) {
+        std::cout << "OVER BUDGET: the CI gate must finish in 10 s\n";
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

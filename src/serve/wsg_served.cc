@@ -101,7 +101,9 @@ main(int argc, char **argv)
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
-    std::cout << "listening on " << config.socketPath << std::endl;
+    // Flush before blocking in wait() so launchers see the banner.
+    std::cout << "listening on " << config.socketPath << "\n"
+              << std::flush;
     server.wait();
 
     serve::ServiceStats stats = server.service().stats();

@@ -1,0 +1,490 @@
+#include "verify/checker.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wsg::verify
+{
+
+void
+CheckConfig::validate() const
+{
+    if (procs == 0 || procs > kMaxModelProcs) {
+        throw std::invalid_argument(
+            "CheckConfig: procs must be in [1, " +
+            std::to_string(kMaxModelProcs) +
+            "] (the small-scope model bound; the simulator itself "
+            "goes to 64)");
+    }
+    if (depth > 64) {
+        throw std::invalid_argument(
+            "CheckConfig: depth must be <= 64 (use depth 0 for the "
+            "unbounded fixed-point mode)");
+    }
+}
+
+namespace
+{
+
+/** Visited-set entry: BFS tree edge back towards the initial state. */
+struct Node
+{
+    std::uint64_t parent = 0;
+    Access via{};
+    std::uint32_t depth = 0;
+};
+
+using VisitedMap = std::unordered_map<std::uint64_t, Node>;
+
+/** Path root -> @p key, plus the violating access @p last. */
+std::vector<Access>
+rebuildTrace(const VisitedMap &visited, std::uint64_t key, Access last)
+{
+    std::vector<Access> trace;
+    for (;;) {
+        const Node &node = visited.at(key);
+        if (node.depth == 0)
+            break;
+        trace.push_back(node.via);
+        key = node.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    trace.push_back(last);
+    return trace;
+}
+
+std::string
+describeActions(const sim::CoherenceActions &actions)
+{
+    std::string out = "invalidate=0x";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(
+                      actions.invalidateMask));
+    out += buf;
+    out += " updates=" + std::to_string(actions.updates);
+    out += actions.upgrade ? " upgrade" : "";
+    return out;
+}
+
+/** All permutations of [0, procs), padded with the identity above. */
+std::vector<std::array<std::uint8_t, kMaxModelProcs>>
+makePermutations(std::uint32_t procs)
+{
+    std::array<std::uint8_t, kMaxModelProcs> perm{};
+    for (std::uint32_t i = 0; i < kMaxModelProcs; ++i)
+        perm[i] = static_cast<std::uint8_t>(i);
+    std::vector<std::array<std::uint8_t, kMaxModelProcs>> perms;
+    do {
+        perms.push_back(perm);
+    } while (std::next_permutation(perm.begin(),
+                                   perm.begin() + procs));
+    return perms;
+}
+
+/** Minimum encoding over all processor permutations; @p canon receives
+ *  the representative state realizing it. */
+std::uint64_t
+canonicalKey(
+    const ModelState &state, std::uint32_t procs,
+    const std::vector<std::array<std::uint8_t, kMaxModelProcs>> &perms,
+    ModelState &canon)
+{
+    std::uint64_t best = encodeState(state, procs);
+    canon = state;
+    for (const auto &perm : perms) {
+        ModelState permuted = permuteState(state, perm, procs);
+        std::uint64_t key = encodeState(permuted, procs);
+        if (key < best) {
+            best = key;
+            canon = permuted;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+CheckResult
+checkPolicy(const sim::CoherencePolicy &policy,
+            const CheckConfig &config)
+{
+    config.validate();
+    CheckResult result;
+    std::vector<std::array<std::uint8_t, kMaxModelProcs>> perms;
+    if (config.symmetry)
+        perms = makePermutations(config.procs);
+
+    ModelState init{};
+    std::uint64_t init_key = encodeState(init, config.procs);
+    VisitedMap visited;
+    visited[init_key] = Node{init_key, Access{}, 0};
+    std::deque<std::pair<ModelState, std::uint64_t>> frontier;
+    frontier.emplace_back(init, init_key);
+
+    bool stopped_early = false;
+    while (!frontier.empty()) {
+        auto [state, key] = frontier.front();
+        frontier.pop_front();
+        std::uint32_t depth = visited.at(key).depth;
+        if (config.depth != 0 && depth >= config.depth)
+            continue;
+        for (std::uint32_t pid = 0; pid < config.procs; ++pid) {
+            for (bool is_write : {false, true}) {
+                if (stopped_early)
+                    break;
+                Access access{pid, is_write};
+                Step step =
+                    applyStep(policy, state, access, config.procs);
+                ++result.transitionsChecked;
+                std::vector<InvariantId> bad;
+                if (!checkInvariants(state, access, step, config.procs,
+                                     bad)) {
+                    Violation violation;
+                    violation.invariant = invariantName(bad.front());
+                    violation.detail =
+                        std::string(invariantName(bad.front())) +
+                        " broken by " + describeAccess(access) +
+                        " on " + describeState(state, config.procs) +
+                        " -> " +
+                        describeState(step.next, config.procs) + " (" +
+                        describeActions(step.actions) + ")";
+                    violation.trace =
+                        rebuildTrace(visited, key, access);
+                    violation.actions = step.actions;
+                    result.violations.push_back(std::move(violation));
+                    if (result.violations.size() >=
+                        config.maxViolations) {
+                        stopped_early = true;
+                    }
+                    // A broken successor state is not expanded: every
+                    // path through it would only cascade the same
+                    // defect into longer, less useful traces.
+                    continue;
+                }
+                ModelState next = step.next;
+                std::uint64_t next_key;
+                if (config.symmetry) {
+                    ModelState canon;
+                    next_key = canonicalKey(next, config.procs, perms,
+                                            canon);
+                    next = canon;
+                } else {
+                    next_key = encodeState(next, config.procs);
+                }
+                if (visited.emplace(next_key,
+                                    Node{key, access, depth + 1})
+                        .second) {
+                    result.maxDepthReached =
+                        std::max(result.maxDepthReached, depth + 1);
+                    frontier.emplace_back(next, next_key);
+                }
+            }
+            if (stopped_early)
+                break;
+        }
+        if (stopped_early)
+            break;
+    }
+    result.statesExplored = visited.size();
+    // Closure proof: with no early stop, either we ran unbounded to
+    // the empty frontier, or the bounded run never even generated a
+    // state at the bound — the reachable space was closed within it.
+    result.exhausted =
+        !stopped_early &&
+        (config.depth == 0 || result.maxDepthReached < config.depth);
+
+    // Symmetric counterexample traces live in per-step permuted
+    // frames, and mutant policies need not be processor-anonymous, so
+    // a violating symmetric run re-derives its witness with a plain
+    // exhaustive run — same bounds, concrete (replayable) trace.
+    if (config.symmetry && !result.clean()) {
+        CheckConfig plain = config;
+        plain.symmetry = false;
+        return checkPolicy(policy, plain);
+    }
+    return result;
+}
+
+const char *
+relationName(RelationKind kind)
+{
+    switch (kind) {
+      case RelationKind::StateEqual: return "state-equal";
+      case RelationKind::MesiRefinesMsi: return "mesi-refines-msi";
+      case RelationKind::TombstoneDominance: break;
+    }
+    return "tombstone-dominance";
+}
+
+namespace
+{
+
+/** Product state: both policies' line states plus both tombstone
+ *  (invalidated-and-pending) masks. */
+struct RelState
+{
+    sim::LineState lhs{};
+    sim::LineState rhs{};
+    std::uint8_t pendingLhs = 0;
+    std::uint8_t pendingRhs = 0;
+};
+
+std::uint64_t
+encodeRelState(const RelState &state)
+{
+    std::uint64_t key = state.lhs.sharers & 0x3f;
+    key |= static_cast<std::uint64_t>(state.lhs.exclusivePlusOne & 0x7)
+           << 6;
+    key |= static_cast<std::uint64_t>(state.rhs.sharers & 0x3f) << 9;
+    key |= static_cast<std::uint64_t>(state.rhs.exclusivePlusOne & 0x7)
+           << 15;
+    key |= static_cast<std::uint64_t>(state.pendingLhs) << 18;
+    key |= static_cast<std::uint64_t>(state.pendingRhs) << 24;
+    return key;
+}
+
+std::string
+lineString(const sim::LineState &line)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "sharers=0x%llx excl=%d",
+                  static_cast<unsigned long long>(line.sharers),
+                  static_cast<int>(line.exclusivePlusOne) - 1);
+    return buf;
+}
+
+/** Divergence check for one lockstep transition; returns the
+ *  divergence id ("" = consistent) and fills @p detail. */
+std::string
+relationDivergence(RelationKind kind, const RelState &pre,
+                   const RelState &post, Access access,
+                   const sim::CoherenceActions &lhs_actions,
+                   const sim::CoherenceActions &rhs_actions,
+                   std::string &detail)
+{
+    switch (kind) {
+      case RelationKind::StateEqual:
+        if (post.lhs.sharers != post.rhs.sharers ||
+            post.lhs.exclusivePlusOne != post.rhs.exclusivePlusOne) {
+            detail = "states diverge after " +
+                     describeAccess(access) + ": lhs " +
+                     lineString(post.lhs) + " vs rhs " +
+                     lineString(post.rhs);
+            return "state-equal";
+        }
+        if (lhs_actions.invalidateMask != rhs_actions.invalidateMask ||
+            lhs_actions.updates != rhs_actions.updates ||
+            lhs_actions.upgrade != rhs_actions.upgrade) {
+            detail = "actions diverge on " + describeAccess(access) +
+                     ": lhs " + describeActions(lhs_actions) +
+                     " vs rhs " + describeActions(rhs_actions);
+            return "state-equal";
+        }
+        return "";
+      case RelationKind::MesiRefinesMsi:
+        if (post.lhs.sharers != post.rhs.sharers) {
+            detail = "sharer sets diverge after " +
+                     describeAccess(access) + ": mesi " +
+                     lineString(post.lhs) + " vs msi " +
+                     lineString(post.rhs);
+            return "mesi-sharers";
+        }
+        if (lhs_actions.invalidateMask != rhs_actions.invalidateMask) {
+            detail = "invalidations diverge on " +
+                     describeAccess(access) + ": mesi " +
+                     describeActions(lhs_actions) + " vs msi " +
+                     describeActions(rhs_actions);
+            return "mesi-invalidations";
+        }
+        if (lhs_actions.updates != rhs_actions.updates) {
+            detail = "update messages diverge on " +
+                     describeAccess(access);
+            return "mesi-updates";
+        }
+        if (lhs_actions.upgrade && !rhs_actions.upgrade) {
+            detail = "mesi upgrades where msi does not, on " +
+                     describeAccess(access) + " from mesi " +
+                     lineString(pre.lhs);
+            return "mesi-extra-upgrade";
+        }
+        if (rhs_actions.upgrade && !lhs_actions.upgrade &&
+            pre.lhs.exclusivePlusOne != access.pid + 1) {
+            detail = "mesi misses an upgrade on " +
+                     describeAccess(access) + " from mesi " +
+                     lineString(pre.lhs) +
+                     " (writer did not hold the line Exclusive, so "
+                     "the silent E->M transition does not apply)";
+            return "mesi-missing-upgrade";
+        }
+        return "";
+      case RelationKind::TombstoneDominance:
+        if ((post.pendingRhs & ~post.pendingLhs) != 0) {
+            char buf[80];
+            std::snprintf(buf, sizeof buf,
+                          "after %s: mi pending=0x%x msi pending=0x%x",
+                          describeAccess(access).c_str(),
+                          static_cast<unsigned>(post.pendingLhs),
+                          static_cast<unsigned>(post.pendingRhs));
+            detail = std::string("mi tombstone set no longer contains "
+                                 "msi's ") +
+                     buf;
+            return "tombstone-dominance";
+        }
+        return "";
+    }
+    return "";
+}
+
+} // namespace
+
+CheckResult
+checkRelation(RelationKind kind, const sim::CoherencePolicy &lhs,
+              const sim::CoherencePolicy &rhs,
+              const CheckConfig &config)
+{
+    config.validate();
+    CheckResult result;
+    RelState init{};
+    std::uint64_t init_key = encodeRelState(init);
+    VisitedMap visited;
+    visited[init_key] = Node{init_key, Access{}, 0};
+    std::deque<std::pair<RelState, std::uint64_t>> frontier;
+    frontier.emplace_back(init, init_key);
+
+    bool stopped_early = false;
+    while (!frontier.empty()) {
+        auto [state, key] = frontier.front();
+        frontier.pop_front();
+        std::uint32_t depth = visited.at(key).depth;
+        if (config.depth != 0 && depth >= config.depth)
+            continue;
+        for (std::uint32_t pid = 0; pid < config.procs; ++pid) {
+            for (bool is_write : {false, true}) {
+                if (stopped_early)
+                    break;
+                Access access{pid, is_write};
+                RelState next = state;
+                sim::CoherenceActions lhs_actions =
+                    lhs.onAccess(next.lhs, pid, is_write);
+                sim::CoherenceActions rhs_actions =
+                    rhs.onAccess(next.rhs, pid, is_write);
+                std::uint8_t self =
+                    static_cast<std::uint8_t>(1u << pid);
+                next.pendingLhs = static_cast<std::uint8_t>(
+                    (next.pendingLhs & ~self) |
+                    lhs_actions.invalidateMask);
+                next.pendingRhs = static_cast<std::uint8_t>(
+                    (next.pendingRhs & ~self) |
+                    rhs_actions.invalidateMask);
+                ++result.transitionsChecked;
+                std::string detail;
+                std::string divergence = relationDivergence(
+                    kind, state, next, access, lhs_actions,
+                    rhs_actions, detail);
+                if (!divergence.empty()) {
+                    Violation violation;
+                    violation.invariant = divergence;
+                    violation.detail = std::move(detail);
+                    violation.trace =
+                        rebuildTrace(visited, key, access);
+                    violation.actions = lhs_actions;
+                    result.violations.push_back(std::move(violation));
+                    if (result.violations.size() >=
+                        config.maxViolations) {
+                        stopped_early = true;
+                    }
+                    continue;
+                }
+                std::uint64_t next_key = encodeRelState(next);
+                if (visited.emplace(next_key,
+                                    Node{key, access, depth + 1})
+                        .second) {
+                    result.maxDepthReached =
+                        std::max(result.maxDepthReached, depth + 1);
+                    frontier.emplace_back(next, next_key);
+                }
+            }
+            if (stopped_early)
+                break;
+        }
+        if (stopped_early)
+            break;
+    }
+    result.statesExplored = visited.size();
+    result.exhausted =
+        !stopped_early &&
+        (config.depth == 0 || result.maxDepthReached < config.depth);
+    return result;
+}
+
+const Violation *
+ProtocolCheck::firstViolation() const
+{
+    if (!invariants.clean())
+        return &invariants.violations.front();
+    for (const auto &relation : relations) {
+        if (!relation.second.clean())
+            return &relation.second.violations.front();
+    }
+    return nullptr;
+}
+
+ProtocolCheck
+verifyProtocol(sim::CoherenceProtocol protocol,
+               const CheckConfig &config)
+{
+    ProtocolCheck check;
+    check.protocol = protocol;
+    const sim::CoherencePolicy &policy =
+        sim::coherencePolicyFor(protocol);
+    check.invariants = checkPolicy(policy, config);
+    const sim::CoherencePolicy &msi =
+        sim::coherencePolicyFor(sim::CoherenceProtocol::Msi);
+    switch (protocol) {
+      case sim::CoherenceProtocol::WriteInvalidate:
+        check.relations.emplace_back(
+            RelationKind::StateEqual,
+            checkRelation(RelationKind::StateEqual, policy, msi,
+                          config));
+        break;
+      case sim::CoherenceProtocol::Mesi:
+        check.relations.emplace_back(
+            RelationKind::MesiRefinesMsi,
+            checkRelation(RelationKind::MesiRefinesMsi, policy, msi,
+                          config));
+        break;
+      case sim::CoherenceProtocol::Mi:
+        check.relations.emplace_back(
+            RelationKind::TombstoneDominance,
+            checkRelation(RelationKind::TombstoneDominance, policy,
+                          msi, config));
+        break;
+      case sim::CoherenceProtocol::WriteUpdate:
+      case sim::CoherenceProtocol::Msi:
+        break;
+    }
+    return check;
+}
+
+const std::vector<sim::CoherenceProtocol> &
+shippedProtocols()
+{
+    static const std::vector<sim::CoherenceProtocol> protocols = {
+        sim::CoherenceProtocol::WriteInvalidate,
+        sim::CoherenceProtocol::WriteUpdate,
+        sim::CoherenceProtocol::Mi,
+        sim::CoherenceProtocol::Msi,
+        sim::CoherenceProtocol::Mesi,
+    };
+    return protocols;
+}
+
+} // namespace wsg::verify

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Exhaustive small-scope model checker for coherence policies.
+ *
+ * Two kinds of check, both over the model of model.hh:
+ *
+ *  - checkPolicy: breadth-first enumeration of every model state one
+ *    policy can reach from the empty line, evaluating the full
+ *    invariant catalogue on every transition. Bounded mode explores
+ *    all access sequences up to CheckConfig::depth; depth 0 runs to
+ *    the fixed point instead (the state space is finite, so closure is
+ *    guaranteed). An optional symmetry reduction canonicalizes states
+ *    under processor permutation — sound because the policies are
+ *    processor-anonymous and every invariant is permutation-invariant.
+ *
+ *  - checkRelation: lockstep product enumeration of two policies fed
+ *    identical access sequences, checking a cross-protocol refinement:
+ *    WI must equal MSI state-for-state (the aliasing contract the
+ *    golden artifacts rest on), MESI must match MSI's sharer sets and
+ *    invalidations with the silent E->M upgrade as the only permitted
+ *    divergence, and MI's tombstone (invalidated-and-not-yet-returned)
+ *    set must dominate MSI's at every reachable prefix — "someone
+ *    accessed since" contains "someone wrote since".
+ *
+ * Exploration order is fixed (FIFO frontier, symbols in (pid, read,
+ * write) order), so results — including the first counterexample and
+ * its trace — are byte-deterministic. Counterexample traces replay
+ * through sim::Multiprocessor via replay.hh as a litmus test.
+ */
+
+#ifndef WSG_VERIFY_CHECKER_HH
+#define WSG_VERIFY_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "verify/model.hh"
+
+namespace wsg::verify
+{
+
+/** Bounds and options for one exploration. */
+struct CheckConfig
+{
+    /** Model size; 1..kMaxModelProcs. */
+    std::uint32_t procs = 4;
+    /** Longest access sequence explored; 0 = run to the fixed point
+     *  (exhaustive over the whole reachable space). */
+    std::uint32_t depth = 8;
+    /** Canonicalize states under processor permutation (checkPolicy
+     *  only; ignored by checkRelation). Shrinks the frontier roughly
+     *  procs!-fold on symmetric protocols. */
+    bool symmetry = false;
+    /** Stop after this many violations (the first is the shortest by
+     *  BFS order, which is what the counterexample reports). */
+    std::size_t maxViolations = 1;
+
+    /** @throws std::invalid_argument on an out-of-range bound. */
+    void validate() const;
+};
+
+/** One invariant or refinement failure, with its witness trace. */
+struct Violation
+{
+    /** Invariant name (invariantName) or relation divergence id. */
+    std::string invariant;
+    /** Human sentence: what broke, in which state. */
+    std::string detail;
+    /** Access sequence from the empty line; the last access is the
+     *  violating transition. */
+    std::vector<Access> trace;
+    /** Actions the policy returned on the violating transition. */
+    sim::CoherenceActions actions;
+};
+
+/** Outcome of one exploration. */
+struct CheckResult
+{
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsChecked = 0;
+    /** Longest distance (in accesses) of any explored state. */
+    std::uint32_t maxDepthReached = 0;
+    /** True when the run closed the reachable space: fixed-point mode
+     *  reached closure, or bounded mode stopped generating new states
+     *  before hitting the depth bound. */
+    bool exhausted = false;
+    std::vector<Violation> violations;
+
+    bool clean() const { return violations.empty(); }
+};
+
+/** Exhaustively check the invariant catalogue over @p policy. */
+CheckResult checkPolicy(const sim::CoherencePolicy &policy,
+                        const CheckConfig &config);
+
+/** Cross-protocol refinement kinds (see the file comment). */
+enum class RelationKind : std::uint8_t
+{
+    /** lhs and rhs produce identical LineStates and actions on every
+     *  access sequence (write-invalidate vs MSI). */
+    StateEqual,
+    /** lhs (a MESI) refines rhs (an MSI): equal sharer sets, equal
+     *  invalidations and updates; upgrade may only be suppressed when
+     *  the writer already held the line Exclusive. */
+    MesiRefinesMsi,
+    /** lhs (an MI) tombstone-dominates rhs (an MSI): lhs's
+     *  invalidated-pending set contains rhs's at every prefix. */
+    TombstoneDominance,
+};
+
+/** Kebab-case relation name (CLI/JSON spelling). */
+const char *relationName(RelationKind kind);
+
+/** Exhaustively check @p kind between two policies in lockstep. */
+CheckResult checkRelation(RelationKind kind,
+                          const sim::CoherencePolicy &lhs,
+                          const sim::CoherencePolicy &rhs,
+                          const CheckConfig &config);
+
+/**
+ * Everything the checker asserts about one shipped protocol: the
+ * invariant catalogue plus the refinements that protocol takes part
+ * in (WI: StateEqual vs MSI; MESI: MesiRefinesMsi vs MSI; MI:
+ * TombstoneDominance vs MSI).
+ */
+struct ProtocolCheck
+{
+    sim::CoherenceProtocol protocol =
+        sim::CoherenceProtocol::WriteInvalidate;
+    CheckResult invariants;
+    std::vector<std::pair<RelationKind, CheckResult>> relations;
+
+    bool
+    clean() const
+    {
+        if (!invariants.clean())
+            return false;
+        for (const auto &relation : relations) {
+            if (!relation.second.clean())
+                return false;
+        }
+        return true;
+    }
+
+    /** First violation across invariants and relations, or nullptr. */
+    const Violation *firstViolation() const;
+
+    std::uint64_t
+    totalStates() const
+    {
+        std::uint64_t total = invariants.statesExplored;
+        for (const auto &relation : relations)
+            total += relation.second.statesExplored;
+        return total;
+    }
+
+    std::uint64_t
+    totalTransitions() const
+    {
+        std::uint64_t total = invariants.transitionsChecked;
+        for (const auto &relation : relations)
+            total += relation.second.transitionsChecked;
+        return total;
+    }
+};
+
+/** Run the full check battery for one shipped protocol. */
+ProtocolCheck verifyProtocol(sim::CoherenceProtocol protocol,
+                             const CheckConfig &config);
+
+/** The shipped protocols, in reporting order. */
+const std::vector<sim::CoherenceProtocol> &shippedProtocols();
+
+} // namespace wsg::verify
+
+#endif // WSG_VERIFY_CHECKER_HH

@@ -1,0 +1,196 @@
+#include "verify/model.hh"
+
+#include <bit>
+
+namespace wsg::verify
+{
+
+const char *
+invariantName(InvariantId id)
+{
+    switch (id) {
+      case InvariantId::StateBounds: return "state-bounds";
+      case InvariantId::NoSelfInvalidation:
+        return "no-self-invalidation";
+      case InvariantId::InvalidateSubset: return "invalidate-subset";
+      case InvariantId::HolderInSharers: return "holder-in-sharers";
+      case InvariantId::SingleWriter: return "single-writer";
+      case InvariantId::UpdateCoverage: return "update-coverage";
+      case InvariantId::DirectoryPrecision:
+        return "directory-precision";
+      case InvariantId::ValueFreshness: break;
+    }
+    return "value-freshness";
+}
+
+Step
+applyStep(const sim::CoherencePolicy &policy, const ModelState &state,
+          Access access, std::uint32_t procs)
+{
+    Step step;
+    step.next = state;
+    step.actions =
+        policy.onAccess(step.next.line, access.pid, access.isWrite);
+
+    // Shadow-copy semantics. Victims lose their copies first — the
+    // machine delivers invalidations before the new value is produced.
+    std::uint64_t victims = step.actions.invalidateMask;
+    while (victims) {
+        unsigned v = static_cast<unsigned>(std::countr_zero(victims));
+        victims &= victims - 1;
+        if (v < kMaxModelProcs)
+            step.next.copies[v] = CopyState::None;
+    }
+    std::uint64_t self = std::uint64_t{1} << access.pid;
+    if (access.isWrite) {
+        // The write makes a new version: the writer is fresh, every
+        // surviving remote copy is superseded unless the protocol sent
+        // enough updates to cover all remaining remote sharers (the
+        // write-update contract; update-coverage checks the count).
+        std::uint64_t remaining = step.next.line.sharers & ~self;
+        bool covered =
+            step.actions.updates >=
+            static_cast<std::uint32_t>(std::popcount(remaining));
+        for (std::uint32_t q = 0; q < procs; ++q) {
+            if (q == access.pid ||
+                step.next.copies[q] == CopyState::None) {
+                continue;
+            }
+            bool updated =
+                covered && (remaining & (std::uint64_t{1} << q)) != 0;
+            step.next.copies[q] =
+                updated ? CopyState::Fresh : CopyState::Stale;
+        }
+        step.next.copies[access.pid] = CopyState::Fresh;
+    } else {
+        // A read fetches the current value only when the processor
+        // holds nothing; a cached copy — stale or not — is consumed
+        // as-is. Staleness therefore survives reads, which is what
+        // makes value-freshness a real safety property.
+        if (step.next.copies[access.pid] == CopyState::None)
+            step.next.copies[access.pid] = CopyState::Fresh;
+    }
+    return step;
+}
+
+bool
+checkInvariants(const ModelState &pre, Access access, const Step &step,
+                std::uint32_t procs, std::vector<InvariantId> &out)
+{
+    std::size_t before = out.size();
+    std::uint64_t self = std::uint64_t{1} << access.pid;
+    std::uint64_t machine =
+        procs >= 64 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << procs) - 1);
+    const sim::LineState &post = step.next.line;
+
+    if ((post.sharers & ~machine) != 0 ||
+        (step.actions.invalidateMask & ~machine) != 0 ||
+        post.exclusivePlusOne > procs) {
+        out.push_back(InvariantId::StateBounds);
+    }
+    if ((step.actions.invalidateMask & self) != 0)
+        out.push_back(InvariantId::NoSelfInvalidation);
+    if ((step.actions.invalidateMask & ~pre.line.sharers) != 0)
+        out.push_back(InvariantId::InvalidateSubset);
+    if (post.exclusivePlusOne != 0) {
+        std::uint64_t holder = std::uint64_t{1}
+                               << (post.exclusivePlusOne - 1);
+        if ((post.sharers & holder) == 0)
+            out.push_back(InvariantId::HolderInSharers);
+        if (std::popcount(post.sharers) > 1)
+            out.push_back(InvariantId::SingleWriter);
+    }
+    if (access.isWrite) {
+        std::uint64_t remaining = post.sharers & ~self;
+        if (step.actions.updates <
+            static_cast<std::uint32_t>(std::popcount(remaining))) {
+            out.push_back(InvariantId::UpdateCoverage);
+        }
+    }
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        bool sharer = (post.sharers & (std::uint64_t{1} << q)) != 0;
+        bool copy = step.next.copies[q] != CopyState::None;
+        if (sharer != copy) {
+            out.push_back(InvariantId::DirectoryPrecision);
+            break;
+        }
+    }
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        bool sharer = (post.sharers & (std::uint64_t{1} << q)) != 0;
+        if (sharer && step.next.copies[q] == CopyState::Stale) {
+            out.push_back(InvariantId::ValueFreshness);
+            break;
+        }
+    }
+    return out.size() == before;
+}
+
+std::uint64_t
+encodeState(const ModelState &state, std::uint32_t procs)
+{
+    // sharers (6 bits) | exclusivePlusOne (3 bits) | copies (2 bits
+    // per processor) — 21 bits total at kMaxModelProcs.
+    std::uint64_t key = state.line.sharers & 0x3f;
+    key |= static_cast<std::uint64_t>(state.line.exclusivePlusOne & 0x7)
+           << 6;
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        key |= static_cast<std::uint64_t>(state.copies[q])
+               << (9 + 2 * q);
+    }
+    return key;
+}
+
+std::string
+describeState(const ModelState &state, std::uint32_t procs)
+{
+    std::string sharers;
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        if ((state.line.sharers & (std::uint64_t{1} << q)) != 0) {
+            if (!sharers.empty())
+                sharers += ',';
+            sharers += std::to_string(q);
+        }
+    }
+    std::string out = "sharers={" + sharers + "} excl=";
+    out += state.line.exclusivePlusOne == 0
+               ? "-"
+               : std::to_string(state.line.exclusivePlusOne - 1);
+    out += " copies=";
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        switch (state.copies[q]) {
+          case CopyState::None: out += '.'; break;
+          case CopyState::Fresh: out += 'F'; break;
+          case CopyState::Stale: out += 'S'; break;
+        }
+    }
+    return out;
+}
+
+std::string
+describeAccess(Access access)
+{
+    std::string out(1, access.isWrite ? 'w' : 'r');
+    out += std::to_string(access.pid);
+    return out;
+}
+
+ModelState
+permuteState(const ModelState &state,
+             const std::array<std::uint8_t, kMaxModelProcs> &perm,
+             std::uint32_t procs)
+{
+    ModelState out;
+    for (std::uint32_t q = 0; q < procs; ++q) {
+        if ((state.line.sharers & (std::uint64_t{1} << q)) != 0)
+            out.line.sharers |= std::uint64_t{1} << perm[q];
+        out.copies[perm[q]] = state.copies[q];
+    }
+    if (state.line.exclusivePlusOne != 0) {
+        out.line.exclusivePlusOne =
+            perm[state.line.exclusivePlusOne - 1] + 1u;
+    }
+    return out;
+}
+
+} // namespace wsg::verify

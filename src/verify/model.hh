@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Small-scope semantic model of a coherence protocol, for exhaustive
+ * checking (see checker.hh).
+ *
+ * A sim::CoherencePolicy is a pure transition function over
+ * sim::LineState, so its entire behaviour on one line is a finite
+ * automaton: states are (sharer mask, exclusive holder), symbols are
+ * (processor, read|write). The paper's conclusions about coherence-miss
+ * composition rest on those automata being right, and the simulator
+ * only ever *spot-checks* them on application traces. This model makes
+ * the correctness argument exhaustive instead: it pairs the protocol
+ * state with a shadow-memory abstraction — per processor, does it hold
+ * no copy, the current value, or a stale one — and states the safety
+ * properties a directory protocol must keep as per-transition
+ * invariants.
+ *
+ * The shadow-copy abstraction replaces concrete data values: a write
+ * conceptually bumps the line's version, so every remote copy that is
+ * neither invalidated nor updated in the same transition becomes Stale.
+ * Reads fetch the current value only when the processor holds no copy —
+ * a cached copy, stale or not, is consumed as-is, which is exactly the
+ * hazard an unsound protocol creates. Because version numbers collapse
+ * to {none, current, stale}, the product space stays finite and small
+ * (<= 2^N * (N+1) * 3^N for N processors), so the checker can close it.
+ *
+ * Invariant catalogue (InvariantId):
+ *  - state-bounds:          sharers/exclusive holder/invalidation mask
+ *                           never name a processor outside the machine.
+ *  - no-self-invalidation:  an access never invalidates its own copy.
+ *  - invalidate-subset:     only current sharers can be invalidated.
+ *  - holder-in-sharers:     a recorded exclusive holder is a sharer.
+ *  - single-writer:         an exclusive/modified holder is the *only*
+ *                           sharer (SWMR).
+ *  - update-coverage:       after a write, every remaining remote
+ *                           sharer received an update message.
+ *  - directory-precision:   the sharer mask equals the set of
+ *                           processors holding a copy (this simulator
+ *                           has no silent evictions, so the directory
+ *                           must be exact, not an over-approximation).
+ *  - value-freshness:       every sharer's copy is the current value
+ *                           (the shadow-memory data-value invariant).
+ */
+
+#ifndef WSG_VERIFY_MODEL_HH
+#define WSG_VERIFY_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/coherence.hh"
+
+namespace wsg::verify
+{
+
+/** Largest machine the model encodes (the ISSUE-9 small-scope bound;
+ *  the simulator itself goes to 64, see the boundary tests). */
+inline constexpr std::uint32_t kMaxModelProcs = 6;
+
+/** One access symbol of the model's alphabet. */
+struct Access
+{
+    std::uint32_t pid = 0;
+    bool isWrite = false;
+
+    bool
+    operator==(const Access &other) const
+    {
+        return pid == other.pid && isWrite == other.isWrite;
+    }
+};
+
+/** Shadow state of one processor's copy of the line. */
+enum class CopyState : std::uint8_t
+{
+    /** Holds no copy. */
+    None,
+    /** Holds the current value. */
+    Fresh,
+    /** Holds a superseded value — consuming it is the coherence bug
+     *  every invariant ultimately guards against. */
+    Stale,
+};
+
+/** Protocol state plus the shadow-memory abstraction. */
+struct ModelState
+{
+    sim::LineState line{};
+    std::array<CopyState, kMaxModelProcs> copies{};
+
+    bool
+    operator==(const ModelState &other) const
+    {
+        return line.sharers == other.line.sharers &&
+               line.exclusivePlusOne == other.line.exclusivePlusOne &&
+               copies == other.copies;
+    }
+};
+
+/** The per-transition safety properties (see the file comment). */
+enum class InvariantId : std::uint8_t
+{
+    StateBounds,
+    NoSelfInvalidation,
+    InvalidateSubset,
+    HolderInSharers,
+    SingleWriter,
+    UpdateCoverage,
+    DirectoryPrecision,
+    ValueFreshness,
+};
+
+/** Kebab-case invariant name (the CLI/JSON spelling). */
+const char *invariantName(InvariantId id);
+
+/** One applied transition: the successor state plus the actions the
+ *  policy requested (the invariants judge both). */
+struct Step
+{
+    ModelState next;
+    sim::CoherenceActions actions;
+};
+
+/**
+ * Apply one access to the model: run the policy's transition on the
+ * protocol state, then the shadow-copy semantics described in the file
+ * comment. Pure — @p state is not modified.
+ */
+Step applyStep(const sim::CoherencePolicy &policy,
+               const ModelState &state, Access access,
+               std::uint32_t procs);
+
+/**
+ * Evaluate every invariant on one transition @p pre --access/actions-->
+ * @p post and append the violated ones to @p out. Returns true when the
+ * transition is clean.
+ */
+bool checkInvariants(const ModelState &pre, Access access,
+                     const Step &step, std::uint32_t procs,
+                     std::vector<InvariantId> &out);
+
+/**
+ * Dense encoding of a model state for visited-set keys; total over
+ * procs <= kMaxModelProcs. Distinct states encode distinctly.
+ */
+std::uint64_t encodeState(const ModelState &state, std::uint32_t procs);
+
+/** Compact human rendering, e.g. "sharers={0,2} excl=2 copies=F.S"
+ *  (one letter per processor: '.'=none, 'F'=fresh, 'S'=stale). */
+std::string describeState(const ModelState &state, std::uint32_t procs);
+
+/** Render an access as "w3" / "r0" (the trace spelling). */
+std::string describeAccess(Access access);
+
+/**
+ * Apply the processor permutation @p perm (old index -> new index) to a
+ * state: permutes the sharer mask, the exclusive holder and the shadow
+ * copies. The symmetry reduction canonicalizes with the minimum
+ * encoding over all permutations.
+ */
+ModelState permuteState(const ModelState &state,
+                        const std::array<std::uint8_t, kMaxModelProcs> &perm,
+                        std::uint32_t procs);
+
+} // namespace wsg::verify
+
+#endif // WSG_VERIFY_MODEL_HH

@@ -1,0 +1,437 @@
+#include "verify/mutants.hh"
+
+#include <bit>
+
+namespace wsg::verify
+{
+
+namespace
+{
+
+using sim::CoherenceActions;
+using sim::CoherencePolicy;
+using sim::CoherenceProtocol;
+using sim::LineState;
+
+/**
+ * Correct MSI transition, the baseline several mutants perturb.
+ * Duplicated from the shipped policy *on purpose*: the mutants must
+ * not share code with the implementation under test, or a bug fixed in
+ * one place would silently change what the gate exercises.
+ */
+CoherenceActions
+msiStep(LineState &line, std::uint32_t pid, bool is_write)
+{
+    CoherenceActions actions;
+    std::uint64_t self = std::uint64_t{1} << pid;
+    if (is_write) {
+        actions.invalidateMask = line.sharers & ~self;
+        actions.upgrade = (line.sharers & self) != 0 &&
+                          line.exclusivePlusOne != pid + 1;
+        line.sharers = self;
+        line.exclusivePlusOne = pid + 1;
+    } else {
+        line.sharers |= self;
+        if (line.exclusivePlusOne != pid + 1)
+            line.exclusivePlusOne = 0;
+    }
+    return actions;
+}
+
+/** Writes take ownership without ever sending an invalidation: the
+ *  directory forgets the other holders but their copies live on. */
+class MsiDropInvalidation : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions = msiStep(line, pid, is_write);
+        if (is_write)
+            actions.invalidateMask = 0;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** Writes keep the old sharers in the mask (no purge): remote copies
+ *  are both stale and still directory-visible. */
+class MsiStaleSharers : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        if (!is_write)
+            return msiStep(line, pid, false);
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        actions.upgrade = (line.sharers & self) != 0 &&
+                          line.exclusivePlusOne != pid + 1;
+        line.sharers |= self;
+        line.exclusivePlusOne = pid + 1;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** The writer invalidates its own copy along with the others'. */
+class MsiSelfInvalidate : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        std::uint64_t before = line.sharers;
+        CoherenceActions actions = msiStep(line, pid, is_write);
+        if (is_write && (before & (std::uint64_t{1} << pid)) != 0)
+            actions.invalidateMask |= std::uint64_t{1} << pid;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** Writes also "invalidate" the next processor up, sharer or not. */
+class MsiInvalidateNonsharer : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions = msiStep(line, pid, is_write);
+        if (is_write)
+            actions.invalidateMask |= std::uint64_t{1} << (pid + 1);
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** Reads consume the line without ever joining the sharer set: the
+ *  reader's copy is invisible to later invalidations. */
+class MsiForgetReader : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        if (is_write)
+            return msiStep(line, pid, true);
+        if (line.exclusivePlusOne != pid + 1)
+            line.exclusivePlusOne = 0;
+        return {};
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** A remote read joins the sharer set but leaves the old exclusive
+ *  holder recorded — the downgrade to Shared never happens. */
+class MsiStaleExclusive : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        if (is_write)
+            return msiStep(line, pid, true);
+        line.sharers |= std::uint64_t{1} << pid;
+        return {};
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Msi;
+    }
+};
+
+/** Correct MESI transition (same duplication rationale as msiStep). */
+CoherenceActions
+mesiStep(LineState &line, std::uint32_t pid, bool is_write)
+{
+    CoherenceActions actions;
+    std::uint64_t self = std::uint64_t{1} << pid;
+    if (is_write) {
+        actions.invalidateMask = line.sharers & ~self;
+        actions.upgrade = (line.sharers & self) != 0 &&
+                          line.exclusivePlusOne != pid + 1;
+        line.sharers = self;
+        line.exclusivePlusOne = pid + 1;
+    } else if (line.sharers == 0) {
+        line.sharers = self;
+        line.exclusivePlusOne = pid + 1;
+    } else {
+        line.sharers |= self;
+        if (line.exclusivePlusOne != pid + 1)
+            line.exclusivePlusOne = 0;
+    }
+    return actions;
+}
+
+/** Grants Exclusive on every read miss, even with other sharers. */
+class MesiSharedExclusiveGrant : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        if (is_write)
+            return mesiStep(line, pid, true);
+        line.sharers |= std::uint64_t{1} << pid;
+        line.exclusivePlusOne = pid + 1;
+        return {};
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Mesi;
+    }
+};
+
+/** Never reports an ownership upgrade: a write from genuinely Shared
+ *  state pretends to be the silent E->M transition. */
+class MesiMissingUpgrade : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions = mesiStep(line, pid, is_write);
+        actions.upgrade = false;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Mesi;
+    }
+};
+
+/** MI whose writes no longer purge the other holders (reads still
+ *  do): its tombstone set drops below MSI's. */
+class MiNoWriteInvalidate : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            line.sharers |= self;
+            line.exclusivePlusOne = pid + 1;
+        } else {
+            actions.invalidateMask = line.sharers & ~self;
+            line.sharers = self;
+            line.exclusivePlusOne = pid + 1;
+        }
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::Mi;
+    }
+};
+
+/** Write-update that only updates half the other sharers (rounding
+ *  down): the rest keep superseded values. */
+class WuPartialUpdate : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            actions.updates = static_cast<std::uint32_t>(
+                                  std::popcount(line.sharers & ~self)) /
+                              2;
+        }
+        line.sharers |= self;
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::WriteUpdate;
+    }
+};
+
+/** Write-update that never records readers as sharers, so later
+ *  writes do not know whom to update. */
+class WuLostReader : public CoherencePolicy
+{
+  public:
+    CoherenceActions
+    onAccess(LineState &line, std::uint32_t pid,
+             bool is_write) const override
+    {
+        CoherenceActions actions;
+        std::uint64_t self = std::uint64_t{1} << pid;
+        if (is_write) {
+            actions.updates = static_cast<std::uint32_t>(
+                std::popcount(line.sharers & ~self));
+            line.sharers |= self;
+        }
+        return actions;
+    }
+
+    CoherenceProtocol protocol() const override
+    {
+        return CoherenceProtocol::WriteUpdate;
+    }
+};
+
+} // namespace
+
+const std::vector<MutantInfo> &
+mutantRegistry()
+{
+    static const MsiDropInvalidation msi_drop_invalidation;
+    static const MsiStaleSharers msi_stale_sharers;
+    static const MsiSelfInvalidate msi_self_invalidate;
+    static const MsiInvalidateNonsharer msi_invalidate_nonsharer;
+    static const MsiForgetReader msi_forget_reader;
+    static const MsiStaleExclusive msi_stale_exclusive;
+    static const MesiSharedExclusiveGrant mesi_shared_grant;
+    static const MesiMissingUpgrade mesi_missing_upgrade;
+    static const MiNoWriteInvalidate mi_no_write_invalidate;
+    static const WuPartialUpdate wu_partial_update;
+    static const WuLostReader wu_lost_reader;
+    static const std::vector<MutantInfo> registry = {
+        {"msi-drop-invalidation",
+         "writes take ownership without sending invalidations",
+         CoherenceProtocol::Msi, "directory-precision",
+         &msi_drop_invalidation},
+        {"msi-stale-sharers",
+         "writes leave the old sharers in the mask un-invalidated",
+         CoherenceProtocol::Msi, "single-writer", &msi_stale_sharers},
+        {"msi-self-invalidate",
+         "the writer invalidates its own copy too",
+         CoherenceProtocol::Msi, "no-self-invalidation",
+         &msi_self_invalidate},
+        {"msi-invalidate-nonsharer",
+         "writes invalidate a processor that holds no copy",
+         CoherenceProtocol::Msi, "invalidate-subset",
+         &msi_invalidate_nonsharer},
+        {"msi-forget-reader",
+         "reads never join the sharer set",
+         CoherenceProtocol::Msi, "directory-precision",
+         &msi_forget_reader},
+        {"msi-stale-exclusive",
+         "remote reads do not downgrade the exclusive holder",
+         CoherenceProtocol::Msi, "single-writer",
+         &msi_stale_exclusive},
+        {"mesi-shared-exclusive-grant",
+         "reads are granted Exclusive even with other sharers present",
+         CoherenceProtocol::Mesi, "single-writer",
+         &mesi_shared_grant},
+        {"mesi-missing-upgrade",
+         "writes from Shared state never report an upgrade message",
+         CoherenceProtocol::Mesi, "mesi-missing-upgrade",
+         &mesi_missing_upgrade},
+        {"mi-no-write-invalidate",
+         "MI writes stop purging the other holders",
+         CoherenceProtocol::Mi, "single-writer",
+         &mi_no_write_invalidate},
+        {"wu-partial-update",
+         "writes update only half of the other sharers",
+         CoherenceProtocol::WriteUpdate, "update-coverage",
+         &wu_partial_update},
+        {"wu-lost-reader",
+         "readers are never recorded as sharers",
+         CoherenceProtocol::WriteUpdate, "directory-precision",
+         &wu_lost_reader},
+    };
+    return registry;
+}
+
+const MutantInfo *
+findMutant(const std::string &name)
+{
+    for (const MutantInfo &mutant : mutantRegistry()) {
+        if (mutant.name == name)
+            return &mutant;
+    }
+    return nullptr;
+}
+
+MutantCheck
+checkMutant(const MutantInfo &mutant, const CheckConfig &config)
+{
+    CheckConfig bounded = config;
+    bounded.symmetry = false; // unsound for non-anonymous policies
+    MutantCheck out;
+    out.name = mutant.name;
+    CheckResult invariants = checkPolicy(*mutant.policy, bounded);
+    out.statesExplored = invariants.statesExplored;
+    out.transitionsChecked = invariants.transitionsChecked;
+    if (!invariants.clean()) {
+        out.killed = true;
+        out.killedBy = invariants.violations.front().invariant;
+        out.counterexample = invariants.violations.front();
+        return out;
+    }
+    const sim::CoherencePolicy &msi =
+        sim::coherencePolicyFor(sim::CoherenceProtocol::Msi);
+    CheckResult relation;
+    switch (mutant.base) {
+      case sim::CoherenceProtocol::WriteInvalidate:
+      case sim::CoherenceProtocol::Msi:
+        relation = checkRelation(RelationKind::StateEqual,
+                                 *mutant.policy, msi, bounded);
+        break;
+      case sim::CoherenceProtocol::Mesi:
+        relation = checkRelation(RelationKind::MesiRefinesMsi,
+                                 *mutant.policy, msi, bounded);
+        break;
+      case sim::CoherenceProtocol::Mi:
+        relation = checkRelation(RelationKind::TombstoneDominance,
+                                 *mutant.policy, msi, bounded);
+        break;
+      case sim::CoherenceProtocol::WriteUpdate:
+        // No refinement partner; the invariant catalogue must do it.
+        out.killed = false;
+        return out;
+    }
+    out.statesExplored += relation.statesExplored;
+    out.transitionsChecked += relation.transitionsChecked;
+    if (!relation.clean()) {
+        out.killed = true;
+        out.killedBy = relation.violations.front().invariant;
+        out.counterexample = relation.violations.front();
+    }
+    return out;
+}
+
+} // namespace wsg::verify

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deliberately broken coherence policies — the checker's test suite.
+ *
+ * A verifier that has never caught a bug proves nothing: each mutant
+ * here plants one classic directory-protocol defect (a dropped
+ * invalidation, a stale exclusive holder, a self-invalidation, a
+ * missing upgrade, a lost reader...) behind the same CoherencePolicy
+ * interface the real protocols use. The mutation gate demands that the
+ * model checker kill every one of them — find a reachable invariant or
+ * refinement violation with a concrete witness trace — while reporting
+ * the five shipped protocols clean. CI runs the gate on every change,
+ * so the checker itself is verified.
+ *
+ * Each mutant documents the invariant expected to kill it; the tests
+ * pin that mapping so a weakened invariant cannot silently pass the
+ * gate by having some *other* check catch the mutant.
+ */
+
+#ifndef WSG_VERIFY_MUTANTS_HH
+#define WSG_VERIFY_MUTANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+
+namespace wsg::verify
+{
+
+/** One registered mutant policy. */
+struct MutantInfo
+{
+    /** Registry name, e.g. "msi-drop-invalidation". */
+    std::string name;
+    /** What is broken, in one sentence. */
+    std::string description;
+    /** The shipped protocol this mutates — decides which refinement
+     *  checks apply on top of the invariant catalogue. */
+    sim::CoherenceProtocol base;
+    /** The invariant/divergence expected to kill it (test-pinned). */
+    std::string expectedKiller;
+    /** The broken policy (a static instance; never null). */
+    const sim::CoherencePolicy *policy;
+};
+
+/** All registered mutants, in stable registry order. */
+const std::vector<MutantInfo> &mutantRegistry();
+
+/** Look up a mutant by name; nullptr when unknown. */
+const MutantInfo *findMutant(const std::string &name);
+
+/** Outcome of running the checker battery against one mutant. */
+struct MutantCheck
+{
+    std::string name;
+    /** True when some invariant or refinement check failed (good —
+     *  the defect was detected). */
+    bool killed = false;
+    /** Id of the first failing invariant/divergence. */
+    std::string killedBy;
+    /** The witness (valid when killed). */
+    Violation counterexample;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsChecked = 0;
+};
+
+/**
+ * Run the invariant catalogue over @p mutant plus the refinement its
+ * base protocol participates in (MESI mutants against the real MSI,
+ * MI mutants' tombstone dominance against the real MSI). Bounded
+ * exploration only — mutants need not be processor-anonymous, so the
+ * symmetry reduction is not sound for them (checker.hh).
+ */
+MutantCheck checkMutant(const MutantInfo &mutant,
+                        const CheckConfig &config);
+
+} // namespace wsg::verify
+
+#endif // WSG_VERIFY_MUTANTS_HH

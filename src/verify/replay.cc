@@ -1,0 +1,152 @@
+#include "verify/replay.hh"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/multiprocessor.hh"
+#include "stats/json_parse.hh"
+#include "stats/json_report.hh"
+
+namespace wsg::verify
+{
+namespace
+{
+
+constexpr const char *kSchema = "wsg-modelcheck-trace-v1";
+
+std::string
+mismatch(const char *counter, std::uint64_t model, std::uint64_t sim)
+{
+    return std::string(counter) + ": model=" + std::to_string(model) +
+           " sim=" + std::to_string(sim);
+}
+
+} // namespace
+
+ReplayResult
+replayTrace(sim::CoherenceProtocol protocol, std::uint32_t procs,
+            const std::vector<Access> &trace)
+{
+    if (procs == 0 || procs > 64)
+        throw std::invalid_argument(
+            "replayTrace: procs must be in [1, 64]");
+    for (const Access &access : trace) {
+        if (access.pid >= procs)
+            throw std::invalid_argument(
+                "replayTrace: trace pid " + std::to_string(access.pid) +
+                " outside a " + std::to_string(procs) +
+                "-processor machine");
+    }
+
+    // Model side: run the shipped policy over the bare protocol state
+    // (the shadow copies play no role in the message ledger).
+    const sim::CoherencePolicy &policy = sim::coherencePolicyFor(protocol);
+    ReplayResult result;
+    sim::LineState line{};
+    for (const Access &access : trace) {
+        sim::CoherenceActions actions =
+            policy.onAccess(line, access.pid, access.isWrite);
+        result.modelInvalidations +=
+            std::popcount(actions.invalidateMask);
+        result.modelUpdates += actions.updates;
+        result.modelUpgrades += actions.upgrade ? 1 : 0;
+    }
+
+    // Simulator side: one 8-byte line, whole-line accesses.
+    sim::SimConfig config;
+    config.numProcs = procs;
+    config.lineBytes = 8;
+    config.protocol = protocol;
+    sim::Multiprocessor machine(config);
+    for (const Access &access : trace) {
+        machine.access(trace::MemRef{0, 8, access.pid,
+                                     access.isWrite
+                                         ? trace::RefType::Write
+                                         : trace::RefType::Read});
+    }
+    sim::ProcStats aggregate = machine.aggregateStats();
+    result.simInvalidations = aggregate.invalidationsSent;
+    result.simUpdates = aggregate.updatesSent;
+    result.simUpgrades = aggregate.upgradesSent;
+
+    if (result.modelInvalidations != result.simInvalidations)
+        result.detail = mismatch("invalidations", result.modelInvalidations,
+                                 result.simInvalidations);
+    else if (result.modelUpdates != result.simUpdates)
+        result.detail =
+            mismatch("updates", result.modelUpdates, result.simUpdates);
+    else if (result.modelUpgrades != result.simUpgrades)
+        result.detail =
+            mismatch("upgrades", result.modelUpgrades, result.simUpgrades);
+    result.consistent = result.detail.empty();
+    return result;
+}
+
+std::string
+counterexampleToJson(const std::string &policy_label,
+                     sim::CoherenceProtocol protocol, std::uint32_t procs,
+                     const Violation &violation)
+{
+    std::ostringstream os;
+    stats::JsonWriter writer(os);
+    writer.beginObject();
+    writer.member("schema", kSchema);
+    writer.member("policy", policy_label);
+    writer.member("protocol", sim::coherenceProtocolName(protocol));
+    writer.member("procs", static_cast<std::uint64_t>(procs));
+    writer.member("invariant", violation.invariant);
+    writer.member("detail", violation.detail);
+    writer.key("trace");
+    writer.beginArray();
+    for (const Access &access : violation.trace) {
+        writer.beginObject();
+        writer.member("pid", static_cast<std::uint64_t>(access.pid));
+        writer.member("op", access.isWrite ? "write" : "read");
+        writer.endObject();
+    }
+    writer.endArray();
+    writer.endObject();
+    os << '\n';
+    return os.str();
+}
+
+ParsedTrace
+parseCounterexample(const std::string &text)
+{
+    stats::JsonValue doc = stats::parseJson(text);
+    if (doc.at("schema").asString() != kSchema)
+        throw std::invalid_argument(
+            "counterexample schema mismatch (expected " +
+            std::string(kSchema) + ", got '" +
+            doc.at("schema").asString() + "')");
+
+    ParsedTrace parsed;
+    parsed.policy = doc.at("policy").asString();
+    parsed.protocol =
+        sim::parseCoherenceProtocol(doc.at("protocol").asString());
+    double procs = doc.at("procs").asNumber();
+    if (procs < 1 || procs > 64)
+        throw std::invalid_argument(
+            "counterexample procs out of range [1, 64]");
+    parsed.procs = static_cast<std::uint32_t>(procs);
+    parsed.invariant = doc.at("invariant").asString();
+
+    parsed.trace.reserve(doc.at("trace").items().size());
+    for (const stats::JsonValue &entry : doc.at("trace").items()) {
+        double pid = entry.at("pid").asNumber();
+        if (pid < 0 || pid >= parsed.procs)
+            throw std::invalid_argument(
+                "counterexample trace pid outside the machine");
+        const std::string &op = entry.at("op").asString();
+        if (op != "read" && op != "write")
+            throw std::invalid_argument(
+                "counterexample trace op must be 'read' or 'write', got '" +
+                op + "'");
+        parsed.trace.push_back(
+            Access{static_cast<std::uint32_t>(pid), op == "write"});
+    }
+    return parsed;
+}
+
+} // namespace wsg::verify

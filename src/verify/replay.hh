@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Counterexample serialization and the simulator litmus test.
+ *
+ * A model-checker verdict is only as good as the model's fidelity to
+ * the machine it abstracts. Every counterexample trace is therefore
+ * replayable through the *real* apparatus: the accesses are fed to a
+ * sim::Multiprocessor (one 8-byte line, the shipped policy for the
+ * protocol under test) while the same trace is run through the model
+ * with that shipped policy, and the two message ledgers —
+ * invalidations, updates, upgrades — must agree exactly. A mutant's
+ * counterexample that replays consistently under the shipped policy
+ * shows both halves of the argument: the trace is executable on the
+ * real simulator, and the shipped protocol does not exhibit the
+ * mutant's defect on it.
+ *
+ * Traces travel as "wsg-modelcheck-trace-v1" JSON documents:
+ *
+ *   {"schema": "wsg-modelcheck-trace-v1", "policy": "...",
+ *    "protocol": "msi", "procs": 4, "invariant": "...",
+ *    "detail": "...", "trace": [{"pid": 0, "op": "write"}, ...]}
+ *
+ * Emission goes through stats::JsonWriter (ordered keys, fixed
+ * indentation), so documents are byte-deterministic.
+ */
+
+#ifndef WSG_VERIFY_REPLAY_HH
+#define WSG_VERIFY_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+#include "verify/model.hh"
+
+namespace wsg::verify
+{
+
+/** Model-versus-simulator message ledger comparison. */
+struct ReplayResult
+{
+    /** True when every counter pair agrees. */
+    bool consistent = false;
+    std::uint64_t modelInvalidations = 0;
+    std::uint64_t simInvalidations = 0;
+    std::uint64_t modelUpdates = 0;
+    std::uint64_t simUpdates = 0;
+    std::uint64_t modelUpgrades = 0;
+    std::uint64_t simUpgrades = 0;
+    /** Empty when consistent, else the first disagreement. */
+    std::string detail;
+};
+
+/**
+ * Replay @p trace through both the model and a sim::Multiprocessor
+ * under the shipped policy for @p protocol, and compare the message
+ * ledgers. @p procs must cover every pid in the trace (and stay
+ * within the simulator's [1, 64]).
+ */
+ReplayResult replayTrace(sim::CoherenceProtocol protocol,
+                         std::uint32_t procs,
+                         const std::vector<Access> &trace);
+
+/** A parsed wsg-modelcheck-trace-v1 document. */
+struct ParsedTrace
+{
+    /** The "policy" label, e.g. "msi" or "mutant:msi-forget-reader". */
+    std::string policy;
+    sim::CoherenceProtocol protocol =
+        sim::CoherenceProtocol::WriteInvalidate;
+    std::uint32_t procs = 0;
+    std::string invariant;
+    std::vector<Access> trace;
+};
+
+/**
+ * Serialize one counterexample. @p policy_label names the checked
+ * policy ("msi", "mutant:..."); @p protocol is the shipped protocol
+ * the replay litmus runs.
+ */
+std::string counterexampleToJson(const std::string &policy_label,
+                                 sim::CoherenceProtocol protocol,
+                                 std::uint32_t procs,
+                                 const Violation &violation);
+
+/**
+ * Parse a wsg-modelcheck-trace-v1 document.
+ * @throws std::invalid_argument on a wrong schema, an unknown
+ *         protocol, out-of-range pids, or malformed JSON.
+ */
+ParsedTrace parseCounterexample(const std::string &text);
+
+} // namespace wsg::verify
+
+#endif // WSG_VERIFY_REPLAY_HH

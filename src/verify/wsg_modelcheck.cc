@@ -1,0 +1,369 @@
+/**
+ * @file
+ * wsg-modelcheck — exhaustive small-scope checking of the coherence
+ * protocols (src/verify).
+ *
+ * Usage: wsg-modelcheck [--protocol NAME] [--procs N] [--depth N]
+ *                       [--unbounded] [--symmetry] [--mutants]
+ *                       [--json FILE] [--replay FILE]
+ *
+ * Default mode verifies every shipped protocol: full invariant
+ * catalogue over the reachable model space plus the cross-protocol
+ * refinements (WI == MSI, MESI refines MSI, MI tombstone-dominates
+ * MSI). Any counterexample is replayed through sim::Multiprocessor as
+ * a litmus test before it is reported, and can be exported as a
+ * wsg-modelcheck-trace-v1 JSON document (--json).
+ *
+ * --mutants runs the mutation gate instead: every registered broken
+ * policy must be killed by its pinned invariant with a
+ * simulator-consistent witness, while the shipped protocols stay clean
+ * (zero false alarms). --replay FILE re-runs a previously exported
+ * counterexample through the simulator litmus.
+ *
+ * Exit status: 0 everything clean / gate passed, 1 violation found or
+ * mutant survived or replay inconsistent, 2 bad usage or bad input.
+ * Output is byte-deterministic (fixed exploration order, ordered JSON).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+#include "verify/model.hh"
+#include "verify/mutants.hh"
+#include "verify/replay.hh"
+
+namespace
+{
+
+using namespace wsg;
+
+[[noreturn]] void
+usage(int status)
+{
+    (status == 0 ? std::cout : std::cerr)
+        << "usage: wsg-modelcheck [--protocol NAME] [--procs N] "
+           "[--depth N]\n"
+           "                      [--unbounded] [--symmetry] "
+           "[--mutants]\n"
+           "                      [--json FILE] [--replay FILE]\n"
+           "\n"
+           "Exhaustive small-scope model check of the coherence "
+           "protocols: the\n"
+           "invariant catalogue over every reachable (protocol x "
+           "shadow-memory)\n"
+           "state, plus the cross-protocol refinements.\n"
+           "\n"
+           "  --protocol NAME  check one protocol "
+           "(write-invalidate, write-update,\n"
+           "                   mi, msi, mesi); default: all\n"
+           "  --procs N        model size, 1..6 (default 4)\n"
+           "  --depth N        longest access sequence (default 8)\n"
+           "  --unbounded      explore to the fixed point instead of "
+           "a depth bound\n"
+           "  --symmetry       canonicalize states under processor "
+           "permutation\n"
+           "  --mutants        run the mutation gate: every broken "
+           "policy must be\n"
+           "                   killed, every shipped protocol must "
+           "stay clean\n"
+           "  --json FILE      write the first counterexample as "
+           "JSON ('-' = stdout)\n"
+           "  --replay FILE    replay an exported counterexample "
+           "through the\n"
+           "                   simulator litmus ('-' = stdin)\n"
+           "  --help           this text\n"
+           "\n"
+           "Exit status: 0 clean, 1 violation/surviving mutant/"
+           "inconsistent replay,\n"
+           "2 bad usage or bad input.\n";
+    std::exit(status);
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size()) {
+        std::cerr << "error: " << flag
+                  << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+std::string
+traceString(const std::vector<verify::Access> &trace)
+{
+    std::string out;
+    for (const verify::Access &access : trace) {
+        if (!out.empty())
+            out += ' ';
+        out += verify::describeAccess(access);
+    }
+    return out.empty() ? "(empty)" : out;
+}
+
+void
+writeJsonDocument(const std::string &path, const std::string &doc)
+{
+    if (path == "-") {
+        std::cout << doc;
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "error: cannot write '" << path << "'\n";
+        std::exit(2);
+    }
+    out << doc;
+}
+
+/** Replay a violation's witness through the simulator litmus and
+ *  describe the outcome on one line. */
+bool
+litmus(sim::CoherenceProtocol protocol, std::uint32_t procs,
+       const verify::Violation &violation)
+{
+    verify::ReplayResult replay =
+        verify::replayTrace(protocol, procs, violation.trace);
+    std::cout << "  litmus: "
+              << (replay.consistent
+                      ? "model and simulator ledgers agree"
+                      : "LEDGER MISMATCH " + replay.detail)
+              << " (inval=" << replay.simInvalidations
+              << " upd=" << replay.simUpdates
+              << " upg=" << replay.simUpgrades << ")\n";
+    return replay.consistent;
+}
+
+int
+runProtocols(const std::optional<sim::CoherenceProtocol> &only,
+             const verify::CheckConfig &config,
+             const std::optional<std::string> &json_path)
+{
+    std::vector<sim::CoherenceProtocol> protocols;
+    if (only)
+        protocols.push_back(*only);
+    else
+        protocols = verify::shippedProtocols();
+
+    bool all_clean = true;
+    bool json_written = false;
+    for (sim::CoherenceProtocol protocol : protocols) {
+        auto start = std::chrono::steady_clock::now();
+        verify::ProtocolCheck check =
+            verify::verifyProtocol(protocol, config);
+        auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        std::cout << sim::coherenceProtocolName(protocol) << ": "
+                  << check.invariants.statesExplored << " states, "
+                  << check.totalTransitions() << " transitions ("
+                  << check.relations.size() << " refinement"
+                  << (check.relations.size() == 1 ? "" : "s") << ", "
+                  << (check.invariants.exhausted ? "exhausted"
+                                                 : "depth-bounded")
+                  << ", " << elapsed << " us): "
+                  << (check.clean() ? "clean" : "VIOLATION") << "\n";
+        if (check.clean())
+            continue;
+        all_clean = false;
+        const verify::Violation *violation = check.firstViolation();
+        std::cout << "  " << violation->invariant << ": "
+                  << violation->detail << "\n"
+                  << "  trace: " << traceString(violation->trace)
+                  << "\n";
+        litmus(protocol, config.procs, *violation);
+        if (json_path && !json_written) {
+            writeJsonDocument(
+                *json_path,
+                verify::counterexampleToJson(
+                    sim::coherenceProtocolName(protocol), protocol,
+                    config.procs, *violation));
+            json_written = true;
+        }
+    }
+    if (json_path && !json_written && json_path != "-")
+        std::cout << "no counterexample: nothing written to "
+                  << *json_path << "\n";
+    return all_clean ? 0 : 1;
+}
+
+int
+runMutants(const verify::CheckConfig &config,
+           const std::optional<std::string> &json_path)
+{
+    // Zero false alarms first: the gate is meaningless if the checker
+    // also fires on correct protocols.
+    bool gate_ok = true;
+    for (sim::CoherenceProtocol protocol : verify::shippedProtocols()) {
+        verify::ProtocolCheck check =
+            verify::verifyProtocol(protocol, config);
+        if (!check.clean()) {
+            gate_ok = false;
+            const verify::Violation *violation = check.firstViolation();
+            std::cout << "FALSE ALARM "
+                      << sim::coherenceProtocolName(protocol) << ": "
+                      << violation->invariant << " on "
+                      << traceString(violation->trace) << "\n";
+        }
+    }
+    if (gate_ok)
+        std::cout << "shipped protocols: all "
+                  << verify::shippedProtocols().size()
+                  << " clean (no false alarms)\n";
+
+    std::size_t killed = 0;
+    bool json_written = false;
+    const std::vector<verify::MutantInfo> &registry =
+        verify::mutantRegistry();
+    for (const verify::MutantInfo &mutant : registry) {
+        verify::MutantCheck check = verify::checkMutant(mutant, config);
+        if (!check.killed) {
+            gate_ok = false;
+            std::cout << "SURVIVED " << mutant.name << " ("
+                      << mutant.description << ")\n";
+            continue;
+        }
+        ++killed;
+        std::cout << "killed " << mutant.name << " by "
+                  << check.killedBy << " on "
+                  << traceString(check.counterexample.trace) << " ("
+                  << check.statesExplored << " states)\n";
+        if (check.killedBy != mutant.expectedKiller) {
+            gate_ok = false;
+            std::cout << "  EXPECTED KILLER MISMATCH: wanted "
+                      << mutant.expectedKiller << "\n";
+        }
+        // Witness traces must be executable on the real machine: the
+        // shipped base protocol replays them with a consistent ledger.
+        if (!litmus(mutant.base, config.procs, check.counterexample))
+            gate_ok = false;
+        if (json_path && !json_written) {
+            writeJsonDocument(*json_path,
+                              verify::counterexampleToJson(
+                                  "mutant:" + mutant.name, mutant.base,
+                                  config.procs, check.counterexample));
+            json_written = true;
+        }
+    }
+    std::cout << "mutation gate: " << killed << "/" << registry.size()
+              << " mutants killed, "
+              << (gate_ok ? "gate PASSED" : "gate FAILED") << "\n";
+    return gate_ok ? 0 : 1;
+}
+
+int
+runReplay(const std::string &path)
+{
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+    } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << "error: cannot read '" << path << "'\n";
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+
+    verify::ParsedTrace parsed = verify::parseCounterexample(text);
+    verify::ReplayResult replay =
+        verify::replayTrace(parsed.protocol, parsed.procs, parsed.trace);
+    std::cout << "replay " << parsed.policy << " ("
+              << sim::coherenceProtocolName(parsed.protocol) << ", "
+              << parsed.procs << " procs, " << parsed.trace.size()
+              << " accesses, invariant " << parsed.invariant
+              << "): " << (replay.consistent ? "consistent" : "MISMATCH")
+              << "\n"
+              << "  invalidations model=" << replay.modelInvalidations
+              << " sim=" << replay.simInvalidations
+              << "\n  updates       model=" << replay.modelUpdates
+              << " sim=" << replay.simUpdates
+              << "\n  upgrades      model=" << replay.modelUpgrades
+              << " sim=" << replay.simUpgrades << "\n";
+    return replay.consistent ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::optional<sim::CoherenceProtocol> protocol;
+    std::optional<std::string> json_path;
+    std::optional<std::string> replay_path;
+    bool mutants = false;
+    bool unbounded = false;
+    verify::CheckConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--protocol") {
+            try {
+                protocol =
+                    sim::parseCoherenceProtocol(value("--protocol"));
+            } catch (const std::exception &e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return 2;
+            }
+        } else if (arg == "--procs") {
+            config.procs = static_cast<std::uint32_t>(
+                parseCount("--procs", value("--procs")));
+        } else if (arg == "--depth") {
+            config.depth = static_cast<std::uint32_t>(
+                parseCount("--depth", value("--depth")));
+        } else if (arg == "--unbounded") {
+            unbounded = true;
+        } else if (arg == "--symmetry") {
+            config.symmetry = true;
+        } else if (arg == "--mutants") {
+            mutants = true;
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--replay") {
+            replay_path = value("--replay");
+        } else {
+            std::cerr << "error: unknown argument '" << arg << "'\n";
+            usage(2);
+        }
+    }
+    if (unbounded)
+        config.depth = 0;
+
+    try {
+        config.validate();
+        if (replay_path)
+            return runReplay(*replay_path);
+        if (mutants)
+            return runMutants(config, json_path);
+        return runProtocols(protocol, config, json_path);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

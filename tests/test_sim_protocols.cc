@@ -46,6 +46,63 @@ TEST(ProtocolNames, ShortFormsAndErrors)
     EXPECT_THROW(parseCoherenceProtocol(""), std::invalid_argument);
 }
 
+TEST(ProtocolNames, UnknownNameErrorMentionsNameAndAlternatives)
+{
+    // The message is part of the CLI contract: it must echo the bad
+    // name and list every accepted spelling.
+    try {
+        parseCoherenceProtocol("dragon");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ(e.what(),
+                     "unknown coherence protocol 'dragon' (expected "
+                     "write-invalidate, write-update, mi, msi or mesi)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 64-processor boundary: the directory entry is a single u64, so
+// pid 63 is the last representable processor and a full sharer mask is
+// ~0 — both must work without shift overflow or sign trouble.
+// ---------------------------------------------------------------------
+
+TEST(LineStateBoundary, FullSharerMaskAndPid63Exclusive)
+{
+    const CoherencePolicy &msi = coherencePolicyFor(CoherenceProtocol::Msi);
+    LineState line;
+    for (std::uint32_t pid = 0; pid < 64; ++pid)
+        msi.onAccess(line, pid, /*is_write=*/false);
+    EXPECT_EQ(line.sharers, ~std::uint64_t{0});
+    EXPECT_EQ(line.exclusivePlusOne, 0u);
+
+    // pid 63 writes: every other processor is invalidated, the write is
+    // an upgrade (63 already shared the line), and the exclusive-holder
+    // encoding reaches its maximum value 64 without wrapping.
+    CoherenceActions actions = msi.onAccess(line, 63, /*is_write=*/true);
+    EXPECT_EQ(actions.invalidateMask,
+              ~std::uint64_t{0} ^ (std::uint64_t{1} << 63));
+    EXPECT_TRUE(actions.upgrade);
+    EXPECT_EQ(line.sharers, std::uint64_t{1} << 63);
+    EXPECT_EQ(line.exclusivePlusOne, 64u);
+
+    // A later read by pid 0 demotes 63 out of exclusive cleanly.
+    msi.onAccess(line, 0, /*is_write=*/false);
+    EXPECT_EQ(line.sharers, (std::uint64_t{1} << 63) | 1u);
+    EXPECT_EQ(line.exclusivePlusOne, 0u);
+}
+
+TEST(LineStateBoundary, SixtyFourProcessorMachineCountsInvalidations)
+{
+    Multiprocessor mp({64, 8, CoherenceProtocol::Msi});
+    for (std::uint32_t pid = 0; pid < 64; ++pid)
+        mp.read(pid, 0, 8);
+    mp.write(63, 0, 8);
+    ProcStats agg = mp.aggregateStats();
+    EXPECT_EQ(agg.invalidationsSent, 63u);
+    EXPECT_EQ(agg.upgradesSent, 1u);
+    EXPECT_EQ(mp.procStats(63).invalidationsSent, 63u);
+}
+
 TEST(HierarchySpec, LabelParseRoundTrip)
 {
     for (const std::string &label :

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the coherence model checker (src/verify): the shadow-copy
+ * transition semantics and invariant catalogue of model.hh, the BFS
+ * exploration and refinement checks of checker.hh (all five shipped
+ * protocols clean, bounded == unbounded == symmetric verdicts,
+ * deterministic results), and the replay litmus of replay.hh — the
+ * model's message ledger must match sim::Multiprocessor access for
+ * access on random traces, and counterexample JSON must round-trip.
+ */
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+#include "verify/model.hh"
+#include "verify/replay.hh"
+
+using namespace wsg;
+using namespace wsg::verify;
+
+// ---------------------------------------------------------------------
+// Model semantics: policy transition + shadow-copy bookkeeping.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const sim::CoherencePolicy &
+policyFor(sim::CoherenceProtocol protocol)
+{
+    return sim::coherencePolicyFor(protocol);
+}
+
+ModelState
+runTrace(sim::CoherenceProtocol protocol,
+         const std::vector<Access> &trace, std::uint32_t procs)
+{
+    ModelState state;
+    for (Access access : trace)
+        state = applyStep(policyFor(protocol), state, access, procs).next;
+    return state;
+}
+
+} // namespace
+
+TEST(VerifyModel, MsiWritePurgesRemoteCopies)
+{
+    ModelState state = runTrace(sim::CoherenceProtocol::Msi,
+                                {{0, false}, {1, true}}, 4);
+    EXPECT_EQ(state.line.sharers, 0b10u);
+    EXPECT_EQ(state.line.exclusivePlusOne, 2u);
+    EXPECT_EQ(state.copies[0], CopyState::None);
+    EXPECT_EQ(state.copies[1], CopyState::Fresh);
+}
+
+TEST(VerifyModel, WriteUpdateKeepsRemoteCopiesFresh)
+{
+    ModelState state = runTrace(sim::CoherenceProtocol::WriteUpdate,
+                                {{0, false}, {1, true}}, 4);
+    EXPECT_EQ(state.line.sharers, 0b11u);
+    EXPECT_EQ(state.copies[0], CopyState::Fresh);
+    EXPECT_EQ(state.copies[1], CopyState::Fresh);
+}
+
+TEST(VerifyModel, MiReadPurgesEveryOtherHolder)
+{
+    ModelState state = runTrace(sim::CoherenceProtocol::Mi,
+                                {{0, false}, {1, false}}, 4);
+    EXPECT_EQ(state.line.sharers, 0b10u);
+    EXPECT_EQ(state.copies[0], CopyState::None);
+    EXPECT_EQ(state.copies[1], CopyState::Fresh);
+}
+
+TEST(VerifyModel, UncoveredWriteLeavesSurvivorsStale)
+{
+    // A policy that writes without invalidating or updating the other
+    // sharer must leave that copy Stale — the hazard the value-freshness
+    // invariant exists to catch. Simulate by applying the shadow
+    // semantics to a hand-built "do nothing" step.
+    struct Inert : sim::CoherencePolicy
+    {
+        sim::CoherenceActions
+        onAccess(sim::LineState &line, std::uint32_t pid,
+                 bool) const override
+        {
+            line.sharers |= std::uint64_t{1} << pid;
+            return {};
+        }
+        sim::CoherenceProtocol
+        protocol() const override
+        {
+            return sim::CoherenceProtocol::Msi;
+        }
+    } inert;
+
+    ModelState state;
+    state = applyStep(inert, state, {0, false}, 4).next;
+    Step step = applyStep(inert, state, {1, true}, 4);
+    EXPECT_EQ(step.next.copies[0], CopyState::Stale);
+    EXPECT_EQ(step.next.copies[1], CopyState::Fresh);
+
+    std::vector<InvariantId> violated;
+    EXPECT_FALSE(checkInvariants(state, {1, true}, step, 4, violated));
+    EXPECT_FALSE(violated.empty());
+}
+
+TEST(VerifyModel, InvariantNamesAreKebabCaseAndDistinct)
+{
+    std::set<std::string> names;
+    for (InvariantId id :
+         {InvariantId::StateBounds, InvariantId::NoSelfInvalidation,
+          InvariantId::InvalidateSubset, InvariantId::HolderInSharers,
+          InvariantId::SingleWriter, InvariantId::UpdateCoverage,
+          InvariantId::DirectoryPrecision, InvariantId::ValueFreshness})
+        names.insert(invariantName(id));
+    EXPECT_EQ(names.size(), 8u);
+    EXPECT_EQ(std::string(invariantName(InvariantId::SingleWriter)),
+              "single-writer");
+    EXPECT_EQ(std::string(invariantName(InvariantId::ValueFreshness)),
+              "value-freshness");
+}
+
+TEST(VerifyModel, EncodeStateIsInjectiveOverReachableStates)
+{
+    // Enumerate MSI's reachable space and demand distinct encodings for
+    // distinct states (the visited set depends on it).
+    CheckConfig config;
+    config.procs = 4;
+    config.depth = 0;
+    CheckResult result =
+        checkPolicy(policyFor(sim::CoherenceProtocol::Msi), config);
+    ASSERT_TRUE(result.clean());
+
+    std::set<std::uint64_t> keys;
+    std::vector<ModelState> frontier{ModelState{}};
+    keys.insert(encodeState(ModelState{}, 4));
+    std::size_t distinct = 1;
+    while (!frontier.empty()) {
+        ModelState state = frontier.back();
+        frontier.pop_back();
+        for (std::uint32_t pid = 0; pid < 4; ++pid) {
+            for (bool is_write : {false, true}) {
+                ModelState next =
+                    applyStep(policyFor(sim::CoherenceProtocol::Msi),
+                              state, {pid, is_write}, 4)
+                        .next;
+                if (keys.insert(encodeState(next, 4)).second) {
+                    ++distinct;
+                    frontier.push_back(next);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(distinct, result.statesExplored);
+}
+
+TEST(VerifyModel, PermuteStateRelabelsSharersHolderAndCopies)
+{
+    ModelState state;
+    state.line.sharers = 0b01u;
+    state.line.exclusivePlusOne = 1;
+    state.copies[0] = CopyState::Fresh;
+
+    std::array<std::uint8_t, kMaxModelProcs> swap01{1, 0, 2, 3, 4, 5};
+    ModelState permuted = permuteState(state, swap01, 4);
+    EXPECT_EQ(permuted.line.sharers, 0b10u);
+    EXPECT_EQ(permuted.line.exclusivePlusOne, 2u);
+    EXPECT_EQ(permuted.copies[0], CopyState::None);
+    EXPECT_EQ(permuted.copies[1], CopyState::Fresh);
+
+    std::array<std::uint8_t, kMaxModelProcs> identity{0, 1, 2, 3, 4, 5};
+    EXPECT_TRUE(permuteState(state, identity, 4) == state);
+}
+
+TEST(VerifyModel, DescribeSpellings)
+{
+    EXPECT_EQ(describeAccess({3, true}), "w3");
+    EXPECT_EQ(describeAccess({0, false}), "r0");
+
+    ModelState state;
+    state.line.sharers = 0b101u;
+    state.copies[0] = CopyState::Fresh;
+    state.copies[2] = CopyState::Stale;
+    std::string text = describeState(state, 3);
+    EXPECT_NE(text.find("{0,2}"), std::string::npos) << text;
+    EXPECT_NE(text.find("F.S"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// Checker: shipped protocols are clean under every exploration mode.
+// ---------------------------------------------------------------------
+
+TEST(VerifyChecker, AllShippedProtocolsCleanAtIssueBound)
+{
+    CheckConfig config; // N=4, depth=8 — the ISSUE-9 acceptance bound.
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        ProtocolCheck check = verifyProtocol(protocol, config);
+        EXPECT_TRUE(check.clean());
+        EXPECT_EQ(check.firstViolation(), nullptr);
+        EXPECT_TRUE(check.invariants.exhausted);
+        EXPECT_GT(check.invariants.statesExplored, 0u);
+        EXPECT_GT(check.totalTransitions(), 0u);
+    }
+}
+
+TEST(VerifyChecker, UnboundedFixedPointMatchesBoundedVerdict)
+{
+    // The reachable spaces close before depth 8, so fixed-point mode
+    // must see exactly the same states.
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        CheckConfig bounded;
+        CheckConfig unbounded;
+        unbounded.depth = 0;
+        CheckResult b = checkPolicy(policyFor(protocol), bounded);
+        CheckResult u = checkPolicy(policyFor(protocol), unbounded);
+        EXPECT_TRUE(b.clean());
+        EXPECT_TRUE(u.clean());
+        EXPECT_TRUE(u.exhausted);
+        EXPECT_EQ(b.statesExplored, u.statesExplored);
+    }
+}
+
+TEST(VerifyChecker, SymmetryReductionPreservesTheVerdict)
+{
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        CheckConfig plain;
+        plain.procs = 4;
+        plain.depth = 0;
+        CheckConfig symmetric = plain;
+        symmetric.symmetry = true;
+        CheckResult p = checkPolicy(policyFor(protocol), plain);
+        CheckResult s = checkPolicy(policyFor(protocol), symmetric);
+        EXPECT_EQ(p.clean(), s.clean());
+        // Canonicalization can only merge states, never invent them.
+        EXPECT_LE(s.statesExplored, p.statesExplored);
+        EXPECT_GT(s.statesExplored, 0u);
+    }
+}
+
+TEST(VerifyChecker, ResultsAreDeterministic)
+{
+    CheckConfig config;
+    config.procs = 4;
+    config.depth = 8;
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        CheckResult a = checkPolicy(policyFor(protocol), config);
+        CheckResult b = checkPolicy(policyFor(protocol), config);
+        EXPECT_EQ(a.statesExplored, b.statesExplored);
+        EXPECT_EQ(a.transitionsChecked, b.transitionsChecked);
+        EXPECT_EQ(a.maxDepthReached, b.maxDepthReached);
+    }
+}
+
+TEST(VerifyChecker, ConfigValidateRejectsBadBounds)
+{
+    CheckConfig config;
+    config.procs = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.procs = kMaxModelProcs + 1;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.procs = kMaxModelProcs;
+    config.depth = 65;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.depth = 0;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(VerifyChecker, RelationNamesAreStable)
+{
+    EXPECT_STREQ(relationName(RelationKind::StateEqual), "state-equal");
+    EXPECT_STREQ(relationName(RelationKind::MesiRefinesMsi),
+                 "mesi-refines-msi");
+    EXPECT_STREQ(relationName(RelationKind::TombstoneDominance),
+                 "tombstone-dominance");
+}
+
+TEST(VerifyChecker, RefinementsWiredPerProtocol)
+{
+    CheckConfig config;
+    ProtocolCheck wi =
+        verifyProtocol(sim::CoherenceProtocol::WriteInvalidate, config);
+    ASSERT_EQ(wi.relations.size(), 1u);
+    EXPECT_EQ(wi.relations[0].first, RelationKind::StateEqual);
+
+    ProtocolCheck mesi =
+        verifyProtocol(sim::CoherenceProtocol::Mesi, config);
+    ASSERT_EQ(mesi.relations.size(), 1u);
+    EXPECT_EQ(mesi.relations[0].first, RelationKind::MesiRefinesMsi);
+
+    ProtocolCheck mi = verifyProtocol(sim::CoherenceProtocol::Mi, config);
+    ASSERT_EQ(mi.relations.size(), 1u);
+    EXPECT_EQ(mi.relations[0].first, RelationKind::TombstoneDominance);
+
+    EXPECT_TRUE(verifyProtocol(sim::CoherenceProtocol::Msi, config)
+                    .relations.empty());
+    EXPECT_TRUE(verifyProtocol(sim::CoherenceProtocol::WriteUpdate,
+                               config)
+                    .relations.empty());
+}
+
+TEST(VerifyChecker, SixProcessorScopeStaysClean)
+{
+    // The largest scope the model supports, run to the fixed point.
+    CheckConfig config;
+    config.procs = kMaxModelProcs;
+    config.depth = 0;
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        EXPECT_TRUE(verifyProtocol(protocol, config).clean());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay litmus: the model's ledger is the simulator's ledger.
+// ---------------------------------------------------------------------
+
+TEST(VerifyReplay, RandomTracesMatchSimulatorLedgers)
+{
+    std::mt19937_64 rng(20260809);
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        for (int round = 0; round < 50; ++round) {
+            std::vector<Access> trace;
+            for (int i = 0; i < 40; ++i)
+                trace.push_back(Access{
+                    static_cast<std::uint32_t>(rng() % 4),
+                    (rng() % 2) == 0});
+            ReplayResult replay = replayTrace(protocol, 4, trace);
+            EXPECT_TRUE(replay.consistent) << replay.detail;
+        }
+    }
+}
+
+TEST(VerifyReplay, RejectsBadMachines)
+{
+    EXPECT_THROW(replayTrace(sim::CoherenceProtocol::Msi, 0, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(replayTrace(sim::CoherenceProtocol::Msi, 65, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        replayTrace(sim::CoherenceProtocol::Msi, 2, {{2, false}}),
+        std::invalid_argument);
+}
+
+TEST(VerifyReplay, CounterexampleJsonRoundTrips)
+{
+    Violation violation;
+    violation.invariant = "single-writer";
+    violation.detail = "two holders";
+    violation.trace = {{0, false}, {3, true}, {1, false}};
+
+    std::string doc = counterexampleToJson(
+        "mutant:msi-stale-sharers", sim::CoherenceProtocol::Msi, 4,
+        violation);
+    ParsedTrace parsed = parseCounterexample(doc);
+    EXPECT_EQ(parsed.policy, "mutant:msi-stale-sharers");
+    EXPECT_EQ(parsed.protocol, sim::CoherenceProtocol::Msi);
+    EXPECT_EQ(parsed.procs, 4u);
+    EXPECT_EQ(parsed.invariant, "single-writer");
+    ASSERT_EQ(parsed.trace.size(), 3u);
+    EXPECT_TRUE(parsed.trace[0] == (Access{0, false}));
+    EXPECT_TRUE(parsed.trace[1] == (Access{3, true}));
+    EXPECT_TRUE(parsed.trace[2] == (Access{1, false}));
+
+    // Byte-determinism: re-serialization is identical.
+    EXPECT_EQ(doc, counterexampleToJson("mutant:msi-stale-sharers",
+                                        sim::CoherenceProtocol::Msi, 4,
+                                        violation));
+}
+
+TEST(VerifyReplay, ParseRejectsMalformedDocuments)
+{
+    Violation violation;
+    violation.invariant = "single-writer";
+    violation.trace = {{0, true}};
+    std::string good = counterexampleToJson(
+        "msi", sim::CoherenceProtocol::Msi, 2, violation);
+
+    std::string bad_schema = good;
+    bad_schema.replace(bad_schema.find("trace-v1"), 8, "trace-v9");
+    EXPECT_THROW(parseCounterexample(bad_schema),
+                 std::invalid_argument);
+
+    std::string bad_op = good;
+    bad_op.replace(bad_op.find("\"write\""), 7, "\"fetch\"");
+    EXPECT_THROW(parseCounterexample(bad_op), std::invalid_argument);
+
+    std::string bad_pid = good;
+    bad_pid.replace(bad_pid.find("\"pid\": 0"), 8, "\"pid\": 9");
+    EXPECT_THROW(parseCounterexample(bad_pid), std::invalid_argument);
+
+    EXPECT_THROW(parseCounterexample("not json"), std::exception);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The mutation gate (src/verify/mutants.hh): every registered broken
+ * policy must be killed by exactly the invariant or refinement
+ * divergence its registry entry pins, with a witness trace that
+ * replays consistently through sim::Multiprocessor under the shipped
+ * base protocol — while the shipped protocols themselves stay clean
+ * (zero false alarms). A checker weakened enough to miss a classic
+ * directory-protocol defect, or loosened enough to flag a correct
+ * protocol, fails here before it can gate anything else.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/coherence.hh"
+#include "verify/checker.hh"
+#include "verify/mutants.hh"
+#include "verify/replay.hh"
+
+using namespace wsg;
+using namespace wsg::verify;
+
+namespace
+{
+
+CheckConfig
+gateConfig()
+{
+    CheckConfig config; // the CI gate bound: N=4, depth=8
+    return config;
+}
+
+} // namespace
+
+TEST(VerifyMutants, RegistryIsWellFormed)
+{
+    const std::vector<MutantInfo> &registry = mutantRegistry();
+    ASSERT_GE(registry.size(), 10u);
+    std::set<std::string> names;
+    for (const MutantInfo &mutant : registry) {
+        EXPECT_TRUE(names.insert(mutant.name).second)
+            << "duplicate mutant name " << mutant.name;
+        EXPECT_NE(mutant.policy, nullptr);
+        EXPECT_FALSE(mutant.description.empty());
+        EXPECT_FALSE(mutant.expectedKiller.empty());
+        // The mutant's policy must impersonate its base protocol —
+        // that is what the refinement checks key on.
+        EXPECT_EQ(mutant.policy->protocol(), mutant.base);
+    }
+    EXPECT_NE(findMutant(registry.front().name), nullptr);
+    EXPECT_EQ(findMutant("no-such-mutant"), nullptr);
+}
+
+TEST(VerifyMutants, EveryMutantKilledByItsPinnedInvariant)
+{
+    for (const MutantInfo &mutant : mutantRegistry()) {
+        SCOPED_TRACE(mutant.name);
+        MutantCheck check = checkMutant(mutant, gateConfig());
+        EXPECT_TRUE(check.killed)
+            << mutant.name << " survived: " << mutant.description;
+        if (!check.killed)
+            continue;
+        // Pinned killer: a weakened invariant cannot hide behind some
+        // other check happening to fire.
+        EXPECT_EQ(check.killedBy, mutant.expectedKiller);
+        EXPECT_FALSE(check.counterexample.trace.empty());
+        EXPECT_GT(check.statesExplored, 0u);
+    }
+}
+
+TEST(VerifyMutants, WitnessTracesReplayConsistentlyOnShippedBase)
+{
+    // The witness must be executable on the real machine: replaying it
+    // through sim::Multiprocessor under the *shipped* base protocol
+    // (not the mutant) yields matching model/simulator ledgers, which
+    // also demonstrates the shipped protocol is free of the defect the
+    // trace exposes in the mutant.
+    CheckConfig config = gateConfig();
+    for (const MutantInfo &mutant : mutantRegistry()) {
+        SCOPED_TRACE(mutant.name);
+        MutantCheck check = checkMutant(mutant, config);
+        ASSERT_TRUE(check.killed);
+        ReplayResult replay = replayTrace(mutant.base, config.procs,
+                                          check.counterexample.trace);
+        EXPECT_TRUE(replay.consistent) << replay.detail;
+    }
+}
+
+TEST(VerifyMutants, WitnessesAreDeterministic)
+{
+    for (const MutantInfo &mutant : mutantRegistry()) {
+        SCOPED_TRACE(mutant.name);
+        MutantCheck a = checkMutant(mutant, gateConfig());
+        MutantCheck b = checkMutant(mutant, gateConfig());
+        EXPECT_EQ(a.killedBy, b.killedBy);
+        ASSERT_EQ(a.counterexample.trace.size(),
+                  b.counterexample.trace.size());
+        for (std::size_t i = 0; i < a.counterexample.trace.size(); ++i)
+            EXPECT_TRUE(a.counterexample.trace[i] ==
+                        b.counterexample.trace[i]);
+        EXPECT_EQ(a.statesExplored, b.statesExplored);
+    }
+}
+
+TEST(VerifyMutants, NoFalseAlarmsOnShippedProtocols)
+{
+    // The other half of the gate: a checker that kills mutants by
+    // firing on everything is worthless.
+    for (sim::CoherenceProtocol protocol : shippedProtocols()) {
+        SCOPED_TRACE(sim::coherenceProtocolName(protocol));
+        EXPECT_TRUE(verifyProtocol(protocol, gateConfig()).clean());
+    }
+}
+
+TEST(VerifyMutants, GateHoldsAtSmallerScopeToo)
+{
+    // The defects are all shallow (two or three accesses, two or three
+    // processors): a 3-processor depth-6 sweep — the cheapest bound CI
+    // could fall back to — still kills everything.
+    CheckConfig small;
+    small.procs = 3;
+    small.depth = 6;
+    for (const MutantInfo &mutant : mutantRegistry()) {
+        SCOPED_TRACE(mutant.name);
+        MutantCheck check = checkMutant(mutant, small);
+        EXPECT_TRUE(check.killed);
+        if (check.killed) {
+            EXPECT_EQ(check.killedBy, mutant.expectedKiller);
+        }
+    }
+}
+
+TEST(VerifyMutants, CountersCoverBothExplorationKinds)
+{
+    // statesExplored/transitionsChecked aggregate the invariant sweep
+    // plus any refinement product sweep; they must be non-trivial for
+    // a mutant killed only by a refinement (mesi-missing-upgrade
+    // reaches depth 3 before diverging).
+    const MutantInfo *mutant = findMutant("mesi-missing-upgrade");
+    ASSERT_NE(mutant, nullptr);
+    MutantCheck check = checkMutant(*mutant, gateConfig());
+    ASSERT_TRUE(check.killed);
+    EXPECT_EQ(check.killedBy, "mesi-missing-upgrade");
+    EXPECT_GE(check.counterexample.trace.size(), 3u);
+    EXPECT_GT(check.transitionsChecked, check.statesExplored);
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header self-containment gate: compile every public header under src/
+# standalone with -fsyntax-only. A header that only builds because some
+# .cc happened to include its dependencies first is a refactoring trap;
+# this makes "every header compiles on its own" a CI invariant.
+#
+# Usage: tools/check_headers.sh [CXX] — compiler defaults to $CXX or
+# g++. Run from the repository root. Exit 0 when every header is
+# self-contained, 1 otherwise (each failing header is reported with the
+# compiler's first errors).
+set -u
+
+cxx="${1:-${CXX:-g++}}"
+failures=0
+checked=0
+
+while IFS= read -r header; do
+    checked=$((checked + 1))
+    if ! err=$("$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -Werror \
+               -I src -x c++ "$header" 2>&1); then
+        failures=$((failures + 1))
+        echo "NOT SELF-CONTAINED: $header"
+        echo "$err" | head -12
+    fi
+done < <(find src -name '*.hh' | sort)
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_headers: $failures of $checked headers failed"
+    exit 1
+fi
+echo "check_headers: all $checked headers self-contained ($cxx)"

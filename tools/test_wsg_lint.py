@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Unit tests for wsg_lint.py — every rule gets a positive (finding
+fires), a negative (clean idiom passes), and a suppression case, so a
+regex regression in the linter cannot silently stop gating CI.
+
+Run directly (``tools/test_wsg_lint.py``) or via ctest; plain
+``unittest``, no third-party dependencies.
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import wsg_lint  # noqa: E402
+
+
+def lint_snippet(relpath: str, source: str):
+    """Write ``source`` at ``relpath`` under a temp root and lint it."""
+    with tempfile.TemporaryDirectory() as root:
+        path = pathlib.Path(root) / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return list(wsg_lint.lint_file(path))
+
+
+def rules_found(findings):
+    return sorted({rule for _lineno, rule, _msg in findings})
+
+
+class TestStripCommentsAndStrings(unittest.TestCase):
+    def test_strips_but_keeps_geometry(self):
+        raw = 'int x; // rand()\nconst char *s = "time(";\n/* new */ int y;\n'
+        stripped = wsg_lint.strip_comments_and_strings(raw)
+        self.assertEqual(stripped.count("\n"), raw.count("\n"))
+        self.assertNotIn("rand", stripped)
+        self.assertNotIn("time(", stripped)
+        self.assertNotIn("new", stripped)
+        # Column positions survive for everything kept.
+        self.assertEqual(stripped.splitlines()[0][:6], "int x;")
+
+
+class TestNoEntropy(unittest.TestCase):
+    def test_fires_in_deterministic_layer(self):
+        findings = lint_snippet(
+            "src/sim/x.cc", "int seed() { return rand(); }\n"
+        )
+        self.assertIn("no-entropy", rules_found(findings))
+
+    def test_verify_layer_is_covered(self):
+        findings = lint_snippet(
+            "src/verify/x.cc", "std::random_device rd;\n"
+        )
+        self.assertIn("no-entropy", rules_found(findings))
+
+    def test_silent_outside_scope(self):
+        findings = lint_snippet(
+            "src/apps/x.cc", "int seed() { return rand(); }\n"
+        )
+        self.assertNotIn("no-entropy", rules_found(findings))
+
+    def test_suppression(self):
+        findings = lint_snippet(
+            "src/sim/x.cc",
+            "int s = rand(); // wsg-lint: allow(no-entropy)\n",
+        )
+        self.assertNotIn("no-entropy", rules_found(findings))
+
+
+class TestNoUnorderedJson(unittest.TestCase):
+    def test_fires_on_range_for_in_json_file(self):
+        findings = lint_snippet(
+            "src/stats/json_x.cc",
+            "std::unordered_map<int, int> m;\n"
+            "void emit() { for (auto &kv : m) use(kv); }\n",
+        )
+        self.assertIn("no-unordered-json", rules_found(findings))
+
+    def test_ordered_container_is_clean(self):
+        findings = lint_snippet(
+            "src/stats/json_x.cc",
+            "std::map<int, int> m;\n"
+            "void emit() { for (auto &kv : m) use(kv); }\n",
+        )
+        self.assertNotIn("no-unordered-json", rules_found(findings))
+
+
+class TestNoRawNewDelete(unittest.TestCase):
+    def test_fires_on_raw_new(self):
+        findings = lint_snippet("src/apps/x.cc", "int *p = new int;\n")
+        self.assertIn("no-raw-new-delete", rules_found(findings))
+
+    def test_deleted_function_is_clean(self):
+        findings = lint_snippet(
+            "src/apps/x.cc", "X(const X &) = delete;\n"
+        )
+        self.assertNotIn("no-raw-new-delete", rules_found(findings))
+
+
+class TestNoDefaultEnumSwitch(unittest.TestCase):
+    ENUM_SWITCH = (
+        "int f(Kind k) {\n"
+        "    switch (k) {\n"
+        "      case Kind::A: return 1;\n"
+        "      case Kind::B: return 2;\n"
+        "      default: return 0;\n"
+        "    }\n"
+        "}\n"
+    )
+
+    def test_fires_on_default_in_enum_switch(self):
+        findings = lint_snippet("src/sim/x.cc", self.ENUM_SWITCH)
+        rows = [f for f in findings if f[1] == "no-default-enum-switch"]
+        self.assertEqual(len(rows), 1)
+        self.assertEqual(rows[0][0], 5)  # the default: line
+
+    def test_memsys_and_verify_are_in_scope(self):
+        for layer in ("src/memsys/x.cc", "src/verify/x.cc"):
+            findings = lint_snippet(layer, self.ENUM_SWITCH)
+            self.assertIn(
+                "no-default-enum-switch", rules_found(findings), layer
+            )
+
+    def test_silent_outside_scope(self):
+        findings = lint_snippet("src/stats/x.cc", self.ENUM_SWITCH)
+        self.assertNotIn("no-default-enum-switch", rules_found(findings))
+
+    def test_exhaustive_switch_is_clean(self):
+        findings = lint_snippet(
+            "src/sim/x.cc",
+            "int f(Kind k) {\n"
+            "    switch (k) {\n"
+            "      case Kind::A: return 1;\n"
+            "      case Kind::B: return 2;\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n",
+        )
+        self.assertNotIn("no-default-enum-switch", rules_found(findings))
+
+    def test_integer_switch_with_default_is_clean(self):
+        findings = lint_snippet(
+            "src/sim/x.cc",
+            "int f(int c) {\n"
+            "    switch (c) {\n"
+            "      case 1: return 1;\n"
+            "      default: return 0;\n"
+            "    }\n"
+            "}\n",
+        )
+        self.assertNotIn("no-default-enum-switch", rules_found(findings))
+
+    def test_nested_integer_switch_default_not_blamed_on_outer(self):
+        findings = lint_snippet(
+            "src/sim/x.cc",
+            "int f(Kind k, int c) {\n"
+            "    switch (k) {\n"
+            "      case Kind::A: {\n"
+            "        switch (c) {\n"
+            "          case 1: return 1;\n"
+            "          default: return 2;\n"
+            "        }\n"
+            "      }\n"
+            "      case Kind::B: return 3;\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n",
+        )
+        self.assertNotIn("no-default-enum-switch", rules_found(findings))
+
+    def test_suppression(self):
+        suppressed = self.ENUM_SWITCH.replace(
+            "default: return 0;",
+            "default: return 0; "
+            "// wsg-lint: allow(no-default-enum-switch)",
+        )
+        findings = lint_snippet("src/sim/x.cc", suppressed)
+        self.assertNotIn("no-default-enum-switch", rules_found(findings))
+
+    def test_rule_is_listed(self):
+        self.assertIn("no-default-enum-switch", wsg_lint.RULES)
+
+
+class TestRepoIsClean(unittest.TestCase):
+    def test_src_and_tests_lint_clean(self):
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        count = 0
+        for path in wsg_lint.collect_files(
+            [str(repo / "src"), str(repo / "tests")]
+        ):
+            count += len(list(wsg_lint.lint_file(path)))
+        self.assertEqual(count, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

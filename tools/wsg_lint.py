@@ -24,6 +24,15 @@ C++ hazards, this tool covers the *project* invariants:
       ``std::make_unique``. (Deleted functions ``= delete`` and
       placement syntax are recognized and allowed.)
 
+  no-default-enum-switch
+      In the protocol/profiler layers (``src/sim``, ``src/memsys``,
+      ``src/verify``), a ``switch`` over a scoped enum (any ``case
+      Foo::Bar:`` label) must not carry a ``default:`` label: with the
+      cases exhaustive, ``-Wswitch`` (promoted by ``-Werror``) flags
+      every newly added enum value at compile time, while a default
+      silently swallows it. Exactly the hazard that would let a new
+      CoherenceProtocol or ProfilerKind ship half-wired.
+
 A finding can be suppressed for one line with a trailing
 ``// wsg-lint: allow(<rule>)`` comment naming the rule.
 
@@ -45,7 +54,10 @@ CXX_SUFFIXES = {".cc", ".hh"}
 
 # Layers that must be deterministic by construction.
 ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve",
-                "src/memsys", "src/campaign")
+                "src/memsys", "src/campaign", "src/verify")
+
+# Layers whose enum switches must stay exhaustive (see RULES).
+ENUM_SWITCH_DIRS = ("src/sim", "src/memsys", "src/verify")
 
 ENTROPY_RE = re.compile(
     r"std::random_device|\b(?:std::)?(?:rand|srand|time)\s*\("
@@ -58,6 +70,9 @@ ITER_FOR_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
 RAW_NEW_RE = re.compile(r"\bnew\b\s*[A-Za-z_:(\[]")
 RAW_DELETE_RE = re.compile(r"(?<!=)(?<!=\s)\bdelete\b\s*(?:\[\s*\]\s*)?")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+ENUM_CASE_RE = re.compile(r"\bcase\s+\w+(?:::\w+)+\s*:")
+DEFAULT_LABEL_RE = re.compile(r"\bdefault\s*:")
 SUPPRESS_RE = re.compile(r"wsg-lint:\s*allow\(([\w,\s-]+)\)")
 
 RULES = {
@@ -68,6 +83,10 @@ RULES = {
     "std::unordered_* containers (iteration order is not deterministic)",
     "no-raw-new-delete": "raw new/delete banned; use containers or "
     "std::make_unique",
+    "no-default-enum-switch": "switches over scoped enums in "
+    + ", ".join(ENUM_SWITCH_DIRS)
+    + " must enumerate every value — a default: label hides newly "
+    "added enum values from -Wswitch",
 }
 
 
@@ -130,6 +149,52 @@ def strip_comments_and_strings(text: str) -> str:
 
 def is_json_emitter(path: pathlib.Path, code: str) -> bool:
     return "json" in path.name.lower() or "json" in code.lower()
+
+
+def enum_switch_default_offsets(code: str):
+    """Yield offsets (into ``code``) of ``default:`` labels that sit
+    directly inside a switch whose own case labels name a scoped enum
+    (``case Foo::Bar:``). Labels of *nested* switches are attributed to
+    the nested switch only (brace depth 1 relative to each body)."""
+    n = len(code)
+    for m in SWITCH_RE.finditer(code):
+        # Matching ')' of the controlling expression.
+        i = m.end() - 1
+        depth = 0
+        while i < n:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        # Opening '{' of the switch body, then its matching '}'.
+        j = code.find("{", i)
+        if j < 0:
+            continue
+        k = j
+        depth = 0
+        while k < n:
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        body = code[j : k + 1]
+
+        def at_top_level(off: int) -> bool:
+            return body.count("{", 0, off) - body.count("}", 0, off) == 1
+
+        if not any(
+            at_top_level(c.start()) for c in ENUM_CASE_RE.finditer(body)
+        ):
+            continue
+        for d in DEFAULT_LABEL_RE.finditer(body):
+            if at_top_level(d.start()):
+                yield j + d.start()
 
 
 def lint_file(path: pathlib.Path):
@@ -199,6 +264,18 @@ def lint_file(path: pathlib.Path):
         "raw '%(match)s' — owning types should manage their memory",
         not_deleted_fn,
     )
+
+    if any(d in posix for d in ENUM_SWITCH_DIRS):
+        for offset in enum_switch_default_offsets(code):
+            lineno = code.count("\n", 0, offset) + 1
+            if suppressed(lineno, "no-default-enum-switch"):
+                continue
+            yield (
+                lineno,
+                "no-default-enum-switch",
+                "default: in a scoped-enum switch — enumerate every "
+                "value so -Wswitch flags additions",
+            )
 
 
 def collect_files(paths):

@@ -67,6 +67,7 @@ main(int argc, char **argv)
     sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
 
     std::vector<core::StudyJob> jobs;
     std::vector<std::string> app_of_job;

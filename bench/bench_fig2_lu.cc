@@ -72,6 +72,7 @@ main(int argc, char **argv)
         sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
         jobs.push_back(core::luStudyJob(core::presets::simLu(B), sc));
         jobs.back().name = "fig2-lu-B" + std::to_string(B);
     }

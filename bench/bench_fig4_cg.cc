@@ -60,6 +60,7 @@ main(int argc, char **argv)
     sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
     std::vector<core::StudyJob> jobs = {
         core::cgStudyJob(core::presets::simCg2d(), 3, 1, sc),
         core::cgStudyJob(core::presets::simCg3d(), 3, 1, sc),

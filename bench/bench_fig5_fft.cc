@@ -50,6 +50,7 @@ main(int argc, char **argv)
     sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
     std::vector<core::StudyJob> jobs;
     for (std::uint32_t r : {2u, 8u, 32u}) {
         jobs.push_back(

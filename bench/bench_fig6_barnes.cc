@@ -41,6 +41,7 @@ main(int argc, char **argv)
     sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
     std::vector<core::StudyJob> jobs = {core::barnesStudyJob(
         core::presets::simBarnesFig6(), /*steps=*/2, /*warmup=*/1, sc)};
     jobs[0].name = "fig6-barnes";

@@ -38,6 +38,7 @@ main(int argc, char **argv)
     sc.timeoutSeconds = cli.timeoutSeconds;
     sc.protocol = cli.protocol;
     sc.hierarchy = cli.hierarchy;
+    sc.scheduler = cli.scheduler;
     std::vector<core::StudyJob> jobs = {core::volrendStudyJob(
         core::presets::simVolrendDims(), core::presets::simVolrendRender(),
         /*frames=*/2, /*warmup=*/1, sc)};

@@ -61,6 +61,7 @@ figureSuiteJobs(const core::RunnerCli &cli)
     base.timeoutSeconds = cli.timeoutSeconds;
     base.protocol = cli.protocol;
     base.hierarchy = cli.hierarchy;
+    base.scheduler = cli.scheduler;
     return core::figureSuiteJobs(base);
 }
 

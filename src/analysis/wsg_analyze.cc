@@ -8,7 +8,10 @@
  * annotation through a vector-clock RaceDetector and prints a per-file
  * report: every pair of conflicting, unordered accesses with the owning
  * named array (from the trace's segment table), both processors, both
- * access kinds, and the barrier phase of each side.
+ * access kinds, and the barrier phase of each side. Both on-disk
+ * formats are accepted: the block-framed streaming v3 (the default
+ * written format; replayed one block at a time, O(block) memory) and
+ * the packed v2 — TraceReader dispatches on the header version.
  *
  * Exit status: 0 when every trace is race-free, 1 when any trace has a
  * finding, 2 on usage errors or unreadable/corrupt traces. The output

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "memsys/hierarchy.hh"
+#include "replay/scheduler.hh"
 #include "sim/coherence.hh"
 #include "stats/hash.hh"
 #include "stats/json_parse.hh"
@@ -20,9 +21,9 @@ constexpr const char *kGridKeys[] = {
     "schema",           "presets",  "sizes",
     "line_bytes",       "points_per_octave",
     "profilers",        "sampling", "protocols",
-    "hierarchies",      "include",
-    "exclude",          "analyze_races",
-    "timeout_seconds",
+    "hierarchies",      "schedulers",
+    "include",          "exclude",
+    "analyze_races",    "timeout_seconds",
 };
 
 const stats::JsonValue *
@@ -254,6 +255,20 @@ parseGridSpec(std::string_view json)
                 }));
     }
 
+    std::vector<std::string> schedulers =
+        stringArray(root, "schedulers");
+    if (!schedulers.empty()) {
+        spec.schedulers.clear();
+        for (const std::string &s : schedulers)
+            // Normalize aliases so "rr" and "round-robin" label (and
+            // hash) identically, like the protocols axis.
+            spec.schedulers.push_back(axisValue(
+                "schedulers", s, [](const std::string &v) {
+                    return replay::schedulerSpecLabel(
+                        replay::parseSchedulerSpec(v));
+                }));
+    }
+
     spec.include = stringArray(root, "include");
     spec.exclude = stringArray(root, "exclude");
 
@@ -286,21 +301,24 @@ loadGridSpec(const std::string &path)
 namespace
 {
 
-/** One machine-axis point of the sweep (protocol × hierarchy). */
+/** One machine-axis point of the sweep
+ *  (protocol × hierarchy × scheduler). */
 struct MachinePoint
 {
     std::string protocol;
     std::string hierarchy;
+    std::string scheduler;
 };
 
-/** The protocol × hierarchy cross product, sweep order. */
+/** The protocol × hierarchy × scheduler cross product, sweep order. */
 std::vector<MachinePoint>
 machinePoints(const GridSpec &spec)
 {
     std::vector<MachinePoint> out;
     for (const std::string &proto : spec.protocols)
         for (const std::string &hier : spec.hierarchies)
-            out.push_back({proto, hier});
+            for (const std::string &sched : spec.schedulers)
+                out.push_back({proto, hier, sched});
     return out;
 }
 
@@ -342,6 +360,7 @@ expandGrid(const GridSpec &spec)
                             entry.samplingLabel = samp.label;
                             entry.protocol = mach.protocol;
                             entry.hierarchy = mach.hierarchy;
+                            entry.scheduler = mach.scheduler;
 
                             core::SuiteVariant variant;
                             variant.size = size;
@@ -366,6 +385,8 @@ expandGrid(const GridSpec &spec)
                                 req.protocol = mach.protocol;
                             if (mach.hierarchy != "single")
                                 req.hierarchy = mach.hierarchy;
+                            if (mach.scheduler != "static")
+                                req.scheduler = mach.scheduler;
                             req.analyzeRaces = spec.analyzeRaces;
                             req.timeoutSeconds = spec.timeoutSeconds;
 
@@ -386,6 +407,9 @@ expandGrid(const GridSpec &spec)
                             if (mach.hierarchy != "single")
                                 entry.name +=
                                     "@hier=" + mach.hierarchy;
+                            if (mach.scheduler != "static")
+                                entry.name +=
+                                    "@sched=" + mach.scheduler;
 
                             bool kept = spec.include.empty();
                             for (const std::string &inc :

@@ -5,8 +5,8 @@
  * A campaign starts from a small JSON grid file (wsg-campaign-grid-v1)
  * naming the axis values to sweep — suite presets × problem sizes ×
  * line sizes × sweep resolutions × profilers × sampling modes ×
- * coherence protocols × node hierarchies — plus include/exclude
- * filters. expandGrid() takes the cross product,
+ * coherence protocols × node hierarchies × replay schedulers — plus
+ * include/exclude filters. expandGrid() takes the cross product,
  * drops infeasible combinations (the AET profiler cannot be combined
  * with sampling), applies the filters, and resolves every surviving
  * point through core::figureSuiteJob to its canonical config and
@@ -25,6 +25,7 @@
  *    "sampling": ["exact", "rate:0.1", "size:4096"],  // ["exact"]
  *    "protocols": ["msi", "mesi", "mi"],     // ["write-invalidate"]
  *    "hierarchies": ["single", "incl:4096:65536"],    // ["single"]
+ *    "schedulers": ["static", "rr", "steal:r0.25:s1"],// ["static"]
  *    "include": ["fig2"], "exclude": ["B64"],         // name substrings
  *    "analyze_races": false,
  *    "timeout_seconds": 0}
@@ -91,6 +92,9 @@ struct GridSpec
     /** Canonical node-hierarchy labels ("single" | "incl:<l1>:<l2>" |
      *  "excl:<l1>:<l2>"). */
     std::vector<std::string> hierarchies{"single"};
+    /** Canonical replay-scheduler labels ("static" | "round-robin" |
+     *  "steal:r<rate>:s<seed>"; aliases normalized at parse time). */
+    std::vector<std::string> schedulers{"static"};
     /** Keep only entries whose name contains one of these (empty =
      *  keep all); then drop entries whose name contains any exclude. */
     std::vector<std::string> include;
@@ -112,8 +116,9 @@ struct CampaignEntry
 {
     /**
      * Stable axis-qualified label: the variant-suffixed preset name
-     * plus "@ppo=", "@prof=", "@samp=", "@proto=", "@hier=" segments
-     * for non-default axis values. Filters match against this.
+     * plus "@ppo=", "@prof=", "@samp=", "@proto=", "@hier=", "@sched="
+     * segments for non-default axis values. Filters match against
+     * this.
      */
     std::string name;
     /** Ready-to-send wire request (preset, overrides, timeout). */
@@ -132,6 +137,7 @@ struct CampaignEntry
     std::string samplingLabel = "exact";
     std::string protocol = "write-invalidate";
     std::string hierarchy = "single";
+    std::string scheduler = "static";
 };
 
 /** An expanded, filtered, content-addressed study population. */
@@ -153,7 +159,7 @@ struct Grid
 /**
  * Expand @p spec into its deterministic study population (nested-loop
  * order: preset, size, line, resolution, profiler, sampling, protocol,
- * hierarchy).
+ * hierarchy, scheduler).
  * @throws CampaignError on unknown presets or axis values the suite
  *         factory rejects.
  */

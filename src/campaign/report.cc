@@ -247,6 +247,8 @@ writeStudy(stats::JsonWriter &w, const StudySummary &s)
         w.member("protocol", s.protocol);
     if (!s.hierarchy.empty())
         w.member("hierarchy", s.hierarchy);
+    if (!s.scheduler.empty())
+        w.member("scheduler", s.scheduler);
     if (s.hasMetrics()) {
         w.member("num_procs", s.numProcs);
         w.member("floor_rate", s.floorRate);
@@ -435,6 +437,8 @@ buildCampaignReport(const Grid &grid, const CampaignResult &result,
             s.protocol = entry.protocol;
         if (entry.hierarchy != "single")
             s.hierarchy = entry.hierarchy;
+        if (entry.scheduler != "static")
+            s.scheduler = entry.scheduler;
         s.error = outcome.error;
 
         if (s.status == "ok") {
@@ -617,6 +621,7 @@ parseCampaignReport(std::string_view json)
         s.sampling = parseString(obj, "sampling");
         s.protocol = optionalString(obj, "protocol");
         s.hierarchy = optionalString(obj, "hierarchy");
+        s.scheduler = optionalString(obj, "scheduler");
         if (s.hasMetrics()) {
             s.numProcs = parseCount(obj, "num_procs");
             s.floorRate = parseNumber(obj, "floor_rate");

@@ -79,6 +79,9 @@ struct StudySummary
     /** Node hierarchy; "" = the default (single-level). Same
      *  conditional-emission contract as `protocol`. */
     std::string hierarchy;
+    /** Replay scheduler label; "" = the default (static). Same
+     *  conditional-emission contract as `protocol`. */
+    std::string scheduler;
 
     // Metrics, present when status == "ok".
     std::uint64_t numProcs = 0;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/watchdog.hh"
+#include "replay/scheduled_sink.hh"
 #include "stats/json_report.hh"
 #include "trace/address_space.hh"
 #include "trace/sinks.hh"
@@ -37,9 +38,12 @@ simConfigFor(std::uint32_t num_procs, std::uint32_t line_bytes,
  * The per-study sink chain: the Multiprocessor innermost, optionally
  * teed into a RaceDetector (StudyConfig::analyzeRaces — the detector
  * sees the exact reference and sync-event stream the caches see,
- * warm-up included, since a warm-up race is still a bug), optionally
- * wrapped in a WatchdogSink (StudyConfig::timeoutSeconds) so a runaway
- * study fails with StudyTimeoutError instead of hanging its worker,
+ * warm-up included, since a warm-up race is still a bug), fronted by a
+ * ScheduledReplaySink applying StudyConfig::scheduler (upstream of the
+ * tee, so the race check observes the *scheduled* stream — the one the
+ * caches see), optionally wrapped in a WatchdogSink
+ * (StudyConfig::timeoutSeconds) so a runaway study fails with
+ * StudyTimeoutError instead of hanging its worker,
  * and always fronted by a BatchingSink so the whole chain below it is
  * traversed once per block of references instead of once per
  * reference. Batching is invisible to the results: the buffer is
@@ -65,6 +69,12 @@ class SinkChain
             tee_ = std::make_unique<trace::TeeSink>(mp, *detector_);
             sink_ = tee_.get();
         }
+        // Always present: the static default takes the identity fast
+        // path, so an unscheduled study's bytes and speed are
+        // unchanged while the scheduler axis is exercised everywhere.
+        scheduler_ = std::make_unique<replay::ScheduledReplaySink>(
+            *sink_, study.scheduler, mp.config().numProcs);
+        sink_ = scheduler_.get();
         if (watchdog_.enabled()) {
             guard_ =
                 std::make_unique<WatchdogSink>(*sink_, watchdog_);
@@ -103,6 +113,9 @@ class SinkChain
         watchdog_.check();
         if (detector_ != nullptr)
             result.races = detector_->result();
+        result.scheduler = scheduler_->spec();
+        result.schedulerIntervals = scheduler_->intervals();
+        result.schedulerMigrations = scheduler_->migrations();
         return result;
     }
 
@@ -111,6 +124,7 @@ class SinkChain
     sim::Multiprocessor &mp_;
     std::unique_ptr<analysis::RaceDetector> detector_;
     std::unique_ptr<trace::TeeSink> tee_;
+    std::unique_ptr<replay::ScheduledReplaySink> scheduler_;
     std::unique_ptr<WatchdogSink> guard_;
     std::unique_ptr<trace::BatchingSink> batcher_;
     trace::MemorySink *sink_;
@@ -183,6 +197,16 @@ appendStudyConfig(std::string &out, const StudyConfig &study,
     if (study.hierarchy.twoLevel())
         out += "hierarchy=" + memsys::hierarchyLabel(study.hierarchy) +
                "\n";
+    if (study.scheduler.kind != replay::SchedulerKind::Static) {
+        out += std::string("scheduler=") +
+               replay::schedulerKindName(study.scheduler.kind) + "\n";
+        if (study.scheduler.kind == replay::SchedulerKind::WorkStealing) {
+            out += "steal_rate=" +
+                   canonicalDouble(study.scheduler.stealRate) + "\n";
+            out += "steal_seed=" +
+                   std::to_string(study.scheduler.stealSeed) + "\n";
+        }
+    }
 }
 
 } // namespace

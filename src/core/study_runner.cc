@@ -241,8 +241,9 @@ writeJsonReport(std::ostream &os,
     w.beginObject();
     // v3: studies that ran off the default machine axes additionally
     // carry a protocol string, invalidations_sent/upgrades_sent in the
-    // aggregate, and a node_hierarchy block. Default-axes documents
-    // differ from v2 in this schema string alone.
+    // aggregate, a node_hierarchy block, and a scheduler block.
+    // Default-axes documents differ from v2 in this schema string
+    // alone.
     w.member("schema", "wsg-study-report-v3");
     w.key("studies");
     w.beginArray();
@@ -296,6 +297,20 @@ writeJsonReport(std::ostream &os,
             w.member("accesses", r.result.nodeHierarchy.accesses);
             w.member("l1_misses", r.result.nodeHierarchy.l1Misses);
             w.member("l2_misses", r.result.nodeHierarchy.l2Misses);
+            w.endObject();
+        }
+        if (r.result.scheduler.kind != replay::SchedulerKind::Static) {
+            w.key("scheduler");
+            w.beginObject();
+            w.member("policy",
+                     replay::schedulerKindName(r.result.scheduler.kind));
+            if (r.result.scheduler.kind ==
+                replay::SchedulerKind::WorkStealing) {
+                w.member("steal_rate", r.result.scheduler.stealRate);
+                w.member("steal_seed", r.result.scheduler.stealSeed);
+            }
+            w.member("intervals", r.result.schedulerIntervals);
+            w.member("migrations", r.result.schedulerMigrations);
             w.endObject();
         }
         const approx::SamplingDiagnostics &samp = r.result.sampling;
@@ -428,6 +443,33 @@ parseRunnerCli(int &argc, char **argv)
                 fail(std::string("--hierarchy: ") + e.what());
             }
         };
+        auto parse_scheduler = [&](const std::string &text) {
+            try {
+                cli.scheduler =
+                    replay::parseSchedulerSpec(text, cli.scheduler);
+            } catch (const std::invalid_argument &e) {
+                fail(std::string("--scheduler: ") + e.what());
+            }
+        };
+        auto parse_steal_rate = [&](const std::string &text) {
+            char *end = nullptr;
+            double v = std::strtod(text.c_str(), &end);
+            if (text.empty() || end != text.c_str() + text.size() ||
+                v < 0.0 || v > 1.0)
+                fail("--steal-rate needs a rate in [0, 1], got '" +
+                     text + "'");
+            cli.scheduler.stealRate = v;
+        };
+        auto parse_steal_seed = [&](const std::string &text) {
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(text.c_str(), &end, 10);
+            if (text.empty() || end != text.c_str() + text.size())
+                fail("--steal-seed needs a non-negative integer, "
+                     "got '" +
+                     text + "'");
+            cli.scheduler.stealSeed = v;
+        };
         if (arg == "--jobs") {
             cli.jobs = parse_jobs(next_value("--jobs"));
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -456,6 +498,18 @@ parseRunnerCli(int &argc, char **argv)
             parse_hierarchy(next_value("--hierarchy"));
         } else if (arg.rfind("--hierarchy=", 0) == 0) {
             parse_hierarchy(arg.substr(12));
+        } else if (arg == "--scheduler") {
+            parse_scheduler(next_value("--scheduler"));
+        } else if (arg.rfind("--scheduler=", 0) == 0) {
+            parse_scheduler(arg.substr(12));
+        } else if (arg == "--steal-rate") {
+            parse_steal_rate(next_value("--steal-rate"));
+        } else if (arg.rfind("--steal-rate=", 0) == 0) {
+            parse_steal_rate(arg.substr(13));
+        } else if (arg == "--steal-seed") {
+            parse_steal_seed(next_value("--steal-seed"));
+        } else if (arg.rfind("--steal-seed=", 0) == 0) {
+            parse_steal_seed(arg.substr(13));
         } else if (arg == "--sample-rate") {
             parse_rate(next_value("--sample-rate"));
         } else if (arg.rfind("--sample-rate=", 0) == 0) {

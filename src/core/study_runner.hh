@@ -178,8 +178,9 @@ class StudyRunner
  * miss_classes carries the per-category (cold / capacity /
  * true_sharing / false_sharing) read-miss curves over the sweep plus
  * per-processor and per-array attribution. The v3 additions (protocol,
- * the aggregate's invalidations_sent/upgrades_sent, node_hierarchy)
- * are emitted only when a study ran off the default machine axes, so a
+ * the aggregate's invalidations_sent/upgrades_sent, node_hierarchy,
+ * scheduler) are emitted only when a study ran off the default machine
+ * axes, so a
  * default-axes v3 document differs from its v2 predecessor in the
  * schema string alone, and v2 consumers that tolerate unknown fields
  * parse v3 unchanged.
@@ -249,18 +250,28 @@ struct RunnerCli
      * Benches copy this into StudyConfig::hierarchy.
      */
     memsys::NodeHierarchySpec hierarchy{};
+    /**
+     * --scheduler LABEL: replay schedule the studies run (static |
+     * round-robin | steal[:rRATE][:sSEED], with "rr"/"ws"/
+     * "work-stealing" accepted as aliases). --steal-rate R and
+     * --steal-seed N override the stealing parameters individually and
+     * compose with --scheduler in either order. Benches copy this into
+     * StudyConfig::scheduler.
+     */
+    replay::SchedulerSpec scheduler{};
 };
 
 /**
  * Extract --jobs/--json/--progress/--analyze-races/--timeout/
- * --profiler/--protocol/--hierarchy/--sample-rate/--sample-size from
- * argv, *removing* the consumed arguments so positional parameters keep
- * their indices for the caller. A malformed runner flag (missing or
- * unparseable value, rate outside (0,1], size of zero, a non-positive
- * timeout, an unknown profiler kind, an unknown protocol name, a
- * malformed hierarchy spec, AET together with a sampling flag, or both
- * sampling flags at once) prints an error on stderr and exits with
- * status 2.
+ * --profiler/--protocol/--hierarchy/--scheduler/--steal-rate/
+ * --steal-seed/--sample-rate/--sample-size from argv, *removing* the
+ * consumed arguments so positional parameters keep their indices for
+ * the caller. A malformed runner flag (missing or unparseable value,
+ * rate outside (0,1], size of zero, a non-positive timeout, an unknown
+ * profiler kind, an unknown protocol name, a malformed hierarchy spec,
+ * a malformed scheduler label, a steal rate outside [0, 1], AET
+ * together with a sampling flag, or both sampling flags at once)
+ * prints an error on stderr and exits with status 2.
  */
 RunnerCli parseRunnerCli(int &argc, char **argv);
 

@@ -20,6 +20,7 @@
 
 #include "analysis/race_detector.hh"
 #include "memsys/profiler.hh"
+#include "replay/scheduler.hh"
 #include "sim/multiprocessor.hh"
 #include "stats/curve.hh"
 #include "stats/knee.hh"
@@ -123,6 +124,17 @@ struct StudyConfig
      * counters (StudyResult::nodeHierarchy).
      */
     memsys::NodeHierarchySpec hierarchy{};
+    /**
+     * Replay scheduling policy (a study axis; see replay::Scheduler).
+     * The default static schedule is the paper's assumption — work
+     * never moves — and leaves every artifact byte-identical to a
+     * scheduler-oblivious run. Round-robin and seeded work stealing
+     * migrate logical tasks between processors at the application's
+     * global barriers, converting locality into sharing misses
+     * (measured against the Cole & Ramachandran bound by
+     * bench_replay_schedulers).
+     */
+    replay::SchedulerSpec scheduler{};
 };
 
 /** Outcome of one study. */
@@ -165,6 +177,14 @@ struct StudyResult
     memsys::NodeHierarchySpec hierarchySpec{};
     /** Aggregated per-level counters when hierarchySpec is two-level. */
     memsys::HierarchyStats nodeHierarchy{};
+    /** The schedule the reference stream was replayed under. */
+    replay::SchedulerSpec scheduler{};
+    /** Barrier intervals the scheduler saw — the global barriers in
+     *  the measured stream (counted under every policy). */
+    std::uint64_t schedulerIntervals = 0;
+    /** Task migrations across all intervals — the "s" in the
+     *  Cole & Ramachandran O(s·B) false-sharing bound. */
+    std::uint64_t schedulerMigrations = 0;
 };
 
 /**

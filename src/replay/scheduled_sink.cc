@@ -1,0 +1,90 @@
+#include "replay/scheduled_sink.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace wsg::replay
+{
+
+ScheduledReplaySink::ScheduledReplaySink(trace::MemorySink &inner,
+                                         const SchedulerSpec &spec,
+                                         std::uint32_t num_tasks)
+    : inner_(inner), spec_(spec),
+      scheduler_(makeScheduler(spec, num_tasks)), numTasks_(num_tasks)
+{
+}
+
+trace::MemRef
+ScheduledReplaySink::remap(const trace::MemRef &ref) const
+{
+    if (ref.pid >= numTasks_) {
+        throw std::runtime_error(
+            "ScheduledReplaySink: reference from task " +
+            std::to_string(ref.pid) + " but the schedule covers only " +
+            std::to_string(numTasks_) + " tasks");
+    }
+    trace::MemRef moved = ref;
+    moved.pid = scheduler_->placement(ref.pid);
+    return moved;
+}
+
+void
+ScheduledReplaySink::access(const trace::MemRef &ref)
+{
+    if (scheduler_->isIdentity()) {
+        inner_.access(ref);
+        return;
+    }
+    inner_.access(remap(ref));
+}
+
+void
+ScheduledReplaySink::accessBatch(const trace::MemRef *refs,
+                                 std::size_t n)
+{
+    if (scheduler_->isIdentity()) {
+        inner_.accessBatch(refs, n);
+        return;
+    }
+    batch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        batch_[i] = remap(refs[i]);
+    inner_.accessBatch(batch_.data(), n);
+}
+
+void
+ScheduledReplaySink::sync(const trace::SyncEvent &event)
+{
+    if (event.kind == trace::SyncKind::Barrier) {
+        // Forward first — the barrier belongs to the interval it
+        // closes — then advance into the next interval's assignment.
+        inner_.sync(event);
+        ++intervals_;
+        migrations_ += scheduler_->advance();
+        return;
+    }
+    if (scheduler_->isIdentity()) {
+        inner_.sync(event);
+        return;
+    }
+    if (event.pid >= numTasks_) {
+        throw std::runtime_error(
+            "ScheduledReplaySink: sync event from task " +
+            std::to_string(event.pid) +
+            " but the schedule covers only " +
+            std::to_string(numTasks_) + " tasks");
+    }
+    trace::SyncEvent moved = event;
+    moved.pid = scheduler_->placement(event.pid);
+    inner_.sync(moved);
+}
+
+std::uint64_t
+replayTrace(trace::TraceReader &reader, trace::MemorySink &sink,
+            const SchedulerSpec &spec)
+{
+    ScheduledReplaySink scheduled(sink, spec, reader.numProcs());
+    return reader.replay(scheduled);
+}
+
+} // namespace wsg::replay

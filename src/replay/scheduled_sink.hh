@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ScheduledReplaySink — the sink adapter that applies a Scheduler to a
+ * reference stream on its way into the memory system.
+ *
+ * The trace's pids are treated as *logical task* ids; the sink rewrites
+ * each reference's pid to Scheduler::placement(task) before forwarding,
+ * so downstream (caches, directory, profilers) sees the stream as the
+ * scheduled machine would issue it. Scheduling boundaries are the
+ * *global barriers* recorded in the trace: on every Barrier sync event
+ * the sink forwards the barrier, then advances the scheduler into the
+ * next interval's assignment and counts the migrations.
+ *
+ * Lock events are pid-remapped like data but deliberately never
+ * trigger migration. A barrier is a total order — everything before it
+ * happens-before everything after — so remapping across one cannot
+ * reorder conflicting accesses; migrating at a lock (a partial order)
+ * could, and would turn a race-free trace into one that only *looks*
+ * racy because two halves of a critical section ran on different
+ * processors. Restricting migration to barriers keeps every scheduled
+ * replay exactly as race-free as its trace, which
+ * test_replay_schedulers pins per policy under --analyze-races.
+ *
+ * The static (identity) schedule takes a fast path: while the map is
+ * the identity the sink forwards references and batches untouched, so
+ * a default-schedule study is byte- and speed-identical to one without
+ * the sink — the scheduler axis costs nothing until it is used.
+ */
+
+#ifndef WSG_REPLAY_SCHEDULED_SINK_HH
+#define WSG_REPLAY_SCHEDULED_SINK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "replay/scheduler.hh"
+#include "trace/memref.hh"
+#include "trace/trace_file.hh"
+
+namespace wsg::replay
+{
+
+/** MemorySink adapter that re-schedules the stream at barriers. */
+class ScheduledReplaySink : public trace::MemorySink
+{
+  public:
+    /**
+     * @param inner Downstream sink (must outlive this sink).
+     * @param spec Scheduling policy.
+     * @param num_tasks Logical task count — the trace's processor
+     *        count; every pid in the stream must be below it.
+     */
+    ScheduledReplaySink(trace::MemorySink &inner,
+                        const SchedulerSpec &spec,
+                        std::uint32_t num_tasks);
+
+    void access(const trace::MemRef &ref) override;
+    void accessBatch(const trace::MemRef *refs,
+                     std::size_t n) override;
+    void sync(const trace::SyncEvent &event) override;
+
+    /** Spec this sink schedules with. */
+    const SchedulerSpec &spec() const { return spec_; }
+
+    /** Barrier intervals completed (scheduler advances). */
+    std::uint64_t intervals() const { return intervals_; }
+
+    /** Total task migrations across all intervals. */
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    /** Rewrite @p ref's pid through the current placement. */
+    trace::MemRef remap(const trace::MemRef &ref) const;
+
+    trace::MemorySink &inner_;
+    SchedulerSpec spec_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::uint32_t numTasks_;
+    std::uint64_t intervals_ = 0;
+    std::uint64_t migrations_ = 0;
+    /** Scratch for remapped batches (reused across calls). */
+    std::vector<trace::MemRef> batch_;
+};
+
+/**
+ * Replay everything remaining in @p reader into @p sink under @p spec:
+ * the streaming equivalent of TraceReader::replay with a scheduler in
+ * front.
+ * @return records delivered (data + sync).
+ */
+std::uint64_t replayTrace(trace::TraceReader &reader,
+                          trace::MemorySink &sink,
+                          const SchedulerSpec &spec);
+
+} // namespace wsg::replay
+
+#endif // WSG_REPLAY_SCHEDULED_SINK_HH

@@ -1,0 +1,222 @@
+#include "replay/scheduler.hh"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/json_report.hh"
+
+namespace wsg::replay
+{
+
+namespace
+{
+
+/** Identity forever: the paper's static partition. */
+class StaticScheduler final : public Scheduler
+{
+  public:
+    std::uint32_t
+    placement(std::uint32_t task) const override
+    {
+        return task;
+    }
+
+    std::uint32_t advance() override { return 0; }
+
+    bool isIdentity() const override { return true; }
+};
+
+/** Rotate every task by one slot per interval. */
+class RoundRobinScheduler final : public Scheduler
+{
+  public:
+    explicit RoundRobinScheduler(std::uint32_t num_tasks)
+        : numTasks_(num_tasks)
+    {
+    }
+
+    std::uint32_t
+    placement(std::uint32_t task) const override
+    {
+        return (task + offset_) % numTasks_;
+    }
+
+    std::uint32_t
+    advance() override
+    {
+        offset_ = (offset_ + 1) % numTasks_;
+        return numTasks_ > 1 ? numTasks_ : 0;
+    }
+
+    bool isIdentity() const override { return offset_ == 0; }
+
+  private:
+    std::uint32_t numTasks_;
+    std::uint32_t offset_ = 0;
+};
+
+/** Seeded randomized stealing: per interval, each task is stolen with
+ *  probability stealRate by swapping its slot with a uniformly chosen
+ *  victim's. Swaps keep the map a bijection by construction. */
+class WorkStealingScheduler final : public Scheduler
+{
+  public:
+    WorkStealingScheduler(const SchedulerSpec &spec,
+                          std::uint32_t num_tasks)
+        : spec_(spec), map_(num_tasks), rng_(spec.stealSeed)
+    {
+        std::iota(map_.begin(), map_.end(), 0u);
+    }
+
+    std::uint32_t
+    placement(std::uint32_t task) const override
+    {
+        return map_[task];
+    }
+
+    std::uint32_t
+    advance() override
+    {
+        std::uint32_t tasks = static_cast<std::uint32_t>(map_.size());
+        previous_ = map_;
+        for (std::uint32_t task = 0; task < tasks; ++task) {
+            if (rng_.nextUnit() >= spec_.stealRate)
+                continue;
+            std::uint32_t victim =
+                static_cast<std::uint32_t>(rng_.nextBelow(tasks));
+            std::swap(map_[task], map_[victim]);
+        }
+        std::uint32_t moved = 0;
+        identity_ = true;
+        for (std::uint32_t task = 0; task < tasks; ++task) {
+            moved += map_[task] != previous_[task] ? 1u : 0u;
+            identity_ = identity_ && map_[task] == task;
+        }
+        return moved;
+    }
+
+    bool isIdentity() const override { return identity_; }
+
+  private:
+    SchedulerSpec spec_;
+    std::vector<std::uint32_t> map_;
+    std::vector<std::uint32_t> previous_;
+    SplitMix64 rng_;
+    bool identity_ = true;
+};
+
+} // namespace
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+    case SchedulerKind::Static:
+        return "static";
+    case SchedulerKind::RoundRobin:
+        return "round-robin";
+    default:
+        return "work-stealing";
+    }
+}
+
+std::string
+schedulerSpecLabel(const SchedulerSpec &spec)
+{
+    switch (spec.kind) {
+    case SchedulerKind::Static:
+        return "static";
+    case SchedulerKind::RoundRobin:
+        return "round-robin";
+    default:
+        return "steal:r" +
+               stats::JsonWriter::formatDouble(spec.stealRate) + ":s" +
+               std::to_string(spec.stealSeed);
+    }
+}
+
+SchedulerSpec
+parseSchedulerSpec(const std::string &text, const SchedulerSpec &base)
+{
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t colon = text.find(':', start);
+        if (colon == std::string::npos) {
+            tokens.push_back(text.substr(start));
+            break;
+        }
+        tokens.push_back(text.substr(start, colon - start));
+        start = colon + 1;
+    }
+
+    SchedulerSpec spec = base;
+    const std::string &policy = tokens.front();
+    if (policy == "static") {
+        spec.kind = SchedulerKind::Static;
+    } else if (policy == "round-robin" || policy == "rr") {
+        spec.kind = SchedulerKind::RoundRobin;
+    } else if (policy == "steal" || policy == "work-stealing" ||
+               policy == "ws") {
+        spec.kind = SchedulerKind::WorkStealing;
+    } else {
+        throw std::invalid_argument(
+            "unknown scheduler '" + policy +
+            "' (expected static, round-robin, or steal[:rRATE][:sSEED])");
+    }
+
+    if (spec.kind != SchedulerKind::WorkStealing && tokens.size() > 1) {
+        throw std::invalid_argument(
+            "scheduler '" + policy + "' takes no options (got '" + text +
+            "')");
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        if (token.size() < 2 ||
+            (token[0] != 'r' && token[0] != 's')) {
+            throw std::invalid_argument(
+                "malformed scheduler option '" + token + "' in '" +
+                text + "' (expected rRATE or sSEED)");
+        }
+        std::size_t used = 0;
+        try {
+            if (token[0] == 'r')
+                spec.stealRate = std::stod(token.substr(1), &used);
+            else
+                spec.stealSeed = std::stoull(token.substr(1), &used);
+        } catch (const std::exception &) {
+            used = std::string::npos;
+        }
+        if (used != token.size() - 1) {
+            throw std::invalid_argument(
+                "malformed scheduler option '" + token + "' in '" +
+                text + "' (expected rRATE or sSEED)");
+        }
+    }
+    if (spec.stealRate < 0.0 || spec.stealRate > 1.0) {
+        throw std::invalid_argument(
+            "steal rate " +
+            stats::JsonWriter::formatDouble(spec.stealRate) +
+            " is outside [0, 1]");
+    }
+    return spec;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(const SchedulerSpec &spec, std::uint32_t num_tasks)
+{
+    if (num_tasks == 0)
+        throw std::invalid_argument(
+            "makeScheduler: need at least one task");
+    switch (spec.kind) {
+    case SchedulerKind::Static:
+        return std::make_unique<StaticScheduler>();
+    case SchedulerKind::RoundRobin:
+        return std::make_unique<RoundRobinScheduler>(num_tasks);
+    default:
+        return std::make_unique<WorkStealingScheduler>(spec, num_tasks);
+    }
+}
+
+} // namespace wsg::replay

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace-replay schedulers: policies that re-assign the trace's logical
+ * tasks to processors at synchronization points.
+ *
+ * The paper's studies assume a *static* partition: the task that
+ * touched an address range keeps touching it, so sharing misses come
+ * only from the application's real communication. Real runtimes move
+ * work — and every migration makes the migrated task's cached lines
+ * remote, converting locality into coherence traffic. The replay
+ * subsystem measures that effect on recorded traces: a Scheduler owns
+ * a bijective task→processor map, and ScheduledReplaySink asks it to
+ * advance() the map at every global barrier recorded in the trace
+ * (barriers are the scheduling boundaries; lock events are remapped
+ * like data but never trigger migration, which keeps the trace's
+ * happens-before structure intact — see scheduled_sink.hh).
+ *
+ * Three policies:
+ *  - Static: the identity map, forever. Replay is byte-identical to an
+ *    unscheduled run — the control every other policy is measured
+ *    against, and the default everywhere.
+ *  - RoundRobin: rotate the map by one slot per barrier interval. The
+ *    deterministic worst case: every task migrates at every barrier.
+ *  - WorkStealing: per interval, each task is stolen with probability
+ *    SchedulerSpec::stealRate — a swap with a uniformly chosen victim,
+ *    driven by a seeded SplitMix64 — modelling randomized
+ *    work-stealing runtimes (cf. Cole & Ramachandran's bound of O(s·B)
+ *    extra false-sharing misses for s steals at B words per line,
+ *    which bench_replay_schedulers measures against).
+ *
+ * Everything about a schedule is captured by SchedulerSpec (policy,
+ * steal rate, seed): the spec rides in core::StudyConfig, is folded
+ * into canonical configs and artifact names, and round-trips through
+ * the label grammar of parseSchedulerSpec()/schedulerSpecLabel(), so
+ * two runs with equal specs produce byte-identical reports no matter
+ * how many workers executed them.
+ */
+
+#ifndef WSG_REPLAY_SCHEDULER_HH
+#define WSG_REPLAY_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replay/splitmix.hh"
+
+namespace wsg::replay
+{
+
+/** Replay scheduling policy. */
+enum class SchedulerKind : std::uint8_t
+{
+    Static,
+    RoundRobin,
+    WorkStealing,
+};
+
+/** Canonical policy name ("static", "round-robin", "work-stealing"). */
+const char *schedulerKindName(SchedulerKind kind);
+
+/**
+ * Complete description of a replay schedule. Value-comparable; the
+ * default (static) spec is the paper's assumption and leaves every
+ * report and artifact byte-identical to a scheduler-oblivious run.
+ */
+struct SchedulerSpec
+{
+    SchedulerKind kind = SchedulerKind::Static;
+    /** Per-task steal probability per barrier interval (WorkStealing
+     *  only; must lie in [0, 1]). */
+    double stealRate = 0.25;
+    /** PRNG seed (WorkStealing only). Part of the canonical config:
+     *  same seed, same schedule, same report bytes. */
+    std::uint64_t stealSeed = 1;
+
+    friend bool
+    operator==(const SchedulerSpec &a, const SchedulerSpec &b)
+    {
+        if (a.kind != b.kind)
+            return false;
+        if (a.kind != SchedulerKind::WorkStealing)
+            return true;
+        return a.stealRate == b.stealRate && a.stealSeed == b.stealSeed;
+    }
+};
+
+/**
+ * Canonical label for a spec: "static", "round-robin", or
+ * "steal:r<rate>:s<seed>". Labels are stable identifiers — they name
+ * campaign axis values and artifact segments — and round-trip through
+ * parseSchedulerSpec().
+ */
+std::string schedulerSpecLabel(const SchedulerSpec &spec);
+
+/**
+ * Parse a scheduler label, starting from @p base (so a label that
+ * omits the rate or seed keeps the base's — CLI flags like
+ * --steal-rate compose with --scheduler in either order).
+ *
+ * Grammar: a policy token — "static" | "round-robin" (alias "rr") |
+ * "steal" (aliases "work-stealing", "ws") — optionally followed, for
+ * stealing, by ":r<rate>" and/or ":s<seed>" in any order.
+ *
+ * @throws std::invalid_argument on an unknown policy, malformed
+ *         options, options on a policy that takes none, or a rate
+ *         outside [0, 1].
+ */
+SchedulerSpec parseSchedulerSpec(const std::string &text,
+                                 const SchedulerSpec &base = {});
+
+/**
+ * A task→processor assignment that evolves at barrier intervals. The
+ * map is always a bijection on [0, numTasks): every task runs
+ * somewhere and no processor runs two tasks, so a scheduled replay
+ * issues exactly the same references as the original trace, only from
+ * different processors.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Processor currently running @p task (task ids are the pids
+     *  recorded in the trace). */
+    virtual std::uint32_t placement(std::uint32_t task) const = 0;
+
+    /** Move to the next barrier interval's assignment.
+     *  @return the number of tasks whose placement changed. */
+    virtual std::uint32_t advance() = 0;
+
+    /** True while the current assignment is the identity — the fast
+     *  path: ScheduledReplaySink forwards references untouched. */
+    virtual bool isIdentity() const = 0;
+};
+
+/** Build the scheduler @p spec describes over @p num_tasks tasks. */
+std::unique_ptr<Scheduler> makeScheduler(const SchedulerSpec &spec,
+                                         std::uint32_t num_tasks);
+
+} // namespace wsg::replay
+
+#endif // WSG_REPLAY_SCHEDULER_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SplitMix64 — the seeded PRNG behind randomized work stealing.
+ *
+ * This is the repository's only sanctioned source of randomness in a
+ * study path, and it exists under strict rules: every study that uses
+ * it takes an explicit seed (SchedulerSpec::stealSeed), the seed is
+ * part of the study's canonical configuration (hashed into artifact
+ * names), and a fixed seed yields byte-identical reports regardless of
+ * worker count — pinned by test_replay_schedulers. That determinism is
+ * what makes a randomized-scheduling study reproducible and its
+ * artifacts cacheable, which is why std::mt19937 seeded from
+ * std::random_device (the usual reflex) is banned by wsg_lint's
+ * no-entropy rule instead.
+ *
+ * SplitMix64 itself is Steele, Lea & Flood's mixing function (the
+ * java.util.SplittableRandom finalizer): a 64-bit Weyl sequence pushed
+ * through two xor-multiply rounds. It is tiny, stateless beyond one
+ * u64, passes BigCrush, and — unlike std::mt19937 — its output for a
+ * given seed is pinned here by this repository's own tests rather than
+ * by unverifiable library internals.
+ *
+ * fromDevice() is the one documented escape hatch for interactive
+ * exploration ("show me *some* stealing schedule"); it carries the
+ * wsg_lint allow() and must never be called on a study path — anything
+ * that reaches a report must come from a spec-carried seed.
+ */
+
+#ifndef WSG_REPLAY_SPLITMIX_HH
+#define WSG_REPLAY_SPLITMIX_HH
+
+#include <cstdint>
+#include <random>
+
+namespace wsg::replay
+{
+
+/** Deterministic 64-bit PRNG (SplitMix64). */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 uniformly distributed bits. */
+    constexpr std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1): the top 53 bits scaled down. */
+    constexpr double
+    nextUnit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Uniform integer in [0, @p bound); @p bound must be nonzero.
+     * Rejection sampling, so the distribution is exactly uniform —
+     * modulo bias would make steal-victim choice drift with the
+     * processor count, muddying cross-machine comparisons.
+     */
+    constexpr std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /**
+     * Seed from the OS entropy pool. Exploration only — a generator
+     * made here can never produce a reproducible report, so nothing on
+     * a study path may call this; seeds there arrive via
+     * SchedulerSpec::stealSeed. This is the documented exception to
+     * the no-entropy lint rule.
+     */
+    static SplitMix64
+    fromDevice()
+    {
+        std::random_device device; // wsg-lint: allow(no-entropy)
+        return SplitMix64((static_cast<std::uint64_t>(device()) << 32) ^
+                          device());
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace wsg::replay
+
+#endif // WSG_REPLAY_SPLITMIX_HH

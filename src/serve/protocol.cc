@@ -178,6 +178,13 @@ Request::studyConfig() const
             throw ProtocolError(e.what());
         }
     }
+    if (!scheduler.empty()) {
+        try {
+            base.scheduler = replay::parseSchedulerSpec(scheduler);
+        } catch (const std::invalid_argument &e) {
+            throw ProtocolError(e.what());
+        }
+    }
     try {
         base.sampling.validate();
     } catch (const std::invalid_argument &e) {
@@ -207,6 +214,8 @@ encodeRequest(const Request &req)
             appendString(out, "protocol", req.protocol);
         if (!req.hierarchy.empty())
             appendString(out, "hierarchy", req.hierarchy);
+        if (!req.scheduler.empty())
+            appendString(out, "scheduler", req.scheduler);
         if (req.pointsPerOctave != 0)
             appendCount(out, "points_per_octave",
                         static_cast<std::uint64_t>(
@@ -237,6 +246,7 @@ parseRequest(std::string_view line)
     req.profiler = stringField(root, "profiler", "");
     req.protocol = stringField(root, "protocol", "");
     req.hierarchy = stringField(root, "hierarchy", "");
+    req.scheduler = stringField(root, "scheduler", "");
     double ppo = numberField(root, "points_per_octave", 0.0);
     if (ppo < 0.0)
         throw ProtocolError("points_per_octave must be >= 0");

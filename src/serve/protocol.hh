@@ -14,8 +14,9 @@
  * "analyze_races" (bool), "timeout_seconds", "profiler"
  * (list-mattson | tree-mattson | aet), "protocol" (write-invalidate |
  * write-update | mi | msi | mesi), "hierarchy" (single |
- * incl:<l1>:<l2> | excl:<l1>:<l2>) and "points_per_octave" — mirror
- * the runner CLI. The preset itself may carry a variant suffix
+ * incl:<l1>:<l2> | excl:<l1>:<l2>), "scheduler" (static | round-robin
+ * | steal[:rRATE][:sSEED]) and "points_per_octave" — mirror the runner
+ * CLI. The preset itself may carry a variant suffix
  * ("fig2-lu-B16@size=small@line=32", see core/suite), which is how the
  * campaign driver sweeps problem and line sizes over the same wire
  * format.
@@ -95,6 +96,8 @@ struct Request
     std::string protocol;
     /** Node hierarchy spec; "" = the default (single-level). */
     std::string hierarchy;
+    /** Replay scheduler label; "" = the default (static). */
+    std::string scheduler;
 
     /** The cross-cutting StudyConfig these overrides describe.
      *  @throws ProtocolError on invalid combinations. */

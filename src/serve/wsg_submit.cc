@@ -10,7 +10,8 @@
  *   wsg-submit --socket PATH PRESET [--out FILE] [--expect hit|miss]
  *              [--sample-rate R | --sample-size N] [--analyze-races]
  *              [--timeout S] [--profiler KIND] [--protocol NAME]
- *              [--hierarchy SPEC] [--points-per-octave N]
+ *              [--hierarchy SPEC] [--scheduler LABEL]
+ *              [--points-per-octave N]
  *              [--retries N] [--backoff-ms MS]
  *   wsg-submit --socket PATH --stats | --ping | --shutdown
  *
@@ -56,7 +57,8 @@ usage(const std::string &error)
            " [--analyze-races] [--timeout S]\n"
            "                  [--profiler KIND] [--protocol NAME]"
            " [--hierarchy SPEC]\n"
-           "                  [--points-per-octave N]"
+           "                  [--scheduler LABEL]"
+           " [--points-per-octave N]"
            " [--retries N] [--backoff-ms MS]\n"
            "       wsg-submit --socket PATH --stats|--ping|--shutdown\n";
     std::exit(2);
@@ -130,6 +132,8 @@ parseCli(int argc, char **argv)
             cli.req.protocol = next("--protocol");
         } else if (arg == "--hierarchy") {
             cli.req.hierarchy = next("--hierarchy");
+        } else if (arg == "--scheduler") {
+            cli.req.scheduler = next("--scheduler");
         } else if (arg == "--points-per-octave") {
             cli.req.pointsPerOctave = static_cast<int>(
                 parsePositive(arg, next("--points-per-octave")));

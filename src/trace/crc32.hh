@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte
+ * buffers. Each block of a v3 streaming trace carries the CRC of its
+ * compressed payload in the block frame, so a reader detects a
+ * corrupted block the moment it loads it — per block, not per file —
+ * and names the block in the diagnostic instead of silently replaying
+ * garbage references into a study.
+ */
+
+#ifndef WSG_TRACE_CRC32_HH
+#define WSG_TRACE_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wsg::trace
+{
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/** CRC-32 of @p n bytes at @p data. */
+inline std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace wsg::trace
+
+#endif // WSG_TRACE_CRC32_HH

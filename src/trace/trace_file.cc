@@ -1,99 +1,34 @@
 #include "trace/trace_file.hh"
 
-#include <cstring>
-#include <limits>
 #include <stdexcept>
+
+#include "trace/crc32.hh"
+#include "trace/format_detail.hh"
+#include "trace/streaming_reader.hh"
+#include "trace/varint.hh"
 
 namespace wsg::trace
 {
 
-namespace
-{
-
-/** On-disk record: 16 bytes, little-endian (host order; the tool chain
- *  targets a single host family). */
-struct Record
-{
-    std::uint64_t addr;
-    std::uint32_t bytes;
-    std::uint16_t pid;
-    std::uint8_t type;
-    std::uint8_t pad;
-};
-static_assert(sizeof(Record) == 16, "trace record must pack to 16 B");
-
-/** On-disk record type. 0/1 mirror RefType; 2..4 are sync events. */
-enum RecordType : std::uint8_t
-{
-    kRecRead = 0,
-    kRecWrite = 1,
-    kRecBarrier = 2,
-    kRecLockAcquire = 3,
-    kRecLockRelease = 4,
-    kRecTypeCount,
-};
-
-std::uint8_t
-syncRecordType(SyncKind kind)
-{
-    switch (kind) {
-    case SyncKind::Barrier:
-        return kRecBarrier;
-    case SyncKind::LockAcquire:
-        return kRecLockAcquire;
-    default:
-        return kRecLockRelease;
-    }
-}
-
-/** Fields shared by every version (the whole v1 header). */
-struct HeaderV1
-{
-    char magic[8];
-    std::uint32_t version;
-    std::uint32_t numProcs;
-};
-static_assert(sizeof(HeaderV1) == 16, "trace header must pack to 16 B");
-
-/** v2 extension: record count (finalized on close) + segment-table
- *  offset (0 = no table; was reserved-and-zero before the table
- *  existed, so older v2 files parse identically). */
-struct HeaderV2Ext
-{
-    std::uint64_t recordCount;
-    std::uint64_t segmentTableOffset;
-};
-static_assert(sizeof(HeaderV2Ext) == 16,
-              "v2 header extension must pack to 16 B");
-
-constexpr std::uint64_t kRecordCountOffset = sizeof(HeaderV1);
-constexpr std::uint64_t kSegmentTableOffsetOffset =
-    sizeof(HeaderV1) + sizeof(std::uint64_t);
-
-/** Segment-table entry prefix (the name's bytes follow it). */
-struct SegmentEntry
-{
-    std::uint64_t base;
-    std::uint64_t bytes;
-    std::uint32_t nameLen;
-};
-
-} // namespace
-
-TraceWriter::TraceWriter(const std::string &path, std::uint32_t num_procs)
-    : out_(path, std::ios::binary | std::ios::trunc)
+TraceWriter::TraceWriter(const std::string &path,
+                         std::uint32_t num_procs, TraceFormat format)
+    : out_(path, std::ios::binary | std::ios::trunc), format_(format)
 {
     if (!out_)
         throw std::runtime_error("TraceWriter: cannot open " + path);
-    HeaderV1 h{};
+    detail::HeaderV1 h{};
     std::memcpy(h.magic, kTraceMagic, sizeof(kTraceMagic));
-    h.version = kTraceVersion;
+    h.version = format_ == TraceFormat::PackedV2
+                    ? kTraceVersionPacked
+                    : kTraceVersionStreaming;
     h.numProcs = num_procs;
     out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
-    HeaderV2Ext ext{};
+    detail::HeaderV2Ext ext{};
     ext.recordCount = kTraceUnfinalizedCount;
     ext.segmentTableOffset = 0;
     out_.write(reinterpret_cast<const char *>(&ext), sizeof(ext));
+    if (format_ == TraceFormat::StreamingV3)
+        payload_.reserve(detail::kStreamBlockTargetBytes + 32);
 }
 
 TraceWriter::~TraceWriter()
@@ -104,25 +39,71 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::access(const MemRef &ref)
 {
-    Record r{};
-    r.addr = ref.addr;
-    r.bytes = ref.bytes;
-    r.pid = static_cast<std::uint16_t>(ref.pid);
-    r.type = static_cast<std::uint8_t>(ref.type);
-    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    if (format_ == TraceFormat::PackedV2) {
+        detail::PackedRecord r{};
+        r.addr = ref.addr;
+        r.bytes = ref.bytes;
+        r.pid = static_cast<std::uint16_t>(ref.pid);
+        r.type = static_cast<std::uint8_t>(ref.type);
+        out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+        ++records_;
+        return;
+    }
+    // RefType 0/1 coincide with kRecRead/kRecWrite, so the tag byte is
+    // the reference type itself.
+    payload_.push_back(static_cast<char>(ref.type));
+    appendVarint(payload_,
+                 zigzagEncode(static_cast<std::int64_t>(
+                     ref.addr - prevAddr_)));
+    prevAddr_ = ref.addr;
+    appendVarint(payload_, ref.bytes);
+    appendVarint(payload_, ref.pid);
+    ++blockRecords_;
     ++records_;
+    if (payload_.size() >= detail::kStreamBlockTargetBytes)
+        flushBlock();
 }
 
 void
 TraceWriter::sync(const SyncEvent &event)
 {
-    Record r{};
-    r.addr = event.object;
-    r.bytes = 0;
-    r.pid = static_cast<std::uint16_t>(event.pid);
-    r.type = syncRecordType(event.kind);
-    out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    if (format_ == TraceFormat::PackedV2) {
+        detail::PackedRecord r{};
+        r.addr = event.object;
+        r.bytes = 0;
+        r.pid = static_cast<std::uint16_t>(event.pid);
+        r.type = detail::syncRecordType(event.kind);
+        out_.write(reinterpret_cast<const char *>(&r), sizeof(r));
+        ++records_;
+        return;
+    }
+    payload_.push_back(
+        static_cast<char>(detail::syncRecordType(event.kind)));
+    appendVarint(payload_, event.pid);
+    appendVarint(payload_, event.object);
+    ++blockRecords_;
     ++records_;
+    if (payload_.size() >= detail::kStreamBlockTargetBytes)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (blockRecords_ == 0)
+        return;
+    detail::BlockFrame frame{};
+    frame.payloadBytes = static_cast<std::uint32_t>(payload_.size());
+    frame.recordCount = blockRecords_;
+    frame.crc = crc32(payload_.data(), payload_.size());
+    out_.write(reinterpret_cast<const char *>(&frame), sizeof(frame));
+    out_.write(payload_.data(),
+               static_cast<std::streamsize>(payload_.size()));
+    payload_.clear();
+    blockRecords_ = 0;
+    // The delta predictor resets per block so each block decodes
+    // independently (the reader mirrors this in loadNextBlock).
+    prevAddr_ = 0;
 }
 
 void
@@ -130,6 +111,8 @@ TraceWriter::close()
 {
     if (!out_.is_open())
         return;
+    if (format_ == TraceFormat::StreamingV3)
+        flushBlock();
     std::uint64_t table_offset = 0;
     if (space_ != nullptr && !space_->segments().empty()) {
         table_offset = static_cast<std::uint64_t>(out_.tellp());
@@ -138,7 +121,7 @@ TraceWriter::close()
         out_.write(reinterpret_cast<const char *>(&count),
                    sizeof(count));
         for (const Segment &seg : space_->segments()) {
-            SegmentEntry entry{};
+            detail::SegmentEntry entry{};
             entry.base = seg.base;
             entry.bytes = seg.bytes;
             entry.nameLen = static_cast<std::uint32_t>(seg.name.size());
@@ -152,10 +135,12 @@ TraceWriter::close()
                        static_cast<std::streamsize>(seg.name.size()));
         }
     }
-    out_.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+    out_.seekp(
+        static_cast<std::streamoff>(detail::kRecordCountOffset));
     out_.write(reinterpret_cast<const char *>(&records_),
                sizeof(records_));
-    out_.seekp(static_cast<std::streamoff>(kSegmentTableOffsetOffset));
+    out_.seekp(
+        static_cast<std::streamoff>(detail::kSegmentTableOffsetOffset));
     out_.write(reinterpret_cast<const char *>(&table_offset),
                sizeof(table_offset));
     out_.close();
@@ -167,112 +152,53 @@ TraceReader::TraceReader(const std::string &path)
     if (!in_)
         throw std::runtime_error("TraceReader: cannot open " + path);
 
-    in_.seekg(0, std::ios::end);
-    std::uint64_t file_bytes =
-        static_cast<std::uint64_t>(in_.tellg());
-    in_.seekg(0);
+    detail::ParsedHeader header = detail::readTraceHeader(in_, path);
+    numProcs_ = header.numProcs;
 
-    HeaderV1 h{};
-    in_.read(reinterpret_cast<char *>(&h), sizeof(h));
-    if (!in_ || std::memcmp(h.magic, kTraceMagic, sizeof(kTraceMagic)) !=
-                    0) {
-        throw std::runtime_error("TraceReader: bad magic in " + path);
-    }
-    if (h.version != 1 && h.version != kTraceVersion) {
-        throw std::runtime_error(
-            "TraceReader: unsupported version " +
-            std::to_string(h.version) + " in " + path);
-    }
-    numProcs_ = h.numProcs;
-
-    std::uint64_t header_bytes = sizeof(HeaderV1);
-    std::uint64_t header_count = kTraceUnfinalizedCount;
-    std::uint64_t table_offset = 0;
-    if (h.version >= 2) {
-        HeaderV2Ext ext{};
-        in_.read(reinterpret_cast<char *>(&ext), sizeof(ext));
-        if (!in_) {
-            throw std::runtime_error(
-                "TraceReader: truncated header in " + path + " (" +
-                std::to_string(file_bytes) + " bytes, v2 needs " +
-                std::to_string(sizeof(HeaderV1) + sizeof(HeaderV2Ext)) +
-                ")");
-        }
-        header_bytes += sizeof(HeaderV2Ext);
-        header_count = ext.recordCount;
-        table_offset = ext.segmentTableOffset;
+    if (header.version == kTraceVersionStreaming) {
+        // Delegate the whole body to the streaming engine; it re-opens
+        // the file and re-validates (cheap — the frame walk reads 12
+        // bytes per block), and this reader becomes a thin forwarder.
+        in_.close();
+        stream_ = std::make_unique<StreamingTraceReader>(path);
+        recordCount_ = stream_->recordCount();
+        finalized_ = stream_->finalized();
+        segments_ = stream_->segments();
+        return;
     }
 
-    std::uint64_t body_end = file_bytes;
-    if (table_offset != 0) {
-        // At minimum the table holds its 4-byte segment count.
-        if (table_offset < header_bytes ||
-            table_offset + sizeof(std::uint32_t) > file_bytes) {
-            throw std::runtime_error(
-                "TraceReader: segment table offset " +
-                std::to_string(table_offset) + " is outside " + path +
-                " (" + std::to_string(file_bytes) + " bytes)");
-        }
-        body_end = table_offset;
-    }
-
-    std::uint64_t body_bytes = body_end - header_bytes;
-    if (body_bytes % sizeof(Record) != 0) {
+    std::uint64_t body_bytes = header.bodyEnd - header.headerBytes;
+    if (body_bytes % sizeof(detail::PackedRecord) != 0) {
         throw std::runtime_error(
             "TraceReader: truncated trace " + path + ": body of " +
             std::to_string(body_bytes) +
             " bytes is not a whole number of " +
-            std::to_string(sizeof(Record)) +
+            std::to_string(sizeof(detail::PackedRecord)) +
             "-byte records (partial trailing record)");
     }
-    recordCount_ = body_bytes / sizeof(Record);
-    finalized_ = header_count != kTraceUnfinalizedCount;
-    if (finalized_ && header_count != recordCount_) {
+    recordCount_ = body_bytes / sizeof(detail::PackedRecord);
+    finalized_ = header.headerCount != kTraceUnfinalizedCount;
+    if (finalized_ && header.headerCount != recordCount_) {
         throw std::runtime_error(
             "TraceReader: record count mismatch in " + path +
-            ": header says " + std::to_string(header_count) +
+            ": header says " + std::to_string(header.headerCount) +
             " but the file holds " + std::to_string(recordCount_));
     }
 
-    if (table_offset != 0) {
-        in_.seekg(static_cast<std::streamoff>(table_offset));
-        std::uint32_t count = 0;
-        in_.read(reinterpret_cast<char *>(&count), sizeof(count));
-        for (std::uint32_t i = 0; in_ && i < count; ++i) {
-            SegmentEntry entry{};
-            in_.read(reinterpret_cast<char *>(&entry.base),
-                     sizeof(entry.base));
-            in_.read(reinterpret_cast<char *>(&entry.bytes),
-                     sizeof(entry.bytes));
-            in_.read(reinterpret_cast<char *>(&entry.nameLen),
-                     sizeof(entry.nameLen));
-            if (!in_ || entry.nameLen > file_bytes)
-                break;
-            std::string name(entry.nameLen, '\0');
-            in_.read(name.data(),
-                     static_cast<std::streamsize>(entry.nameLen));
-            if (!in_)
-                break;
-            segments_.push_back(Segment{name, entry.base, entry.bytes});
-        }
-        if (!in_ || segments_.size() != count) {
-            throw std::runtime_error(
-                "TraceReader: malformed segment table in " + path +
-                " (declares " + std::to_string(count) +
-                " segments, decoded " +
-                std::to_string(segments_.size()) + ")");
-        }
-        in_.clear();
-        in_.seekg(static_cast<std::streamoff>(header_bytes));
-    }
+    segments_ = detail::readSegmentTable(in_, path, header);
 }
+
+TraceReader::~TraceReader() = default;
 
 bool
 TraceReader::nextRecord(TraceRecord &record)
 {
+    if (stream_)
+        return stream_->nextRecord(record);
+
     if (recordsRead_ >= recordCount_)
         return false;
-    Record r{};
+    detail::PackedRecord r{};
     in_.read(reinterpret_cast<char *>(&r), sizeof(r));
     if (!in_) {
         // Validated at open; a torn read here means the file changed
@@ -283,13 +209,13 @@ TraceReader::nextRecord(TraceRecord &record)
     }
     ++recordsRead_;
 
-    if (r.type >= kRecTypeCount) {
+    if (r.type >= detail::kRecTypeCount) {
         throw std::runtime_error(
             "TraceReader: unknown record type " +
             std::to_string(r.type) + " at record " +
             std::to_string(recordsRead_ - 1) + " of " + path_);
     }
-    if (r.type == kRecRead || r.type == kRecWrite) {
+    if (r.type == detail::kRecRead || r.type == detail::kRecWrite) {
         record.kind = TraceRecord::Kind::Data;
         record.ref.addr = r.addr;
         record.ref.bytes = r.bytes;
@@ -310,10 +236,11 @@ TraceReader::nextRecord(TraceRecord &record)
     }
     record.kind = TraceRecord::Kind::Sync;
     record.syncEvent.kind =
-        r.type == kRecBarrier
+        r.type == detail::kRecBarrier
             ? SyncKind::Barrier
-            : (r.type == kRecLockAcquire ? SyncKind::LockAcquire
-                                         : SyncKind::LockRelease);
+            : (r.type == detail::kRecLockAcquire
+                   ? SyncKind::LockAcquire
+                   : SyncKind::LockRelease);
     record.syncEvent.pid = r.pid;
     record.syncEvent.object = r.addr;
     return true;
@@ -322,6 +249,8 @@ TraceReader::nextRecord(TraceRecord &record)
 bool
 TraceReader::next(MemRef &ref)
 {
+    if (stream_)
+        return stream_->next(ref);
     TraceRecord record;
     while (nextRecord(record)) {
         if (record.kind == TraceRecord::Kind::Data) {
@@ -335,6 +264,8 @@ TraceReader::next(MemRef &ref)
 std::uint64_t
 TraceReader::replay(MemorySink &sink)
 {
+    if (stream_)
+        return stream_->replay(sink);
     std::uint64_t count = 0;
     TraceRecord record;
     while (nextRecord(record)) {

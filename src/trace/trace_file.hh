@@ -5,9 +5,9 @@
  * workflow of trace-driven simulators — so an expensive application run
  * can be profiled against many machine configurations.
  *
- * Format v2: a fixed 32-byte header ("WSGTRACE", version, processor
- * count, record count, segment-table offset) followed by packed
- * 16-byte records (addr, bytes, pid, type). Record types 0/1 are data
+ * Every version opens with a fixed 32-byte header ("WSGTRACE",
+ * version, processor count, record count, segment-table offset; v1
+ * stops after the first 16 bytes). Record types 0/1 are data
  * reads/writes; types 2/3/4 are synchronization annotations (global
  * barrier, lock acquire, lock release — see trace::SyncEvent), so the
  * file carries the application's intended happens-before structure and
@@ -16,8 +16,21 @@
  * writer closes; a writer that died mid-run leaves the unfinalized
  * sentinel, which the reader accepts (the body is still
  * size-validated) so a crashed run's trace remains replayable up to
- * its last complete record boundary. v1 files (16-byte header, no
- * record count) are still readable.
+ * its last complete record (v2) or block (v3) boundary.
+ *
+ * Bodies differ by version:
+ *  - v1/v2 (packed): flat 16-byte records (addr, bytes, pid, type).
+ *  - v3 (streaming, the default written format): CRC-framed blocks of
+ *    delta+varint compressed records — a fraction of the packed size
+ *    for real reference streams, readable in O(block) memory, with
+ *    corruption detected and reported per block. See
+ *    trace/streaming_reader.hh for the block layout.
+ *
+ * TraceWriter picks the format at construction (TraceFormat, default
+ * streaming v3; pass TraceFormat::PackedV2 for byte-compatibility with
+ * older tooling). TraceReader reads the version field and handles all
+ * three transparently — packed bodies inline, v3 by delegating to a
+ * StreamingTraceReader — so consumers never branch on format.
  *
  * When an address space is attached (TraceWriter::attachAddressSpace)
  * the writer appends the named-segment table after the last record on
@@ -28,9 +41,9 @@
  * table bytes (they follow the record count).
  *
  * The reader validates up front: a body that is not a whole number of
- * records (a partial trailing record — classic lost-write truncation),
- * a finalized header count that disagrees with the actual file size,
- * and a segment-table offset outside the file all throw
+ * records (v2) or whole sequence of framed blocks (v3) — classic
+ * lost-write truncation — a finalized header count that disagrees with
+ * the body, and a segment-table offset outside the file all throw
  * std::runtime_error with the numbers spelled out, instead of silently
  * replaying a short or torn trace. Per record, an unknown type byte
  * and a sync event naming a processor id outside the header's
@@ -43,6 +56,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,12 +66,27 @@
 namespace wsg::trace
 {
 
+class StreamingTraceReader;
+
 /** Magic bytes identifying a wsg trace file. */
 constexpr char kTraceMagic[8] = {'W', 'S', 'G', 'T', 'R', 'A', 'C', 'E'};
-/** Current format version (v1 = no record count, still readable). */
-constexpr std::uint32_t kTraceVersion = 2;
+/** Version written for TraceFormat::PackedV2 (flat 16-byte records). */
+constexpr std::uint32_t kTraceVersionPacked = 2;
+/** Version written for TraceFormat::StreamingV3 (framed blocks). */
+constexpr std::uint32_t kTraceVersionStreaming = 3;
+/** Current default format version (v1/v2 files are still readable). */
+constexpr std::uint32_t kTraceVersion = kTraceVersionStreaming;
 /** Header record-count value of a writer that never finalized. */
 constexpr std::uint64_t kTraceUnfinalizedCount = ~std::uint64_t{0};
+
+/** On-disk body layout a TraceWriter emits. */
+enum class TraceFormat : std::uint8_t
+{
+    /** v2: flat packed 16-byte records. */
+    PackedV2,
+    /** v3: delta+varint compressed records in CRC-framed blocks. */
+    StreamingV3,
+};
 
 /** One decoded trace record: either a data reference or a sync event. */
 struct TraceRecord
@@ -85,9 +114,12 @@ class TraceWriter : public MemorySink
      *
      * @param path Output file path.
      * @param num_procs Processor count recorded in the header.
+     * @param format Body layout; default is the compressed streaming
+     *        format (v3).
      * @throws std::runtime_error when the file cannot be opened.
      */
-    TraceWriter(const std::string &path, std::uint32_t num_procs);
+    TraceWriter(const std::string &path, std::uint32_t num_procs,
+                TraceFormat format = TraceFormat::StreamingV3);
 
     ~TraceWriter() override;
 
@@ -106,43 +138,59 @@ class TraceWriter : public MemorySink
         space_ = space;
     }
 
-    /** Append the segment table (when attached), patch the header's
-     *  record count, flush, and close; further access() calls are
-     *  invalid. */
+    /** Flush any open block (v3), append the segment table (when
+     *  attached), patch the header's record count, flush, and close;
+     *  further access() calls are invalid. */
     void close();
 
     /** Records written so far, data and sync alike. */
     std::uint64_t recordsWritten() const { return records_; }
 
+    /** Body layout this writer emits. */
+    TraceFormat format() const { return format_; }
+
   private:
+    /** Append the current block's frame + payload (v3; no-op when the
+     *  block is empty) and reset the block state. */
+    void flushBlock();
+
     std::ofstream out_;
     std::uint64_t records_ = 0;
     const SharedAddressSpace *space_ = nullptr;
+    TraceFormat format_;
+    /** v3 state: the open block's compressed payload and geometry. */
+    std::string payload_;
+    std::uint32_t blockRecords_ = 0;
+    std::uint64_t prevAddr_ = 0;
 };
 
-/** Reads a trace file and replays it into a sink. */
+/** Reads a trace file of any supported version and replays it into a
+ *  sink. Packed v1/v2 bodies are read inline; v3 bodies stream through
+ *  a StreamingTraceReader in O(block) memory. */
 class TraceReader
 {
   public:
     /**
      * Open @p path, parse the header (and segment table, if present),
-     * and validate the body size.
+     * and validate the body layout for the file's version.
      * @throws std::runtime_error on open failure, bad magic, an
-     *         unsupported version, a truncated header, a body that is
-     *         not a whole number of records (partial trailing record),
-     *         a finalized record count that disagrees with the file's
-     *         actual size, or a malformed segment table.
+     *         unsupported version, a truncated header, a torn body
+     *         (partial trailing record for v2, partial trailing block
+     *         for v3), a finalized record count that disagrees with
+     *         the body, or a malformed segment table.
      */
     explicit TraceReader(const std::string &path);
+
+    ~TraceReader();
 
     /** Processor count recorded when the trace was written. */
     std::uint32_t numProcs() const { return numProcs_; }
 
-    /** Number of records in the file (from the validated body size),
+    /** Number of records in the file (from the validated body),
      *  counting data and sync records alike. */
     std::uint64_t recordCount() const { return recordCount_; }
 
-    /** False for a v2 trace whose writer never finalized the header
+    /** False for a trace whose writer never finalized the header
      *  (crashed run) and for legacy v1 traces. */
     bool finalized() const { return finalized_; }
 
@@ -154,7 +202,8 @@ class TraceReader
      * Read the next record of any kind.
      * @return false at end of the record body.
      * @throws std::runtime_error if the file ends inside a record
-     *         (truncated after open-time validation), on an unknown
+     *         (truncated after open-time validation), on a corrupt v3
+     *         block (CRC mismatch, overrunning record), on an unknown
      *         record type, or on a sync event whose processor id is
      *         outside the header's processor count.
      */
@@ -183,6 +232,8 @@ class TraceReader
     std::uint64_t recordsRead_ = 0;
     bool finalized_ = false;
     std::vector<Segment> segments_;
+    /** Engaged for v3 traces; the packed path leaves it null. */
+    std::unique_ptr<StreamingTraceReader> stream_;
 };
 
 } // namespace wsg::trace

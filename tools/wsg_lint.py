@@ -9,8 +9,11 @@ C++ hazards, this tool covers the *project* invariants:
   no-entropy
       ``rand()``, ``srand()``, ``time()`` and ``std::random_device``
       are banned in the simulation layers (``src/sim``, ``src/core``,
-      ``src/approx``). All randomness there must come from seeded,
-      named generators owned by a config, or results stop reproducing.
+      ``src/approx``, ..., ``src/replay``). All randomness there must
+      come from seeded, named generators owned by a config, or results
+      stop reproducing. The one sanctioned entropy source — the
+      work-stealing scheduler's opt-in ``SplitMix64::fromDevice()`` —
+      carries the documented ``allow(no-entropy)`` suppression.
 
   no-unordered-json
       In a JSON-emitting file, iterating a ``std::unordered_*``
@@ -52,9 +55,14 @@ import sys
 
 CXX_SUFFIXES = {".cc", ".hh"}
 
-# Layers that must be deterministic by construction.
+# Layers that must be deterministic by construction. src/replay is
+# included even though it hosts the seeded work-stealing PRNG: the
+# only entropy source there (SplitMix64::fromDevice's
+# std::random_device) carries an explicit allow(no-entropy), so any
+# *new* ambient randomness in a scheduler still fails the gate.
 ENTROPY_DIRS = ("src/sim", "src/core", "src/approx", "src/serve",
-                "src/memsys", "src/campaign", "src/verify")
+                "src/memsys", "src/campaign", "src/verify",
+                "src/replay")
 
 # Layers whose enum switches must stay exhaustive (see RULES).
 ENUM_SWITCH_DIRS = ("src/sim", "src/memsys", "src/verify")
